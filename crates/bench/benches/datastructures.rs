@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the hot data structures: the
+//! registration caches of paper §VII-B, the simulation event queue, the
+//! PRNG and the simulated memory.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_reg_cache(c: &mut Criterion) {
+    use offload::RankAddrCache;
+    let mut g = c.benchmark_group("reg_cache");
+    // Hit path: the steady state the paper's caches are designed for.
+    g.bench_function("hit", |b| {
+        let mut cache: RankAddrCache<u64> = RankAddrCache::new(64);
+        for r in 0..64usize {
+            for i in 0..32u64 {
+                cache.insert(r, 0x1000 + i * 0x10000, 65536, i);
+            }
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 32;
+            black_box(cache.get(17, 0x1000 + k * 0x10000, 65536).copied())
+        });
+    });
+    g.bench_function("miss", |b| {
+        let mut cache: RankAddrCache<u64> = RankAddrCache::new(64);
+        b.iter(|| black_box(cache.get(3, 0xdead_0000, 4096).copied()));
+    });
+    g.bench_function("insert_evict", |b| {
+        let mut cache: RankAddrCache<u64> = RankAddrCache::new(4);
+        b.iter(|| {
+            cache.insert(1, 0x2000, 128, 9);
+            black_box(cache.evict(1, 0x2000, 128))
+        });
+    });
+    g.finish();
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    use simnet::{SimDelta, Simulation};
+    let mut g = c.benchmark_group("simnet");
+    // Full tiny simulation: spawn, message, teardown. This bounds the
+    // fixed cost of every benchmark harness iteration.
+    g.bench_function("two_process_message", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            let rx = sim.spawn("rx", |ctx| {
+                let _ = ctx.recv();
+            });
+            sim.spawn("tx", move |ctx| {
+                ctx.deliver(rx, SimDelta::from_ns(100), Box::new(1u64));
+            });
+            black_box(sim.run().unwrap().events)
+        });
+    });
+    g.bench_function("rng_throughput", |b| {
+        let mut rng = simnet::SimRng::new(7);
+        b.iter(|| black_box(rng.gen_range(1000)));
+    });
+    g.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    use rdma::AddressSpace;
+    let mut g = c.benchmark_group("address_space");
+    g.bench_function("alloc", |b| {
+        b.iter_batched(
+            AddressSpace::new,
+            |mut asp| black_box(asp.alloc(4096)),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("write_read_4k", |b| {
+        let mut asp = AddressSpace::new();
+        let addr = asp.alloc(4096);
+        let data = vec![0xABu8; 4096];
+        b.iter(|| {
+            asp.write(addr, &data).unwrap();
+            black_box(asp.read(addr, 4096).unwrap().len())
+        });
+    });
+    g.bench_function("check_range", |b| {
+        let mut asp = AddressSpace::new();
+        // Fragmented space: many regions to search.
+        let addrs: Vec<_> = (0..256).map(|_| asp.alloc(8192)).collect();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % addrs.len();
+            black_box(asp.check_range(addrs[i], 8192).is_ok())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reg_cache, bench_sim_engine, bench_memory);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! End-to-end engine benchmarks (Criterion): whole simulated exchanges per
+//! iteration, including the ablations DESIGN.md calls out — GVMI vs
+//! staging, registration cache on/off, group metadata cache on/off, and
+//! proxy fan-out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use offload::{Offload, OffloadConfig};
+use rdma::{ClusterBuilder, ClusterSpec, Inbox};
+
+/// One complete two-rank offloaded exchange; returns simulated µs.
+fn offload_exchange(cfg: OffloadConfig, rounds: u32, len: u64) -> f64 {
+    let proxy_cfg = cfg.clone();
+    let spec = ClusterSpec::new(2, 1).without_byte_movement();
+    let report = ClusterBuilder::new(spec, 3)
+        .run(
+            move |rank, ctx, cluster| {
+                let inbox = Inbox::new();
+                let off = Offload::init(rank, ctx, cluster.clone(), &inbox, cfg.clone());
+                let fab = cluster.fabric().clone();
+                let ep = cluster.host_ep(rank);
+                let buf = fab.alloc(ep, len);
+                for i in 0..rounds as u64 {
+                    if rank == 0 {
+                        off.wait(off.send_offload(buf, len, 1, i));
+                    } else {
+                        off.wait(off.recv_offload(buf, len, 0, i));
+                    }
+                }
+                off.finalize();
+            },
+            Some(offload::proxy_fn(proxy_cfg)),
+        )
+        .unwrap();
+    report.end_time.as_us_f64()
+}
+
+/// One group-alltoall run over a small cluster; returns simulated µs.
+fn group_alltoall(cfg: OffloadConfig, calls: u32) -> f64 {
+    let proxy_cfg = cfg.clone();
+    let spec = ClusterSpec::new(2, 2).without_byte_movement();
+    let report = ClusterBuilder::new(spec, 5)
+        .run(
+            move |rank, ctx, cluster| {
+                let inbox = Inbox::new();
+                let off = Offload::init(rank, ctx, cluster.clone(), &inbox, cfg.clone());
+                let fab = cluster.fabric().clone();
+                let ep = cluster.host_ep(rank);
+                let p = cluster.world_size();
+                let block = 16 * 1024u64;
+                let sendbuf = fab.alloc(ep, block * p as u64);
+                let recvbuf = fab.alloc(ep, block * p as u64);
+                let g = off.group_start();
+                for k in 1..p {
+                    let dst = (rank + k) % p;
+                    let src = (rank + p - k) % p;
+                    off.group_send(g, sendbuf.offset(dst as u64 * block), block, dst, dst as u64);
+                    off.group_recv(g, recvbuf.offset(src as u64 * block), block, src, rank as u64);
+                }
+                off.group_end(g);
+                for _ in 0..calls {
+                    off.group_call(g);
+                    off.group_wait(g);
+                }
+                off.finalize();
+            },
+            Some(offload::proxy_fn(proxy_cfg)),
+        )
+        .unwrap();
+    report.end_time.as_us_f64()
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanism");
+    g.sample_size(20);
+    g.bench_function("gvmi_exchange", |b| {
+        b.iter(|| black_box(offload_exchange(OffloadConfig::proposed(), 4, 128 * 1024)))
+    });
+    g.bench_function("staging_exchange", |b| {
+        b.iter(|| black_box(offload_exchange(OffloadConfig::staging(), 4, 128 * 1024)))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(15);
+    // Ablation 2: GVMI registration caches. The *simulated* time gap is the
+    // paper's amortization claim; the benchmark tracks the wall cost of
+    // simulating each variant and prints the virtual-time gap once.
+    let with_cache = offload_exchange(OffloadConfig::proposed(), 8, 1 << 20);
+    let without = offload_exchange(OffloadConfig::proposed().without_gvmi_cache(), 8, 1 << 20);
+    println!(
+        "[ablation] 8x1MiB exchanges, virtual time: gvmi-cache on {with_cache:.1}us / off {without:.1}us"
+    );
+    assert!(without > with_cache);
+    g.bench_function("gvmi_cache_on", |b| {
+        b.iter(|| black_box(offload_exchange(OffloadConfig::proposed(), 4, 1 << 20)))
+    });
+    g.bench_function("gvmi_cache_off", |b| {
+        b.iter(|| {
+            black_box(offload_exchange(
+                OffloadConfig::proposed().without_gvmi_cache(),
+                4,
+                1 << 20,
+            ))
+        })
+    });
+    // Ablation 3: group metadata cache.
+    let grp_on = group_alltoall(OffloadConfig::proposed(), 6);
+    let grp_off = group_alltoall(OffloadConfig::proposed().without_group_cache(), 6);
+    println!(
+        "[ablation] 6 group alltoalls, virtual time: group-cache on {grp_on:.1}us / off {grp_off:.1}us"
+    );
+    assert!(grp_off > grp_on);
+    g.bench_function("group_cache_on", |b| {
+        b.iter(|| black_box(group_alltoall(OffloadConfig::proposed(), 4)))
+    });
+    g.bench_function("group_cache_off", |b| {
+        b.iter(|| {
+            black_box(group_alltoall(
+                OffloadConfig::proposed().without_group_cache(),
+                4,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mechanisms, bench_ablations);
+criterion_main!(benches);

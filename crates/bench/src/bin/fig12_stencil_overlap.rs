@@ -1,0 +1,35 @@
+//! Paper Fig. 12 — 3DStencil overlap percentage of communication and
+//! compute, Proposed vs IntelMPI, on 16 nodes.
+
+use bench_harness::{pct, print_table, us, Args};
+use workloads::{stencil3d, Runtime};
+
+fn main() {
+    let args = Args::parse();
+    let nodes = args.nodes.unwrap_or(if args.quick { 2 } else { 16 });
+    let ppn = args.pick_ppn(32, 32, 4);
+    let iters = args.pick_iters(3, 1);
+    let grids: Vec<u64> = if args.quick {
+        vec![128, 256]
+    } else {
+        vec![512, 1024, 2048]
+    };
+    let mut rows = Vec::new();
+    for &n in &grids {
+        let intel = stencil3d(nodes, ppn, n, iters, 1, Runtime::Intel, 37);
+        let prop = stencil3d(nodes, ppn, n, iters, 1, Runtime::proposed(), 37);
+        rows.push(vec![
+            format!("{n}^3"),
+            pct(intel.overlap_pct()),
+            pct(prop.overlap_pct()),
+            us(intel.pure_us),
+            us(prop.pure_us),
+        ]);
+    }
+    print_table(
+        &format!("Fig. 12 — 3DStencil overlap %, {nodes} nodes x {ppn} ppn"),
+        &["grid", "IntelMPI overlap", "Proposed overlap", "Intel pure comm", "Proposed pure comm"],
+        &rows,
+    );
+    println!("\nPaper shape: Proposed holds roughly constant high overlap (~78%; intra-node\ntransfers are not offloaded), IntelMPI's overlap collapses at the largest grid.");
+}

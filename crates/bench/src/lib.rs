@@ -1,0 +1,176 @@
+//! Support code for the figure-regeneration binaries.
+//!
+//! Every `fig*` binary accepts:
+//!
+//! * `--full` — run at the paper's full scale (32 processes per node where
+//!   the paper used 32). The default runs a reduced-PPN configuration that
+//!   preserves every qualitative shape while finishing in minutes.
+//! * `--quick` — tiny smoke-test scale (seconds).
+//! * `--nodes N`, `--ppn N`, `--iters N` — explicit overrides.
+//!
+//! Output is aligned text tables, one per paper figure, with the measured
+//! series the figure plots.
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// Paper-scale run.
+    pub full: bool,
+    /// Smoke-test run.
+    pub quick: bool,
+    /// Override node count.
+    pub nodes: Option<usize>,
+    /// Override processes per node.
+    pub ppn: Option<usize>,
+    /// Override measured iterations.
+    pub iters: Option<u32>,
+}
+
+impl Args {
+    /// Parse from `std::env::args`. Prints a clean error and exits with
+    /// status 2 on invalid input.
+    pub fn parse() -> Args {
+        fn die(msg: &str) -> ! {
+            eprintln!("error: {msg}");
+            eprintln!("options: --full | --quick | --nodes N | --ppn N | --iters N");
+            std::process::exit(2);
+        }
+        fn value<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+            match it.next() {
+                Some(v) => v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("{flag} expects a positive number, got '{v}'"))),
+                None => die(&format!("{flag} requires a value")),
+            }
+        }
+        let mut out = Args::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => out.full = true,
+                "--quick" => out.quick = true,
+                "--nodes" => out.nodes = Some(value(&mut it, "--nodes")),
+                "--ppn" => out.ppn = Some(value(&mut it, "--ppn")),
+                "--iters" => out.iters = Some(value(&mut it, "--iters")),
+                "--help" | "-h" => {
+                    eprintln!("options: --full | --quick | --nodes N | --ppn N | --iters N");
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown argument '{other}'")),
+            }
+        }
+        if out.full && out.quick {
+            die("--full and --quick are exclusive");
+        }
+        if out.nodes == Some(0) || out.ppn == Some(0) || out.iters == Some(0) {
+            die("--nodes/--ppn/--iters must be positive");
+        }
+        out
+    }
+
+    /// Pick a processes-per-node value: the paper's value under `--full`,
+    /// a reduced default otherwise, always honouring `--ppn`.
+    pub fn pick_ppn(&self, paper: usize, reduced: usize, quick: usize) -> usize {
+        self.ppn.unwrap_or(if self.full {
+            paper
+        } else if self.quick {
+            quick
+        } else {
+            reduced
+        })
+    }
+
+    /// Pick an iteration count.
+    pub fn pick_iters(&self, normal: u32, quick: u32) -> u32 {
+        self.iters.unwrap_or(if self.quick { quick } else { normal })
+    }
+}
+
+/// Print an aligned table: a title line, a header row, then rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", line.trim_end());
+    };
+    fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    fmt_row(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        fmt_row(row);
+    }
+}
+
+/// Format microseconds with sensible precision.
+pub fn us(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{:.1}ms", v / 1000.0)
+    } else {
+        format!("{v:.1}us")
+    }
+}
+
+/// Format a ratio as a percentage string.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Human-readable byte size.
+pub fn bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{}MiB", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}KiB", b >> 10)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(12.34), "12.3us");
+        assert_eq!(us(123456.0), "123.5ms");
+        assert_eq!(bytes(65536), "64KiB");
+        assert_eq!(bytes(1 << 21), "2MiB");
+        assert_eq!(bytes(12), "12B");
+        assert_eq!(pct(99.96), "100.0%");
+    }
+
+    #[test]
+    fn ppn_picker() {
+        let a = Args {
+            full: true,
+            ..Default::default()
+        };
+        assert_eq!(a.pick_ppn(32, 16, 4), 32);
+        let a = Args::default();
+        assert_eq!(a.pick_ppn(32, 16, 4), 16);
+        let a = Args {
+            quick: true,
+            ..Default::default()
+        };
+        assert_eq!(a.pick_ppn(32, 16, 4), 4);
+        let a = Args {
+            ppn: Some(8),
+            ..Default::default()
+        };
+        assert_eq!(a.pick_ppn(32, 16, 4), 8);
+    }
+}

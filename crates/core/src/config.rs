@@ -1,0 +1,94 @@
+//! Configuration of the offload framework, including the ablation switches
+//! called out in DESIGN.md.
+
+/// Which mechanism moves the payload (paper Fig. 6).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DataPath {
+    /// Cross-GVMI: the proxy cross-registers host memory and RDMA-writes
+    /// it straight to the destination host — no staging hop. The paper's
+    /// proposed mechanism.
+    Gvmi,
+    /// Staging: the host first writes the payload into DPU memory over
+    /// PCIe; the proxy then forwards it from its own memory. The
+    /// BluesMPI-style mechanism, generalized to any pattern.
+    Staging,
+}
+
+/// Framework configuration. One instance shared by hosts and proxies of a
+/// run (like an `MPIRUN` environment).
+#[derive(Clone, Debug)]
+pub struct OffloadConfig {
+    /// Payload mechanism.
+    pub data_path: DataPath,
+    /// Use the host/DPU GVMI registration caches (paper §VII-B). Off =
+    /// register on every transfer (ablation 2).
+    pub use_gvmi_cache: bool,
+    /// Use the group-request metadata caches (paper §VII-D). Off = full
+    /// metadata exchange on every `Group_Offload_call` (ablation 3).
+    pub use_group_cache: bool,
+    /// Modelled wire size of one control message (RTS/RTR/FIN/EXEC).
+    pub ctrl_bytes: u64,
+    /// Modelled wire size of one group-packet entry.
+    pub entry_bytes: u64,
+    /// ARM time the proxy spends interpreting one queue/packet entry.
+    pub proxy_entry_overhead: simnet::SimDelta,
+}
+
+impl Default for OffloadConfig {
+    fn default() -> Self {
+        OffloadConfig {
+            data_path: DataPath::Gvmi,
+            use_gvmi_cache: true,
+            use_group_cache: true,
+            ctrl_bytes: 64,
+            entry_bytes: 48,
+            proxy_entry_overhead: simnet::SimDelta::from_ns(120),
+        }
+    }
+}
+
+impl OffloadConfig {
+    /// The paper's proposed configuration (GVMI + both caches).
+    pub fn proposed() -> Self {
+        Self::default()
+    }
+
+    /// Staging-based configuration (generalized BluesMPI mechanism).
+    pub fn staging() -> Self {
+        OffloadConfig {
+            data_path: DataPath::Staging,
+            ..Self::default()
+        }
+    }
+
+    /// Disable the GVMI registration caches (ablation).
+    pub fn without_gvmi_cache(mut self) -> Self {
+        self.use_gvmi_cache = false;
+        self
+    }
+
+    /// Disable the group metadata caches (ablation).
+    pub fn without_group_cache(mut self) -> Self {
+        self.use_group_cache = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposed_uses_gvmi_and_caches() {
+        let c = OffloadConfig::proposed();
+        assert_eq!(c.data_path, DataPath::Gvmi);
+        assert!(c.use_gvmi_cache && c.use_group_cache);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let c = OffloadConfig::staging().without_gvmi_cache().without_group_cache();
+        assert_eq!(c.data_path, DataPath::Staging);
+        assert!(!c.use_gvmi_cache && !c.use_group_cache);
+    }
+}

@@ -1,0 +1,662 @@
+//! Host-side API of the offload framework: the paper's Basic and Group
+//! primitives (Listings 2 and 4).
+//!
+//! ```text
+//! Init_Offload()            -> Offload::init
+//! Send_Offload(...)         -> Offload::send_offload
+//! Recv_Offload(...)         -> Offload::recv_offload
+//! Wait(&req)                -> Offload::wait
+//! Finalize_Offload()        -> Offload::finalize
+//!
+//! Group_Offload_start(&req) -> Offload::group_start
+//! Send_Goffload(...)        -> GroupRequest::send  (via Offload::group_send)
+//! Recv_Goffload(...)        -> Offload::group_recv
+//! Local_barrier_Goffload    -> Offload::group_barrier
+//! Group_Offload_end         -> Offload::group_end
+//! Group_Offload_call        -> Offload::group_call
+//! Group_Wait                -> Offload::group_wait
+//! ```
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+
+use rdma::{Channel, ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
+use simnet::ProcessCtx;
+
+use crate::config::{DataPath, OffloadConfig};
+use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_MASK, WRID_OFF_HOST};
+use crate::reg_cache::RankAddrCache;
+
+/// Handle of a Basic-primitive transfer (`OffloadRequest` in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OffloadReq(usize);
+
+impl OffloadReq {
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle of a recorded group pattern (`OffloadGroupRequest` in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GroupRequest(usize);
+
+/// One recorded group operation.
+#[derive(Clone, Debug)]
+enum GroupOp {
+    Send { addr: VAddr, len: u64, dst: usize, tag: u64 },
+    Recv { addr: VAddr, len: u64, src: usize, tag: u64 },
+    Barrier,
+}
+
+struct GroupState {
+    ops: Vec<GroupOp>,
+    ended: bool,
+    gen: u64,
+    fin_gen: u64,
+    /// Wire entries built during the first call (metadata gather done).
+    wire: Option<Vec<WireEntry>>,
+    /// Proxy already holds the metadata (group cache is warm).
+    proxy_cached: bool,
+}
+
+/// One receive-metadata entry: `(tag, buffer, rkey)`.
+type MetaEntry = (u64, VAddr, MrKey);
+
+/// Metadata received from one receiving host, consumed FIFO per source:
+/// `(dst_req_id, entries)`.
+struct MetaQueue {
+    queue: VecDeque<(usize, Vec<MetaEntry>)>,
+}
+
+struct HostState {
+    reqs: Vec<bool>,
+    /// Host-side GVMI cache, indexed by the mapped proxy's local index.
+    gvmi_cache: RankAddrCache<MrKey>,
+    /// Host-side IB cache (receive buffers).
+    ib_cache: RankAddrCache<MrKey>,
+    groups: Vec<GroupState>,
+    metas_from: HashMap<usize, MetaQueue>,
+}
+
+/// Host-side engine of the offload framework. One per application rank.
+pub struct Offload {
+    ctx: ProcessCtx,
+    cluster: ClusterCtx,
+    rank: usize,
+    ep: EpId,
+    proxy_ep: EpId,
+    proxy_idx: usize,
+    cfg: OffloadConfig,
+    chan: Channel,
+    st: RefCell<HostState>,
+}
+
+impl Offload {
+    /// `Init_Offload()`: attach this rank to the framework. The cluster
+    /// must have been built with proxies running
+    /// [`crate::proxy::proxy_main`] and the *same* [`OffloadConfig`].
+    ///
+    /// The GVMI-ID exchange the paper performs here (once per protection
+    /// domain) is modelled by the fabric assigning each proxy its GVMI at
+    /// endpoint creation; the exchange itself is a one-time O(µs) cost we
+    /// fold into startup.
+    pub fn init(
+        rank: usize,
+        ctx: ProcessCtx,
+        cluster: ClusterCtx,
+        inbox: &Inbox,
+        cfg: OffloadConfig,
+    ) -> Offload {
+        assert!(
+            cluster.proxies_per_dpu() > 0,
+            "offload requires DPU proxies; build the cluster with proxy_main"
+        );
+        let chan = inbox.channel(|m| match m {
+            NetMsg::Packet(p) => p.body.is::<CtrlMsg>(),
+            NetMsg::Notify(p) => p.is::<CtrlMsg>(),
+            NetMsg::Cqe(c) => c.wrid & WRID_MASK == WRID_OFF_HOST,
+        });
+        let ep = cluster.host_ep(rank);
+        let proxy_ep = cluster.proxy_for_rank(rank);
+        let proxy_idx = rank % cluster.proxies_per_dpu();
+        let n_proxies = cluster.proxies_per_dpu();
+        Offload {
+            ctx,
+            cluster,
+            rank,
+            ep,
+            proxy_ep,
+            proxy_idx,
+            cfg,
+            chan,
+            st: RefCell::new(HostState {
+                reqs: Vec::new(),
+                gvmi_cache: RankAddrCache::new(n_proxies),
+                ib_cache: RankAddrCache::new(1),
+                groups: Vec::new(),
+                metas_from: HashMap::new(),
+            }),
+        }
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.cluster.world_size()
+    }
+
+    /// Process context (compute, tracing).
+    pub fn ctx(&self) -> &ProcessCtx {
+        &self.ctx
+    }
+
+    /// The cluster roster.
+    pub fn cluster(&self) -> &ClusterCtx {
+        &self.cluster
+    }
+
+    /// The configuration this engine was initialized with.
+    pub fn config(&self) -> &OffloadConfig {
+        &self.cfg
+    }
+
+    /// Allocate a fresh basic-request slot (crate-internal extensions).
+    pub(crate) fn new_basic_req(&self) -> OffloadReq {
+        OffloadReq(self.new_req())
+    }
+
+    /// Ship a control message to this rank's mapped proxy
+    /// (crate-internal extensions).
+    pub(crate) fn send_ctrl_to_proxy(&self, msg: CtrlMsg) {
+        self.cluster
+            .fabric()
+            .send_packet(&self.ctx, self.ep, self.proxy_ep, self.cfg.ctrl_bytes, Box::new(msg))
+            .expect("control message to proxy");
+        self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+    }
+
+    // ---- Basic primitives ----
+
+    /// `Send_Offload`: non-blocking offloaded send. The transfer is driven
+    /// entirely by the DPU proxy; this call only registers (through the
+    /// GVMI cache) and posts one RTS control message.
+    pub fn send_offload(&self, addr: VAddr, len: u64, dst: usize, tag: u64) -> OffloadReq {
+        assert!(dst < self.size(), "send_offload: bad destination {dst}");
+        let req = self.new_req();
+        let fab = self.cluster.fabric();
+        let (mkey, src_rkey) = match self.cfg.data_path {
+            DataPath::Gvmi => (Some(self.cached_gvmi_reg(addr, len)), None),
+            // Staging: the proxy pulls the payload with an RDMA READ
+            // through a plain rkey (BluesMPI-style worker read).
+            DataPath::Staging => (None, Some(self.cached_ib_reg(addr, len))),
+        };
+        fab.send_packet(
+            &self.ctx,
+            self.ep,
+            self.proxy_ep,
+            self.cfg.ctrl_bytes,
+            Box::new(CtrlMsg::Rts {
+                src_rank: self.rank,
+                dst_rank: dst,
+                tag,
+                addr,
+                len,
+                mkey,
+                src_rkey,
+                src_req: req,
+                src_pid: self.ctx.pid(),
+            }),
+        )
+        .expect("RTS to proxy");
+        self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+        OffloadReq(req)
+    }
+
+    /// `Recv_Offload`: non-blocking offloaded receive. Registers the
+    /// buffer (IB cache) and sends one RTR control message to the proxy
+    /// *on the sender's node* — the proxy that will move the data.
+    pub fn recv_offload(&self, addr: VAddr, len: u64, src: usize, tag: u64) -> OffloadReq {
+        assert!(src < self.size(), "recv_offload: bad source {src}");
+        let req = self.new_req();
+        let rkey = self.cached_ib_reg(addr, len);
+        let src_proxy = self.cluster.proxy_for_rank(src);
+        self.cluster
+            .fabric()
+            .send_packet(
+                &self.ctx,
+                self.ep,
+                src_proxy,
+                self.cfg.ctrl_bytes,
+                Box::new(CtrlMsg::Rtr {
+                    src_rank: src,
+                    dst_rank: self.rank,
+                    tag,
+                    addr,
+                    len,
+                    rkey,
+                    dst_req: req,
+                    dst_pid: self.ctx.pid(),
+                }),
+            )
+            .expect("RTR to proxy");
+        self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+        OffloadReq(req)
+    }
+
+    /// Has the request completed? Drains pending completions.
+    pub fn test(&self, req: OffloadReq) -> bool {
+        self.drain();
+        self.st.borrow().reqs[req.0]
+    }
+
+    /// `Wait`: block until `req` completes.
+    pub fn wait(&self, req: OffloadReq) {
+        self.drain();
+        while !self.st.borrow().reqs[req.0] {
+            let msg = self.chan.next_blocking(&self.ctx);
+            self.handle(msg);
+        }
+    }
+
+    /// Wait for every request in `reqs`.
+    pub fn wait_all(&self, reqs: &[OffloadReq]) {
+        for &r in reqs {
+            self.wait(r);
+        }
+    }
+
+    /// `Finalize_Offload`: tell the mapped proxy this rank is done. All
+    /// outstanding requests must have completed.
+    pub fn finalize(&self) {
+        self.drain();
+        {
+            let st = self.st.borrow();
+            assert!(
+                st.reqs.iter().all(|&d| d),
+                "finalize with incomplete basic requests"
+            );
+            assert!(
+                st.groups.iter().all(|g| g.fin_gen == g.gen),
+                "finalize with incomplete group requests"
+            );
+        }
+        self.cluster
+            .fabric()
+            .send_packet(
+                &self.ctx,
+                self.ep,
+                self.proxy_ep,
+                self.cfg.ctrl_bytes,
+                Box::new(CtrlMsg::Shutdown { rank: self.rank }),
+            )
+            .expect("shutdown to proxy");
+    }
+
+    // ---- Group primitives ----
+
+    /// `Group_Offload_start`: begin recording a communication graph.
+    pub fn group_start(&self) -> GroupRequest {
+        let mut st = self.st.borrow_mut();
+        st.groups.push(GroupState {
+            ops: Vec::new(),
+            ended: false,
+            gen: 0,
+            fin_gen: 0,
+            wire: None,
+            proxy_cached: false,
+        });
+        GroupRequest(st.groups.len() - 1)
+    }
+
+    /// `Send_Goffload`: record an offloaded send in the graph.
+    pub fn group_send(&self, req: GroupRequest, addr: VAddr, len: u64, dst: usize, tag: u64) {
+        assert!(dst < self.size(), "group_send: bad destination {dst}");
+        let mut st = self.st.borrow_mut();
+        let g = &mut st.groups[req.0];
+        assert!(!g.ended, "group_send after group_end");
+        g.ops.push(GroupOp::Send { addr, len, dst, tag });
+    }
+
+    /// `Recv_Goffload`: record an offloaded receive in the graph.
+    pub fn group_recv(&self, req: GroupRequest, addr: VAddr, len: u64, src: usize, tag: u64) {
+        assert!(src < self.size(), "group_recv: bad source {src}");
+        let mut st = self.st.borrow_mut();
+        let g = &mut st.groups[req.0];
+        assert!(!g.ended, "group_recv after group_end");
+        g.ops.push(GroupOp::Recv { addr, len, src, tag });
+    }
+
+    /// `Local_barrier_Goffload`: operations recorded after this point
+    /// start only after everything before it has completed *on the DPU*,
+    /// with no host involvement.
+    pub fn group_barrier(&self, req: GroupRequest) {
+        let mut st = self.st.borrow_mut();
+        let g = &mut st.groups[req.0];
+        assert!(!g.ended, "group_barrier after group_end");
+        g.ops.push(GroupOp::Barrier);
+    }
+
+    /// `Group_Offload_end`: finish recording.
+    pub fn group_end(&self, req: GroupRequest) {
+        let mut st = self.st.borrow_mut();
+        st.groups[req.0].ended = true;
+    }
+
+    /// `Group_Offload_call`: offload the recorded graph to the proxy. On
+    /// the first call this registers all buffers, gathers receive metadata
+    /// from the destination hosts, and ships the full packet; later calls
+    /// hit the caches and send a single small execute message (paper
+    /// §VII-D).
+    pub fn group_call(&self, req: GroupRequest) {
+        assert!(self.st.borrow().groups[req.0].ended, "group_call before group_end");
+        self.drain();
+        let gen = {
+            let mut st = self.st.borrow_mut();
+            let g = &mut st.groups[req.0];
+            g.gen += 1;
+            g.gen
+        };
+        let need_build = self.st.borrow().groups[req.0].wire.is_none();
+        if need_build {
+            self.build_wire(req);
+        }
+        let use_cache = self.cfg.use_group_cache;
+        let cached = self.st.borrow().groups[req.0].proxy_cached;
+        if cached && use_cache {
+            self.send_group_exec(req, gen);
+        } else {
+            self.send_group_packet(req, gen);
+            self.st.borrow_mut().groups[req.0].proxy_cached = true;
+        }
+    }
+
+    /// `Group_Wait`: block until generation `gen` (the latest call) of the
+    /// group request completes on the DPU.
+    pub fn group_wait(&self, req: GroupRequest) {
+        self.drain();
+        loop {
+            {
+                let st = self.st.borrow();
+                let g = &st.groups[req.0];
+                if g.fin_gen >= g.gen {
+                    return;
+                }
+            }
+            let msg = self.chan.next_blocking(&self.ctx);
+            self.handle(msg);
+        }
+    }
+
+    /// Has the latest generation of `req` completed? Drains completions.
+    pub fn group_test(&self, req: GroupRequest) -> bool {
+        self.drain();
+        let st = self.st.borrow();
+        let g = &st.groups[req.0];
+        g.fin_gen >= g.gen
+    }
+
+    // ---- internals ----
+
+    fn new_req(&self) -> usize {
+        let mut st = self.st.borrow_mut();
+        st.reqs.push(false);
+        st.reqs.len() - 1
+    }
+
+    /// Host-side GVMI registration through the array-of-BSTs cache.
+    fn cached_gvmi_reg(&self, addr: VAddr, len: u64) -> MrKey {
+        let fab = self.cluster.fabric();
+        let gvmi = fab.gvmi_of(self.proxy_ep).expect("proxy has a GVMI");
+        if self.cfg.use_gvmi_cache {
+            let hit = self
+                .st
+                .borrow_mut()
+                .gvmi_cache
+                .get(self.proxy_idx, addr.0, len)
+                .copied();
+            if let Some(k) = hit {
+                self.ctx.stat_incr("offload.gvmi_cache.host.hit", 1);
+                return k;
+            }
+            self.ctx.stat_incr("offload.gvmi_cache.host.miss", 1);
+        }
+        let mkey = fab
+            .reg_mr_gvmi(&self.ctx, self.ep, addr, len, gvmi)
+            .expect("GVMI registration of a valid buffer");
+        if self.cfg.use_gvmi_cache {
+            self.st.borrow_mut().gvmi_cache.insert(self.proxy_idx, addr.0, len, mkey);
+        }
+        mkey
+    }
+
+    /// Host-side IB registration through the cache.
+    fn cached_ib_reg(&self, addr: VAddr, len: u64) -> MrKey {
+        if self.cfg.use_gvmi_cache {
+            let hit = self.st.borrow_mut().ib_cache.get(0, addr.0, len).copied();
+            if let Some(k) = hit {
+                self.ctx.stat_incr("offload.ib_cache.host.hit", 1);
+                return k;
+            }
+            self.ctx.stat_incr("offload.ib_cache.host.miss", 1);
+        }
+        let key = self
+            .cluster
+            .fabric()
+            .reg_mr(&self.ctx, self.ep, addr, len)
+            .expect("IB registration of a valid buffer");
+        if self.cfg.use_gvmi_cache {
+            self.st.borrow_mut().ib_cache.insert(0, addr.0, len, key);
+        }
+        key
+    }
+
+    /// First-call phase of a group request: register everything, gather
+    /// receive metadata from the peers my sends target, and build the wire
+    /// entries (paper Fig. 9).
+    fn build_wire(&self, req: GroupRequest) {
+        let ops = self.st.borrow().groups[req.0].ops.clone();
+        let fab = self.cluster.fabric().clone();
+        // Register send buffers (GVMI cache) and receive buffers (IB cache).
+        let mut send_keys = Vec::new();
+        let mut recv_keys = Vec::new();
+        for op in &ops {
+            match op {
+                GroupOp::Send { addr, len, .. } => match self.cfg.data_path {
+                    DataPath::Gvmi => {
+                        send_keys.push((Some(self.cached_gvmi_reg(*addr, *len)), None))
+                    }
+                    DataPath::Staging => {
+                        send_keys.push((None, Some(self.cached_ib_reg(*addr, *len))))
+                    }
+                },
+                GroupOp::Recv { addr, len, .. } => {
+                    recv_keys.push(self.cached_ib_reg(*addr, *len));
+                    send_keys.push((None, None));
+                }
+                GroupOp::Barrier => send_keys.push((None, None)),
+            }
+        }
+        // Send my receive metadata to each source rank (sorted by rank so
+        // posting order — and therefore timing — is deterministic).
+        let mut per_src: std::collections::BTreeMap<usize, Vec<MetaEntry>> =
+            std::collections::BTreeMap::new();
+        let mut rk = 0usize;
+        for op in &ops {
+            if let GroupOp::Recv { addr, src, tag, .. } = op {
+                per_src.entry(*src).or_default().push((*tag, *addr, recv_keys[rk]));
+                rk += 1;
+            }
+        }
+        for (src, entries) in per_src {
+            let n = entries.len() as u64;
+            fab.send_packet(
+                &self.ctx,
+                self.ep,
+                self.cluster.host_ep(src),
+                self.cfg.ctrl_bytes + self.cfg.entry_bytes * n,
+                Box::new(CtrlMsg::RecvMeta {
+                    dst_rank: self.rank,
+                    dst_req_id: req.0,
+                    entries,
+                }),
+            )
+            .expect("recv metadata");
+        }
+        // Gather metadata from every destination of my sends (sorted, for
+        // the same determinism reason).
+        let mut needed: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        for op in &ops {
+            if let GroupOp::Send { dst, .. } = op {
+                *needed.entry(*dst).or_insert(0) += 1;
+            }
+        }
+        let mut metas: HashMap<usize, (usize, VecDeque<MetaEntry>)> = HashMap::new();
+        for (&dst, &cnt) in &needed {
+            loop {
+                let got = {
+                    let mut st = self.st.borrow_mut();
+                    st.metas_from
+                        .get_mut(&dst)
+                        .and_then(|q| q.queue.pop_front())
+                };
+                if let Some((dst_req_id, entries)) = got {
+                    assert!(
+                        entries.len() >= cnt,
+                        "peer {dst} granted {} buffers, need {cnt}",
+                        entries.len()
+                    );
+                    metas.insert(dst, (dst_req_id, entries.into_iter().collect()));
+                    break;
+                }
+                let msg = self.chan.next_blocking(&self.ctx);
+                self.handle(msg);
+            }
+        }
+        // Match each send with the destination's next receive entry of the
+        // same tag (paper: "matched ... based on destination rank, tag").
+        let mut wire = Vec::with_capacity(ops.len());
+        for (sk, op) in ops.iter().enumerate() {
+            match op {
+                GroupOp::Send { addr, len, dst, tag } => {
+                    let (dst_req_id, entries) = metas.get_mut(dst).expect("meta gathered");
+                    let pos = entries
+                        .iter()
+                        .position(|(t, _, _)| t == tag)
+                        .unwrap_or_else(|| panic!("no matching recv at {dst} for tag {tag}"));
+                    let (_, dst_addr, dst_rkey) = entries.remove(pos).expect("present");
+                    let (mkey, src_rkey) = send_keys[sk];
+                    wire.push(WireEntry::Send {
+                        addr: *addr,
+                        len: *len,
+                        mkey: mkey.unwrap_or(MrKey::invalid()),
+                        src_rkey: src_rkey.unwrap_or(MrKey::invalid()),
+                        dst_rank: *dst,
+                        tag: *tag,
+                        dst_addr,
+                        dst_rkey,
+                        dst_req_id: *dst_req_id,
+                    });
+                }
+                GroupOp::Recv { src, tag, .. } => {
+                    wire.push(WireEntry::Recv {
+                        src_rank: *src,
+                        tag: *tag,
+                    });
+                }
+                GroupOp::Barrier => wire.push(WireEntry::Barrier),
+            }
+        }
+        self.st.borrow_mut().groups[req.0].wire = Some(wire);
+    }
+
+    fn send_group_packet(&self, req: GroupRequest, gen: u64) {
+        let entries = self.st.borrow().groups[req.0].wire.clone().expect("wire built");
+        let n = entries.len() as u64;
+        self.cluster
+            .fabric()
+            .send_packet(
+                &self.ctx,
+                self.ep,
+                self.proxy_ep,
+                self.cfg.ctrl_bytes + self.cfg.entry_bytes * n,
+                Box::new(CtrlMsg::GroupPacket {
+                    key: GroupKey {
+                        host_rank: self.rank,
+                        req_id: req.0,
+                    },
+                    gen,
+                    entries,
+                    host_pid: self.ctx.pid(),
+                }),
+            )
+            .expect("group packet");
+        self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+        self.ctx.stat_incr("offload.group.packets", 1);
+    }
+
+    fn send_group_exec(&self, req: GroupRequest, gen: u64) {
+        self.cluster
+            .fabric()
+            .send_packet(
+                &self.ctx,
+                self.ep,
+                self.proxy_ep,
+                self.cfg.ctrl_bytes,
+                Box::new(CtrlMsg::GroupExec {
+                    key: GroupKey {
+                        host_rank: self.rank,
+                        req_id: req.0,
+                    },
+                    gen,
+                }),
+            )
+            .expect("group exec");
+        self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+        self.ctx.stat_incr("offload.group.execs", 1);
+    }
+
+    /// Drain pending completions without blocking.
+    fn drain(&self) {
+        while let Some(msg) = self.chan.try_next(&self.ctx) {
+            self.handle(msg);
+        }
+    }
+
+    fn handle(&self, msg: NetMsg) {
+        let body = match msg {
+            NetMsg::Packet(p) => *p.body.downcast::<CtrlMsg>().expect("channel predicate"),
+            NetMsg::Notify(b) => *b.downcast::<CtrlMsg>().expect("channel predicate"),
+            NetMsg::Cqe(_) => return, // unsignaled paths only
+        };
+        match body {
+            CtrlMsg::FinSend { req } | CtrlMsg::FinRecv { req } => {
+                self.st.borrow_mut().reqs[req] = true;
+            }
+            CtrlMsg::RecvMeta {
+                dst_rank,
+                dst_req_id,
+                entries,
+            } => {
+                let mut st = self.st.borrow_mut();
+                st.metas_from
+                    .entry(dst_rank)
+                    .or_insert_with(|| MetaQueue {
+                        queue: VecDeque::new(),
+                    })
+                    .queue
+                    .push_back((dst_req_id, entries));
+            }
+            CtrlMsg::GroupFin { req_id, gen } => {
+                let mut st = self.st.borrow_mut();
+                let g = &mut st.groups[req_id];
+                g.fin_gen = g.fin_gen.max(gen);
+            }
+            other => panic!("unexpected control message on host {}: {other:?}", self.rank),
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Wire messages of the offload framework.
+//!
+//! These ride as bodies of [`rdma::NetMsg::Packet`] (control path) and
+//! [`rdma::NetMsg::Notify`] (attached to RDMA writes). CQE work-request
+//! ids carry the engine tag in the top byte so several engines can share
+//! one process mailbox.
+
+use rdma::{MrKey, VAddr};
+use simnet::Pid;
+
+/// Work-request namespace of host-posted offload operations (staging
+/// writes).
+pub(crate) const WRID_OFF_HOST: u64 = 0x0200_0000_0000_0000;
+/// Work-request namespace of proxy-posted offload operations.
+pub(crate) const WRID_OFF_PROXY: u64 = 0x0300_0000_0000_0000;
+/// Mask selecting the engine tag of a wrid.
+pub(crate) const WRID_MASK: u64 = 0xFF00_0000_0000_0000;
+
+/// Identifier of one group request instance: the owning host rank and the
+/// host-local request id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct GroupKey {
+    pub host_rank: usize,
+    pub req_id: usize,
+}
+
+/// A group-packet entry as shipped to the proxy (paper Fig. 9).
+#[derive(Clone, Debug)]
+pub(crate) enum WireEntry {
+    /// An offloaded send: everything the proxy needs to move
+    /// `[addr, addr+len)` of the owning host into the matched remote
+    /// receive buffer.
+    Send {
+        addr: VAddr,
+        len: u64,
+        /// Host-side GVMI mkey (input to cross-registration; GVMI path).
+        mkey: MrKey,
+        /// IB rkey of the source buffer (staging path: the proxy
+        /// RDMA-READs the payload into its staging buffer through this).
+        src_rkey: MrKey,
+        dst_rank: usize,
+        tag: u64,
+        /// Matched destination buffer (from the metadata gather).
+        dst_addr: VAddr,
+        dst_rkey: MrKey,
+        /// Destination host's request id (labels barrier counters and
+        /// arrival notifications at the destination proxy).
+        dst_req_id: usize,
+    },
+    /// An offloaded receive: passive — tracked for arrival.
+    Recv { src_rank: usize, tag: u64 },
+    /// `Local_barrier_Goffload` marker.
+    Barrier,
+}
+
+/// Control messages (packet bodies and notify bodies).
+///
+/// Some fields model wire contents the simulated receiver re-derives from
+/// the roster (e.g. pids); they are kept so the message layouts match the
+/// paper's protocol diagrams.
+#[derive(Debug)]
+#[allow(dead_code)]
+pub(crate) enum CtrlMsg {
+    // ---- Basic primitives (paper Figs. 7-8) ----
+    /// Ready-to-send: source host → source-side proxy.
+    Rts {
+        src_rank: usize,
+        dst_rank: usize,
+        tag: u64,
+        addr: VAddr,
+        len: u64,
+        /// GVMI mkey (GVMI path).
+        mkey: Option<MrKey>,
+        /// IB rkey of the source buffer (staging path: the proxy pulls the
+        /// payload with an RDMA READ).
+        src_rkey: Option<MrKey>,
+        src_req: usize,
+        src_pid: Pid,
+    },
+    /// Ready-to-receive: destination host → source-side proxy.
+    Rtr {
+        src_rank: usize,
+        dst_rank: usize,
+        tag: u64,
+        addr: VAddr,
+        len: u64,
+        rkey: MrKey,
+        dst_req: usize,
+        dst_pid: Pid,
+    },
+    /// Completion to the source host.
+    FinSend { req: usize },
+    /// Completion to the destination host.
+    FinRecv { req: usize },
+
+    // ---- Group primitives (paper Figs. 9-10, Algorithm 1) ----
+    /// Receive-side metadata sent host→host during the gather phase:
+    /// for each of my receives from `src_rank`, the buffer it may write.
+    RecvMeta {
+        dst_rank: usize,
+        dst_req_id: usize,
+        /// `(tag, addr, rkey)` in recv-entry order.
+        entries: Vec<(u64, VAddr, MrKey)>,
+    },
+    /// Full group offload packet: host → its mapped proxy (first call, or
+    /// every call when the group cache is disabled).
+    GroupPacket {
+        key: GroupKey,
+        gen: u64,
+        entries: Vec<WireEntry>,
+        host_pid: Pid,
+    },
+    /// Cached execution: host → proxy, metadata already resident.
+    GroupExec { key: GroupKey, gen: u64 },
+    /// Completion: proxy → host.
+    GroupFin { req_id: usize, gen: u64 },
+    /// Barrier counter written by the source-side proxy into the
+    /// destination-side proxy (paper Algorithm 1, `writeRemoteBarrierCntr`).
+    BarrierCntr {
+        src_rank: usize,
+        dst_key: GroupKey,
+        gen: u64,
+        value: u64,
+    },
+    /// Arrival marker delivered to the destination-side proxy together
+    /// with the data write (the per-write completion counter that lets a
+    /// worker "know the receive completion progress of its locally mapped
+    /// host process").
+    GroupArrival {
+        src_rank: usize,
+        tag: u64,
+        dst_key: GroupKey,
+        gen: u64,
+    },
+
+    // ---- One-sided (SHMEM-style) extensions ----
+    /// Offloaded one-sided put: no receiver involvement — the destination
+    /// buffer and rkey are known up-front (symmetric heap). The proxy
+    /// moves the data exactly like a matched send/recv pair.
+    Put {
+        src_rank: usize,
+        addr: VAddr,
+        len: u64,
+        /// GVMI mkey (GVMI path).
+        mkey: Option<MrKey>,
+        /// Source rkey (staging path: worker read).
+        src_rkey: Option<MrKey>,
+        dst_rank: usize,
+        dst_addr: VAddr,
+        dst_rkey: MrKey,
+        src_req: usize,
+        src_pid: Pid,
+    },
+    /// Offloaded one-sided get (GVMI only): the proxy cross-registers the
+    /// origin's destination buffer (mkey → mkey2) and RDMA-READs the
+    /// remote symmetric memory into it.
+    Get {
+        src_rank: usize,
+        local_addr: VAddr,
+        len: u64,
+        /// GVMI mkey over the origin's destination buffer.
+        local_mkey: MrKey,
+        remote_rank: usize,
+        remote_addr: VAddr,
+        remote_rkey: MrKey,
+        src_req: usize,
+        src_pid: Pid,
+    },
+    /// Symmetric-heap info exchanged rank-to-rank at `Shmem` startup.
+    ShmemHello {
+        rank: usize,
+        heap_base: VAddr,
+        heap_rkey: MrKey,
+    },
+
+    // ---- Lifecycle ----
+    /// A mapped host rank is done with the framework.
+    Shutdown { rank: usize },
+}

@@ -1,0 +1,897 @@
+//! The DPU proxy (worker) process.
+//!
+//! One proxy serves every host rank mapped to it via the paper's formula
+//! `proxy_local_rank = host_rank % num_proxies_per_dpu`. It is a pure
+//! event loop — the "progress engine" of paper Algorithm 1 — that:
+//!
+//! * matches Basic-primitive RTS/RTR control messages in send/receive
+//!   queues keyed by `(src, dst, tag)` (paper Fig. 8), then moves the data
+//!   either via cross-GVMI (direct host→host RDMA on behalf of the host)
+//!   or via its staging buffers;
+//! * caches cross-registrations in the DPU-side array-of-BSTs cache;
+//! * stores group-request metadata (paper §VII-D) and executes group
+//!   generations entry by entry, suspending at `Local_barrier` points and
+//!   resuming from the progress engine when completions/arrivals land —
+//!   the paper's deadlock-avoidance rule ("break from the function to the
+//!   progress engine").
+//!
+//! **Ordering deviation from Algorithm 1, documented:** the paper orders
+//! post-barrier entries by polling *barrier counters* written by peer
+//! proxies. We deliver a per-write arrival notification to the destination
+//! proxy at data-arrival time (the moral equivalent of the completion
+//! counter RDMA'd alongside the payload) and gate barriers on those
+//! arrivals; the `BarrierCntr` writes are still sent so the synchronization
+//! traffic is modelled, but a missing counter cannot wedge a pattern whose
+//! source side recorded no barrier.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use rdma::{ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
+use simnet::{Pid, ProcessCtx};
+
+use crate::config::{DataPath, OffloadConfig};
+use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_OFF_PROXY};
+use crate::reg_cache::RankAddrCache;
+
+#[allow(dead_code)] // tag/src_pid mirror the wire format
+struct RtsInfo {
+    src_rank: usize,
+    tag: u64,
+    addr: VAddr,
+    len: u64,
+    mkey: Option<MrKey>,
+    src_rkey: Option<MrKey>,
+    src_req: usize,
+    src_pid: Pid,
+}
+
+#[allow(dead_code)] // dst_pid mirrors the wire format
+struct RtrInfo {
+    dst_rank: usize,
+    addr: VAddr,
+    len: u64,
+    rkey: MrKey,
+    dst_req: usize,
+    dst_pid: Pid,
+}
+
+enum Completion {
+    BasicPair {
+        src_rank: usize,
+        src_req: usize,
+        dst_rank: usize,
+        dst_req: usize,
+    },
+    /// One-sided operation: only the origin gets a FIN.
+    OneSided {
+        src_rank: usize,
+        src_req: usize,
+    },
+    /// Staging path, hop 1 done: the payload has been pulled into DPU
+    /// memory; forward it.
+    StagingRead(Box<(RtsInfo, RtrInfo)>),
+    GroupSend {
+        key: GroupKey,
+        gen: u64,
+    },
+    /// Staging path, group entry pulled into DPU memory.
+    GroupStageRead {
+        key: GroupKey,
+        gen: u64,
+        entry_idx: usize,
+    },
+}
+
+struct CachedGroup {
+    entries: Vec<WireEntry>,
+    /// Cross-registered mkey2 per entry (GVMI path sends).
+    mkey2: Vec<Option<MrKey>>,
+    /// Staging buffer per entry (staging path sends).
+    staging: Vec<Option<(VAddr, MrKey)>>,
+    host_pid: Pid,
+}
+
+struct Instance {
+    key: GroupKey,
+    gen: u64,
+    cursor: usize,
+    outstanding: usize,
+    barriers: u64,
+    /// `(dst_rank, dst_req_id)` of sends since the last barrier.
+    send_set: BTreeSet<(usize, usize)>,
+    /// Barrier counters already written for the barrier at `cursor`.
+    barrier_written: bool,
+    done: bool,
+}
+
+struct ProxyState {
+    send_q: HashMap<(usize, usize, u64), VecDeque<RtsInfo>>,
+    recv_q: HashMap<(usize, usize, u64), VecDeque<RtrInfo>>,
+    /// Staging-buffer assignment per `(src_rank, addr, len)`.
+    stage_assign: HashMap<(usize, u64, u64), (VAddr, MrKey)>,
+    inflight: HashMap<u64, Completion>,
+    next_wr: u64,
+    cross_cache: RankAddrCache<(MrKey, MrKey)>,
+    groups: HashMap<GroupKey, CachedGroup>,
+    instances: Vec<Instance>,
+    /// Data-arrival counters per `(group instance, gen)`, keyed inside by
+    /// `(src_rank, tag)`.
+    arrivals: HashMap<(GroupKey, u64), HashMap<(usize, u64), u64>>,
+    /// Staged group send entries: `(key, gen, entry index)`.
+    group_staged: HashSet<(GroupKey, u64, usize)>,
+    /// Staging reads already posted: `(key, gen, entry index)`.
+    stage_read_posted: HashSet<(GroupKey, u64, usize)>,
+    shutdowns: usize,
+}
+
+/// Build a proxy closure suitable for [`rdma::ClusterBuilder::run`]'s
+/// `proxy_fn`, running the framework with `cfg`.
+pub fn proxy_fn(
+    cfg: OffloadConfig,
+) -> impl Fn(usize, usize, ProcessCtx, ClusterCtx) + Send + Sync + 'static {
+    move |node, idx, ctx, cluster| proxy_main(node, idx, ctx, cluster, cfg.clone())
+}
+
+/// The proxy process body. Runs until every mapped host rank sends
+/// `Shutdown` and all in-flight work has drained.
+pub fn proxy_main(
+    node: usize,
+    idx: usize,
+    ctx: ProcessCtx,
+    cluster: ClusterCtx,
+    cfg: OffloadConfig,
+) {
+    let spec = cluster.spec().clone();
+    let mapped_hosts = (0..spec.ppn)
+        .filter(|l| (node * spec.ppn + l) % spec.proxies_per_dpu == idx)
+        .count();
+    let my_ep = cluster.proxy_ep(node, idx);
+    let inbox = Inbox::new();
+    let chan = inbox.channel(|_| true);
+    let mut st = ProxyState {
+        send_q: HashMap::new(),
+        recv_q: HashMap::new(),
+        stage_assign: HashMap::new(),
+        inflight: HashMap::new(),
+        next_wr: 0,
+        cross_cache: RankAddrCache::new(spec.world_size()),
+        groups: HashMap::new(),
+        instances: Vec::new(),
+        arrivals: HashMap::new(),
+        group_staged: HashSet::new(),
+        stage_read_posted: HashSet::new(),
+        shutdowns: 0,
+    };
+    let p = Proxy {
+        ctx: &ctx,
+        cluster: &cluster,
+        cfg: &cfg,
+        my_ep,
+    };
+    loop {
+        if st.shutdowns == mapped_hosts && p.quiescent(&st) {
+            break;
+        }
+        let msg = chan.next_blocking(&ctx);
+        p.handle(&mut st, msg);
+        p.advance_all(&mut st);
+    }
+    let (h, m, s) = st.cross_cache.stats();
+    ctx.stat_incr("offload.gvmi_cache.dpu.hit", h);
+    ctx.stat_incr("offload.gvmi_cache.dpu.miss", m);
+    ctx.stat_incr("offload.gvmi_cache.dpu.stale", s);
+}
+
+struct Proxy<'a> {
+    ctx: &'a ProcessCtx,
+    cluster: &'a ClusterCtx,
+    cfg: &'a OffloadConfig,
+    my_ep: EpId,
+}
+
+impl Proxy<'_> {
+    fn quiescent(&self, st: &ProxyState) -> bool {
+        st.inflight.is_empty()
+            && st.instances.iter().all(|i| i.done)
+            && st.send_q.values().all(|q| q.is_empty())
+            && st.recv_q.values().all(|q| q.is_empty())
+    }
+
+    fn handle(&self, st: &mut ProxyState, msg: NetMsg) {
+        let body = match msg {
+            NetMsg::Packet(p) => *p.body.downcast::<CtrlMsg>().expect("proxy receives CtrlMsg"),
+            NetMsg::Notify(b) => *b.downcast::<CtrlMsg>().expect("proxy receives CtrlMsg"),
+            NetMsg::Cqe(c) => {
+                self.on_cqe(st, c.wrid);
+                return;
+            }
+        };
+        match body {
+            CtrlMsg::Rts {
+                src_rank,
+                dst_rank,
+                tag,
+                addr,
+                len,
+                mkey,
+                src_rkey,
+                src_req,
+                src_pid,
+            } => {
+                let _ = self
+                    .cluster
+                    .fabric()
+                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                self.ctx.stat_incr("offload.proxy.rts", 1);
+                let rts = RtsInfo {
+                    src_rank,
+                    tag,
+                    addr,
+                    len,
+                    mkey,
+                    src_rkey,
+                    src_req,
+                    src_pid,
+                };
+                let key = (src_rank, dst_rank, tag);
+                if let Some(rtr) = st.recv_q.get_mut(&key).and_then(|q| q.pop_front()) {
+                    self.pair_matched(st, rts, rtr);
+                } else {
+                    st.send_q.entry(key).or_default().push_back(rts);
+                }
+            }
+            CtrlMsg::Rtr {
+                src_rank,
+                dst_rank,
+                tag,
+                addr,
+                len,
+                rkey,
+                dst_req,
+                dst_pid,
+            } => {
+                let _ = self
+                    .cluster
+                    .fabric()
+                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                self.ctx.stat_incr("offload.proxy.rtr", 1);
+                let rtr = RtrInfo {
+                    dst_rank,
+                    addr,
+                    len,
+                    rkey,
+                    dst_req,
+                    dst_pid,
+                };
+                let key = (src_rank, dst_rank, tag);
+                if let Some(rts) = st.send_q.get_mut(&key).and_then(|q| q.pop_front()) {
+                    self.pair_matched(st, rts, rtr);
+                } else {
+                    st.recv_q.entry(key).or_default().push_back(rtr);
+                }
+            }
+            CtrlMsg::GroupPacket {
+                key,
+                gen,
+                entries,
+                host_pid,
+            } => {
+                self.ctx.stat_incr("offload.proxy.group_packets", 1);
+                self.install_group(st, key, entries, host_pid);
+                self.start_instance(st, key, gen);
+            }
+            CtrlMsg::GroupExec { key, gen } => {
+                let _ = self
+                    .cluster
+                    .fabric()
+                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                self.ctx.stat_incr("offload.proxy.group_execs", 1);
+                self.start_instance(st, key, gen);
+            }
+            CtrlMsg::GroupArrival {
+                src_rank,
+                tag,
+                dst_key,
+                gen,
+            } => {
+                *st.arrivals
+                    .entry((dst_key, gen))
+                    .or_default()
+                    .entry((src_rank, tag))
+                    .or_insert(0) += 1;
+            }
+            CtrlMsg::Put {
+                src_rank,
+                addr,
+                len,
+                mkey,
+                src_rkey,
+                dst_rank,
+                dst_addr,
+                dst_rkey,
+                src_req,
+                src_pid,
+            } => {
+                let _ = self
+                    .cluster
+                    .fabric()
+                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                self.ctx.stat_incr("offload.proxy.puts", 1);
+                // A put is a pre-matched pair: synthesize the RTS/RTR and
+                // run the normal data movement (either path).
+                let rts = RtsInfo {
+                    src_rank,
+                    tag: 0,
+                    addr,
+                    len,
+                    mkey,
+                    src_rkey,
+                    src_req,
+                    src_pid,
+                };
+                let rtr = RtrInfo {
+                    dst_rank,
+                    addr: dst_addr,
+                    len,
+                    rkey: dst_rkey,
+                    dst_req: usize::MAX, // no receive-side request
+                    dst_pid: src_pid,
+                };
+                self.pair_matched(st, rts, rtr);
+            }
+            CtrlMsg::Get {
+                src_rank,
+                local_addr,
+                len,
+                local_mkey,
+                remote_rank,
+                remote_addr,
+                remote_rkey,
+                src_req,
+                ..
+            } => {
+                let _ = self
+                    .cluster
+                    .fabric()
+                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                self.ctx.stat_incr("offload.proxy.gets", 1);
+                assert_eq!(
+                    self.cfg.data_path,
+                    DataPath::Gvmi,
+                    "one-sided get requires the GVMI data path"
+                );
+                // Cross-register the origin's destination buffer, then pull
+                // the remote symmetric memory straight into it.
+                let mkey2 = self.cross_reg_cached(st, src_rank, local_addr, len, local_mkey);
+                let wr = self.next_wrid(st);
+                st.inflight.insert(
+                    wr,
+                    Completion::OneSided {
+                        src_rank,
+                        src_req,
+                    },
+                );
+                self.cluster
+                    .fabric()
+                    .rdma_read(
+                        self.ctx,
+                        self.my_ep,
+                        (self.cluster.host_ep(src_rank), local_addr, mkey2),
+                        (self.cluster.host_ep(remote_rank), remote_addr, remote_rkey),
+                        len,
+                        Some(wr),
+                    )
+                    .expect("one-sided get read");
+            }
+            CtrlMsg::BarrierCntr { .. } => {
+                // Synchronization traffic modelled on the wire; ordering is
+                // enforced by arrivals (see module docs).
+                self.ctx.stat_incr("offload.proxy.barrier_cntr", 1);
+            }
+            CtrlMsg::Shutdown { .. } => {
+                st.shutdowns += 1;
+            }
+            other => panic!("unexpected control message at proxy: {other:?}"),
+        }
+    }
+
+    // ---- Basic primitives ----
+
+    /// Staging buffer (allocated and registered once) for a given source
+    /// buffer.
+    fn staging_buffer_for(
+        &self,
+        st: &mut ProxyState,
+        src_rank: usize,
+        addr: VAddr,
+        len: u64,
+    ) -> (VAddr, MrKey) {
+        let akey = (src_rank, addr.0, len);
+        if let Some(&b) = st.stage_assign.get(&akey) {
+            return b;
+        }
+        let fab = self.cluster.fabric();
+        let buf = fab.alloc(self.my_ep, len);
+        let key = fab
+            .reg_mr(self.ctx, self.my_ep, buf, len)
+            .expect("staging buffer registration");
+        st.stage_assign.insert(akey, (buf, key));
+        self.ctx.stat_incr("offload.proxy.staging_buffers", 1);
+        (buf, key)
+    }
+
+    fn pair_matched(&self, st: &mut ProxyState, rts: RtsInfo, rtr: RtrInfo) {
+        match self.cfg.data_path {
+            DataPath::Gvmi => self.post_gvmi_pair(st, rts, rtr),
+            DataPath::Staging => self.post_staging_read(st, rts, rtr),
+        }
+    }
+
+    /// Cross-register (through the DPU GVMI cache) and write straight from
+    /// the source host's memory to the destination host (paper Fig. 6,
+    /// GVMI path).
+    fn post_gvmi_pair(&self, st: &mut ProxyState, rts: RtsInfo, rtr: RtrInfo) {
+        let mkey = rts.mkey.expect("GVMI RTS carries an mkey");
+        let mkey2 = self.cross_reg_cached(st, rts.src_rank, rts.addr, rts.len, mkey);
+        let wr = self.next_wrid(st);
+        st.inflight.insert(
+            wr,
+            Completion::BasicPair {
+                src_rank: rts.src_rank,
+                src_req: rts.src_req,
+                dst_rank: rtr.dst_rank,
+                dst_req: rtr.dst_req,
+            },
+        );
+        self.cluster
+            .fabric()
+            .rdma_write(
+                self.ctx,
+                self.my_ep,
+                (self.cluster.host_ep(rts.src_rank), rts.addr, mkey2),
+                (self.cluster.host_ep(rtr.dst_rank), rtr.addr, rtr.rkey),
+                rts.len.min(rtr.len),
+                Some(wr),
+                None,
+            )
+            .expect("GVMI data write");
+        self.ctx.stat_incr("offload.proxy.gvmi_writes", 1);
+    }
+
+    /// Staging hop 1: pull the payload out of the source host's memory
+    /// into DPU staging with an RDMA READ (the BluesMPI worker-read).
+    fn post_staging_read(&self, st: &mut ProxyState, rts: RtsInfo, rtr: RtrInfo) {
+        let (buf, key) = self.staging_buffer_for(st, rts.src_rank, rts.addr, rts.len);
+        let src_rkey = rts.src_rkey.expect("staging RTS carries an rkey");
+        let wr = self.next_wrid(st);
+        let len = rts.len.min(rtr.len);
+        let src_ep = self.cluster.host_ep(rts.src_rank);
+        let src_addr = rts.addr;
+        st.inflight
+            .insert(wr, Completion::StagingRead(Box::new((rts, rtr))));
+        self.cluster
+            .fabric()
+            .rdma_read(
+                self.ctx,
+                self.my_ep,
+                (self.my_ep, buf, key),
+                (src_ep, src_addr, src_rkey),
+                len,
+                Some(wr),
+            )
+            .expect("staging read");
+        self.ctx.stat_incr("offload.proxy.staging_reads", 1);
+    }
+
+    /// Staging hop 2: forward the staged payload from DPU memory to the
+    /// destination host (paper Fig. 6 — the extra hop).
+    fn post_staged_pair(&self, st: &mut ProxyState, rts: RtsInfo, rtr: RtrInfo) {
+        let (buf, key) = *st
+            .stage_assign
+            .get(&(rts.src_rank, rts.addr.0, rts.len))
+            .expect("staging buffer assigned at read");
+        let wr = self.next_wrid(st);
+        st.inflight.insert(
+            wr,
+            Completion::BasicPair {
+                src_rank: rts.src_rank,
+                src_req: rts.src_req,
+                dst_rank: rtr.dst_rank,
+                dst_req: rtr.dst_req,
+            },
+        );
+        self.cluster
+            .fabric()
+            .rdma_write(
+                self.ctx,
+                self.my_ep,
+                (self.my_ep, buf, key),
+                (self.cluster.host_ep(rtr.dst_rank), rtr.addr, rtr.rkey),
+                rts.len.min(rtr.len),
+                Some(wr),
+                None,
+            )
+            .expect("staging forward write");
+        self.ctx.stat_incr("offload.proxy.staging_forwards", 1);
+    }
+
+    fn cross_reg_cached(
+        &self,
+        st: &mut ProxyState,
+        src_rank: usize,
+        addr: VAddr,
+        len: u64,
+        mkey: MrKey,
+    ) -> MrKey {
+        let fab = self.cluster.fabric();
+        if self.cfg.use_gvmi_cache {
+            if let Some(&(_, mkey2)) = st
+                .cross_cache
+                .get_validated(src_rank, addr.0, len, |(m, _)| *m == mkey)
+            {
+                return mkey2;
+            }
+        }
+        let gvmi = fab.gvmi_of(self.my_ep).expect("proxy endpoint has a GVMI");
+        let mkey2 = fab
+            .cross_reg(self.ctx, self.my_ep, addr, len, mkey, gvmi)
+            .expect("cross registration");
+        if self.cfg.use_gvmi_cache {
+            st.cross_cache.insert(src_rank, addr.0, len, (mkey, mkey2));
+        }
+        mkey2
+    }
+
+    fn next_wrid(&self, st: &mut ProxyState) -> u64 {
+        st.next_wr += 1;
+        WRID_OFF_PROXY | st.next_wr
+    }
+
+    fn on_cqe(&self, st: &mut ProxyState, wrid: u64) {
+        match st.inflight.remove(&wrid).expect("CQE for unknown work request") {
+            Completion::BasicPair {
+                src_rank,
+                src_req,
+                dst_rank,
+                dst_req,
+            } => {
+                // FIN packets to both hosts (paper Fig. 8, §VIII-C: two of
+                // the four per-transfer control messages). One-sided puts
+                // ride this path with no receive request: only the origin
+                // is notified.
+                let fab = self.cluster.fabric();
+                fab.send_packet(
+                    self.ctx,
+                    self.my_ep,
+                    self.cluster.host_ep(src_rank),
+                    self.cfg.ctrl_bytes,
+                    Box::new(CtrlMsg::FinSend { req: src_req }),
+                )
+                .expect("FIN to source");
+                self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+                if dst_req != usize::MAX {
+                    fab.send_packet(
+                        self.ctx,
+                        self.my_ep,
+                        self.cluster.host_ep(dst_rank),
+                        self.cfg.ctrl_bytes,
+                        Box::new(CtrlMsg::FinRecv { req: dst_req }),
+                    )
+                    .expect("FIN to destination");
+                    self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+                }
+            }
+            Completion::OneSided { src_rank, src_req } => {
+                self.cluster
+                    .fabric()
+                    .send_packet(
+                        self.ctx,
+                        self.my_ep,
+                        self.cluster.host_ep(src_rank),
+                        self.cfg.ctrl_bytes,
+                        Box::new(CtrlMsg::FinSend { req: src_req }),
+                    )
+                    .expect("FIN to origin");
+                self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+            }
+            Completion::StagingRead(pair) => {
+                let (rts, rtr) = *pair;
+                self.post_staged_pair(st, rts, rtr);
+            }
+            Completion::GroupSend { key, gen } => {
+                if let Some(inst) = st
+                    .instances
+                    .iter_mut()
+                    .find(|i| i.key == key && i.gen == gen)
+                {
+                    inst.outstanding -= 1;
+                }
+            }
+            Completion::GroupStageRead { key, gen, entry_idx } => {
+                st.group_staged.insert((key, gen, entry_idx));
+            }
+        }
+    }
+
+    // ---- Group primitives (Algorithm 1) ----
+
+    fn install_group(
+        &self,
+        st: &mut ProxyState,
+        key: GroupKey,
+        entries: Vec<WireEntry>,
+        host_pid: Pid,
+    ) {
+        let want_staging = self.cfg.data_path == DataPath::Staging;
+        // Interpret every entry once (ARM time).
+        let _ = self.cluster.fabric().charge_cpu(
+            self.ctx,
+            self.my_ep,
+            self.cfg.proxy_entry_overhead * entries.len().max(1) as u64,
+        );
+        let mut mkey2 = vec![None; entries.len()];
+        let mut staging = vec![None; entries.len()];
+        let fab = self.cluster.fabric();
+        for (i, e) in entries.iter().enumerate() {
+            if let WireEntry::Send { addr, len, mkey, .. } = e {
+                if want_staging {
+                    let buf = fab.alloc(self.my_ep, *len);
+                    let k = fab
+                        .reg_mr(self.ctx, self.my_ep, buf, *len)
+                        .expect("group staging registration");
+                    staging[i] = Some((buf, k));
+                } else {
+                    // Cross-registration now, stored with the entry, so
+                    // execution never searches the GVMI cache (paper
+                    // §VII-D).
+                    mkey2[i] = Some(self.cross_reg_cached(st, key.host_rank, *addr, *len, *mkey));
+                }
+            }
+        }
+        st.groups.insert(
+            key,
+            CachedGroup {
+                entries,
+                mkey2,
+                staging,
+                host_pid,
+            },
+        );
+    }
+
+    fn start_instance(&self, st: &mut ProxyState, key: GroupKey, gen: u64) {
+        assert!(st.groups.contains_key(&key), "exec for unknown group {key:?}");
+        st.instances.push(Instance {
+            key,
+            gen,
+            cursor: 0,
+            outstanding: 0,
+            barriers: 0,
+            send_set: BTreeSet::new(),
+            barrier_written: false,
+            done: false,
+        });
+        let idx = st.instances.len() - 1;
+        self.advance_instance(st, idx);
+    }
+
+    fn advance_all(&self, st: &mut ProxyState) {
+        for i in 0..st.instances.len() {
+            if !st.instances[i].done {
+                self.advance_instance(st, i);
+            }
+        }
+        st.instances.retain(|i| !i.done);
+    }
+
+    /// Run one instance forward until it blocks or completes — the
+    /// `PostCachedEntryOps` loop of Algorithm 1.
+    fn advance_instance(&self, st: &mut ProxyState, idx: usize) {
+        loop {
+            let (key, gen, cursor) = {
+                let inst = &st.instances[idx];
+                (inst.key, inst.gen, inst.cursor)
+            };
+            let n_entries = st.groups[&key].entries.len();
+            if cursor >= n_entries {
+                // End of the queue: completion needs all sends CQE'd and
+                // all recv payloads arrived.
+                if st.instances[idx].outstanding > 0 {
+                    self.ctx.trace(format!(
+                        "proxy.wait_cqes.r{}.out{}",
+                        key.host_rank, st.instances[idx].outstanding
+                    ));
+                    return;
+                }
+                if !self.recvs_arrived(st, key, gen, n_entries) {
+                    self.ctx.trace(format!("proxy.wait_arrivals.r{}", key.host_rank));
+                    return;
+                }
+                let host_pid = st.groups[&key].host_pid;
+                let _ = host_pid;
+                self.cluster
+                    .fabric()
+                    .send_packet(
+                        self.ctx,
+                        self.my_ep,
+                        self.cluster.host_ep(key.host_rank),
+                        self.cfg.ctrl_bytes,
+                        Box::new(CtrlMsg::GroupFin {
+                            req_id: key.req_id,
+                            gen,
+                        }),
+                    )
+                    .expect("group fin");
+                self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+                self.ctx.trace(format!("proxy.group_fin.r{}.g{gen}", key.host_rank));
+                st.arrivals.remove(&(key, gen));
+                st.instances[idx].done = true;
+                return;
+            }
+            let entry = st.groups[&key].entries[cursor].clone();
+            match entry {
+                WireEntry::Send {
+                    addr,
+                    len,
+                    dst_rank,
+                    tag,
+                    dst_addr,
+                    dst_rkey,
+                    dst_req_id,
+                    ..
+                } => {
+                    let staging = st.groups[&key].staging[cursor];
+                    let mkey2 = st.groups[&key].mkey2[cursor];
+                    if let Some((buf, bkey)) = staging {
+                        if !st.group_staged.remove(&(key, gen, cursor)) {
+                            // Staging hop 1: pull the (current generation's)
+                            // payload from host memory, once per entry/gen.
+                            if st.stage_read_posted.insert((key, gen, cursor)) {
+                                let entry_src_rkey = match &st.groups[&key].entries[cursor] {
+                                    WireEntry::Send { src_rkey, .. } => *src_rkey,
+                                    _ => unreachable!("send entry"),
+                                };
+                                let _ = self
+                    .cluster
+                    .fabric()
+                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                                let wr = self.next_wrid(st);
+                                st.inflight.insert(
+                                    wr,
+                                    Completion::GroupStageRead {
+                                        key,
+                                        gen,
+                                        entry_idx: cursor,
+                                    },
+                                );
+                                self.cluster
+                                    .fabric()
+                                    .rdma_read(
+                                        self.ctx,
+                                        self.my_ep,
+                                        (self.my_ep, buf, bkey),
+                                        (self.cluster.host_ep(key.host_rank), addr, entry_src_rkey),
+                                        len,
+                                        Some(wr),
+                                    )
+                                    .expect("group staging read");
+                                self.ctx.stat_incr("offload.proxy.staging_reads", 1);
+                            }
+                            return; // payload not in DPU memory yet
+                        }
+                        st.stage_read_posted.remove(&(key, gen, cursor));
+                    }
+                    let _ = self
+                    .cluster
+                    .fabric()
+                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                    let wr = self.next_wrid(st);
+                    st.inflight.insert(wr, Completion::GroupSend { key, gen });
+                    let dst_proxy_pid = self
+                        .cluster
+                        .fabric()
+                        .pid_of(self.cluster.proxy_for_rank(dst_rank));
+                    let arrival = CtrlMsg::GroupArrival {
+                        src_rank: key.host_rank,
+                        tag,
+                        dst_key: GroupKey {
+                            host_rank: dst_rank,
+                            req_id: dst_req_id,
+                        },
+                        gen,
+                    };
+                    let local = match staging {
+                        Some((buf, k)) => (self.my_ep, buf, k),
+                        None => (
+                            self.cluster.host_ep(key.host_rank),
+                            addr,
+                            mkey2.expect("GVMI entries are cross-registered"),
+                        ),
+                    };
+                    self.cluster
+                        .fabric()
+                        .rdma_write(
+                            self.ctx,
+                            self.my_ep,
+                            local,
+                            (self.cluster.host_ep(dst_rank), dst_addr, dst_rkey),
+                            len,
+                            Some(wr),
+                            Some((dst_proxy_pid, Box::new(arrival))),
+                        )
+                        .expect("group data write");
+                    self.ctx.stat_incr("offload.proxy.group_writes", 1);
+                    let inst = &mut st.instances[idx];
+                    inst.outstanding += 1;
+                    inst.send_set.insert((dst_rank, dst_req_id));
+                    inst.cursor += 1;
+                }
+                WireEntry::Recv { .. } => {
+                    st.instances[idx].cursor += 1;
+                }
+                WireEntry::Barrier => {
+                    if st.instances[idx].outstanding > 0 {
+                        return; // wait for send completions
+                    }
+                    if !st.instances[idx].barrier_written {
+                        // writeRemoteBarrierCntr(sendRankSet) — Algorithm 1.
+                        let (value, targets) = {
+                            let inst = &mut st.instances[idx];
+                            inst.barriers += 1;
+                            inst.barrier_written = true;
+                            let t: Vec<_> = inst.send_set.iter().copied().collect();
+                            inst.send_set.clear();
+                            (inst.barriers, t)
+                        };
+                        for (dst_rank, dst_req_id) in targets {
+                            let dst_proxy = self.cluster.proxy_for_rank(dst_rank);
+                            self.cluster
+                                .fabric()
+                                .send_packet(
+                                    self.ctx,
+                                    self.my_ep,
+                                    dst_proxy,
+                                    self.cfg.ctrl_bytes,
+                                    Box::new(CtrlMsg::BarrierCntr {
+                                        src_rank: key.host_rank,
+                                        dst_key: GroupKey {
+                                            host_rank: dst_rank,
+                                            req_id: dst_req_id,
+                                        },
+                                        gen,
+                                        value,
+                                    }),
+                                )
+                                .expect("barrier counter write");
+                        }
+                    }
+                    // Gate on pre-barrier receive arrivals.
+                    if !self.recvs_arrived(st, key, gen, cursor) {
+                        return;
+                    }
+                    let inst = &mut st.instances[idx];
+                    inst.barrier_written = false;
+                    inst.cursor += 1;
+                }
+            }
+        }
+    }
+
+    /// Have all `Recv` entries with index `< upto` received their payload?
+    fn recvs_arrived(&self, st: &ProxyState, key: GroupKey, gen: u64, upto: usize) -> bool {
+        let entries = &st.groups[&key].entries;
+        let mut needed: HashMap<(usize, u64), u64> = HashMap::new();
+        for e in entries.iter().take(upto) {
+            if let WireEntry::Recv { src_rank, tag } = e {
+                *needed.entry((*src_rank, *tag)).or_insert(0) += 1;
+            }
+        }
+        if needed.is_empty() {
+            return true;
+        }
+        let got = st.arrivals.get(&(key, gen));
+        needed.iter().all(|(k, need)| {
+            got.and_then(|m| m.get(k)).copied().unwrap_or(0) >= *need
+        })
+    }
+}

@@ -1,0 +1,263 @@
+//! Registration caches for cross-GVMI transfers (paper §VII-B).
+//!
+//! The paper's design: *"we use an array of Binary Search Trees to
+//! represent the registration cache of both the host and DPU sides. The
+//! array is indexed by remote rank and the BST is indexed by memory
+//! address."* A cache hit returns the stored key; a miss triggers the
+//! (expensive) registration and inserts the entry.
+//!
+//! The same structure serves three roles:
+//! * host-side GVMI cache: `(remote proxy rank) × (addr, size) → mkey`;
+//! * host-side IB cache: `(remote rank) × (addr, size) → rkey`;
+//! * DPU-side cross-registration cache:
+//!   `(host rank) × (addr, size) → (mkey, mkey2)` — the stored `mkey` is
+//!   validated against the one the host supplies, since a re-registered
+//!   buffer would produce a fresh mkey (the paper argues this cannot
+//!   happen for a fixed `(addr, size, GVMI)`; we check anyway and treat a
+//!   mismatch as a miss).
+
+use std::collections::BTreeMap;
+
+/// Two-level registration cache: an array indexed by rank, each slot a
+/// search tree keyed by `(address, size)`.
+///
+/// Optionally bounded: a real registration cache pins memory with the
+/// HCA, so production MPIs cap the number of cached registrations and
+/// evict least-recently-used entries. [`RankAddrCache::with_capacity`]
+/// enables that behaviour; the default is unbounded (the paper's
+/// description).
+#[derive(Debug)]
+pub struct RankAddrCache<V> {
+    per_rank: Vec<BTreeMap<(u64, u64), V>>,
+    /// Monotone use clock and per-entry last-use stamps (only maintained
+    /// when a capacity is set).
+    capacity: Option<usize>,
+    clock: u64,
+    last_use: BTreeMap<(usize, u64, u64), u64>,
+    hits: u64,
+    misses: u64,
+    stale: u64,
+    evictions: u64,
+}
+
+impl<V> RankAddrCache<V> {
+    /// Cache with slots for `ranks` remote ranks, unbounded.
+    pub fn new(ranks: usize) -> Self {
+        RankAddrCache {
+            per_rank: (0..ranks).map(|_| BTreeMap::new()).collect(),
+            capacity: None,
+            clock: 0,
+            last_use: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            stale: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Bound the total entry count; inserting past the bound evicts the
+    /// least-recently-used entry (whose registration the caller should
+    /// deregister).
+    pub fn with_capacity(ranks: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let mut c = Self::new(ranks);
+        c.capacity = Some(capacity);
+        c
+    }
+
+    fn touch(&mut self, rank: usize, addr: u64, size: u64) {
+        if self.capacity.is_some() {
+            self.clock += 1;
+            self.last_use.insert((rank, addr, size), self.clock);
+        }
+    }
+
+    /// Look up `(rank, addr, size)`, counting a hit or miss.
+    pub fn get(&mut self, rank: usize, addr: u64, size: u64) -> Option<&V> {
+        if self.per_rank[rank].contains_key(&(addr, size)) {
+            self.hits += 1;
+            self.touch(rank, addr, size);
+            self.per_rank[rank].get(&(addr, size))
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Look up with a validity predicate: an entry failing `valid` is
+    /// evicted and counted as *stale* (plus a miss).
+    pub fn get_validated(
+        &mut self,
+        rank: usize,
+        addr: u64,
+        size: u64,
+        valid: impl FnOnce(&V) -> bool,
+    ) -> Option<&V> {
+        let entry_ok = match self.per_rank[rank].get(&(addr, size)) {
+            Some(v) => valid(v),
+            None => false,
+        };
+        if entry_ok {
+            self.hits += 1;
+            self.touch(rank, addr, size);
+            self.per_rank[rank].get(&(addr, size))
+        } else {
+            if self.per_rank[rank].remove(&(addr, size)).is_some() {
+                self.last_use.remove(&(rank, addr, size));
+                self.stale += 1;
+            }
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Insert (or replace) an entry. With a capacity set, this may evict
+    /// the least-recently-used entry, which is returned so the caller can
+    /// deregister it.
+    pub fn insert(&mut self, rank: usize, addr: u64, size: u64, v: V) -> Option<(usize, u64, u64, V)> {
+        let mut evicted = None;
+        if let Some(cap) = self.capacity {
+            let new_entry = !self.per_rank[rank].contains_key(&(addr, size));
+            if new_entry && self.len() >= cap {
+                // Evict the stalest entry.
+                if let Some((&(r, a, s), _)) =
+                    self.last_use.iter().min_by_key(|(_, &used)| used)
+                {
+                    let val = self.per_rank[r].remove(&(a, s)).expect("indexed entry exists");
+                    self.last_use.remove(&(r, a, s));
+                    self.evictions += 1;
+                    evicted = Some((r, a, s, val));
+                }
+            }
+        }
+        self.per_rank[rank].insert((addr, size), v);
+        self.touch(rank, addr, size);
+        evicted
+    }
+
+    /// Remove an entry, returning it.
+    pub fn evict(&mut self, rank: usize, addr: u64, size: u64) -> Option<V> {
+        self.last_use.remove(&(rank, addr, size));
+        self.per_rank[rank].remove(&(addr, size))
+    }
+
+    /// Number of capacity evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total number of cached entries.
+    pub fn len(&self) -> usize {
+        self.per_rank.iter().map(|t| t.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses, stale)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c: RankAddrCache<u64> = RankAddrCache::new(4);
+        assert!(c.get(1, 0x1000, 64).is_none());
+        c.insert(1, 0x1000, 64, 99);
+        assert_eq!(c.get(1, 0x1000, 64), Some(&99));
+        assert_eq!(c.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn ranks_are_isolated() {
+        let mut c: RankAddrCache<u64> = RankAddrCache::new(2);
+        c.insert(0, 0x1000, 64, 1);
+        assert!(c.get(1, 0x1000, 64).is_none());
+        assert_eq!(c.get(0, 0x1000, 64), Some(&1));
+    }
+
+    #[test]
+    fn size_is_part_of_key() {
+        let mut c: RankAddrCache<u64> = RankAddrCache::new(1);
+        c.insert(0, 0x1000, 64, 1);
+        c.insert(0, 0x1000, 128, 2);
+        assert_eq!(c.get(0, 0x1000, 64), Some(&1));
+        assert_eq!(c.get(0, 0x1000, 128), Some(&2));
+    }
+
+    #[test]
+    fn validation_evicts_stale_entries() {
+        let mut c: RankAddrCache<(u64, u64)> = RankAddrCache::new(1);
+        c.insert(0, 0x2000, 32, (7, 70)); // (mkey, mkey2)
+        // Host now presents mkey 8: stored entry is stale.
+        assert!(c.get_validated(0, 0x2000, 32, |(mkey, _)| *mkey == 8).is_none());
+        assert_eq!(c.stats(), (0, 1, 1));
+        assert!(c.is_empty());
+        // Re-insert with the new mkey and validate again.
+        c.insert(0, 0x2000, 32, (8, 80));
+        assert_eq!(c.get_validated(0, 0x2000, 32, |(mkey, _)| *mkey == 8), Some(&(8, 80)));
+    }
+
+    #[test]
+    fn evict_removes() {
+        let mut c: RankAddrCache<u64> = RankAddrCache::new(1);
+        c.insert(0, 1, 1, 5);
+        assert_eq!(c.evict(0, 1, 1), Some(5));
+        assert!(c.get(0, 1, 1).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn lru_capacity_evicts_stalest() {
+        let mut c: RankAddrCache<u64> = RankAddrCache::with_capacity(2, 3);
+        assert!(c.insert(0, 1, 1, 10).is_none());
+        assert!(c.insert(0, 2, 1, 20).is_none());
+        assert!(c.insert(1, 3, 1, 30).is_none());
+        // Touch (0,1,1) so (0,2,1) becomes the LRU entry.
+        assert_eq!(c.get(0, 1, 1), Some(&10));
+        let evicted = c.insert(1, 4, 1, 40).expect("capacity eviction");
+        assert_eq!(evicted, (0, 2, 1, 20));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get(0, 2, 1).is_none(), "evicted entry gone");
+        assert_eq!(c.get(1, 4, 1), Some(&40));
+    }
+
+    #[test]
+    fn lru_replacing_existing_key_does_not_evict() {
+        let mut c: RankAddrCache<u64> = RankAddrCache::with_capacity(1, 2);
+        c.insert(0, 1, 1, 1);
+        c.insert(0, 2, 2, 2);
+        // Overwrite in place at capacity: no eviction.
+        assert!(c.insert(0, 1, 1, 9).is_none());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0, 1, 1), Some(&9));
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut c: RankAddrCache<u64> = RankAddrCache::new(1);
+        for i in 0..1000 {
+            assert!(c.insert(0, i, 1, i).is_none());
+        }
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn len_counts_across_ranks() {
+        let mut c: RankAddrCache<u64> = RankAddrCache::new(3);
+        c.insert(0, 1, 1, 1);
+        c.insert(1, 1, 1, 1);
+        c.insert(2, 2, 2, 2);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! Tunables of the mini-MPI library.
+
+/// Configuration knobs for one MPI instance. All ranks should use the same
+/// values (as with a real MPI launch).
+#[derive(Clone, Debug)]
+pub struct MpiConfig {
+    /// Messages up to this size (bytes) use the eager protocol: the payload
+    /// rides inside the control packet and the send completes locally.
+    /// Larger messages use rendezvous (RTS → CTS → RDMA write → FIN), which
+    /// requires the *receiver's CPU* to be inside an MPI call to reply CTS —
+    /// the host-progress limitation the paper's Fig. 1 illustrates.
+    pub eager_threshold: u64,
+    /// Modelled wire size of a control packet (RTS/CTS and eager header).
+    pub ctrl_bytes: u64,
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        MpiConfig {
+            eager_threshold: 16 * 1024,
+            ctrl_bytes: 64,
+        }
+    }
+}
+
+impl MpiConfig {
+    /// Set the eager/rendezvous switch-over point.
+    pub fn with_eager_threshold(mut self, bytes: u64) -> Self {
+        self.eager_threshold = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = MpiConfig::default();
+        assert_eq!(c.eager_threshold, 16 * 1024);
+        assert!(c.ctrl_bytes > 0);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = MpiConfig::default().with_eager_threshold(1024);
+        assert_eq!(c.eager_threshold, 1024);
+    }
+}

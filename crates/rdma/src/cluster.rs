@@ -1,0 +1,265 @@
+//! Cluster construction helper.
+//!
+//! Upper layers (MPI, offload framework, workloads) all need the same
+//! boilerplate: a [`Simulation`], a [`Fabric`], one host process per rank,
+//! and optionally proxy processes on each DPU. [`ClusterBuilder`] wires
+//! that up and hands every process a [`ClusterCtx`] with the full roster.
+
+use std::sync::{Arc, OnceLock};
+
+use simnet::{Pid, ProcessCtx, Report, SimError, SimTime, Simulation};
+
+use crate::fabric::Fabric;
+use crate::model::{ClusterSpec, DeviceClass};
+use crate::types::EpId;
+
+/// Shared roster: who is where. Cheap to clone.
+#[derive(Clone)]
+pub struct ClusterCtx {
+    inner: Arc<Roster>,
+}
+
+struct Roster {
+    spec: ClusterSpec,
+    fabric: Fabric,
+    host_pids: Vec<Pid>,
+    host_eps: Vec<EpId>,
+    proxy_pids: Vec<Vec<Pid>>,
+    proxy_eps: Vec<Vec<EpId>>,
+}
+
+impl ClusterCtx {
+    /// The fabric handle.
+    pub fn fabric(&self) -> &Fabric {
+        &self.inner.fabric
+    }
+
+    /// The cluster spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.inner.spec
+    }
+
+    /// Number of host ranks.
+    pub fn world_size(&self) -> usize {
+        self.inner.host_eps.len()
+    }
+
+    /// Endpoint of host `rank`.
+    pub fn host_ep(&self, rank: usize) -> EpId {
+        self.inner.host_eps[rank]
+    }
+
+    /// Pid of host `rank`.
+    pub fn host_pid(&self, rank: usize) -> Pid {
+        self.inner.host_pids[rank]
+    }
+
+    /// Number of proxies per DPU that were spawned (zero if none).
+    pub fn proxies_per_dpu(&self) -> usize {
+        self.inner.proxy_eps.first().map_or(0, |v| v.len())
+    }
+
+    /// Endpoint of proxy `idx` on `node`.
+    pub fn proxy_ep(&self, node: usize, idx: usize) -> EpId {
+        self.inner.proxy_eps[node][idx]
+    }
+
+    /// Pid of proxy `idx` on `node`.
+    pub fn proxy_pid(&self, node: usize, idx: usize) -> Pid {
+        self.inner.proxy_pids[node][idx]
+    }
+
+    /// The proxy endpoint serving `rank`, using the paper's mapping
+    /// `proxy_local_rank = host_rank % num_proxies_per_dpu` on the rank's
+    /// own node.
+    pub fn proxy_for_rank(&self, rank: usize) -> EpId {
+        let node = self.inner.spec.node_of_rank(rank);
+        let idx = rank % self.proxies_per_dpu().max(1);
+        self.proxy_ep(node, idx)
+    }
+}
+
+/// Builds and runs a simulated cluster.
+pub struct ClusterBuilder {
+    spec: ClusterSpec,
+    seed: u64,
+    trace: bool,
+    time_limit: Option<SimTime>,
+    stack_size: Option<usize>,
+}
+
+impl ClusterBuilder {
+    /// A builder for `spec`, seeding the simulation RNG with `seed`.
+    pub fn new(spec: ClusterSpec, seed: u64) -> Self {
+        ClusterBuilder {
+            spec,
+            seed,
+            trace: false,
+            time_limit: None,
+            stack_size: None,
+        }
+    }
+
+    /// Collect a trace during the run.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Abort if virtual time exceeds `limit`.
+    pub fn with_time_limit(mut self, limit: SimTime) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Override the per-process stack size.
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = Some(bytes);
+        self
+    }
+
+    /// Spawn `nodes × ppn` host processes running `host_fn(rank, ctx,
+    /// cluster)`, and — if `proxy_fn` is given — `proxies_per_dpu` proxy
+    /// processes per node running `proxy_fn(node, idx, ctx, cluster)`.
+    /// Returns the simulation report.
+    pub fn run<H, P>(self, host_fn: H, proxy_fn: Option<P>) -> Result<Report, SimError>
+    where
+        H: Fn(usize, ProcessCtx, ClusterCtx) + Send + Sync + 'static,
+        P: Fn(usize, usize, ProcessCtx, ClusterCtx) + Send + Sync + 'static,
+    {
+        let mut sim = Simulation::new(self.seed);
+        if self.trace {
+            sim.enable_trace();
+        }
+        if let Some(limit) = self.time_limit {
+            sim.set_time_limit(limit);
+        }
+        if let Some(bytes) = self.stack_size {
+            sim.set_stack_size(bytes);
+        }
+        let fabric = Fabric::new(&mut sim, self.spec.clone());
+        let roster: Arc<OnceLock<ClusterCtx>> = Arc::new(OnceLock::new());
+        let host_fn = Arc::new(host_fn);
+
+        let mut host_pids = Vec::new();
+        let mut host_eps = Vec::new();
+        for rank in 0..self.spec.world_size() {
+            let roster2 = Arc::clone(&roster);
+            let host_fn2 = Arc::clone(&host_fn);
+            let pid = sim.spawn(format!("rank{rank}"), move |ctx| {
+                let cluster = roster2.get().expect("roster set before run").clone();
+                host_fn2(rank, ctx, cluster);
+            });
+            host_pids.push(pid);
+            host_eps.push(fabric.add_endpoint(pid, self.spec.node_of_rank(rank), DeviceClass::Host));
+        }
+
+        let mut proxy_pids = vec![Vec::new(); self.spec.nodes];
+        let mut proxy_eps = vec![Vec::new(); self.spec.nodes];
+        if let Some(proxy_fn) = proxy_fn {
+            let proxy_fn = Arc::new(proxy_fn);
+            for node in 0..self.spec.nodes {
+                for idx in 0..self.spec.proxies_per_dpu {
+                    let roster2 = Arc::clone(&roster);
+                    let proxy_fn2 = Arc::clone(&proxy_fn);
+                    let pid = sim.spawn(format!("proxy{node}.{idx}"), move |ctx| {
+                        let cluster = roster2.get().expect("roster set before run").clone();
+                        proxy_fn2(node, idx, ctx, cluster);
+                    });
+                    proxy_pids[node].push(pid);
+                    proxy_eps[node].push(fabric.add_endpoint(pid, node, DeviceClass::Dpu));
+                }
+            }
+        }
+
+        let ctx = ClusterCtx {
+            inner: Arc::new(Roster {
+                spec: self.spec,
+                fabric,
+                host_pids,
+                host_eps,
+                proxy_pids,
+                proxy_eps,
+            }),
+        };
+        roster.set(ctx).ok().expect("roster set exactly once");
+        sim.run()
+    }
+
+    /// Convenience: run with host processes only.
+    pub fn run_hosts<H>(self, host_fn: H) -> Result<Report, SimError>
+    where
+        H: Fn(usize, ProcessCtx, ClusterCtx) + Send + Sync + 'static,
+    {
+        self.run(host_fn, None::<fn(usize, usize, ProcessCtx, ClusterCtx)>)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimDelta;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawns_ranks_and_proxies() {
+        let spec = ClusterSpec::new(2, 4).with_proxies(2);
+        let ranks = Arc::new(AtomicUsize::new(0));
+        let proxies = Arc::new(AtomicUsize::new(0));
+        let r2 = Arc::clone(&ranks);
+        let p2 = Arc::clone(&proxies);
+        ClusterBuilder::new(spec, 1)
+            .run(
+                move |rank, _ctx, cluster| {
+                    assert!(rank < cluster.world_size());
+                    r2.fetch_add(1, Ordering::SeqCst);
+                },
+                Some(move |_node: usize, _idx: usize, _ctx: ProcessCtx, _cluster: ClusterCtx| {
+                    p2.fetch_add(1, Ordering::SeqCst);
+                }),
+            )
+            .unwrap();
+        assert_eq!(ranks.load(Ordering::SeqCst), 8);
+        assert_eq!(proxies.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn proxy_mapping_follows_paper_formula() {
+        let spec = ClusterSpec::new(2, 8).with_proxies(4);
+        ClusterBuilder::new(spec, 1)
+            .run(
+                |rank, _ctx, cluster| {
+                    let ep = cluster.proxy_for_rank(rank);
+                    let node = cluster.spec().node_of_rank(rank);
+                    let expected = cluster.proxy_ep(node, rank % 4);
+                    assert_eq!(ep, expected);
+                },
+                Some(|_n: usize, _i: usize, _c: ProcessCtx, _cl: ClusterCtx| {}),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn ranks_can_exchange_packets() {
+        let spec = ClusterSpec::new(2, 1);
+        let report = ClusterBuilder::new(spec, 7)
+            .run_hosts(|rank, ctx, cluster| {
+                let fab = cluster.fabric();
+                if rank == 0 {
+                    fab.send_packet(&ctx, cluster.host_ep(0), cluster.host_ep(1), 128, Box::new(3u32))
+                        .unwrap();
+                } else {
+                    let msg = ctx.recv().downcast::<crate::types::NetMsg>().unwrap();
+                    match *msg {
+                        crate::types::NetMsg::Packet(p) => {
+                            assert_eq!(*p.body.downcast::<u32>().unwrap(), 3)
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                    assert!(ctx.now() > SimTime::ZERO + SimDelta::from_ns(100));
+                }
+            })
+            .unwrap();
+        assert!(report.end_time > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,148 @@
+//! Identifiers, wire messages, and errors of the RDMA layer.
+
+use std::fmt;
+
+use simnet::Payload;
+
+use crate::mem::MemError;
+
+/// Endpoint identifier: one host process or one DPU proxy attached to the
+/// fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EpId(pub(crate) u32);
+
+impl EpId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// Guest Virtual Machine Identifier owned by a DPU endpoint. Host processes
+/// register buffers *against* a proxy's GVMI-ID so the proxy can later
+/// cross-register and transfer on their behalf.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GvmiId(pub(crate) u32);
+
+/// A memory-registration key. Depending on how it was produced it acts as
+/// an `lkey`/`rkey` (plain IB registration), an `mkey` (host-side GVMI
+/// registration) or an `mkey2` (DPU-side cross-registration).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MrKey(pub(crate) u64);
+
+impl MrKey {
+    /// A key that never validates (real keys start at 1). Used as a
+    /// placeholder where a protocol field is unused (e.g. staging-path
+    /// group entries carry no mkey).
+    pub const fn invalid() -> MrKey {
+        MrKey(0)
+    }
+}
+
+impl fmt::Debug for MrKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mr{:#x}", self.0)
+    }
+}
+
+/// Completion-queue entry delivered to the poster of a signaled operation.
+#[derive(Debug)]
+pub struct Cqe {
+    /// Work-request id supplied at post time.
+    pub wrid: u64,
+}
+
+/// A two-sided packet (control message or eager data).
+pub struct Packet {
+    /// Sending endpoint.
+    pub src: EpId,
+    /// Modelled wire size in bytes.
+    pub bytes: u64,
+    /// Caller-defined body.
+    pub body: Payload,
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Packet")
+            .field("src", &self.src)
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything the fabric deposits into process mailboxes.
+#[derive(Debug)]
+pub enum NetMsg {
+    /// Completion of a signaled RDMA operation (to the poster).
+    Cqe(Cqe),
+    /// A two-sided packet (to the destination endpoint's process).
+    Packet(Packet),
+    /// Delivery notification requested on an RDMA write (models the remote
+    /// side observing a counter/flag that the write updated).
+    Notify(Payload),
+}
+
+/// Errors raised by fabric operations.
+#[derive(Debug)]
+pub enum RdmaError {
+    /// Underlying memory access fault.
+    Mem(MemError),
+    /// Key does not exist or was deregistered.
+    BadKey(MrKey),
+    /// Key exists but does not belong to the given endpoint.
+    KeyEndpointMismatch(MrKey),
+    /// Key exists but `[addr, addr+len)` is outside its registered range.
+    KeyRangeMismatch(MrKey),
+    /// A GVMI operation referenced the wrong GVMI-ID.
+    WrongGvmi {
+        /// GVMI the key was registered against.
+        expected: GvmiId,
+        /// GVMI supplied by the caller.
+        got: GvmiId,
+    },
+    /// Operation requires a DPU endpoint (e.g. cross-registration).
+    NotDpu(EpId),
+    /// Cross-registration requires a host-side GVMI `mkey`.
+    NotGvmiKey(MrKey),
+    /// The poster is not allowed to use this key as a local key (plain
+    /// lkeys are owner-only; `mkey2`s are usable only by the proxy that
+    /// cross-registered them).
+    PosterCannotUseKey(MrKey),
+    /// The calling process does not own the endpoint it is driving.
+    WrongProcess(EpId),
+}
+
+impl From<MemError> for RdmaError {
+    fn from(e: MemError) -> Self {
+        RdmaError::Mem(e)
+    }
+}
+
+impl fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdmaError::Mem(e) => write!(f, "memory fault: {e}"),
+            RdmaError::BadKey(k) => write!(f, "unknown or deregistered key {k:?}"),
+            RdmaError::KeyEndpointMismatch(k) => write!(f, "key {k:?} belongs to another endpoint"),
+            RdmaError::KeyRangeMismatch(k) => write!(f, "access outside registered range of {k:?}"),
+            RdmaError::WrongGvmi { expected, got } => {
+                write!(f, "GVMI mismatch: key registered for {expected:?}, got {got:?}")
+            }
+            RdmaError::NotDpu(ep) => write!(f, "{ep:?} is not a DPU endpoint"),
+            RdmaError::NotGvmiKey(k) => write!(f, "{k:?} is not a GVMI mkey"),
+            RdmaError::PosterCannotUseKey(k) => write!(f, "poster may not use key {k:?}"),
+            RdmaError::WrongProcess(ep) => {
+                write!(f, "calling process does not own endpoint {ep:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}

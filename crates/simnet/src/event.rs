@@ -1,0 +1,129 @@
+//! The pending-event queue.
+//!
+//! Events are ordered by `(time, sequence)`: ties in virtual time are broken
+//! by insertion order, which makes the whole simulation deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::process::{Payload, Pid};
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+pub(crate) enum EventKind {
+    /// Wake a process that is sleeping/computing.
+    Wake(Pid),
+    /// Deposit a message into a process mailbox (waking it if it is waiting
+    /// for mail).
+    Deliver(Pid, Payload),
+}
+
+pub(crate) struct QueuedEvent {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for QueuedEvent {}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedEvent {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the earliest event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Min-queue of future events.
+#[derive(Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<QueuedEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent { at, seq, kind });
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<QueuedEvent> {
+        self.heap.pop()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wake(pid: u32) -> EventKind {
+        EventKind::Wake(Pid(pid))
+    }
+
+    fn pid_of(ev: &QueuedEvent) -> u32 {
+        match ev.kind {
+            EventKind::Wake(p) => p.0,
+            EventKind::Deliver(p, _) => p.0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ps(30), wake(3));
+        q.push(SimTime::from_ps(10), wake(1));
+        q.push(SimTime::from_ps(20), wake(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| pid_of(&e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ps(5);
+        for pid in 0..10 {
+            q.push(t, wake(pid));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| pid_of(&e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, wake(0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! # simnet — deterministic discrete-event simulation engine
+//!
+//! `simnet` is the substrate under the whole repository: a sequential,
+//! bit-for-bit reproducible discrete-event simulator whose "processes" are
+//! ordinary Rust closures running on dedicated OS threads. A per-process
+//! baton guarantees that at most one thread executes at a time, so simulated
+//! code can use natural blocking control flow while the engine keeps a
+//! virtual clock in integer picoseconds.
+//!
+//! The crates above this one model an HPC cluster: `rdma` adds verbs-style
+//! NICs, memory registration and GVMI keys; `minimpi` adds an MPI-like
+//! library; the `offload` crate implements the paper's DPU offload
+//! framework.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use simnet::{Simulation, SimDelta};
+//!
+//! let mut sim = Simulation::new(1);
+//! let rx = sim.spawn("receiver", |ctx| {
+//!     let msg = ctx.recv();
+//!     assert_eq!(*msg.downcast::<&str>().unwrap(), "ping");
+//! });
+//! sim.spawn("sender", move |ctx| {
+//!     ctx.compute(SimDelta::from_us(2));
+//!     ctx.deliver(rx, SimDelta::from_ns(900), Box::new("ping"));
+//! });
+//! let report = sim.run().unwrap();
+//! assert_eq!(report.end_time.as_ns_f64(), 2_900.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod process;
+mod resource;
+mod rng;
+mod sim;
+mod stats;
+mod time;
+mod trace;
+
+pub use process::{BlockReason, Payload, Pid, ProcStatus};
+pub use resource::ResourceId;
+pub use rng::SimRng;
+pub use sim::{ProcReport, ProcessCtx, Report, SimError, Simulation};
+pub use stats::Stats;
+pub use time::{SimDelta, SimTime};
+pub use trace::{Trace, TraceRecord};

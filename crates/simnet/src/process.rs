@@ -1,0 +1,173 @@
+//! Simulated processes.
+//!
+//! Each simulated process is an OS thread running a user closure against a
+//! [`ProcessCtx`]. Execution is strictly sequential: a single "baton" per
+//! process is passed between the scheduler thread and the process thread, so
+//! at any moment at most one thread in the whole simulation is running. That
+//! makes the engine deterministic and lets user code use ordinary Rust
+//! control flow (loops, recursion, panics) instead of hand-written state
+//! machines.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{SimDelta, SimTime};
+
+/// Identifier of a simulated process. Indexes into the simulation's process
+/// table; never reused within one simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub(crate) u32);
+
+impl Pid {
+    /// Raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// A message deposited into a process mailbox. The engine is payload-
+/// agnostic; upper layers define their own message enums and downcast.
+pub type Payload = Box<dyn Any + Send>;
+
+/// Why a process is currently not runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Sleeping (or computing) until a scheduled wake-up.
+    Sleep,
+    /// Waiting for a mailbox message.
+    WaitMessage,
+}
+
+/// Run state of a process, as seen by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcStatus {
+    /// Eligible to run at the current instant.
+    Ready,
+    /// Currently holding the baton.
+    Running,
+    /// Blocked; see the reason.
+    Blocked(BlockReason),
+    /// The closure returned (or panicked).
+    Finished,
+}
+
+/// Which side currently holds a process's baton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatonHolder {
+    Scheduler,
+    Process,
+}
+
+/// Per-process handshake used to transfer control between the scheduler
+/// thread and the process thread.
+pub(crate) struct Baton {
+    holder: Mutex<BatonHolder>,
+    cv: Condvar,
+}
+
+impl Baton {
+    pub(crate) fn new() -> Arc<Baton> {
+        Arc::new(Baton {
+            holder: Mutex::new(BatonHolder::Scheduler),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Called by the scheduler: hand the baton to the process and wait until
+    /// the process yields it back (by blocking or finishing).
+    pub(crate) fn resume_process(&self) {
+        let mut holder = self.holder.lock();
+        debug_assert_eq!(*holder, BatonHolder::Scheduler);
+        *holder = BatonHolder::Process;
+        self.cv.notify_all();
+        while *holder != BatonHolder::Scheduler {
+            self.cv.wait(&mut holder);
+        }
+    }
+
+    /// Called by the process thread: hand the baton back to the scheduler
+    /// and wait until the scheduler resumes this process.
+    pub(crate) fn yield_to_scheduler(&self) {
+        let mut holder = self.holder.lock();
+        debug_assert_eq!(*holder, BatonHolder::Process);
+        *holder = BatonHolder::Scheduler;
+        self.cv.notify_all();
+        while *holder != BatonHolder::Process {
+            self.cv.wait(&mut holder);
+        }
+    }
+
+    /// Called by the process thread on exit: release the baton for good.
+    pub(crate) fn finish(&self) {
+        let mut holder = self.holder.lock();
+        debug_assert_eq!(*holder, BatonHolder::Process);
+        *holder = BatonHolder::Scheduler;
+        self.cv.notify_all();
+    }
+
+    /// Called by the process thread before its first instruction: wait for
+    /// the scheduler to start it.
+    pub(crate) fn wait_for_start(&self) {
+        let mut holder = self.holder.lock();
+        while *holder != BatonHolder::Process {
+            self.cv.wait(&mut holder);
+        }
+    }
+}
+
+/// Scheduler-side bookkeeping for one process.
+pub(crate) struct ProcSlot {
+    pub(crate) name: String,
+    pub(crate) status: ProcStatus,
+    pub(crate) mailbox: VecDeque<Payload>,
+    pub(crate) baton: Arc<Baton>,
+    pub(crate) join: Option<std::thread::JoinHandle<()>>,
+    /// Panic payload captured from the process closure, if any.
+    pub(crate) panic: Option<String>,
+    /// Total virtual time this process spent in `compute()`.
+    pub(crate) compute_time: SimDelta,
+    /// Instant the process finished, if it has.
+    pub(crate) finished_at: Option<SimTime>,
+}
+
+impl ProcSlot {
+    pub(crate) fn new(name: String, baton: Arc<Baton>) -> Self {
+        ProcSlot {
+            name,
+            status: ProcStatus::Ready,
+            mailbox: VecDeque::new(),
+            baton,
+            join: None,
+            panic: None,
+            compute_time: SimDelta::ZERO,
+            finished_at: None,
+        }
+    }
+}
+
+/// Convert a panic payload into a printable message.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "process panicked with a non-string payload".to_string()
+    }
+}

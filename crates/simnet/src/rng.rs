@@ -1,0 +1,158 @@
+//! A small, fast, deterministic PRNG for the simulator.
+//!
+//! We deliberately avoid pulling a `rand` dependency into the engine: the
+//! simulation must be bit-for-bit reproducible from a seed, and the engine's
+//! needs are modest (jitter, workload shuffles). The generator is
+//! xoshiro256++ seeded through SplitMix64, a well-studied combination.
+
+/// Deterministic xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`. Panics if `bound == 0`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased output.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Derive an independent child generator (for per-process streams).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = SimRng::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX / 3] {
+            for _ in 0..100 {
+                assert!(rng.gen_range(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut rng = SimRng::new(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..1000 {
+            let v = rng.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SimRng::new(99);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..16).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 4);
+    }
+}

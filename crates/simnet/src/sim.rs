@@ -1,0 +1,785 @@
+//! The simulation kernel: scheduler, process control, and the public
+//! [`Simulation`] / [`ProcessCtx`] API.
+//!
+//! # Execution model
+//!
+//! At most one thread runs at a time: either the scheduler (inside
+//! [`Simulation::run`]) or exactly one process thread. Control is handed
+//! over through per-process batons. The scheduler:
+//!
+//! 1. runs every `Ready` process until it blocks,
+//! 2. pops the earliest pending event, advances the clock, and handles it
+//!    (which may make processes `Ready` again),
+//! 3. repeats until no events remain.
+//!
+//! If processes are still blocked when the queue drains, the run reports a
+//! **deadlock** naming them. If the clock stops advancing while processes
+//! keep re-readying each other, the run reports a **livelock**.
+//!
+//! # Locking rule for upper layers
+//!
+//! Simulated code often shares state through an `Arc<Mutex<World>>`. Never
+//! hold such a lock across a blocking [`ProcessCtx`] call (`sleep`,
+//! `compute`, `recv`, `yield_now`): the next process to run would block on
+//! the mutex while the scheduler waits for it to yield, wedging the whole
+//! simulation (a real deadlock of OS threads, not a simulated one).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::{EventKind, EventQueue};
+use crate::process::{panic_message, Baton, BlockReason, Payload, Pid, ProcSlot, ProcStatus};
+use crate::resource::{ResourceId, ResourceState};
+use crate::rng::SimRng;
+use crate::stats::Stats;
+use crate::time::{SimDelta, SimTime};
+use crate::trace::Trace;
+
+/// Maximum process executions without the clock advancing before the engine
+/// declares a livelock. Generous: legitimate same-instant cascades (e.g. a
+/// 512-rank barrier release) touch each process a handful of times.
+const LIVELOCK_LIMIT: u64 = 50_000_000;
+
+/// Errors surfaced by [`Simulation::run`].
+#[derive(Debug)]
+pub enum SimError {
+    /// No pending events but some processes are still blocked.
+    Deadlock {
+        /// Virtual time at which the simulation wedged.
+        now: SimTime,
+        /// `(process name, why it is blocked)` for every blocked process.
+        blocked: Vec<(String, BlockReason)>,
+    },
+    /// The configured time limit was reached.
+    TimeLimitExceeded {
+        /// The limit that was hit.
+        limit: SimTime,
+    },
+    /// The clock stopped advancing while processes kept running.
+    Livelock {
+        /// Virtual time at which progress stopped.
+        now: SimTime,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { now, blocked } => {
+                write!(f, "simulation deadlock at {now}: blocked processes: ")?;
+                for (i, (name, why)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name} ({why:?})")?;
+                }
+                Ok(())
+            }
+            SimError::TimeLimitExceeded { limit } => {
+                write!(f, "simulation exceeded time limit {limit}")
+            }
+            SimError::Livelock { now } => {
+                write!(f, "simulation livelocked at {now} (clock not advancing)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Summary of one process at the end of a run.
+#[derive(Debug, Clone)]
+pub struct ProcReport {
+    /// Name given at spawn time.
+    pub name: String,
+    /// Total virtual time spent in `compute()`.
+    pub compute_time: SimDelta,
+    /// When the process closure returned.
+    pub finished_at: SimTime,
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Virtual time when the last event was processed.
+    pub end_time: SimTime,
+    /// Engine and upper-layer statistics.
+    pub stats: Stats,
+    /// Trace records, if tracing was enabled.
+    pub trace: Option<Trace>,
+    /// Per-process summaries, in pid order.
+    pub procs: Vec<ProcReport>,
+    /// Number of events handled.
+    pub events: u64,
+    /// Per-resource utilization: `(name, total busy time, reservations)`.
+    pub resources: Vec<(String, SimDelta, u64)>,
+}
+
+pub(crate) struct SimState {
+    now: SimTime,
+    queue: EventQueue,
+    procs: Vec<ProcSlot>,
+    ready: VecDeque<Pid>,
+    resources: Vec<ResourceState>,
+    stats: Stats,
+    trace: Option<Trace>,
+    rng: SimRng,
+    time_limit: Option<SimTime>,
+    events: u64,
+}
+
+pub(crate) struct SimInner {
+    state: Mutex<SimState>,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Build it, spawn processes, then call [`run`](Simulation::run).
+///
+/// ```
+/// use simnet::{Simulation, SimDelta};
+///
+/// let mut sim = Simulation::new(42);
+/// sim.spawn("worker", |ctx| {
+///     ctx.compute(SimDelta::from_us(5));
+/// });
+/// let report = sim.run().unwrap();
+/// assert_eq!(report.end_time, simnet::SimTime::ZERO + SimDelta::from_us(5));
+/// ```
+pub struct Simulation {
+    inner: Arc<SimInner>,
+    stack_size: usize,
+}
+
+/// Handle given to each simulated process. Cheap to clone.
+#[derive(Clone)]
+pub struct ProcessCtx {
+    inner: Arc<SimInner>,
+    pid: Pid,
+    baton: Arc<Baton>,
+    stack_size: usize,
+}
+
+impl Simulation {
+    /// Create a simulation with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            inner: Arc::new(SimInner {
+                state: Mutex::new(SimState {
+                    now: SimTime::ZERO,
+                    queue: EventQueue::new(),
+                    procs: Vec::new(),
+                    ready: VecDeque::new(),
+                    resources: Vec::new(),
+                    stats: Stats::new(),
+                    trace: None,
+                    rng: SimRng::new(seed),
+                    time_limit: None,
+                    events: 0,
+                }),
+            }),
+            stack_size: 1 << 20,
+        }
+    }
+
+    /// Enable trace collection (off by default; it allocates per record).
+    pub fn enable_trace(&mut self) {
+        self.inner.state.lock().trace = Some(Trace::default());
+    }
+
+    /// Abort the run with [`SimError::TimeLimitExceeded`] if the clock would
+    /// pass `limit`.
+    pub fn set_time_limit(&mut self, limit: SimTime) {
+        self.inner.state.lock().time_limit = Some(limit);
+    }
+
+    /// Stack size for process threads (default 1 MiB).
+    pub fn set_stack_size(&mut self, bytes: usize) {
+        self.stack_size = bytes;
+    }
+
+    /// Spawn a simulated process. It becomes runnable at time zero (or, when
+    /// spawned from a running process, at the current instant).
+    pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(ProcessCtx) + Send + 'static,
+    {
+        spawn_process(&self.inner, self.stack_size, name.into(), f)
+    }
+
+    /// Create a FIFO resource (see [`crate::ResourceId`]).
+    pub fn create_resource(&mut self, name: impl Into<String>) -> ResourceId {
+        let mut st = self.inner.state.lock();
+        let id = ResourceId(st.resources.len() as u32);
+        st.resources.push(ResourceState::new(name.into()));
+        id
+    }
+
+    /// Run to completion. Returns the report, or an error describing a
+    /// deadlock / livelock / time-limit overrun. Panics raised inside a
+    /// simulated process are re-raised here with the process name attached.
+    pub fn run(self) -> Result<Report, SimError> {
+        let inner = self.inner;
+        let mut executions_since_advance: u64 = 0;
+        loop {
+            // Phase 1: drain ready processes.
+            loop {
+                let next = {
+                    let mut st = inner.state.lock();
+                    st.ready.pop_front()
+                };
+                let Some(pid) = next else { break };
+                run_one(&inner, pid);
+                executions_since_advance += 1;
+                if executions_since_advance > LIVELOCK_LIMIT {
+                    let now = inner.state.lock().now;
+                    return Err(SimError::Livelock { now });
+                }
+            }
+            // Phase 2: advance to the next event.
+            let popped = {
+                let mut st = inner.state.lock();
+                st.queue.pop()
+            };
+            let Some(ev) = popped else { break };
+            {
+                let mut st = inner.state.lock();
+                debug_assert!(ev.at >= st.now, "event in the past");
+                if let Some(limit) = st.time_limit {
+                    if ev.at > limit {
+                        return Err(SimError::TimeLimitExceeded { limit });
+                    }
+                }
+                if ev.at > st.now {
+                    st.now = ev.at;
+                    executions_since_advance = 0;
+                }
+                st.events += 1;
+                match ev.kind {
+                    EventKind::Wake(pid) => {
+                        let slot = &mut st.procs[pid.index()];
+                        debug_assert_eq!(slot.status, ProcStatus::Blocked(BlockReason::Sleep));
+                        slot.status = ProcStatus::Ready;
+                        st.ready.push_back(pid);
+                    }
+                    EventKind::Deliver(pid, payload) => {
+                        let slot = &mut st.procs[pid.index()];
+                        if slot.status == ProcStatus::Finished {
+                            st.stats.incr("simnet.deliver_to_finished", 1);
+                        } else {
+                            slot.mailbox.push_back(payload);
+                            if slot.status == ProcStatus::Blocked(BlockReason::WaitMessage) {
+                                slot.status = ProcStatus::Ready;
+                                st.ready.push_back(pid);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Termination: everything must have finished.
+        let mut st = inner.state.lock();
+        let blocked: Vec<(String, BlockReason)> = st
+            .procs
+            .iter()
+            .filter_map(|p| match p.status {
+                ProcStatus::Blocked(r) => Some((p.name.clone(), r)),
+                _ => None,
+            })
+            .collect();
+        if !blocked.is_empty() {
+            let now = st.now;
+            return Err(SimError::Deadlock { now, blocked });
+        }
+        // Join finished threads so nothing lingers.
+        let handles: Vec<_> = st.procs.iter_mut().filter_map(|p| p.join.take()).collect();
+        let report = Report {
+            end_time: st.now,
+            stats: st.stats.clone(),
+            trace: st.trace.take(),
+            procs: st
+                .procs
+                .iter()
+                .map(|p| ProcReport {
+                    name: p.name.clone(),
+                    compute_time: p.compute_time,
+                    finished_at: p.finished_at.unwrap_or(st.now),
+                })
+                .collect(),
+            events: st.events,
+            resources: st
+                .resources
+                .iter()
+                .map(|r| (r.name.clone(), r.busy_total, r.reservations))
+                .collect(),
+        };
+        drop(st);
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(report)
+    }
+}
+
+/// Run process `pid` until it blocks or finishes; propagate its panic.
+fn run_one(inner: &Arc<SimInner>, pid: Pid) {
+    let baton = {
+        let mut st = inner.state.lock();
+        let slot = &mut st.procs[pid.index()];
+        debug_assert_eq!(slot.status, ProcStatus::Ready);
+        slot.status = ProcStatus::Running;
+        Arc::clone(&slot.baton)
+    };
+    baton.resume_process();
+    let mut st = inner.state.lock();
+    let slot = &mut st.procs[pid.index()];
+    debug_assert_ne!(slot.status, ProcStatus::Running, "process yielded without blocking");
+    if let Some(msg) = slot.panic.take() {
+        let name = slot.name.clone();
+        // Join the dead thread before re-raising.
+        let join = slot.join.take();
+        drop(st);
+        if let Some(h) = join {
+            let _ = h.join();
+        }
+        panic!("simulated process '{name}' panicked: {msg}");
+    }
+}
+
+fn spawn_process<F>(inner: &Arc<SimInner>, stack_size: usize, name: String, f: F) -> Pid
+where
+    F: FnOnce(ProcessCtx) + Send + 'static,
+{
+    let baton = Baton::new();
+    let pid = {
+        let mut st = inner.state.lock();
+        let pid = Pid(st.procs.len() as u32);
+        st.procs.push(ProcSlot::new(name.clone(), Arc::clone(&baton)));
+        st.ready.push_back(pid);
+        pid
+    };
+    let ctx = ProcessCtx {
+        inner: Arc::clone(inner),
+        pid,
+        baton: Arc::clone(&baton),
+        stack_size,
+    };
+    let handle = std::thread::Builder::new()
+        .name(name)
+        .stack_size(stack_size)
+        .spawn(move || {
+            ctx.baton.wait_for_start();
+            let ctx2 = ctx.clone();
+            let result = catch_unwind(AssertUnwindSafe(move || f(ctx2)));
+            let mut st = ctx.inner.state.lock();
+            let now = st.now;
+            let slot = &mut st.procs[ctx.pid.index()];
+            slot.status = ProcStatus::Finished;
+            slot.finished_at = Some(now);
+            if let Err(payload) = result {
+                slot.panic = Some(panic_message(&*payload));
+            }
+            drop(st);
+            ctx.baton.finish();
+        })
+        .expect("failed to spawn process thread");
+    inner.state.lock().procs[pid.index()].join = Some(handle);
+    pid
+}
+
+impl ProcessCtx {
+    /// This process's pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.state.lock().now
+    }
+
+    /// Name this process was spawned with.
+    pub fn name(&self) -> String {
+        self.inner.state.lock().procs[self.pid.index()].name.clone()
+    }
+
+    /// Block for `d` of virtual time.
+    pub fn sleep(&self, d: SimDelta) {
+        self.block_for(d, false);
+    }
+
+    /// Model computation for `d`: identical to [`sleep`](Self::sleep) but
+    /// accounted in the process's `compute_time` (used by overlap metrics).
+    pub fn compute(&self, d: SimDelta) {
+        self.block_for(d, true);
+    }
+
+    fn block_for(&self, d: SimDelta, is_compute: bool) {
+        {
+            let mut st = self.inner.state.lock();
+            let at = st.now + d;
+            st.queue.push(at, EventKind::Wake(self.pid));
+            let slot = &mut st.procs[self.pid.index()];
+            slot.status = ProcStatus::Blocked(BlockReason::Sleep);
+            if is_compute {
+                slot.compute_time += d;
+            }
+        }
+        self.baton.yield_to_scheduler();
+    }
+
+    /// Let every other ready process and same-instant event run, then
+    /// continue. Time does not advance.
+    pub fn yield_now(&self) {
+        {
+            let mut st = self.inner.state.lock();
+            let pid = self.pid;
+            st.procs[pid.index()].status = ProcStatus::Ready;
+            st.ready.push_back(pid);
+        }
+        self.baton.yield_to_scheduler();
+    }
+
+    /// Blocking receive: the next mailbox message, waiting if necessary.
+    pub fn recv(&self) -> Payload {
+        loop {
+            {
+                let mut st = self.inner.state.lock();
+                if let Some(msg) = st.procs[self.pid.index()].mailbox.pop_front() {
+                    return msg;
+                }
+                st.procs[self.pid.index()].status = ProcStatus::Blocked(BlockReason::WaitMessage);
+            }
+            self.baton.yield_to_scheduler();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Payload> {
+        self.inner.state.lock().procs[self.pid.index()].mailbox.pop_front()
+    }
+
+    /// Number of messages currently queued.
+    pub fn mailbox_len(&self) -> usize {
+        self.inner.state.lock().procs[self.pid.index()].mailbox.len()
+    }
+
+    /// Deliver `payload` to `to` after `delay` of virtual time.
+    pub fn deliver(&self, to: Pid, delay: SimDelta, payload: Payload) {
+        let mut st = self.inner.state.lock();
+        let at = st.now + delay;
+        st.queue.push(at, EventKind::Deliver(to, payload));
+    }
+
+    /// Deliver `payload` to `to` at absolute time `at` (clamped to now).
+    pub fn deliver_at(&self, to: Pid, at: SimTime, payload: Payload) {
+        let mut st = self.inner.state.lock();
+        let at = at.max(st.now);
+        st.queue.push(at, EventKind::Deliver(to, payload));
+    }
+
+    /// Create a FIFO resource at runtime.
+    pub fn create_resource(&self, name: impl Into<String>) -> ResourceId {
+        let mut st = self.inner.state.lock();
+        let id = ResourceId(st.resources.len() as u32);
+        st.resources.push(ResourceState::new(name.into()));
+        id
+    }
+
+    /// Reserve `res` for `dur`, starting no earlier than now. Returns the
+    /// granted `(start, end)` window. Does not block the caller.
+    pub fn reserve(&self, res: ResourceId, dur: SimDelta) -> (SimTime, SimTime) {
+        let mut st = self.inner.state.lock();
+        let now = st.now;
+        st.resources[res.0 as usize].reserve(now, dur)
+    }
+
+    /// Reserve `res` for `dur`, starting no earlier than `earliest` (which
+    /// may be in the future — e.g. after a posting-overhead delay).
+    pub fn reserve_from(
+        &self,
+        res: ResourceId,
+        earliest: SimTime,
+        dur: SimDelta,
+    ) -> (SimTime, SimTime) {
+        let mut st = self.inner.state.lock();
+        let from = earliest.max(st.now);
+        st.resources[res.0 as usize].reserve(from, dur)
+    }
+
+    /// Append a trace record (no-op unless tracing is enabled).
+    pub fn trace(&self, label: impl Into<String>) {
+        let mut st = self.inner.state.lock();
+        let now = st.now;
+        let pid = self.pid;
+        if let Some(trace) = st.trace.as_mut() {
+            trace.push(now, pid, label.into());
+        }
+    }
+
+    /// Increment a named counter.
+    pub fn stat_incr(&self, name: &str, n: u64) {
+        self.inner.state.lock().stats.incr(name, n);
+    }
+
+    /// Accumulate virtual time under a named stat.
+    pub fn stat_time(&self, name: &str, d: SimDelta) {
+        self.inner.state.lock().stats.add_time(name, d);
+    }
+
+    /// Read a counter (mainly for tests).
+    pub fn stat_counter(&self, name: &str) -> u64 {
+        self.inner.state.lock().stats.counter(name)
+    }
+
+    /// Uniform random value in `[0, bound)` from the simulation's RNG.
+    pub fn gen_range(&self, bound: u64) -> u64 {
+        self.inner.state.lock().rng.gen_range(bound)
+    }
+
+    /// Uniform random f64 in `[0, 1)` from the simulation's RNG.
+    pub fn gen_f64(&self) -> f64 {
+        self.inner.state.lock().rng.gen_f64()
+    }
+
+    /// Spawn another process from inside the simulation (e.g. DPU proxy
+    /// workers launched by `Init_Offload`). It becomes runnable at the
+    /// current instant.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(ProcessCtx) + Send + 'static,
+    {
+        spawn_process(&self.inner, self.stack_size, name.into(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn empty_simulation_completes() {
+        let sim = Simulation::new(0);
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.events, 0);
+    }
+
+    #[test]
+    fn single_process_computes() {
+        let mut sim = Simulation::new(0);
+        sim.spawn("p", |ctx| {
+            ctx.compute(SimDelta::from_us(10));
+            ctx.compute(SimDelta::from_us(5));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time.as_us_f64(), 15.0);
+        assert_eq!(report.procs[0].compute_time, SimDelta::from_us(15));
+    }
+
+    #[test]
+    fn message_passing_advances_time() {
+        let mut sim = Simulation::new(0);
+        let got = Arc::new(AtomicU64::new(0));
+        let got2 = Arc::clone(&got);
+        let receiver = sim.spawn("rx", move |ctx| {
+            let msg = ctx.recv();
+            let v = *msg.downcast::<u64>().unwrap();
+            got2.store(v, Ordering::SeqCst);
+            assert_eq!(ctx.now(), SimTime::ZERO + SimDelta::from_us(3));
+        });
+        sim.spawn("tx", move |ctx| {
+            ctx.deliver(receiver, SimDelta::from_us(3), Box::new(77u64));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(got.load(Ordering::SeqCst), 77);
+        assert_eq!(report.end_time, SimTime::ZERO + SimDelta::from_us(3));
+    }
+
+    #[test]
+    fn mailbox_is_fifo() {
+        let mut sim = Simulation::new(0);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let order2 = Arc::clone(&order);
+        let rx = sim.spawn("rx", move |ctx| {
+            for _ in 0..3 {
+                let v = *ctx.recv().downcast::<u32>().unwrap();
+                order2.lock().push(v);
+            }
+        });
+        sim.spawn("tx", move |ctx| {
+            // Same delivery instant: sequence numbers keep FIFO order.
+            ctx.deliver(rx, SimDelta::from_ns(5), Box::new(1u32));
+            ctx.deliver(rx, SimDelta::from_ns(5), Box::new(2u32));
+            ctx.deliver(rx, SimDelta::from_ns(5), Box::new(3u32));
+        });
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut sim = Simulation::new(0);
+        sim.spawn("stuck", |ctx| {
+            let _ = ctx.recv(); // nobody ever sends
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].0, "stuck");
+                assert_eq!(blocked[0].1, BlockReason::WaitMessage);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn time_limit_is_enforced() {
+        let mut sim = Simulation::new(0);
+        sim.set_time_limit(SimTime::ZERO + SimDelta::from_us(1));
+        sim.spawn("slow", |ctx| ctx.sleep(SimDelta::from_ms(1)));
+        match sim.run() {
+            Err(SimError::TimeLimitExceeded { .. }) => {}
+            other => panic!("expected time limit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated process 'boom' panicked: bang")]
+    fn process_panic_propagates() {
+        let mut sim = Simulation::new(0);
+        sim.spawn("boom", |_ctx| panic!("bang"));
+        let _ = sim.run();
+    }
+
+    #[test]
+    fn dynamic_spawn_runs() {
+        let mut sim = Simulation::new(0);
+        let hits = Arc::new(AtomicU64::new(0));
+        let hits2 = Arc::clone(&hits);
+        sim.spawn("parent", move |ctx| {
+            ctx.sleep(SimDelta::from_us(2));
+            let h = Arc::clone(&hits2);
+            ctx.spawn("child", move |cctx| {
+                cctx.sleep(SimDelta::from_us(1));
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(report.end_time.as_us_f64(), 3.0);
+    }
+
+    #[test]
+    fn resource_reservation_serializes_transfers() {
+        let mut sim = Simulation::new(0);
+        let windows = Arc::new(Mutex::new(Vec::new()));
+        let w2 = Arc::clone(&windows);
+        sim.spawn("poster", move |ctx| {
+            let nic = ctx.create_resource("nic");
+            let a = ctx.reserve(nic, SimDelta::from_us(4));
+            let b = ctx.reserve(nic, SimDelta::from_us(4));
+            w2.lock().push((a, b));
+        });
+        sim.run().unwrap();
+        let (a, b) = windows.lock()[0];
+        assert_eq!(a.1, b.0, "second reservation starts when first ends");
+    }
+
+    #[test]
+    fn yield_now_interleaves_same_instant() {
+        let mut sim = Simulation::new(0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l1 = Arc::clone(&log);
+        let l2 = Arc::clone(&log);
+        sim.spawn("a", move |ctx| {
+            l1.lock().push("a1");
+            ctx.yield_now();
+            l1.lock().push("a2");
+        });
+        sim.spawn("b", move |ctx| {
+            l2.lock().push("b1");
+            ctx.yield_now();
+            l2.lock().push("b2");
+        });
+        sim.run().unwrap();
+        assert_eq!(*log.lock(), vec!["a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn trace_records_are_collected() {
+        let mut sim = Simulation::new(0);
+        sim.enable_trace();
+        sim.spawn("p", |ctx| {
+            ctx.trace("step.one");
+            ctx.sleep(SimDelta::from_us(1));
+            ctx.trace("step.two");
+        });
+        let report = sim.run().unwrap();
+        let trace = report.trace.unwrap();
+        assert_eq!(trace.records().len(), 2);
+        assert_eq!(trace.records()[1].at.as_us_f64(), 1.0);
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        fn run_once(seed: u64) -> String {
+            let mut sim = Simulation::new(seed);
+            sim.enable_trace();
+            for i in 0..4 {
+                sim.spawn(format!("p{i}"), move |ctx| {
+                    let jitter = ctx.gen_range(1000);
+                    ctx.sleep(SimDelta::from_ns(jitter));
+                    ctx.trace(format!("done.{i}"));
+                });
+            }
+            sim.run().unwrap().trace.unwrap().render()
+        }
+        assert_eq!(run_once(7), run_once(7));
+        assert_ne!(run_once(7), run_once(8));
+    }
+
+    #[test]
+    fn stats_visible_in_report() {
+        let mut sim = Simulation::new(0);
+        sim.spawn("p", |ctx| {
+            ctx.stat_incr("my.counter", 3);
+            ctx.stat_time("my.time", SimDelta::from_us(2));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.stats.counter("my.counter"), 3);
+        assert_eq!(report.stats.time("my.time"), SimDelta::from_us(2));
+    }
+
+    #[test]
+    fn deliver_to_finished_process_is_dropped() {
+        let mut sim = Simulation::new(0);
+        let rx = sim.spawn("short", |_ctx| {});
+        sim.spawn("late", move |ctx| {
+            ctx.sleep(SimDelta::from_us(1));
+            ctx.deliver(rx, SimDelta::from_us(1), Box::new(1u8));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.stats.counter("simnet.deliver_to_finished"), 1);
+    }
+
+    #[test]
+    fn many_processes_scale() {
+        let mut sim = Simulation::new(0);
+        let count = Arc::new(AtomicU64::new(0));
+        for i in 0..300 {
+            let c = Arc::clone(&count);
+            sim.spawn(format!("p{i}"), move |ctx| {
+                ctx.sleep(SimDelta::from_ns(i));
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 300);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the simulation engine: event causality,
+//! determinism under arbitrary process graphs, and resource-model
+//! invariants.
+
+use proptest::prelude::*;
+use simnet::{SimDelta, SimTime, Simulation};
+use std::sync::{Arc, Mutex};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Messages between two processes are received in timestamp order and
+    /// never before they were sent.
+    #[test]
+    fn deliveries_respect_time_order(delays in prop::collection::vec(1u64..10_000, 1..40)) {
+        let mut sim = Simulation::new(0);
+        let log: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        let n = delays.len();
+        let rx = sim.spawn("rx", move |ctx| {
+            for _ in 0..n {
+                let sent_at = *ctx.recv().downcast::<u64>().unwrap();
+                log2.lock().unwrap().push((ctx.now().as_ps(), sent_at));
+            }
+        });
+        sim.spawn("tx", move |ctx| {
+            for d in delays {
+                // Send a message carrying its own send time, then advance.
+                ctx.deliver(rx, SimDelta::from_ns(d), Box::new(ctx.now().as_ps()));
+                ctx.sleep(SimDelta::from_ns(d / 2 + 1));
+            }
+        });
+        sim.run().unwrap();
+        let log = log.lock().unwrap();
+        let mut last = 0;
+        for &(recv_at, sent_at) in log.iter() {
+            prop_assert!(recv_at >= sent_at, "received before sent");
+            prop_assert!(recv_at >= last, "mailbox receipt went backwards");
+            last = recv_at;
+        }
+    }
+
+    /// Any DAG of sleeps/computes finishes at exactly the max path length,
+    /// independent of spawn order.
+    #[test]
+    fn end_time_is_max_of_process_spans(spans in prop::collection::vec(1u64..100_000, 1..20)) {
+        let expected = *spans.iter().max().unwrap();
+        let mut sim = Simulation::new(9);
+        for (i, s) in spans.into_iter().enumerate() {
+            sim.spawn(format!("p{i}"), move |ctx| {
+                // Split the span arbitrarily between sleep and compute.
+                ctx.sleep(SimDelta::from_ns(s / 3));
+                ctx.compute(SimDelta::from_ns(s - s / 3));
+            });
+        }
+        let report = sim.run().unwrap();
+        prop_assert_eq!(report.end_time, SimTime::ZERO + SimDelta::from_ns(expected));
+    }
+
+    /// The resource model conserves work: any reservation sequence ends no
+    /// earlier than total-work-after-first-arrival, and in-order sequences
+    /// are exactly FIFO.
+    #[test]
+    fn resource_conserves_work(reqs in prop::collection::vec((0u64..1_000_000, 1u64..50_000), 1..60)) {
+        let mut sim = Simulation::new(7);
+        let done = Arc::new(Mutex::new((SimTime::ZERO, SimTime::MAX)));
+        let done2 = Arc::clone(&done);
+        sim.spawn("driver", move |ctx| {
+            let res = ctx.create_resource("r");
+            let mut max_end = SimTime::ZERO;
+            let mut min_arrive = u64::MAX;
+            let total: u64 = reqs.iter().map(|&(_, d)| d).sum();
+            for &(at, dur) in &reqs {
+                min_arrive = min_arrive.min(at);
+                let (start, end) = ctx.reserve_from(
+                    res,
+                    SimTime::from_ps(at),
+                    SimDelta::from_ps(dur),
+                );
+                // Service windows are sane.
+                assert!(start.as_ps() >= at, "service before arrival");
+                assert_eq!((end - start).as_ps(), dur, "window shorter than work");
+                max_end = max_end.max(end);
+            }
+            // Work conservation: you cannot finish all work earlier than
+            // first-arrival + total work.
+            assert!(
+                max_end.as_ps() >= min_arrive + total,
+                "finished {max_end:?} before arrival {min_arrive} + work {total}"
+            );
+            *done2.lock().unwrap() = (max_end, SimTime::from_ps(min_arrive));
+        });
+        sim.run().unwrap();
+    }
+
+    /// In-order reservation sequences behave exactly like a busy-until
+    /// FIFO queue.
+    #[test]
+    fn resource_in_order_is_exact_fifo(mut reqs in prop::collection::vec((0u64..1_000_000, 1u64..50_000), 1..60)) {
+        reqs.sort_by_key(|&(at, _)| at);
+        let mut sim = Simulation::new(7);
+        sim.spawn("driver", move |ctx| {
+            let res = ctx.create_resource("r");
+            let mut model_busy = 0u64;
+            for &(at, dur) in &reqs {
+                let (start, end) = ctx.reserve_from(
+                    res,
+                    SimTime::from_ps(at),
+                    SimDelta::from_ps(dur),
+                );
+                let expect_start = at.max(model_busy);
+                assert_eq!(start.as_ps(), expect_start, "FIFO start");
+                assert_eq!(end.as_ps(), expect_start + dur, "FIFO end");
+                model_busy = expect_start + dur;
+            }
+        });
+        sim.run().unwrap();
+    }
+
+    /// Same seed, same spawn script → identical traces, for arbitrary
+    /// random jitters drawn inside the simulation.
+    #[test]
+    fn determinism_under_random_jitter(seed in any::<u64>(), n in 1usize..8) {
+        fn run(seed: u64, n: usize) -> String {
+            let mut sim = Simulation::new(seed);
+            sim.enable_trace();
+            for i in 0..n {
+                sim.spawn(format!("p{i}"), move |ctx| {
+                    for round in 0..4 {
+                        let jitter = ctx.gen_range(10_000) + 1;
+                        ctx.sleep(SimDelta::from_ns(jitter));
+                        ctx.trace(format!("p{i}.r{round}"));
+                    }
+                });
+            }
+            sim.run().unwrap().trace.unwrap().render()
+        }
+        prop_assert_eq!(run(seed, n), run(seed, n));
+    }
+}

@@ -1,0 +1,78 @@
+//! OMB-style overlap accounting.
+//!
+//! The OSU Micro-Benchmarks measure non-blocking collective overlap as
+//!
+//! ```text
+//! overlap% = 100 · max(0, 1 − (T_overall − T_compute) / T_pure)
+//! ```
+//!
+//! where `T_pure` is the latency of the collective alone, `T_compute` the
+//! injected computation, and `T_overall` the time of
+//! (start, compute, wait). The paper uses this formula for Figs. 12 and
+//! 14 and its 3DStencil benchmark measures "% Overlap ... in a manner
+//! similar to OMB Non-Blocking Collectives".
+
+/// Result of one overlap measurement, all times in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapResult {
+    /// Latency of the communication alone.
+    pub pure_us: f64,
+    /// Time of (start, compute, wait).
+    pub overall_us: f64,
+    /// Injected compute time.
+    pub compute_us: f64,
+}
+
+impl OverlapResult {
+    /// The OMB overlap percentage.
+    pub fn overlap_pct(&self) -> f64 {
+        omb_overlap_pct(self.pure_us, self.overall_us, self.compute_us)
+    }
+}
+
+/// The OMB overlap formula (clamped to `[0, 100]`).
+pub fn omb_overlap_pct(pure_us: f64, overall_us: f64, compute_us: f64) -> f64 {
+    if pure_us <= 0.0 {
+        return 100.0;
+    }
+    (100.0 * (1.0 - (overall_us - compute_us) / pure_us)).clamp(0.0, 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_overlap() {
+        // Communication fully hidden: overall == compute.
+        assert_eq!(omb_overlap_pct(50.0, 100.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn zero_overlap() {
+        // Fully serialized: overall == compute + pure.
+        assert_eq!(omb_overlap_pct(50.0, 150.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn half_overlap() {
+        let pct = omb_overlap_pct(100.0, 150.0, 100.0);
+        assert!((pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(omb_overlap_pct(10.0, 200.0, 100.0), 0.0);
+        assert_eq!(omb_overlap_pct(10.0, 90.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn result_struct_delegates() {
+        let r = OverlapResult {
+            pure_us: 100.0,
+            overall_us: 120.0,
+            compute_us: 100.0,
+        };
+        assert!((r.overlap_pct() - 80.0).abs() < 1e-9);
+    }
+}

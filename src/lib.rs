@@ -1,0 +1,63 @@
+//! # bluefield-offload — reproduction of the IPDPS'23 BlueField
+//! communication-offload framework
+//!
+//! This umbrella crate re-exports the whole stack so examples, integration
+//! tests and downstream users have a single dependency:
+//!
+//! * [`sim`] — deterministic discrete-event engine (virtual time,
+//!   coroutine-style processes, FIFO resources).
+//! * [`net`] — verbs-like RDMA layer: simulated memory, IB/GVMI/cross-GVMI
+//!   registration, RDMA read/write, NIC + PCIe performance models, cluster
+//!   construction.
+//! * [`mpi`] — a miniature host-progress MPI (p2p, collectives, NBC
+//!   schedules).
+//! * [`dpu`] — **the paper's contribution**: Basic & Group offload
+//!   primitives, DPU proxy processes, registration and group-metadata
+//!   caches, GVMI and staging data paths.
+//! * [`compare`] — the baselines: IntelMPI (host MPI) and BluesMPI
+//!   (staging offload of specific collectives).
+//! * [`apps`] — the evaluation workloads: ping-pong, 3-D stencil,
+//!   Ialltoall overlap, scatter-destination, P3DFFT and HPL skeletons.
+//!
+//! ## Quickstart
+//!
+//! Run the ping-pong of paper Listing 3:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! and see `examples/ring_broadcast.rs` for the Group-primitive ring of
+//! paper Listing 5, including the Fig. 1 event timeline.
+
+#![warn(missing_docs)]
+
+/// The discrete-event simulation engine (`simnet` crate).
+pub mod sim {
+    pub use simnet::*;
+}
+
+/// The RDMA/verbs layer (`rdma` crate).
+pub mod net {
+    pub use rdma::*;
+}
+
+/// The miniature MPI (`minimpi` crate).
+pub mod mpi {
+    pub use minimpi::*;
+}
+
+/// The offload framework — the paper's contribution (`offload` crate).
+pub mod dpu {
+    pub use offload::*;
+}
+
+/// Baselines (`baselines` crate).
+pub mod compare {
+    pub use baselines::*;
+}
+
+/// Evaluation workloads (`workloads` crate).
+pub mod apps {
+    pub use workloads::*;
+}

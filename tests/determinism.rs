@@ -1,0 +1,107 @@
+//! The whole stack must be bit-for-bit reproducible: identical seeds give
+//! identical virtual timings, event counts and statistics.
+
+use bluefield_offload::apps::{ialltoall_overlap, stencil3d, Runtime};
+use bluefield_offload::dpu::OffloadConfig;
+use bluefield_offload::net::{ClusterBuilder, ClusterSpec, Inbox};
+
+fn trace_render(seed: u64) -> (String, u64, f64) {
+    let spec = ClusterSpec::new(2, 2);
+    let report = ClusterBuilder::new(spec, seed)
+        .with_trace()
+        .run(
+            |rank, ctx, cluster| {
+                let inbox = Inbox::new();
+                let off = bluefield_offload::dpu::Offload::init(
+                    rank,
+                    ctx.clone(),
+                    cluster.clone(),
+                    &inbox,
+                    OffloadConfig::proposed(),
+                );
+                let fab = cluster.fabric().clone();
+                let ep = cluster.host_ep(rank);
+                let buf = fab.alloc(ep, 64 * 1024);
+                let p = cluster.world_size();
+                ctx.trace(format!("start.{rank}"));
+                let s = off.send_offload(buf, 64 * 1024, (rank + 1) % p, 1);
+                let r = off.recv_offload(buf, 64 * 1024, (rank + p - 1) % p, 1);
+                off.wait(s);
+                off.wait(r);
+                ctx.trace(format!("done.{rank}"));
+                off.finalize();
+            },
+            Some(offload::proxy_fn(OffloadConfig::proposed())),
+        )
+        .unwrap();
+    (
+        report.trace.unwrap().render(),
+        report.events,
+        report.end_time.as_us_f64(),
+    )
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    let (t1, e1, end1) = trace_render(5);
+    let (t2, e2, end2) = trace_render(5);
+    assert_eq!(t1, t2, "trace must be identical");
+    assert_eq!(e1, e2);
+    assert_eq!(end1, end2);
+}
+
+#[test]
+fn benchmark_results_are_reproducible() {
+    let a = ialltoall_overlap(2, 2, 16 * 1024, 1, 1, Runtime::proposed(), 9);
+    let b = ialltoall_overlap(2, 2, 16 * 1024, 1, 1, Runtime::proposed(), 9);
+    assert_eq!(a.pure_us, b.pure_us);
+    assert_eq!(a.overall_us, b.overall_us);
+    let s1 = stencil3d(2, 2, 64, 1, 1, Runtime::Intel, 4);
+    let s2 = stencil3d(2, 2, 64, 1, 1, Runtime::Intel, 4);
+    assert_eq!(s1.overall_us, s2.overall_us);
+    assert_eq!(s1.pure_us, s2.pure_us);
+}
+
+#[test]
+fn stats_are_reproducible() {
+    let run = |seed| {
+        let spec = ClusterSpec::new(2, 1);
+        ClusterBuilder::new(spec, seed)
+            .run(
+                |rank, ctx, cluster| {
+                    let inbox = Inbox::new();
+                    let off = bluefield_offload::dpu::Offload::init(
+                        rank,
+                        ctx,
+                        cluster.clone(),
+                        &inbox,
+                        OffloadConfig::proposed(),
+                    );
+                    let fab = cluster.fabric().clone();
+                    let ep = cluster.host_ep(rank);
+                    let buf = fab.alloc(ep, 4096);
+                    for i in 0..4u64 {
+                        if rank == 0 {
+                            off.wait(off.send_offload(buf, 4096, 1, i));
+                        } else {
+                            off.wait(off.recv_offload(buf, 4096, 0, i));
+                        }
+                    }
+                    off.finalize();
+                },
+                Some(offload::proxy_fn(OffloadConfig::proposed())),
+            )
+            .unwrap()
+    };
+    let r1 = run(11);
+    let r2 = run(11);
+    let collect = |r: &simnet::Report| {
+        r.stats
+            .counters()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    assert_eq!(collect(&r1), collect(&r2));
+    assert_eq!(r1.end_time, r2.end_time);
+}
