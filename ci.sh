@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full gate: formatting, clippy deny-wall, the repo-specific lint
+# wall, then build + tests. Run from the repo root; fails fast.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo xtask lint"
+cargo xtask lint
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test -q
+
+echo "ci.sh: all gates passed"

@@ -68,11 +68,23 @@ pub struct BluesMpi {
 
 #[derive(PartialEq, Eq, Hash, Clone, Copy)]
 enum PatternKey {
-    Alltoall { sendbuf: u64, recvbuf: u64, block: u64 },
+    Alltoall {
+        sendbuf: u64,
+        recvbuf: u64,
+        block: u64,
+    },
     /// `members` participates in the key: the same root/buffer used over a
     /// different sub-communicator is a different pattern.
-    Bcast { members: u64, root: usize, addr: u64, len: u64 },
-    Allgather { buf: u64, block: u64 },
+    Bcast {
+        members: u64,
+        root: usize,
+        addr: u64,
+        len: u64,
+    },
+    Allgather {
+        buf: u64,
+        block: u64,
+    },
 }
 
 /// Stable hash of a member list (same construction as minimpi's).
@@ -159,8 +171,11 @@ impl BluesMpi {
         if fab.moves_bytes() {
             let ep = self.off.cluster().host_ep(self.off.rank());
             let me = self.off.rank() as u64;
-            let data = fab.read_bytes(ep, sendbuf.offset(me * block), block).expect("self block");
-            fab.write_bytes(ep, recvbuf.offset(me * block), &data).expect("self block");
+            let data = fab
+                .read_bytes(ep, sendbuf.offset(me * block), block)
+                .expect("self block");
+            fab.write_bytes(ep, recvbuf.offset(me * block), &data)
+                .expect("self block");
         }
         self.off.group_call(g);
         BluesReq(g)
@@ -175,15 +190,22 @@ impl BluesMpi {
 
     /// `MPI_Ibcast` over a sub-communicator (`members`, root at position
     /// `root_pos`), e.g. an HPL process row.
-    pub fn ibcast_among(&self, members: &[usize], root_pos: usize, addr: VAddr, len: u64) -> BluesReq {
+    pub fn ibcast_among(
+        &self,
+        members: &[usize],
+        root_pos: usize,
+        addr: VAddr,
+        len: u64,
+    ) -> BluesReq {
         let key = PatternKey::Bcast {
             members: members_hash(members),
             root: root_pos,
             addr: addr.0,
             len,
         };
-        let g =
-            self.cached_pattern(key, |off| off.record_bcast_binomial(members, root_pos, addr, len, 0));
+        let g = self.cached_pattern(key, |off| {
+            off.record_bcast_binomial(members, root_pos, addr, len, 0)
+        });
         self.charge_cold_start("bcast");
         self.off.group_call(g);
         BluesReq(g)

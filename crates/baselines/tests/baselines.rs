@@ -36,15 +36,25 @@ fn bluesmpi_ialltoall_is_correct() {
         let sendbuf = fab.alloc(ep, block * p as u64);
         let recvbuf = fab.alloc(ep, block * p as u64);
         for d in 0..p {
-            fab.fill_pattern(ep, sendbuf.offset(d as u64 * block), block, (me * 10 + d) as u64)
-                .unwrap();
+            fab.fill_pattern(
+                ep,
+                sendbuf.offset(d as u64 * block),
+                block,
+                (me * 10 + d) as u64,
+            )
+            .unwrap();
         }
         let r = blues.ialltoall(sendbuf, recvbuf, block);
         blues.wait(r);
         for s in 0..p {
             assert!(
-                fab.verify_pattern(ep, recvbuf.offset(s as u64 * block), block, (s * 10 + me) as u64)
-                    .unwrap(),
+                fab.verify_pattern(
+                    ep,
+                    recvbuf.offset(s as u64 * block),
+                    block,
+                    (s * 10 + me) as u64
+                )
+                .unwrap(),
                 "rank {me} block from {s}"
             );
         }
@@ -78,7 +88,8 @@ fn bluesmpi_iallgather_is_correct() {
         let ep = off.cluster().host_ep(me);
         let block = 4096u64;
         let buf = fab.alloc(ep, block * p as u64);
-        fab.fill_pattern(ep, buf.offset(me as u64 * block), block, me as u64 + 70).unwrap();
+        fab.fill_pattern(ep, buf.offset(me as u64 * block), block, me as u64 + 70)
+            .unwrap();
         let r = blues.iallgather(buf, block);
         blues.wait(r);
         for s in 0..p {
@@ -145,7 +156,11 @@ fn bluesmpi_uses_staging_mechanism() {
         report.stats.counter("offload.proxy.staging_reads")
     );
     assert_eq!(report.stats.counter("offload.proxy.gvmi_writes"), 0);
-    assert_eq!(report.stats.counter("rdma.reg.cross"), 0, "no cross-GVMI in staging");
+    assert_eq!(
+        report.stats.counter("rdma.reg.cross"),
+        0,
+        "no cross-GVMI in staging"
+    );
 }
 
 #[test]

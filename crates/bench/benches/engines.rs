@@ -55,8 +55,20 @@ fn group_alltoall(cfg: OffloadConfig, calls: u32) -> f64 {
                 for k in 1..p {
                     let dst = (rank + k) % p;
                     let src = (rank + p - k) % p;
-                    off.group_send(g, sendbuf.offset(dst as u64 * block), block, dst, dst as u64);
-                    off.group_recv(g, recvbuf.offset(src as u64 * block), block, src, rank as u64);
+                    off.group_send(
+                        g,
+                        sendbuf.offset(dst as u64 * block),
+                        block,
+                        dst,
+                        dst as u64,
+                    );
+                    off.group_recv(
+                        g,
+                        recvbuf.offset(src as u64 * block),
+                        block,
+                        src,
+                        rank as u64,
+                    );
                 }
                 off.group_end(g);
                 for _ in 0..calls {

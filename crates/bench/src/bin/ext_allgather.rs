@@ -33,7 +33,15 @@ fn main() {
     }
     print_table(
         &format!("Extension — Iallgather overall time and overlap, {nodes} nodes x {ppn} ppn"),
-        &["msg", "Intel", "Blues", "Proposed", "Intel ovl", "Blues ovl", "Proposed ovl"],
+        &[
+            "msg",
+            "Intel",
+            "Blues",
+            "Proposed",
+            "Intel ovl",
+            "Blues ovl",
+            "Proposed ovl",
+        ],
         &rows,
     );
     println!("\nThe ring's dependent steps need CPU intervention under host MPI; both\noffloads progress them on the DPU, and the GVMI path avoids the staging\nhops' DPU-DRAM bound.");

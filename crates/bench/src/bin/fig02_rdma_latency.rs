@@ -21,7 +21,11 @@ fn one_way_latency_us(dst_is_dpu: bool, size: u64, iters: u32) -> f64 {
         let dst = fab.add_endpoint(
             ctx.pid(),
             1,
-            if dst_is_dpu { DeviceClass::Dpu } else { DeviceClass::Host },
+            if dst_is_dpu {
+                DeviceClass::Dpu
+            } else {
+                DeviceClass::Host
+            },
         );
         let sbuf = fab.alloc(src, size);
         let dbuf = fab.alloc(dst, size);
@@ -30,8 +34,16 @@ fn one_way_latency_us(dst_is_dpu: bool, size: u64, iters: u32) -> f64 {
         let mut total = 0.0;
         for i in 0..iters {
             let t0 = ctx.now();
-            fab.rdma_write(&ctx, src, (src, sbuf, lkey), (dst, dbuf, rkey), size, Some(i as u64), None)
-                .unwrap();
+            fab.rdma_write(
+                &ctx,
+                src,
+                (src, sbuf, lkey),
+                (dst, dbuf, rkey),
+                size,
+                Some(i as u64),
+                None,
+            )
+            .unwrap();
             // Wait for the completion, then count only the one-way part.
             loop {
                 if matches!(*ctx.recv().downcast::<NetMsg>().unwrap(), NetMsg::Cqe(_)) {
@@ -57,7 +69,12 @@ fn main() {
     for &size in &sizes {
         let hh = one_way_latency_us(false, size, iters);
         let hd = one_way_latency_us(true, size, iters);
-        rows.push(vec![bytes(size), us(hh), us(hd), format!("{:.2}x", hd / hh)]);
+        rows.push(vec![
+            bytes(size),
+            us(hh),
+            us(hd),
+            format!("{:.2}x", hd / hh),
+        ]);
     }
     print_table(
         "Fig. 2 — RDMA-Write latency, Host-to-Host vs Host-to-DPU (one-way)",

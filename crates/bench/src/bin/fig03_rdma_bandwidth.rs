@@ -24,7 +24,11 @@ fn bandwidth_gbs(dst_is_dpu: bool, size: u64, windows: u32) -> f64 {
         let dst = fab.add_endpoint(
             ctx.pid(),
             1,
-            if dst_is_dpu { DeviceClass::Dpu } else { DeviceClass::Host },
+            if dst_is_dpu {
+                DeviceClass::Dpu
+            } else {
+                DeviceClass::Host
+            },
         );
         let sbuf = fab.alloc(src, size);
         let dbuf = fab.alloc(dst, size);
@@ -34,9 +38,21 @@ fn bandwidth_gbs(dst_is_dpu: bool, size: u64, windows: u32) -> f64 {
         let mut sent = 0u64;
         for _ in 0..windows {
             for i in 0..WINDOW {
-                let signal = if i == WINDOW - 1 { Some(i as u64) } else { None };
-                fab.rdma_write(&ctx, src, (src, sbuf, lkey), (dst, dbuf, rkey), size, signal, None)
-                    .unwrap();
+                let signal = if i == WINDOW - 1 {
+                    Some(i as u64)
+                } else {
+                    None
+                };
+                fab.rdma_write(
+                    &ctx,
+                    src,
+                    (src, sbuf, lkey),
+                    (dst, dbuf, rkey),
+                    size,
+                    signal,
+                    None,
+                )
+                .unwrap();
                 sent += size;
             }
             loop {

@@ -40,7 +40,12 @@ fn main() {
     }
     print_table(
         "Fig. 5 — Registration overheads for a cross-GVMI transfer",
-        &["size", "host GVMI reg (mkey)", "DPU cross-reg (mkey2)", "total"],
+        &[
+            "size",
+            "host GVMI reg (mkey)",
+            "DPU cross-reg (mkey2)",
+            "total",
+        ],
         &rows,
     );
     println!("\nPaper shape: both registrations grow with buffer size; the sum is what an\nuncached transfer pays — the motivation for the two-sided registration caches.");

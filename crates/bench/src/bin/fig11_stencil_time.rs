@@ -27,7 +27,9 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Fig. 11 — 3DStencil overall time, {nodes} nodes x {ppn} ppn (normalized to IntelMPI)"),
+        &format!(
+            "Fig. 11 — 3DStencil overall time, {nodes} nodes x {ppn} ppn (normalized to IntelMPI)"
+        ),
         &["grid", "IntelMPI", "Proposed", "Proposed/Intel"],
         &rows,
     );

@@ -28,7 +28,13 @@ fn main() {
     }
     print_table(
         &format!("Fig. 12 — 3DStencil overlap %, {nodes} nodes x {ppn} ppn"),
-        &["grid", "IntelMPI overlap", "Proposed overlap", "Intel pure comm", "Proposed pure comm"],
+        &[
+            "grid",
+            "IntelMPI overlap",
+            "Proposed overlap",
+            "Intel pure comm",
+            "Proposed pure comm",
+        ],
         &rows,
     );
     println!("\nPaper shape: Proposed holds roughly constant high overlap (~78%; intra-node\ntransfers are not offloaded), IntelMPI's overlap collapses at the largest grid.");

@@ -33,7 +33,9 @@ fn main() {
         }
         print_table(
             &format!("Fig. 13 — Ialltoall overall time, {nodes} nodes x {ppn} ppn"),
-            &["msg", "BluesMPI", "Proposed", "IntelMPI", "vs Blues", "vs Intel"],
+            &[
+                "msg", "BluesMPI", "Proposed", "IntelMPI", "vs Blues", "vs Intel",
+            ],
             &rows,
         );
     }

@@ -32,8 +32,17 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Fig. 15 — Scatter-destination: Simple vs Group primitives, {nodes} nodes x {ppn} ppn"),
-        &["msg", "Simple", "Group", "improvement", "ctrl msgs (simple)", "ctrl msgs (group)"],
+        &format!(
+            "Fig. 15 — Scatter-destination: Simple vs Group primitives, {nodes} nodes x {ppn} ppn"
+        ),
+        &[
+            "msg",
+            "Simple",
+            "Group",
+            "improvement",
+            "ctrl msgs (simple)",
+            "ctrl msgs (group)",
+        ],
         &rows,
     );
     println!("\nPaper shape: Group up to ~40% faster; the cache cuts host-DPU control\nmessages from four per transfer to a handful per collective call.");

@@ -33,7 +33,13 @@ fn run_set(nodes: usize, ppn: usize, xy: u64, zs: &[u64], iters: u32, tag: &str)
     );
     print_table(
         &format!("Fig. 16c-style profile (first forward phase), {nodes} nodes x {ppn} ppn"),
-        &["grid", "compute", "Intel MPI time", "Blues MPI time", "Proposed MPI time"],
+        &[
+            "grid",
+            "compute",
+            "Intel MPI time",
+            "Blues MPI time",
+            "Proposed MPI time",
+        ],
         &profile_rows,
     );
 }
@@ -42,7 +48,14 @@ fn main() {
     let args = Args::parse();
     let iters = args.pick_iters(1, 1);
     if args.quick {
-        run_set(2, args.pick_ppn(32, 16, 2), 64, &[128, 256], iters, "(quick)");
+        run_set(
+            2,
+            args.pick_ppn(32, 16, 2),
+            64,
+            &[128, 256],
+            iters,
+            "(quick)",
+        );
         return;
     }
     let ppn = args.pick_ppn(32, 16, 2);
@@ -51,7 +64,11 @@ fn main() {
     // Fig. 16b: 16 nodes, X=Y=512, Z in 1024..4096 (the largest grid is
     // hours of simulated alltoall traffic; default trims it to keep the
     // sweep in minutes — pass --full for the paper's full set).
-    let z16: &[u64] = if args.full { &[1024, 2048, 4096] } else { &[1024, 2048] };
+    let z16: &[u64] = if args.full {
+        &[1024, 2048, 4096]
+    } else {
+        &[1024, 2048]
+    };
     run_set(16, ppn, 512, z16, iters, "b");
     println!("\nPaper shape: Proposed fastest (up to 16-20% vs IntelMPI, 55-60% vs BluesMPI);\nBluesMPI slowest at app level because its first unwarmed iterations degrade —\nvisible as the large BluesMPI 'time in MPI' in the phase profile.");
 }

@@ -13,7 +13,12 @@ fn main() {
     } else {
         vec![0.05, 0.10, 0.25, 0.50, 0.75]
     };
-    let algos = [HplAlgo::Ring1, HplAlgo::IntelIbcast, HplAlgo::Blues, HplAlgo::Proposed];
+    let algos = [
+        HplAlgo::Ring1,
+        HplAlgo::IntelIbcast,
+        HplAlgo::Blues,
+        HplAlgo::Proposed,
+    ];
     let mut rows = Vec::new();
     for &frac in &fractions {
         let n = matrix_order(nodes, frac);
@@ -32,8 +37,17 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Fig. 17 — HPL runtime normalized to IntelMPI-HPL-1ring, {nodes} nodes x {ppn} ppn"),
-        &["memory", "order", "1ring", "Intel-Ibcast", "BluesMPI", "Proposed"],
+        &format!(
+            "Fig. 17 — HPL runtime normalized to IntelMPI-HPL-1ring, {nodes} nodes x {ppn} ppn"
+        ),
+        &[
+            "memory",
+            "order",
+            "1ring",
+            "Intel-Ibcast",
+            "BluesMPI",
+            "Proposed",
+        ],
         &rows,
     );
     println!("\nPaper shape: Proposed lowest everywhere (15-18% at 5-10% memory), but its\nadvantage shrinks toward ~8.5% at 50-75% (large-transfer GVMI registration\noverheads); BluesMPI tracks 1ring.");

@@ -37,9 +37,9 @@ impl Args {
         }
         fn value<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
             match it.next() {
-                Some(v) => v
-                    .parse()
-                    .unwrap_or_else(|_| die(&format!("{flag} expects a positive number, got '{v}'"))),
+                Some(v) => v.parse().unwrap_or_else(|_| {
+                    die(&format!("{flag} expects a positive number, got '{v}'"))
+                }),
                 None => die(&format!("{flag} requires a value")),
             }
         }
@@ -82,7 +82,8 @@ impl Args {
 
     /// Pick an iteration count.
     pub fn pick_iters(&self, normal: u32, quick: u32) -> u32 {
-        self.iters.unwrap_or(if self.quick { quick } else { normal })
+        self.iters
+            .unwrap_or(if self.quick { quick } else { normal })
     }
 }
 
@@ -103,12 +104,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         println!("{}", line.trim_end());
     };
     fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    fmt_row(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    fmt_row(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         fmt_row(row);
     }

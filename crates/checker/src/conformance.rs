@@ -1,0 +1,386 @@
+//! The protocol conformance checker: a per-run state machine fed from the
+//! offload engine's structured [`ProtoEvent`] stream.
+//!
+//! The checker is an [`EventSink`] observer — it never touches engine
+//! state and never panics on a violation; it records [`Violation`]s and
+//! lets the caller decide what a failure means (a test assertion, an
+//! explorer outcome, a report line).
+//!
+//! ## Invariants checked
+//!
+//! 1. **Matching** — a proxy may only declare `PairMatched` for a
+//!    `(src, dst, tag)` flow when it has seen at least that many RTS *and*
+//!    RTR messages; at end of run every RTS/RTR is matched.
+//! 2. **Completion before FIN** — every `FinSend`/`FinRecv` refers to an
+//!    RDMA operation whose completion the proxy has observed; every
+//!    completion refers to a posted operation.
+//! 3. **Cross-registration before use** — an `mkey2` may drive a transfer
+//!    only after a `CrossReg` produced it.
+//! 4. **Cache coherence** — a cross-registration cache hit must return
+//!    exactly the `(mkey, mkey2)` pair the latest registration of that
+//!    `(rank, addr, len)` produced.
+//! 5. **At-most-once metadata** — receive metadata is sent at most once
+//!    per `(from, to, req)` triple; with the group cache enabled, the full
+//!    group packet is shipped at most once per `(host, req)`.
+//! 6. **Barrier monotonicity** — barrier counters written along one
+//!    `(src, dst-instance)` edge are strictly increasing in `(gen, value)`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use offload::{CacheOutcome, FinKind, ProtoEvent};
+use parking_lot::Mutex;
+use rdma::MrKey;
+use simnet::{EventSink, Pid, SimTime};
+
+/// What the checker needs to know about the run it observes.
+#[derive(Clone, Copy, Debug)]
+pub struct ConformanceConfig {
+    /// Whether the engine runs with its group metadata cache enabled —
+    /// if so, a repeated `GroupPacketSent` is a violation; if not, every
+    /// `group_call` legitimately resends the packet.
+    pub group_cache_enabled: bool,
+}
+
+impl Default for ConformanceConfig {
+    fn default() -> Self {
+        ConformanceConfig {
+            group_cache_enabled: true,
+        }
+    }
+}
+
+/// One recorded invariant violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Short name of the broken invariant (stable, grep-friendly).
+    pub invariant: &'static str,
+    /// Human-readable description with the offending values.
+    pub detail: String,
+    /// Virtual time of the offending event.
+    pub at: SimTime,
+    /// Process that emitted the offending event (`None` for end-of-run
+    /// completeness findings, which no single event triggers).
+    pub pid: Option<Pid>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} (at {}", self.invariant, self.detail, self.at)?;
+        match self.pid {
+            Some(pid) => write!(f, ", {pid})"),
+            None => write!(f, ", end of run)"),
+        }
+    }
+}
+
+#[derive(Default)]
+struct FlowState {
+    rts: u64,
+    rtr: u64,
+    matched: u64,
+}
+
+#[derive(Default)]
+struct State {
+    /// Per `(src, dst, tag)` matching counters.
+    flows: BTreeMap<(usize, usize, u64), FlowState>,
+    /// Work requests posted / completed, per emitting proxy (wrid spaces
+    /// are per-proxy counters, so the pid is part of the key).
+    posted: BTreeSet<(Pid, u64)>,
+    completed: BTreeSet<(Pid, u64)>,
+    /// Every mkey2 a CrossReg produced.
+    registered: BTreeSet<MrKey>,
+    /// Latest registration per `(host_rank, addr, len)`.
+    latest_reg: BTreeMap<(usize, u64, u64), (MrKey, MrKey)>,
+    /// RecvMeta count per `(from, to, req)`.
+    recv_meta: BTreeMap<(usize, usize, usize), u64>,
+    /// Group packet count per `(host, req)`.
+    group_packets: BTreeMap<(usize, usize), u64>,
+    /// Last `(gen, value)` per barrier edge `(src, dst_host, dst_req)`.
+    barrier_last: BTreeMap<(usize, usize, usize), (u64, u64)>,
+    violations: Vec<Violation>,
+    events_seen: u64,
+}
+
+impl State {
+    fn violate(&mut self, at: SimTime, pid: Option<Pid>, invariant: &'static str, detail: String) {
+        self.violations.push(Violation {
+            invariant,
+            detail,
+            at,
+            pid,
+        });
+    }
+
+    fn on_event(&mut self, at: SimTime, src: Pid, ev: &ProtoEvent, cfg: &ConformanceConfig) {
+        let pid = Some(src);
+        self.events_seen += 1;
+        match *ev {
+            ProtoEvent::RtsAtProxy {
+                src_rank,
+                dst_rank,
+                tag,
+            } => {
+                self.flows.entry((src_rank, dst_rank, tag)).or_default().rts += 1;
+            }
+            ProtoEvent::RtrAtProxy {
+                src_rank,
+                dst_rank,
+                tag,
+            } => {
+                self.flows.entry((src_rank, dst_rank, tag)).or_default().rtr += 1;
+            }
+            ProtoEvent::PairMatched {
+                src_rank,
+                dst_rank,
+                tag,
+            } => {
+                let f = self.flows.entry((src_rank, dst_rank, tag)).or_default();
+                if f.matched + 1 > f.rts.min(f.rtr) {
+                    let (rts, rtr, matched) = (f.rts, f.rtr, f.matched);
+                    self.violate(
+                        at,
+                        pid,
+                        "match-without-rts-rtr",
+                        format!(
+                            "flow ({src_rank}->{dst_rank}, tag {tag}) matched {} with only \
+                             {rts} RTS / {rtr} RTR seen",
+                            matched + 1
+                        ),
+                    );
+                } else {
+                    f.matched += 1;
+                }
+            }
+            ProtoEvent::WritePosted { wrid } => {
+                if !self.posted.insert((src, wrid)) {
+                    self.violate(
+                        at,
+                        pid,
+                        "duplicate-wrid",
+                        format!("work request {wrid:#x} posted twice"),
+                    );
+                }
+            }
+            ProtoEvent::WriteCompleted { wrid } => {
+                if !self.posted.contains(&(src, wrid)) {
+                    self.violate(
+                        at,
+                        pid,
+                        "completion-without-post",
+                        format!("completion for {wrid:#x} which was never posted"),
+                    );
+                }
+                self.completed.insert((src, wrid));
+            }
+            ProtoEvent::FinSent {
+                rank,
+                req,
+                wrid,
+                kind,
+            } => {
+                if kind != FinKind::Group && !self.completed.contains(&(src, wrid)) {
+                    self.violate(
+                        at,
+                        pid,
+                        "fin-before-completion",
+                        format!(
+                            "{kind:?} FIN for rank {rank} req {req} references \
+                             {wrid:#x} with no completed RDMA write"
+                        ),
+                    );
+                }
+            }
+            ProtoEvent::CrossReg {
+                host_rank,
+                addr,
+                len,
+                mkey,
+                mkey2,
+            } => {
+                self.registered.insert(mkey2);
+                self.latest_reg
+                    .insert((host_rank, addr.0, len), (mkey, mkey2));
+            }
+            ProtoEvent::CrossRegCacheLookup {
+                host_rank,
+                addr,
+                len,
+                outcome,
+                mkey,
+                mkey2,
+            } => {
+                if outcome == CacheOutcome::Hit {
+                    let want = self.latest_reg.get(&(host_rank, addr.0, len));
+                    match ((mkey, mkey2), want) {
+                        ((Some(m), Some(m2)), Some(&(wm, wm2))) if m == wm && m2 == wm2 => {}
+                        _ => self.violate(
+                            at,
+                            pid,
+                            "cache-hit-wrong-key",
+                            format!(
+                                "cache hit for (rank {host_rank}, {addr:?}, {len}) returned \
+                                 {mkey:?}/{mkey2:?} but the latest registration recorded \
+                                 {want:?}"
+                            ),
+                        ),
+                    }
+                }
+            }
+            ProtoEvent::Mkey2Used { mkey2 } => {
+                if !self.registered.contains(&mkey2) {
+                    self.violate(
+                        at,
+                        pid,
+                        "mkey2-before-crossreg",
+                        format!("{mkey2:?} drives a transfer but no CrossReg produced it"),
+                    );
+                }
+            }
+            ProtoEvent::RecvMetaSent {
+                from_rank,
+                to_rank,
+                req_id,
+            } => {
+                let e = self
+                    .recv_meta
+                    .entry((from_rank, to_rank, req_id))
+                    .or_insert(0);
+                *e += 1;
+                let n = *e;
+                if n > 1 {
+                    self.violate(
+                        at,
+                        pid,
+                        "recv-meta-resent",
+                        format!(
+                            "receive metadata ({from_rank}->{to_rank}, req {req_id}) \
+                             sent {n} times"
+                        ),
+                    );
+                }
+            }
+            ProtoEvent::GroupPacketSent { host_rank, req_id } => {
+                let e = self.group_packets.entry((host_rank, req_id)).or_insert(0);
+                *e += 1;
+                let n = *e;
+                if cfg.group_cache_enabled && n > 1 {
+                    self.violate(
+                        at,
+                        pid,
+                        "group-packet-resent",
+                        format!(
+                            "group packet (rank {host_rank}, req {req_id}) shipped {n} \
+                             times with the group cache enabled"
+                        ),
+                    );
+                }
+            }
+            ProtoEvent::BarrierCntr {
+                src_rank,
+                dst_host_rank,
+                dst_req_id,
+                gen,
+                value,
+            } => {
+                let key = (src_rank, dst_host_rank, dst_req_id);
+                let cur = (gen, value);
+                if let Some(&last) = self.barrier_last.get(&key) {
+                    if cur <= last {
+                        self.violate(
+                            at,
+                            pid,
+                            "barrier-counter-not-monotone",
+                            format!(
+                                "barrier edge {src_rank}->({dst_host_rank}, req \
+                                 {dst_req_id}) wrote (gen {gen}, value {value}) after \
+                                 (gen {}, value {})",
+                                last.0, last.1
+                            ),
+                        );
+                    }
+                }
+                self.barrier_last.insert(key, cur);
+            }
+        }
+    }
+}
+
+/// A protocol conformance checker. Install its [`Conformance::sink`] on a
+/// cluster (or pass it to a `workloads::CheckRun`), run the workload,
+/// then call [`Conformance::finish`].
+#[derive(Clone)]
+pub struct Conformance {
+    cfg: ConformanceConfig,
+    inner: Arc<Mutex<State>>,
+}
+
+impl Conformance {
+    /// A fresh checker for a run described by `cfg`.
+    pub fn new(cfg: ConformanceConfig) -> Conformance {
+        Conformance {
+            cfg,
+            inner: Arc::new(Mutex::new(State::default())),
+        }
+    }
+
+    /// The event sink to install on the simulation. Non-`ProtoEvent`
+    /// payloads are ignored, so it can share the sink with other
+    /// observers' event types.
+    pub fn sink(&self) -> EventSink {
+        let inner = Arc::clone(&self.inner);
+        let cfg = self.cfg;
+        Arc::new(move |at, pid, any| {
+            if let Some(ev) = any.downcast_ref::<ProtoEvent>() {
+                inner.lock().on_event(at, pid, ev, &cfg);
+            }
+        })
+    }
+
+    /// Violations recorded so far (cheap; does not run end-of-run checks).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.inner.lock().violations.clone()
+    }
+
+    /// Number of protocol events observed.
+    pub fn events_seen(&self) -> u64 {
+        self.inner.lock().events_seen
+    }
+
+    /// End-of-run verdict: everything recorded during the run plus the
+    /// completeness checks that only make sense once the run is over
+    /// (every RTS/RTR matched, every posted write completed).
+    pub fn finish(&self) -> Vec<Violation> {
+        let mut st = self.inner.lock();
+        let end = SimTime::ZERO;
+        let flows: Vec<_> = st
+            .flows
+            .iter()
+            .filter(|(_, f)| !(f.rts == f.rtr && f.rtr == f.matched))
+            .map(|(&k, f)| (k, f.rts, f.rtr, f.matched))
+            .collect();
+        for ((src, dst, tag), rts, rtr, matched) in flows {
+            st.violate(
+                end,
+                None,
+                "unmatched-flow",
+                format!(
+                    "flow ({src}->{dst}, tag {tag}) ended with {rts} RTS, {rtr} RTR, \
+                     {matched} matches"
+                ),
+            );
+        }
+        let unfinished: Vec<_> = st.posted.difference(&st.completed).copied().collect();
+        for (pid, wrid) in unfinished {
+            st.violate(
+                end,
+                Some(pid),
+                "write-never-completed",
+                format!("work request {wrid:#x} posted but no completion observed"),
+            );
+        }
+        st.violations.clone()
+    }
+}

@@ -1,0 +1,235 @@
+//! Schedule exploration: rerun a workload across seeds and legal
+//! schedule perturbations, classify each run, and shrink failures.
+//!
+//! The explorer perturbs only *legal* schedules — fabric delivery jitter
+//! never reorders packets on the same QP, and the proxy count changes
+//! which proxy owns a rank but not the protocol. Any deadlock, livelock
+//! or invariant violation it finds is therefore a real engine bug (or a
+//! deliberately injected one), not an artifact of the exploration.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use offload::{FaultInjection, OffloadConfig};
+use simnet::{EventSink, Report, SimDelta, SimError, SimTime};
+use workloads::{drive_alltoall, drive_stencil, CheckRun};
+
+use crate::conformance::{Conformance, ConformanceConfig, Violation};
+
+/// One point in the exploration space: a seed plus the schedule and
+/// fault knobs applied to the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Simulation RNG seed.
+    pub seed: u64,
+    /// Uniform fabric delivery jitter bound, in nanoseconds.
+    pub jitter_ns: u64,
+    /// Proxy processes per DPU.
+    pub proxies_per_dpu: usize,
+    /// Deliberate engine fault to inject (for checker self-tests).
+    pub fault: FaultInjection,
+}
+
+impl Scenario {
+    /// An unperturbed, fault-free scenario for `seed`.
+    pub fn baseline(seed: u64) -> Scenario {
+        Scenario {
+            seed,
+            jitter_ns: 0,
+            proxies_per_dpu: 1,
+            fault: FaultInjection::None,
+        }
+    }
+
+    /// The same scenario with `fault` injected.
+    pub fn with_fault(mut self, fault: FaultInjection) -> Scenario {
+        self.fault = fault;
+        self
+    }
+}
+
+/// Verdict for one explored run.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Ran to completion with every invariant intact.
+    Ok,
+    /// The conformance checker recorded protocol violations.
+    Violations(Vec<Violation>),
+    /// The simulation wedged: no pending events, processes blocked.
+    Deadlock(String),
+    /// Virtual time exceeded the scenario's limit (livelock suspect).
+    TimeLimit(String),
+    /// The clock stopped advancing while processes kept running.
+    Livelock(String),
+    /// A simulated process panicked (and no violation explains why).
+    Panic(String),
+}
+
+impl Outcome {
+    /// Whether this run passed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Outcome::Ok)
+    }
+
+    /// Short classification label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Violations(_) => "violations",
+            Outcome::Deadlock(_) => "deadlock",
+            Outcome::TimeLimit(_) => "time-limit",
+            Outcome::Livelock(_) => "livelock",
+            Outcome::Panic(_) => "panic",
+        }
+    }
+}
+
+/// A workload the explorer can rerun: builds a simulation for the given
+/// scenario, installs the sink, and returns the simulation's verdict.
+pub type Workload = Arc<dyn Fn(&Scenario, EventSink) -> Result<Report, SimError> + Send + Sync>;
+
+fn check_run(scenario: &Scenario, sink: EventSink) -> CheckRun {
+    let mut run = CheckRun::baseline(scenario.seed);
+    run.proxies_per_dpu = scenario.proxies_per_dpu;
+    run.jitter = SimDelta::from_ns(scenario.jitter_ns);
+    // Generous virtual-time budget: these workloads finish in
+    // milliseconds; ten seconds only trips on genuine no-progress loops.
+    run.time_limit = Some(SimTime::ZERO + SimDelta::from_secs(10));
+    run.cfg = OffloadConfig::proposed().with_fault(scenario.fault);
+    run.sink = Some(sink);
+    run
+}
+
+/// The canonical point-to-point workload: a 2-round ring halo exchange
+/// on 2 nodes x 2 ranks (see [`workloads::drive_stencil`]).
+pub fn stencil_workload() -> Workload {
+    Arc::new(|scenario: &Scenario, sink: EventSink| {
+        drive_stencil(&check_run(scenario, sink), 4096, 2)
+    })
+}
+
+/// The canonical group workload: alltoall plus a barrier-ordered ring
+/// allgather, called twice (see [`workloads::drive_alltoall`]).
+pub fn alltoall_workload() -> Workload {
+    Arc::new(|scenario: &Scenario, sink: EventSink| {
+        drive_alltoall(&check_run(scenario, sink), 2048, 2)
+    })
+}
+
+/// Run one scenario under the conformance checker and classify it.
+///
+/// Violations recorded *during* the run take priority over the way the
+/// run ended: an injected fault often first breaks an invariant and then
+/// crashes or wedges the engine, and the invariant is the root cause.
+/// The end-of-run completeness checks ([`Conformance::finish`]) run only
+/// on cleanly completed runs — a deadlocked run trivially leaves flows
+/// unmatched, which would drown the real diagnosis in noise.
+pub fn run_scenario(workload: &Workload, scenario: &Scenario, cfg: ConformanceConfig) -> Outcome {
+    let checker = Conformance::new(cfg);
+    let sink = checker.sink();
+    let result = catch_unwind(AssertUnwindSafe(|| workload(scenario, sink)));
+    let during = checker.violations();
+    match result {
+        Ok(Ok(_report)) => {
+            let all = checker.finish();
+            if all.is_empty() {
+                Outcome::Ok
+            } else {
+                Outcome::Violations(all)
+            }
+        }
+        _ if !during.is_empty() => Outcome::Violations(during),
+        Ok(Err(e @ SimError::Deadlock { .. })) => Outcome::Deadlock(e.to_string()),
+        Ok(Err(e @ SimError::TimeLimitExceeded { .. })) => Outcome::TimeLimit(e.to_string()),
+        Ok(Err(e @ SimError::Livelock { .. })) => Outcome::Livelock(e.to_string()),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Outcome::Panic(msg)
+        }
+    }
+}
+
+/// Run every scenario and return the failures, in exploration order.
+pub fn explore(
+    workload: &Workload,
+    scenarios: impl IntoIterator<Item = Scenario>,
+    cfg: ConformanceConfig,
+) -> Vec<(Scenario, Outcome)> {
+    scenarios
+        .into_iter()
+        .filter_map(|sc| {
+            let outcome = run_scenario(workload, &sc, cfg);
+            if outcome.is_ok() {
+                None
+            } else {
+                Some((sc, outcome))
+            }
+        })
+        .collect()
+}
+
+/// A standard sweep: `seeds` baseline scenarios with schedule knobs
+/// varied deterministically per seed (jitter 0/2/10 microseconds, one or
+/// two proxies per DPU).
+pub fn sweep(seeds: std::ops::Range<u64>, fault: FaultInjection) -> Vec<Scenario> {
+    seeds
+        .map(|seed| Scenario {
+            seed,
+            jitter_ns: [0, 2_000, 10_000][(seed % 3) as usize],
+            proxies_per_dpu: 1 + (seed % 2) as usize,
+            fault,
+        })
+        .collect()
+}
+
+/// Cap on extra runs [`shrink`] may spend hunting a smaller seed.
+const SHRINK_SEED_BUDGET: u64 = 64;
+
+/// Shrink a failing scenario to a minimal one that still fails: first
+/// remove jitter, then drop to a single proxy, then scan for the
+/// smallest failing seed (bounded by [`SHRINK_SEED_BUDGET`] runs).
+/// Returns the shrunken scenario and its (still failing) outcome.
+pub fn shrink(
+    workload: &Workload,
+    failing: Scenario,
+    cfg: ConformanceConfig,
+) -> (Scenario, Outcome) {
+    let mut best = failing;
+    let mut outcome = run_scenario(workload, &best, cfg);
+    debug_assert!(!outcome.is_ok(), "shrink called on a passing scenario");
+
+    let try_candidate = |cand: Scenario, best: &mut Scenario, outcome: &mut Outcome| {
+        if cand == *best {
+            return false;
+        }
+        let o = run_scenario(workload, &cand, cfg);
+        if o.is_ok() {
+            return false;
+        }
+        *best = cand;
+        *outcome = o;
+        true
+    };
+
+    let mut no_jitter = best;
+    no_jitter.jitter_ns = 0;
+    try_candidate(no_jitter, &mut best, &mut outcome);
+
+    let mut one_proxy = best;
+    one_proxy.proxies_per_dpu = 1;
+    try_candidate(one_proxy, &mut best, &mut outcome);
+
+    for seed in (0..best.seed).take(SHRINK_SEED_BUDGET as usize) {
+        let mut cand = best;
+        cand.seed = seed;
+        if try_candidate(cand, &mut best, &mut outcome) {
+            break;
+        }
+    }
+
+    (best, outcome)
+}

@@ -1,0 +1,103 @@
+//! # checker — protocol-invariant conformance and schedule exploration
+//!
+//! Correctness tooling for the offload engine, independent of the
+//! benchmark harness:
+//!
+//! * [`Conformance`] — a per-run state machine fed from the engine's
+//!   structured [`offload::ProtoEvent`] stream (via a simnet
+//!   [`simnet::EventSink`]) that checks the offload protocol's
+//!   invariants: RTS/RTR matching, completion-before-FIN,
+//!   cross-registration before mkey2 use, registration-cache coherence,
+//!   at-most-once group metadata, and barrier-counter monotonicity.
+//! * [`run_scenario`] / [`explore`] / [`shrink`] — rerun a workload
+//!   across seeds and legal schedule perturbations (delivery jitter,
+//!   proxy count), classify each run ([`Outcome`]: clean, violations,
+//!   deadlock, livelock, time-limit, panic), and shrink failures to a
+//!   minimal reproducer.
+//!
+//! The engine's [`offload::FaultInjection`] knob exists so this crate
+//! can prove it detects real bugs: dropping a FIN must be reported as a
+//! deadlock, skipping cross-registration as an invariant violation.
+
+#![warn(missing_docs)]
+
+mod conformance;
+mod explore;
+
+pub use conformance::{Conformance, ConformanceConfig, Violation};
+pub use explore::{
+    alltoall_workload, explore, run_scenario, shrink, stencil_workload, sweep, Outcome, Scenario,
+    Workload,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload::FaultInjection;
+
+    fn assert_sweep_clean(workload: &Workload, what: &str) {
+        let failures = explore(
+            workload,
+            sweep(0..32, FaultInjection::None),
+            ConformanceConfig::default(),
+        );
+        assert!(
+            failures.is_empty(),
+            "{what}: {} of 32 scenarios failed; first: {:?}",
+            failures.len(),
+            failures[0]
+        );
+    }
+
+    #[test]
+    fn stencil_sweep_32_seeds_clean() {
+        assert_sweep_clean(&stencil_workload(), "stencil");
+    }
+
+    #[test]
+    fn alltoall_sweep_32_seeds_clean() {
+        assert_sweep_clean(&alltoall_workload(), "alltoall");
+    }
+
+    #[test]
+    fn checker_observes_events() {
+        let checker = Conformance::new(ConformanceConfig::default());
+        let mut run = workloads::CheckRun::baseline(7);
+        run.sink = Some(checker.sink());
+        workloads::drive_stencil(&run, 1024, 1).expect("clean run");
+        assert!(checker.events_seen() > 0, "sink saw no protocol events");
+        assert!(checker.finish().is_empty());
+    }
+
+    #[test]
+    fn dropped_fin_is_reported_as_deadlock() {
+        let scenario = Scenario::baseline(3).with_fault(FaultInjection::DropFirstFin);
+        let outcome = run_scenario(&stencil_workload(), &scenario, ConformanceConfig::default());
+        assert!(
+            matches!(outcome, Outcome::Deadlock(_)),
+            "expected deadlock, got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn skipped_crossreg_is_caught_and_shrunk() {
+        let workload = stencil_workload();
+        let cfg = ConformanceConfig::default();
+        let failures = explore(&workload, sweep(17..21, FaultInjection::SkipCrossReg), cfg);
+        assert_eq!(failures.len(), 4, "every faulty scenario must fail");
+        let (first, _) = failures[0].clone();
+        let (min, outcome) = shrink(&workload, first, cfg);
+        assert_eq!(min.seed, 0, "fault fires on every seed, so 0 is minimal");
+        assert_eq!(min.jitter_ns, 0);
+        assert_eq!(min.proxies_per_dpu, 1);
+        match outcome {
+            Outcome::Violations(vs) => {
+                assert!(
+                    vs.iter().any(|v| v.invariant == "mkey2-before-crossreg"),
+                    "expected mkey2-before-crossreg, got {vs:?}"
+                );
+            }
+            other => panic!("expected violations, got {other:?}"),
+        }
+    }
+}

@@ -14,6 +14,24 @@ pub enum DataPath {
     Staging,
 }
 
+/// Deliberate protocol faults for checker validation. Each variant makes
+/// the engine violate exactly one invariant so the conformance checker
+/// and schedule explorer can prove they detect it. `None` in all real
+/// runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FaultInjection {
+    /// No fault: the engine follows the protocol.
+    #[default]
+    None,
+    /// The proxy drops the first `FinRecv` it would send. The receiving
+    /// rank waits forever, which the explorer reports as a deadlock.
+    DropFirstFin,
+    /// The proxy skips cross-registration and fabricates `mkey2 = mkey`.
+    /// The conformance checker reports an `Mkey2Used`-before-`CrossReg`
+    /// violation.
+    SkipCrossReg,
+}
+
 /// Framework configuration. One instance shared by hosts and proxies of a
 /// run (like an `MPIRUN` environment).
 #[derive(Clone, Debug)]
@@ -32,6 +50,8 @@ pub struct OffloadConfig {
     pub entry_bytes: u64,
     /// ARM time the proxy spends interpreting one queue/packet entry.
     pub proxy_entry_overhead: simnet::SimDelta,
+    /// Deliberate protocol fault (checker validation only).
+    pub fault: FaultInjection,
 }
 
 impl Default for OffloadConfig {
@@ -43,6 +63,7 @@ impl Default for OffloadConfig {
             ctrl_bytes: 64,
             entry_bytes: 48,
             proxy_entry_overhead: simnet::SimDelta::from_ns(120),
+            fault: FaultInjection::None,
         }
     }
 }
@@ -72,6 +93,12 @@ impl OffloadConfig {
         self.use_group_cache = false;
         self
     }
+
+    /// Inject a deliberate protocol fault (checker validation only).
+    pub fn with_fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = fault;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -87,7 +114,9 @@ mod tests {
 
     #[test]
     fn ablation_builders() {
-        let c = OffloadConfig::staging().without_gvmi_cache().without_group_cache();
+        let c = OffloadConfig::staging()
+            .without_gvmi_cache()
+            .without_group_cache();
         assert_eq!(c.data_path, DataPath::Staging);
         assert!(!c.use_gvmi_cache && !c.use_group_cache);
     }

@@ -1,0 +1,160 @@
+//! Structured protocol events for external conformance checking.
+//!
+//! Every protocol-relevant transition in the offload engine emits one of
+//! these events through [`simnet::ProcessCtx::emit`]. A checker (see the
+//! `checker` crate) installs an [`simnet::EventSink`] on the cluster and
+//! replays the stream against the protocol's invariants: RTS-before-RTR
+//! matching, FIN-after-completion, cross-registration before mkey2 use,
+//! cache coherence, at-most-once metadata exchange, and barrier-counter
+//! monotonicity.
+//!
+//! The events deliberately use plain field types (`usize`, `u64`,
+//! [`rdma::MrKey`], [`rdma::VAddr`]) so observers outside this crate can
+//! consume them without access to crate-private protocol structures.
+
+use rdma::{MrKey, VAddr};
+
+/// Which FIN message a proxy sent for a completed transfer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FinKind {
+    /// `FinSend` — completion notice to the sending rank.
+    Send,
+    /// `FinRecv` — completion notice to the receiving rank.
+    Recv,
+    /// `GroupFin` — completion notice for a whole group generation.
+    Group,
+}
+
+/// Outcome of a registration-cache lookup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheOutcome {
+    /// A valid entry for exactly `(rank, addr, len)` was found.
+    Hit,
+    /// No entry was found.
+    Miss,
+    /// An entry was found but failed validation and was evicted.
+    Stale,
+}
+
+/// One structured protocol event. Emitted by the host engine, the DPU
+/// proxy, and the SHMEM facade at every protocol transition.
+#[derive(Clone, Debug)]
+pub enum ProtoEvent {
+    /// A proxy accepted an RTS control message (or synthesized one for a
+    /// pre-matched one-sided put).
+    RtsAtProxy {
+        /// Sending rank.
+        src_rank: usize,
+        /// Receiving rank.
+        dst_rank: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// A proxy accepted an RTR control message (or synthesized one for a
+    /// pre-matched one-sided put).
+    RtrAtProxy {
+        /// Sending rank.
+        src_rank: usize,
+        /// Receiving rank.
+        dst_rank: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// A proxy matched an RTS with an RTR and is about to move data.
+    PairMatched {
+        /// Sending rank.
+        src_rank: usize,
+        /// Receiving rank.
+        dst_rank: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// A proxy posted an RDMA write (or read) carrying payload; `wrid` is
+    /// the work-request id the completion will carry.
+    WritePosted {
+        /// Work-request id of the posted operation.
+        wrid: u64,
+    },
+    /// The completion for `wrid` arrived at the posting proxy.
+    WriteCompleted {
+        /// Work-request id of the completed operation.
+        wrid: u64,
+    },
+    /// A proxy sent a FIN control message for a completed transfer.
+    FinSent {
+        /// Rank the FIN is addressed to.
+        rank: usize,
+        /// Host-side request index being finished.
+        req: usize,
+        /// Work-request id whose completion triggered this FIN (0 for
+        /// group FINs, which aggregate many writes).
+        wrid: u64,
+        /// Which FIN variant was sent.
+        kind: FinKind,
+    },
+    /// A proxy cross-registered host memory, producing `mkey2` from the
+    /// host's `mkey`.
+    CrossReg {
+        /// Rank owning the memory.
+        host_rank: usize,
+        /// Base address of the region.
+        addr: VAddr,
+        /// Region length in bytes.
+        len: u64,
+        /// The host's GVMI mkey.
+        mkey: MrKey,
+        /// The proxy-side cross-registration key.
+        mkey2: MrKey,
+    },
+    /// A proxy looked up its cross-registration cache.
+    CrossRegCacheLookup {
+        /// Rank owning the memory.
+        host_rank: usize,
+        /// Base address of the region.
+        addr: VAddr,
+        /// Region length in bytes.
+        len: u64,
+        /// Hit, miss, or stale-evicted.
+        outcome: CacheOutcome,
+        /// On a hit: the cached host mkey.
+        mkey: Option<MrKey>,
+        /// On a hit: the cached cross-registration key.
+        mkey2: Option<MrKey>,
+    },
+    /// A proxy used `mkey2` as the local key of a data transfer.
+    Mkey2Used {
+        /// The cross-registration key driving the transfer.
+        mkey2: MrKey,
+    },
+    /// A host shipped its receive metadata for a group request to the
+    /// sending host (at most once per `(from, to, req_id)` triple).
+    RecvMetaSent {
+        /// Rank sending the metadata (the receiver of the data).
+        from_rank: usize,
+        /// Rank the metadata is addressed to (the sender of the data).
+        to_rank: usize,
+        /// Group request id on the receiving side.
+        req_id: usize,
+    },
+    /// A host shipped a full group metadata packet to its proxy. With the
+    /// group cache enabled this happens at most once per group request.
+    GroupPacketSent {
+        /// Rank shipping the packet.
+        host_rank: usize,
+        /// Group request id on that rank.
+        req_id: usize,
+    },
+    /// A proxy wrote a barrier counter into a peer proxy's instance.
+    BarrierCntr {
+        /// Rank whose instance produced the counter.
+        src_rank: usize,
+        /// `host_rank` of the destination instance key.
+        dst_host_rank: usize,
+        /// `req_id` of the destination instance key.
+        dst_req_id: usize,
+        /// Generation of the destination instance.
+        gen: u64,
+        /// Counter value written (must increase monotonically per edge).
+        value: u64,
+    },
+}

@@ -18,12 +18,13 @@
 //! ```
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use rdma::{Channel, ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
 use simnet::ProcessCtx;
 
 use crate::config::{DataPath, OffloadConfig};
+use crate::events::ProtoEvent;
 use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_MASK, WRID_OFF_HOST};
 use crate::reg_cache::RankAddrCache;
 
@@ -44,8 +45,18 @@ pub struct GroupRequest(usize);
 /// One recorded group operation.
 #[derive(Clone, Debug)]
 enum GroupOp {
-    Send { addr: VAddr, len: u64, dst: usize, tag: u64 },
-    Recv { addr: VAddr, len: u64, src: usize, tag: u64 },
+    Send {
+        addr: VAddr,
+        len: u64,
+        dst: usize,
+        tag: u64,
+    },
+    Recv {
+        addr: VAddr,
+        len: u64,
+        src: usize,
+        tag: u64,
+    },
     Barrier,
 }
 
@@ -76,7 +87,9 @@ struct HostState {
     /// Host-side IB cache (receive buffers).
     ib_cache: RankAddrCache<MrKey>,
     groups: Vec<GroupState>,
-    metas_from: HashMap<usize, MetaQueue>,
+    /// Order-stable on purpose: message matching must never depend on
+    /// hash-iteration order (see `xtask lint`).
+    metas_from: BTreeMap<usize, MetaQueue>,
 }
 
 /// Host-side engine of the offload framework. One per application rank.
@@ -135,7 +148,7 @@ impl Offload {
                 gvmi_cache: RankAddrCache::new(n_proxies),
                 ib_cache: RankAddrCache::new(1),
                 groups: Vec::new(),
-                metas_from: HashMap::new(),
+                metas_from: BTreeMap::new(),
             }),
         }
     }
@@ -175,7 +188,13 @@ impl Offload {
     pub(crate) fn send_ctrl_to_proxy(&self, msg: CtrlMsg) {
         self.cluster
             .fabric()
-            .send_packet(&self.ctx, self.ep, self.proxy_ep, self.cfg.ctrl_bytes, Box::new(msg))
+            .send_packet(
+                &self.ctx,
+                self.ep,
+                self.proxy_ep,
+                self.cfg.ctrl_bytes,
+                Box::new(msg),
+            )
             .expect("control message to proxy");
         self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
     }
@@ -319,7 +338,12 @@ impl Offload {
         let mut st = self.st.borrow_mut();
         let g = &mut st.groups[req.0];
         assert!(!g.ended, "group_send after group_end");
-        g.ops.push(GroupOp::Send { addr, len, dst, tag });
+        g.ops.push(GroupOp::Send {
+            addr,
+            len,
+            dst,
+            tag,
+        });
     }
 
     /// `Recv_Goffload`: record an offloaded receive in the graph.
@@ -328,7 +352,12 @@ impl Offload {
         let mut st = self.st.borrow_mut();
         let g = &mut st.groups[req.0];
         assert!(!g.ended, "group_recv after group_end");
-        g.ops.push(GroupOp::Recv { addr, len, src, tag });
+        g.ops.push(GroupOp::Recv {
+            addr,
+            len,
+            src,
+            tag,
+        });
     }
 
     /// `Local_barrier_Goffload`: operations recorded after this point
@@ -353,7 +382,10 @@ impl Offload {
     /// hit the caches and send a single small execute message (paper
     /// §VII-D).
     pub fn group_call(&self, req: GroupRequest) {
-        assert!(self.st.borrow().groups[req.0].ended, "group_call before group_end");
+        assert!(
+            self.st.borrow().groups[req.0].ended,
+            "group_call before group_end"
+        );
         self.drain();
         let gen = {
             let mut st = self.st.borrow_mut();
@@ -429,7 +461,10 @@ impl Offload {
             .reg_mr_gvmi(&self.ctx, self.ep, addr, len, gvmi)
             .expect("GVMI registration of a valid buffer");
         if self.cfg.use_gvmi_cache {
-            self.st.borrow_mut().gvmi_cache.insert(self.proxy_idx, addr.0, len, mkey);
+            self.st
+                .borrow_mut()
+                .gvmi_cache
+                .insert(self.proxy_idx, addr.0, len, mkey);
         }
         mkey
     }
@@ -488,7 +523,10 @@ impl Offload {
         let mut rk = 0usize;
         for op in &ops {
             if let GroupOp::Recv { addr, src, tag, .. } = op {
-                per_src.entry(*src).or_default().push((*tag, *addr, recv_keys[rk]));
+                per_src
+                    .entry(*src)
+                    .or_default()
+                    .push((*tag, *addr, recv_keys[rk]));
                 rk += 1;
             }
         }
@@ -506,16 +544,22 @@ impl Offload {
                 }),
             )
             .expect("recv metadata");
+            self.ctx.emit(&ProtoEvent::RecvMetaSent {
+                from_rank: self.rank,
+                to_rank: src,
+                req_id: req.0,
+            });
         }
         // Gather metadata from every destination of my sends (sorted, for
         // the same determinism reason).
-        let mut needed: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        let mut needed: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
         for op in &ops {
             if let GroupOp::Send { dst, .. } = op {
                 *needed.entry(*dst).or_insert(0) += 1;
             }
         }
-        let mut metas: HashMap<usize, (usize, VecDeque<MetaEntry>)> = HashMap::new();
+        let mut metas: BTreeMap<usize, (usize, VecDeque<MetaEntry>)> = BTreeMap::new();
         for (&dst, &cnt) in &needed {
             loop {
                 let got = {
@@ -542,7 +586,12 @@ impl Offload {
         let mut wire = Vec::with_capacity(ops.len());
         for (sk, op) in ops.iter().enumerate() {
             match op {
-                GroupOp::Send { addr, len, dst, tag } => {
+                GroupOp::Send {
+                    addr,
+                    len,
+                    dst,
+                    tag,
+                } => {
                     let (dst_req_id, entries) = metas.get_mut(dst).expect("meta gathered");
                     let pos = entries
                         .iter()
@@ -575,7 +624,10 @@ impl Offload {
     }
 
     fn send_group_packet(&self, req: GroupRequest, gen: u64) {
-        let entries = self.st.borrow().groups[req.0].wire.clone().expect("wire built");
+        let entries = self.st.borrow().groups[req.0]
+            .wire
+            .clone()
+            .expect("wire built");
         let n = entries.len() as u64;
         self.cluster
             .fabric()
@@ -595,6 +647,10 @@ impl Offload {
                 }),
             )
             .expect("group packet");
+        self.ctx.emit(&ProtoEvent::GroupPacketSent {
+            host_rank: self.rank,
+            req_id: req.0,
+        });
         self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
         self.ctx.stat_incr("offload.group.packets", 1);
     }
@@ -628,10 +684,16 @@ impl Offload {
     }
 
     fn handle(&self, msg: NetMsg) {
-        let body = match msg {
-            NetMsg::Packet(p) => *p.body.downcast::<CtrlMsg>().expect("channel predicate"),
-            NetMsg::Notify(b) => *b.downcast::<CtrlMsg>().expect("channel predicate"),
+        let decoded = match msg {
+            NetMsg::Packet(p) => p.body.downcast::<CtrlMsg>().ok().map(|b| *b),
+            NetMsg::Notify(b) => b.downcast::<CtrlMsg>().ok().map(|b| *b),
             NetMsg::Cqe(_) => return, // unsignaled paths only
+        };
+        let Some(body) = decoded else {
+            // Not a control message despite the channel predicate: count
+            // and drop rather than crashing the rank.
+            self.ctx.stat_incr("offload.host.bad_ctrl", 1);
+            return;
         };
         match body {
             CtrlMsg::FinSend { req } | CtrlMsg::FinRecv { req } => {
@@ -656,7 +718,10 @@ impl Offload {
                 let g = &mut st.groups[req_id];
                 g.fin_gen = g.fin_gen.max(gen);
             }
-            other => panic!("unexpected control message on host {}: {other:?}", self.rank),
+            other => panic!(
+                "unexpected control message on host {}: {other:?}",
+                self.rank
+            ),
         }
     }
 }

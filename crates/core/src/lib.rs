@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod events;
 mod host;
 mod messages;
 mod patterns;
@@ -72,7 +73,8 @@ mod proxy;
 mod reg_cache;
 mod shmem;
 
-pub use config::{DataPath, OffloadConfig};
+pub use config::{DataPath, FaultInjection, OffloadConfig};
+pub use events::{CacheOutcome, FinKind, ProtoEvent};
 pub use host::{GroupRequest, Offload, OffloadReq};
 pub use proxy::{proxy_fn, proxy_main};
 pub use reg_cache::RankAddrCache;

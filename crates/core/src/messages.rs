@@ -18,7 +18,7 @@ pub(crate) const WRID_MASK: u64 = 0xFF00_0000_0000_0000;
 
 /// Identifier of one group request instance: the owning host rank and the
 /// host-local request id.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub(crate) struct GroupKey {
     pub host_rank: usize,
     pub req_id: usize,

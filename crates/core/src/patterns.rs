@@ -23,7 +23,13 @@ impl Offload {
         for k in 1..p {
             let dst = (me + k) % p;
             let src = (me + p - k) % p;
-            self.group_send(g, sendbuf.offset(dst as u64 * block), block, dst, dst as u64);
+            self.group_send(
+                g,
+                sendbuf.offset(dst as u64 * block),
+                block,
+                dst,
+                dst as u64,
+            );
             self.group_recv(g, recvbuf.offset(src as u64 * block), block, src, me as u64);
         }
         self.group_end(g);
@@ -120,8 +126,20 @@ impl Offload {
         for k in 0..p.saturating_sub(1) {
             let send_block = (me + p - k) % p;
             let recv_block = (me + p - k - 1) % p;
-            self.group_send(g, buf.offset(send_block as u64 * block), block, right, k as u64);
-            self.group_recv(g, buf.offset(recv_block as u64 * block), block, left, k as u64);
+            self.group_send(
+                g,
+                buf.offset(send_block as u64 * block),
+                block,
+                right,
+                k as u64,
+            );
+            self.group_recv(
+                g,
+                buf.offset(recv_block as u64 * block),
+                block,
+                left,
+                k as u64,
+            );
             self.group_barrier(g);
         }
         self.group_end(g);
@@ -215,8 +233,13 @@ mod tests {
             .run(
                 |rank, ctx, cluster| {
                     let inbox = Inbox::new();
-                    let off =
-                        Offload::init(rank, ctx, cluster.clone(), &inbox, OffloadConfig::proposed());
+                    let off = Offload::init(
+                        rank,
+                        ctx,
+                        cluster.clone(),
+                        &inbox,
+                        OffloadConfig::proposed(),
+                    );
                     let fab = cluster.fabric().clone();
                     let ep = cluster.host_ep(rank);
                     let p = cluster.world_size() as u64;

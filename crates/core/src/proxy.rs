@@ -24,14 +24,22 @@
 //! traffic is modelled, but a missing counter cannot wedge a pattern whose
 //! source side recorded no barrier.
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use rdma::{ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
-use simnet::{Pid, ProcessCtx};
+use simnet::{Payload, Pid, ProcessCtx};
 
-use crate::config::{DataPath, OffloadConfig};
+use crate::config::{DataPath, FaultInjection, OffloadConfig};
+use crate::events::ProtoEvent;
 use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_OFF_PROXY};
 use crate::reg_cache::RankAddrCache;
+
+/// Decode a control-message payload without panicking: a malformed or
+/// foreign message is surfaced as `None` so the caller can count and skip
+/// it instead of taking the whole simulation down.
+fn decode_ctrl(body: Payload) -> Option<CtrlMsg> {
+    body.downcast::<CtrlMsg>().ok().map(|b| *b)
+}
 
 #[allow(dead_code)] // tag/src_pid mirror the wire format
 struct RtsInfo {
@@ -104,24 +112,31 @@ struct Instance {
     done: bool,
 }
 
+/// Proxy bookkeeping. Every container here is order-stable (`BTreeMap` /
+/// `BTreeSet`): the event loop iterates some of them, and hash-order
+/// iteration would make message-matching order depend on the hasher —
+/// the exact nondeterminism the schedule explorer exists to rule out
+/// (and that `xtask lint` bans from these paths).
 struct ProxyState {
-    send_q: HashMap<(usize, usize, u64), VecDeque<RtsInfo>>,
-    recv_q: HashMap<(usize, usize, u64), VecDeque<RtrInfo>>,
+    send_q: BTreeMap<(usize, usize, u64), VecDeque<RtsInfo>>,
+    recv_q: BTreeMap<(usize, usize, u64), VecDeque<RtrInfo>>,
     /// Staging-buffer assignment per `(src_rank, addr, len)`.
-    stage_assign: HashMap<(usize, u64, u64), (VAddr, MrKey)>,
-    inflight: HashMap<u64, Completion>,
+    stage_assign: BTreeMap<(usize, u64, u64), (VAddr, MrKey)>,
+    inflight: BTreeMap<u64, Completion>,
     next_wr: u64,
     cross_cache: RankAddrCache<(MrKey, MrKey)>,
-    groups: HashMap<GroupKey, CachedGroup>,
+    groups: BTreeMap<GroupKey, CachedGroup>,
     instances: Vec<Instance>,
     /// Data-arrival counters per `(group instance, gen)`, keyed inside by
     /// `(src_rank, tag)`.
-    arrivals: HashMap<(GroupKey, u64), HashMap<(usize, u64), u64>>,
+    arrivals: BTreeMap<(GroupKey, u64), BTreeMap<(usize, u64), u64>>,
     /// Staged group send entries: `(key, gen, entry index)`.
-    group_staged: HashSet<(GroupKey, u64, usize)>,
+    group_staged: BTreeSet<(GroupKey, u64, usize)>,
     /// Staging reads already posted: `(key, gen, entry index)`.
-    stage_read_posted: HashSet<(GroupKey, u64, usize)>,
+    stage_read_posted: BTreeSet<(GroupKey, u64, usize)>,
     shutdowns: usize,
+    /// `FaultInjection::DropFirstFin` already fired on this proxy.
+    fin_dropped: bool,
 }
 
 /// Build a proxy closure suitable for [`rdma::ClusterBuilder::run`]'s
@@ -149,18 +164,19 @@ pub fn proxy_main(
     let inbox = Inbox::new();
     let chan = inbox.channel(|_| true);
     let mut st = ProxyState {
-        send_q: HashMap::new(),
-        recv_q: HashMap::new(),
-        stage_assign: HashMap::new(),
-        inflight: HashMap::new(),
+        send_q: BTreeMap::new(),
+        recv_q: BTreeMap::new(),
+        stage_assign: BTreeMap::new(),
+        inflight: BTreeMap::new(),
         next_wr: 0,
         cross_cache: RankAddrCache::new(spec.world_size()),
-        groups: HashMap::new(),
+        groups: BTreeMap::new(),
         instances: Vec::new(),
-        arrivals: HashMap::new(),
-        group_staged: HashSet::new(),
-        stage_read_posted: HashSet::new(),
+        arrivals: BTreeMap::new(),
+        group_staged: BTreeSet::new(),
+        stage_read_posted: BTreeSet::new(),
         shutdowns: 0,
+        fin_dropped: false,
     };
     let p = Proxy {
         ctx: &ctx,
@@ -198,13 +214,19 @@ impl Proxy<'_> {
     }
 
     fn handle(&self, st: &mut ProxyState, msg: NetMsg) {
-        let body = match msg {
-            NetMsg::Packet(p) => *p.body.downcast::<CtrlMsg>().expect("proxy receives CtrlMsg"),
-            NetMsg::Notify(b) => *b.downcast::<CtrlMsg>().expect("proxy receives CtrlMsg"),
+        let decoded = match msg {
+            NetMsg::Packet(p) => decode_ctrl(p.body),
+            NetMsg::Notify(b) => decode_ctrl(b),
             NetMsg::Cqe(c) => {
                 self.on_cqe(st, c.wrid);
                 return;
             }
+        };
+        let Some(body) = decoded else {
+            // Cross-rank payload that is not a control message: count it
+            // and move on rather than crashing the proxy.
+            self.ctx.stat_incr("offload.proxy.bad_ctrl", 1);
+            return;
         };
         match body {
             CtrlMsg::Rts {
@@ -218,11 +240,17 @@ impl Proxy<'_> {
                 src_req,
                 src_pid,
             } => {
-                let _ = self
-                    .cluster
-                    .fabric()
-                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                let _ = self.cluster.fabric().charge_cpu(
+                    self.ctx,
+                    self.my_ep,
+                    self.cfg.proxy_entry_overhead,
+                );
                 self.ctx.stat_incr("offload.proxy.rts", 1);
+                self.ctx.emit(&ProtoEvent::RtsAtProxy {
+                    src_rank,
+                    dst_rank,
+                    tag,
+                });
                 let rts = RtsInfo {
                     src_rank,
                     tag,
@@ -250,11 +278,17 @@ impl Proxy<'_> {
                 dst_req,
                 dst_pid,
             } => {
-                let _ = self
-                    .cluster
-                    .fabric()
-                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                let _ = self.cluster.fabric().charge_cpu(
+                    self.ctx,
+                    self.my_ep,
+                    self.cfg.proxy_entry_overhead,
+                );
                 self.ctx.stat_incr("offload.proxy.rtr", 1);
+                self.ctx.emit(&ProtoEvent::RtrAtProxy {
+                    src_rank,
+                    dst_rank,
+                    tag,
+                });
                 let rtr = RtrInfo {
                     dst_rank,
                     addr,
@@ -281,10 +315,11 @@ impl Proxy<'_> {
                 self.start_instance(st, key, gen);
             }
             CtrlMsg::GroupExec { key, gen } => {
-                let _ = self
-                    .cluster
-                    .fabric()
-                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                let _ = self.cluster.fabric().charge_cpu(
+                    self.ctx,
+                    self.my_ep,
+                    self.cfg.proxy_entry_overhead,
+                );
                 self.ctx.stat_incr("offload.proxy.group_execs", 1);
                 self.start_instance(st, key, gen);
             }
@@ -312,13 +347,26 @@ impl Proxy<'_> {
                 src_req,
                 src_pid,
             } => {
-                let _ = self
-                    .cluster
-                    .fabric()
-                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                let _ = self.cluster.fabric().charge_cpu(
+                    self.ctx,
+                    self.my_ep,
+                    self.cfg.proxy_entry_overhead,
+                );
                 self.ctx.stat_incr("offload.proxy.puts", 1);
                 // A put is a pre-matched pair: synthesize the RTS/RTR and
-                // run the normal data movement (either path).
+                // run the normal data movement (either path). The checker
+                // sees the synthesized pair too, keeping the matching
+                // invariant uniform across two-sided and one-sided paths.
+                self.ctx.emit(&ProtoEvent::RtsAtProxy {
+                    src_rank,
+                    dst_rank,
+                    tag: 0,
+                });
+                self.ctx.emit(&ProtoEvent::RtrAtProxy {
+                    src_rank,
+                    dst_rank,
+                    tag: 0,
+                });
                 let rts = RtsInfo {
                     src_rank,
                     tag: 0,
@@ -350,10 +398,11 @@ impl Proxy<'_> {
                 src_req,
                 ..
             } => {
-                let _ = self
-                    .cluster
-                    .fabric()
-                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                let _ = self.cluster.fabric().charge_cpu(
+                    self.ctx,
+                    self.my_ep,
+                    self.cfg.proxy_entry_overhead,
+                );
                 self.ctx.stat_incr("offload.proxy.gets", 1);
                 assert_eq!(
                     self.cfg.data_path,
@@ -364,13 +413,10 @@ impl Proxy<'_> {
                 // the remote symmetric memory straight into it.
                 let mkey2 = self.cross_reg_cached(st, src_rank, local_addr, len, local_mkey);
                 let wr = self.next_wrid(st);
-                st.inflight.insert(
-                    wr,
-                    Completion::OneSided {
-                        src_rank,
-                        src_req,
-                    },
-                );
+                self.ctx.emit(&ProtoEvent::Mkey2Used { mkey2 });
+                self.ctx.emit(&ProtoEvent::WritePosted { wrid: wr });
+                st.inflight
+                    .insert(wr, Completion::OneSided { src_rank, src_req });
                 self.cluster
                     .fabric()
                     .rdma_read(
@@ -421,6 +467,11 @@ impl Proxy<'_> {
     }
 
     fn pair_matched(&self, st: &mut ProxyState, rts: RtsInfo, rtr: RtrInfo) {
+        self.ctx.emit(&ProtoEvent::PairMatched {
+            src_rank: rts.src_rank,
+            dst_rank: rtr.dst_rank,
+            tag: rts.tag,
+        });
         match self.cfg.data_path {
             DataPath::Gvmi => self.post_gvmi_pair(st, rts, rtr),
             DataPath::Staging => self.post_staging_read(st, rts, rtr),
@@ -434,6 +485,8 @@ impl Proxy<'_> {
         let mkey = rts.mkey.expect("GVMI RTS carries an mkey");
         let mkey2 = self.cross_reg_cached(st, rts.src_rank, rts.addr, rts.len, mkey);
         let wr = self.next_wrid(st);
+        self.ctx.emit(&ProtoEvent::Mkey2Used { mkey2 });
+        self.ctx.emit(&ProtoEvent::WritePosted { wrid: wr });
         st.inflight.insert(
             wr,
             Completion::BasicPair {
@@ -467,6 +520,7 @@ impl Proxy<'_> {
         let len = rts.len.min(rtr.len);
         let src_ep = self.cluster.host_ep(rts.src_rank);
         let src_addr = rts.addr;
+        self.ctx.emit(&ProtoEvent::WritePosted { wrid: wr });
         st.inflight
             .insert(wr, Completion::StagingRead(Box::new((rts, rtr))));
         self.cluster
@@ -491,6 +545,7 @@ impl Proxy<'_> {
             .get(&(rts.src_rank, rts.addr.0, rts.len))
             .expect("staging buffer assigned at read");
         let wr = self.next_wrid(st);
+        self.ctx.emit(&ProtoEvent::WritePosted { wrid: wr });
         st.inflight.insert(
             wr,
             Completion::BasicPair {
@@ -525,17 +580,41 @@ impl Proxy<'_> {
     ) -> MrKey {
         let fab = self.cluster.fabric();
         if self.cfg.use_gvmi_cache {
-            if let Some(&(_, mkey2)) = st
-                .cross_cache
-                .get_validated(src_rank, addr.0, len, |(m, _)| *m == mkey)
-            {
+            let (hit, outcome) = {
+                let (v, outcome) =
+                    st.cross_cache
+                        .get_validated_outcome(src_rank, addr.0, len, |(m, _)| *m == mkey);
+                (v.copied(), outcome)
+            };
+            self.ctx.emit(&ProtoEvent::CrossRegCacheLookup {
+                host_rank: src_rank,
+                addr,
+                len,
+                outcome,
+                mkey: hit.map(|(m, _)| m),
+                mkey2: hit.map(|(_, m2)| m2),
+            });
+            if let Some((_, mkey2)) = hit {
                 return mkey2;
             }
+        }
+        if self.cfg.fault == FaultInjection::SkipCrossReg {
+            // Deliberate protocol violation: hand back the host's mkey as
+            // if it were a cross-registration. No CrossReg event is
+            // emitted, so the checker flags the first Mkey2Used.
+            return mkey;
         }
         let gvmi = fab.gvmi_of(self.my_ep).expect("proxy endpoint has a GVMI");
         let mkey2 = fab
             .cross_reg(self.ctx, self.my_ep, addr, len, mkey, gvmi)
             .expect("cross registration");
+        self.ctx.emit(&ProtoEvent::CrossReg {
+            host_rank: src_rank,
+            addr,
+            len,
+            mkey,
+            mkey2,
+        });
         if self.cfg.use_gvmi_cache {
             st.cross_cache.insert(src_rank, addr.0, len, (mkey, mkey2));
         }
@@ -548,7 +627,12 @@ impl Proxy<'_> {
     }
 
     fn on_cqe(&self, st: &mut ProxyState, wrid: u64) {
-        match st.inflight.remove(&wrid).expect("CQE for unknown work request") {
+        self.ctx.emit(&ProtoEvent::WriteCompleted { wrid });
+        match st
+            .inflight
+            .remove(&wrid)
+            .expect("CQE for unknown work request")
+        {
             Completion::BasicPair {
                 src_rank,
                 src_req,
@@ -568,8 +652,20 @@ impl Proxy<'_> {
                     Box::new(CtrlMsg::FinSend { req: src_req }),
                 )
                 .expect("FIN to source");
+                self.ctx.emit(&ProtoEvent::FinSent {
+                    rank: src_rank,
+                    req: src_req,
+                    wrid,
+                    kind: crate::events::FinKind::Send,
+                });
                 self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
                 if dst_req != usize::MAX {
+                    if self.cfg.fault == FaultInjection::DropFirstFin && !st.fin_dropped {
+                        // Deliberate fault: lose this FinRecv. The waiting
+                        // receiver never completes, so the run deadlocks.
+                        st.fin_dropped = true;
+                        return;
+                    }
                     fab.send_packet(
                         self.ctx,
                         self.my_ep,
@@ -578,6 +674,12 @@ impl Proxy<'_> {
                         Box::new(CtrlMsg::FinRecv { req: dst_req }),
                     )
                     .expect("FIN to destination");
+                    self.ctx.emit(&ProtoEvent::FinSent {
+                        rank: dst_rank,
+                        req: dst_req,
+                        wrid,
+                        kind: crate::events::FinKind::Recv,
+                    });
                     self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
                 }
             }
@@ -592,6 +694,12 @@ impl Proxy<'_> {
                         Box::new(CtrlMsg::FinSend { req: src_req }),
                     )
                     .expect("FIN to origin");
+                self.ctx.emit(&ProtoEvent::FinSent {
+                    rank: src_rank,
+                    req: src_req,
+                    wrid,
+                    kind: crate::events::FinKind::Send,
+                });
                 self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
             }
             Completion::StagingRead(pair) => {
@@ -607,7 +715,11 @@ impl Proxy<'_> {
                     inst.outstanding -= 1;
                 }
             }
-            Completion::GroupStageRead { key, gen, entry_idx } => {
+            Completion::GroupStageRead {
+                key,
+                gen,
+                entry_idx,
+            } => {
                 st.group_staged.insert((key, gen, entry_idx));
             }
         }
@@ -633,7 +745,10 @@ impl Proxy<'_> {
         let mut staging = vec![None; entries.len()];
         let fab = self.cluster.fabric();
         for (i, e) in entries.iter().enumerate() {
-            if let WireEntry::Send { addr, len, mkey, .. } = e {
+            if let WireEntry::Send {
+                addr, len, mkey, ..
+            } = e
+            {
                 if want_staging {
                     let buf = fab.alloc(self.my_ep, *len);
                     let k = fab
@@ -660,7 +775,10 @@ impl Proxy<'_> {
     }
 
     fn start_instance(&self, st: &mut ProxyState, key: GroupKey, gen: u64) {
-        assert!(st.groups.contains_key(&key), "exec for unknown group {key:?}");
+        assert!(
+            st.groups.contains_key(&key),
+            "exec for unknown group {key:?}"
+        );
         st.instances.push(Instance {
             key,
             gen,
@@ -704,7 +822,8 @@ impl Proxy<'_> {
                     return;
                 }
                 if !self.recvs_arrived(st, key, gen, n_entries) {
-                    self.ctx.trace(format!("proxy.wait_arrivals.r{}", key.host_rank));
+                    self.ctx
+                        .trace(format!("proxy.wait_arrivals.r{}", key.host_rank));
                     return;
                 }
                 let host_pid = st.groups[&key].host_pid;
@@ -722,8 +841,15 @@ impl Proxy<'_> {
                         }),
                     )
                     .expect("group fin");
+                self.ctx.emit(&ProtoEvent::FinSent {
+                    rank: key.host_rank,
+                    req: key.req_id,
+                    wrid: 0,
+                    kind: crate::events::FinKind::Group,
+                });
                 self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
-                self.ctx.trace(format!("proxy.group_fin.r{}.g{gen}", key.host_rank));
+                self.ctx
+                    .trace(format!("proxy.group_fin.r{}.g{gen}", key.host_rank));
                 st.arrivals.remove(&(key, gen));
                 st.instances[idx].done = true;
                 return;
@@ -751,11 +877,13 @@ impl Proxy<'_> {
                                     WireEntry::Send { src_rkey, .. } => *src_rkey,
                                     _ => unreachable!("send entry"),
                                 };
-                                let _ = self
-                    .cluster
-                    .fabric()
-                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                                let _ = self.cluster.fabric().charge_cpu(
+                                    self.ctx,
+                                    self.my_ep,
+                                    self.cfg.proxy_entry_overhead,
+                                );
                                 let wr = self.next_wrid(st);
+                                self.ctx.emit(&ProtoEvent::WritePosted { wrid: wr });
                                 st.inflight.insert(
                                     wr,
                                     Completion::GroupStageRead {
@@ -781,10 +909,11 @@ impl Proxy<'_> {
                         }
                         st.stage_read_posted.remove(&(key, gen, cursor));
                     }
-                    let _ = self
-                    .cluster
-                    .fabric()
-                    .charge_cpu(self.ctx, self.my_ep, self.cfg.proxy_entry_overhead);
+                    let _ = self.cluster.fabric().charge_cpu(
+                        self.ctx,
+                        self.my_ep,
+                        self.cfg.proxy_entry_overhead,
+                    );
                     let wr = self.next_wrid(st);
                     st.inflight.insert(wr, Completion::GroupSend { key, gen });
                     let dst_proxy_pid = self
@@ -802,12 +931,13 @@ impl Proxy<'_> {
                     };
                     let local = match staging {
                         Some((buf, k)) => (self.my_ep, buf, k),
-                        None => (
-                            self.cluster.host_ep(key.host_rank),
-                            addr,
-                            mkey2.expect("GVMI entries are cross-registered"),
-                        ),
+                        None => {
+                            let m2 = mkey2.expect("GVMI entries are cross-registered");
+                            self.ctx.emit(&ProtoEvent::Mkey2Used { mkey2: m2 });
+                            (self.cluster.host_ep(key.host_rank), addr, m2)
+                        }
                     };
+                    self.ctx.emit(&ProtoEvent::WritePosted { wrid: wr });
                     self.cluster
                         .fabric()
                         .rdma_write(
@@ -863,6 +993,13 @@ impl Proxy<'_> {
                                     }),
                                 )
                                 .expect("barrier counter write");
+                            self.ctx.emit(&ProtoEvent::BarrierCntr {
+                                src_rank: key.host_rank,
+                                dst_host_rank: dst_rank,
+                                dst_req_id,
+                                gen,
+                                value,
+                            });
                         }
                     }
                     // Gate on pre-barrier receive arrivals.
@@ -880,7 +1017,7 @@ impl Proxy<'_> {
     /// Have all `Recv` entries with index `< upto` received their payload?
     fn recvs_arrived(&self, st: &ProxyState, key: GroupKey, gen: u64, upto: usize) -> bool {
         let entries = &st.groups[&key].entries;
-        let mut needed: HashMap<(usize, u64), u64> = HashMap::new();
+        let mut needed: BTreeMap<(usize, u64), u64> = BTreeMap::new();
         for e in entries.iter().take(upto) {
             if let WireEntry::Recv { src_rank, tag } = e {
                 *needed.entry((*src_rank, *tag)).or_insert(0) += 1;
@@ -890,8 +1027,8 @@ impl Proxy<'_> {
             return true;
         }
         let got = st.arrivals.get(&(key, gen));
-        needed.iter().all(|(k, need)| {
-            got.and_then(|m| m.get(k)).copied().unwrap_or(0) >= *need
-        })
+        needed
+            .iter()
+            .all(|(k, need)| got.and_then(|m| m.get(k)).copied().unwrap_or(0) >= *need)
     }
 }

@@ -18,6 +18,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::events::CacheOutcome;
+
 /// Two-level registration cache: an array indexed by rank, each slot a
 /// search tree keyed by `(address, size)`.
 ///
@@ -111,19 +113,52 @@ impl<V> RankAddrCache<V> {
         }
     }
 
+    /// Like [`RankAddrCache::get_validated`], but also reports whether
+    /// the lookup was a hit, a clean miss, or a stale eviction — the
+    /// distinction the conformance checker's cache-coherence invariant
+    /// observes through [`crate::ProtoEvent::CrossRegCacheLookup`].
+    pub fn get_validated_outcome(
+        &mut self,
+        rank: usize,
+        addr: u64,
+        size: u64,
+        valid: impl FnOnce(&V) -> bool,
+    ) -> (Option<&V>, CacheOutcome) {
+        let present = self.per_rank[rank].contains_key(&(addr, size));
+        let stale_before = self.stale;
+        let found = self.get_validated(rank, addr, size, valid).is_some();
+        let outcome = if found {
+            CacheOutcome::Hit
+        } else if present && self.stale > stale_before {
+            CacheOutcome::Stale
+        } else {
+            CacheOutcome::Miss
+        };
+        (
+            self.per_rank[rank].get(&(addr, size)).filter(|_| found),
+            outcome,
+        )
+    }
+
     /// Insert (or replace) an entry. With a capacity set, this may evict
     /// the least-recently-used entry, which is returned so the caller can
     /// deregister it.
-    pub fn insert(&mut self, rank: usize, addr: u64, size: u64, v: V) -> Option<(usize, u64, u64, V)> {
+    pub fn insert(
+        &mut self,
+        rank: usize,
+        addr: u64,
+        size: u64,
+        v: V,
+    ) -> Option<(usize, u64, u64, V)> {
         let mut evicted = None;
         if let Some(cap) = self.capacity {
             let new_entry = !self.per_rank[rank].contains_key(&(addr, size));
             if new_entry && self.len() >= cap {
                 // Evict the stalest entry.
-                if let Some((&(r, a, s), _)) =
-                    self.last_use.iter().min_by_key(|(_, &used)| used)
-                {
-                    let val = self.per_rank[r].remove(&(a, s)).expect("indexed entry exists");
+                if let Some((&(r, a, s), _)) = self.last_use.iter().min_by_key(|(_, &used)| used) {
+                    let val = self.per_rank[r]
+                        .remove(&(a, s))
+                        .expect("indexed entry exists");
                     self.last_use.remove(&(r, a, s));
                     self.evictions += 1;
                     evicted = Some((r, a, s, val));
@@ -196,13 +231,18 @@ mod tests {
     fn validation_evicts_stale_entries() {
         let mut c: RankAddrCache<(u64, u64)> = RankAddrCache::new(1);
         c.insert(0, 0x2000, 32, (7, 70)); // (mkey, mkey2)
-        // Host now presents mkey 8: stored entry is stale.
-        assert!(c.get_validated(0, 0x2000, 32, |(mkey, _)| *mkey == 8).is_none());
+                                          // Host now presents mkey 8: stored entry is stale.
+        assert!(c
+            .get_validated(0, 0x2000, 32, |(mkey, _)| *mkey == 8)
+            .is_none());
         assert_eq!(c.stats(), (0, 1, 1));
         assert!(c.is_empty());
         // Re-insert with the new mkey and validate again.
         c.insert(0, 0x2000, 32, (8, 80));
-        assert_eq!(c.get_validated(0, 0x2000, 32, |(mkey, _)| *mkey == 8), Some(&(8, 80)));
+        assert_eq!(
+            c.get_validated(0, 0x2000, 32, |(mkey, _)| *mkey == 8),
+            Some(&(8, 80))
+        );
     }
 
     #[test]
@@ -259,5 +299,162 @@ mod tests {
         c.insert(2, 2, 2, 2);
         assert_eq!(c.len(), 3);
         assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn outcome_lookup_classifies_hit_miss_stale() {
+        let mut c: RankAddrCache<(u64, u64)> = RankAddrCache::new(1);
+        let (v, o) = c.get_validated_outcome(0, 0x10, 8, |_| true);
+        assert!(v.is_none());
+        assert_eq!(o, CacheOutcome::Miss);
+        c.insert(0, 0x10, 8, (7, 70));
+        let (v, o) = c.get_validated_outcome(0, 0x10, 8, |(m, _)| *m == 7);
+        assert_eq!(v, Some(&(7, 70)));
+        assert_eq!(o, CacheOutcome::Hit);
+        let (v, o) = c.get_validated_outcome(0, 0x10, 8, |(m, _)| *m == 8);
+        assert!(v.is_none());
+        assert_eq!(o, CacheOutcome::Stale);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap as Model;
+
+    /// A small operation language over the cache, mirrored against a
+    /// plain map model.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Insert {
+            rank: usize,
+            addr: u64,
+            size: u64,
+            v: u64,
+        },
+        Get {
+            rank: usize,
+            addr: u64,
+            size: u64,
+        },
+        Evict {
+            rank: usize,
+            addr: u64,
+            size: u64,
+        },
+    }
+
+    const RANKS: usize = 4;
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // Small key domains so lookups overlap with earlier inserts, and
+        // overlapping (addr, size) pairs sharing an addr stay distinct.
+        let key = (0usize..RANKS, 0u64..6, 1u64..4);
+        prop_oneof![
+            (key.clone(), 0u64..1000).prop_map(|((rank, addr, size), v)| Op::Insert {
+                rank,
+                addr,
+                size,
+                v
+            }),
+            key.clone()
+                .prop_map(|(rank, addr, size)| Op::Get { rank, addr, size }),
+            key.prop_map(|(rank, addr, size)| Op::Evict { rank, addr, size }),
+        ]
+    }
+
+    proptest! {
+        /// The unbounded cache behaves exactly like a map keyed by the
+        /// full (rank, addr, size) triple: ranks are isolated (the
+        /// array-of-BSTs index) and (addr, size) pairs that overlap in
+        /// memory but differ in either component are distinct entries.
+        #[test]
+        fn unbounded_cache_matches_map_model(ops in prop::collection::vec(op_strategy(), 1..64)) {
+            let mut cache: RankAddrCache<u64> = RankAddrCache::new(RANKS);
+            let mut model: Model<(usize, u64, u64), u64> = Model::new();
+            let (mut hits, mut misses) = (0u64, 0u64);
+            for op in &ops {
+                match *op {
+                    Op::Insert { rank, addr, size, v } => {
+                        prop_assert!(cache.insert(rank, addr, size, v).is_none());
+                        model.insert((rank, addr, size), v);
+                    }
+                    Op::Get { rank, addr, size } => {
+                        let got = cache.get(rank, addr, size).copied();
+                        let want = model.get(&(rank, addr, size)).copied();
+                        prop_assert_eq!(got, want);
+                        if want.is_some() { hits += 1 } else { misses += 1 }
+                    }
+                    Op::Evict { rank, addr, size } => {
+                        let got = cache.evict(rank, addr, size);
+                        let want = model.remove(&(rank, addr, size));
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+            prop_assert_eq!(cache.len(), model.len());
+            let (h, m, s) = cache.stats();
+            prop_assert_eq!((h, m, s), (hits, misses, 0));
+        }
+
+        /// A bounded cache never exceeds its capacity, and everything it
+        /// still holds agrees with the model (evictions only remove).
+        #[test]
+        fn bounded_cache_respects_capacity(
+            cap in 1usize..8,
+            ops in prop::collection::vec(op_strategy(), 1..64),
+        ) {
+            let mut cache: RankAddrCache<u64> = RankAddrCache::with_capacity(RANKS, cap);
+            let mut model: Model<(usize, u64, u64), u64> = Model::new();
+            for op in &ops {
+                match *op {
+                    Op::Insert { rank, addr, size, v } => {
+                        if let Some((r, a, s, _)) = cache.insert(rank, addr, size, v) {
+                            model.remove(&(r, a, s));
+                        }
+                        model.insert((rank, addr, size), v);
+                    }
+                    Op::Get { rank, addr, size } => {
+                        let got = cache.get(rank, addr, size).copied();
+                        prop_assert_eq!(got, model.get(&(rank, addr, size)).copied());
+                    }
+                    Op::Evict { rank, addr, size } => {
+                        let got = cache.evict(rank, addr, size);
+                        prop_assert_eq!(got, model.remove(&(rank, addr, size)));
+                    }
+                }
+                prop_assert!(cache.len() <= cap);
+                prop_assert_eq!(cache.len(), model.len());
+            }
+        }
+
+        /// Validated lookups agree with plain lookups when the predicate
+        /// accepts, and evict exactly the probed entry when it rejects.
+        #[test]
+        fn stale_eviction_removes_only_probed_entry(
+            ops in prop::collection::vec(op_strategy(), 1..48),
+            probe_rank in 0usize..RANKS,
+            probe_addr in 0u64..6,
+            probe_size in 1u64..4,
+        ) {
+            let mut cache: RankAddrCache<u64> = RankAddrCache::new(RANKS);
+            let mut model: Model<(usize, u64, u64), u64> = Model::new();
+            for op in &ops {
+                if let Op::Insert { rank, addr, size, v } = *op {
+                    cache.insert(rank, addr, size, v);
+                    model.insert((rank, addr, size), v);
+                }
+            }
+            let (_, outcome) =
+                cache.get_validated_outcome(probe_rank, probe_addr, probe_size, |_| false);
+            let had = model.remove(&(probe_rank, probe_addr, probe_size)).is_some();
+            prop_assert_eq!(outcome, if had { CacheOutcome::Stale } else { CacheOutcome::Miss });
+            // Every other entry survives untouched.
+            for (&(r, a, s), &v) in &model {
+                prop_assert_eq!(cache.get(r, a, s).copied(), Some(v));
+            }
+            prop_assert_eq!(cache.len(), model.len());
+        }
     }
 }

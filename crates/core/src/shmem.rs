@@ -200,20 +200,18 @@ impl Shmem {
             DataPath::Gvmi => (Some(self.heap_mkey), None),
             DataPath::Staging => (None, Some(self.heap_rkey())),
         };
-        let req = self.off.one_sided(
-            CtrlMsg::Put {
-                src_rank: self.rank(),
-                addr: self.heap_base.offset(src.0),
-                len,
-                mkey,
-                src_rkey,
-                dst_rank: pe,
-                dst_addr,
-                dst_rkey,
-                src_req: usize::MAX, // patched by one_sided
-                src_pid: self.off.ctx().pid(),
-            },
-        );
+        let req = self.off.one_sided(CtrlMsg::Put {
+            src_rank: self.rank(),
+            addr: self.heap_base.offset(src.0),
+            len,
+            mkey,
+            src_rkey,
+            dst_rank: pe,
+            dst_addr,
+            dst_rkey,
+            src_req: usize::MAX, // patched by one_sided
+            src_pid: self.off.ctx().pid(),
+        });
         self.st.borrow_mut().outstanding.push(req);
         req
     }
@@ -232,19 +230,17 @@ impl Shmem {
         let peer = st.peers[pe].as_ref().expect("hello exchange completed");
         let (remote_addr, remote_rkey) = (peer.heap_base.offset(src.0), peer.heap_rkey);
         drop(st);
-        let req = self.off.one_sided(
-            CtrlMsg::Get {
-                src_rank: self.rank(),
-                local_addr: self.heap_base.offset(dst.0),
-                len,
-                local_mkey: self.heap_mkey,
-                remote_rank: pe,
-                remote_addr,
-                remote_rkey,
-                src_req: usize::MAX, // patched by one_sided
-                src_pid: self.off.ctx().pid(),
-            },
-        );
+        let req = self.off.one_sided(CtrlMsg::Get {
+            src_rank: self.rank(),
+            local_addr: self.heap_base.offset(dst.0),
+            len,
+            local_mkey: self.heap_mkey,
+            remote_rank: pe,
+            remote_addr,
+            remote_rkey,
+            src_req: usize::MAX, // patched by one_sided
+            src_pid: self.off.ctx().pid(),
+        });
         self.st.borrow_mut().outstanding.push(req);
         req
     }
@@ -278,7 +274,10 @@ impl Shmem {
 
     /// Keep the map of peers accessible for diagnostics.
     pub fn peer_heap_base(&self, pe: usize) -> VAddr {
-        self.st.borrow().peers[pe].as_ref().expect("peer known").heap_base
+        self.st.borrow().peers[pe]
+            .as_ref()
+            .expect("peer known")
+            .heap_base
     }
 
     /// Unused-field silencer with documentation value: the endpoint is the
@@ -336,14 +335,18 @@ mod tests {
             let a = shm.sym_alloc(4096);
             let b = shm.sym_alloc(4096);
             if shm.rank() == 0 {
-                fab.fill_pattern(shm.endpoint(), shm.local_addr(a), 4096, 77).unwrap();
+                fab.fill_pattern(shm.endpoint(), shm.local_addr(a), 4096, 77)
+                    .unwrap();
                 shm.put(1, b, a, 4096);
                 shm.quiet();
             } else {
                 // The target does nothing at all: spin on the payload via
                 // simulated time until the proxy wrote it.
                 let mut spins = 0;
-                while !fab.verify_pattern(shm.endpoint(), shm.local_addr(b), 4096, 77).unwrap() {
+                while !fab
+                    .verify_pattern(shm.endpoint(), shm.local_addr(b), 4096, 77)
+                    .unwrap()
+                {
                     shm.offload().ctx().compute(simnet::SimDelta::from_us(10));
                     spins += 1;
                     assert!(spins < 10_000, "put never landed");
@@ -358,8 +361,13 @@ mod tests {
             let fab = shm.offload().cluster().fabric().clone();
             let src = shm.sym_alloc(8192);
             let dst = shm.sym_alloc(8192);
-            fab.fill_pattern(shm.endpoint(), shm.local_addr(src), 8192, 100 + shm.rank() as u64)
-                .unwrap();
+            fab.fill_pattern(
+                shm.endpoint(),
+                shm.local_addr(src),
+                8192,
+                100 + shm.rank() as u64,
+            )
+            .unwrap();
             // Give both sides a moment so the data exists before the get.
             shm.offload().ctx().compute(simnet::SimDelta::from_us(50));
             let peer = 1 - shm.rank();
@@ -391,8 +399,13 @@ mod tests {
             let me = shm.rank();
             let peer = (me + 1) % shm.n_pes();
             for (i, &s) in slots.iter().enumerate().take(4) {
-                fab.fill_pattern(shm.endpoint(), shm.local_addr(s), 1024, (me * 10 + i) as u64)
-                    .unwrap();
+                fab.fill_pattern(
+                    shm.endpoint(),
+                    shm.local_addr(s),
+                    1024,
+                    (me * 10 + i) as u64,
+                )
+                .unwrap();
                 shm.put(peer, slots[4 + i], s, 1024);
             }
             shm.quiet();

@@ -41,7 +41,7 @@ fn pingpong_body(off: &Offload, len: u64) {
     } else {
         fab.fill_pattern(ep, sbuf, len, 20).unwrap();
         let r = off.recv_offload(rbuf, len, 0, 7);
-        let s = off.send_offload(sbuf, len, 1 - 1, 8);
+        let s = off.send_offload(sbuf, len, 0, 8);
         off.wait(r);
         off.wait(s);
         assert!(fab.verify_pattern(ep, rbuf, len, 10).unwrap());
@@ -50,12 +50,16 @@ fn pingpong_body(off: &Offload, len: u64) {
 
 #[test]
 fn gvmi_pingpong_moves_data() {
-    run_offload(2, 1, OffloadConfig::proposed(), |off| pingpong_body(off, 64 * 1024));
+    run_offload(2, 1, OffloadConfig::proposed(), |off| {
+        pingpong_body(off, 64 * 1024)
+    });
 }
 
 #[test]
 fn staging_pingpong_moves_data() {
-    run_offload(2, 1, OffloadConfig::staging(), |off| pingpong_body(off, 64 * 1024));
+    run_offload(2, 1, OffloadConfig::staging(), |off| {
+        pingpong_body(off, 64 * 1024)
+    });
 }
 
 #[test]
@@ -151,7 +155,8 @@ fn many_outstanding_transfers_match_by_tag() {
             for (i, &b) in bufs.iter().enumerate() {
                 // Tag i*3 was sent from buffer n-1-i.
                 assert!(
-                    fab.verify_pattern(ep, b, len, (n as usize - 1 - i) as u64).unwrap(),
+                    fab.verify_pattern(ep, b, len, (n as usize - 1 - i) as u64)
+                        .unwrap(),
                     "tag stream {i}"
                 );
             }

@@ -60,7 +60,10 @@ fn one_byte_and_odd_sizes() {
                 off.wait(off.send_offload(buf, len, 1, i as u64));
             } else {
                 off.wait(off.recv_offload(buf, len, 0, i as u64));
-                assert!(fab.verify_pattern(ep, buf, len, i as u64).unwrap(), "len {len}");
+                assert!(
+                    fab.verify_pattern(ep, buf, len, i as u64).unwrap(),
+                    "len {len}"
+                );
             }
         }
     });
@@ -113,8 +116,13 @@ fn basic_and_group_traffic_interleave() {
         let sendbuf = fab.alloc(ep, len * p as u64);
         let recvbuf = fab.alloc(ep, len * p as u64);
         for d in 0..p {
-            fab.fill_pattern(ep, sendbuf.offset(d as u64 * len), len, (me * 50 + d) as u64)
-                .unwrap();
+            fab.fill_pattern(
+                ep,
+                sendbuf.offset(d as u64 * len),
+                len,
+                (me * 50 + d) as u64,
+            )
+            .unwrap();
         }
         let g = off.record_alltoall(sendbuf, recvbuf, len);
         off.group_call(g);
@@ -129,11 +137,18 @@ fn basic_and_group_traffic_interleave() {
         off.wait(s);
         off.wait(r);
         off.group_wait(g);
-        assert!(fab.verify_pattern(ep, qbuf, len, 900 + from as u64).unwrap());
+        assert!(fab
+            .verify_pattern(ep, qbuf, len, 900 + from as u64)
+            .unwrap());
         for s in 0..p {
             if s != me {
                 assert!(fab
-                    .verify_pattern(ep, recvbuf.offset(s as u64 * len), len, (s * 50 + me) as u64)
+                    .verify_pattern(
+                        ep,
+                        recvbuf.offset(s as u64 * len),
+                        len,
+                        (s * 50 + me) as u64
+                    )
                     .unwrap());
             }
         }

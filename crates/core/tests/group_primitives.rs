@@ -87,7 +87,10 @@ fn ring_progresses_without_cpu_intervention() {
         let t0 = off.ctx().now();
         off.group_wait(g);
         let wait = (off.ctx().now() - t0).as_us_f64();
-        assert!(wait < 1.0, "ring should finish during compute; waited {wait}us");
+        assert!(
+            wait < 1.0,
+            "ring should finish during compute; waited {wait}us"
+        );
         assert!(fab.verify_pattern(ep, buf, len, 5).unwrap());
     });
 }
@@ -142,15 +145,26 @@ fn group_alltoall_exchanges_blocks() {
         let sendbuf = fab.alloc(ep, block * p as u64);
         let recvbuf = fab.alloc(ep, block * p as u64);
         for d in 0..p {
-            fab.fill_pattern(ep, sendbuf.offset(d as u64 * block), block, (me * 100 + d) as u64)
-                .unwrap();
+            fab.fill_pattern(
+                ep,
+                sendbuf.offset(d as u64 * block),
+                block,
+                (me * 100 + d) as u64,
+            )
+            .unwrap();
         }
         // Scatter-destination personalized exchange as one group.
         let g = off.group_start();
         for k in 1..p {
             let dst = (me + k) % p;
             let src = (me + p - k) % p;
-            off.group_send(g, sendbuf.offset(dst as u64 * block), block, dst, dst as u64);
+            off.group_send(
+                g,
+                sendbuf.offset(dst as u64 * block),
+                block,
+                dst,
+                dst as u64,
+            );
             off.group_recv(g, recvbuf.offset(src as u64 * block), block, src, me as u64);
         }
         off.group_end(g);
@@ -162,8 +176,13 @@ fn group_alltoall_exchanges_blocks() {
                 continue;
             }
             assert!(
-                fab.verify_pattern(ep, recvbuf.offset(s as u64 * block), block, (s * 100 + me) as u64)
-                    .unwrap(),
+                fab.verify_pattern(
+                    ep,
+                    recvbuf.offset(s as u64 * block),
+                    block,
+                    (s * 100 + me) as u64
+                )
+                .unwrap(),
                 "rank {me} block from {s}"
             );
         }

@@ -277,13 +277,15 @@ impl Mpi {
         let ep = self.cluster().host_ep(me);
         let buf = fab.alloc(ep, 8);
         let tmp = fab.alloc(ep, 8);
-        fab.write_bytes(ep, buf, &value.to_le_bytes()).expect("scratch");
+        fab.write_bytes(ep, buf, &value.to_le_bytes())
+            .expect("scratch");
         let mut acc = value;
         // Reduce to rank 0.
         let mut mask = 1usize;
         while mask < p {
             if me & mask != 0 {
-                fab.write_bytes(ep, buf, &acc.to_le_bytes()).expect("scratch");
+                fab.write_bytes(ep, buf, &acc.to_le_bytes())
+                    .expect("scratch");
                 self.send(buf, 8, me - mask, tag);
                 break;
             }
@@ -296,7 +298,8 @@ impl Mpi {
             mask <<= 1;
         }
         // Broadcast the result.
-        fab.write_bytes(ep, buf, &acc.to_le_bytes()).expect("scratch");
+        fab.write_bytes(ep, buf, &acc.to_le_bytes())
+            .expect("scratch");
         self.bcast(0, buf, 8);
         let bytes = fab.read_bytes(ep, buf, 8).expect("scratch");
         f64::from_le_bytes(bytes.try_into().expect("8 bytes"))
@@ -314,7 +317,10 @@ impl Mpi {
                     return addr;
                 }
             }
-            let addr = self.cluster().fabric().alloc(self.cluster().host_ep(self.rank()), 0);
+            let addr = self
+                .cluster()
+                .fabric()
+                .alloc(self.cluster().host_ep(self.rank()), 0);
             s.set(Some((self.rank(), addr)));
             addr
         })

@@ -115,11 +115,7 @@ pub(crate) enum NbcOp {
     },
     /// Local copy between two buffers of this rank (e.g. the self block of
     /// an alltoall).
-    Copy {
-        from: VAddr,
-        to: VAddr,
-        len: u64,
-    },
+    Copy { from: VAddr, to: VAddr, len: u64 },
 }
 
 struct NbcSlot {
@@ -173,10 +169,9 @@ impl Engine {
             .get(&(src, tag))
             .and_then(|q| q.front())
             .map(|p| p.seq);
-        let wild_pos = self
-            .posted_wild
-            .iter()
-            .position(|p| (p.src == ANY_SOURCE || p.src == src) && (p.tag == ANY_TAG || p.tag == tag));
+        let wild_pos = self.posted_wild.iter().position(|p| {
+            (p.src == ANY_SOURCE || p.src == src) && (p.tag == ANY_TAG || p.tag == tag)
+        });
         let wild_seq = wild_pos.map(|i| self.posted_wild[i].seq);
         match (exact_seq, wild_seq) {
             (None, None) => None,
@@ -196,7 +191,10 @@ impl Engine {
     /// receive `(src, tag)` (which may be wildcards).
     fn match_unexpected(&mut self, src: usize, tag: u64) -> Option<Unexpected> {
         if src != ANY_SOURCE && tag != ANY_TAG {
-            return self.unexpected.get_mut(&(src, tag)).and_then(|q| q.pop_front());
+            return self
+                .unexpected
+                .get_mut(&(src, tag))
+                .and_then(|q| q.pop_front());
         }
         // Wildcard: take the globally earliest matching arrival.
         let mut best: Option<((usize, u64), u64)> = None;
@@ -302,7 +300,9 @@ impl Mpi {
         if len <= self.cfg.eager_threshold {
             // Eager payloads always carry real bytes, even in timing-only
             // runs: they are small, and scalar reductions ride on them.
-            let data = fab.read_bytes(self.ep, addr, len).expect("eager send buffer readable");
+            let data = fab
+                .read_bytes(self.ep, addr, len)
+                .expect("eager send buffer readable");
             fab.send_packet(
                 &self.ctx,
                 self.ep,
@@ -320,7 +320,10 @@ impl Mpi {
             self.st.borrow_mut().reqs[req] = true;
             self.ctx.stat_incr("mpi.send.eager", 1);
         } else {
-            self.st.borrow_mut().pending_sends.insert(req, PendingSend { addr, len, dst });
+            self.st
+                .borrow_mut()
+                .pending_sends
+                .insert(req, PendingSend { addr, len, dst });
             fab.send_packet(
                 &self.ctx,
                 self.ep,
@@ -346,7 +349,9 @@ impl Mpi {
         let req = self.st.borrow_mut().new_req();
         let matched = self.st.borrow_mut().match_unexpected(src, tag);
         match matched {
-            Some(Unexpected::Eager { len: mlen, data, .. }) => {
+            Some(Unexpected::Eager {
+                len: mlen, data, ..
+            }) => {
                 assert!(mlen <= len, "eager message longer than receive buffer");
                 self.deliver_eager(addr, &data, mlen);
                 self.st.borrow_mut().reqs[req] = true;
@@ -375,7 +380,10 @@ impl Mpi {
                 if src == ANY_SOURCE || tag == ANY_TAG {
                     st.posted_wild.push_back(posted);
                 } else {
-                    st.posted_exact.entry((src, tag)).or_default().push_back(posted);
+                    st.posted_exact
+                        .entry((src, tag))
+                        .or_default()
+                        .push_back(posted);
                 }
             }
         }
@@ -519,9 +527,10 @@ impl Mpi {
                                 let mut st = self.st.borrow_mut();
                                 let seq = st.next_seq;
                                 st.next_seq += 1;
-                                st.unexpected.entry((src_rank, tag)).or_default().push_back(
-                                    Unexpected::Eager { len, data, seq },
-                                );
+                                st.unexpected
+                                    .entry((src_rank, tag))
+                                    .or_default()
+                                    .push_back(Unexpected::Eager { len, data, seq });
                             }
                         }
                     }
@@ -661,10 +670,20 @@ impl Mpi {
                     let mut new_reqs = Vec::new();
                     for op in stage {
                         match op {
-                            NbcOp::Send { addr, len, dst, tag } => {
+                            NbcOp::Send {
+                                addr,
+                                len,
+                                dst,
+                                tag,
+                            } => {
                                 new_reqs.push(self.isend(addr, len, dst, tag));
                             }
-                            NbcOp::Recv { addr, len, src, tag } => {
+                            NbcOp::Recv {
+                                addr,
+                                len,
+                                src,
+                                tag,
+                            } => {
                                 new_reqs.push(self.irecv(addr, len, src, tag));
                             }
                             NbcOp::Copy { from, to, len } => {

@@ -22,10 +22,7 @@ fn barrier_synchronizes() {
         }
         let t0 = mpi.ctx().now();
         mpi.barrier();
-        assert!(
-            mpi.ctx().now() >= t0,
-            "barrier exit after entry"
-        );
+        assert!(mpi.ctx().now() >= t0, "barrier exit after entry");
         assert!(
             mpi.ctx().now().as_us_f64() >= 1_000.0,
             "nobody exits before the last rank arrives"
@@ -85,14 +82,24 @@ fn alltoall_exchanges_all_blocks() {
         let recvbuf = fab.alloc(ep, block * p as u64);
         // Block for rank d carries pattern seed me*1000 + d.
         for d in 0..p {
-            fab.fill_pattern(ep, sendbuf.offset(d as u64 * block), block, (me * 1000 + d) as u64)
-                .unwrap();
+            fab.fill_pattern(
+                ep,
+                sendbuf.offset(d as u64 * block),
+                block,
+                (me * 1000 + d) as u64,
+            )
+            .unwrap();
         }
         mpi.alltoall(sendbuf, recvbuf, block);
         for s in 0..p {
             assert!(
-                fab.verify_pattern(ep, recvbuf.offset(s as u64 * block), block, (s * 1000 + me) as u64)
-                    .unwrap(),
+                fab.verify_pattern(
+                    ep,
+                    recvbuf.offset(s as u64 * block),
+                    block,
+                    (s * 1000 + me) as u64
+                )
+                .unwrap(),
                 "rank {me} received block from {s}"
             );
         }
@@ -111,13 +118,23 @@ fn alltoall_rendezvous_blocks() {
         let sendbuf = fab.alloc(ep, block * p as u64);
         let recvbuf = fab.alloc(ep, block * p as u64);
         for d in 0..p {
-            fab.fill_pattern(ep, sendbuf.offset(d as u64 * block), block, (me * 31 + d) as u64)
-                .unwrap();
+            fab.fill_pattern(
+                ep,
+                sendbuf.offset(d as u64 * block),
+                block,
+                (me * 31 + d) as u64,
+            )
+            .unwrap();
         }
         mpi.alltoall(sendbuf, recvbuf, block);
         for s in 0..p {
             assert!(fab
-                .verify_pattern(ep, recvbuf.offset(s as u64 * block), block, (s * 31 + me) as u64)
+                .verify_pattern(
+                    ep,
+                    recvbuf.offset(s as u64 * block),
+                    block,
+                    (s * 31 + me) as u64
+                )
                 .unwrap());
         }
     });
@@ -156,8 +173,13 @@ fn ialltoall_overlaps_with_compute() {
         let sendbuf = fab.alloc(ep, block * p as u64);
         let recvbuf = fab.alloc(ep, block * p as u64);
         for d in 0..p {
-            fab.fill_pattern(ep, sendbuf.offset(d as u64 * block), block, (me * 7 + d) as u64)
-                .unwrap();
+            fab.fill_pattern(
+                ep,
+                sendbuf.offset(d as u64 * block),
+                block,
+                (me * 7 + d) as u64,
+            )
+            .unwrap();
         }
         let req = mpi.ialltoall(sendbuf, recvbuf, block);
         mpi.compute_with_test(
@@ -168,7 +190,12 @@ fn ialltoall_overlaps_with_compute() {
         mpi.wait(req);
         for s in 0..p {
             assert!(fab
-                .verify_pattern(ep, recvbuf.offset(s as u64 * block), block, (s * 7 + me) as u64)
+                .verify_pattern(
+                    ep,
+                    recvbuf.offset(s as u64 * block),
+                    block,
+                    (s * 7 + me) as u64
+                )
                 .unwrap());
         }
     });
@@ -198,7 +225,10 @@ fn successive_collectives_do_not_cross_talk() {
                 fab.fill_pattern(ep, buf, 256, round).unwrap();
             }
             mpi.bcast(0, buf, 256);
-            assert!(fab.verify_pattern(ep, buf, 256, round).unwrap(), "round {round}");
+            assert!(
+                fab.verify_pattern(ep, buf, 256, round).unwrap(),
+                "round {round}"
+            );
         }
     });
 }

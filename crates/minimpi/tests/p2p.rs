@@ -103,7 +103,10 @@ fn same_tag_messages_do_not_overtake() {
         } else {
             for (i, &b) in bufs.iter().enumerate() {
                 mpi.recv(b, 64, 0, 9);
-                assert!(fab.verify_pattern(ep, b, 64, i as u64).unwrap(), "message {i} order");
+                assert!(
+                    fab.verify_pattern(ep, b, 64, i as u64).unwrap(),
+                    "message {i} order"
+                );
             }
         }
     });
@@ -166,7 +169,10 @@ fn rendezvous_stalls_while_receiver_computes() {
                 let elapsed = (ctx.now() - t0).as_us_f64();
                 // The receiver computes 5 ms before entering MPI; the send
                 // cannot complete earlier.
-                assert!(elapsed > 4_900.0, "send finished during receiver compute: {elapsed}us");
+                assert!(
+                    elapsed > 4_900.0,
+                    "send finished during receiver compute: {elapsed}us"
+                );
             } else {
                 ctx.compute(SimDelta::from_ms(5));
                 mpi.recv(buf, len, 0, 1);

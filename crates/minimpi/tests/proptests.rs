@@ -19,11 +19,16 @@ struct Msg {
 
 fn msgs_strategy(ranks: usize) -> impl Strategy<Value = Vec<Msg>> {
     prop::collection::vec(
-        (0..ranks, 0..ranks, 0..3u64, prop_oneof![
-            64u64..4096,            // eager
-            12_000u64..20_000,      // straddles the 16 KiB threshold
-            60_000u64..120_000,     // rendezvous
-        ]),
+        (
+            0..ranks,
+            0..ranks,
+            0..3u64,
+            prop_oneof![
+                64u64..4096,        // eager
+                12_000u64..20_000,  // straddles the 16 KiB threshold
+                60_000u64..120_000, // rendezvous
+            ],
+        ),
         1..12,
     )
     .prop_map(|v| {

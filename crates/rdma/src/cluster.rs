@@ -7,7 +7,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use simnet::{Pid, ProcessCtx, Report, SimError, SimTime, Simulation};
+use simnet::{EventSink, Pid, ProcessCtx, Report, SimDelta, SimError, SimTime, Simulation};
 
 use crate::fabric::Fabric;
 use crate::model::{ClusterSpec, DeviceClass};
@@ -86,6 +86,8 @@ pub struct ClusterBuilder {
     trace: bool,
     time_limit: Option<SimTime>,
     stack_size: Option<usize>,
+    event_sink: Option<EventSink>,
+    delivery_jitter: Option<SimDelta>,
 }
 
 impl ClusterBuilder {
@@ -97,6 +99,8 @@ impl ClusterBuilder {
             trace: false,
             time_limit: None,
             stack_size: None,
+            event_sink: None,
+            delivery_jitter: None,
         }
     }
 
@@ -115,6 +119,20 @@ impl ClusterBuilder {
     /// Override the per-process stack size.
     pub fn with_stack_size(mut self, bytes: usize) -> Self {
         self.stack_size = Some(bytes);
+        self
+    }
+
+    /// Install a structured-event observer (see [`simnet::EventSink`]);
+    /// protocol layers publish their events through `ProcessCtx::emit`.
+    pub fn with_event_sink(mut self, sink: EventSink) -> Self {
+        self.event_sink = Some(sink);
+        self
+    }
+
+    /// Add uniform `[0, jitter]` delivery-delay jitter to every fabric
+    /// transfer (see [`Fabric::set_delivery_jitter`]).
+    pub fn with_delivery_jitter(mut self, jitter: SimDelta) -> Self {
+        self.delivery_jitter = Some(jitter);
         self
     }
 
@@ -137,7 +155,13 @@ impl ClusterBuilder {
         if let Some(bytes) = self.stack_size {
             sim.set_stack_size(bytes);
         }
+        if let Some(sink) = self.event_sink {
+            sim.set_event_sink(sink);
+        }
         let fabric = Fabric::new(&mut sim, self.spec.clone());
+        if let Some(jitter) = self.delivery_jitter {
+            fabric.set_delivery_jitter(jitter);
+        }
         let roster: Arc<OnceLock<ClusterCtx>> = Arc::new(OnceLock::new());
         let host_fn = Arc::new(host_fn);
 
@@ -151,7 +175,11 @@ impl ClusterBuilder {
                 host_fn2(rank, ctx, cluster);
             });
             host_pids.push(pid);
-            host_eps.push(fabric.add_endpoint(pid, self.spec.node_of_rank(rank), DeviceClass::Host));
+            host_eps.push(fabric.add_endpoint(
+                pid,
+                self.spec.node_of_rank(rank),
+                DeviceClass::Host,
+            ));
         }
 
         let mut proxy_pids = vec![Vec::new(); self.spec.nodes];
@@ -214,9 +242,11 @@ mod tests {
                     assert!(rank < cluster.world_size());
                     r2.fetch_add(1, Ordering::SeqCst);
                 },
-                Some(move |_node: usize, _idx: usize, _ctx: ProcessCtx, _cluster: ClusterCtx| {
-                    p2.fetch_add(1, Ordering::SeqCst);
-                }),
+                Some(
+                    move |_node: usize, _idx: usize, _ctx: ProcessCtx, _cluster: ClusterCtx| {
+                        p2.fetch_add(1, Ordering::SeqCst);
+                    },
+                ),
             )
             .unwrap();
         assert_eq!(ranks.load(Ordering::SeqCst), 8);
@@ -246,8 +276,14 @@ mod tests {
             .run_hosts(|rank, ctx, cluster| {
                 let fab = cluster.fabric();
                 if rank == 0 {
-                    fab.send_packet(&ctx, cluster.host_ep(0), cluster.host_ep(1), 128, Box::new(3u32))
-                        .unwrap();
+                    fab.send_packet(
+                        &ctx,
+                        cluster.host_ep(0),
+                        cluster.host_ep(1),
+                        128,
+                        Box::new(3u32),
+                    )
+                    .unwrap();
                 } else {
                     let msg = ctx.recv().downcast::<crate::types::NetMsg>().unwrap();
                     match *msg {

@@ -16,7 +16,7 @@
 //! times. This matches how the upper layers use RDMA (nothing reads a
 //! destination buffer before a completion/counter says it is there).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -74,13 +74,18 @@ struct World {
     spec: ClusterSpec,
     eps: Vec<Endpoint>,
     nodes: Vec<NodeRes>,
-    mrs: HashMap<u64, MrEntry>,
+    mrs: BTreeMap<u64, MrEntry>,
     next_key: u64,
     next_gvmi: u32,
     /// Latest packet delivery per `(from, to)` endpoint pair. Two-sided
     /// packets between one pair share a QP and must never overtake each
     /// other, even when the control-lane/bulk-lane split would allow it.
-    pair_order: HashMap<(EpId, EpId), SimTime>,
+    pair_order: BTreeMap<(EpId, EpId), SimTime>,
+    /// Extra per-transfer delivery delay, drawn uniformly from
+    /// `[0, delivery_jitter]`. Used by the schedule explorer to perturb
+    /// event interleavings; the same-QP FIFO clamp in `send_packet` runs
+    /// *after* jitter, so packet reorderings stay protocol-legal.
+    delivery_jitter: SimDelta,
 }
 
 /// Handle to the simulated RDMA fabric. Clone freely; all clones share one
@@ -141,10 +146,11 @@ impl Fabric {
                 spec,
                 eps: Vec::new(),
                 nodes,
-                mrs: HashMap::new(),
+                mrs: BTreeMap::new(),
                 next_key: 1,
                 next_gvmi: 1,
-                pair_order: HashMap::new(),
+                pair_order: BTreeMap::new(),
+                delivery_jitter: SimDelta::ZERO,
             })),
         }
     }
@@ -173,6 +179,14 @@ impl Fabric {
             cpu_busy: SimTime::ZERO,
         });
         id
+    }
+
+    /// Enable delivery-delay jitter: every transfer is delayed by an extra
+    /// uniform amount in `[0, jitter]` drawn from the simulation RNG. Zero
+    /// (the default) disables it. This perturbs schedules without breaking
+    /// same-QP FIFO ordering — see the schedule explorer in `checker`.
+    pub fn set_delivery_jitter(&self, jitter: SimDelta) {
+        self.inner.lock().delivery_jitter = jitter;
     }
 
     /// The cluster spec this fabric was built with.
@@ -234,8 +248,16 @@ impl Fabric {
     }
 
     /// Fill with a deterministic pattern (data-integrity tests).
-    pub fn fill_pattern(&self, ep: EpId, addr: VAddr, len: u64, seed: u64) -> Result<(), RdmaError> {
-        Ok(self.inner.lock().eps[ep.index()].mem.fill_pattern(addr, len, seed)?)
+    pub fn fill_pattern(
+        &self,
+        ep: EpId,
+        addr: VAddr,
+        len: u64,
+        seed: u64,
+    ) -> Result<(), RdmaError> {
+        Ok(self.inner.lock().eps[ep.index()]
+            .mem
+            .fill_pattern(addr, len, seed)?)
     }
 
     /// Verify a deterministic pattern (data-integrity tests).
@@ -246,7 +268,9 @@ impl Fabric {
         len: u64,
         seed: u64,
     ) -> Result<bool, RdmaError> {
-        Ok(self.inner.lock().eps[ep.index()].mem.verify_pattern(addr, len, seed)?)
+        Ok(self.inner.lock().eps[ep.index()]
+            .mem
+            .verify_pattern(addr, len, seed)?)
     }
 
     /// Read a little-endian u64 (counters).
@@ -348,7 +372,11 @@ impl Fabric {
                     got: gvmi,
                 });
             }
-            let entry = w.mrs.get(&mkey.0).filter(|m| m.valid).ok_or(RdmaError::BadKey(mkey))?;
+            let entry = w
+                .mrs
+                .get(&mkey.0)
+                .filter(|m| m.valid)
+                .ok_or(RdmaError::BadKey(mkey))?;
             let MrKind::Gvmi { gvmi: key_gvmi } = entry.kind else {
                 return Err(RdmaError::NotGvmiKey(mkey));
             };
@@ -439,7 +467,12 @@ impl Fabric {
             let plan = w.plan_path(poster, local_ep, remote_ep, len);
             let post = w.spec.model.post_overhead(w.eps[poster.index()].class);
             let post_end = w.charge_cpu(poster, ctx.now(), post);
-            (plan, post_end, w.eps[poster.index()].pid, w.spec.model.ack_latency)
+            (
+                plan,
+                post_end,
+                w.eps[poster.index()].pid,
+                w.spec.model.ack_latency,
+            )
         };
         ctx.stat_incr("rdma.write.count", 1);
         ctx.stat_incr("rdma.write.bytes", len);
@@ -448,7 +481,11 @@ impl Fabric {
             ctx.deliver_at(pid, deliver, Box::new(NetMsg::Notify(payload)));
         }
         if let Some(wrid) = signal {
-            ctx.deliver_at(poster_pid, deliver + ack, Box::new(NetMsg::Cqe(Cqe { wrid })));
+            ctx.deliver_at(
+                poster_pid,
+                deliver + ack,
+                Box::new(NetMsg::Cqe(Cqe { wrid })),
+            );
         }
         Ok(deliver)
     }
@@ -549,6 +586,12 @@ impl Fabric {
     /// (the end of the poster's CPU work), and return the delivery time.
     /// Small messages skip the FIFOs (see [`SMALL_MSG_BYPASS`]).
     fn execute_plan(&self, ctx: &ProcessCtx, plan: &PathPlan, earliest: SimTime) -> SimTime {
+        let jitter = self.inner.lock().delivery_jitter;
+        let earliest = if jitter > SimDelta::ZERO {
+            earliest + SimDelta::from_ps(ctx.gen_range(jitter.as_ps() + 1))
+        } else {
+            earliest
+        };
         if plan.small {
             // Small messages arbitrate on the control lane: they pay their
             // own serialization and per-message handling there (so a
@@ -557,7 +600,8 @@ impl Fabric {
             let arrive = earliest + plan.latency;
             return match plan.ctrl_lane {
                 Some(lane) => {
-                    ctx.reserve_from(lane, arrive, plan.serialize + plan.rx_overhead).1
+                    ctx.reserve_from(lane, arrive, plan.serialize + plan.rx_overhead)
+                        .1
                 }
                 None => arrive + plan.serialize + plan.rx_overhead,
             };
@@ -579,7 +623,12 @@ impl Fabric {
     /// Charge protocol-handling CPU time to `ep`'s timeline (e.g. the ARM
     /// cost of interpreting one proxy queue entry). Subsequent posts of
     /// this endpoint start after the charged work. Returns the end instant.
-    pub fn charge_cpu(&self, ctx: &ProcessCtx, ep: EpId, dur: SimDelta) -> Result<SimTime, RdmaError> {
+    pub fn charge_cpu(
+        &self,
+        ctx: &ProcessCtx,
+        ep: EpId,
+        dur: SimDelta,
+    ) -> Result<SimTime, RdmaError> {
         let mut w = self.inner.lock();
         if w.eps[ep.index()].pid != ctx.pid() {
             return Err(RdmaError::WrongProcess(ep));
@@ -627,7 +676,11 @@ impl World {
         key: MrKey,
         len: u64,
     ) -> Result<(), RdmaError> {
-        let entry = self.mrs.get(&key.0).filter(|m| m.valid).ok_or(RdmaError::BadKey(key))?;
+        let entry = self
+            .mrs
+            .get(&key.0)
+            .filter(|m| m.valid)
+            .ok_or(RdmaError::BadKey(key))?;
         if entry.ep != local_ep {
             return Err(RdmaError::KeyEndpointMismatch(key));
         }
@@ -660,7 +713,11 @@ impl World {
         key: MrKey,
         len: u64,
     ) -> Result<(), RdmaError> {
-        let entry = self.mrs.get(&key.0).filter(|m| m.valid).ok_or(RdmaError::BadKey(key))?;
+        let entry = self
+            .mrs
+            .get(&key.0)
+            .filter(|m| m.valid)
+            .ok_or(RdmaError::BadKey(key))?;
         if entry.ep != remote_ep {
             return Err(RdmaError::KeyEndpointMismatch(key));
         }
@@ -789,8 +846,16 @@ mod tests {
             let lkey = fab.reg_mr(&ctx, h0, src, 1024).unwrap();
             let rkey = fab.reg_mr(&ctx, h1, dst, 1024).unwrap();
             let t0 = ctx.now();
-            fab.rdma_write(&ctx, h0, (h0, src, lkey), (h1, dst, rkey), 1024, Some(99), None)
-                .unwrap();
+            fab.rdma_write(
+                &ctx,
+                h0,
+                (h0, src, lkey),
+                (h1, dst, rkey),
+                1024,
+                Some(99),
+                None,
+            )
+            .unwrap();
             let msg = ctx.recv();
             let net = msg.downcast::<NetMsg>().unwrap();
             match *net {
@@ -800,7 +865,10 @@ mod tests {
             assert!(fab.verify_pattern(h1, dst, 1024, 7).unwrap());
             let elapsed = ctx.now() - t0;
             // post + wire + serialize + rx + ack: on the order of 2-3 us.
-            assert!(elapsed.as_us_f64() > 1.0 && elapsed.as_us_f64() < 10.0, "{elapsed}");
+            assert!(
+                elapsed.as_us_f64() > 1.0 && elapsed.as_us_f64() < 10.0,
+                "{elapsed}"
+            );
         });
     }
 
@@ -822,8 +890,16 @@ mod tests {
             assert!(matches!(err, RdmaError::PosterCannotUseKey(_)), "{err}");
             // Proxy cross-registers -> mkey2, then transfers host memory.
             let mkey2 = fab.cross_reg(&ctx, d0, src, 4096, mkey, gvmi).unwrap();
-            fab.rdma_write(&ctx, d0, (h0, src, mkey2), (h1, dst, rkey), 4096, Some(1), None)
-                .unwrap();
+            fab.rdma_write(
+                &ctx,
+                d0,
+                (h0, src, mkey2),
+                (h1, dst, rkey),
+                4096,
+                Some(1),
+                None,
+            )
+            .unwrap();
             let _ = ctx.recv();
             assert!(fab.verify_pattern(h1, dst, 4096, 11).unwrap());
         });
@@ -845,7 +921,10 @@ mod tests {
             assert!(matches!(err, RdmaError::WrongGvmi { .. }), "{err}");
             // Host endpoints cannot cross-register.
             let err = fab.cross_reg(&ctx, h0, src, 64, mkey, g0).unwrap_err();
-            assert!(matches!(err, RdmaError::NotDpu(_) | RdmaError::WrongGvmi { .. }), "{err}");
+            assert!(
+                matches!(err, RdmaError::NotDpu(_) | RdmaError::WrongGvmi { .. }),
+                "{err}"
+            );
         });
     }
 
@@ -926,7 +1005,8 @@ mod tests {
             ctx.yield_now();
             let to = rx_ep_slot.lock().expect("rx registered");
             assert_eq!(f_tx.pid_of(to), rx_pid);
-            f_tx.send_packet(&ctx, ep, to, 256, Box::new(4242u64)).unwrap();
+            f_tx.send_packet(&ctx, ep, to, 256, Box::new(4242u64))
+                .unwrap();
         });
         sim.run().unwrap();
         assert_eq!(got.load(Ordering::SeqCst), 4242);
@@ -947,7 +1027,11 @@ mod tests {
                 let dst = f2.add_endpoint(
                     ctx.pid(),
                     1,
-                    if dst_is_dpu { DeviceClass::Dpu } else { DeviceClass::Host },
+                    if dst_is_dpu {
+                        DeviceClass::Dpu
+                    } else {
+                        DeviceClass::Host
+                    },
                 );
                 let sa = f2.alloc(src, 4096);
                 let da = f2.alloc(dst, 4096);
@@ -957,8 +1041,16 @@ mod tests {
                 // Window of 64 back-to-back writes; wait for the last CQE.
                 for i in 0..64 {
                     let signal = if i == 63 { Some(i) } else { None };
-                    f2.rdma_write(&ctx, src, (src, sa, lkey), (dst, da, rkey), 4096, signal, None)
-                        .unwrap();
+                    f2.rdma_write(
+                        &ctx,
+                        src,
+                        (src, sa, lkey),
+                        (dst, da, rkey),
+                        4096,
+                        signal,
+                        None,
+                    )
+                    .unwrap();
                 }
                 loop {
                     let msg = ctx.recv().downcast::<NetMsg>().unwrap();
@@ -990,8 +1082,15 @@ mod tests {
             fab.fill_pattern(h1, remote, 512, 21).unwrap();
             let lkey = fab.reg_mr(&ctx, h0, local, 512).unwrap();
             let rkey = fab.reg_mr(&ctx, h1, remote, 512).unwrap();
-            fab.rdma_read(&ctx, h0, (h0, local, lkey), (h1, remote, rkey), 512, Some(5))
-                .unwrap();
+            fab.rdma_read(
+                &ctx,
+                h0,
+                (h0, local, lkey),
+                (h1, remote, rkey),
+                512,
+                Some(5),
+            )
+            .unwrap();
             let msg = ctx.recv().downcast::<NetMsg>().unwrap();
             assert!(matches!(*msg, NetMsg::Cqe(Cqe { wrid: 5 })));
             assert!(fab.verify_pattern(h0, local, 512, 21).unwrap());

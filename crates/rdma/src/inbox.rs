@@ -108,7 +108,9 @@ impl Channel {
     /// Non-blocking: next message claimed by this channel, if any.
     pub fn try_next(&self, ctx: &ProcessCtx) -> Option<NetMsg> {
         self.inbox.pump(ctx);
-        self.inbox.inner.borrow_mut().channels[self.idx].queue.pop_front()
+        self.inbox.inner.borrow_mut().channels[self.idx]
+            .queue
+            .pop_front()
     }
 
     /// Blocking: wait until this channel has a message. Messages for other

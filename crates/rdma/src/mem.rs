@@ -161,9 +161,7 @@ impl AddressSpace {
         }
         let (base, off) = self.locate(addr)?;
         match self.regions.get_mut(&base).expect("located region exists") {
-            Region::Real(buf) => {
-                buf[off as usize..off as usize + data.len()].copy_from_slice(data)
-            }
+            Region::Real(buf) => buf[off as usize..off as usize + data.len()].copy_from_slice(data),
             Region::Virtual(_) => {}
         }
         Ok(())

@@ -133,7 +133,10 @@ impl fmt::Display for RdmaError {
             RdmaError::KeyEndpointMismatch(k) => write!(f, "key {k:?} belongs to another endpoint"),
             RdmaError::KeyRangeMismatch(k) => write!(f, "access outside registered range of {k:?}"),
             RdmaError::WrongGvmi { expected, got } => {
-                write!(f, "GVMI mismatch: key registered for {expected:?}, got {got:?}")
+                write!(
+                    f,
+                    "GVMI mismatch: key registered for {expected:?}, got {got:?}"
+                )
             }
             RdmaError::NotDpu(ep) => write!(f, "{ep:?} is not a DPU endpoint"),
             RdmaError::NotGvmiKey(k) => write!(f, "{k:?} is not a GVMI mkey"),

@@ -19,7 +19,11 @@ fn memops() -> impl Strategy<Value = Vec<MemOp>> {
     prop::collection::vec(
         prop_oneof![
             (1u64..4096).prop_map(|len| MemOp::Alloc { len }),
-            (0usize..8, 0u64..4096, prop::collection::vec(any::<u8>(), 1..64))
+            (
+                0usize..8,
+                0u64..4096,
+                prop::collection::vec(any::<u8>(), 1..64)
+            )
                 .prop_map(|(buf, off, data)| MemOp::Write { buf, off, data }),
             (0usize..8, 0u64..4096, 1u64..128).prop_map(|(buf, off, len)| MemOp::Read {
                 buf,

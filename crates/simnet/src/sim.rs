@@ -24,6 +24,7 @@
 //! the mutex while the scheduler waits for it to yield, wedging the whole
 //! simulation (a real deadlock of OS threads, not a simulated one).
 
+use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -42,6 +43,15 @@ use crate::trace::Trace;
 /// declares a livelock. Generous: legitimate same-instant cascades (e.g. a
 /// 512-rank barrier release) touch each process a handful of times.
 const LIVELOCK_LIMIT: u64 = 50_000_000;
+
+/// Observer for structured events published with [`ProcessCtx::emit`].
+///
+/// The engine stays protocol-agnostic: upper layers define their own event
+/// types and the sink downcasts the `&dyn Any`. The sink runs synchronously
+/// on the emitting process's thread with the simulation state **unlocked**,
+/// so it may read the clock via the captured `SimTime` but must not call
+/// back into blocking [`ProcessCtx`] operations.
+pub type EventSink = Arc<dyn Fn(SimTime, Pid, &dyn Any) + Send + Sync>;
 
 /// Errors surfaced by [`Simulation::run`].
 #[derive(Debug)]
@@ -129,6 +139,7 @@ pub(crate) struct SimState {
     rng: SimRng,
     time_limit: Option<SimTime>,
     events: u64,
+    sink: Option<EventSink>,
 }
 
 pub(crate) struct SimInner {
@@ -179,6 +190,7 @@ impl Simulation {
                     rng: SimRng::new(seed),
                     time_limit: None,
                     events: 0,
+                    sink: None,
                 }),
             }),
             stack_size: 1 << 20,
@@ -199,6 +211,12 @@ impl Simulation {
     /// Stack size for process threads (default 1 MiB).
     pub fn set_stack_size(&mut self, bytes: usize) {
         self.stack_size = bytes;
+    }
+
+    /// Install an observer for [`ProcessCtx::emit`] events (e.g. a protocol
+    /// conformance checker). At most one sink; later calls replace it.
+    pub fn set_event_sink(&mut self, sink: EventSink) {
+        self.inner.state.lock().sink = Some(sink);
     }
 
     /// Spawn a simulated process. It becomes runnable at time zero (or, when
@@ -337,7 +355,11 @@ fn run_one(inner: &Arc<SimInner>, pid: Pid) {
     baton.resume_process();
     let mut st = inner.state.lock();
     let slot = &mut st.procs[pid.index()];
-    debug_assert_ne!(slot.status, ProcStatus::Running, "process yielded without blocking");
+    debug_assert_ne!(
+        slot.status,
+        ProcStatus::Running,
+        "process yielded without blocking"
+    );
     if let Some(msg) = slot.panic.take() {
         let name = slot.name.clone();
         // Join the dead thread before re-raising.
@@ -358,7 +380,8 @@ where
     let pid = {
         let mut st = inner.state.lock();
         let pid = Pid(st.procs.len() as u32);
-        st.procs.push(ProcSlot::new(name.clone(), Arc::clone(&baton)));
+        st.procs
+            .push(ProcSlot::new(name.clone(), Arc::clone(&baton)));
         st.ready.push_back(pid);
         pid
     };
@@ -460,12 +483,16 @@ impl ProcessCtx {
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Payload> {
-        self.inner.state.lock().procs[self.pid.index()].mailbox.pop_front()
+        self.inner.state.lock().procs[self.pid.index()]
+            .mailbox
+            .pop_front()
     }
 
     /// Number of messages currently queued.
     pub fn mailbox_len(&self) -> usize {
-        self.inner.state.lock().procs[self.pid.index()].mailbox.len()
+        self.inner.state.lock().procs[self.pid.index()]
+            .mailbox
+            .len()
     }
 
     /// Deliver `payload` to `to` after `delay` of virtual time.
@@ -519,6 +546,21 @@ impl ProcessCtx {
         if let Some(trace) = st.trace.as_mut() {
             trace.push(now, pid, label.into());
         }
+    }
+
+    /// Publish a structured event to the installed [`EventSink`], if any.
+    ///
+    /// The sink runs on this thread with the simulation state unlocked, so
+    /// emitting from protocol code can never deadlock the scheduler.
+    pub fn emit<E: Any>(&self, event: &E) {
+        let (now, sink) = {
+            let st = self.inner.state.lock();
+            match st.sink.as_ref() {
+                Some(s) => (st.now, Arc::clone(s)),
+                None => return,
+            }
+        };
+        sink(now, self.pid, event);
     }
 
     /// Increment a named counter.
@@ -766,6 +808,40 @@ mod tests {
         });
         let report = sim.run().unwrap();
         assert_eq!(report.stats.counter("simnet.deliver_to_finished"), 1);
+    }
+
+    #[test]
+    fn emitted_events_reach_the_sink_with_time_and_pid() {
+        let mut sim = Simulation::new(0);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        sim.set_event_sink(Arc::new(move |now, pid, ev| {
+            if let Some(v) = ev.downcast_ref::<u64>() {
+                seen2.lock().push((now, pid, *v));
+            }
+        }));
+        let p = sim.spawn("emitter", |ctx| {
+            ctx.emit(&1u64);
+            ctx.sleep(SimDelta::from_us(2));
+            ctx.emit(&2u64);
+            ctx.emit(&"ignored: not a u64");
+        });
+        sim.run().unwrap();
+        let seen = seen.lock();
+        assert_eq!(
+            *seen,
+            vec![
+                (SimTime::ZERO, p, 1),
+                (SimTime::ZERO + SimDelta::from_us(2), p, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn emit_without_sink_is_a_noop() {
+        let mut sim = Simulation::new(0);
+        sim.spawn("quiet", |ctx| ctx.emit(&7u32));
+        sim.run().unwrap();
     }
 
     #[test]

@@ -262,7 +262,10 @@ mod tests {
         let t1 = t0 + SimDelta::from_ns(500);
         assert_eq!(t1.as_ps(), 500_000);
         assert_eq!((t1 - t0).as_ns_f64(), 500.0);
-        assert_eq!(t1.saturating_since(t1 + SimDelta::from_ns(1)), SimDelta::ZERO);
+        assert_eq!(
+            t1.saturating_since(t1 + SimDelta::from_ns(1)),
+            SimDelta::ZERO
+        );
     }
 
     #[test]
@@ -303,7 +306,9 @@ mod tests {
     fn scale_and_sum() {
         let d = SimDelta::from_us(10).scale(0.5);
         assert_eq!(d, SimDelta::from_us(5));
-        let total: SimDelta = [SimDelta::from_us(1), SimDelta::from_us(2)].into_iter().sum();
+        let total: SimDelta = [SimDelta::from_us(1), SimDelta::from_us(2)]
+            .into_iter()
+            .sum();
         assert_eq!(total, SimDelta::from_us(3));
     }
 }

@@ -36,7 +36,9 @@ impl Trace {
 
     /// Records whose label starts with `prefix`.
     pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
-        self.records.iter().filter(move |r| r.label.starts_with(prefix))
+        self.records
+            .iter()
+            .filter(move |r| r.label.starts_with(prefix))
     }
 
     /// Render as lines of `time pid label` (stable across runs).

@@ -34,7 +34,10 @@ impl<'a> A2aDriver<'a> {
         let recvbuf = fab.alloc(ep, block * p);
         // Record the scatter-destination pattern once; later calls hit
         // the metadata caches (paper §VII-D).
-        let group = h.off.as_ref().map(|off| off.record_alltoall(sendbuf, recvbuf, block));
+        let group = h
+            .off
+            .as_ref()
+            .map(|off| off.record_alltoall(sendbuf, recvbuf, block));
         A2aDriver {
             h,
             sendbuf,
@@ -241,8 +244,16 @@ mod tests {
             prop.pure_us,
             blues.pure_us
         );
-        assert!(prop.overlap_pct() > 90.0, "proposed overlap {}", prop.overlap_pct());
-        assert!(blues.overlap_pct() > 90.0, "blues overlap {}", blues.overlap_pct());
+        assert!(
+            prop.overlap_pct() > 90.0,
+            "proposed overlap {}",
+            prop.overlap_pct()
+        );
+        assert!(
+            blues.overlap_pct() > 90.0,
+            "blues overlap {}",
+            blues.overlap_pct()
+        );
         assert!(
             intel.overlap_pct() < prop.overlap_pct(),
             "intel {} vs proposed {}",
@@ -253,8 +264,10 @@ mod tests {
 
     #[test]
     fn group_beats_simple_for_dense_patterns() {
-        let (simple_us, simple_msgs) = scatter_dest_time(2, 4, 16 * 1024, 2, 2, ScatterImpl::Simple, 9);
-        let (group_us, group_msgs) = scatter_dest_time(2, 4, 16 * 1024, 2, 2, ScatterImpl::Group, 9);
+        let (simple_us, simple_msgs) =
+            scatter_dest_time(2, 4, 16 * 1024, 2, 2, ScatterImpl::Simple, 9);
+        let (group_us, group_msgs) =
+            scatter_dest_time(2, 4, 16 * 1024, 2, 2, ScatterImpl::Group, 9);
         assert!(
             group_us < simple_us,
             "group ({group_us}us) should beat simple ({simple_us}us) — paper Fig. 15"
@@ -287,7 +300,10 @@ pub fn iallgather_overlap(
         let ep = h.cluster().host_ep(h.rank);
         let p = h.size() as u64;
         let buf = fab.alloc(ep, block * p);
-        let group = h.off.as_ref().map(|off| off.record_allgather_ring(buf, block));
+        let group = h
+            .off
+            .as_ref()
+            .map(|off| off.record_allgather_ring(buf, block));
         let run_once = |h: &Harness| {
             if let Some(g) = group {
                 let off = h.off.as_ref().expect("proposed");

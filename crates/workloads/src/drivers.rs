@@ -1,0 +1,179 @@
+//! Parameterizable workload drivers for the conformance checker and
+//! schedule explorer (`checker` crate).
+//!
+//! Unlike the benchmark entry points in this crate, these drivers:
+//!
+//! * return `Result<Report, SimError>` instead of panicking, so a
+//!   deadlock or time-limit abort is data, not a test failure;
+//! * accept the exploration knobs the checker perturbs — seed, delivery
+//!   jitter, proxy count, time limit — plus an [`EventSink`] that
+//!   receives the engine's structured [`offload::ProtoEvent`] stream.
+
+use offload::{Offload, OffloadConfig};
+use rdma::{ClusterBuilder, ClusterSpec, Inbox};
+use simnet::{EventSink, Report, SimDelta, SimError, SimTime};
+
+/// One checker-driven run configuration: the workload shape plus every
+/// schedule-perturbation knob the explorer sweeps.
+#[derive(Clone)]
+pub struct CheckRun {
+    /// Simulated nodes.
+    pub nodes: usize,
+    /// Ranks per node.
+    pub ppn: usize,
+    /// Proxy processes per DPU.
+    pub proxies_per_dpu: usize,
+    /// Simulation RNG seed.
+    pub seed: u64,
+    /// Uniform `[0, jitter]` fabric delivery jitter (legal reorderings
+    /// only — same-QP FIFO order is preserved by the fabric).
+    pub jitter: SimDelta,
+    /// Abort the run as a livelock if virtual time exceeds this.
+    pub time_limit: Option<SimTime>,
+    /// Engine configuration (data path, caches, fault injection).
+    pub cfg: OffloadConfig,
+    /// Structured-event observer, usually a conformance checker's sink.
+    pub sink: Option<EventSink>,
+}
+
+impl CheckRun {
+    /// A 2×2 GVMI-path run with no perturbations — the baseline scenario
+    /// the explorer mutates.
+    pub fn baseline(seed: u64) -> CheckRun {
+        CheckRun {
+            nodes: 2,
+            ppn: 2,
+            proxies_per_dpu: 1,
+            seed,
+            jitter: SimDelta::ZERO,
+            time_limit: None,
+            cfg: OffloadConfig::proposed(),
+            sink: None,
+        }
+    }
+
+    fn builder(&self) -> ClusterBuilder {
+        let spec = ClusterSpec::new(self.nodes, self.ppn)
+            .with_proxies(self.proxies_per_dpu)
+            .without_byte_movement();
+        let mut b = ClusterBuilder::new(spec, self.seed);
+        if let Some(limit) = self.time_limit {
+            b = b.with_time_limit(limit);
+        }
+        if self.jitter > SimDelta::ZERO {
+            b = b.with_delivery_jitter(self.jitter);
+        }
+        if let Some(sink) = &self.sink {
+            b = b.with_event_sink(sink.clone());
+        }
+        b
+    }
+
+    /// Run `body` on every rank with an [`Offload`] engine attached and
+    /// proxies running, returning the simulation's verdict.
+    pub fn run_offload(
+        &self,
+        body: impl Fn(&Offload) + Send + Sync + 'static,
+    ) -> Result<Report, SimError> {
+        let cfg = self.cfg.clone();
+        let proxy_cfg = cfg.clone();
+        self.builder().run(
+            move |rank, ctx, cluster| {
+                let inbox = Inbox::new();
+                let off = Offload::init(rank, ctx, cluster, &inbox, cfg.clone());
+                body(&off);
+                off.finalize();
+            },
+            Some(offload::proxy_fn(proxy_cfg)),
+        )
+    }
+}
+
+/// Halo-exchange stencil over the Basic primitives: every rank exchanges
+/// a face with its ring neighbours in both directions for `rounds`
+/// iterations. Exercises RTS/RTR matching, cross-registration, the GVMI
+/// caches and FIN delivery on both intra- and inter-node paths.
+pub fn drive_stencil(run: &CheckRun, face_bytes: u64, rounds: u64) -> Result<Report, SimError> {
+    run.run_offload(move |off| {
+        let p = off.size();
+        if p < 2 {
+            return;
+        }
+        let fab = off.cluster().fabric().clone();
+        let ep = off.cluster().host_ep(off.rank());
+        let me = off.rank();
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        let sbuf_r = fab.alloc(ep, face_bytes);
+        let sbuf_l = fab.alloc(ep, face_bytes);
+        let rbuf_r = fab.alloc(ep, face_bytes);
+        let rbuf_l = fab.alloc(ep, face_bytes);
+        for round in 0..rounds {
+            // Tags encode (round, direction); matching is (src, dst, tag).
+            let t_right = round * 4;
+            let t_left = round * 4 + 1;
+            let reqs = [
+                off.send_offload(sbuf_r, face_bytes, right, t_right),
+                off.send_offload(sbuf_l, face_bytes, left, t_left),
+                off.recv_offload(rbuf_l, face_bytes, left, t_right),
+                off.recv_offload(rbuf_r, face_bytes, right, t_left),
+            ];
+            off.ctx().compute(SimDelta::from_us(5));
+            off.wait_all(&reqs);
+        }
+    })
+}
+
+/// Group-primitive all-to-all plus a barrier-ordered ring all-gather,
+/// each called `calls` times. Exercises the group metadata exchange
+/// (`RecvMeta`), the group packet/exec cache, cross-registration at
+/// install time, and barrier-counter writes.
+pub fn drive_alltoall(run: &CheckRun, block: u64, calls: u64) -> Result<Report, SimError> {
+    run.run_offload(move |off| {
+        let p = off.size() as u64;
+        if p < 2 {
+            return;
+        }
+        let fab = off.cluster().fabric().clone();
+        let ep = off.cluster().host_ep(off.rank());
+        let sendbuf = fab.alloc(ep, block * p);
+        let recvbuf = fab.alloc(ep, block * p);
+        let a2a = off.record_alltoall(sendbuf, recvbuf, block);
+        let agbuf = fab.alloc(ep, block * p);
+        let ring = off.record_allgather_ring(agbuf, block);
+        for _ in 0..calls {
+            off.group_call(a2a);
+            off.ctx().compute(SimDelta::from_us(2));
+            off.group_wait(a2a);
+            off.group_call(ring);
+            off.group_wait(ring);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_driver_completes_cleanly() {
+        let report = drive_stencil(&CheckRun::baseline(11), 4096, 2).expect("clean run");
+        assert!(report.end_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn alltoall_driver_completes_cleanly() {
+        let report = drive_alltoall(&CheckRun::baseline(12), 2048, 2).expect("clean run");
+        assert!(report.end_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn jitter_and_proxy_knobs_still_complete() {
+        let mut run = CheckRun::baseline(13);
+        run.jitter = SimDelta::from_us(3);
+        run.proxies_per_dpu = 2;
+        run.time_limit = Some(SimTime::ZERO + SimDelta::from_secs(5));
+        drive_stencil(&run, 1024, 2).expect("jittered run");
+        drive_alltoall(&run, 1024, 2).expect("jittered run");
+    }
+}

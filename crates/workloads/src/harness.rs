@@ -107,7 +107,10 @@ pub fn collect<T>(c: &Collector<T>, v: T) {
 
 /// Take a collector's value after the run.
 pub fn take<T>(c: &Collector<T>) -> T {
-    c.lock().unwrap().take().expect("collector filled during run")
+    c.lock()
+        .unwrap()
+        .take()
+        .expect("collector filled during run")
 }
 
 /// Run `body(&harness)` on every rank of a `spec` cluster under `runtime`.
@@ -157,13 +160,8 @@ pub fn run_workload(
                 .run(
                     move |rank, ctx, cluster| {
                         let inbox = Inbox::new();
-                        let off = Offload::init(
-                            rank,
-                            ctx.clone(),
-                            cluster.clone(),
-                            &inbox,
-                            ocfg.clone(),
-                        );
+                        let off =
+                            Offload::init(rank, ctx.clone(), cluster.clone(), &inbox, ocfg.clone());
                         let h = Harness {
                             rank,
                             mpi: Mpi::attach(rank, ctx, cluster, &inbox, MpiConfig::default()),
@@ -214,7 +212,8 @@ mod tests {
         run_workload(ClusterSpec::new(2, 1), 2, Runtime::Intel, move |h| {
             let t0 = h.ctx().now();
             // Rank 1 computes longer; both must report its time.
-            h.ctx().compute(SimDelta::from_us(100 * (h.rank as u64 + 1)));
+            h.ctx()
+                .compute(SimDelta::from_us(100 * (h.rank as u64 + 1)));
             let us = h.elapsed_max_us(t0);
             assert!(us >= 200.0, "max time is the slower rank's: {us}");
             if h.rank == 0 {

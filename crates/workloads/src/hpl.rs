@@ -127,9 +127,12 @@ fn start_bcast(
     match algo {
         HplAlgo::Ring1 => Bcast::Mpi(h.mpi.iring_bcast_among(row, root_pos, buf, len)),
         HplAlgo::IntelIbcast => Bcast::Mpi(h.mpi.ibcast_among(row, root_pos, buf, len)),
-        HplAlgo::Blues => {
-            Bcast::Blues(h.blues.as_ref().expect("blues").ibcast_among(row, root_pos, buf, len))
-        }
+        HplAlgo::Blues => Bcast::Blues(
+            h.blues
+                .as_ref()
+                .expect("blues")
+                .ibcast_among(row, root_pos, buf, len),
+        ),
         HplAlgo::Proposed => {
             // Record the ring for this step's row and offload it whole
             // (paper Listing 5).
@@ -264,7 +267,12 @@ mod tests {
 
     #[test]
     fn all_algorithms_complete() {
-        for algo in [HplAlgo::Ring1, HplAlgo::IntelIbcast, HplAlgo::Blues, HplAlgo::Proposed] {
+        for algo in [
+            HplAlgo::Ring1,
+            HplAlgo::IntelIbcast,
+            HplAlgo::Blues,
+            HplAlgo::Proposed,
+        ] {
             let t = hpl_runtime_us(2, 1, 0.01, algo, 17);
             assert!(t > 0.0, "{} produced no time", algo.label());
         }

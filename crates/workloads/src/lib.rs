@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 mod alltoall;
+mod drivers;
 mod harness;
 mod hpl;
 mod overlap;
@@ -28,6 +29,7 @@ mod stencil;
 pub use alltoall::{
     iallgather_overlap, ialltoall_overlap, ialltoall_overlap_on, scatter_dest_time, ScatterImpl,
 };
+pub use drivers::{drive_alltoall, drive_stencil, CheckRun};
 pub use harness::{collect, collector, run_workload, take, Collector, Harness, Runtime};
 pub use hpl::{hpl_runtime_us, matrix_order, HplAlgo, MODEL_MEM_PER_NODE, NB};
 pub use overlap::{omb_overlap_pct, OverlapResult};

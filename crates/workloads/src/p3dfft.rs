@@ -55,7 +55,10 @@ impl TransposeSet {
         let p = h.size() as u64;
         let sendbuf = fab.alloc(ep, block * p);
         let recvbuf = fab.alloc(ep, block * p);
-        let group = h.off.as_ref().map(|off| off.record_alltoall(sendbuf, recvbuf, block));
+        let group = h
+            .off
+            .as_ref()
+            .map(|off| off.record_alltoall(sendbuf, recvbuf, block));
         TransposeSet {
             sendbuf,
             recvbuf,

@@ -58,7 +58,13 @@ pub fn nonblocking_pingpong_us(
         let sbuf = fab.alloc(ep, size);
         let rbuf = fab.alloc(ep, size);
         let peer = 1 - rank;
-        let mpi = Mpi::attach(rank, ctx.clone(), cluster.clone(), &inbox, MpiConfig::default());
+        let mpi = Mpi::attach(
+            rank,
+            ctx.clone(),
+            cluster.clone(),
+            &inbox,
+            MpiConfig::default(),
+        );
         let off = match engine {
             P2pEngine::Host => None,
             P2pEngine::Staging => Some(Offload::init(
@@ -108,9 +114,9 @@ pub fn nonblocking_pingpong_us(
     };
 
     let report = match engine {
-        P2pEngine::Host => builder.run_hosts(move |rank, ctx, cluster| {
-            body(rank, ctx, cluster, P2pEngine::Host)
-        }),
+        P2pEngine::Host => {
+            builder.run_hosts(move |rank, ctx, cluster| body(rank, ctx, cluster, P2pEngine::Host))
+        }
         P2pEngine::Staging => builder.run(
             move |rank, ctx, cluster| body(rank, ctx, cluster, P2pEngine::Staging),
             Some(offload::proxy_fn(OffloadConfig::staging())),

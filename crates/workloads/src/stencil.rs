@@ -51,12 +51,12 @@ struct Neighbors {
 
 fn neighbors(rank: usize, p: usize, n: u64) -> (Neighbors, u64) {
     let (px, py, pz) = dims3(p);
-    let (lx, ly, lz) = (n.div_ceil(px as u64), n.div_ceil(py as u64), n.div_ceil(pz as u64));
-    let coords = (
-        rank % px,
-        (rank / px) % py,
-        rank / (px * py),
+    let (lx, ly, lz) = (
+        n.div_ceil(px as u64),
+        n.div_ceil(py as u64),
+        n.div_ceil(pz as u64),
     );
+    let coords = (rank % px, (rank / px) % py, rank / (px * py));
     let at = |x: usize, y: usize, z: usize| x + y * px + z * px * py;
     let elem = 8u64;
     let mut faces = Vec::new();
@@ -87,7 +87,12 @@ enum FaceReq {
     Off(offload::OffloadReq),
 }
 
-fn exchange(h: &Harness, nb: &Neighbors, bufs: &[(rdma::VAddr, rdma::VAddr)], round: u64) -> Vec<FaceReq> {
+fn exchange(
+    h: &Harness,
+    nb: &Neighbors,
+    bufs: &[(rdma::VAddr, rdma::VAddr)],
+    round: u64,
+) -> Vec<FaceReq> {
     let my_node = h.cluster().spec().node_of_rank(h.rank);
     let mut reqs = Vec::with_capacity(nb.faces.len() * 2);
     for (i, &(peer, bytes, dir)) in nb.faces.iter().enumerate() {

@@ -1,0 +1,7 @@
+// Lint fixture: must trip the `hash-iteration-order` rule.
+// Not compiled — scanned by xtask's unit tests.
+use std::collections::HashMap;
+
+fn pending_by_tag() -> HashMap<u64, usize> {
+    HashMap::new()
+}

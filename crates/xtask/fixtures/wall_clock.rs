@@ -1,0 +1,8 @@
+// Lint fixture: must trip the `wall-clock` rule.
+// Not compiled — scanned by xtask's unit tests.
+use std::time::Instant;
+
+fn elapsed_us() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_micros()
+}

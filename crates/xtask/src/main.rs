@@ -1,0 +1,296 @@
+//! Workspace automation. The only command so far is `lint`: a custom
+//! lint wall for the simulator/protocol code, run as `cargo xtask lint`
+//! (see `.cargo/config.toml` for the alias) and from `ci.sh`.
+//!
+//! The rules target bug classes clippy cannot see because they are
+//! properties of *this* codebase's design, not of Rust:
+//!
+//! * `hash-iteration-order` — `HashMap`/`HashSet` are banned from the
+//!   message-matching paths (`crates/core`, `crates/rdma`). Their
+//!   iteration order is randomized per process, so any matching or
+//!   scheduling decision that walks one diverges between reruns and
+//!   breaks the simulator's determinism guarantee. Use `BTreeMap`,
+//!   `BTreeSet` or `VecDeque`.
+//! * `wall-clock` — `std::time` / `Instant` / `SystemTime` are banned
+//!   from simnet-driven crates. Simulated code must read virtual time
+//!   from its `ProcessCtx`; wall-clock reads smuggle host timing into
+//!   deterministic runs.
+//! * `decode-unwrap` — `unwrap()`/`expect()` on `downcast` results is
+//!   banned in `crates/core`/`crates/rdma`. Cross-rank message decode
+//!   must tolerate unexpected payloads (count a stat, drop the packet)
+//!   instead of taking the whole simulated rank down.
+//!
+//! Escapes: test code below a column-0 `#[cfg(test)]` is ignored, and a
+//! line carrying a `lint:allow(<rule>)` comment is exempt from that rule.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One lint rule: a name, the path prefixes (relative to the repo root)
+/// it patrols, and a predicate over comment-stripped code lines.
+struct Rule {
+    name: &'static str,
+    roots: &'static [&'static str],
+    hit: fn(&str) -> bool,
+    why: &'static str,
+}
+
+/// `true` if `line` contains `token` delimited by non-identifier chars,
+/// so `Instant` matches but `InstantaneousRate` does not.
+fn has_token(line: &str, token: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(token) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + token.len();
+        let after_ok = !line[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "hash-iteration-order",
+        roots: &["crates/core/src", "crates/rdma/src"],
+        hit: |l| has_token(l, "HashMap") || has_token(l, "HashSet"),
+        why: "randomized iteration order breaks deterministic matching; \
+              use BTreeMap/BTreeSet/VecDeque",
+    },
+    Rule {
+        name: "wall-clock",
+        roots: &[
+            "crates/simnet/src",
+            "crates/core/src",
+            "crates/rdma/src",
+            "crates/workloads/src",
+            "crates/checker/src",
+        ],
+        hit: |l| l.contains("std::time") || has_token(l, "Instant") || has_token(l, "SystemTime"),
+        why: "simulated code must use virtual time (SimTime/SimDelta), \
+              never the host clock",
+    },
+    Rule {
+        name: "decode-unwrap",
+        roots: &["crates/core/src", "crates/rdma/src"],
+        hit: |l| l.contains("downcast") && (l.contains(".unwrap(") || l.contains(".expect(")),
+        why: "cross-rank message decode must not panic on unexpected \
+              payloads; drop and count a stat instead",
+    },
+];
+
+/// One lint hit.
+struct Finding {
+    rule: &'static str,
+    path: PathBuf,
+    line: usize,
+    text: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.text.trim()
+        )
+    }
+}
+
+/// The code part of a source line: empty for pure comment lines,
+/// truncated at an inline `//`. (A `//` inside a string literal also
+/// truncates — acceptable for a lint; use `lint:allow` if it ever
+/// misfires the other way.)
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Scan one file's contents against `rules`. Stops at a column-0
+/// `#[cfg(test)]`; honors per-line `lint:allow(rule)` escapes.
+fn scan_source(path: &Path, src: &str, rules: &[Rule], out: &mut Vec<Finding>) {
+    for (idx, line) in src.lines().enumerate() {
+        if line.starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = code_part(line);
+        if code.trim().is_empty() {
+            continue;
+        }
+        for rule in rules {
+            if line.contains(&format!("lint:allow({})", rule.name)) {
+                continue;
+            }
+            if (rule.hit)(code) {
+                out.push(Finding {
+                    rule: rule.name,
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    text: line.to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Run every rule over its roots under `repo`, returning all findings.
+fn lint_tree(repo: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in RULES {
+        for root in rule.roots {
+            let mut files = Vec::new();
+            rs_files(&repo.join(root), &mut files);
+            for file in files {
+                let Ok(src) = fs::read_to_string(&file) else {
+                    continue;
+                };
+                let rel = file.strip_prefix(repo).unwrap_or(&file);
+                scan_source(rel, &src, std::slice::from_ref(rule), &mut findings);
+            }
+        }
+    }
+    findings
+}
+
+fn repo_root() -> PathBuf {
+    // crates/xtask/ -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the repo root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let findings = lint_tree(&repo_root());
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("xtask lint: clean ({} rules)", RULES.len());
+                ExitCode::SUCCESS
+            } else {
+                for rule in RULES {
+                    if findings.iter().any(|f| f.rule == rule.name) {
+                        println!("note: [{}] {}", rule.name, rule.why);
+                    }
+                }
+                println!("xtask lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            println!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_str(src: &str) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        scan_source(Path::new("test.rs"), src, RULES, &mut out);
+        out.into_iter().map(|f| f.rule).collect()
+    }
+
+    fn fixture(name: &str) -> String {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name);
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+    }
+
+    #[test]
+    fn fixture_hash_iteration_fails() {
+        assert!(scan_str(&fixture("hash_iteration.rs")).contains(&"hash-iteration-order"));
+    }
+
+    #[test]
+    fn fixture_wall_clock_fails() {
+        assert!(scan_str(&fixture("wall_clock.rs")).contains(&"wall-clock"));
+    }
+
+    #[test]
+    fn fixture_decode_unwrap_fails() {
+        assert!(scan_str(&fixture("decode_unwrap.rs")).contains(&"decode-unwrap"));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(scan_str(src).is_empty());
+    }
+
+    #[test]
+    fn comments_are_exempt() {
+        assert!(
+            scan_str("/// Instant the process finished.\nfn f() {} // a HashMap tale\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn allow_escape_works() {
+        let src = "use std::collections::HashMap; // lint:allow(hash-iteration-order)\n";
+        assert!(scan_str(src).is_empty());
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(scan_str(src), vec!["hash-iteration-order"]);
+    }
+
+    #[test]
+    fn token_matching_is_word_bounded() {
+        assert!(scan_str("struct InstantaneousRate;\n").is_empty());
+        assert_eq!(scan_str("let t = Instant::now();\n"), vec!["wall-clock"]);
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        let findings = lint_tree(&repo_root());
+        let report: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+        assert!(
+            findings.is_empty(),
+            "lint wall breached:\n{}",
+            report.join("\n")
+        );
+    }
+}

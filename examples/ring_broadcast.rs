@@ -115,7 +115,10 @@ fn main() {
     let (stg_arr, stg_total) = run_offload(DataPath::Staging);
     let (gvmi_arr, gvmi_total) = run_offload(DataPath::Gvmi);
     println!("completion per rank (us into the run):");
-    println!("{:>6} {:>14} {:>14} {:>14}", "rank", "MPI (case 1)", "Staging (2)", "GVMI (3)");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "rank", "MPI (case 1)", "Staging (2)", "GVMI (3)"
+    );
     for r in 1..RANKS {
         println!(
             "{:>6} {:>14.1} {:>14.1} {:>14.1}",

@@ -20,8 +20,14 @@ fn main() {
         .run(
             |rank, ctx, cluster| {
                 let inbox = Inbox::new();
-                let shm =
-                    Shmem::init(rank, ctx, cluster, &inbox, OffloadConfig::proposed(), 1 << 20);
+                let shm = Shmem::init(
+                    rank,
+                    ctx,
+                    cluster,
+                    &inbox,
+                    OffloadConfig::proposed(),
+                    1 << 20,
+                );
                 let fab = shm.offload().cluster().fabric().clone();
                 let n = shm.n_pes();
                 let me = shm.rank();
@@ -46,10 +52,20 @@ fn main() {
                 shm.wait(r);
 
                 assert!(fab
-                    .verify_pattern(shm.endpoint(), shm.local_addr(inbox_slot), 64 * 1024, left as u64)
+                    .verify_pattern(
+                        shm.endpoint(),
+                        shm.local_addr(inbox_slot),
+                        64 * 1024,
+                        left as u64
+                    )
                     .unwrap());
                 assert!(fab
-                    .verify_pattern(shm.endpoint(), shm.local_addr(pulled), 64 * 1024, left as u64)
+                    .verify_pattern(
+                        shm.endpoint(),
+                        shm.local_addr(pulled),
+                        64 * 1024,
+                        left as u64
+                    )
                     .unwrap());
                 println!("PE {me}: put+get verified (neighbour {left}'s pattern received twice)");
                 shm.finalize();

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of criterion its benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`bench_function`/`finish`,
+//! `Bencher::iter`/`iter_batched`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs a short warm-up plus the
+//! configured number of timed samples and prints the mean wall-clock time
+//! per iteration — enough to compare relative costs; it does not do
+//! criterion's statistical analysis or HTML reports.
+//!
+//! Wall-clock timing (`std::time::Instant`) is intentional here: benches
+//! measure the *host* cost of running the simulator, not simulated time,
+//! and this crate is outside the simnet-driven lint scope.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; only the variants the workspace
+/// uses are provided, and they all behave the same (fresh setup per
+/// iteration).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            samples: self.default_samples,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let samples = self.default_samples;
+        run_bench(name, samples, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, self.samples, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    // One warm-up pass, then the timed samples.
+    f(&mut b);
+    b.iters = 0;
+    b.elapsed = Duration::ZERO;
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let mean_ns = if b.iters == 0 {
+        0.0
+    } else {
+        b.elapsed.as_nanos() as f64 / b.iters as f64
+    };
+    println!("  {name}: {mean_ns:.0} ns/iter ({} iters)", b.iters);
+}
+
+/// Passed to each benchmark closure; accumulates timed iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` once per call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let t0 = Instant::now();
+        let out = routine();
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+
+    /// Time `routine` on a fresh `setup()` value, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        let out = routine(input);
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Bundle benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut count = 0u64;
+        g.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+            });
+        });
+        g.finish();
+        // One warm-up + three samples.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_each_time() {
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        let mut g = c.benchmark_group("t2");
+        g.sample_size(2).bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |v| v * 2,
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+        assert_eq!(setups, 3);
+    }
+}

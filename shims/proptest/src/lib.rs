@@ -1,0 +1,616 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest it uses: the `proptest!` test macro,
+//! composable [`Strategy`] values (ranges, tuples, vectors, `any`,
+//! `prop_map`/`prop_filter`, `prop_oneof!`), and a deterministic
+//! per-test RNG. Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the exact generated input
+//!   (every `Value` is `Debug`) but is not minimized.
+//! * **Deterministic.** The RNG is seeded from the test's module path and
+//!   name, so a failure always reproduces; there is no persistence file.
+//! * `prop_assert!`/`prop_assert_eq!` are plain assertions (they panic
+//!   rather than return `Err`), which the runner catches per case.
+
+#![warn(missing_docs)]
+// Vendored shim: mirror the real crate's signatures rather than invent
+// type aliases the real proptest does not have.
+#![allow(clippy::type_complexity)]
+
+/// Strategy combinators: how test inputs are generated.
+pub mod strategy {
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of test values. The simplified contract: given the
+    /// deterministic [`TestRng`], produce one value.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: fmt::Debug;
+
+        /// Generate one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, O>
+        where
+            Self: Sized + 'static,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            Map {
+                inner: self,
+                f: Box::new(f),
+            }
+        }
+
+        /// Keep only values for which `pred` holds; gives up (panicking
+        /// with `reason`) after too many consecutive rejections.
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool + 'static,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred: Box::new(pred),
+            }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S: Strategy, O> {
+        inner: S,
+        f: Box<dyn Fn(S::Value) -> O>,
+    }
+
+    impl<S: Strategy, O: fmt::Debug> Strategy for Map<S, O> {
+        type Value = O;
+
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_filter`].
+    pub struct Filter<S: Strategy> {
+        inner: S,
+        reason: String,
+        pred: Box<dyn Fn(&S::Value) -> bool>,
+    }
+
+    impl<S: Strategy> Strategy for Filter<S> {
+        type Value = S::Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..4096 {
+                let v = self.inner.gen_value(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted 4096 attempts: {}", self.reason);
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+    impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Choose uniformly among `arms` (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V: fmt::Debug> Strategy for Union<V> {
+        type Value = V;
+
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].gen_value(rng)
+        }
+    }
+
+    /// Always produce a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let lo = self.start as i128;
+                    let span = (self.end as i128 - lo) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.gen_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+
+        fn gen_value(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.gen_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.gen_value(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// Length specification for collection strategies; built from `a..b`,
+    /// `a..=b` or an exact `usize`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub(crate) start: usize,
+        pub(crate) end_excl: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                start: r.start,
+                end_excl: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                start: *r.start(),
+                end_excl: r.end().saturating_add(1),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end_excl: n.saturating_add(1),
+            }
+        }
+    }
+
+    /// Generates vectors with lengths drawn from `size` and elements from
+    /// `element` (see [`crate::prop::collection::vec`]).
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end_excl, "empty size range");
+            let span = (self.size.end_excl - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct AnyStrategy<T>(pub(crate) PhantomData<fn() -> T>);
+
+    impl<T: crate::arbitrary::ArbitraryValue + fmt::Debug> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+}
+
+/// `any::<T>()` support for primitive types.
+pub mod arbitrary {
+    use std::marker::PhantomData;
+
+    use crate::strategy::AnyStrategy;
+    use crate::test_runner::TestRng;
+
+    /// Types that can be generated across their whole domain.
+    pub trait ArbitraryValue {
+        /// Generate one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbitraryValue for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbitraryValue for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            rng.gen_f64()
+        }
+    }
+
+    /// A strategy generating any value of `T`.
+    pub fn any<T: ArbitraryValue + std::fmt::Debug>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// The `prop::` namespace (collection strategies).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// Vectors of `element` values with a length in `size`
+        /// (`a..b`, `a..=b` or an exact `usize`).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// Test-runner plumbing: configuration, RNG and failure reporting.
+pub mod test_runner {
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Attempt bound used by rejection-based combinators (kept for
+        /// API-shape compatibility; `prop_filter` uses a fixed bound).
+        pub max_local_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_local_rejects: 4096,
+            }
+        }
+    }
+
+    /// Deterministic split-mix RNG seeded from the test name.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for the named test (FNV-1a of the name seeds the stream).
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; returns 0 for bound 0.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                return 0;
+            }
+            self.next_u64() % bound
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn gen_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Error returned from a test body that fails (or rejects) a case
+    /// explicitly instead of panicking. Bodies may `return Ok(())` early;
+    /// the runner appends the final `Ok(())` itself.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// An explicit case failure with the given message.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Render a caught panic payload.
+    pub fn panic_str(err: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = err.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = err.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+
+    /// Report a failing case with its exact input, then panic.
+    pub fn report_failure(
+        test: &str,
+        case: u32,
+        input: &str,
+        err: Box<dyn std::any::Any + Send>,
+    ) -> ! {
+        panic!(
+            "proptest {test}: case {case} failed\n  input: {input}\n  cause: {}",
+            panic_str(&*err)
+        );
+    }
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(..)]` and any number of
+/// `fn name(pat in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                let vals = ($($crate::strategy::Strategy::gen_value(&($strat), &mut rng),)+);
+                let input = format!("{vals:?}");
+                // The body runs in a closure returning `Result`, so tests
+                // may `return Ok(())` early, as with real proptest.
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        let ($($pat,)+) = vals;
+                        $body
+                        #[allow(unreachable_code)]
+                        return ::std::result::Result::Ok(());
+                    },
+                ));
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(err)) => {
+                        $crate::test_runner::report_failure(
+                            stringify!($name),
+                            case,
+                            &input,
+                            Box::new(err.to_string()),
+                        );
+                    }
+                    Err(err) => {
+                        $crate::test_runner::report_failure(
+                            stringify!($name),
+                            case,
+                            &input,
+                            err,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { @cfg ($cfg) $($rest)* }
+    };
+}
+
+/// Choose uniformly among the argument strategies (all must produce the
+/// same `Value` type). Weighted arms are not supported by this shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Property assertion: panics (caught per case by the runner).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion: panics (caught per case by the runner).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion: panics (caught per case by the runner).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The usual glob-import surface: strategies, config, macros.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let mut c = TestRng::for_test("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::gen_value(&(10u64..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let f = Strategy::gen_value(&(0.25f64..0.5), &mut rng);
+            assert!((0.25..0.5).contains(&f));
+            let i = Strategy::gen_value(&(-5i32..7), &mut rng);
+            assert!((-5..7).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_and_map_compose() {
+        let mut rng = TestRng::for_test("compose");
+        let strat =
+            prop::collection::vec((0usize..4, 1u64..100).prop_map(|(a, b)| a as u64 + b), 1..9);
+        for _ in 0..200 {
+            let v = strat.gen_value(&mut rng);
+            assert!(!v.is_empty() && v.len() < 9);
+            assert!(v.iter().all(|&x| (1..103).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn oneof_and_filter() {
+        let mut rng = TestRng::for_test("oneof");
+        let strat = prop_oneof![0u64..10, 100u64..110].prop_filter("even only", |v| v % 2 == 0);
+        for _ in 0..200 {
+            let v = Strategy::gen_value(&strat, &mut rng);
+            assert!(v % 2 == 0 && (v < 10 || (100..110).contains(&v)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro grammar: docs, mut patterns, trailing commas.
+        #[test]
+        fn macro_binds_patterns(mut xs in prop::collection::vec(any::<u8>(), 1..10), y in 0u8..4,) {
+            xs.push(y);
+            prop_assert!(!xs.is_empty());
+            prop_assert_eq!(*xs.last().expect("non-empty"), y);
+        }
+
+        /// Bodies may `return Ok(())` early, and collection sizes may be
+        /// inclusive ranges.
+        #[test]
+        fn macro_allows_early_ok_return(xs in prop::collection::vec(any::<u16>(), 1..=8)) {
+            prop_assert!(!xs.is_empty() && xs.len() <= 8);
+            if xs.len() < 100 {
+                return Ok(());
+            }
+            prop_assert!(false);
+        }
+    }
+}

@@ -31,7 +31,8 @@ fn run_shift_exchange(engine: Engine, nodes: usize, ppn: usize, len: u64) -> f64
         let rbufs: Vec<_> = shifts.iter().map(|_| fab.alloc(ep, len)).collect();
         for (i, &k) in shifts.iter().enumerate() {
             let dst = (rank + k % p) % p;
-            fab.fill_pattern(ep, sbufs[i], len, (rank * 100 + dst) as u64).unwrap();
+            fab.fill_pattern(ep, sbufs[i], len, (rank * 100 + dst) as u64)
+                .unwrap();
         }
         match engine {
             Engine::HostMpi => {
@@ -65,7 +66,8 @@ fn run_shift_exchange(engine: Engine, nodes: usize, ppn: usize, len: u64) -> f64
         for (i, &k) in shifts.iter().enumerate() {
             let src = (rank + p - k % p) % p;
             assert!(
-                fab.verify_pattern(ep, rbufs[i], len, (src * 100 + rank) as u64).unwrap(),
+                fab.verify_pattern(ep, rbufs[i], len, (src * 100 + rank) as u64)
+                    .unwrap(),
                 "{engine:?}: rank {rank} shift {k} payload from {src}"
             );
         }
@@ -113,8 +115,13 @@ fn group_and_basic_primitives_agree() {
             .run(
                 move |rank, ctx, cluster| {
                     let inbox = Inbox::new();
-                    let off =
-                        Offload::init(rank, ctx, cluster.clone(), &inbox, OffloadConfig::proposed());
+                    let off = Offload::init(
+                        rank,
+                        ctx,
+                        cluster.clone(),
+                        &inbox,
+                        OffloadConfig::proposed(),
+                    );
                     let fab = cluster.fabric().clone();
                     let ep = cluster.host_ep(rank);
                     let p = cluster.world_size();
@@ -122,16 +129,33 @@ fn group_and_basic_primitives_agree() {
                     let sendbuf = fab.alloc(ep, block * p as u64);
                     let recvbuf = fab.alloc(ep, block * p as u64);
                     for d in 0..p {
-                        fab.fill_pattern(ep, sendbuf.offset(d as u64 * block), block, (rank * 7 + d) as u64)
-                            .unwrap();
+                        fab.fill_pattern(
+                            ep,
+                            sendbuf.offset(d as u64 * block),
+                            block,
+                            (rank * 7 + d) as u64,
+                        )
+                        .unwrap();
                     }
                     if use_group {
                         let g = off.group_start();
                         for k in 1..p {
                             let dst = (rank + k) % p;
                             let src = (rank + p - k) % p;
-                            off.group_send(g, sendbuf.offset(dst as u64 * block), block, dst, dst as u64);
-                            off.group_recv(g, recvbuf.offset(src as u64 * block), block, src, rank as u64);
+                            off.group_send(
+                                g,
+                                sendbuf.offset(dst as u64 * block),
+                                block,
+                                dst,
+                                dst as u64,
+                            );
+                            off.group_recv(
+                                g,
+                                recvbuf.offset(src as u64 * block),
+                                block,
+                                src,
+                                rank as u64,
+                            );
                         }
                         off.group_end(g);
                         off.group_call(g);

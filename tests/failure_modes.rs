@@ -59,7 +59,13 @@ fn mismatched_ring_barrier_pattern_deadlocks_not_hangs() {
     let result = ClusterBuilder::new(spec, 1).run(
         |rank, ctx, cluster| {
             let inbox = Inbox::new();
-            let off = Offload::init(rank, ctx, cluster.clone(), &inbox, OffloadConfig::proposed());
+            let off = Offload::init(
+                rank,
+                ctx,
+                cluster.clone(),
+                &inbox,
+                OffloadConfig::proposed(),
+            );
             let fab = cluster.fabric().clone();
             let ep = cluster.host_ep(rank);
             let buf = fab.alloc(ep, 1024);
@@ -94,7 +100,13 @@ fn bad_destination_rank_panics() {
         let _ = ClusterBuilder::new(spec, 1).run(
             |rank, ctx, cluster| {
                 let inbox = Inbox::new();
-                let off = Offload::init(rank, ctx, cluster.clone(), &inbox, OffloadConfig::proposed());
+                let off = Offload::init(
+                    rank,
+                    ctx,
+                    cluster.clone(),
+                    &inbox,
+                    OffloadConfig::proposed(),
+                );
                 let fab = cluster.fabric().clone();
                 let ep = cluster.host_ep(rank);
                 let buf = fab.alloc(ep, 64);

@@ -2,7 +2,6 @@
 //! the Group primitives (on both data paths) deliver exactly the payloads
 //! a reference interpretation predicts.
 
-
 use bluefield_offload::dpu::{DataPath, Offload, OffloadConfig};
 use bluefield_offload::net::{ClusterBuilder, ClusterSpec, Inbox};
 use proptest::prelude::*;
@@ -16,17 +15,14 @@ struct Edge {
 }
 
 fn edges_strategy(ranks: usize, max_edges: usize) -> impl Strategy<Value = Vec<Edge>> {
-    prop::collection::vec(
-        (0..ranks, 0..ranks, 64u64..32_768),
-        1..=max_edges,
-    )
-    .prop_map(|v| {
-        v.into_iter()
-            .filter(|(s, d, _)| s != d)
-            .map(|(src, dst, len)| Edge { src, dst, len })
-            .collect::<Vec<Edge>>()
-    })
-    .prop_filter("need at least one edge", |v| !v.is_empty())
+    prop::collection::vec((0..ranks, 0..ranks, 64u64..32_768), 1..=max_edges)
+        .prop_map(|v| {
+            v.into_iter()
+                .filter(|(s, d, _)| s != d)
+                .map(|(src, dst, len)| Edge { src, dst, len })
+                .collect::<Vec<Edge>>()
+        })
+        .prop_filter("need at least one edge", |v| !v.is_empty())
 }
 
 /// Execute `edges` as one group request per rank; every edge uses its own
@@ -54,7 +50,8 @@ fn execute_graph(edges: Vec<Edge>, ranks: usize, path: DataPath) {
                 for (tag, e) in edges.iter().enumerate() {
                     if e.src == rank {
                         let buf = fab.alloc(ep, e.len);
-                        fab.fill_pattern(ep, buf, e.len, tag as u64 * 31 + 7).unwrap();
+                        fab.fill_pattern(ep, buf, e.len, tag as u64 * 31 + 7)
+                            .unwrap();
                         sends.push((tag as u64, buf, e.len, e.dst));
                     }
                     if e.dst == rank {
