@@ -19,4 +19,8 @@ cargo build --release
 echo "== cargo test"
 cargo test -q
 
+echo "== metrics artifact (schema bluefield-offload/metrics/v1)"
+cargo run --release --quiet -p bench-harness --bin fig04_pingpong_staging -- --quick > /dev/null
+cargo xtask validate-metrics bench_results/fig04_pingpong_staging.metrics.json
+
 echo "ci.sh: all gates passed"

@@ -6,8 +6,7 @@
 use bench_harness::{bytes, pct, print_table, us, Args};
 use workloads::{iallgather_overlap, Runtime};
 
-fn main() {
-    let args = Args::parse();
+fn run(args: Args) {
     let nodes = args.nodes.unwrap_or(if args.quick { 2 } else { 8 });
     let ppn = args.pick_ppn(32, 16, 2);
     let iters = args.pick_iters(2, 1);
@@ -45,4 +44,9 @@ fn main() {
         &rows,
     );
     println!("\nThe ring's dependent steps need CPU intervention under host MPI; both\noffloads progress them on the DPU, and the GVMI path avoids the staging\nhops' DPU-DRAM bound.");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("ext_allgather", || run(args));
 }

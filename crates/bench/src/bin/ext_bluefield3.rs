@@ -6,8 +6,7 @@ use bench_harness::{bytes, print_table, us, Args};
 use rdma::{ClusterSpec, NicModel};
 use workloads::{ialltoall_overlap_on, Runtime};
 
-fn main() {
-    let args = Args::parse();
+fn run(args: Args) {
     let nodes = args.nodes.unwrap_or(if args.quick { 2 } else { 8 });
     let ppn = args.pick_ppn(32, 16, 2);
     let iters = args.pick_iters(2, 1);
@@ -36,4 +35,9 @@ fn main() {
         &rows,
     );
     println!("\nExpectation: faster ARM cores and DPU DRAM narrow the staging penalty,\nbut the cross-GVMI path keeps its lead (it rides the host-rate path on\nboth generations). This is the experiment the paper defers to future work.");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("ext_bluefield3", || run(args));
 }

@@ -6,8 +6,7 @@ use bench_harness::{print_table, us, Args};
 use rdma::ClusterSpec;
 use workloads::{ialltoall_overlap_on, Runtime};
 
-fn main() {
-    let args = Args::parse();
+fn run(args: Args) {
     let nodes = args.nodes.unwrap_or(if args.quick { 2 } else { 8 });
     let ppn = args.pick_ppn(32, 16, 4);
     let iters = args.pick_iters(2, 1);
@@ -34,4 +33,9 @@ fn main() {
         &rows,
     );
     println!("\nExpectation: one proxy serializes all ranks' queue handling on one ARM\ntimeline; a few proxies recover most of the loss, after which the DPU\nport, not the cores, is the limit.");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("ext_proxy_count", || run(args));
 }

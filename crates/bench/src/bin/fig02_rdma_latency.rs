@@ -61,8 +61,7 @@ fn one_way_latency_us(dst_is_dpu: bool, size: u64, iters: u32) -> f64 {
     v
 }
 
-fn main() {
-    let args = Args::parse();
+fn run(args: Args) {
     let iters = args.pick_iters(50, 5);
     let sizes: Vec<u64> = (0..=12).map(|p| 1u64 << p).collect();
     let mut rows = Vec::new();
@@ -82,4 +81,9 @@ fn main() {
         &rows,
     );
     println!("\nPaper shape: host-DPU latency close to host-host (small constant ratio).");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("fig02_rdma_latency", || run(args));
 }

@@ -69,8 +69,7 @@ fn bandwidth_gbs(dst_is_dpu: bool, size: u64, windows: u32) -> f64 {
     v
 }
 
-fn main() {
-    let args = Args::parse();
+fn run(args: Args) {
     let windows = args.pick_iters(10, 2);
     let sizes: Vec<u64> = (6..=17).map(|p| 1u64 << p).collect();
     let mut rows = Vec::new();
@@ -90,4 +89,9 @@ fn main() {
         &rows,
     );
     println!("\nPaper shape: host-DPU ≈ 0.5x for small messages, converging toward 1x for large.");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("fig03_rdma_bandwidth", || run(args));
 }

@@ -5,8 +5,7 @@
 use bench_harness::{bytes, print_table, us, Args};
 use workloads::{nonblocking_pingpong_us, P2pEngine};
 
-fn main() {
-    let args = Args::parse();
+fn run(args: Args) {
     let iters = args.pick_iters(20, 3);
     let warmup = if args.quick { 1 } else { 5 };
     let sizes: Vec<u64> = (12..=20).map(|p| 1u64 << p).collect(); // 4 KiB .. 1 MiB
@@ -29,4 +28,9 @@ fn main() {
         &rows,
     );
     println!("\nPaper shape: staging degraded vs direct host-host transfers at every size.");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("fig04_pingpong_staging", || run(args));
 }

@@ -30,8 +30,7 @@ fn reg_costs_us(size: u64) -> (f64, f64) {
     v
 }
 
-fn main() {
-    let _args = Args::parse();
+fn run(_args: Args) {
     let sizes: Vec<u64> = (12..=24).step_by(2).map(|p| 1u64 << p).collect(); // 4 KiB .. 16 MiB
     let mut rows = Vec::new();
     for &size in &sizes {
@@ -49,4 +48,9 @@ fn main() {
         &rows,
     );
     println!("\nPaper shape: both registrations grow with buffer size; the sum is what an\nuncached transfer pays — the motivation for the two-sided registration caches.");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("fig05_registration", || run(args));
 }

@@ -5,8 +5,7 @@
 use bench_harness::{print_table, us, Args};
 use workloads::{stencil3d, Runtime};
 
-fn main() {
-    let args = Args::parse();
+fn run(args: Args) {
     let nodes = args.nodes.unwrap_or(if args.quick { 2 } else { 16 });
     let ppn = args.pick_ppn(32, 32, 4);
     let iters = args.pick_iters(3, 1);
@@ -34,4 +33,9 @@ fn main() {
         &rows,
     );
     println!("\nPaper shape: Proposed >20% faster overall, widening at the largest grid\n(IntelMPI loses overlap once halos go rendezvous).");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("fig11_stencil_time", || run(args));
 }

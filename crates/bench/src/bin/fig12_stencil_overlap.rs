@@ -4,8 +4,7 @@
 use bench_harness::{pct, print_table, us, Args};
 use workloads::{stencil3d, Runtime};
 
-fn main() {
-    let args = Args::parse();
+fn run(args: Args) {
     let nodes = args.nodes.unwrap_or(if args.quick { 2 } else { 16 });
     let ppn = args.pick_ppn(32, 32, 4);
     let iters = args.pick_iters(3, 1);
@@ -38,4 +37,9 @@ fn main() {
         &rows,
     );
     println!("\nPaper shape: Proposed holds roughly constant high overlap (~78%; intra-node\ntransfers are not offloaded), IntelMPI's overlap collapses at the largest grid.");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("fig12_stencil_overlap", || run(args));
 }

@@ -5,8 +5,7 @@
 use bench_harness::{bytes, print_table, us, Args};
 use workloads::{ialltoall_overlap, Runtime};
 
-fn main() {
-    let args = Args::parse();
+fn run(args: Args) {
     // Paper: 32 PPN. Default 16 PPN keeps the 16-node sweep to minutes.
     let ppn = args.pick_ppn(32, 16, 2);
     let iters = args.pick_iters(2, 1);
@@ -40,4 +39,9 @@ fn main() {
         );
     }
     println!("\nPaper shape: Proposed beats BluesMPI (25-47%) and IntelMPI (35-58%),\nimproving with scale.");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("fig13_ialltoall_time", || run(args));
 }

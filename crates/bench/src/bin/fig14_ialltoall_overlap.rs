@@ -4,8 +4,7 @@
 use bench_harness::{bytes, pct, print_table, Args};
 use workloads::{ialltoall_overlap, Runtime};
 
-fn main() {
-    let args = Args::parse();
+fn run(args: Args) {
     let ppn = args.pick_ppn(32, 16, 2);
     let iters = args.pick_iters(2, 1);
     let node_counts: Vec<usize> = if args.quick { vec![2] } else { vec![4, 8, 16] };
@@ -34,4 +33,9 @@ fn main() {
         );
     }
     println!("\nPaper shape: both DPU offloads overlap near-fully; IntelMPI does not\n(host progress stalls the scatter-destination schedule during compute).");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("fig14_ialltoall_overlap", || run(args));
 }

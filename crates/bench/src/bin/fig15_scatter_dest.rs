@@ -6,8 +6,7 @@
 use bench_harness::{bytes, print_table, us, Args};
 use workloads::{scatter_dest_time, ScatterImpl};
 
-fn main() {
-    let args = Args::parse();
+fn run(args: Args) {
     let nodes = args.nodes.unwrap_or(if args.quick { 2 } else { 8 });
     let ppn = args.pick_ppn(32, 16, 2);
     let iters = args.pick_iters(2, 1);
@@ -46,4 +45,9 @@ fn main() {
         &rows,
     );
     println!("\nPaper shape: Group up to ~40% faster; the cache cuts host-DPU control\nmessages from four per transfer to a handful per collective call.");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("fig15_scatter_dest", || run(args));
 }

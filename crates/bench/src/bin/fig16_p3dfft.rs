@@ -44,8 +44,7 @@ fn run_set(nodes: usize, ppn: usize, xy: u64, zs: &[u64], iters: u32, tag: &str)
     );
 }
 
-fn main() {
-    let args = Args::parse();
+fn run(args: Args) {
     let iters = args.pick_iters(1, 1);
     if args.quick {
         run_set(
@@ -71,4 +70,9 @@ fn main() {
     };
     run_set(16, ppn, 512, z16, iters, "b");
     println!("\nPaper shape: Proposed fastest (up to 16-20% vs IntelMPI, 55-60% vs BluesMPI);\nBluesMPI slowest at app level because its first unwarmed iterations degrade —\nvisible as the large BluesMPI 'time in MPI' in the phase profile.");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("fig16_p3dfft", || run(args));
 }

@@ -4,8 +4,7 @@
 use bench_harness::{print_table, Args};
 use workloads::{hpl_runtime_us, matrix_order, HplAlgo};
 
-fn main() {
-    let args = Args::parse();
+fn run(args: Args) {
     let nodes = args.nodes.unwrap_or(if args.quick { 2 } else { 16 });
     let ppn = args.pick_ppn(32, 16, 4);
     let fractions: Vec<f64> = if args.quick {
@@ -51,4 +50,9 @@ fn main() {
         &rows,
     );
     println!("\nPaper shape: Proposed lowest everywhere (15-18% at 5-10% memory), but its\nadvantage shrinks toward ~8.5% at 50-75% (large-transfer GVMI registration\noverheads); BluesMPI tracks 1ring.");
+}
+
+fn main() {
+    let args = Args::parse();
+    bench_harness::run_with_metrics("fig17_hpl", || run(args));
 }

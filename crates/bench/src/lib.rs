@@ -87,6 +87,43 @@ impl Args {
     }
 }
 
+/// Directory receiving machine-readable benchmark artifacts
+/// (`<bench>.metrics.json` files). `BENCH_RESULTS_DIR` overrides the
+/// default `bench_results/` at the workspace root.
+pub fn bench_results_dir() -> std::path::PathBuf {
+    match std::env::var_os("BENCH_RESULTS_DIR") {
+        Some(d) => d.into(),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results"),
+    }
+}
+
+/// Write a metrics report as `bench_results/<name>.metrics.json`
+/// (schema `bluefield-offload/metrics/v1`). Benchmarks keep running if
+/// the filesystem refuses; the table on stdout is still the primary
+/// output.
+pub fn write_metrics(name: &str, report: &offload::MetricsReport) {
+    let dir = bench_results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("metrics: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.metrics.json"));
+    match std::fs::write(&path, report.to_json(name)) {
+        Ok(()) => eprintln!("metrics: wrote {}", path.display()),
+        Err(e) => eprintln!("metrics: failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Run a figure body with a [`offload::Metrics`] observer installed (via
+/// [`workloads::with_metrics`]) and persist the folded report under
+/// `name`. Figures whose sweeps never start an offload engine still emit
+/// a schema-valid all-zero document, so CI can validate every binary
+/// uniformly.
+pub fn run_with_metrics(name: &str, f: impl FnOnce()) {
+    let ((), report) = workloads::with_metrics(f);
+    write_metrics(name, &report);
+}
+
 /// Print an aligned table: a title line, a header row, then rows.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}");

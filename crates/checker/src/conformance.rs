@@ -154,7 +154,7 @@ impl State {
                     f.matched += 1;
                 }
             }
-            ProtoEvent::WritePosted { wrid } => {
+            ProtoEvent::WritePosted { wrid, .. } => {
                 if !self.posted.insert((src, wrid)) {
                     self.violate(
                         at,
@@ -304,6 +304,18 @@ impl State {
                 }
                 self.barrier_last.insert(key, cur);
             }
+            // Observability-only events: aggregated by `offload::Metrics`,
+            // carrying no protocol invariants of their own.
+            ProtoEvent::HostCacheLookup { .. }
+            | ProtoEvent::CacheEvicted { .. }
+            | ProtoEvent::CtrlDropped { .. }
+            | ProtoEvent::HostWakeup { .. }
+            | ProtoEvent::GroupCallReturned { .. }
+            | ProtoEvent::GroupWaitDone { .. }
+            | ProtoEvent::GroupExecSent { .. }
+            | ProtoEvent::BarrierStall { .. }
+            | ProtoEvent::ProxyQueueDepth { .. }
+            | ProtoEvent::HostFinalized { .. } => {}
         }
     }
 }

@@ -36,6 +36,39 @@ pub enum CacheOutcome {
     Stale,
 }
 
+/// Which leg of a data transfer an RDMA work request implements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathKind {
+    /// Direct host-to-host write through a cross-GVMI mkey2.
+    CrossGvmi,
+    /// Staging path, first hop: RDMA read from the source host into the
+    /// proxy's staging buffer.
+    StagingHop1,
+    /// Staging path, second hop: RDMA write from the staging buffer to
+    /// the destination host.
+    StagingHop2,
+}
+
+/// Which host-side registration cache a lookup touched.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HostCacheKind {
+    /// The per-proxy GVMI registration cache (mkey for offloaded sends).
+    Gvmi,
+    /// The plain IB registration cache (lkey/rkey for host verbs).
+    Ib,
+}
+
+/// Which cache an eviction came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheSide {
+    /// Host-side GVMI registration cache.
+    HostGvmi,
+    /// Host-side IB registration cache.
+    HostIb,
+    /// DPU-side cross-registration cache.
+    DpuCross,
+}
+
 /// One structured protocol event. Emitted by the host engine, the DPU
 /// proxy, and the SHMEM facade at every protocol transition.
 #[derive(Clone, Debug)]
@@ -74,6 +107,10 @@ pub enum ProtoEvent {
     WritePosted {
         /// Work-request id of the posted operation.
         wrid: u64,
+        /// Payload bytes the work request moves.
+        bytes: u64,
+        /// Which transfer leg the work request implements.
+        path: PathKind,
     },
     /// The completion for `wrid` arrived at the posting proxy.
     WriteCompleted {
@@ -156,5 +193,93 @@ pub enum ProtoEvent {
         gen: u64,
         /// Counter value written (must increase monotonically per edge).
         value: u64,
+    },
+    /// A host looked up one of its registration caches.
+    HostCacheLookup {
+        /// Rank owning the cache.
+        rank: usize,
+        /// Which host cache was consulted.
+        cache: HostCacheKind,
+        /// Hit or miss (host caches validate by key, never go stale).
+        outcome: CacheOutcome,
+    },
+    /// A registration cache evicted an entry to make room.
+    CacheEvicted {
+        /// Rank owning the cache (host rank, also for the DPU-side
+        /// cross-cache, whose entries are keyed by host rank).
+        rank: usize,
+        /// Which cache evicted.
+        side: CacheSide,
+    },
+    /// A malformed or foreign control message was dropped by
+    /// `decode_ctrl` instead of being handled.
+    CtrlDropped {
+        /// True when the proxy-side decoder dropped it, false for the
+        /// host-side decoder.
+        at_proxy: bool,
+    },
+    /// The host CPU woke up to process a control message from the
+    /// offload plane.
+    HostWakeup {
+        /// The rank that woke.
+        rank: usize,
+        /// True when, after applying the message, offloaded work is
+        /// still outstanding on this rank — i.e. the host had to
+        /// intervene mid-operation rather than merely observe a
+        /// terminal completion.
+        intervention: bool,
+    },
+    /// `Group_Offload_call` returned control to the application; the
+    /// overlap window for this generation opens here.
+    GroupCallReturned {
+        /// Calling rank.
+        host_rank: usize,
+        /// Group request id on that rank.
+        req_id: usize,
+        /// Generation just launched (1-based).
+        gen: u64,
+    },
+    /// `Group_Wait` observed the generation's completion; the overlap
+    /// window closes here.
+    GroupWaitDone {
+        /// Waiting rank.
+        host_rank: usize,
+        /// Group request id on that rank.
+        req_id: usize,
+        /// Generation waited for.
+        gen: u64,
+    },
+    /// A host re-armed an already-installed group with a `GroupExec`
+    /// doorbell (the cached warm path, no metadata resend).
+    GroupExecSent {
+        /// Calling rank.
+        host_rank: usize,
+        /// Group request id on that rank.
+        req_id: usize,
+        /// Generation being launched.
+        gen: u64,
+    },
+    /// A proxy's group instance blocked at a barrier entry it could not
+    /// yet cross (emitted once per barrier crossing, on first block).
+    BarrierStall {
+        /// Rank owning the stalled instance.
+        host_rank: usize,
+        /// Group request id of the stalled instance.
+        req_id: usize,
+        /// Generation of the stalled instance.
+        gen: u64,
+    },
+    /// A proxy enqueued a posted descriptor; carries the queue depths
+    /// right after the enqueue so observers can track high-water marks.
+    ProxyQueueDepth {
+        /// Entries across the proxy's pending-send queues.
+        send_depth: usize,
+        /// Entries across the proxy's pending-receive queues.
+        recv_depth: usize,
+    },
+    /// A host rank completed `Finalize_Offload`; its counters are final.
+    HostFinalized {
+        /// The finalizing rank.
+        rank: usize,
     },
 }

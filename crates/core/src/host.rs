@@ -24,7 +24,7 @@ use rdma::{Channel, ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
 use simnet::ProcessCtx;
 
 use crate::config::{DataPath, OffloadConfig};
-use crate::events::ProtoEvent;
+use crate::events::{CacheOutcome, CacheSide, HostCacheKind, ProtoEvent};
 use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_MASK, WRID_OFF_HOST};
 use crate::reg_cache::RankAddrCache;
 
@@ -314,6 +314,8 @@ impl Offload {
                 Box::new(CtrlMsg::Shutdown { rank: self.rank }),
             )
             .expect("shutdown to proxy");
+        self.ctx
+            .emit(&ProtoEvent::HostFinalized { rank: self.rank });
     }
 
     // ---- Group primitives ----
@@ -405,23 +407,35 @@ impl Offload {
             self.send_group_packet(req, gen);
             self.st.borrow_mut().groups[req.0].proxy_cached = true;
         }
+        // The overlap window (paper Figs. 12/14) opens when control
+        // returns to the application.
+        self.ctx.emit(&ProtoEvent::GroupCallReturned {
+            host_rank: self.rank,
+            req_id: req.0,
+            gen,
+        });
     }
 
     /// `Group_Wait`: block until generation `gen` (the latest call) of the
     /// group request completes on the DPU.
     pub fn group_wait(&self, req: GroupRequest) {
         self.drain();
-        loop {
+        let gen = loop {
             {
                 let st = self.st.borrow();
                 let g = &st.groups[req.0];
                 if g.fin_gen >= g.gen {
-                    return;
+                    break g.gen;
                 }
             }
             let msg = self.chan.next_blocking(&self.ctx);
             self.handle(msg);
-        }
+        };
+        self.ctx.emit(&ProtoEvent::GroupWaitDone {
+            host_rank: self.rank,
+            req_id: req.0,
+            gen,
+        });
     }
 
     /// Has the latest generation of `req` completed? Drains completions.
@@ -451,6 +465,15 @@ impl Offload {
                 .gvmi_cache
                 .get(self.proxy_idx, addr.0, len)
                 .copied();
+            self.ctx.emit(&ProtoEvent::HostCacheLookup {
+                rank: self.rank,
+                cache: HostCacheKind::Gvmi,
+                outcome: if hit.is_some() {
+                    CacheOutcome::Hit
+                } else {
+                    CacheOutcome::Miss
+                },
+            });
             if let Some(k) = hit {
                 self.ctx.stat_incr("offload.gvmi_cache.host.hit", 1);
                 return k;
@@ -461,10 +484,17 @@ impl Offload {
             .reg_mr_gvmi(&self.ctx, self.ep, addr, len, gvmi)
             .expect("GVMI registration of a valid buffer");
         if self.cfg.use_gvmi_cache {
-            self.st
+            let evicted = self
+                .st
                 .borrow_mut()
                 .gvmi_cache
                 .insert(self.proxy_idx, addr.0, len, mkey);
+            if evicted.is_some() {
+                self.ctx.emit(&ProtoEvent::CacheEvicted {
+                    rank: self.rank,
+                    side: CacheSide::HostGvmi,
+                });
+            }
         }
         mkey
     }
@@ -473,6 +503,15 @@ impl Offload {
     fn cached_ib_reg(&self, addr: VAddr, len: u64) -> MrKey {
         if self.cfg.use_gvmi_cache {
             let hit = self.st.borrow_mut().ib_cache.get(0, addr.0, len).copied();
+            self.ctx.emit(&ProtoEvent::HostCacheLookup {
+                rank: self.rank,
+                cache: HostCacheKind::Ib,
+                outcome: if hit.is_some() {
+                    CacheOutcome::Hit
+                } else {
+                    CacheOutcome::Miss
+                },
+            });
             if let Some(k) = hit {
                 self.ctx.stat_incr("offload.ib_cache.host.hit", 1);
                 return k;
@@ -485,7 +524,13 @@ impl Offload {
             .reg_mr(&self.ctx, self.ep, addr, len)
             .expect("IB registration of a valid buffer");
         if self.cfg.use_gvmi_cache {
-            self.st.borrow_mut().ib_cache.insert(0, addr.0, len, key);
+            let evicted = self.st.borrow_mut().ib_cache.insert(0, addr.0, len, key);
+            if evicted.is_some() {
+                self.ctx.emit(&ProtoEvent::CacheEvicted {
+                    rank: self.rank,
+                    side: CacheSide::HostIb,
+                });
+            }
         }
         key
     }
@@ -672,6 +717,11 @@ impl Offload {
                 }),
             )
             .expect("group exec");
+        self.ctx.emit(&ProtoEvent::GroupExecSent {
+            host_rank: self.rank,
+            req_id: req.0,
+            gen,
+        });
         self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
         self.ctx.stat_incr("offload.group.execs", 1);
     }
@@ -693,6 +743,7 @@ impl Offload {
             // Not a control message despite the channel predicate: count
             // and drop rather than crashing the rank.
             self.ctx.stat_incr("offload.host.bad_ctrl", 1);
+            self.ctx.emit(&ProtoEvent::CtrlDropped { at_proxy: false });
             return;
         };
         match body {
@@ -723,5 +774,21 @@ impl Offload {
                 self.rank
             ),
         }
+        // The host CPU just spent cycles on the offload plane. If work is
+        // still outstanding after applying the message, this was a genuine
+        // mid-operation intervention (the paper's overlap killer); a
+        // terminal completion notice is a plain wakeup.
+        let outstanding = {
+            let st = self.st.borrow();
+            st.reqs.iter().any(|&done| !done) || st.groups.iter().any(|g| g.fin_gen < g.gen)
+        };
+        self.ctx.stat_incr("offload.host.wakeups", 1);
+        if outstanding {
+            self.ctx.stat_incr("offload.host.interventions", 1);
+        }
+        self.ctx.emit(&ProtoEvent::HostWakeup {
+            rank: self.rank,
+            intervention: outstanding,
+        });
     }
 }

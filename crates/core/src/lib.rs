@@ -68,14 +68,18 @@ mod config;
 mod events;
 mod host;
 mod messages;
+mod metrics;
 mod patterns;
 mod proxy;
 mod reg_cache;
 mod shmem;
 
 pub use config::{DataPath, FaultInjection, OffloadConfig};
-pub use events::{CacheOutcome, FinKind, ProtoEvent};
+pub use events::{CacheOutcome, CacheSide, FinKind, HostCacheKind, PathKind, ProtoEvent};
 pub use host::{GroupRequest, Offload, OffloadReq};
+pub use metrics::{
+    CacheCounters, Metrics, MetricsReport, ProxyMetrics, RankMetrics, WindowMetrics,
+};
 pub use proxy::{proxy_fn, proxy_main};
 pub use reg_cache::RankAddrCache;
 pub use shmem::{Shmem, SymAddr};

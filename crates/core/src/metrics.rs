@@ -1,0 +1,737 @@
+//! Fold the [`ProtoEvent`] stream into per-rank / per-proxy counters.
+//!
+//! The paper's headline claims — perfect compute/communication overlap
+//! with zero CPU intervention (Figs. 12/14), registration-cache
+//! amortization (§VII-B, Fig. 5), once-only group-metadata exchange
+//! (§VII-D) — are *counters*, not timings. [`Metrics`] is an
+//! [`EventSink`] that accumulates exactly those counters during a run;
+//! [`Metrics::report`] freezes them into a [`MetricsReport`] once every
+//! rank has passed `Finalize_Offload`, and
+//! [`MetricsReport::to_json`] renders the stable machine-readable form
+//! benchmarks drop into `bench_results/` (schema
+//! `bluefield-offload/metrics/v1`, validated by `cargo xtask
+//! validate-metrics`).
+//!
+//! The aggregation is deterministic: every container is a `BTreeMap`, so
+//! two same-seed runs serialize to byte-identical JSON (asserted in
+//! `tests/determinism.rs`).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simnet::{EventSink, Pid, SimTime};
+
+use crate::events::{CacheOutcome, CacheSide, FinKind, HostCacheKind, PathKind, ProtoEvent};
+
+/// Hit/miss/stale/eviction totals of one registration cache.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Lookups that found an invalid entry (evicted on the spot).
+    pub stale: u64,
+    /// Entries displaced by capacity or staleness.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Total lookups: `hits + misses + stale` (the conservation law the
+    /// property tests assert).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.stale
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let l = self.lookups();
+        if l == 0 {
+            0.0
+        } else {
+            self.hits as f64 / l as f64
+        }
+    }
+}
+
+/// Counters attributed to one host rank.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct RankMetrics {
+    /// The rank.
+    pub rank: usize,
+    /// Control messages this host's CPU processed.
+    pub wakeups: u64,
+    /// Wakeups that found offloaded work still outstanding.
+    pub interventions: u64,
+    /// `FinSend` notices addressed to this rank.
+    pub fin_send: u64,
+    /// `FinRecv` notices addressed to this rank.
+    pub fin_recv: u64,
+    /// `GroupFin` notices addressed to this rank.
+    pub fin_group: u64,
+    /// The rank completed `Finalize_Offload`.
+    pub finalized: bool,
+}
+
+/// Host activity inside one overlap window — the interval between
+/// `Group_Offload_call` returning and `Group_Wait` observing completion
+/// for one generation. The paper claims zero interventions here.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WindowMetrics {
+    /// Rank owning the group request.
+    pub rank: usize,
+    /// Group request id on that rank.
+    pub req_id: usize,
+    /// Generation (1-based; `gen >= 2` means every cache is warm).
+    pub gen: u64,
+    /// Host wakeups that landed inside the window.
+    pub wakeups: u64,
+    /// Wakeups inside the window with work still outstanding.
+    pub interventions: u64,
+    /// `Group_Wait` closed the window.
+    pub closed: bool,
+}
+
+/// Counters attributed to one DPU proxy process.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct ProxyMetrics {
+    /// Scheduler pid of the proxy process.
+    pub pid: usize,
+    /// RTS control messages accepted.
+    pub rts: u64,
+    /// RTR control messages accepted.
+    pub rtr: u64,
+    /// RTS/RTR pairs matched.
+    pub pairs_matched: u64,
+    /// RDMA work requests posted (writes and reads).
+    pub writes_posted: u64,
+    /// Completions observed for those work requests.
+    pub writes_completed: u64,
+    /// Payload bytes moved host-to-host through cross-GVMI.
+    pub bytes_cross_gvmi: u64,
+    /// Payload bytes pulled into staging buffers (hop 1).
+    pub bytes_staging_hop1: u64,
+    /// Payload bytes forwarded out of staging buffers (hop 2).
+    pub bytes_staging_hop2: u64,
+    /// High-water mark of the pending-send (RTS) queues.
+    pub send_q_hwm: u64,
+    /// High-water mark of the pending-receive (RTR) queues.
+    pub recv_q_hwm: u64,
+    /// Barrier entries that blocked at least once.
+    pub barrier_stalls: u64,
+    /// Malformed control messages dropped by `decode_ctrl`.
+    pub ctrl_dropped: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    events: u64,
+    fin_send: u64,
+    fin_recv: u64,
+    fin_group: u64,
+    cross_regs: u64,
+    ctrl_dropped_host: u64,
+    group_execs: u64,
+    host_gvmi: CacheCounters,
+    host_ib: CacheCounters,
+    dpu_cross: CacheCounters,
+    ranks: BTreeMap<usize, RankMetrics>,
+    proxies: BTreeMap<usize, ProxyMetrics>,
+    /// `(rank, req_id, gen)` → window; insertion keyed so report order is
+    /// stable.
+    windows: BTreeMap<(usize, usize, u64), WindowMetrics>,
+    /// Open windows per rank: `(req_id, gen)` pairs awaiting
+    /// `GroupWaitDone`.
+    open_windows: BTreeMap<usize, Vec<(usize, u64)>>,
+    /// `RecvMeta` shipments per `(from_rank, to_rank, req_id)`.
+    recv_meta: BTreeMap<(usize, usize, usize), u64>,
+    /// Full `GroupPacket` shipments per `(host_rank, req_id)`.
+    group_packets: BTreeMap<(usize, usize), u64>,
+}
+
+impl Inner {
+    fn rank(&mut self, r: usize) -> &mut RankMetrics {
+        let m = self.ranks.entry(r).or_default();
+        m.rank = r;
+        m
+    }
+
+    fn proxy(&mut self, pid: Pid) -> &mut ProxyMetrics {
+        let m = self.proxies.entry(pid.index()).or_default();
+        m.pid = pid.index();
+        m
+    }
+
+    fn on_event(&mut self, _at: SimTime, pid: Pid, ev: &ProtoEvent) {
+        self.events += 1;
+        match *ev {
+            ProtoEvent::RtsAtProxy { .. } => self.proxy(pid).rts += 1,
+            ProtoEvent::RtrAtProxy { .. } => self.proxy(pid).rtr += 1,
+            ProtoEvent::PairMatched { .. } => self.proxy(pid).pairs_matched += 1,
+            ProtoEvent::WritePosted { bytes, path, .. } => {
+                let p = self.proxy(pid);
+                p.writes_posted += 1;
+                match path {
+                    PathKind::CrossGvmi => p.bytes_cross_gvmi += bytes,
+                    PathKind::StagingHop1 => p.bytes_staging_hop1 += bytes,
+                    PathKind::StagingHop2 => p.bytes_staging_hop2 += bytes,
+                }
+            }
+            ProtoEvent::WriteCompleted { .. } => self.proxy(pid).writes_completed += 1,
+            ProtoEvent::FinSent { rank, kind, .. } => {
+                match kind {
+                    FinKind::Send => self.fin_send += 1,
+                    FinKind::Recv => self.fin_recv += 1,
+                    FinKind::Group => self.fin_group += 1,
+                }
+                let m = self.rank(rank);
+                match kind {
+                    FinKind::Send => m.fin_send += 1,
+                    FinKind::Recv => m.fin_recv += 1,
+                    FinKind::Group => m.fin_group += 1,
+                }
+            }
+            ProtoEvent::CrossReg { .. } => self.cross_regs += 1,
+            ProtoEvent::CrossRegCacheLookup { outcome, .. } => match outcome {
+                CacheOutcome::Hit => self.dpu_cross.hits += 1,
+                CacheOutcome::Miss => self.dpu_cross.misses += 1,
+                CacheOutcome::Stale => self.dpu_cross.stale += 1,
+            },
+            ProtoEvent::Mkey2Used { .. } => {}
+            ProtoEvent::RecvMetaSent {
+                from_rank,
+                to_rank,
+                req_id,
+            } => {
+                *self
+                    .recv_meta
+                    .entry((from_rank, to_rank, req_id))
+                    .or_insert(0) += 1
+            }
+            ProtoEvent::GroupPacketSent { host_rank, req_id } => {
+                *self.group_packets.entry((host_rank, req_id)).or_insert(0) += 1
+            }
+            ProtoEvent::BarrierCntr { .. } => {}
+            ProtoEvent::HostCacheLookup { cache, outcome, .. } => {
+                let c = match cache {
+                    HostCacheKind::Gvmi => &mut self.host_gvmi,
+                    HostCacheKind::Ib => &mut self.host_ib,
+                };
+                match outcome {
+                    CacheOutcome::Hit => c.hits += 1,
+                    CacheOutcome::Miss => c.misses += 1,
+                    CacheOutcome::Stale => c.stale += 1,
+                }
+            }
+            ProtoEvent::CacheEvicted { side, .. } => match side {
+                CacheSide::HostGvmi => self.host_gvmi.evictions += 1,
+                CacheSide::HostIb => self.host_ib.evictions += 1,
+                CacheSide::DpuCross => self.dpu_cross.evictions += 1,
+            },
+            ProtoEvent::CtrlDropped { at_proxy } => {
+                if at_proxy {
+                    self.proxy(pid).ctrl_dropped += 1;
+                } else {
+                    self.ctrl_dropped_host += 1;
+                }
+            }
+            ProtoEvent::HostWakeup { rank, intervention } => {
+                let m = self.rank(rank);
+                m.wakeups += 1;
+                if intervention {
+                    m.interventions += 1;
+                }
+                if let Some(open) = self.open_windows.get(&rank) {
+                    for &(req_id, gen) in open {
+                        if let Some(w) = self.windows.get_mut(&(rank, req_id, gen)) {
+                            w.wakeups += 1;
+                            if intervention {
+                                w.interventions += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            ProtoEvent::GroupCallReturned {
+                host_rank,
+                req_id,
+                gen,
+            } => {
+                self.windows.insert(
+                    (host_rank, req_id, gen),
+                    WindowMetrics {
+                        rank: host_rank,
+                        req_id,
+                        gen,
+                        wakeups: 0,
+                        interventions: 0,
+                        closed: false,
+                    },
+                );
+                self.open_windows
+                    .entry(host_rank)
+                    .or_default()
+                    .push((req_id, gen));
+            }
+            ProtoEvent::GroupWaitDone {
+                host_rank,
+                req_id,
+                gen,
+            } => {
+                if let Some(w) = self.windows.get_mut(&(host_rank, req_id, gen)) {
+                    w.closed = true;
+                }
+                if let Some(open) = self.open_windows.get_mut(&host_rank) {
+                    open.retain(|&(r, g)| !(r == req_id && g == gen));
+                }
+            }
+            ProtoEvent::GroupExecSent { .. } => self.group_execs += 1,
+            ProtoEvent::BarrierStall { .. } => self.proxy(pid).barrier_stalls += 1,
+            ProtoEvent::ProxyQueueDepth {
+                send_depth,
+                recv_depth,
+            } => {
+                let p = self.proxy(pid);
+                p.send_q_hwm = p.send_q_hwm.max(send_depth as u64);
+                p.recv_q_hwm = p.recv_q_hwm.max(recv_depth as u64);
+            }
+            ProtoEvent::HostFinalized { rank } => self.rank(rank).finalized = true,
+        }
+    }
+}
+
+/// An [`EventSink`] that aggregates the protocol-event stream into a
+/// [`MetricsReport`]. Install with
+/// `ClusterBuilder::with_event_sink(metrics.sink())` (or via
+/// `workloads::with_observer`); read the report after the simulation —
+/// i.e. at or after `Finalize_Offload` — with [`Metrics::report`].
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Metrics {
+    /// Fresh, all-zero collector.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// The sink to install on a simulation. Non-`ProtoEvent` emissions
+    /// are ignored.
+    pub fn sink(&self) -> EventSink {
+        let inner = Arc::clone(&self.inner);
+        Arc::new(move |at: SimTime, pid: Pid, ev: &dyn Any| {
+            if let Some(ev) = ev.downcast_ref::<ProtoEvent>() {
+                inner.lock().on_event(at, pid, ev);
+            }
+        })
+    }
+
+    /// Snapshot the accumulated counters. Meaningful once every rank has
+    /// reached `Finalize_Offload` (check
+    /// [`MetricsReport::finalized_ranks`]); safe to call at any point for
+    /// a running tally.
+    pub fn report(&self) -> MetricsReport {
+        let inner = self.inner.lock();
+        let proxies: Vec<ProxyMetrics> = inner.proxies.values().cloned().collect();
+        let sum = |f: fn(&ProxyMetrics) -> u64| proxies.iter().map(f).sum::<u64>();
+        let recv_meta: Vec<(usize, usize, usize, u64)> = inner
+            .recv_meta
+            .iter()
+            .map(|(&(f, t, r), &n)| (f, t, r, n))
+            .collect();
+        MetricsReport {
+            events: inner.events,
+            rts: sum(|p| p.rts),
+            rtr: sum(|p| p.rtr),
+            pairs_matched: sum(|p| p.pairs_matched),
+            fin_send: inner.fin_send,
+            fin_recv: inner.fin_recv,
+            fin_group: inner.fin_group,
+            writes_posted: sum(|p| p.writes_posted),
+            writes_completed: sum(|p| p.writes_completed),
+            bytes_cross_gvmi: sum(|p| p.bytes_cross_gvmi),
+            bytes_staging_hop1: sum(|p| p.bytes_staging_hop1),
+            bytes_staging_hop2: sum(|p| p.bytes_staging_hop2),
+            cross_regs: inner.cross_regs,
+            ctrl_dropped_host: inner.ctrl_dropped_host,
+            ctrl_dropped_proxy: sum(|p| p.ctrl_dropped),
+            host_wakeups: inner.ranks.values().map(|r| r.wakeups).sum(),
+            host_interventions: inner.ranks.values().map(|r| r.interventions).sum(),
+            barrier_stalls: sum(|p| p.barrier_stalls),
+            send_q_hwm: proxies.iter().map(|p| p.send_q_hwm).max().unwrap_or(0),
+            recv_q_hwm: proxies.iter().map(|p| p.recv_q_hwm).max().unwrap_or(0),
+            host_gvmi_cache: inner.host_gvmi,
+            host_ib_cache: inner.host_ib,
+            dpu_cross_cache: inner.dpu_cross,
+            recv_meta_total: recv_meta.iter().map(|&(_, _, _, n)| n).sum(),
+            recv_meta_max_per_pair: recv_meta.iter().map(|&(_, _, _, n)| n).max().unwrap_or(0),
+            recv_meta,
+            group_packets_total: inner.group_packets.values().sum(),
+            group_packets_max_per_req: inner.group_packets.values().copied().max().unwrap_or(0),
+            group_execs: inner.group_execs,
+            finalized_ranks: inner.ranks.values().filter(|r| r.finalized).count() as u64,
+            ranks: inner.ranks.values().cloned().collect(),
+            windows: inner.windows.values().cloned().collect(),
+            proxies,
+        }
+    }
+}
+
+/// Frozen counters of one run. Field-by-field this is the
+/// `bluefield-offload/metrics/v1` JSON schema (see
+/// [`to_json`](MetricsReport::to_json) and DESIGN.md §11).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsReport {
+    /// Total protocol events observed.
+    pub events: u64,
+    /// RTS control messages accepted at proxies.
+    pub rts: u64,
+    /// RTR control messages accepted at proxies.
+    pub rtr: u64,
+    /// RTS/RTR pairs matched.
+    pub pairs_matched: u64,
+    /// `FinSend` notices sent.
+    pub fin_send: u64,
+    /// `FinRecv` notices sent.
+    pub fin_recv: u64,
+    /// `GroupFin` notices sent.
+    pub fin_group: u64,
+    /// RDMA work requests posted by proxies.
+    pub writes_posted: u64,
+    /// Completions observed by proxies.
+    pub writes_completed: u64,
+    /// Payload bytes moved directly host-to-host (cross-GVMI).
+    pub bytes_cross_gvmi: u64,
+    /// Payload bytes pulled into DPU staging (hop 1).
+    pub bytes_staging_hop1: u64,
+    /// Payload bytes forwarded from DPU staging (hop 2).
+    pub bytes_staging_hop2: u64,
+    /// Cross-registrations actually performed (cache misses).
+    pub cross_regs: u64,
+    /// Malformed control messages dropped on hosts.
+    pub ctrl_dropped_host: u64,
+    /// Malformed control messages dropped on proxies.
+    pub ctrl_dropped_proxy: u64,
+    /// Host CPU wakeups across all ranks.
+    pub host_wakeups: u64,
+    /// Wakeups with offloaded work still outstanding.
+    pub host_interventions: u64,
+    /// Barrier entries that blocked at least once, across proxies.
+    pub barrier_stalls: u64,
+    /// Max pending-send queue depth across proxies.
+    pub send_q_hwm: u64,
+    /// Max pending-receive queue depth across proxies.
+    pub recv_q_hwm: u64,
+    /// Host-side GVMI registration cache counters.
+    pub host_gvmi_cache: CacheCounters,
+    /// Host-side IB registration cache counters.
+    pub host_ib_cache: CacheCounters,
+    /// DPU-side cross-registration cache counters.
+    pub dpu_cross_cache: CacheCounters,
+    /// Total `RecvMeta` shipments.
+    pub recv_meta_total: u64,
+    /// Max shipments for any single `(from, to, req_id)` triple — the
+    /// §VII-D once-only claim is `<= 1`.
+    pub recv_meta_max_per_pair: u64,
+    /// Per-triple `RecvMeta` shipment counts `(from, to, req_id, n)`.
+    pub recv_meta: Vec<(usize, usize, usize, u64)>,
+    /// Total full `GroupPacket` shipments.
+    pub group_packets_total: u64,
+    /// Max shipments for any single `(host_rank, req_id)` — with the
+    /// group cache on this is `<= 1`.
+    pub group_packets_max_per_req: u64,
+    /// Warm-path `GroupExec` doorbells.
+    pub group_execs: u64,
+    /// Ranks that completed `Finalize_Offload`.
+    pub finalized_ranks: u64,
+    /// Per-rank counters, ordered by rank.
+    pub ranks: Vec<RankMetrics>,
+    /// Per-overlap-window counters, ordered by `(rank, req_id, gen)`.
+    pub windows: Vec<WindowMetrics>,
+    /// Per-proxy counters, ordered by pid.
+    pub proxies: Vec<ProxyMetrics>,
+}
+
+impl MetricsReport {
+    /// Host interventions inside *closed* overlap windows (any
+    /// generation). The paper's zero-CPU-intervention claim.
+    pub fn window_interventions(&self) -> u64 {
+        self.windows
+            .iter()
+            .filter(|w| w.closed)
+            .map(|w| w.interventions)
+            .sum()
+    }
+
+    /// Host interventions inside closed *warm* windows (`gen >= 2`,
+    /// i.e. metadata and caches already in place).
+    pub fn warm_window_interventions(&self) -> u64 {
+        self.windows
+            .iter()
+            .filter(|w| w.closed && w.gen >= 2)
+            .map(|w| w.interventions)
+            .sum()
+    }
+
+    /// Bytes that reached a destination host (cross-GVMI writes plus
+    /// staging forwards); equals the sum of matched transfer sizes.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.bytes_cross_gvmi + self.bytes_staging_hop2
+    }
+
+    /// Render as deterministic `bluefield-offload/metrics/v1` JSON.
+    /// `bench` names the producing benchmark or test.
+    pub fn to_json(&self, bench: &str) -> String {
+        let mut o = String::with_capacity(4096);
+        let esc: String = bench
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric() || "_-. ".contains(*c))
+            .collect();
+        o.push_str("{\n  \"schema\": \"bluefield-offload/metrics/v1\",\n");
+        let _ = writeln!(o, "  \"bench\": \"{esc}\",");
+        o.push_str("  \"totals\": {");
+        let totals: &[(&str, u64)] = &[
+            ("events", self.events),
+            ("rts", self.rts),
+            ("rtr", self.rtr),
+            ("pairs_matched", self.pairs_matched),
+            ("fin_send", self.fin_send),
+            ("fin_recv", self.fin_recv),
+            ("fin_group", self.fin_group),
+            ("writes_posted", self.writes_posted),
+            ("writes_completed", self.writes_completed),
+            ("bytes_cross_gvmi", self.bytes_cross_gvmi),
+            ("bytes_staging_hop1", self.bytes_staging_hop1),
+            ("bytes_staging_hop2", self.bytes_staging_hop2),
+            ("cross_regs", self.cross_regs),
+            ("ctrl_dropped_host", self.ctrl_dropped_host),
+            ("ctrl_dropped_proxy", self.ctrl_dropped_proxy),
+            ("host_wakeups", self.host_wakeups),
+            ("host_interventions", self.host_interventions),
+            ("window_interventions", self.window_interventions()),
+            (
+                "warm_window_interventions",
+                self.warm_window_interventions(),
+            ),
+            ("barrier_stalls", self.barrier_stalls),
+            ("send_q_hwm", self.send_q_hwm),
+            ("recv_q_hwm", self.recv_q_hwm),
+            ("recv_meta_total", self.recv_meta_total),
+            ("recv_meta_max_per_pair", self.recv_meta_max_per_pair),
+            ("group_packets_total", self.group_packets_total),
+            ("group_packets_max_per_req", self.group_packets_max_per_req),
+            ("group_execs", self.group_execs),
+            ("finalized_ranks", self.finalized_ranks),
+        ];
+        for (i, (k, v)) in totals.iter().enumerate() {
+            let sep = if i + 1 == totals.len() { "" } else { "," };
+            let _ = write!(o, "\n    \"{k}\": {v}{sep}");
+        }
+        o.push_str("\n  },\n  \"caches\": {\n");
+        let caches = [
+            ("host_gvmi", &self.host_gvmi_cache),
+            ("host_ib", &self.host_ib_cache),
+            ("dpu_cross", &self.dpu_cross_cache),
+        ];
+        for (i, (k, c)) in caches.iter().enumerate() {
+            let sep = if i + 1 == caches.len() { "" } else { "," };
+            let _ = writeln!(
+                o,
+                "    \"{k}\": {{\"hits\": {}, \"misses\": {}, \"stale\": {}, \"evictions\": {}}}{sep}",
+                c.hits, c.misses, c.stale, c.evictions
+            );
+        }
+        o.push_str("  },\n  \"ranks\": [");
+        for (i, r) in self.ranks.iter().enumerate() {
+            let sep = if i + 1 == self.ranks.len() { "" } else { "," };
+            let _ = write!(
+                o,
+                "\n    {{\"rank\": {}, \"wakeups\": {}, \"interventions\": {}, \"fin_send\": {}, \"fin_recv\": {}, \"fin_group\": {}, \"finalized\": {}}}{sep}",
+                r.rank, r.wakeups, r.interventions, r.fin_send, r.fin_recv, r.fin_group, r.finalized
+            );
+        }
+        o.push_str("\n  ],\n  \"windows\": [");
+        for (i, w) in self.windows.iter().enumerate() {
+            let sep = if i + 1 == self.windows.len() { "" } else { "," };
+            let _ = write!(
+                o,
+                "\n    {{\"rank\": {}, \"req_id\": {}, \"gen\": {}, \"wakeups\": {}, \"interventions\": {}, \"closed\": {}}}{sep}",
+                w.rank, w.req_id, w.gen, w.wakeups, w.interventions, w.closed
+            );
+        }
+        o.push_str("\n  ],\n  \"proxies\": [");
+        for (i, p) in self.proxies.iter().enumerate() {
+            let sep = if i + 1 == self.proxies.len() { "" } else { "," };
+            let _ = write!(
+                o,
+                "\n    {{\"pid\": {}, \"rts\": {}, \"rtr\": {}, \"pairs_matched\": {}, \"writes_posted\": {}, \"writes_completed\": {}, \"bytes_cross_gvmi\": {}, \"bytes_staging_hop1\": {}, \"bytes_staging_hop2\": {}, \"send_q_hwm\": {}, \"recv_q_hwm\": {}, \"barrier_stalls\": {}, \"ctrl_dropped\": {}}}{sep}",
+                p.pid,
+                p.rts,
+                p.rtr,
+                p.pairs_matched,
+                p.writes_posted,
+                p.writes_completed,
+                p.bytes_cross_gvmi,
+                p.bytes_staging_hop1,
+                p.bytes_staging_hop2,
+                p.send_q_hwm,
+                p.recv_q_hwm,
+                p.barrier_stalls,
+                p.ctrl_dropped
+            );
+        }
+        o.push_str("\n  ],\n  \"recv_meta\": [");
+        for (i, &(f, t, r, n)) in self.recv_meta.iter().enumerate() {
+            let sep = if i + 1 == self.recv_meta.len() {
+                ""
+            } else {
+                ","
+            };
+            let _ = write!(
+                o,
+                "\n    {{\"from\": {f}, \"to\": {t}, \"req_id\": {r}, \"count\": {n}}}{sep}"
+            );
+        }
+        o.push_str("\n  ]\n}\n");
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(m: &Metrics, pid: usize, ev: ProtoEvent) {
+        let sink = m.sink();
+        sink(SimTime::ZERO, Pid::from_index(pid), &ev);
+    }
+
+    #[test]
+    fn folds_write_bytes_by_path() {
+        let m = Metrics::new();
+        feed(
+            &m,
+            9,
+            ProtoEvent::WritePosted {
+                wrid: 1,
+                bytes: 100,
+                path: PathKind::CrossGvmi,
+            },
+        );
+        feed(
+            &m,
+            9,
+            ProtoEvent::WritePosted {
+                wrid: 2,
+                bytes: 40,
+                path: PathKind::StagingHop1,
+            },
+        );
+        feed(
+            &m,
+            9,
+            ProtoEvent::WritePosted {
+                wrid: 3,
+                bytes: 40,
+                path: PathKind::StagingHop2,
+            },
+        );
+        let r = m.report();
+        assert_eq!(r.writes_posted, 3);
+        assert_eq!(r.bytes_cross_gvmi, 100);
+        assert_eq!(r.bytes_staging_hop1, 40);
+        assert_eq!(r.bytes_staging_hop2, 40);
+        assert_eq!(r.delivered_bytes(), 140);
+    }
+
+    #[test]
+    fn windows_attribute_wakeups() {
+        let m = Metrics::new();
+        feed(
+            &m,
+            0,
+            ProtoEvent::HostWakeup {
+                rank: 0,
+                intervention: true,
+            },
+        );
+        feed(
+            &m,
+            0,
+            ProtoEvent::GroupCallReturned {
+                host_rank: 0,
+                req_id: 0,
+                gen: 1,
+            },
+        );
+        feed(
+            &m,
+            0,
+            ProtoEvent::HostWakeup {
+                rank: 0,
+                intervention: true,
+            },
+        );
+        feed(
+            &m,
+            0,
+            ProtoEvent::HostWakeup {
+                rank: 0,
+                intervention: false,
+            },
+        );
+        feed(
+            &m,
+            0,
+            ProtoEvent::GroupWaitDone {
+                host_rank: 0,
+                req_id: 0,
+                gen: 1,
+            },
+        );
+        // Outside any window after close.
+        feed(
+            &m,
+            0,
+            ProtoEvent::HostWakeup {
+                rank: 0,
+                intervention: true,
+            },
+        );
+        let r = m.report();
+        assert_eq!(r.host_wakeups, 4);
+        assert_eq!(r.windows.len(), 1);
+        let w = &r.windows[0];
+        assert!(w.closed);
+        assert_eq!(w.wakeups, 2);
+        assert_eq!(w.interventions, 1);
+        assert_eq!(r.window_interventions(), 1);
+        assert_eq!(r.warm_window_interventions(), 0);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_tagged() {
+        let m = Metrics::new();
+        feed(
+            &m,
+            3,
+            ProtoEvent::RtsAtProxy {
+                src_rank: 0,
+                dst_rank: 1,
+                tag: 5,
+            },
+        );
+        let r = m.report();
+        let j1 = r.to_json("unit \"test\"");
+        let j2 = m.report().to_json("unit \"test\"");
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"schema\": \"bluefield-offload/metrics/v1\""));
+        // Quotes are stripped, not escaped, to keep the writer trivial.
+        assert!(j1.contains("\"bench\": \"unit test\""));
+        assert!(j1.contains("\"rts\": 1"));
+    }
+}

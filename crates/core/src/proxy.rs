@@ -30,7 +30,7 @@ use rdma::{ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
 use simnet::{Payload, Pid, ProcessCtx};
 
 use crate::config::{DataPath, FaultInjection, OffloadConfig};
-use crate::events::ProtoEvent;
+use crate::events::{CacheSide, PathKind, ProtoEvent};
 use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_OFF_PROXY};
 use crate::reg_cache::RankAddrCache;
 
@@ -137,6 +137,14 @@ struct ProxyState {
     shutdowns: usize,
     /// `FaultInjection::DropFirstFin` already fired on this proxy.
     fin_dropped: bool,
+    /// Entries currently queued across `send_q` (incremental, so depth
+    /// reporting never walks the maps).
+    send_q_len: usize,
+    /// Entries currently queued across `recv_q`.
+    recv_q_len: usize,
+    /// Barrier points `(key, gen, cursor)` whose first stall was already
+    /// reported, so polling does not inflate the stall count.
+    stalled: BTreeSet<(GroupKey, u64, usize)>,
 }
 
 /// Build a proxy closure suitable for [`rdma::ClusterBuilder::run`]'s
@@ -177,6 +185,9 @@ pub fn proxy_main(
         stage_read_posted: BTreeSet::new(),
         shutdowns: 0,
         fin_dropped: false,
+        send_q_len: 0,
+        recv_q_len: 0,
+        stalled: BTreeSet::new(),
     };
     let p = Proxy {
         ctx: &ctx,
@@ -196,6 +207,7 @@ pub fn proxy_main(
     ctx.stat_incr("offload.gvmi_cache.dpu.hit", h);
     ctx.stat_incr("offload.gvmi_cache.dpu.miss", m);
     ctx.stat_incr("offload.gvmi_cache.dpu.stale", s);
+    ctx.stat_incr("offload.gvmi_cache.dpu.evict", st.cross_cache.evictions());
 }
 
 struct Proxy<'a> {
@@ -226,6 +238,7 @@ impl Proxy<'_> {
             // Cross-rank payload that is not a control message: count it
             // and move on rather than crashing the proxy.
             self.ctx.stat_incr("offload.proxy.bad_ctrl", 1);
+            self.ctx.emit(&ProtoEvent::CtrlDropped { at_proxy: true });
             return;
         };
         match body {
@@ -263,9 +276,12 @@ impl Proxy<'_> {
                 };
                 let key = (src_rank, dst_rank, tag);
                 if let Some(rtr) = st.recv_q.get_mut(&key).and_then(|q| q.pop_front()) {
+                    st.recv_q_len -= 1;
                     self.pair_matched(st, rts, rtr);
                 } else {
                     st.send_q.entry(key).or_default().push_back(rts);
+                    st.send_q_len += 1;
+                    self.emit_queue_depth(st);
                 }
             }
             CtrlMsg::Rtr {
@@ -299,9 +315,12 @@ impl Proxy<'_> {
                 };
                 let key = (src_rank, dst_rank, tag);
                 if let Some(rts) = st.send_q.get_mut(&key).and_then(|q| q.pop_front()) {
+                    st.send_q_len -= 1;
                     self.pair_matched(st, rts, rtr);
                 } else {
                     st.recv_q.entry(key).or_default().push_back(rtr);
+                    st.recv_q_len += 1;
+                    self.emit_queue_depth(st);
                 }
             }
             CtrlMsg::GroupPacket {
@@ -414,7 +433,11 @@ impl Proxy<'_> {
                 let mkey2 = self.cross_reg_cached(st, src_rank, local_addr, len, local_mkey);
                 let wr = self.next_wrid(st);
                 self.ctx.emit(&ProtoEvent::Mkey2Used { mkey2 });
-                self.ctx.emit(&ProtoEvent::WritePosted { wrid: wr });
+                self.ctx.emit(&ProtoEvent::WritePosted {
+                    wrid: wr,
+                    bytes: len,
+                    path: PathKind::CrossGvmi,
+                });
                 st.inflight
                     .insert(wr, Completion::OneSided { src_rank, src_req });
                 self.cluster
@@ -486,7 +509,11 @@ impl Proxy<'_> {
         let mkey2 = self.cross_reg_cached(st, rts.src_rank, rts.addr, rts.len, mkey);
         let wr = self.next_wrid(st);
         self.ctx.emit(&ProtoEvent::Mkey2Used { mkey2 });
-        self.ctx.emit(&ProtoEvent::WritePosted { wrid: wr });
+        self.ctx.emit(&ProtoEvent::WritePosted {
+            wrid: wr,
+            bytes: rts.len.min(rtr.len),
+            path: PathKind::CrossGvmi,
+        });
         st.inflight.insert(
             wr,
             Completion::BasicPair {
@@ -520,7 +547,11 @@ impl Proxy<'_> {
         let len = rts.len.min(rtr.len);
         let src_ep = self.cluster.host_ep(rts.src_rank);
         let src_addr = rts.addr;
-        self.ctx.emit(&ProtoEvent::WritePosted { wrid: wr });
+        self.ctx.emit(&ProtoEvent::WritePosted {
+            wrid: wr,
+            bytes: len,
+            path: PathKind::StagingHop1,
+        });
         st.inflight
             .insert(wr, Completion::StagingRead(Box::new((rts, rtr))));
         self.cluster
@@ -545,7 +576,11 @@ impl Proxy<'_> {
             .get(&(rts.src_rank, rts.addr.0, rts.len))
             .expect("staging buffer assigned at read");
         let wr = self.next_wrid(st);
-        self.ctx.emit(&ProtoEvent::WritePosted { wrid: wr });
+        self.ctx.emit(&ProtoEvent::WritePosted {
+            wrid: wr,
+            bytes: rts.len.min(rtr.len),
+            path: PathKind::StagingHop2,
+        });
         st.inflight.insert(
             wr,
             Completion::BasicPair {
@@ -616,9 +651,37 @@ impl Proxy<'_> {
             mkey2,
         });
         if self.cfg.use_gvmi_cache {
-            st.cross_cache.insert(src_rank, addr.0, len, (mkey, mkey2));
+            let evicted = st.cross_cache.insert(src_rank, addr.0, len, (mkey, mkey2));
+            if evicted.is_some() {
+                self.ctx.emit(&ProtoEvent::CacheEvicted {
+                    rank: src_rank,
+                    side: CacheSide::DpuCross,
+                });
+            }
         }
         mkey2
+    }
+
+    /// Report queue depths right after an enqueue, so a sink tracking
+    /// high-water marks sees every local maximum.
+    fn emit_queue_depth(&self, st: &ProxyState) {
+        self.ctx.emit(&ProtoEvent::ProxyQueueDepth {
+            send_depth: st.send_q_len,
+            recv_depth: st.recv_q_len,
+        });
+    }
+
+    /// Record the first stall at a barrier crossing `(key, gen, cursor)`;
+    /// repeat polls of the same blocked barrier are not new stalls.
+    fn note_barrier_stall(&self, st: &mut ProxyState, key: GroupKey, gen: u64, cursor: usize) {
+        if st.stalled.insert((key, gen, cursor)) {
+            self.ctx.stat_incr("offload.proxy.barrier_stalls", 1);
+            self.ctx.emit(&ProtoEvent::BarrierStall {
+                host_rank: key.host_rank,
+                req_id: key.req_id,
+                gen,
+            });
+        }
     }
 
     fn next_wrid(&self, st: &mut ProxyState) -> u64 {
@@ -851,6 +914,7 @@ impl Proxy<'_> {
                 self.ctx
                     .trace(format!("proxy.group_fin.r{}.g{gen}", key.host_rank));
                 st.arrivals.remove(&(key, gen));
+                st.stalled.retain(|&(k, g, _)| !(k == key && g == gen));
                 st.instances[idx].done = true;
                 return;
             }
@@ -883,7 +947,11 @@ impl Proxy<'_> {
                                     self.cfg.proxy_entry_overhead,
                                 );
                                 let wr = self.next_wrid(st);
-                                self.ctx.emit(&ProtoEvent::WritePosted { wrid: wr });
+                                self.ctx.emit(&ProtoEvent::WritePosted {
+                                    wrid: wr,
+                                    bytes: len,
+                                    path: PathKind::StagingHop1,
+                                });
                                 st.inflight.insert(
                                     wr,
                                     Completion::GroupStageRead {
@@ -937,7 +1005,15 @@ impl Proxy<'_> {
                             (self.cluster.host_ep(key.host_rank), addr, m2)
                         }
                     };
-                    self.ctx.emit(&ProtoEvent::WritePosted { wrid: wr });
+                    self.ctx.emit(&ProtoEvent::WritePosted {
+                        wrid: wr,
+                        bytes: len,
+                        path: if staging.is_some() {
+                            PathKind::StagingHop2
+                        } else {
+                            PathKind::CrossGvmi
+                        },
+                    });
                     self.cluster
                         .fabric()
                         .rdma_write(
@@ -961,6 +1037,7 @@ impl Proxy<'_> {
                 }
                 WireEntry::Barrier => {
                     if st.instances[idx].outstanding > 0 {
+                        self.note_barrier_stall(st, key, gen, cursor);
                         return; // wait for send completions
                     }
                     if !st.instances[idx].barrier_written {
@@ -1004,6 +1081,7 @@ impl Proxy<'_> {
                     }
                     // Gate on pre-barrier receive arrivals.
                     if !self.recvs_arrived(st, key, gen, cursor) {
+                        self.note_barrier_stall(st, key, gen, cursor);
                         return;
                     }
                     let inst = &mut st.instances[idx];

@@ -1,0 +1,20 @@
+//! Observability: trace export and metrics-schema validation.
+//!
+//! `obs` sits downstream of the engine crates. It knows how to turn a
+//! [`simnet::Report`] trace into a Chrome-trace / Perfetto JSON file
+//! ([`chrome_trace`]) and how to validate the machine-readable metrics
+//! documents that [`offload::MetricsReport::to_json`] produces against
+//! the `bluefield-offload/metrics/v1` schema ([`validate_metrics`]).
+//! The JSON plumbing is a tiny hand-rolled value/parser/writer
+//! ([`json`]) because the build environment is offline and the
+//! workspace carries no `serde`.
+
+#![warn(missing_docs)]
+
+mod chrome;
+pub mod json;
+mod schema;
+
+pub use chrome::chrome_trace;
+pub use json::{parse, Json};
+pub use schema::{validate_metrics, SCHEMA_ID};

@@ -1,0 +1,152 @@
+//! Validator for the `bluefield-offload/metrics/v1` JSON schema.
+//!
+//! The schema is the machine-readable contract between
+//! [`offload::MetricsReport::to_json`] producers (every `fig*` bench
+//! binary) and downstream consumers (`bench_results/` baselines, CI).
+//! See DESIGN.md §11 for the field-by-field description.
+
+use crate::json::{parse, Json};
+
+/// Schema identifier every conforming document carries.
+pub const SCHEMA_ID: &str = "bluefield-offload/metrics/v1";
+
+const TOTAL_KEYS: &[&str] = &[
+    "events",
+    "rts",
+    "rtr",
+    "pairs_matched",
+    "fin_send",
+    "fin_recv",
+    "fin_group",
+    "writes_posted",
+    "writes_completed",
+    "bytes_cross_gvmi",
+    "bytes_staging_hop1",
+    "bytes_staging_hop2",
+    "cross_regs",
+    "ctrl_dropped_host",
+    "ctrl_dropped_proxy",
+    "host_wakeups",
+    "host_interventions",
+    "window_interventions",
+    "warm_window_interventions",
+    "barrier_stalls",
+    "send_q_hwm",
+    "recv_q_hwm",
+    "recv_meta_total",
+    "recv_meta_max_per_pair",
+    "group_packets_total",
+    "group_packets_max_per_req",
+    "group_execs",
+    "finalized_ranks",
+];
+
+const CACHE_KEYS: &[&str] = &["hits", "misses", "stale", "evictions"];
+const CACHES: &[&str] = &["host_gvmi", "host_ib", "dpu_cross"];
+
+fn counter(obj: &Json, key: &str, at: &str) -> Result<u64, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{at}: missing \"{key}\""))?
+        .as_u64()
+        .ok_or_else(|| format!("{at}: \"{key}\" is not a non-negative integer"))
+}
+
+/// Validate a metrics document against the v1 schema. Returns the parsed
+/// value on success so callers can make further assertions, or a message
+/// naming the first offending field.
+pub fn validate_metrics(doc: &str) -> Result<Json, String> {
+    let v = parse(doc).map_err(|e| format!("not valid JSON: {e}"))?;
+    if !v.is_obj() {
+        return Err("top level is not an object".into());
+    }
+    match v.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA_ID) => {}
+        Some(other) => return Err(format!("unknown schema \"{other}\"")),
+        None => return Err("missing \"schema\"".into()),
+    }
+    if v.get("bench").and_then(Json::as_str).is_none() {
+        return Err("missing string \"bench\"".into());
+    }
+    let totals = v
+        .get("totals")
+        .filter(|t| t.is_obj())
+        .ok_or("missing object \"totals\"")?;
+    for k in TOTAL_KEYS {
+        counter(totals, k, "totals")?;
+    }
+    let caches = v
+        .get("caches")
+        .filter(|c| c.is_obj())
+        .ok_or("missing object \"caches\"")?;
+    for c in CACHES {
+        let cache = caches
+            .get(c)
+            .filter(|x| x.is_obj())
+            .ok_or_else(|| format!("caches: missing object \"{c}\""))?;
+        for k in CACHE_KEYS {
+            counter(cache, k, &format!("caches.{c}"))?;
+        }
+    }
+    for arr in ["ranks", "windows", "proxies", "recv_meta"] {
+        let items = v
+            .get(arr)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("missing array \"{arr}\""))?;
+        if let Some(bad) = items.iter().position(|e| !e.is_obj()) {
+            return Err(format!("{arr}[{bad}] is not an object"));
+        }
+    }
+    // Internal consistency: cache lookups decompose, per-rank wakeups sum
+    // to the total, and the once-only group-metadata claim is encoded.
+    let wakeups: u64 = v
+        .get("ranks")
+        .and_then(Json::as_arr)
+        .map(|rs| {
+            rs.iter()
+                .filter_map(|r| r.get("wakeups").and_then(Json::as_u64))
+                .sum()
+        })
+        .unwrap_or(0);
+    if wakeups != counter(totals, "host_wakeups", "totals")? {
+        return Err("per-rank wakeups do not sum to totals.host_wakeups".into());
+    }
+    let meta_total: u64 = v
+        .get("recv_meta")
+        .and_then(Json::as_arr)
+        .map(|ms| {
+            ms.iter()
+                .filter_map(|m| m.get("count").and_then(Json::as_u64))
+                .sum()
+        })
+        .unwrap_or(0);
+    if meta_total != counter(totals, "recv_meta_total", "totals")? {
+        return Err("recv_meta counts do not sum to totals.recv_meta_total".into());
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload::MetricsReport;
+
+    #[test]
+    fn empty_report_is_schema_valid() {
+        let doc = MetricsReport::default().to_json("unit");
+        validate_metrics(&doc).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_bad_schema() {
+        assert!(validate_metrics("{}").is_err());
+        assert!(validate_metrics("not json").is_err());
+        let doc = MetricsReport::default()
+            .to_json("unit")
+            .replace(SCHEMA_ID, "something/else");
+        assert!(validate_metrics(&doc).is_err());
+        let doc = MetricsReport::default()
+            .to_json("unit")
+            .replace("\"rts\": 0", "\"rts\": -1");
+        assert!(validate_metrics(&doc).is_err());
+    }
+}

@@ -44,7 +44,7 @@ mod trace;
 pub use process::{BlockReason, Payload, Pid, ProcStatus};
 pub use resource::ResourceId;
 pub use rng::SimRng;
-pub use sim::{EventSink, ProcReport, ProcessCtx, Report, SimError, Simulation};
+pub use sim::{EventSink, OpenSpan, ProcReport, ProcessCtx, Report, SimError, Simulation};
 pub use stats::Stats;
 pub use time::{SimDelta, SimTime};
-pub use trace::{Trace, TraceRecord};
+pub use trace::{SpanRecord, Trace, TraceRecord};

@@ -27,6 +27,13 @@ impl Pid {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Construct a pid from a raw index — for observers replaying or
+    /// synthesizing event streams outside a simulation. The simulation
+    /// itself only hands out pids via `spawn`.
+    pub fn from_index(i: usize) -> Pid {
+        Pid(i as u32)
+    }
 }
 
 impl fmt::Debug for Pid {

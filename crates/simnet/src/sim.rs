@@ -165,6 +165,19 @@ pub struct Simulation {
     stack_size: usize,
 }
 
+/// A typed span opened by [`ProcessCtx::span_begin`] and not yet closed.
+///
+/// Carries its own start time, so nested and interleaved spans need no
+/// bookkeeping in the trace. `start` is `None` when tracing was disabled
+/// at open time, making the eventual [`ProcessCtx::span_end`] a no-op.
+#[must_use = "close the span with ProcessCtx::span_end"]
+#[derive(Debug)]
+pub struct OpenSpan {
+    start: Option<SimTime>,
+    cat: String,
+    name: String,
+}
+
 /// Handle given to each simulated process. Cheap to clone.
 #[derive(Clone)]
 pub struct ProcessCtx {
@@ -442,7 +455,7 @@ impl ProcessCtx {
     }
 
     fn block_for(&self, d: SimDelta, is_compute: bool) {
-        {
+        let span_start = {
             let mut st = self.inner.state.lock();
             let at = st.now + d;
             st.queue.push(at, EventKind::Wake(self.pid));
@@ -451,8 +464,17 @@ impl ProcessCtx {
             if is_compute {
                 slot.compute_time += d;
             }
-        }
+            (is_compute && st.trace.is_some()).then_some(st.now)
+        };
         self.baton.yield_to_scheduler();
+        if let Some(start) = span_start {
+            let mut st = self.inner.state.lock();
+            let end = st.now;
+            let pid = self.pid;
+            if let Some(trace) = st.trace.as_mut() {
+                trace.push_span(start, end, pid, "compute".into(), "compute".into());
+            }
+        }
     }
 
     /// Let every other ready process and same-instant event run, then
@@ -545,6 +567,31 @@ impl ProcessCtx {
         let pid = self.pid;
         if let Some(trace) = st.trace.as_mut() {
             trace.push(now, pid, label.into());
+        }
+    }
+
+    /// Open a typed span at the current instant (no-op unless tracing is
+    /// enabled). Close it with [`span_end`](Self::span_end); the span is
+    /// recorded only then, covering the virtual time in between.
+    pub fn span_begin(&self, cat: impl Into<String>, name: impl Into<String>) -> OpenSpan {
+        let st = self.inner.state.lock();
+        OpenSpan {
+            start: st.trace.is_some().then_some(st.now),
+            cat: cat.into(),
+            name: name.into(),
+        }
+    }
+
+    /// Close a span opened by [`span_begin`](Self::span_begin), appending
+    /// it to the trace. A span opened while tracing was disabled is
+    /// dropped silently.
+    pub fn span_end(&self, span: OpenSpan) {
+        let Some(start) = span.start else { return };
+        let mut st = self.inner.state.lock();
+        let end = st.now;
+        let pid = self.pid;
+        if let Some(trace) = st.trace.as_mut() {
+            trace.push_span(start, end, pid, span.cat, span.name);
         }
     }
 

@@ -18,10 +18,30 @@ pub struct TraceRecord {
     pub label: String,
 }
 
+/// One typed span: a named interval of a process's virtual time.
+///
+/// Spans complement the point [`TraceRecord`]s: where a record marks an
+/// instant ("RTS sent"), a span covers a duration ("compute", "group
+/// wait") and maps directly onto a Chrome-trace `"X"` (complete) event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Virtual time the interval opened.
+    pub start: SimTime,
+    /// Virtual time the interval closed (`end >= start`).
+    pub end: SimTime,
+    /// Process the interval belongs to.
+    pub pid: Pid,
+    /// Category, e.g. `"compute"` or `"offload"` (Chrome-trace `cat`).
+    pub cat: String,
+    /// Span name, e.g. `"group_wait"`.
+    pub name: String,
+}
+
 /// A collected trace.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Trace {
     records: Vec<TraceRecord>,
+    spans: Vec<SpanRecord>,
 }
 
 impl Trace {
@@ -29,9 +49,32 @@ impl Trace {
         self.records.push(TraceRecord { at, pid, label });
     }
 
+    pub(crate) fn push_span(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        pid: Pid,
+        cat: String,
+        name: String,
+    ) {
+        debug_assert!(end >= start, "span must not end before it starts");
+        self.spans.push(SpanRecord {
+            start,
+            end,
+            pid,
+            cat,
+            name,
+        });
+    }
+
     /// All records in chronological (execution) order.
     pub fn records(&self) -> &[TraceRecord] {
         &self.records
+    }
+
+    /// All spans, in the order they *closed*.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
     }
 
     /// Records whose label starts with `prefix`.
@@ -65,6 +108,23 @@ mod tests {
         let r2 = t.render();
         assert_eq!(r1, r2);
         assert!(r1.contains("pid0 a"));
+    }
+
+    #[test]
+    fn spans_record_intervals() {
+        let mut t = Trace::default();
+        t.push_span(
+            SimTime::from_ps(10),
+            SimTime::from_ps(30),
+            Pid(2),
+            "compute".into(),
+            "update".into(),
+        );
+        assert_eq!(t.spans().len(), 1);
+        let s = &t.spans()[0];
+        assert_eq!(s.start, SimTime::from_ps(10));
+        assert_eq!(s.end, SimTime::from_ps(30));
+        assert_eq!(s.cat, "compute");
     }
 
     #[test]

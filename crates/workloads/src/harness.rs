@@ -122,7 +122,7 @@ pub fn run_workload(
     runtime: Runtime,
     body: impl Fn(&Harness) + Send + Sync + 'static,
 ) -> Report {
-    let builder = ClusterBuilder::new(spec, seed);
+    let builder = crate::observe::apply(ClusterBuilder::new(spec, seed));
     match runtime {
         Runtime::Intel => builder
             .run_hosts(move |rank, ctx, cluster| {

@@ -46,7 +46,7 @@ pub fn nonblocking_pingpong_us(
     let spec = ClusterSpec::new(2, 1);
     let out = collector::<f64>();
     let out2 = Arc::clone(&out);
-    let builder = ClusterBuilder::new(spec, seed);
+    let builder = crate::observe::apply(ClusterBuilder::new(spec, seed));
 
     let body = move |rank: usize,
                      ctx: simnet::ProcessCtx,

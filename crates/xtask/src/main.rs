@@ -1,6 +1,7 @@
-//! Workspace automation. The only command so far is `lint`: a custom
-//! lint wall for the simulator/protocol code, run as `cargo xtask lint`
-//! (see `.cargo/config.toml` for the alias) and from `ci.sh`.
+//! Workspace automation: `lint`, a custom lint wall for the
+//! simulator/protocol code, and `validate-metrics`, a schema check for
+//! benchmark metrics artifacts. Both run as `cargo xtask <cmd>` (see
+//! `.cargo/config.toml` for the alias) and from `ci.sh`.
 //!
 //! The rules target bug classes clippy cannot see because they are
 //! properties of *this* codebase's design, not of Rust:
@@ -217,8 +218,35 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("validate-metrics") if args.len() > 1 => {
+            let mut bad = 0usize;
+            for path in &args[1..] {
+                let doc = match fs::read_to_string(path) {
+                    Ok(doc) => doc,
+                    Err(e) => {
+                        println!("{path}: unreadable: {e}");
+                        bad += 1;
+                        continue;
+                    }
+                };
+                match obs::validate_metrics(&doc) {
+                    Ok(_) => println!("{path}: ok"),
+                    Err(e) => {
+                        println!("{path}: INVALID: {e}");
+                        bad += 1;
+                    }
+                }
+            }
+            if bad == 0 {
+                println!("xtask validate-metrics: {} file(s) ok", args.len() - 1);
+                ExitCode::SUCCESS
+            } else {
+                println!("xtask validate-metrics: {bad} invalid file(s)");
+                ExitCode::FAILURE
+            }
+        }
         _ => {
-            println!("usage: cargo xtask lint");
+            println!("usage: cargo xtask lint | validate-metrics <file.json>...");
             ExitCode::from(2)
         }
     }

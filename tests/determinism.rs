@@ -1,8 +1,10 @@
 //! The whole stack must be bit-for-bit reproducible: identical seeds give
 //! identical virtual timings, event counts and statistics.
 
-use bluefield_offload::apps::{ialltoall_overlap, stencil3d, Runtime};
-use bluefield_offload::dpu::OffloadConfig;
+use bluefield_offload::apps::{
+    drive_group_stencil, ialltoall_overlap, stencil3d, CheckRun, Runtime,
+};
+use bluefield_offload::dpu::{Metrics, OffloadConfig};
 use bluefield_offload::net::{ClusterBuilder, ClusterSpec, Inbox};
 
 fn trace_render(seed: u64) -> (String, u64, f64) {
@@ -104,4 +106,23 @@ fn stats_are_reproducible() {
     };
     assert_eq!(collect(&r1), collect(&r2));
     assert_eq!(r1.end_time, r2.end_time);
+}
+
+#[test]
+fn metrics_reports_are_reproducible() {
+    // Two same-seed runs must fold to byte-identical metrics JSON — the
+    // property that makes bench_results/ baselines diffable.
+    let run = |seed| {
+        let mut cr = CheckRun::baseline(seed);
+        let m = Metrics::new();
+        cr.sink = Some(m.sink());
+        drive_group_stencil(&cr, 8192, 2).expect("clean run");
+        m.report().to_json("determinism")
+    };
+    let a = run(17);
+    let b = run(17);
+    assert_eq!(a, b, "metrics JSON must be deterministic");
+    obs::validate_metrics(&a).expect("schema-valid");
+    // A different seed still validates (and may legitimately differ).
+    obs::validate_metrics(&run(18)).expect("schema-valid");
 }
