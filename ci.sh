@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # The full gate: formatting, clippy deny-wall, the repo-specific lint
-# wall, then build + tests. Run from the repo root; fails fast.
+# wall, build + tests, then the benchmark artifact gates: schema
+# validation and the bench-diff regression comparison of a fresh
+# deterministic --quick run against the committed baselines.
+# Run from the repo root; fails fast.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -17,10 +20,32 @@ echo "== cargo build --release"
 cargo build --release
 
 echo "== cargo test"
-cargo test -q
+if ! cargo test -q; then
+    # The checker explorer drops flight-recorder dumps next to failing
+    # schedules; surface them so the trace travels with the CI log.
+    if ls target/failure-dumps/*.flight.txt >/dev/null 2>&1; then
+        echo "flight-recorder dumps from failing runs:"
+        ls -l target/failure-dumps/
+    fi
+    exit 1
+fi
 
-echo "== metrics artifact (schema bluefield-offload/metrics/v1)"
-cargo run --release --quiet -p bench-harness --bin fig04_pingpong_staging -- --quick > /dev/null
-cargo xtask validate-metrics bench_results/fig04_pingpong_staging.metrics.json
+echo "== bench artifacts (fresh --quick run into target/bench-scratch)"
+rm -rf target/bench-scratch
+for bin in ext_allgather ext_bluefield3 ext_proxy_count \
+    fig02_rdma_latency fig03_rdma_bandwidth fig04_pingpong_staging \
+    fig05_registration fig11_stencil_time fig12_stencil_overlap \
+    fig13_ialltoall_time fig14_ialltoall_overlap fig15_scatter_dest \
+    fig16_p3dfft fig17_hpl; do
+    BENCH_OUT_DIR=target/bench-scratch \
+        cargo run --release --quiet -p bench-harness --bin "$bin" -- --quick \
+        >/dev/null
+done
+
+echo "== metrics schema (bluefield-offload/metrics/v1)"
+cargo xtask validate-metrics target/bench-scratch/*.metrics.json
+
+echo "== bench-diff against committed baselines"
+cargo xtask bench-diff bench_results target/bench-scratch
 
 echo "ci.sh: all gates passed"

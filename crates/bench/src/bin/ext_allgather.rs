@@ -48,5 +48,5 @@ fn run(args: Args) {
 
 fn main() {
     let args = Args::parse();
-    bench_harness::run_with_metrics("ext_allgather", || run(args));
+    bench_harness::run_with_observability("ext_allgather", || run(args));
 }

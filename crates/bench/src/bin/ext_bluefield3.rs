@@ -39,5 +39,5 @@ fn run(args: Args) {
 
 fn main() {
     let args = Args::parse();
-    bench_harness::run_with_metrics("ext_bluefield3", || run(args));
+    bench_harness::run_with_observability("ext_bluefield3", || run(args));
 }

@@ -37,5 +37,5 @@ fn run(args: Args) {
 
 fn main() {
     let args = Args::parse();
-    bench_harness::run_with_metrics("ext_proxy_count", || run(args));
+    bench_harness::run_with_observability("ext_proxy_count", || run(args));
 }

@@ -32,5 +32,5 @@ fn run(args: Args) {
 
 fn main() {
     let args = Args::parse();
-    bench_harness::run_with_metrics("fig04_pingpong_staging", || run(args));
+    bench_harness::run_with_observability("fig04_pingpong_staging", || run(args));
 }

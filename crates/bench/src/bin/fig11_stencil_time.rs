@@ -37,5 +37,5 @@ fn run(args: Args) {
 
 fn main() {
     let args = Args::parse();
-    bench_harness::run_with_metrics("fig11_stencil_time", || run(args));
+    bench_harness::run_with_observability("fig11_stencil_time", || run(args));
 }

@@ -41,5 +41,5 @@ fn run(args: Args) {
 
 fn main() {
     let args = Args::parse();
-    bench_harness::run_with_metrics("fig12_stencil_overlap", || run(args));
+    bench_harness::run_with_observability("fig12_stencil_overlap", || run(args));
 }

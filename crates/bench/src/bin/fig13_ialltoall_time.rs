@@ -43,5 +43,5 @@ fn run(args: Args) {
 
 fn main() {
     let args = Args::parse();
-    bench_harness::run_with_metrics("fig13_ialltoall_time", || run(args));
+    bench_harness::run_with_observability("fig13_ialltoall_time", || run(args));
 }

@@ -37,5 +37,5 @@ fn run(args: Args) {
 
 fn main() {
     let args = Args::parse();
-    bench_harness::run_with_metrics("fig14_ialltoall_overlap", || run(args));
+    bench_harness::run_with_observability("fig14_ialltoall_overlap", || run(args));
 }

@@ -49,5 +49,5 @@ fn run(args: Args) {
 
 fn main() {
     let args = Args::parse();
-    bench_harness::run_with_metrics("fig15_scatter_dest", || run(args));
+    bench_harness::run_with_observability("fig15_scatter_dest", || run(args));
 }

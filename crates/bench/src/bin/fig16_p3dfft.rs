@@ -74,5 +74,5 @@ fn run(args: Args) {
 
 fn main() {
     let args = Args::parse();
-    bench_harness::run_with_metrics("fig16_p3dfft", || run(args));
+    bench_harness::run_with_observability("fig16_p3dfft", || run(args));
 }

@@ -54,5 +54,5 @@ fn run(args: Args) {
 
 fn main() {
     let args = Args::parse();
-    bench_harness::run_with_metrics("fig17_hpl", || run(args));
+    bench_harness::run_with_observability("fig17_hpl", || run(args));
 }

@@ -88,10 +88,11 @@ impl Args {
 }
 
 /// Directory receiving machine-readable benchmark artifacts
-/// (`<bench>.metrics.json` files). `BENCH_RESULTS_DIR` overrides the
-/// default `bench_results/` at the workspace root.
+/// (`<bench>.metrics.json` files). `BENCH_OUT_DIR` overrides the
+/// default `bench_results/` at the workspace root; `BENCH_RESULTS_DIR`
+/// is honoured as a fallback for older scripts.
 pub fn bench_results_dir() -> std::path::PathBuf {
-    match std::env::var_os("BENCH_RESULTS_DIR") {
+    match std::env::var_os("BENCH_OUT_DIR").or_else(|| std::env::var_os("BENCH_RESULTS_DIR")) {
         Some(d) => d.into(),
         None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results"),
     }
@@ -122,6 +123,37 @@ pub fn write_metrics(name: &str, report: &offload::MetricsReport) {
 pub fn run_with_metrics(name: &str, f: impl FnOnce()) {
     let ((), report) = workloads::with_metrics(f);
     write_metrics(name, &report);
+}
+
+/// Run a figure body with the full observability stack: aggregate
+/// metrics (always persisted, as in [`run_with_metrics`]) plus a causal
+/// lifecycle trace ([`obs::LifecycleRecorder`]) fed from the same event
+/// stream via [`workloads::fanout`]. The lifecycle document
+/// (`<name>.lifecycle.json`, schema `bluefield-offload/lifecycle/v1`)
+/// is written only when `BENCH_LIFECYCLE` is set — it is per-transfer
+/// data, much bigger than the metrics totals, and not a committed
+/// baseline.
+pub fn run_with_observability(name: &str, f: impl FnOnce()) {
+    let metrics = offload::Metrics::new();
+    let lifecycle = obs::LifecycleRecorder::new();
+    let obs = workloads::Observer {
+        sink: Some(workloads::fanout(vec![metrics.sink(), lifecycle.sink()])),
+        trace: false,
+    };
+    workloads::with_observer(obs, f);
+    write_metrics(name, &metrics.report());
+    if std::env::var_os("BENCH_LIFECYCLE").is_some() {
+        let dir = bench_results_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("lifecycle: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{name}.lifecycle.json"));
+        match std::fs::write(&path, lifecycle.report().to_json().render()) {
+            Ok(()) => eprintln!("lifecycle: wrote {}", path.display()),
+            Err(e) => eprintln!("lifecycle: failed to write {}: {e}", path.display()),
+        }
+    }
 }
 
 /// Print an aligned table: a title line, a header row, then rows.

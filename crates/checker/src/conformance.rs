@@ -24,6 +24,12 @@
 //!    group packet is shipped at most once per `(host, req)`.
 //! 6. **Barrier monotonicity** — barrier counters written along one
 //!    `(src, dst-instance)` edge are strictly increasing in `(gen, value)`.
+//! 7. **Message-id causality** — `PairMatched` may only cite transfer ids
+//!    the proxy has seen in an RTS (send side) and an RTR (recv side);
+//!    a `HostReqDone` must cite an id some `HostReqPosted` introduced.
+//! 8. **Group FIN identity** — group FINs carry a real, never-reused work
+//!    request id from the proxy's wr namespace (never the `0` sentinel,
+//!    never a data-write wrid).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -80,6 +86,10 @@ struct FlowState {
     rts: u64,
     rtr: u64,
     matched: u64,
+    /// Transfer ids seen in RTS / RTR messages of this flow, so a
+    /// `PairMatched` can be checked against ids the proxy really has.
+    rts_ids: BTreeSet<u64>,
+    rtr_ids: BTreeSet<u64>,
 }
 
 #[derive(Default)]
@@ -100,6 +110,10 @@ struct State {
     group_packets: BTreeMap<(usize, usize), u64>,
     /// Last `(gen, value)` per barrier edge `(src, dst_host, dst_req)`.
     barrier_last: BTreeMap<(usize, usize, usize), (u64, u64)>,
+    /// Group FIN wrids per proxy — must be fresh ids, never reused.
+    group_fin_wrids: BTreeSet<(Pid, u64)>,
+    /// Transfer ids introduced by `HostReqPosted`.
+    req_ids_posted: BTreeSet<u64>,
     violations: Vec<Violation>,
     events_seen: u64,
 }
@@ -122,22 +136,32 @@ impl State {
                 src_rank,
                 dst_rank,
                 tag,
+                msg_id,
             } => {
-                self.flows.entry((src_rank, dst_rank, tag)).or_default().rts += 1;
+                let f = self.flows.entry((src_rank, dst_rank, tag)).or_default();
+                f.rts += 1;
+                f.rts_ids.insert(msg_id);
             }
             ProtoEvent::RtrAtProxy {
                 src_rank,
                 dst_rank,
                 tag,
+                msg_id,
             } => {
-                self.flows.entry((src_rank, dst_rank, tag)).or_default().rtr += 1;
+                let f = self.flows.entry((src_rank, dst_rank, tag)).or_default();
+                f.rtr += 1;
+                f.rtr_ids.insert(msg_id);
             }
             ProtoEvent::PairMatched {
                 src_rank,
                 dst_rank,
                 tag,
+                send_msg_id,
+                recv_msg_id,
             } => {
                 let f = self.flows.entry((src_rank, dst_rank, tag)).or_default();
+                let send_known = f.rts_ids.contains(&send_msg_id);
+                let recv_known = f.rtr_ids.contains(&recv_msg_id);
                 if f.matched + 1 > f.rts.min(f.rtr) {
                     let (rts, rtr, matched) = (f.rts, f.rtr, f.matched);
                     self.violate(
@@ -153,6 +177,17 @@ impl State {
                 } else {
                     f.matched += 1;
                 }
+                if !send_known || !recv_known {
+                    self.violate(
+                        at,
+                        pid,
+                        "match-cites-unknown-msg-id",
+                        format!(
+                            "flow ({src_rank}->{dst_rank}, tag {tag}) matched transfer ids \
+                             {send_msg_id:#x}/{recv_msg_id:#x} which no RTS/RTR introduced"
+                        ),
+                    );
+                }
             }
             ProtoEvent::WritePosted { wrid, .. } => {
                 if !self.posted.insert((src, wrid)) {
@@ -161,6 +196,13 @@ impl State {
                         pid,
                         "duplicate-wrid",
                         format!("work request {wrid:#x} posted twice"),
+                    );
+                } else if self.group_fin_wrids.contains(&(src, wrid)) {
+                    self.violate(
+                        at,
+                        pid,
+                        "group-fin-wrid-collision",
+                        format!("work request {wrid:#x} was already spent on a group FIN"),
                     );
                 }
             }
@@ -180,8 +222,41 @@ impl State {
                 req,
                 wrid,
                 kind,
+                msg_id: _,
             } => {
-                if kind != FinKind::Group && !self.completed.contains(&(src, wrid)) {
+                if kind == FinKind::Group {
+                    if wrid == 0 {
+                        self.violate(
+                            at,
+                            pid,
+                            "group-fin-zero-wrid",
+                            format!(
+                                "group FIN for rank {rank} req {req} carries the \
+                                 wrid 0 sentinel instead of a real work request id"
+                            ),
+                        );
+                    } else if self.posted.contains(&(src, wrid)) {
+                        self.violate(
+                            at,
+                            pid,
+                            "group-fin-wrid-collision",
+                            format!(
+                                "group FIN for rank {rank} req {req} reuses {wrid:#x}, \
+                                 the wrid of a posted RDMA write"
+                            ),
+                        );
+                    } else if !self.group_fin_wrids.insert((src, wrid)) {
+                        self.violate(
+                            at,
+                            pid,
+                            "group-fin-wrid-collision",
+                            format!(
+                                "group FIN for rank {rank} req {req} reuses {wrid:#x}, \
+                                 already spent on an earlier group FIN"
+                            ),
+                        );
+                    }
+                } else if !self.completed.contains(&(src, wrid)) {
                     self.violate(
                         at,
                         pid,
@@ -303,6 +378,22 @@ impl State {
                     }
                 }
                 self.barrier_last.insert(key, cur);
+            }
+            ProtoEvent::HostReqPosted { msg_id, .. } => {
+                self.req_ids_posted.insert(msg_id);
+            }
+            ProtoEvent::HostReqDone { rank, msg_id, .. } => {
+                if !self.req_ids_posted.contains(&msg_id) {
+                    self.violate(
+                        at,
+                        pid,
+                        "done-without-post",
+                        format!(
+                            "rank {rank} completed transfer {msg_id:#x} which no \
+                             HostReqPosted introduced"
+                        ),
+                    );
+                }
             }
             // Observability-only events: aggregated by `offload::Metrics`,
             // carrying no protocol invariants of their own.

@@ -8,11 +8,12 @@
 //! deliberately injected one), not an artifact of the exploration.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use offload::{FaultInjection, OffloadConfig};
+use offload::{parse_flight_dump, replay_into, FaultInjection, FlightRecorder, OffloadConfig};
 use simnet::{EventSink, Report, SimDelta, SimError, SimTime};
-use workloads::{drive_alltoall, drive_stencil, CheckRun};
+use workloads::{drive_alltoall, drive_stencil, fanout, CheckRun};
 
 use crate::conformance::{Conformance, ConformanceConfig, Violation};
 
@@ -125,9 +126,32 @@ pub fn alltoall_workload() -> Workload {
 /// on cleanly completed runs — a deadlocked run trivially leaves flows
 /// unmatched, which would drown the real diagnosis in noise.
 pub fn run_scenario(workload: &Workload, scenario: &Scenario, cfg: ConformanceConfig) -> Outcome {
+    run_scenario_recorded(workload, scenario, cfg).0
+}
+
+/// Like [`run_scenario`], but with the always-on flight recorder
+/// installed next to the conformance sink. Returns the recorder so the
+/// caller can dump the event tail of a failed run (see
+/// [`write_failure_dump`]).
+pub fn run_scenario_recorded(
+    workload: &Workload,
+    scenario: &Scenario,
+    cfg: ConformanceConfig,
+) -> (Outcome, FlightRecorder) {
     let checker = Conformance::new(cfg);
-    let sink = checker.sink();
-    let result = catch_unwind(AssertUnwindSafe(|| workload(scenario, sink)));
+    let recorder = FlightRecorder::new();
+    let sink = fanout(vec![checker.sink(), recorder.sink()]);
+    let outcome = classify(
+        catch_unwind(AssertUnwindSafe(|| workload(scenario, sink))),
+        &checker,
+    );
+    (outcome, recorder)
+}
+
+fn classify(
+    result: std::thread::Result<Result<Report, SimError>>,
+    checker: &Conformance,
+) -> Outcome {
     let during = checker.violations();
     match result {
         Ok(Ok(_report)) => {
@@ -151,6 +175,80 @@ pub fn run_scenario(workload: &Workload, scenario: &Scenario, cfg: ConformanceCo
             Outcome::Panic(msg)
         }
     }
+}
+
+/// Directory failure dumps are written to: `$BF_FAILURE_DUMP_DIR` if
+/// set, else `target/failure-dumps/` at the workspace root.
+pub fn failure_dump_dir() -> PathBuf {
+    match std::env::var_os("BF_FAILURE_DUMP_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/failure-dumps"),
+    }
+}
+
+/// Write the flight-recorder tail of a failed scenario to
+/// [`failure_dump_dir`], prefixed with `#` header lines describing the
+/// scenario and verdict so the dump is self-identifying. The filename is
+/// deterministic in `(name, scenario)`, so a rerun of the same failure
+/// overwrites rather than accumulates. Returns the path written.
+pub fn write_failure_dump(
+    name: &str,
+    scenario: &Scenario,
+    outcome: &Outcome,
+    recorder: &FlightRecorder,
+) -> std::io::Result<PathBuf> {
+    let dir = failure_dump_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!(
+        "{name}-seed{}-j{}ns-p{}-{:?}.flight.txt",
+        scenario.seed, scenario.jitter_ns, scenario.proxies_per_dpu, scenario.fault
+    ));
+    let mut text = format!(
+        "# workload={name} outcome={}\n# scenario seed={} jitter_ns={} proxies_per_dpu={} fault={:?}\n",
+        outcome.label(),
+        scenario.seed,
+        scenario.jitter_ns,
+        scenario.proxies_per_dpu,
+        scenario.fault
+    );
+    text.push_str(&recorder.dump());
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Run a scenario with the flight recorder on; if the run fails, dump
+/// the recorded event tail to [`failure_dump_dir`] and return the path
+/// alongside the outcome. Passing runs write nothing.
+pub fn run_scenario_with_dump(
+    name: &str,
+    workload: &Workload,
+    scenario: &Scenario,
+    cfg: ConformanceConfig,
+) -> (Outcome, Option<PathBuf>) {
+    let (outcome, recorder) = run_scenario_recorded(workload, scenario, cfg);
+    if outcome.is_ok() {
+        return (outcome, None);
+    }
+    let path = write_failure_dump(name, scenario, &outcome, &recorder)
+        .map_err(|e| eprintln!("flight dump not written: {e}"))
+        .ok();
+    (outcome, path)
+}
+
+/// Replay a flight-recorder dump through a fresh conformance checker and
+/// return the violations the recorded stream itself exhibits. A dump of
+/// a run that broke an invariant *during* execution (e.g. an mkey2 used
+/// before its cross-registration) reproduces the same violation here; a
+/// deadlocked run's dump replays clean, because the bug is the event
+/// that never happened. End-of-run completeness checks are deliberately
+/// not applied — a dump's tail is truncated by the ring buffer, so
+/// unmatched flows are expected, not evidence.
+pub fn replay_dump(dump: &str, cfg: ConformanceConfig) -> Result<Vec<Violation>, String> {
+    let records = parse_flight_dump(dump)?;
+    let checker = Conformance::new(cfg);
+    let sink = checker.sink();
+    replay_into(&records, &sink);
+    Ok(checker.violations())
 }
 
 /// Run every scenario and return the failures, in exploration order.

@@ -26,7 +26,8 @@ mod explore;
 
 pub use conformance::{Conformance, ConformanceConfig, Violation};
 pub use explore::{
-    alltoall_workload, explore, run_scenario, shrink, stencil_workload, sweep, Outcome, Scenario,
+    alltoall_workload, explore, failure_dump_dir, replay_dump, run_scenario, run_scenario_recorded,
+    run_scenario_with_dump, shrink, stencil_workload, sweep, write_failure_dump, Outcome, Scenario,
     Workload,
 };
 
@@ -76,6 +77,65 @@ mod tests {
         assert!(
             matches!(outcome, Outcome::Deadlock(_)),
             "expected deadlock, got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn deadlock_dump_replays_to_same_verdict() {
+        // An injected deadlock must leave a flight-recorder dump behind,
+        // and replaying that dump through a fresh checker must reach the
+        // same conformance verdict as the live run: no during-run
+        // violations — the deadlock is the event that never happened.
+        let scenario = Scenario::baseline(3).with_fault(FaultInjection::DropFirstFin);
+        let (outcome, path) = run_scenario_with_dump(
+            "test-dropped-fin",
+            &stencil_workload(),
+            &scenario,
+            ConformanceConfig::default(),
+        );
+        assert!(
+            matches!(outcome, Outcome::Deadlock(_)),
+            "expected deadlock, got {outcome:?}"
+        );
+        let path = path.expect("failed run must leave a dump");
+        let dump = std::fs::read_to_string(&path).expect("dump readable");
+        assert!(dump.starts_with("# workload=test-dropped-fin outcome=deadlock"));
+        let violations = replay_dump(&dump, ConformanceConfig::default()).expect("dump parses");
+        assert!(
+            violations.is_empty(),
+            "live run recorded no during-run violations, replay must agree: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn skipped_crossreg_dump_replays_the_violation() {
+        // A run that breaks an invariant mid-flight must reproduce the
+        // same violation when its dump is replayed offline.
+        let scenario = Scenario::baseline(0).with_fault(FaultInjection::SkipCrossReg);
+        let (outcome, recorder) =
+            run_scenario_recorded(&stencil_workload(), &scenario, ConformanceConfig::default());
+        let live = match outcome {
+            Outcome::Violations(vs) => vs,
+            other => panic!("expected violations, got {other:?}"),
+        };
+        assert!(live.iter().any(|v| v.invariant == "mkey2-before-crossreg"));
+        let replayed =
+            replay_dump(&recorder.dump(), ConformanceConfig::default()).expect("dump parses");
+        assert!(
+            replayed
+                .iter()
+                .any(|v| v.invariant == "mkey2-before-crossreg"),
+            "replay lost the live violation: {replayed:?}"
+        );
+        assert_eq!(
+            live.iter()
+                .filter(|v| v.invariant == "mkey2-before-crossreg")
+                .count(),
+            replayed
+                .iter()
+                .filter(|v| v.invariant == "mkey2-before-crossreg")
+                .count(),
+            "replay must reproduce the violation the same number of times"
         );
     }
 

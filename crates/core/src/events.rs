@@ -49,6 +49,17 @@ pub enum PathKind {
     StagingHop2,
 }
 
+/// Direction of a host-posted basic request, as seen by the posting rank.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReqDir {
+    /// `Send_offload` — the rank is the data source.
+    Send,
+    /// `Recv_offload` — the rank is the data destination.
+    Recv,
+    /// A one-sided put/get posted through the SHMEM facade.
+    OneSided,
+}
+
 /// Which host-side registration cache a lookup touched.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum HostCacheKind {
@@ -73,6 +84,36 @@ pub enum CacheSide {
 /// proxy, and the SHMEM facade at every protocol transition.
 #[derive(Clone, Debug)]
 pub enum ProtoEvent {
+    /// A host posted a basic-primitive request (`Send_offload`,
+    /// `Recv_offload`, or a one-sided put/get). Opens the causal timeline
+    /// for `msg_id`.
+    HostReqPosted {
+        /// Posting rank.
+        rank: usize,
+        /// Stable per-transfer id: `(rank << 32) | seq`, unique per run.
+        msg_id: u64,
+        /// Peer rank of the transfer.
+        peer: usize,
+        /// Message tag (0 for one-sided operations).
+        tag: u64,
+        /// Payload bytes requested.
+        bytes: u64,
+        /// Direction of the request from the poster's point of view.
+        dir: ReqDir,
+    },
+    /// The host observed the FIN for one of its basic requests; the
+    /// causal timeline for `msg_id` closes here and the matching `Wait`
+    /// is now satisfiable.
+    HostReqDone {
+        /// Rank whose request finished.
+        rank: usize,
+        /// Stable per-transfer id assigned at post time.
+        msg_id: u64,
+        /// True when other offloaded requests were still outstanding on
+        /// this rank when the FIN landed — the host-resident segment the
+        /// basic path pays and warm group windows avoid.
+        more_outstanding: bool,
+    },
     /// A proxy accepted an RTS control message (or synthesized one for a
     /// pre-matched one-sided put).
     RtsAtProxy {
@@ -82,6 +123,8 @@ pub enum ProtoEvent {
         dst_rank: usize,
         /// Message tag.
         tag: u64,
+        /// Sender-side transfer id carried by the RTS.
+        msg_id: u64,
     },
     /// A proxy accepted an RTR control message (or synthesized one for a
     /// pre-matched one-sided put).
@@ -92,6 +135,8 @@ pub enum ProtoEvent {
         dst_rank: usize,
         /// Message tag.
         tag: u64,
+        /// Receiver-side transfer id carried by the RTR.
+        msg_id: u64,
     },
     /// A proxy matched an RTS with an RTR and is about to move data.
     PairMatched {
@@ -101,6 +146,10 @@ pub enum ProtoEvent {
         dst_rank: usize,
         /// Message tag.
         tag: u64,
+        /// Transfer id of the matched send side.
+        send_msg_id: u64,
+        /// Transfer id of the matched receive side.
+        recv_msg_id: u64,
     },
     /// A proxy posted an RDMA write (or read) carrying payload; `wrid` is
     /// the work-request id the completion will carry.
@@ -111,6 +160,9 @@ pub enum ProtoEvent {
         bytes: u64,
         /// Which transfer leg the work request implements.
         path: PathKind,
+        /// Send-side transfer id whose payload this work request moves
+        /// (both staging hops carry the same id).
+        msg_id: u64,
     },
     /// The completion for `wrid` arrived at the posting proxy.
     WriteCompleted {
@@ -123,11 +175,17 @@ pub enum ProtoEvent {
         rank: usize,
         /// Host-side request index being finished.
         req: usize,
-        /// Work-request id whose completion triggered this FIN (0 for
-        /// group FINs, which aggregate many writes).
+        /// Work-request id whose completion triggered this FIN. Group
+        /// FINs aggregate many writes and instead carry a fresh id from
+        /// the proxy's work-request namespace, so every FIN is uniquely
+        /// attributable (never 0).
         wrid: u64,
         /// Which FIN variant was sent.
         kind: FinKind,
+        /// Transfer id the FIN finishes (the send-side id for
+        /// `FinKind::Send`, the receive-side id for `FinKind::Recv`, 0
+        /// for group FINs, which finish a generation, not a message).
+        msg_id: u64,
     },
     /// A proxy cross-registered host memory, producing `mkey2` from the
     /// host's `mkey`.

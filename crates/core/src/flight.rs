@@ -1,0 +1,874 @@
+//! Always-on bounded flight recorder for [`ProtoEvent`] streams.
+//!
+//! A [`FlightRecorder`] is an [`EventSink`] that keeps the most recent
+//! events *per emitting process* (rank or proxy) in fixed-size ring
+//! buffers — cheap enough to leave on for every checker run, yet enough
+//! context to reconstruct what the protocol was doing when a schedule
+//! exploration shrinks a failure. The `checker` crate installs one next
+//! to its conformance sink and writes [`FlightRecorder::dump`] into
+//! `target/failure-dumps/` whenever a scenario fails.
+//!
+//! The dump is a line-oriented text format that round-trips:
+//! [`parse_flight_dump`] reads it back into records and [`replay_into`]
+//! feeds them to any sink — e.g. a fresh conformance checker, which must
+//! reach the same verdict as the live run (asserted in the checker's
+//! tests). One event per line:
+//!
+//! ```text
+//! at_ps=1234567 pid=3 ev=WritePosted wrid=216172782113783809 bytes=8192 path=CrossGvmi msg_id=4294967297
+//! ```
+//!
+//! Lines starting with `#` are comments (the checker prepends scenario
+//! metadata); blank lines are skipped. Field order within a line is
+//! fixed by the writer but the parser is keyed, so hand-edited dumps
+//! stay readable.
+
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rdma::{MrKey, VAddr};
+use simnet::{EventSink, Pid, SimTime};
+
+use crate::events::{
+    CacheOutcome, CacheSide, FinKind, HostCacheKind, PathKind, ProtoEvent, ReqDir,
+};
+
+/// One recorded emission: when, by whom, what.
+#[derive(Clone, Debug)]
+pub struct FlightRecord {
+    /// Simulated instant of the emission.
+    pub at: SimTime,
+    /// Emitting process.
+    pub pid: Pid,
+    /// The event.
+    pub event: ProtoEvent,
+}
+
+struct FlightInner {
+    cap: usize,
+    seq: u64,
+    /// Ring per emitting pid. `BTreeMap` so merged dumps are ordered
+    /// deterministically (hash-iteration order is banned in this crate).
+    rings: BTreeMap<usize, VecDeque<(u64, FlightRecord)>>,
+    dropped: u64,
+}
+
+/// Bounded per-process ring buffer of recent [`ProtoEvent`]s.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<FlightInner>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+impl FlightRecorder {
+    /// Default capacity: enough for the checker's smoke workloads to be
+    /// retained end to end, small enough to stay always-on.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Recorder with [`Self::DEFAULT_CAPACITY`] events per process.
+    pub fn new() -> FlightRecorder {
+        FlightRecorder::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Recorder keeping at most `cap` recent events per process.
+    pub fn with_capacity(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(FlightInner {
+                cap: cap.max(1),
+                seq: 0,
+                rings: BTreeMap::new(),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// The sink to install on a simulation (compose with other sinks via
+    /// `workloads::fanout`). Non-`ProtoEvent` emissions are ignored.
+    pub fn sink(&self) -> EventSink {
+        let inner = Arc::clone(&self.inner);
+        Arc::new(move |at: SimTime, pid: Pid, ev: &dyn Any| {
+            if let Some(ev) = ev.downcast_ref::<ProtoEvent>() {
+                let mut f = inner.lock();
+                f.seq += 1;
+                let seq = f.seq;
+                let cap = f.cap;
+                let mut evicted = false;
+                {
+                    let ring = f.rings.entry(pid.index()).or_default();
+                    if ring.len() == cap {
+                        ring.pop_front();
+                        evicted = true;
+                    }
+                    ring.push_back((
+                        seq,
+                        FlightRecord {
+                            at,
+                            pid,
+                            event: ev.clone(),
+                        },
+                    ));
+                }
+                if evicted {
+                    f.dropped += 1;
+                }
+            }
+        })
+    }
+
+    /// Events evicted from full rings so far (0 means the dump is the
+    /// complete stream).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// All retained records, merged across processes in emission order.
+    pub fn records(&self) -> Vec<FlightRecord> {
+        let f = self.inner.lock();
+        let mut all: Vec<(u64, FlightRecord)> =
+            f.rings.values().flat_map(|r| r.iter().cloned()).collect();
+        all.sort_by_key(|&(seq, _)| seq);
+        all.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Render the retained events as the round-trippable text format.
+    pub fn dump(&self) -> String {
+        let records = self.records();
+        let dropped = self.dropped();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# flight-recorder dump: {} events retained, {} evicted",
+            records.len(),
+            dropped
+        );
+        for r in &records {
+            out.push_str(&render_record(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn path_name(p: PathKind) -> &'static str {
+    match p {
+        PathKind::CrossGvmi => "CrossGvmi",
+        PathKind::StagingHop1 => "StagingHop1",
+        PathKind::StagingHop2 => "StagingHop2",
+    }
+}
+
+fn fin_name(k: FinKind) -> &'static str {
+    match k {
+        FinKind::Send => "Send",
+        FinKind::Recv => "Recv",
+        FinKind::Group => "Group",
+    }
+}
+
+fn outcome_name(o: CacheOutcome) -> &'static str {
+    match o {
+        CacheOutcome::Hit => "Hit",
+        CacheOutcome::Miss => "Miss",
+        CacheOutcome::Stale => "Stale",
+    }
+}
+
+fn host_cache_name(c: HostCacheKind) -> &'static str {
+    match c {
+        HostCacheKind::Gvmi => "Gvmi",
+        HostCacheKind::Ib => "Ib",
+    }
+}
+
+fn side_name(s: CacheSide) -> &'static str {
+    match s {
+        CacheSide::HostGvmi => "HostGvmi",
+        CacheSide::HostIb => "HostIb",
+        CacheSide::DpuCross => "DpuCross",
+    }
+}
+
+fn dir_name(d: ReqDir) -> &'static str {
+    match d {
+        ReqDir::Send => "Send",
+        ReqDir::Recv => "Recv",
+        ReqDir::OneSided => "OneSided",
+    }
+}
+
+fn opt_key(k: Option<MrKey>) -> String {
+    match k {
+        Some(k) => k.raw().to_string(),
+        None => "-".into(),
+    }
+}
+
+/// One line per record; see the module docs for the format.
+fn render_record(r: &FlightRecord) -> String {
+    let mut s = format!("at_ps={} pid={} ", r.at.as_ps(), r.pid.index());
+    match &r.event {
+        ProtoEvent::HostReqPosted {
+            rank,
+            msg_id,
+            peer,
+            tag,
+            bytes,
+            dir,
+        } => {
+            let _ = write!(
+                s,
+                "ev=HostReqPosted rank={rank} msg_id={msg_id} peer={peer} tag={tag} bytes={bytes} dir={}",
+                dir_name(*dir)
+            );
+        }
+        ProtoEvent::HostReqDone {
+            rank,
+            msg_id,
+            more_outstanding,
+        } => {
+            let _ = write!(
+                s,
+                "ev=HostReqDone rank={rank} msg_id={msg_id} more_outstanding={more_outstanding}"
+            );
+        }
+        ProtoEvent::RtsAtProxy {
+            src_rank,
+            dst_rank,
+            tag,
+            msg_id,
+        } => {
+            let _ = write!(
+                s,
+                "ev=RtsAtProxy src_rank={src_rank} dst_rank={dst_rank} tag={tag} msg_id={msg_id}"
+            );
+        }
+        ProtoEvent::RtrAtProxy {
+            src_rank,
+            dst_rank,
+            tag,
+            msg_id,
+        } => {
+            let _ = write!(
+                s,
+                "ev=RtrAtProxy src_rank={src_rank} dst_rank={dst_rank} tag={tag} msg_id={msg_id}"
+            );
+        }
+        ProtoEvent::PairMatched {
+            src_rank,
+            dst_rank,
+            tag,
+            send_msg_id,
+            recv_msg_id,
+        } => {
+            let _ = write!(
+                s,
+                "ev=PairMatched src_rank={src_rank} dst_rank={dst_rank} tag={tag} send_msg_id={send_msg_id} recv_msg_id={recv_msg_id}"
+            );
+        }
+        ProtoEvent::WritePosted {
+            wrid,
+            bytes,
+            path,
+            msg_id,
+        } => {
+            let _ = write!(
+                s,
+                "ev=WritePosted wrid={wrid} bytes={bytes} path={} msg_id={msg_id}",
+                path_name(*path)
+            );
+        }
+        ProtoEvent::WriteCompleted { wrid } => {
+            let _ = write!(s, "ev=WriteCompleted wrid={wrid}");
+        }
+        ProtoEvent::FinSent {
+            rank,
+            req,
+            wrid,
+            kind,
+            msg_id,
+        } => {
+            let _ = write!(
+                s,
+                "ev=FinSent rank={rank} req={req} wrid={wrid} kind={} msg_id={msg_id}",
+                fin_name(*kind)
+            );
+        }
+        ProtoEvent::CrossReg {
+            host_rank,
+            addr,
+            len,
+            mkey,
+            mkey2,
+        } => {
+            let _ = write!(
+                s,
+                "ev=CrossReg host_rank={host_rank} addr={} len={len} mkey={} mkey2={}",
+                addr.0,
+                mkey.raw(),
+                mkey2.raw()
+            );
+        }
+        ProtoEvent::CrossRegCacheLookup {
+            host_rank,
+            addr,
+            len,
+            outcome,
+            mkey,
+            mkey2,
+        } => {
+            let _ = write!(
+                s,
+                "ev=CrossRegCacheLookup host_rank={host_rank} addr={} len={len} outcome={} mkey={} mkey2={}",
+                addr.0,
+                outcome_name(*outcome),
+                opt_key(*mkey),
+                opt_key(*mkey2)
+            );
+        }
+        ProtoEvent::Mkey2Used { mkey2 } => {
+            let _ = write!(s, "ev=Mkey2Used mkey2={}", mkey2.raw());
+        }
+        ProtoEvent::RecvMetaSent {
+            from_rank,
+            to_rank,
+            req_id,
+        } => {
+            let _ = write!(
+                s,
+                "ev=RecvMetaSent from_rank={from_rank} to_rank={to_rank} req_id={req_id}"
+            );
+        }
+        ProtoEvent::GroupPacketSent { host_rank, req_id } => {
+            let _ = write!(
+                s,
+                "ev=GroupPacketSent host_rank={host_rank} req_id={req_id}"
+            );
+        }
+        ProtoEvent::BarrierCntr {
+            src_rank,
+            dst_host_rank,
+            dst_req_id,
+            gen,
+            value,
+        } => {
+            let _ = write!(
+                s,
+                "ev=BarrierCntr src_rank={src_rank} dst_host_rank={dst_host_rank} dst_req_id={dst_req_id} gen={gen} value={value}"
+            );
+        }
+        ProtoEvent::HostCacheLookup {
+            rank,
+            cache,
+            outcome,
+        } => {
+            let _ = write!(
+                s,
+                "ev=HostCacheLookup rank={rank} cache={} outcome={}",
+                host_cache_name(*cache),
+                outcome_name(*outcome)
+            );
+        }
+        ProtoEvent::CacheEvicted { rank, side } => {
+            let _ = write!(s, "ev=CacheEvicted rank={rank} side={}", side_name(*side));
+        }
+        ProtoEvent::CtrlDropped { at_proxy } => {
+            let _ = write!(s, "ev=CtrlDropped at_proxy={at_proxy}");
+        }
+        ProtoEvent::HostWakeup { rank, intervention } => {
+            let _ = write!(s, "ev=HostWakeup rank={rank} intervention={intervention}");
+        }
+        ProtoEvent::GroupCallReturned {
+            host_rank,
+            req_id,
+            gen,
+        } => {
+            let _ = write!(
+                s,
+                "ev=GroupCallReturned host_rank={host_rank} req_id={req_id} gen={gen}"
+            );
+        }
+        ProtoEvent::GroupWaitDone {
+            host_rank,
+            req_id,
+            gen,
+        } => {
+            let _ = write!(
+                s,
+                "ev=GroupWaitDone host_rank={host_rank} req_id={req_id} gen={gen}"
+            );
+        }
+        ProtoEvent::GroupExecSent {
+            host_rank,
+            req_id,
+            gen,
+        } => {
+            let _ = write!(
+                s,
+                "ev=GroupExecSent host_rank={host_rank} req_id={req_id} gen={gen}"
+            );
+        }
+        ProtoEvent::BarrierStall {
+            host_rank,
+            req_id,
+            gen,
+        } => {
+            let _ = write!(
+                s,
+                "ev=BarrierStall host_rank={host_rank} req_id={req_id} gen={gen}"
+            );
+        }
+        ProtoEvent::ProxyQueueDepth {
+            send_depth,
+            recv_depth,
+        } => {
+            let _ = write!(
+                s,
+                "ev=ProxyQueueDepth send_depth={send_depth} recv_depth={recv_depth}"
+            );
+        }
+        ProtoEvent::HostFinalized { rank } => {
+            let _ = write!(s, "ev=HostFinalized rank={rank}");
+        }
+    }
+    s
+}
+
+/// Keyed access to one dump line's `k=v` fields.
+struct Fields<'a> {
+    line_no: usize,
+    kv: BTreeMap<&'a str, &'a str>,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(line_no: usize, line: &'a str) -> Result<Fields<'a>, String> {
+        let mut kv = BTreeMap::new();
+        for tok in line.split_ascii_whitespace() {
+            let Some((k, v)) = tok.split_once('=') else {
+                return Err(format!("line {line_no}: bare token {tok:?}"));
+            };
+            kv.insert(k, v);
+        }
+        Ok(Fields { line_no, kv })
+    }
+
+    fn raw(&self, key: &str) -> Result<&'a str, String> {
+        self.kv
+            .get(key)
+            .copied()
+            .ok_or_else(|| format!("line {}: missing field {key:?}", self.line_no))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        let v = self.raw(key)?;
+        v.parse()
+            .map_err(|_| format!("line {}: field {key}={v:?} is not a u64", self.line_no))
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, String> {
+        let v = self.raw(key)?;
+        v.parse()
+            .map_err(|_| format!("line {}: field {key}={v:?} is not a usize", self.line_no))
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.raw(key)? {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            v => Err(format!(
+                "line {}: field {key}={v:?} is not a bool",
+                self.line_no
+            )),
+        }
+    }
+
+    fn key(&self, key: &str) -> Result<MrKey, String> {
+        Ok(MrKey::from_raw(self.u64(key)?))
+    }
+
+    fn opt_key(&self, key: &str) -> Result<Option<MrKey>, String> {
+        match self.raw(key)? {
+            "-" => Ok(None),
+            _ => Ok(Some(self.key(key)?)),
+        }
+    }
+
+    fn addr(&self, key: &str) -> Result<VAddr, String> {
+        Ok(VAddr(self.u64(key)?))
+    }
+
+    fn variant<T: Copy>(&self, key: &str, table: &[(&str, T)]) -> Result<T, String> {
+        let v = self.raw(key)?;
+        table
+            .iter()
+            .find(|(name, _)| *name == v)
+            .map(|&(_, t)| t)
+            .ok_or_else(|| format!("line {}: unknown {key} variant {v:?}", self.line_no))
+    }
+}
+
+/// Parse a [`FlightRecorder::dump`] back into records. Comment (`#`) and
+/// blank lines are skipped; any malformed line is an error naming the
+/// line and field.
+pub fn parse_flight_dump(dump: &str) -> Result<Vec<FlightRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in dump.lines().enumerate() {
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let f = Fields::parse(line_no, trimmed)?;
+        let at = SimTime::from_ps(f.u64("at_ps")?);
+        let pid = Pid::from_index(f.usize("pid")?);
+        let event = match f.raw("ev")? {
+            "HostReqPosted" => ProtoEvent::HostReqPosted {
+                rank: f.usize("rank")?,
+                msg_id: f.u64("msg_id")?,
+                peer: f.usize("peer")?,
+                tag: f.u64("tag")?,
+                bytes: f.u64("bytes")?,
+                dir: f.variant(
+                    "dir",
+                    &[
+                        ("Send", ReqDir::Send),
+                        ("Recv", ReqDir::Recv),
+                        ("OneSided", ReqDir::OneSided),
+                    ],
+                )?,
+            },
+            "HostReqDone" => ProtoEvent::HostReqDone {
+                rank: f.usize("rank")?,
+                msg_id: f.u64("msg_id")?,
+                more_outstanding: f.bool("more_outstanding")?,
+            },
+            "RtsAtProxy" => ProtoEvent::RtsAtProxy {
+                src_rank: f.usize("src_rank")?,
+                dst_rank: f.usize("dst_rank")?,
+                tag: f.u64("tag")?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "RtrAtProxy" => ProtoEvent::RtrAtProxy {
+                src_rank: f.usize("src_rank")?,
+                dst_rank: f.usize("dst_rank")?,
+                tag: f.u64("tag")?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "PairMatched" => ProtoEvent::PairMatched {
+                src_rank: f.usize("src_rank")?,
+                dst_rank: f.usize("dst_rank")?,
+                tag: f.u64("tag")?,
+                send_msg_id: f.u64("send_msg_id")?,
+                recv_msg_id: f.u64("recv_msg_id")?,
+            },
+            "WritePosted" => ProtoEvent::WritePosted {
+                wrid: f.u64("wrid")?,
+                bytes: f.u64("bytes")?,
+                path: f.variant(
+                    "path",
+                    &[
+                        ("CrossGvmi", PathKind::CrossGvmi),
+                        ("StagingHop1", PathKind::StagingHop1),
+                        ("StagingHop2", PathKind::StagingHop2),
+                    ],
+                )?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "WriteCompleted" => ProtoEvent::WriteCompleted {
+                wrid: f.u64("wrid")?,
+            },
+            "FinSent" => ProtoEvent::FinSent {
+                rank: f.usize("rank")?,
+                req: f.usize("req")?,
+                wrid: f.u64("wrid")?,
+                kind: f.variant(
+                    "kind",
+                    &[
+                        ("Send", FinKind::Send),
+                        ("Recv", FinKind::Recv),
+                        ("Group", FinKind::Group),
+                    ],
+                )?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "CrossReg" => ProtoEvent::CrossReg {
+                host_rank: f.usize("host_rank")?,
+                addr: f.addr("addr")?,
+                len: f.u64("len")?,
+                mkey: f.key("mkey")?,
+                mkey2: f.key("mkey2")?,
+            },
+            "CrossRegCacheLookup" => ProtoEvent::CrossRegCacheLookup {
+                host_rank: f.usize("host_rank")?,
+                addr: f.addr("addr")?,
+                len: f.u64("len")?,
+                outcome: f.variant(
+                    "outcome",
+                    &[
+                        ("Hit", CacheOutcome::Hit),
+                        ("Miss", CacheOutcome::Miss),
+                        ("Stale", CacheOutcome::Stale),
+                    ],
+                )?,
+                mkey: f.opt_key("mkey")?,
+                mkey2: f.opt_key("mkey2")?,
+            },
+            "Mkey2Used" => ProtoEvent::Mkey2Used {
+                mkey2: f.key("mkey2")?,
+            },
+            "RecvMetaSent" => ProtoEvent::RecvMetaSent {
+                from_rank: f.usize("from_rank")?,
+                to_rank: f.usize("to_rank")?,
+                req_id: f.usize("req_id")?,
+            },
+            "GroupPacketSent" => ProtoEvent::GroupPacketSent {
+                host_rank: f.usize("host_rank")?,
+                req_id: f.usize("req_id")?,
+            },
+            "BarrierCntr" => ProtoEvent::BarrierCntr {
+                src_rank: f.usize("src_rank")?,
+                dst_host_rank: f.usize("dst_host_rank")?,
+                dst_req_id: f.usize("dst_req_id")?,
+                gen: f.u64("gen")?,
+                value: f.u64("value")?,
+            },
+            "HostCacheLookup" => ProtoEvent::HostCacheLookup {
+                rank: f.usize("rank")?,
+                cache: f.variant(
+                    "cache",
+                    &[("Gvmi", HostCacheKind::Gvmi), ("Ib", HostCacheKind::Ib)],
+                )?,
+                outcome: f.variant(
+                    "outcome",
+                    &[
+                        ("Hit", CacheOutcome::Hit),
+                        ("Miss", CacheOutcome::Miss),
+                        ("Stale", CacheOutcome::Stale),
+                    ],
+                )?,
+            },
+            "CacheEvicted" => ProtoEvent::CacheEvicted {
+                rank: f.usize("rank")?,
+                side: f.variant(
+                    "side",
+                    &[
+                        ("HostGvmi", CacheSide::HostGvmi),
+                        ("HostIb", CacheSide::HostIb),
+                        ("DpuCross", CacheSide::DpuCross),
+                    ],
+                )?,
+            },
+            "CtrlDropped" => ProtoEvent::CtrlDropped {
+                at_proxy: f.bool("at_proxy")?,
+            },
+            "HostWakeup" => ProtoEvent::HostWakeup {
+                rank: f.usize("rank")?,
+                intervention: f.bool("intervention")?,
+            },
+            "GroupCallReturned" => ProtoEvent::GroupCallReturned {
+                host_rank: f.usize("host_rank")?,
+                req_id: f.usize("req_id")?,
+                gen: f.u64("gen")?,
+            },
+            "GroupWaitDone" => ProtoEvent::GroupWaitDone {
+                host_rank: f.usize("host_rank")?,
+                req_id: f.usize("req_id")?,
+                gen: f.u64("gen")?,
+            },
+            "GroupExecSent" => ProtoEvent::GroupExecSent {
+                host_rank: f.usize("host_rank")?,
+                req_id: f.usize("req_id")?,
+                gen: f.u64("gen")?,
+            },
+            "BarrierStall" => ProtoEvent::BarrierStall {
+                host_rank: f.usize("host_rank")?,
+                req_id: f.usize("req_id")?,
+                gen: f.u64("gen")?,
+            },
+            "ProxyQueueDepth" => ProtoEvent::ProxyQueueDepth {
+                send_depth: f.usize("send_depth")?,
+                recv_depth: f.usize("recv_depth")?,
+            },
+            "HostFinalized" => ProtoEvent::HostFinalized {
+                rank: f.usize("rank")?,
+            },
+            other => return Err(format!("line {line_no}: unknown event {other:?}")),
+        };
+        out.push(FlightRecord { at, pid, event });
+    }
+    Ok(out)
+}
+
+/// Feed recorded events into a sink, e.g. a fresh conformance checker.
+/// The replay preserves timestamps and emitting pids, so any verdict a
+/// sink reaches on the live stream it reaches again on the dump.
+pub fn replay_into(records: &[FlightRecord], sink: &EventSink) {
+    for r in records {
+        sink(r.at, r.pid, &r.event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq_pid: usize, ev: ProtoEvent) -> FlightRecord {
+        FlightRecord {
+            at: SimTime::from_ps(1000 + seq_pid as u64),
+            pid: Pid::from_index(seq_pid),
+            event: ev,
+        }
+    }
+
+    fn sample_events() -> Vec<FlightRecord> {
+        vec![
+            record(
+                0,
+                ProtoEvent::HostReqPosted {
+                    rank: 0,
+                    msg_id: 1,
+                    peer: 1,
+                    tag: 7,
+                    bytes: 4096,
+                    dir: ReqDir::Send,
+                },
+            ),
+            record(
+                2,
+                ProtoEvent::RtsAtProxy {
+                    src_rank: 0,
+                    dst_rank: 1,
+                    tag: 7,
+                    msg_id: 1,
+                },
+            ),
+            record(
+                2,
+                ProtoEvent::CrossRegCacheLookup {
+                    host_rank: 0,
+                    addr: VAddr(0x1000),
+                    len: 4096,
+                    outcome: CacheOutcome::Miss,
+                    mkey: None,
+                    mkey2: None,
+                },
+            ),
+            record(
+                2,
+                ProtoEvent::CrossReg {
+                    host_rank: 0,
+                    addr: VAddr(0x1000),
+                    len: 4096,
+                    mkey: MrKey::from_raw(17),
+                    mkey2: MrKey::from_raw(33),
+                },
+            ),
+            record(
+                2,
+                ProtoEvent::WritePosted {
+                    wrid: 42,
+                    bytes: 4096,
+                    path: PathKind::CrossGvmi,
+                    msg_id: 1,
+                },
+            ),
+            record(
+                2,
+                ProtoEvent::FinSent {
+                    rank: 0,
+                    req: 0,
+                    wrid: 42,
+                    kind: FinKind::Send,
+                    msg_id: 1,
+                },
+            ),
+            record(
+                0,
+                ProtoEvent::HostReqDone {
+                    rank: 0,
+                    msg_id: 1,
+                    more_outstanding: false,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn dump_round_trips_every_sampled_variant() {
+        let rec = FlightRecorder::new();
+        let sink = rec.sink();
+        for r in sample_events() {
+            sink(r.at, r.pid, &r.event);
+        }
+        let dump = rec.dump();
+        let parsed = parse_flight_dump(&dump).expect("parse own dump");
+        let again = {
+            let rec2 = FlightRecorder::new();
+            let sink2 = rec2.sink();
+            replay_into(&parsed, &sink2);
+            rec2.dump()
+        };
+        assert_eq!(dump, again, "dump → parse → replay → dump is a fixpoint");
+    }
+
+    #[test]
+    fn ring_is_bounded_per_pid_and_counts_evictions() {
+        let rec = FlightRecorder::with_capacity(4);
+        let sink = rec.sink();
+        for i in 0..10u64 {
+            sink(
+                SimTime::from_ps(i),
+                Pid::from_index(1),
+                &ProtoEvent::WriteCompleted { wrid: i },
+            );
+        }
+        sink(
+            SimTime::from_ps(99),
+            Pid::from_index(2),
+            &ProtoEvent::WriteCompleted { wrid: 99 },
+        );
+        let records = rec.records();
+        assert_eq!(records.len(), 5, "4 retained on pid 1 + 1 on pid 2");
+        assert_eq!(rec.dropped(), 6);
+        // The retained pid-1 events are the most recent ones, in order.
+        let wrids: Vec<u64> = records
+            .iter()
+            .filter(|r| r.pid.index() == 1)
+            .map(|r| match r.event {
+                ProtoEvent::WriteCompleted { wrid } => wrid,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(wrids, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn parser_reports_malformed_lines() {
+        assert!(parse_flight_dump("at_ps=1 pid=0 ev=Nonsense").is_err());
+        assert!(parse_flight_dump("at_ps=1 pid=0 ev=WriteCompleted").is_err());
+        assert!(parse_flight_dump("at_ps=x pid=0 ev=WriteCompleted wrid=1").is_err());
+        assert!(parse_flight_dump("# comment only\n\n")
+            .expect("ok")
+            .is_empty());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let dump = "# header\n\nat_ps=5 pid=3 ev=HostFinalized rank=2\n";
+        let recs = parse_flight_dump(dump).expect("parse");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].at.as_ps(), 5);
+        assert_eq!(recs[0].pid.index(), 3);
+        assert!(matches!(
+            recs[0].event,
+            ProtoEvent::HostFinalized { rank: 2 }
+        ));
+    }
+}

@@ -24,7 +24,7 @@ use rdma::{Channel, ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
 use simnet::ProcessCtx;
 
 use crate::config::{DataPath, OffloadConfig};
-use crate::events::{CacheOutcome, CacheSide, HostCacheKind, ProtoEvent};
+use crate::events::{CacheOutcome, CacheSide, HostCacheKind, ProtoEvent, ReqDir};
 use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_MASK, WRID_OFF_HOST};
 use crate::reg_cache::RankAddrCache;
 
@@ -80,8 +80,19 @@ struct MetaQueue {
     queue: VecDeque<(usize, Vec<MetaEntry>)>,
 }
 
+/// One basic-request slot: completion flag plus the stable transfer id
+/// assigned at post time (threads the causal timeline through the event
+/// stream).
+struct ReqSlot {
+    done: bool,
+    msg_id: u64,
+}
+
 struct HostState {
-    reqs: Vec<bool>,
+    reqs: Vec<ReqSlot>,
+    /// Monotone per-rank sequence feeding `msg_id` allocation (basic
+    /// requests and group wire entries share the namespace).
+    next_msg_seq: u64,
     /// Host-side GVMI cache, indexed by the mapped proxy's local index.
     gvmi_cache: RankAddrCache<MrKey>,
     /// Host-side IB cache (receive buffers).
@@ -145,6 +156,7 @@ impl Offload {
             chan,
             st: RefCell::new(HostState {
                 reqs: Vec::new(),
+                next_msg_seq: 0,
                 gvmi_cache: RankAddrCache::new(n_proxies),
                 ib_cache: RankAddrCache::new(1),
                 groups: Vec::new(),
@@ -178,9 +190,11 @@ impl Offload {
         &self.cfg
     }
 
-    /// Allocate a fresh basic-request slot (crate-internal extensions).
-    pub(crate) fn new_basic_req(&self) -> OffloadReq {
-        OffloadReq(self.new_req())
+    /// Allocate a fresh basic-request slot and its transfer id
+    /// (crate-internal extensions).
+    pub(crate) fn new_basic_req(&self) -> (OffloadReq, u64) {
+        let (req, msg_id) = self.new_req();
+        (OffloadReq(req), msg_id)
     }
 
     /// Ship a control message to this rank's mapped proxy
@@ -206,7 +220,15 @@ impl Offload {
     /// GVMI cache) and posts one RTS control message.
     pub fn send_offload(&self, addr: VAddr, len: u64, dst: usize, tag: u64) -> OffloadReq {
         assert!(dst < self.size(), "send_offload: bad destination {dst}");
-        let req = self.new_req();
+        let (req, msg_id) = self.new_req();
+        self.ctx.emit(&ProtoEvent::HostReqPosted {
+            rank: self.rank,
+            msg_id,
+            peer: dst,
+            tag,
+            bytes: len,
+            dir: ReqDir::Send,
+        });
         let fab = self.cluster.fabric();
         let (mkey, src_rkey) = match self.cfg.data_path {
             DataPath::Gvmi => (Some(self.cached_gvmi_reg(addr, len)), None),
@@ -229,6 +251,7 @@ impl Offload {
                 src_rkey,
                 src_req: req,
                 src_pid: self.ctx.pid(),
+                msg_id,
             }),
         )
         .expect("RTS to proxy");
@@ -241,7 +264,15 @@ impl Offload {
     /// *on the sender's node* — the proxy that will move the data.
     pub fn recv_offload(&self, addr: VAddr, len: u64, src: usize, tag: u64) -> OffloadReq {
         assert!(src < self.size(), "recv_offload: bad source {src}");
-        let req = self.new_req();
+        let (req, msg_id) = self.new_req();
+        self.ctx.emit(&ProtoEvent::HostReqPosted {
+            rank: self.rank,
+            msg_id,
+            peer: src,
+            tag,
+            bytes: len,
+            dir: ReqDir::Recv,
+        });
         let rkey = self.cached_ib_reg(addr, len);
         let src_proxy = self.cluster.proxy_for_rank(src);
         self.cluster
@@ -260,6 +291,7 @@ impl Offload {
                     rkey,
                     dst_req: req,
                     dst_pid: self.ctx.pid(),
+                    msg_id,
                 }),
             )
             .expect("RTR to proxy");
@@ -270,13 +302,13 @@ impl Offload {
     /// Has the request completed? Drains pending completions.
     pub fn test(&self, req: OffloadReq) -> bool {
         self.drain();
-        self.st.borrow().reqs[req.0]
+        self.st.borrow().reqs[req.0].done
     }
 
     /// `Wait`: block until `req` completes.
     pub fn wait(&self, req: OffloadReq) {
         self.drain();
-        while !self.st.borrow().reqs[req.0] {
+        while !self.st.borrow().reqs[req.0].done {
             let msg = self.chan.next_blocking(&self.ctx);
             self.handle(msg);
         }
@@ -296,7 +328,7 @@ impl Offload {
         {
             let st = self.st.borrow();
             assert!(
-                st.reqs.iter().all(|&d| d),
+                st.reqs.iter().all(|r| r.done),
                 "finalize with incomplete basic requests"
             );
             assert!(
@@ -448,10 +480,23 @@ impl Offload {
 
     // ---- internals ----
 
-    fn new_req(&self) -> usize {
+    fn new_req(&self) -> (usize, u64) {
         let mut st = self.st.borrow_mut();
-        st.reqs.push(false);
-        st.reqs.len() - 1
+        st.next_msg_seq += 1;
+        let msg_id = ((self.rank as u64) << 32) | st.next_msg_seq;
+        st.reqs.push(ReqSlot {
+            done: false,
+            msg_id,
+        });
+        (st.reqs.len() - 1, msg_id)
+    }
+
+    /// Allocate a transfer id outside a request slot (group wire entries
+    /// share the per-rank namespace with basic requests).
+    fn alloc_msg_id(&self) -> u64 {
+        let mut st = self.st.borrow_mut();
+        st.next_msg_seq += 1;
+        ((self.rank as u64) << 32) | st.next_msg_seq
     }
 
     /// Host-side GVMI registration through the array-of-BSTs cache.
@@ -654,6 +699,7 @@ impl Offload {
                         dst_addr,
                         dst_rkey,
                         dst_req_id: *dst_req_id,
+                        msg_id: self.alloc_msg_id(),
                     });
                 }
                 GroupOp::Recv { src, tag, .. } => {
@@ -746,9 +792,12 @@ impl Offload {
             self.ctx.emit(&ProtoEvent::CtrlDropped { at_proxy: false });
             return;
         };
+        let mut finished_msg = None;
         match body {
             CtrlMsg::FinSend { req } | CtrlMsg::FinRecv { req } => {
-                self.st.borrow_mut().reqs[req] = true;
+                let mut st = self.st.borrow_mut();
+                st.reqs[req].done = true;
+                finished_msg = Some(st.reqs[req].msg_id);
             }
             CtrlMsg::RecvMeta {
                 dst_rank,
@@ -780,7 +829,7 @@ impl Offload {
         // terminal completion notice is a plain wakeup.
         let outstanding = {
             let st = self.st.borrow();
-            st.reqs.iter().any(|&done| !done) || st.groups.iter().any(|g| g.fin_gen < g.gen)
+            st.reqs.iter().any(|r| !r.done) || st.groups.iter().any(|g| g.fin_gen < g.gen)
         };
         self.ctx.stat_incr("offload.host.wakeups", 1);
         if outstanding {
@@ -790,5 +839,15 @@ impl Offload {
             rank: self.rank,
             intervention: outstanding,
         });
+        // FIN observed: close the transfer's causal timeline. Emitted
+        // after the wakeup so observers see intervention classification
+        // and completion at the same instant, in a fixed order.
+        if let Some(msg_id) = finished_msg {
+            self.ctx.emit(&ProtoEvent::HostReqDone {
+                rank: self.rank,
+                msg_id,
+                more_outstanding: outstanding,
+            });
+        }
     }
 }

@@ -66,6 +66,7 @@
 
 mod config;
 mod events;
+mod flight;
 mod host;
 mod messages;
 mod metrics;
@@ -75,7 +76,8 @@ mod reg_cache;
 mod shmem;
 
 pub use config::{DataPath, FaultInjection, OffloadConfig};
-pub use events::{CacheOutcome, CacheSide, FinKind, HostCacheKind, PathKind, ProtoEvent};
+pub use events::{CacheOutcome, CacheSide, FinKind, HostCacheKind, PathKind, ProtoEvent, ReqDir};
+pub use flight::{parse_flight_dump, replay_into, FlightRecord, FlightRecorder};
 pub use host::{GroupRequest, Offload, OffloadReq};
 pub use metrics::{
     CacheCounters, Metrics, MetricsReport, ProxyMetrics, RankMetrics, WindowMetrics,

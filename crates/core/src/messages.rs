@@ -46,6 +46,10 @@ pub(crate) enum WireEntry {
         /// Destination host's request id (labels barrier counters and
         /// arrival notifications at the destination proxy).
         dst_req_id: usize,
+        /// Stable per-transfer id allocated from the owning host's
+        /// message counter when the wire image is built; labels the data
+        /// writes this entry produces in the event stream.
+        msg_id: u64,
     },
     /// An offloaded receive: passive — tracked for arrival.
     Recv { src_rank: usize, tag: u64 },
@@ -76,6 +80,8 @@ pub(crate) enum CtrlMsg {
         src_rkey: Option<MrKey>,
         src_req: usize,
         src_pid: Pid,
+        /// Stable per-transfer id of the send side.
+        msg_id: u64,
     },
     /// Ready-to-receive: destination host → source-side proxy.
     Rtr {
@@ -87,6 +93,8 @@ pub(crate) enum CtrlMsg {
         rkey: MrKey,
         dst_req: usize,
         dst_pid: Pid,
+        /// Stable per-transfer id of the receive side.
+        msg_id: u64,
     },
     /// Completion to the source host.
     FinSend { req: usize },
@@ -150,6 +158,8 @@ pub(crate) enum CtrlMsg {
         dst_rkey: MrKey,
         src_req: usize,
         src_pid: Pid,
+        /// Stable per-transfer id of the put.
+        msg_id: u64,
     },
     /// Offloaded one-sided get (GVMI only): the proxy cross-registers the
     /// origin's destination buffer (mkey → mkey2) and RDMA-READs the
@@ -165,6 +175,8 @@ pub(crate) enum CtrlMsg {
         remote_rkey: MrKey,
         src_req: usize,
         src_pid: Pid,
+        /// Stable per-transfer id of the get.
+        msg_id: u64,
     },
     /// Symmetric-heap info exchanged rank-to-rank at `Shmem` startup.
     ShmemHello {

@@ -299,6 +299,10 @@ impl Inner {
                 p.recv_q_hwm = p.recv_q_hwm.max(recv_depth as u64);
             }
             ProtoEvent::HostFinalized { rank } => self.rank(rank).finalized = true,
+            // Causal-timeline endpoints: counted in `events`, analyzed by
+            // `obs::lifecycle` rather than aggregated here (HostWakeup
+            // already carries the intervention signal these refine).
+            ProtoEvent::HostReqPosted { .. } | ProtoEvent::HostReqDone { .. } => {}
         }
     }
 }
@@ -620,6 +624,7 @@ mod tests {
                 wrid: 1,
                 bytes: 100,
                 path: PathKind::CrossGvmi,
+                msg_id: 1,
             },
         );
         feed(
@@ -629,6 +634,7 @@ mod tests {
                 wrid: 2,
                 bytes: 40,
                 path: PathKind::StagingHop1,
+                msg_id: 2,
             },
         );
         feed(
@@ -638,6 +644,7 @@ mod tests {
                 wrid: 3,
                 bytes: 40,
                 path: PathKind::StagingHop2,
+                msg_id: 2,
             },
         );
         let r = m.report();
@@ -723,6 +730,7 @@ mod tests {
                 src_rank: 0,
                 dst_rank: 1,
                 tag: 5,
+                msg_id: 1,
             },
         );
         let r = m.report();

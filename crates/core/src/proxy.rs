@@ -51,6 +51,7 @@ struct RtsInfo {
     src_rkey: Option<MrKey>,
     src_req: usize,
     src_pid: Pid,
+    msg_id: u64,
 }
 
 #[allow(dead_code)] // dst_pid mirrors the wire format
@@ -61,6 +62,7 @@ struct RtrInfo {
     rkey: MrKey,
     dst_req: usize,
     dst_pid: Pid,
+    msg_id: u64,
 }
 
 enum Completion {
@@ -69,11 +71,14 @@ enum Completion {
         src_req: usize,
         dst_rank: usize,
         dst_req: usize,
+        src_msg_id: u64,
+        dst_msg_id: u64,
     },
     /// One-sided operation: only the origin gets a FIN.
     OneSided {
         src_rank: usize,
         src_req: usize,
+        msg_id: u64,
     },
     /// Staging path, hop 1 done: the payload has been pulled into DPU
     /// memory; forward it.
@@ -252,6 +257,7 @@ impl Proxy<'_> {
                 src_rkey,
                 src_req,
                 src_pid,
+                msg_id,
             } => {
                 let _ = self.cluster.fabric().charge_cpu(
                     self.ctx,
@@ -263,6 +269,7 @@ impl Proxy<'_> {
                     src_rank,
                     dst_rank,
                     tag,
+                    msg_id,
                 });
                 let rts = RtsInfo {
                     src_rank,
@@ -273,6 +280,7 @@ impl Proxy<'_> {
                     src_rkey,
                     src_req,
                     src_pid,
+                    msg_id,
                 };
                 let key = (src_rank, dst_rank, tag);
                 if let Some(rtr) = st.recv_q.get_mut(&key).and_then(|q| q.pop_front()) {
@@ -293,6 +301,7 @@ impl Proxy<'_> {
                 rkey,
                 dst_req,
                 dst_pid,
+                msg_id,
             } => {
                 let _ = self.cluster.fabric().charge_cpu(
                     self.ctx,
@@ -304,6 +313,7 @@ impl Proxy<'_> {
                     src_rank,
                     dst_rank,
                     tag,
+                    msg_id,
                 });
                 let rtr = RtrInfo {
                     dst_rank,
@@ -312,6 +322,7 @@ impl Proxy<'_> {
                     rkey,
                     dst_req,
                     dst_pid,
+                    msg_id,
                 };
                 let key = (src_rank, dst_rank, tag);
                 if let Some(rts) = st.send_q.get_mut(&key).and_then(|q| q.pop_front()) {
@@ -365,6 +376,7 @@ impl Proxy<'_> {
                 dst_rkey,
                 src_req,
                 src_pid,
+                msg_id,
             } => {
                 let _ = self.cluster.fabric().charge_cpu(
                     self.ctx,
@@ -376,15 +388,18 @@ impl Proxy<'_> {
                 // run the normal data movement (either path). The checker
                 // sees the synthesized pair too, keeping the matching
                 // invariant uniform across two-sided and one-sided paths.
+                // Both synthetic sides carry the put's transfer id.
                 self.ctx.emit(&ProtoEvent::RtsAtProxy {
                     src_rank,
                     dst_rank,
                     tag: 0,
+                    msg_id,
                 });
                 self.ctx.emit(&ProtoEvent::RtrAtProxy {
                     src_rank,
                     dst_rank,
                     tag: 0,
+                    msg_id,
                 });
                 let rts = RtsInfo {
                     src_rank,
@@ -395,6 +410,7 @@ impl Proxy<'_> {
                     src_rkey,
                     src_req,
                     src_pid,
+                    msg_id,
                 };
                 let rtr = RtrInfo {
                     dst_rank,
@@ -403,6 +419,7 @@ impl Proxy<'_> {
                     rkey: dst_rkey,
                     dst_req: usize::MAX, // no receive-side request
                     dst_pid: src_pid,
+                    msg_id,
                 };
                 self.pair_matched(st, rts, rtr);
             }
@@ -415,6 +432,7 @@ impl Proxy<'_> {
                 remote_addr,
                 remote_rkey,
                 src_req,
+                msg_id,
                 ..
             } => {
                 let _ = self.cluster.fabric().charge_cpu(
@@ -437,9 +455,16 @@ impl Proxy<'_> {
                     wrid: wr,
                     bytes: len,
                     path: PathKind::CrossGvmi,
+                    msg_id,
                 });
-                st.inflight
-                    .insert(wr, Completion::OneSided { src_rank, src_req });
+                st.inflight.insert(
+                    wr,
+                    Completion::OneSided {
+                        src_rank,
+                        src_req,
+                        msg_id,
+                    },
+                );
                 self.cluster
                     .fabric()
                     .rdma_read(
@@ -494,6 +519,8 @@ impl Proxy<'_> {
             src_rank: rts.src_rank,
             dst_rank: rtr.dst_rank,
             tag: rts.tag,
+            send_msg_id: rts.msg_id,
+            recv_msg_id: rtr.msg_id,
         });
         match self.cfg.data_path {
             DataPath::Gvmi => self.post_gvmi_pair(st, rts, rtr),
@@ -513,6 +540,7 @@ impl Proxy<'_> {
             wrid: wr,
             bytes: rts.len.min(rtr.len),
             path: PathKind::CrossGvmi,
+            msg_id: rts.msg_id,
         });
         st.inflight.insert(
             wr,
@@ -521,6 +549,8 @@ impl Proxy<'_> {
                 src_req: rts.src_req,
                 dst_rank: rtr.dst_rank,
                 dst_req: rtr.dst_req,
+                src_msg_id: rts.msg_id,
+                dst_msg_id: rtr.msg_id,
             },
         );
         self.cluster
@@ -551,6 +581,7 @@ impl Proxy<'_> {
             wrid: wr,
             bytes: len,
             path: PathKind::StagingHop1,
+            msg_id: rts.msg_id,
         });
         st.inflight
             .insert(wr, Completion::StagingRead(Box::new((rts, rtr))));
@@ -580,6 +611,7 @@ impl Proxy<'_> {
             wrid: wr,
             bytes: rts.len.min(rtr.len),
             path: PathKind::StagingHop2,
+            msg_id: rts.msg_id,
         });
         st.inflight.insert(
             wr,
@@ -588,6 +620,8 @@ impl Proxy<'_> {
                 src_req: rts.src_req,
                 dst_rank: rtr.dst_rank,
                 dst_req: rtr.dst_req,
+                src_msg_id: rts.msg_id,
+                dst_msg_id: rtr.msg_id,
             },
         );
         self.cluster
@@ -701,6 +735,8 @@ impl Proxy<'_> {
                 src_req,
                 dst_rank,
                 dst_req,
+                src_msg_id,
+                dst_msg_id,
             } => {
                 // FIN packets to both hosts (paper Fig. 8, §VIII-C: two of
                 // the four per-transfer control messages). One-sided puts
@@ -720,6 +756,7 @@ impl Proxy<'_> {
                     req: src_req,
                     wrid,
                     kind: crate::events::FinKind::Send,
+                    msg_id: src_msg_id,
                 });
                 self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
                 if dst_req != usize::MAX {
@@ -742,11 +779,16 @@ impl Proxy<'_> {
                         req: dst_req,
                         wrid,
                         kind: crate::events::FinKind::Recv,
+                        msg_id: dst_msg_id,
                     });
                     self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
                 }
             }
-            Completion::OneSided { src_rank, src_req } => {
+            Completion::OneSided {
+                src_rank,
+                src_req,
+                msg_id,
+            } => {
                 self.cluster
                     .fabric()
                     .send_packet(
@@ -762,6 +804,7 @@ impl Proxy<'_> {
                     req: src_req,
                     wrid,
                     kind: crate::events::FinKind::Send,
+                    msg_id,
                 });
                 self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
             }
@@ -904,11 +947,18 @@ impl Proxy<'_> {
                         }),
                     )
                     .expect("group fin");
+                // Group FINs aggregate many writes, so no single completed
+                // wrid names them; allocate a fresh id from the proxy's
+                // work-request namespace instead of the old colliding 0
+                // sentinel, so every FIN in a trace is uniquely
+                // attributable.
+                let fin_id = self.next_wrid(st);
                 self.ctx.emit(&ProtoEvent::FinSent {
                     rank: key.host_rank,
                     req: key.req_id,
-                    wrid: 0,
+                    wrid: fin_id,
                     kind: crate::events::FinKind::Group,
+                    msg_id: 0,
                 });
                 self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
                 self.ctx
@@ -928,6 +978,7 @@ impl Proxy<'_> {
                     dst_addr,
                     dst_rkey,
                     dst_req_id,
+                    msg_id,
                     ..
                 } => {
                     let staging = st.groups[&key].staging[cursor];
@@ -951,6 +1002,7 @@ impl Proxy<'_> {
                                     wrid: wr,
                                     bytes: len,
                                     path: PathKind::StagingHop1,
+                                    msg_id,
                                 });
                                 st.inflight.insert(
                                     wr,
@@ -1013,6 +1065,7 @@ impl Proxy<'_> {
                         } else {
                             PathKind::CrossGvmi
                         },
+                        msg_id,
                     });
                     self.cluster
                         .fabric()

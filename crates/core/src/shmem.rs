@@ -211,6 +211,7 @@ impl Shmem {
             dst_rkey,
             src_req: usize::MAX, // patched by one_sided
             src_pid: self.off.ctx().pid(),
+            msg_id: 0, // patched by one_sided
         });
         self.st.borrow_mut().outstanding.push(req);
         req
@@ -240,6 +241,7 @@ impl Shmem {
             remote_rkey,
             src_req: usize::MAX, // patched by one_sided
             src_pid: self.off.ctx().pid(),
+            msg_id: 0, // patched by one_sided
         });
         self.st.borrow_mut().outstanding.push(req);
         req
@@ -292,11 +294,40 @@ impl Offload {
     /// Issue a one-sided control message (Put/Get) to the mapped proxy and
     /// return its completion handle. Used by [`Shmem`].
     pub(crate) fn one_sided(&self, mut msg: CtrlMsg) -> OffloadReq {
-        let req = self.new_basic_req();
-        match &mut msg {
-            CtrlMsg::Put { src_req, .. } | CtrlMsg::Get { src_req, .. } => *src_req = req.index(),
+        let (req, id) = self.new_basic_req();
+        let (peer, bytes) = match &mut msg {
+            CtrlMsg::Put {
+                src_req,
+                msg_id,
+                dst_rank,
+                len,
+                ..
+            } => {
+                *src_req = req.index();
+                *msg_id = id;
+                (*dst_rank, *len)
+            }
+            CtrlMsg::Get {
+                src_req,
+                msg_id,
+                remote_rank,
+                len,
+                ..
+            } => {
+                *src_req = req.index();
+                *msg_id = id;
+                (*remote_rank, *len)
+            }
             other => panic!("one_sided takes Put/Get, got {other:?}"),
-        }
+        };
+        self.ctx().emit(&crate::events::ProtoEvent::HostReqPosted {
+            rank: self.rank(),
+            msg_id: id,
+            peer,
+            tag: 0,
+            bytes,
+            dir: crate::events::ReqDir::OneSided,
+        });
         self.send_ctrl_to_proxy(msg);
         req
     }

@@ -1,4 +1,5 @@
-//! Observability: trace export and metrics-schema validation.
+//! Observability: trace export, metrics-schema validation, and
+//! causal-lifecycle analysis.
 //!
 //! `obs` sits downstream of the engine crates. It knows how to turn a
 //! [`simnet::Report`] trace into a Chrome-trace / Perfetto JSON file
@@ -8,13 +9,23 @@
 //! The JSON plumbing is a tiny hand-rolled value/parser/writer
 //! ([`json`]) because the build environment is offline and the
 //! workspace carries no `serde`.
+//!
+//! The [`lifecycle`] module reconstructs per-transfer timelines and
+//! group-window critical paths from the engine's causally-tagged
+//! event stream (see `offload::ProtoEvent`'s `msg_id` fields), with
+//! mergeable log-scaled phase histograms.
 
 #![warn(missing_docs)]
 
 mod chrome;
 pub mod json;
+pub mod lifecycle;
 mod schema;
 
 pub use chrome::chrome_trace;
 pub use json::{parse, Json};
+pub use lifecycle::{
+    reconstruct, Histogram, LifecycleRecorder, LifecycleReport, MsgTimeline, Phase, Residence,
+    Segment, WindowPath, LIFECYCLE_SCHEMA_ID, PHASES,
+};
 pub use schema::{validate_metrics, SCHEMA_ID};

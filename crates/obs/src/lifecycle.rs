@@ -1,0 +1,747 @@
+//! Per-message lifecycle reconstruction and group critical-path
+//! attribution.
+//!
+//! The engine's [`offload::ProtoEvent`] stream carries a stable
+//! transfer id (`msg_id`) from the moment a host posts a request
+//! (`HostReqPosted`) through proxy matching, RDMA writes and FIN
+//! delivery back to the host (`HostReqDone`). A [`LifecycleRecorder`]
+//! captures that stream; [`reconstruct`] turns it into:
+//!
+//! * [`MsgTimeline`]s — one per transfer, decomposed into the phase
+//!   chain between observed milestones (control delivery, match wait,
+//!   queue wait, wire time, FIN processing, FIN delivery), each phase
+//!   tagged with *where the time was resident* ([`Residence`]): on the
+//!   host CPU, on the DPU proxy, or on the wire.
+//! * [`WindowPath`]s — one per group overlap window
+//!   (`Group_Offload_call` return → `Group_Wait` satisfied, keyed
+//!   `(rank, req, gen)` exactly like `offload::Metrics`), decomposed
+//!   into dispatch / wire / FIN segments plus one zero-length
+//!   host-resident segment per `HostWakeup { intervention: true }`
+//!   that lands inside the window.
+//! * log-scaled phase [`Histogram`]s — dependency-free, mergeable
+//!   across runs, with p50/p99/max readouts.
+//!
+//! This makes the paper's central claim mechanically checkable from
+//! the event stream alone: a *warm* group window (`gen >= 2`) contains
+//! **zero** host-resident segments — the host rings a doorbell, the
+//! DPU does everything else — while every completed basic-primitive or
+//! staging transfer necessarily contains host-resident phases (the
+//! host posts the request and must wake to retire the FIN).
+//! [`LifecycleReport::critical_path`] returns the longest recorded
+//! window, whose segment chain shows where its time went.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use offload::ProtoEvent;
+use simnet::{EventSink, Pid, SimDelta, SimTime};
+
+use crate::json::Json;
+
+/// Schema id stamped on [`LifecycleReport::to_json`] documents.
+pub const LIFECYCLE_SCHEMA_ID: &str = "bluefield-offload/lifecycle/v1";
+
+/// Where a phase or segment of a transfer's lifetime was resident.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Residence {
+    /// Host CPU involvement was required.
+    Host,
+    /// The DPU proxy was driving; the host was free.
+    Dpu,
+    /// Bytes were moving on the fabric.
+    Wire,
+}
+
+impl Residence {
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Residence::Host => "host",
+            Residence::Dpu => "dpu",
+            Residence::Wire => "wire",
+        }
+    }
+}
+
+/// One phase of a point-to-point transfer's lifecycle, in causal order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// `HostReqPosted` → control message reaches the proxy
+    /// (`RtsAtProxy` / `RtrAtProxy`). Host-resident: the host CPU
+    /// built and posted the request.
+    CtrlDelivery,
+    /// Control at proxy → `PairMatched`: waiting for the peer side.
+    MatchWait,
+    /// `PairMatched` → first RDMA write posted (send side only).
+    QueueWait,
+    /// First write posted → last completion: bytes on the wire.
+    WireTime,
+    /// Last completion → `FinSent`: DPU FIN processing.
+    DpuFin,
+    /// `FinSent` → `HostReqDone`. Host-resident: the host must wake
+    /// (or poll) to retire the request.
+    FinDelivery,
+}
+
+/// All phases, in causal order.
+pub const PHASES: [Phase; 6] = [
+    Phase::CtrlDelivery,
+    Phase::MatchWait,
+    Phase::QueueWait,
+    Phase::WireTime,
+    Phase::DpuFin,
+    Phase::FinDelivery,
+];
+
+impl Phase {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::CtrlDelivery => "ctrl_delivery",
+            Phase::MatchWait => "match_wait",
+            Phase::QueueWait => "queue_wait",
+            Phase::WireTime => "wire",
+            Phase::DpuFin => "dpu_fin",
+            Phase::FinDelivery => "fin_delivery",
+        }
+    }
+
+    /// Where time spent in this phase is resident.
+    pub fn residence(self) -> Residence {
+        match self {
+            Phase::CtrlDelivery | Phase::FinDelivery => Residence::Host,
+            Phase::MatchWait | Phase::QueueWait | Phase::DpuFin => Residence::Dpu,
+            Phase::WireTime => Residence::Wire,
+        }
+    }
+}
+
+/// A log2-bucketed latency histogram over picosecond durations.
+///
+/// Dependency-free and mergeable: 65 power-of-two buckets (bucket 0
+/// holds exact zeros, bucket `b >= 1` holds `[2^(b-1), 2^b)`), an
+/// observation count and the exact maximum. Quantiles report the upper
+/// bound of the bucket the quantile falls in, capped at the observed
+/// maximum — a conservative estimate with bounded (2x) relative error,
+/// which is plenty to separate a nanosecond doorbell from a
+/// microsecond staging detour.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; 65],
+    total: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; 65],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Upper bound of bucket `b` (inclusive).
+    fn bucket_upper(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one. Merging is commutative and
+    /// associative, so per-shard histograms fold into the same totals
+    /// in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact maximum observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`): upper bound of the first
+    /// bucket at which the cumulative count reaches `ceil(q * total)`,
+    /// capped at the observed maximum. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let want = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= want {
+                return Self::bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// One reconstructed point-to-point transfer.
+#[derive(Clone, Debug)]
+pub struct MsgTimeline {
+    /// Stable transfer id (`rank << 32 | seq`).
+    pub msg_id: u64,
+    /// Posting rank.
+    pub rank: usize,
+    /// Peer rank.
+    pub peer: usize,
+    /// Matching tag.
+    pub tag: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Request direction as posted.
+    pub dir: offload::ReqDir,
+    /// Phase chain between observed milestones, in causal order.
+    pub phases: Vec<(Phase, SimDelta)>,
+    /// Whether `HostReqDone` was observed.
+    pub completed: bool,
+    /// Post → done, when completed.
+    pub total: Option<SimDelta>,
+}
+
+impl MsgTimeline {
+    /// Phases of this timeline resident on the host CPU.
+    pub fn host_segments(&self) -> usize {
+        self.phases
+            .iter()
+            .filter(|(p, _)| p.residence() == Residence::Host)
+            .count()
+    }
+}
+
+/// One attributed span inside a group overlap window.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// What the span covers.
+    pub label: &'static str,
+    /// Where its time was resident.
+    pub residence: Residence,
+    /// Span duration.
+    pub dur: SimDelta,
+}
+
+/// The reconstructed critical path of one group overlap window:
+/// `Group_Offload_call` return → `Group_Wait` satisfied.
+#[derive(Clone, Debug)]
+pub struct WindowPath {
+    /// Host rank that owns the window.
+    pub rank: usize,
+    /// Group request id.
+    pub req_id: usize,
+    /// Generation (1-based; `gen >= 2` is warm).
+    pub gen: u64,
+    /// Segment chain from open to close.
+    pub segments: Vec<Segment>,
+    /// Whether `Group_Wait` closed the window.
+    pub closed: bool,
+    /// Open → close, when closed.
+    pub total: SimDelta,
+}
+
+impl WindowPath {
+    /// Host-resident segments inside the window. The paper's claim:
+    /// zero for every warm window.
+    pub fn host_segments(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| s.residence == Residence::Host)
+            .count()
+    }
+
+    /// Whether every cache is warm for this window (`gen >= 2`).
+    pub fn is_warm(&self) -> bool {
+        self.gen >= 2
+    }
+}
+
+/// Everything [`reconstruct`] derives from one event stream.
+#[derive(Clone, Debug, Default)]
+pub struct LifecycleReport {
+    /// Per-transfer timelines, ordered by `msg_id`.
+    pub timelines: Vec<MsgTimeline>,
+    /// Per-window critical paths, ordered by `(rank, req_id, gen)`.
+    pub windows: Vec<WindowPath>,
+}
+
+impl LifecycleReport {
+    /// Phase-latency histograms folded over every timeline, in
+    /// [`PHASES`] order.
+    pub fn phase_histograms(&self) -> Vec<(Phase, Histogram)> {
+        let mut hists: BTreeMap<Phase, Histogram> = BTreeMap::new();
+        for t in &self.timelines {
+            for &(p, d) in &t.phases {
+                hists.entry(p).or_default().record(d.as_ps());
+            }
+        }
+        PHASES
+            .iter()
+            .filter_map(|&p| hists.get(&p).map(|h| (p, h.clone())))
+            .collect()
+    }
+
+    /// The longest closed window — the run's group critical path. Its
+    /// segment chain shows where the window's time went.
+    pub fn critical_path(&self) -> Option<&WindowPath> {
+        self.windows
+            .iter()
+            .filter(|w| w.closed)
+            .max_by_key(|w| w.total.as_ps())
+    }
+
+    /// Render as a `bluefield-offload/lifecycle/v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let completed = self.timelines.iter().filter(|t| t.completed).count();
+        let phases = Json::Arr(
+            self.phase_histograms()
+                .iter()
+                .map(|(p, h)| {
+                    Json::Obj(vec![
+                        ("phase".into(), Json::Str(p.name().into())),
+                        ("residence".into(), Json::Str(p.residence().name().into())),
+                        ("count".into(), Json::Num(h.count() as f64)),
+                        ("p50_ps".into(), Json::Num(h.p50() as f64)),
+                        ("p99_ps".into(), Json::Num(h.p99() as f64)),
+                        ("max_ps".into(), Json::Num(h.max() as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        let windows = Json::Arr(
+            self.windows
+                .iter()
+                .map(|w| {
+                    Json::Obj(vec![
+                        ("rank".into(), Json::Num(w.rank as f64)),
+                        ("req_id".into(), Json::Num(w.req_id as f64)),
+                        ("gen".into(), Json::Num(w.gen as f64)),
+                        ("warm".into(), Json::Bool(w.is_warm())),
+                        ("closed".into(), Json::Bool(w.closed)),
+                        ("total_ps".into(), Json::Num(w.total.as_ps() as f64)),
+                        ("host_segments".into(), Json::Num(w.host_segments() as f64)),
+                        (
+                            "segments".into(),
+                            Json::Arr(
+                                w.segments
+                                    .iter()
+                                    .map(|s| {
+                                        Json::Obj(vec![
+                                            ("label".into(), Json::Str(s.label.into())),
+                                            (
+                                                "residence".into(),
+                                                Json::Str(s.residence.name().into()),
+                                            ),
+                                            ("dur_ps".into(), Json::Num(s.dur.as_ps() as f64)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(LIFECYCLE_SCHEMA_ID.into())),
+            (
+                "messages".into(),
+                Json::Obj(vec![
+                    ("count".into(), Json::Num(self.timelines.len() as f64)),
+                    ("completed".into(), Json::Num(completed as f64)),
+                ]),
+            ),
+            ("phases".into(), phases),
+            ("windows".into(), windows),
+        ])
+    }
+}
+
+/// An [`EventSink`] that captures the full `(time, pid, event)` stream
+/// for lifecycle reconstruction. Unlike `offload::FlightRecorder`, this
+/// keeps everything — it is an analysis tool, not an always-on black
+/// box.
+#[derive(Clone, Default)]
+pub struct LifecycleRecorder {
+    inner: Arc<Mutex<Vec<(SimTime, Pid, ProtoEvent)>>>,
+}
+
+impl LifecycleRecorder {
+    /// A fresh recorder.
+    pub fn new() -> LifecycleRecorder {
+        LifecycleRecorder::default()
+    }
+
+    /// The sink to install on a simulation (compose with other sinks
+    /// via `workloads::fanout`). Non-`ProtoEvent` payloads are ignored.
+    pub fn sink(&self) -> EventSink {
+        let inner = Arc::clone(&self.inner);
+        Arc::new(move |at, pid, any| {
+            if let Some(ev) = any.downcast_ref::<ProtoEvent>() {
+                let mut v = inner.lock().unwrap_or_else(|e| e.into_inner());
+                v.push((at, pid, ev.clone()));
+            }
+        })
+    }
+
+    /// Number of events captured so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reconstruct timelines and window paths from the captured stream.
+    pub fn report(&self) -> LifecycleReport {
+        let events = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        reconstruct(&events)
+    }
+}
+
+#[derive(Clone)]
+struct MsgState {
+    rank: usize,
+    peer: usize,
+    tag: u64,
+    bytes: u64,
+    dir: offload::ReqDir,
+    t_post: SimTime,
+    t_ctrl: Option<SimTime>,
+    t_match: Option<SimTime>,
+    t_first_write: Option<SimTime>,
+    t_last_complete: Option<SimTime>,
+    t_fin: Option<SimTime>,
+    t_done: Option<SimTime>,
+}
+
+struct WinState {
+    t_open: SimTime,
+    t_first_write: Option<SimTime>,
+    t_last_complete: Option<SimTime>,
+    t_fin: Option<SimTime>,
+    t_close: Option<SimTime>,
+    interventions: u64,
+}
+
+/// Reconstruct per-message timelines and group window paths from a
+/// captured event stream. The stream must be in emission order (which
+/// any [`EventSink`] sees); events are never reordered.
+pub fn reconstruct(events: &[(SimTime, Pid, ProtoEvent)]) -> LifecycleReport {
+    let mut msgs: BTreeMap<u64, MsgState> = BTreeMap::new();
+    // (proxy pid, wrid) → transfer, for completion → posted joins.
+    let mut wrid_msg: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+    let mut windows: BTreeMap<(usize, usize, u64), WinState> = BTreeMap::new();
+    // Open windows per rank, mirroring `offload::Metrics`.
+    let mut open: BTreeMap<usize, Vec<(usize, u64)>> = BTreeMap::new();
+    let mut wrid_window: BTreeMap<(usize, u64), (usize, usize, u64)> = BTreeMap::new();
+
+    for &(at, pid, ref ev) in events {
+        match *ev {
+            ProtoEvent::HostReqPosted {
+                rank,
+                msg_id,
+                peer,
+                tag,
+                bytes,
+                dir,
+            } => {
+                msgs.insert(
+                    msg_id,
+                    MsgState {
+                        rank,
+                        peer,
+                        tag,
+                        bytes,
+                        dir,
+                        t_post: at,
+                        t_ctrl: None,
+                        t_match: None,
+                        t_first_write: None,
+                        t_last_complete: None,
+                        t_fin: None,
+                        t_done: None,
+                    },
+                );
+            }
+            ProtoEvent::RtsAtProxy { msg_id, .. } | ProtoEvent::RtrAtProxy { msg_id, .. } => {
+                if let Some(m) = msgs.get_mut(&msg_id) {
+                    m.t_ctrl.get_or_insert(at);
+                }
+            }
+            ProtoEvent::PairMatched {
+                send_msg_id,
+                recv_msg_id,
+                ..
+            } => {
+                for id in [send_msg_id, recv_msg_id] {
+                    if let Some(m) = msgs.get_mut(&id) {
+                        m.t_match.get_or_insert(at);
+                    }
+                }
+            }
+            ProtoEvent::WritePosted { wrid, msg_id, .. } => {
+                if let Some(m) = msgs.get_mut(&msg_id) {
+                    // A basic (or one-sided) transfer's data write.
+                    m.t_first_write.get_or_insert(at);
+                    wrid_msg.insert((pid.index(), wrid), msg_id);
+                } else {
+                    // A group wire entry: its id was allocated by the
+                    // owning host without a `HostReqPosted`. Attribute
+                    // it to that rank's oldest open window.
+                    let owner = (msg_id >> 32) as usize;
+                    if let Some(&(req, gen)) = open.get(&owner).and_then(|v| v.first()) {
+                        let w = windows
+                            .get_mut(&(owner, req, gen))
+                            .expect("open window has state");
+                        w.t_first_write.get_or_insert(at);
+                        wrid_window.insert((pid.index(), wrid), (owner, req, gen));
+                    }
+                }
+            }
+            ProtoEvent::WriteCompleted { wrid } => {
+                let key = (pid.index(), wrid);
+                if let Some(&msg_id) = wrid_msg.get(&key) {
+                    if let Some(m) = msgs.get_mut(&msg_id) {
+                        m.t_last_complete = Some(at);
+                    }
+                } else if let Some(&win) = wrid_window.get(&key) {
+                    if let Some(w) = windows.get_mut(&win) {
+                        w.t_last_complete = Some(at);
+                    }
+                }
+            }
+            ProtoEvent::FinSent {
+                rank,
+                req,
+                kind,
+                msg_id,
+                ..
+            } => {
+                if kind == offload::FinKind::Group {
+                    if let Some(&(req_id, gen)) = open
+                        .get(&rank)
+                        .and_then(|v| v.iter().find(|&&(r, _)| r == req))
+                    {
+                        if let Some(w) = windows.get_mut(&(rank, req_id, gen)) {
+                            w.t_fin = Some(at);
+                        }
+                    }
+                } else if let Some(m) = msgs.get_mut(&msg_id) {
+                    m.t_fin = Some(at);
+                }
+            }
+            ProtoEvent::HostReqDone { msg_id, .. } => {
+                if let Some(m) = msgs.get_mut(&msg_id) {
+                    m.t_done = Some(at);
+                }
+            }
+            ProtoEvent::HostWakeup { rank, intervention } if intervention => {
+                if let Some(v) = open.get(&rank) {
+                    for &(req, gen) in v {
+                        if let Some(w) = windows.get_mut(&(rank, req, gen)) {
+                            w.interventions += 1;
+                        }
+                    }
+                }
+            }
+            ProtoEvent::GroupCallReturned {
+                host_rank,
+                req_id,
+                gen,
+            } => {
+                windows.insert(
+                    (host_rank, req_id, gen),
+                    WinState {
+                        t_open: at,
+                        t_first_write: None,
+                        t_last_complete: None,
+                        t_fin: None,
+                        t_close: None,
+                        interventions: 0,
+                    },
+                );
+                open.entry(host_rank).or_default().push((req_id, gen));
+            }
+            ProtoEvent::GroupWaitDone {
+                host_rank,
+                req_id,
+                gen,
+            } => {
+                if let Some(w) = windows.get_mut(&(host_rank, req_id, gen)) {
+                    w.t_close = Some(at);
+                }
+                if let Some(v) = open.get_mut(&host_rank) {
+                    v.retain(|&(r, g)| !(r == req_id && g == gen));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let timelines = msgs
+        .iter()
+        .map(|(&msg_id, m)| {
+            let mut phases = Vec::new();
+            let mut prev = m.t_post;
+            let milestones: [(Option<SimTime>, Phase); 6] = [
+                (m.t_ctrl, Phase::CtrlDelivery),
+                (m.t_match, Phase::MatchWait),
+                (m.t_first_write, Phase::QueueWait),
+                (m.t_last_complete, Phase::WireTime),
+                (m.t_fin, Phase::DpuFin),
+                (m.t_done, Phase::FinDelivery),
+            ];
+            for (t, phase) in milestones {
+                if let Some(t) = t {
+                    phases.push((phase, t.saturating_since(prev)));
+                    prev = t;
+                }
+            }
+            MsgTimeline {
+                msg_id,
+                rank: m.rank,
+                peer: m.peer,
+                tag: m.tag,
+                bytes: m.bytes,
+                dir: m.dir,
+                phases,
+                completed: m.t_done.is_some(),
+                total: m.t_done.map(|t| t.saturating_since(m.t_post)),
+            }
+        })
+        .collect();
+
+    let window_paths = windows
+        .iter()
+        .map(|(&(rank, req_id, gen), w)| {
+            let mut segments = Vec::new();
+            let mut prev = w.t_open;
+            let milestones: [(Option<SimTime>, &'static str, Residence); 4] = [
+                (w.t_first_write, "dispatch", Residence::Dpu),
+                (w.t_last_complete, "wire", Residence::Wire),
+                (w.t_fin, "dpu_fin", Residence::Dpu),
+                (w.t_close, "wait_close", Residence::Dpu),
+            ];
+            for (t, label, residence) in milestones {
+                if let Some(t) = t {
+                    segments.push(Segment {
+                        label,
+                        residence,
+                        dur: t.saturating_since(prev),
+                    });
+                    prev = t;
+                }
+            }
+            for _ in 0..w.interventions {
+                segments.push(Segment {
+                    label: "host_intervention",
+                    residence: Residence::Host,
+                    dur: SimDelta::from_ps(0),
+                });
+            }
+            WindowPath {
+                rank,
+                req_id,
+                gen,
+                segments,
+                closed: w.t_close.is_some(),
+                total: w
+                    .t_close
+                    .map(|t| t.saturating_since(w.t_open))
+                    .unwrap_or(SimDelta::from_ps(0)),
+            }
+        })
+        .collect();
+
+    LifecycleReport {
+        timelines,
+        windows: window_paths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        // p50 of 6 obs → 3rd smallest (2) → bucket [2,3] upper bound 3.
+        assert_eq!(h.p50(), 3);
+    }
+
+    #[test]
+    fn histogram_merge_matches_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [5, 9, 12] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [100, 200] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+}

@@ -43,6 +43,19 @@ impl MrKey {
     pub const fn invalid() -> MrKey {
         MrKey(0)
     }
+
+    /// The raw key value, for observability tooling (flight-recorder
+    /// dumps) that must serialize keys without access to fabric state.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a key from its [`raw`](MrKey::raw) value. Only meant for
+    /// replaying recorded event streams; a fabricated key does not
+    /// validate against any real registration.
+    pub const fn from_raw(raw: u64) -> MrKey {
+        MrKey(raw)
+    }
 }
 
 impl fmt::Debug for MrKey {

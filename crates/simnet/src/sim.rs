@@ -128,6 +128,14 @@ pub struct Report {
     pub resources: Vec<(String, SimDelta, u64)>,
 }
 
+impl Report {
+    /// Spawn-time name of `pid`, for labeling event streams and dumps
+    /// (`procs` is in pid order). `None` for an out-of-range pid.
+    pub fn proc_name(&self, pid: Pid) -> Option<&str> {
+        self.procs.get(pid.index()).map(|p| p.name.as_str())
+    }
+}
+
 pub(crate) struct SimState {
     now: SimTime,
     queue: EventQueue,

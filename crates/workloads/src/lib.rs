@@ -33,7 +33,7 @@ pub use alltoall::{
 pub use drivers::{drive_alltoall, drive_group_stencil, drive_stencil, CheckRun};
 pub use harness::{collect, collector, run_workload, take, Collector, Harness, Runtime};
 pub use hpl::{hpl_runtime_us, matrix_order, HplAlgo, MODEL_MEM_PER_NODE, NB};
-pub use observe::{with_metrics, with_observer, Observer};
+pub use observe::{fanout, with_metrics, with_observer, Observer};
 pub use overlap::{omb_overlap_pct, OverlapResult};
 pub use p3dfft::{p3dfft, P3dfftResult, NS_PER_POINT};
 pub use pingpong::{nonblocking_pingpong_us, P2pEngine};

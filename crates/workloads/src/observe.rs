@@ -60,6 +60,17 @@ pub fn with_metrics<T>(f: impl FnOnce() -> T) -> (T, MetricsReport) {
     (out, metrics.report())
 }
 
+/// Combine several event sinks into one that forwards every emission to
+/// each, in order. Lets a run feed e.g. [`offload::Metrics`], a
+/// conformance checker and a flight recorder from a single stream.
+pub fn fanout(sinks: Vec<EventSink>) -> EventSink {
+    std::sync::Arc::new(move |at, pid, ev| {
+        for s in &sinks {
+            s(at, pid, ev);
+        }
+    })
+}
+
 /// Attach the current observer (if any) to a cluster builder. Called by
 /// every benchmark in this crate right after constructing its builder.
 pub(crate) fn apply(mut b: ClusterBuilder) -> ClusterBuilder {

@@ -1,0 +1,369 @@
+//! `cargo xtask bench-diff` — the benchmark regression gate.
+//!
+//! Compares two benchmark artifact trees (or two single files) of
+//! `*.metrics.json` documents, counter by counter, and fails on
+//! regression. The simulation is deterministic, so the default
+//! tolerance is **zero**: any drift in a counter is a behaviour change
+//! someone must either justify (regenerate the committed baselines) or
+//! fix. `--tol PCT` relaxes the gate to percentage drift for use on
+//! trees produced at different scales.
+//!
+//! Regression policy:
+//!
+//! * A counter present in the old tree but missing from the new one is
+//!   a regression (a silently vanished measurement is the worst kind).
+//! * A counter whose value drifts beyond the tolerance is a regression.
+//! * Counters whose name ends in `interventions` regress on **any**
+//!   increase, tolerance notwithstanding — the paper's headline claim
+//!   is that warm windows need zero host interventions, and no
+//!   tolerance buys that back.
+//! * New-only counters are fine (instrumentation grows).
+//! * Files only in the old tree are reported but do not fail the gate
+//!   (benches can be retired); files only in the new tree are ignored.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use obs::Json;
+
+/// Gate configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// Allowed relative drift per counter, in percent.
+    pub tol_pct: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions { tol_pct: 0.0 }
+    }
+}
+
+/// One counter that regressed.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// Artifact file (relative name, e.g. `fig11_stencil_time`).
+    pub file: String,
+    /// Dotted counter path, e.g. `totals.warm_window_interventions`.
+    pub counter: String,
+    /// Old value (`None` when the counter is new-only — not emitted).
+    pub old: Option<f64>,
+    /// New value (`None` when the counter disappeared).
+    pub new: Option<f64>,
+    /// Why this counts as a regression.
+    pub why: &'static str,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fmt_v = |v: Option<f64>| match v {
+            Some(v) => format!("{v}"),
+            None => "<missing>".to_string(),
+        };
+        write!(
+            f,
+            "{}: {}: {} -> {} ({})",
+            self.file,
+            self.counter,
+            fmt_v(self.old),
+            fmt_v(self.new),
+            self.why
+        )
+    }
+}
+
+/// Outcome of one tree comparison.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Artifact files compared.
+    pub files: usize,
+    /// Counters compared across all files.
+    pub counters: usize,
+    /// Regressions found (gate fails if non-empty).
+    pub regressions: Vec<Regression>,
+    /// Non-fatal observations (old-only files, parse notes).
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Flatten every numeric leaf of a metrics document into dotted paths.
+/// The identity fields (`bench`, `schema`) are skipped at top level.
+fn flatten(j: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match j {
+        Json::Obj(members) => {
+            for (k, v) in members {
+                if prefix.is_empty() && (k == "bench" || k == "schema") {
+                    continue;
+                }
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(v, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(v, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        Json::Num(n) => out.push((prefix.to_string(), *n)),
+        _ => {}
+    }
+}
+
+/// Counters where any increase is a regression regardless of tolerance.
+fn increase_is_always_bad(counter: &str) -> bool {
+    counter.ends_with("interventions")
+}
+
+/// Diff two parsed documents under `file`, appending to `report`.
+pub fn diff_docs(file: &str, old: &Json, new: &Json, opts: &DiffOptions, report: &mut DiffReport) {
+    let mut old_counters = Vec::new();
+    let mut new_counters = Vec::new();
+    flatten(old, "", &mut old_counters);
+    flatten(new, "", &mut new_counters);
+    let new_map: std::collections::BTreeMap<&str, f64> =
+        new_counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    for (counter, old_v) in &old_counters {
+        report.counters += 1;
+        let Some(&new_v) = new_map.get(counter.as_str()) else {
+            report.regressions.push(Regression {
+                file: file.to_string(),
+                counter: counter.clone(),
+                old: Some(*old_v),
+                new: None,
+                why: "counter disappeared",
+            });
+            continue;
+        };
+        let drift_pct = if *old_v == 0.0 {
+            if new_v == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            ((new_v - old_v) / old_v).abs() * 100.0
+        };
+        if increase_is_always_bad(counter) && new_v > *old_v {
+            report.regressions.push(Regression {
+                file: file.to_string(),
+                counter: counter.clone(),
+                old: Some(*old_v),
+                new: Some(new_v),
+                why: "interventions may never increase",
+            });
+        } else if drift_pct > opts.tol_pct {
+            report.regressions.push(Regression {
+                file: file.to_string(),
+                counter: counter.clone(),
+                old: Some(*old_v),
+                new: Some(new_v),
+                why: "drift beyond tolerance",
+            });
+        }
+    }
+}
+
+fn read_doc(path: &Path) -> Result<Json, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
+    obs::parse(&text).map_err(|e| format!("{}: malformed JSON: {e}", path.display()))
+}
+
+fn metrics_files(dir: &Path) -> Result<Vec<String>, String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("{}: unreadable dir: {e}", dir.display()))?;
+    let mut names: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".metrics.json"))
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+/// Compare two artifact trees (directories of `*.metrics.json`) or two
+/// single files.
+pub fn diff_trees(old: &Path, new: &Path, opts: &DiffOptions) -> Result<DiffReport, String> {
+    let mut report = DiffReport::default();
+    if old.is_file() && new.is_file() {
+        let name = old
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("old")
+            .to_string();
+        report.files = 1;
+        diff_docs(&name, &read_doc(old)?, &read_doc(new)?, opts, &mut report);
+        return Ok(report);
+    }
+    if !old.is_dir() || !new.is_dir() {
+        return Err(format!(
+            "bench-diff expects two directories or two files, got {} and {}",
+            old.display(),
+            new.display()
+        ));
+    }
+    let old_names = metrics_files(old)?;
+    let new_names = metrics_files(new)?;
+    for name in &old_names {
+        if !new_names.contains(name) {
+            report
+                .notes
+                .push(format!("{name}: only in {} (skipped)", old.display()));
+            continue;
+        }
+        report.files += 1;
+        diff_docs(
+            name,
+            &read_doc(&old.join(name))?,
+            &read_doc(&new.join(name))?,
+            opts,
+            &mut report,
+        );
+    }
+    if report.files == 0 {
+        return Err(format!(
+            "no common *.metrics.json between {} and {}",
+            old.display(),
+            new.display()
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(src: &str) -> Json {
+        obs::parse(src).expect("fixture parses")
+    }
+
+    const BASE: &str = r#"{
+        "schema": "bluefield-offload/metrics/v1",
+        "bench": "fixture",
+        "totals": {"events": 100, "fin_send": 4, "warm_window_interventions": 0},
+        "ranks": [{"rank": 0, "wakeups": 7}]
+    }"#;
+
+    #[test]
+    fn self_compare_is_clean() {
+        let mut r = DiffReport::default();
+        diff_docs("f", &doc(BASE), &doc(BASE), &DiffOptions::default(), &mut r);
+        assert!(r.ok(), "{:?}", r.regressions);
+        assert_eq!(r.counters, 5);
+    }
+
+    #[test]
+    fn drift_beyond_tolerance_regresses() {
+        let new = BASE.replace("\"events\": 100", "\"events\": 103");
+        let mut r = DiffReport::default();
+        diff_docs("f", &doc(BASE), &doc(&new), &DiffOptions::default(), &mut r);
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].counter, "totals.events");
+        // The same drift passes under a 5% tolerance.
+        let mut r = DiffReport::default();
+        diff_docs(
+            "f",
+            &doc(BASE),
+            &doc(&new),
+            &DiffOptions { tol_pct: 5.0 },
+            &mut r,
+        );
+        assert!(r.ok(), "{:?}", r.regressions);
+    }
+
+    #[test]
+    fn interventions_increase_ignores_tolerance() {
+        let new = BASE.replace(
+            "\"warm_window_interventions\": 0",
+            "\"warm_window_interventions\": 1",
+        );
+        let mut r = DiffReport::default();
+        diff_docs(
+            "f",
+            &doc(BASE),
+            &doc(&new),
+            &DiffOptions { tol_pct: 1000.0 },
+            &mut r,
+        );
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].why, "interventions may never increase");
+        // A *decrease* is an improvement, not a regression (here: from a
+        // baseline where the counter was 1).
+        let old = BASE.replace(
+            "\"warm_window_interventions\": 0",
+            "\"warm_window_interventions\": 1",
+        );
+        let mut r = DiffReport::default();
+        diff_docs(
+            "f",
+            &doc(&old),
+            &doc(BASE),
+            &DiffOptions { tol_pct: 1000.0 },
+            &mut r,
+        );
+        assert!(r.ok(), "{:?}", r.regressions);
+    }
+
+    #[test]
+    fn missing_counter_regresses_and_new_counter_is_fine() {
+        let new = BASE.replace("\"fin_send\": 4, ", "");
+        let mut r = DiffReport::default();
+        diff_docs(
+            "f",
+            &doc(BASE),
+            &doc(&new),
+            &DiffOptions { tol_pct: 1000.0 },
+            &mut r,
+        );
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].why, "counter disappeared");
+        // Extra counters in the new tree don't fail the gate.
+        let wider = BASE.replace("\"fin_send\": 4", "\"fin_send\": 4, \"fin_extra\": 9");
+        let mut r = DiffReport::default();
+        diff_docs(
+            "f",
+            &doc(BASE),
+            &doc(&wider),
+            &DiffOptions::default(),
+            &mut r,
+        );
+        assert!(r.ok(), "{:?}", r.regressions);
+    }
+
+    #[test]
+    fn tree_diff_over_real_dirs() {
+        let scratch = std::env::temp_dir().join(format!("bench-diff-test-{}", std::process::id()));
+        let old_dir = scratch.join("old");
+        let new_dir = scratch.join("new");
+        fs::create_dir_all(&old_dir).expect("mkdir old");
+        fs::create_dir_all(&new_dir).expect("mkdir new");
+        fs::write(old_dir.join("a.metrics.json"), BASE).expect("write");
+        fs::write(new_dir.join("a.metrics.json"), BASE).expect("write");
+        fs::write(old_dir.join("retired.metrics.json"), BASE).expect("write");
+        fs::write(old_dir.join("ignored.txt"), "not metrics").expect("write");
+
+        let r = diff_trees(&old_dir, &new_dir, &DiffOptions::default()).expect("diff runs");
+        assert!(r.ok(), "{:?}", r.regressions);
+        assert_eq!(r.files, 1);
+        assert_eq!(r.notes.len(), 1, "old-only file is noted: {:?}", r.notes);
+
+        let mutated = BASE.replace("\"fin_send\": 4", "\"fin_send\": 5");
+        fs::write(new_dir.join("a.metrics.json"), mutated).expect("write");
+        let r = diff_trees(&old_dir, &new_dir, &DiffOptions::default()).expect("diff runs");
+        assert!(!r.ok(), "mutated tree must regress");
+
+        fs::remove_dir_all(&scratch).expect("cleanup");
+    }
+}

@@ -1,7 +1,8 @@
 //! Workspace automation: `lint`, a custom lint wall for the
-//! simulator/protocol code, and `validate-metrics`, a schema check for
-//! benchmark metrics artifacts. Both run as `cargo xtask <cmd>` (see
-//! `.cargo/config.toml` for the alias) and from `ci.sh`.
+//! simulator/protocol code, `validate-metrics`, a schema check for
+//! benchmark metrics artifacts, and `bench-diff`, the benchmark
+//! regression gate (see [`bench_diff`]). All run as `cargo xtask <cmd>`
+//! (see `.cargo/config.toml` for the alias) and from `ci.sh`.
 //!
 //! The rules target bug classes clippy cannot see because they are
 //! properties of *this* codebase's design, not of Rust:
@@ -23,6 +24,8 @@
 //!
 //! Escapes: test code below a column-0 `#[cfg(test)]` is ignored, and a
 //! line carrying a `lint:allow(<rule>)` comment is exempt from that rule.
+
+mod bench_diff;
 
 use std::fmt;
 use std::fs;
@@ -245,8 +248,62 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        Some("bench-diff") => {
+            let mut tol_pct = 0.0f64;
+            let mut paths: Vec<&String> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                if a == "--tol" {
+                    match it.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => tol_pct = v,
+                        None => {
+                            println!("bench-diff: --tol expects a percentage");
+                            return ExitCode::from(2);
+                        }
+                    }
+                } else {
+                    paths.push(a);
+                }
+            }
+            let [old, new] = paths[..] else {
+                println!("usage: cargo xtask bench-diff <old> <new> [--tol PCT]");
+                return ExitCode::from(2);
+            };
+            let opts = bench_diff::DiffOptions { tol_pct };
+            match bench_diff::diff_trees(Path::new(old), Path::new(new), &opts) {
+                Ok(report) => {
+                    for note in &report.notes {
+                        println!("note: {note}");
+                    }
+                    for r in &report.regressions {
+                        println!("REGRESSION: {r}");
+                    }
+                    if report.ok() {
+                        println!(
+                            "xtask bench-diff: ok ({} file(s), {} counter(s), tol {tol_pct}%)",
+                            report.files, report.counters
+                        );
+                        ExitCode::SUCCESS
+                    } else {
+                        println!(
+                            "xtask bench-diff: {} regression(s) across {} file(s)",
+                            report.regressions.len(),
+                            report.files
+                        );
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    println!("bench-diff: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
         _ => {
-            println!("usage: cargo xtask lint | validate-metrics <file.json>...");
+            println!(
+                "usage: cargo xtask lint | validate-metrics <file.json>... | \
+                 bench-diff <old> <new> [--tol PCT]"
+            );
             ExitCode::from(2)
         }
     }

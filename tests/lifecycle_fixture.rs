@@ -1,0 +1,246 @@
+//! Deterministic fixtures for the lifecycle reconstructor and its
+//! histograms: a hand-built 4-rank group event DAG with a known longest
+//! window, and property tests for the log-scaled histogram (merge
+//! associativity, quantile monotonicity, empty/single-bucket edges).
+
+use bluefield_offload::dpu::{FinKind, PathKind, ProtoEvent};
+use bluefield_offload::sim::{Pid, SimTime};
+use obs::{reconstruct, Histogram, Residence};
+use proptest::prelude::*;
+
+/// Pid layout for the fixture: host rank `r` is pid `r`, its proxy is
+/// pid `10 + r`.
+fn host(r: usize) -> Pid {
+    Pid::from_index(r)
+}
+
+fn proxy(r: usize) -> Pid {
+    Pid::from_index(10 + r)
+}
+
+fn at(ps: u64) -> SimTime {
+    SimTime::from_ps(ps)
+}
+
+/// One rank's warm window: open → write → completion → group FIN →
+/// close, with every timestamp chosen by hand.
+#[allow(clippy::too_many_arguments)]
+fn window(
+    ev: &mut Vec<(SimTime, Pid, ProtoEvent)>,
+    rank: usize,
+    gen: u64,
+    t_open: u64,
+    t_write: u64,
+    t_complete: u64,
+    t_fin: u64,
+    t_close: u64,
+) {
+    let wrid = 0x0300_0000_0000_0000 | ((rank as u64) << 8) | gen;
+    ev.push((
+        at(t_open),
+        host(rank),
+        ProtoEvent::GroupCallReturned {
+            host_rank: rank,
+            req_id: 0,
+            gen,
+        },
+    ));
+    ev.push((
+        at(t_write),
+        proxy(rank),
+        ProtoEvent::WritePosted {
+            wrid,
+            bytes: 8192,
+            path: PathKind::CrossGvmi,
+            // A group wire-entry id: owned by `rank`, never posted via
+            // HostReqPosted, so reconstruction attributes it to the
+            // rank's open window.
+            msg_id: ((rank as u64) << 32) | (100 + gen),
+        },
+    ));
+    ev.push((
+        at(t_complete),
+        proxy(rank),
+        ProtoEvent::WriteCompleted { wrid },
+    ));
+    ev.push((
+        at(t_fin),
+        proxy(rank),
+        ProtoEvent::FinSent {
+            rank,
+            req: 0,
+            wrid: wrid | 0x80,
+            kind: FinKind::Group,
+            msg_id: 0,
+        },
+    ));
+    ev.push((
+        at(t_close),
+        host(rank),
+        ProtoEvent::GroupWaitDone {
+            host_rank: rank,
+            req_id: 0,
+            gen,
+        },
+    ));
+}
+
+#[test]
+fn four_rank_fixture_has_the_known_critical_path() {
+    let mut ev = Vec::new();
+    // Warm (gen 2) windows on four ranks. Rank 2 is the designed
+    // critical path: 13_000 ps end to end, dominated by wire time.
+    window(&mut ev, 0, 2, 1_000, 2_000, 9_000, 9_500, 10_000);
+    window(&mut ev, 1, 2, 1_000, 3_000, 8_000, 8_400, 9_000);
+    window(&mut ev, 2, 2, 2_000, 2_500, 14_000, 14_200, 15_000);
+    window(&mut ev, 3, 2, 1_500, 2_000, 6_000, 6_300, 7_000);
+
+    let report = reconstruct(&ev);
+    assert_eq!(report.windows.len(), 4);
+    assert!(report.windows.iter().all(|w| w.closed && w.is_warm()));
+    assert!(report.windows.iter().all(|w| w.host_segments() == 0));
+
+    let cp = report.critical_path().expect("windows closed");
+    assert_eq!((cp.rank, cp.req_id, cp.gen), (2, 0, 2));
+    assert_eq!(cp.total.as_ps(), 13_000);
+    let spans: Vec<(&str, u64)> = cp
+        .segments
+        .iter()
+        .map(|s| (s.label, s.dur.as_ps()))
+        .collect();
+    assert_eq!(
+        spans,
+        vec![
+            ("dispatch", 500),
+            ("wire", 11_500),
+            ("dpu_fin", 200),
+            ("wait_close", 800),
+        ]
+    );
+    assert_eq!(
+        cp.segments
+            .iter()
+            .find(|s| s.label == "wire")
+            .map(|s| s.residence),
+        Some(Residence::Wire)
+    );
+}
+
+#[test]
+fn host_intervention_inside_a_window_becomes_a_host_segment() {
+    let mut ev = Vec::new();
+    window(&mut ev, 0, 1, 1_000, 2_000, 9_000, 9_500, 10_000);
+    // The host is woken with work outstanding while the window is open
+    // (a cold-path hiccup).
+    ev.insert(
+        3,
+        (
+            at(5_000),
+            host(0),
+            ProtoEvent::HostWakeup {
+                rank: 0,
+                intervention: true,
+            },
+        ),
+    );
+    // A wakeup on another rank, and one after close, must not count.
+    ev.push((
+        at(5_000),
+        host(1),
+        ProtoEvent::HostWakeup {
+            rank: 1,
+            intervention: true,
+        },
+    ));
+    ev.push((
+        at(11_000),
+        host(0),
+        ProtoEvent::HostWakeup {
+            rank: 0,
+            intervention: true,
+        },
+    ));
+
+    let report = reconstruct(&ev);
+    assert_eq!(report.windows.len(), 1);
+    let w = &report.windows[0];
+    assert_eq!(w.host_segments(), 1);
+    assert!(!w.is_warm());
+}
+
+#[test]
+fn empty_histogram_reports_zeros() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.p50(), 0);
+    assert_eq!(h.p99(), 0);
+    assert_eq!(h.quantile(1.0), 0);
+}
+
+#[test]
+fn single_valued_histogram_collapses_to_that_value() {
+    for v in [0u64, 1, 7, 4096, u64::MAX] {
+        let mut h = Histogram::new();
+        for _ in 0..5 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), v, "p50 of constant {v}");
+        assert_eq!(h.p99(), v, "p99 of constant {v}");
+        assert_eq!(h.max(), v);
+    }
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_matches_union(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..40),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..40),
+        c in prop::collection::vec(0u64..1_000_000_000, 0..40),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+        // Both equal the histogram of the concatenation.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &hist_of(&all));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..60),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&values);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+        prop_assert!(h.quantile(1.0) == h.max());
+        // Every quantile estimate is within the observed range and
+        // never undershoots the true quantile's bucket lower bound:
+        // it is at most 2x the true value (log2 buckets).
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let true_p50 = sorted[(sorted.len() - 1) / 2];
+        prop_assert!(h.p50() <= h.max());
+        prop_assert!(h.p50() >= true_p50 / 2);
+    }
+}

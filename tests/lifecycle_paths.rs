@@ -1,0 +1,135 @@
+//! The paper's central residency claim, checked mechanically from the
+//! causal event stream (not from aggregate counters):
+//!
+//! * Once warm (`gen >= 2`), a group overlap window —
+//!   `Group_Offload_call` return to `Group_Wait` satisfied — contains
+//!   **zero host-resident segments**: every reconstructed span of the
+//!   window's critical path lives on the DPU or on the wire.
+//! * Every completed basic-primitive transfer and every completed
+//!   staging transfer has **at least one host-resident phase** — the
+//!   host posts the request and must wake to retire the FIN.
+//!
+//! All runs are fixed-seed and the simulator is deterministic, so these
+//! are exact assertions, not statistics.
+
+use bluefield_offload::apps::{drive_group_stencil, drive_stencil, CheckRun};
+use bluefield_offload::dpu::OffloadConfig;
+use obs::{LifecycleRecorder, Residence};
+
+fn recorded(run: &mut CheckRun) -> LifecycleRecorder {
+    let rec = LifecycleRecorder::new();
+    run.sink = Some(rec.sink());
+    rec
+}
+
+#[test]
+fn warm_group_windows_have_zero_host_resident_segments() {
+    let mut run = CheckRun::baseline(21);
+    let rec = recorded(&mut run);
+    drive_group_stencil(&run, 8192, 3).expect("clean run");
+    let report = rec.report();
+
+    // One window per rank per generation, all closed by Group_Wait.
+    assert_eq!(report.windows.len(), 4 * 3);
+    assert!(report.windows.iter().all(|w| w.closed));
+    let warm: Vec<_> = report.windows.iter().filter(|w| w.is_warm()).collect();
+    assert_eq!(warm.len(), 4 * 2, "generations 2 and 3 are warm");
+    for w in &warm {
+        assert_eq!(
+            w.host_segments(),
+            0,
+            "warm window (rank {}, req {}, gen {}) has a host-resident \
+             segment: {:?}",
+            w.rank,
+            w.req_id,
+            w.gen,
+            w.segments
+        );
+        // The window is real work, not an empty interval: it has a
+        // reconstructed path with wire time on it.
+        assert!(w.total.as_ps() > 0);
+        assert!(
+            w.segments.iter().any(|s| s.residence == Residence::Wire),
+            "warm window should carry RDMA wire time: {:?}",
+            w.segments
+        );
+    }
+
+    // The run's critical path is one of the recorded windows, and its
+    // segment chain accounts for the whole window (host interventions
+    // are zero-length markers, so the spans sum to the total).
+    let cp = report.critical_path().expect("closed windows exist");
+    assert!(report.windows.iter().all(|w| w.total <= cp.total));
+    let sum: u64 = cp.segments.iter().map(|s| s.dur.as_ps()).sum();
+    assert_eq!(sum, cp.total.as_ps(), "critical path decomposes exactly");
+}
+
+#[test]
+fn basic_primitive_paths_are_host_resident_at_both_ends() {
+    let mut run = CheckRun::baseline(23);
+    let rec = recorded(&mut run);
+    drive_stencil(&run, 4096, 2).expect("clean run");
+    let report = rec.report();
+
+    let completed: Vec<_> = report.timelines.iter().filter(|t| t.completed).collect();
+    assert!(!completed.is_empty(), "stencil completes transfers");
+    for t in &completed {
+        assert!(
+            t.host_segments() >= 1,
+            "basic transfer {:#x} ({:?}) shows no host-resident phase: {:?}",
+            t.msg_id,
+            t.dir,
+            t.phases
+        );
+    }
+    // Send-side transfers additionally carry wire time.
+    assert!(completed.iter().any(|t| t
+        .phases
+        .iter()
+        .any(|(p, _)| p.residence() == Residence::Wire)));
+    // No group windows in a basic-primitive run.
+    assert!(report.windows.is_empty());
+}
+
+#[test]
+fn staging_paths_are_host_resident_at_both_ends() {
+    let mut run = CheckRun::baseline(24);
+    run.cfg = OffloadConfig::staging();
+    let rec = recorded(&mut run);
+    drive_stencil(&run, 4096, 2).expect("clean run");
+    let report = rec.report();
+
+    let completed: Vec<_> = report.timelines.iter().filter(|t| t.completed).collect();
+    assert!(!completed.is_empty(), "staging stencil completes transfers");
+    for t in &completed {
+        assert!(
+            t.host_segments() >= 1,
+            "staging transfer {:#x} shows no host-resident phase: {:?}",
+            t.msg_id,
+            t.phases
+        );
+    }
+}
+
+#[test]
+fn lifecycle_report_renders_valid_schema() {
+    let mut run = CheckRun::baseline(21);
+    let rec = recorded(&mut run);
+    drive_group_stencil(&run, 4096, 2).expect("clean run");
+    let doc = rec.report().to_json().render();
+    let parsed = obs::parse(&doc).expect("lifecycle JSON parses");
+    assert_eq!(
+        parsed.get("schema").and_then(|s| s.as_str()),
+        Some(obs::LIFECYCLE_SCHEMA_ID)
+    );
+    let windows = parsed
+        .get("windows")
+        .and_then(|w| w.as_arr())
+        .expect("windows array");
+    assert_eq!(windows.len(), 4 * 2);
+    for w in windows {
+        if w.get("warm") == Some(&obs::Json::Bool(true)) {
+            assert_eq!(w.get("host_segments").and_then(|n| n.as_u64()), Some(0));
+        }
+    }
+}
