@@ -20,11 +20,23 @@ echo "== cargo build --release"
 cargo build --release
 
 echo "== cargo test"
-if ! cargo test -q; then
+if ! cargo test -q --workspace; then
     # The checker explorer drops flight-recorder dumps next to failing
     # schedules; surface them so the trace travels with the CI log.
     if ls target/failure-dumps/*.flight.txt >/dev/null 2>&1; then
         echo "flight-recorder dumps from failing runs:"
+        ls -l target/failure-dumps/
+    fi
+    exit 1
+fi
+
+echo "== fault soak (reliable ctrl-plane under lossy FaultPlan matrix)"
+# Bounded fixed-seed soak: drop/dup/delay/crash/xreg plans x seeds x
+# proxy counts through the conformance checker with payload
+# verification; failures leave replayable dumps in target/failure-dumps/.
+if ! cargo run --release --quiet -p checker --bin fault_soak; then
+    if ls target/failure-dumps/*.flight.txt >/dev/null 2>&1; then
+        echo "flight-recorder dumps from failing soak scenarios:"
         ls -l target/failure-dumps/
     fi
     exit 1

@@ -1,0 +1,104 @@
+//! Bounded fixed-seed fault-soak: run the checker workloads under a
+//! lossy, crashing [`offload::FaultPlan`] and demand a clean verdict
+//! from every scenario.
+//!
+//! This is the CI entry point for the reliability layer (see ci.sh): a
+//! deterministic matrix of seeds x fault plans x proxy counts, each run
+//! under the conformance checker with the flight recorder armed. Any
+//! failure writes a replayable dump to `target/failure-dumps/` (or
+//! `$BF_FAILURE_DUMP_DIR`) and exits nonzero.
+//!
+//! The plan can be overridden from the environment for ad-hoc soaking:
+//!
+//! ```text
+//! FAULT_PLAN=drop=100,dup=50,delay=50:10000,crash=12 \
+//!     cargo run --release -p checker --bin fault_soak
+//! ```
+
+use checker::{
+    alltoall_workload, run_scenario_with_dump, verified_stencil_workload, ConformanceConfig,
+    Scenario, Workload,
+};
+use offload::FaultPlan;
+
+fn default_plans() -> Vec<FaultPlan> {
+    let none = FaultPlan::none();
+    vec![
+        // Each mechanism alone, then the combined acceptance plan:
+        // 10% drop + 5% dup + delays + a mid-window proxy crash.
+        FaultPlan {
+            drop_pm: 100,
+            ..none
+        },
+        FaultPlan { dup_pm: 50, ..none },
+        FaultPlan {
+            delay_pm: 100,
+            delay_ns: 30_000,
+            ..none
+        },
+        FaultPlan {
+            xreg_fail_pm: 300,
+            ..none
+        },
+        FaultPlan {
+            drop_pm: 100,
+            dup_pm: 50,
+            delay_pm: 50,
+            delay_ns: 10_000,
+            crash_at_step: 12,
+            ..none
+        },
+    ]
+}
+
+fn main() {
+    let plans = match FaultPlan::from_env() {
+        Ok(p) if !p.is_none() => vec![p],
+        Ok(_) => default_plans(),
+        Err(e) => {
+            eprintln!("fault_soak: {e}");
+            std::process::exit(2);
+        }
+    };
+    let workloads: [(&str, Workload); 2] = [
+        ("verified-stencil", verified_stencil_workload()),
+        ("alltoall", alltoall_workload()),
+    ];
+    let cfg = ConformanceConfig::default();
+    let mut ran = 0usize;
+    let mut failed = 0usize;
+    for plan in &plans {
+        for (name, workload) in &workloads {
+            for seed in 0..4u64 {
+                for proxies in [1usize, 2, 4] {
+                    let scenario = Scenario {
+                        seed,
+                        jitter_ns: [0, 2_000][(seed % 2) as usize],
+                        proxies_per_dpu: proxies,
+                        fault: plan.with_seed(seed * 97 + proxies as u64),
+                    };
+                    let label = format!(
+                        "{name} plan={plan:?} seed={seed} jitter={}ns proxies={proxies}",
+                        scenario.jitter_ns
+                    );
+                    let (outcome, dump) =
+                        run_scenario_with_dump(&format!("soak-{name}"), workload, &scenario, cfg);
+                    ran += 1;
+                    if outcome.is_ok() {
+                        println!("ok   {label}");
+                    } else {
+                        failed += 1;
+                        println!("FAIL {label}: {outcome:?}");
+                        if let Some(path) = dump {
+                            println!("     dump: {}", path.display());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!("fault_soak: {ran} scenarios, {failed} failed");
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

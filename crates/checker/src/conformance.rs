@@ -30,6 +30,21 @@
 //! 8. **Group FIN identity** — group FINs carry a real, never-reused work
 //!    request id from the proxy's wr namespace (never the `0` sentinel,
 //!    never a data-write wrid).
+//! 9. **Exactly-once app completion** — `HostReqDone` fires at most once
+//!    per transfer id, no matter how many duplicate FINs the fault plan
+//!    manufactures on the wire.
+//! 10. **Every request resolves** — at end of run each `HostReqPosted`
+//!     transfer id has either a `HostReqDone` or a typed `ReqFailed`;
+//!     requests never vanish into a crashed proxy.
+//!
+//! ## Proxy restarts
+//!
+//! A `ProxyRestarted` event resets the restarting pid's share of the
+//! checker state: its flow counters, non-completed work requests,
+//! cross-registrations and barrier edges are discarded (a restarted
+//! proxy re-registers and replays from scratch, and its old mkeys must
+//! never be seen again — keeping `registered` would mask stale-epoch
+//! reuse). Completions stay, so a FIN for pre-crash work remains valid.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -83,6 +98,10 @@ impl fmt::Display for Violation {
 
 #[derive(Default)]
 struct FlowState {
+    /// Proxy pid that handles this flow (every event of a flow comes
+    /// from `proxy_for_rank(src)`), so a restart can reset only the
+    /// restarting proxy's flows.
+    owner: Option<Pid>,
     rts: u64,
     rtr: u64,
     matched: u64,
@@ -100,20 +119,27 @@ struct State {
     /// are per-proxy counters, so the pid is part of the key).
     posted: BTreeSet<(Pid, u64)>,
     completed: BTreeSet<(Pid, u64)>,
-    /// Every mkey2 a CrossReg produced.
-    registered: BTreeSet<MrKey>,
-    /// Latest registration per `(host_rank, addr, len)`.
-    latest_reg: BTreeMap<(usize, u64, u64), (MrKey, MrKey)>,
+    /// Every mkey2 a CrossReg produced, keyed by the registering proxy
+    /// so a restart invalidates exactly that proxy's keys.
+    registered: BTreeSet<(Pid, MrKey)>,
+    /// Latest registration per `(proxy, host_rank, addr, len)`.
+    latest_reg: BTreeMap<(Pid, usize, u64, u64), (MrKey, MrKey)>,
     /// RecvMeta count per `(from, to, req)`.
     recv_meta: BTreeMap<(usize, usize, usize), u64>,
     /// Group packet count per `(host, req)`.
     group_packets: BTreeMap<(usize, usize), u64>,
-    /// Last `(gen, value)` per barrier edge `(src, dst_host, dst_req)`.
-    barrier_last: BTreeMap<(usize, usize, usize), (u64, u64)>,
-    /// Group FIN wrids per proxy — must be fresh ids, never reused.
+    /// Last `(gen, value)` per barrier edge `(proxy, src, dst_host,
+    /// dst_req)`.
+    barrier_last: BTreeMap<(Pid, usize, usize, usize), (u64, u64)>,
+    /// Group FIN wrids per proxy — must be fresh ids, never reused (the
+    /// wr namespace is durable, so this survives restarts).
     group_fin_wrids: BTreeSet<(Pid, u64)>,
     /// Transfer ids introduced by `HostReqPosted`.
     req_ids_posted: BTreeSet<u64>,
+    /// Transfer ids a `HostReqDone` completed toward the app.
+    done_ids: BTreeSet<u64>,
+    /// Transfer ids surfaced to the app as a typed failure.
+    failed_ids: BTreeSet<u64>,
     violations: Vec<Violation>,
     events_seen: u64,
 }
@@ -139,6 +165,7 @@ impl State {
                 msg_id,
             } => {
                 let f = self.flows.entry((src_rank, dst_rank, tag)).or_default();
+                f.owner.get_or_insert(src);
                 f.rts += 1;
                 f.rts_ids.insert(msg_id);
             }
@@ -149,6 +176,7 @@ impl State {
                 msg_id,
             } => {
                 let f = self.flows.entry((src_rank, dst_rank, tag)).or_default();
+                f.owner.get_or_insert(src);
                 f.rtr += 1;
                 f.rtr_ids.insert(msg_id);
             }
@@ -160,6 +188,7 @@ impl State {
                 recv_msg_id,
             } => {
                 let f = self.flows.entry((src_rank, dst_rank, tag)).or_default();
+                f.owner.get_or_insert(src);
                 let send_known = f.rts_ids.contains(&send_msg_id);
                 let recv_known = f.rtr_ids.contains(&recv_msg_id);
                 if f.matched + 1 > f.rts.min(f.rtr) {
@@ -275,9 +304,9 @@ impl State {
                 mkey,
                 mkey2,
             } => {
-                self.registered.insert(mkey2);
+                self.registered.insert((src, mkey2));
                 self.latest_reg
-                    .insert((host_rank, addr.0, len), (mkey, mkey2));
+                    .insert((src, host_rank, addr.0, len), (mkey, mkey2));
             }
             ProtoEvent::CrossRegCacheLookup {
                 host_rank,
@@ -288,7 +317,7 @@ impl State {
                 mkey2,
             } => {
                 if outcome == CacheOutcome::Hit {
-                    let want = self.latest_reg.get(&(host_rank, addr.0, len));
+                    let want = self.latest_reg.get(&(src, host_rank, addr.0, len));
                     match ((mkey, mkey2), want) {
                         ((Some(m), Some(m2)), Some(&(wm, wm2))) if m == wm && m2 == wm2 => {}
                         _ => self.violate(
@@ -305,12 +334,15 @@ impl State {
                 }
             }
             ProtoEvent::Mkey2Used { mkey2 } => {
-                if !self.registered.contains(&mkey2) {
+                if !self.registered.contains(&(src, mkey2)) {
                     self.violate(
                         at,
                         pid,
                         "mkey2-before-crossreg",
-                        format!("{mkey2:?} drives a transfer but no CrossReg produced it"),
+                        format!(
+                            "{mkey2:?} drives a transfer but no CrossReg of the \
+                             current proxy incarnation produced it"
+                        ),
                     );
                 }
             }
@@ -360,7 +392,7 @@ impl State {
                 gen,
                 value,
             } => {
-                let key = (src_rank, dst_host_rank, dst_req_id);
+                let key = (src, src_rank, dst_host_rank, dst_req_id);
                 let cur = (gen, value);
                 if let Some(&last) = self.barrier_last.get(&key) {
                     if cur <= last {
@@ -394,12 +426,57 @@ impl State {
                         ),
                     );
                 }
+                if !self.done_ids.insert(msg_id) {
+                    self.violate(
+                        at,
+                        pid,
+                        "fin-duplicated-to-app",
+                        format!(
+                            "rank {rank} surfaced completion of transfer {msg_id:#x} \
+                             to the application twice"
+                        ),
+                    );
+                }
+            }
+            ProtoEvent::ReqFailed { msg_id, .. } => {
+                self.failed_ids.insert(msg_id);
+            }
+            ProtoEvent::ProxyRestarted { .. } => {
+                // The restarted proxy replays everything that had not
+                // completed: wipe its share of the matching, posting,
+                // registration and barrier state so the replay is judged
+                // as a fresh run. Completions and group-FIN wrids are
+                // durable (journaled / namespace-monotone) and stay.
+                for f in self.flows.values_mut() {
+                    if f.owner == Some(src) {
+                        *f = FlowState {
+                            owner: Some(src),
+                            ..FlowState::default()
+                        };
+                    }
+                }
+                let completed = &self.completed;
+                self.posted.retain(|e| e.0 != src || completed.contains(e));
+                self.registered.retain(|e| e.0 != src);
+                self.latest_reg.retain(|k, _| k.0 != src);
+                self.barrier_last.retain(|k, _| k.0 != src);
+                // Hosts legitimately re-ship receive metadata and group
+                // packets to a restarted proxy; at-most-once holds only
+                // between restarts.
+                self.recv_meta.clear();
+                self.group_packets.clear();
             }
             // Observability-only events: aggregated by `offload::Metrics`,
             // carrying no protocol invariants of their own.
             ProtoEvent::HostCacheLookup { .. }
             | ProtoEvent::CacheEvicted { .. }
             | ProtoEvent::CtrlDropped { .. }
+            | ProtoEvent::CtrlRetransmit { .. }
+            | ProtoEvent::CtrlDuplicateDropped { .. }
+            | ProtoEvent::CtrlAbandoned { .. }
+            | ProtoEvent::FallbackToStaging { .. }
+            | ProtoEvent::ReqReplayed { .. }
+            | ProtoEvent::StaleCqe { .. }
             | ProtoEvent::HostWakeup { .. }
             | ProtoEvent::GroupCallReturned { .. }
             | ProtoEvent::GroupWaitDone { .. }
@@ -482,6 +559,23 @@ impl Conformance {
                 Some(pid),
                 "write-never-completed",
                 format!("work request {wrid:#x} posted but no completion observed"),
+            );
+        }
+        let unresolved: Vec<u64> = st
+            .req_ids_posted
+            .iter()
+            .copied()
+            .filter(|id| !st.done_ids.contains(id) && !st.failed_ids.contains(id))
+            .collect();
+        for id in unresolved {
+            st.violate(
+                end,
+                None,
+                "posted-never-done",
+                format!(
+                    "transfer {id:#x} was posted but neither completed nor \
+                     surfaced as a typed failure"
+                ),
             );
         }
         st.violations.clone()

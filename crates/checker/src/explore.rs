@@ -11,9 +11,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use offload::{parse_flight_dump, replay_into, FaultInjection, FlightRecorder, OffloadConfig};
+use offload::{parse_flight_dump, replay_into, FaultPlan, FlightRecorder, OffloadConfig};
 use simnet::{EventSink, Report, SimDelta, SimError, SimTime};
-use workloads::{drive_alltoall, drive_stencil, fanout, CheckRun};
+use workloads::{drive_alltoall, drive_stencil, drive_verified_stencil, fanout, CheckRun};
 
 use crate::conformance::{Conformance, ConformanceConfig, Violation};
 
@@ -27,8 +27,10 @@ pub struct Scenario {
     pub jitter_ns: u64,
     /// Proxy processes per DPU.
     pub proxies_per_dpu: usize,
-    /// Deliberate engine fault to inject (for checker self-tests).
-    pub fault: FaultInjection,
+    /// Fault plan applied to the run (probabilistic drop/dup/delay,
+    /// proxy crash, registration failure — or a legacy one-shot
+    /// [`offload::FaultInjection`], which converts losslessly).
+    pub fault: FaultPlan,
 }
 
 impl Scenario {
@@ -38,13 +40,14 @@ impl Scenario {
             seed,
             jitter_ns: 0,
             proxies_per_dpu: 1,
-            fault: FaultInjection::None,
+            fault: FaultPlan::none(),
         }
     }
 
-    /// The same scenario with `fault` injected.
-    pub fn with_fault(mut self, fault: FaultInjection) -> Scenario {
-        self.fault = fault;
+    /// The same scenario with `fault` injected. Accepts a [`FaultPlan`]
+    /// or a legacy [`offload::FaultInjection`] variant.
+    pub fn with_fault(mut self, fault: impl Into<FaultPlan>) -> Scenario {
+        self.fault = fault.into();
         self
     }
 }
@@ -106,6 +109,20 @@ fn check_run(scenario: &Scenario, sink: EventSink) -> CheckRun {
 pub fn stencil_workload() -> Workload {
     Arc::new(|scenario: &Scenario, sink: EventSink| {
         drive_stencil(&check_run(scenario, sink), 4096, 2)
+    })
+}
+
+/// The payload-verifying stencil (see
+/// [`workloads::drive_verified_stencil`]): real bytes move through the
+/// fabric, every send buffer carries a per-`(rank, round, direction)`
+/// pattern, and each receiver checks what actually landed. This is the
+/// fault-soak workload — under a lossy [`FaultPlan`] it proves that
+/// retransmission and restart replay deliver every payload intact.
+pub fn verified_stencil_workload() -> Workload {
+    Arc::new(|scenario: &Scenario, sink: EventSink| {
+        let mut run = check_run(scenario, sink);
+        run.move_bytes = true;
+        drive_verified_stencil(&run, 2048, 2)
     })
 }
 
@@ -273,7 +290,8 @@ pub fn explore(
 /// A standard sweep: `seeds` baseline scenarios with schedule knobs
 /// varied deterministically per seed (jitter 0/2/10 microseconds, one or
 /// two proxies per DPU).
-pub fn sweep(seeds: std::ops::Range<u64>, fault: FaultInjection) -> Vec<Scenario> {
+pub fn sweep(seeds: std::ops::Range<u64>, fault: impl Into<FaultPlan>) -> Vec<Scenario> {
+    let fault = fault.into();
     seeds
         .map(|seed| Scenario {
             seed,

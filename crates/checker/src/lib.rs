@@ -18,6 +18,11 @@
 //! The engine's [`offload::FaultInjection`] knob exists so this crate
 //! can prove it detects real bugs: dropping a FIN must be reported as a
 //! deadlock, skipping cross-registration as an invariant violation.
+//! The probabilistic [`offload::FaultPlan`] points the same machinery
+//! the other way: under seeded drop/dup/delay/crash plans the reliable
+//! ctrl-plane must *recover* — every scenario of the fault-soak matrix
+//! must come back [`Outcome::Ok`] with payloads intact (see
+//! [`verified_stencil_workload`] and the `fault_soak` binary).
 
 #![warn(missing_docs)]
 
@@ -27,14 +32,14 @@ mod explore;
 pub use conformance::{Conformance, ConformanceConfig, Violation};
 pub use explore::{
     alltoall_workload, explore, failure_dump_dir, replay_dump, run_scenario, run_scenario_recorded,
-    run_scenario_with_dump, shrink, stencil_workload, sweep, write_failure_dump, Outcome, Scenario,
-    Workload,
+    run_scenario_with_dump, shrink, stencil_workload, sweep, verified_stencil_workload,
+    write_failure_dump, Outcome, Scenario, Workload,
 };
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use offload::FaultInjection;
+    use offload::{FaultInjection, FaultPlan, Metrics};
 
     fn assert_sweep_clean(workload: &Workload, what: &str) {
         let failures = explore(
@@ -137,6 +142,153 @@ mod tests {
                 .count(),
             "replay must reproduce the violation the same number of times"
         );
+    }
+
+    /// The fault-soak plan matrix: each entry exercises one recovery
+    /// mechanism in isolation, the last combines them with a mid-window
+    /// proxy crash (10% drop + 5% dup + crash, the acceptance scenario).
+    fn soak_plans() -> Vec<FaultPlan> {
+        let none = FaultPlan::none();
+        vec![
+            FaultPlan {
+                drop_pm: 100,
+                ..none
+            },
+            FaultPlan { dup_pm: 50, ..none },
+            FaultPlan {
+                delay_pm: 100,
+                delay_ns: 30_000,
+                ..none
+            },
+            FaultPlan {
+                drop_pm: 100,
+                dup_pm: 50,
+                delay_pm: 50,
+                delay_ns: 10_000,
+                crash_at_step: 12,
+                ..none
+            },
+        ]
+    }
+
+    #[test]
+    fn fault_soak_stencil_delivers_every_payload() {
+        // Seeds x plans x proxy counts, with real byte movement and
+        // per-round payload verification: a dropped, duplicated,
+        // delayed or crash-replayed transfer must still land exactly
+        // the bytes its sender wrote, and the conformance checker must
+        // see every request resolve exactly once.
+        let workload = verified_stencil_workload();
+        let cfg = ConformanceConfig::default();
+        for plan in soak_plans() {
+            for seed in 0..4u64 {
+                for proxies in [1usize, 2, 4] {
+                    let scenario = Scenario {
+                        seed,
+                        jitter_ns: 0,
+                        proxies_per_dpu: proxies,
+                        fault: plan.with_seed(seed * 97 + proxies as u64),
+                    };
+                    let (outcome, dump) =
+                        run_scenario_with_dump("fault-soak-stencil", &workload, &scenario, cfg);
+                    assert!(
+                        outcome.is_ok(),
+                        "plan {plan:?} seed {seed} proxies {proxies}: {outcome:?} (dump: {dump:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_soak_alltoall_survives_the_combined_plan() {
+        // The group path (metadata install, exec doorbells, barrier
+        // counters, group FINs) under the combined lossy plan.
+        let workload = alltoall_workload();
+        let cfg = ConformanceConfig::default();
+        let plan = soak_plans().pop().expect("combined plan");
+        for seed in 0..4u64 {
+            let scenario = Scenario::baseline(seed).with_fault(plan.with_seed(seed + 1));
+            let (outcome, dump) =
+                run_scenario_with_dump("fault-soak-alltoall", &workload, &scenario, cfg);
+            assert!(
+                outcome.is_ok(),
+                "plan {plan:?} seed {seed}: {outcome:?} (dump: {dump:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_runs_never_touch_the_reliability_machinery() {
+        // With FaultPlan::none() the reliable layer must be fully
+        // dormant: no retransmissions, no duplicates, no fallbacks, no
+        // restarts — byte-identical ctrl traffic to the seed engine.
+        let metrics = Metrics::new();
+        let mut run = workloads::CheckRun::baseline(5);
+        run.sink = Some(metrics.sink());
+        workloads::drive_stencil(&run, 1024, 2).expect("clean run");
+        let report = metrics.report();
+        assert_eq!(report.ctrl_retransmits, 0);
+        assert_eq!(report.ctrl_dups_dropped, 0);
+        assert_eq!(report.ctrl_abandoned, 0);
+        assert_eq!(report.fallback_staging, 0);
+        assert_eq!(report.proxy_restarts, 0);
+        assert_eq!(report.reqs_replayed, 0);
+        assert_eq!(report.req_failures, 0);
+        assert_eq!(report.stale_cqes, 0);
+    }
+
+    #[test]
+    fn lossy_runs_record_retransmissions_and_crashes_record_restarts() {
+        let metrics = Metrics::new();
+        let checker = Conformance::new(ConformanceConfig::default());
+        let mut run = workloads::CheckRun::baseline(9);
+        run.sink = Some(workloads::fanout(vec![metrics.sink(), checker.sink()]));
+        run.cfg = run.cfg.clone().with_fault(FaultPlan {
+            drop_pm: 150,
+            crash_at_step: 12,
+            seed: 3,
+            ..FaultPlan::none()
+        });
+        workloads::drive_stencil(&run, 1024, 2).expect("recovered run");
+        assert!(
+            checker.finish().is_empty(),
+            "recovery must not break invariants"
+        );
+        let report = metrics.report();
+        assert!(
+            report.ctrl_retransmits > 0,
+            "a 15% drop rate must force retransmissions"
+        );
+        assert!(
+            report.proxy_restarts > 0,
+            "crash_at_step must restart at least one proxy"
+        );
+        assert!(
+            report.reqs_replayed > 0,
+            "hosts must replay in-flight work into the restarted proxy"
+        );
+    }
+
+    #[test]
+    fn xreg_failure_falls_back_to_staging_and_completes() {
+        let metrics = Metrics::new();
+        let checker = Conformance::new(ConformanceConfig::default());
+        let mut run = workloads::CheckRun::baseline(21);
+        run.sink = Some(workloads::fanout(vec![metrics.sink(), checker.sink()]));
+        run.cfg = run.cfg.clone().with_fault(FaultPlan {
+            xreg_fail_pm: 400,
+            seed: 7,
+            ..FaultPlan::none()
+        });
+        workloads::drive_stencil(&run, 1024, 2).expect("fallback run");
+        assert!(checker.finish().is_empty(), "fallback is not a violation");
+        let report = metrics.report();
+        assert!(
+            report.fallback_staging > 0,
+            "a 40% registration-failure rate must trigger the staging fallback"
+        );
+        assert_eq!(report.ctrl_retransmits, 0, "fallback alone arms no retx");
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! Configuration of the offload framework, including the ablation switches
-//! called out in DESIGN.md.
+//! called out in DESIGN.md and the fault-injection plan consumed by the
+//! reliability layer (DESIGN.md §13).
+
+use std::fmt;
 
 /// Which mechanism moves the payload (paper Fig. 6).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -18,6 +21,11 @@ pub enum DataPath {
 /// the engine violate exactly one invariant so the conformance checker
 /// and schedule explorer can prove they detect it. `None` in all real
 /// runs.
+///
+/// Deprecated alias: new code should build a [`FaultPlan`] instead. Every
+/// variant converts losslessly via `FaultPlan::from`, and the legacy
+/// behaviour (an unrecovered drop / a skipped cross-registration) is
+/// preserved so the checker's detection proofs keep holding.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum FaultInjection {
     /// No fault: the engine follows the protocol.
@@ -30,6 +38,166 @@ pub enum FaultInjection {
     /// The conformance checker reports an `Mkey2Used`-before-`CrossReg`
     /// violation.
     SkipCrossReg,
+}
+
+/// Seeded probabilistic fault plan for the ctrl plane (DESIGN.md §13).
+///
+/// Rates are in permille (parts per thousand) so plans stay `Eq`/`Copy`
+/// and filename-safe for the explorer's failure dumps. A plan with any
+/// nonzero rate or a crash step arms the reliability layer (seq/ack
+/// envelopes, retransmission timers, receiver dedup); the all-zero plan
+/// leaves the engine byte-identical to the pre-reliability protocol so
+/// committed bench baselines stay unchanged.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Probability (permille) that a ctrl message or ack is dropped.
+    pub drop_pm: u16,
+    /// Probability (permille) that a ctrl message is delivered twice.
+    pub dup_pm: u16,
+    /// Probability (permille) that a ctrl message is delayed by
+    /// [`delay_ns`](FaultPlan::delay_ns) instead of sent immediately.
+    pub delay_pm: u16,
+    /// Virtual-time delay applied to delayed messages, in nanoseconds.
+    pub delay_ns: u64,
+    /// Crash each proxy once, after it has handled this many ctrl
+    /// packets (0 = never). The proxy restarts with a bumped epoch.
+    pub crash_at_step: u32,
+    /// Probability (permille) that one cross-GVMI registration attempt
+    /// fails; the transfer falls back to the staging path.
+    pub xreg_fail_pm: u16,
+    /// Seed for the fault RNG (independent of the schedule seed).
+    pub seed: u64,
+    /// Legacy one-shot fault: drop the first FIN, never retransmit.
+    pub drop_first_fin: bool,
+    /// Legacy one-shot fault: skip cross-registration, use mkey as mkey2.
+    pub skip_cross_reg: bool,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, reliability layer disarmed.
+    pub const fn none() -> FaultPlan {
+        FaultPlan {
+            drop_pm: 0,
+            dup_pm: 0,
+            delay_pm: 0,
+            delay_ns: 0,
+            crash_at_step: 0,
+            xreg_fail_pm: 0,
+            seed: 0,
+            drop_first_fin: false,
+            skip_cross_reg: false,
+        }
+    }
+
+    /// Whether the seq/ack reliability machinery is armed. The legacy
+    /// one-shot faults deliberately do *not* arm it: they exist to prove
+    /// the checker still detects unrecovered faults.
+    pub fn reliable(&self) -> bool {
+        self.drop_pm > 0 || self.dup_pm > 0 || self.delay_pm > 0 || self.crash_at_step > 0
+    }
+
+    /// Whether cross-GVMI registration may fail (staging fallback armed).
+    /// Hosts then carry both an mkey and an rkey in each RTS so the proxy
+    /// can take either path per message.
+    pub fn fallback_enabled(&self) -> bool {
+        self.xreg_fail_pm > 0
+    }
+
+    /// Whether any fault at all is configured.
+    pub fn is_none(&self) -> bool {
+        *self == FaultPlan::none()
+    }
+
+    /// Set the fault RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Parse a comma-separated `key=value` list, e.g.
+    /// `drop=100,dup=50,delay=20:5000,crash=40,xreg=80,seed=7`.
+    /// `delay` takes `permille:nanoseconds`. Unknown keys are an error.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault plan: `{part}` is not key=value"))?;
+            let num = |v: &str| -> Result<u64, String> {
+                v.parse::<u64>()
+                    .map_err(|_| format!("fault plan: `{v}` is not a number in `{part}`"))
+            };
+            match key {
+                "drop" => plan.drop_pm = num(value)? as u16,
+                "dup" => plan.dup_pm = num(value)? as u16,
+                "delay" => {
+                    let (pm, ns) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("fault plan: delay wants pm:ns, got `{value}`"))?;
+                    plan.delay_pm = num(pm)? as u16;
+                    plan.delay_ns = num(ns)?;
+                }
+                "crash" => plan.crash_at_step = num(value)? as u32,
+                "xreg" => plan.xreg_fail_pm = num(value)? as u16,
+                "seed" => plan.seed = num(value)?,
+                other => return Err(format!("fault plan: unknown key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Read a plan from the `FAULT_PLAN` environment variable (see the
+    /// README fault-injection quickstart). Unset or empty means
+    /// [`FaultPlan::none`]; a malformed value is an error.
+    pub fn from_env() -> Result<FaultPlan, String> {
+        match std::env::var("FAULT_PLAN") {
+            Ok(v) if !v.trim().is_empty() => FaultPlan::parse(&v),
+            _ => Ok(FaultPlan::none()),
+        }
+    }
+}
+
+impl From<FaultInjection> for FaultPlan {
+    fn from(fault: FaultInjection) -> FaultPlan {
+        match fault {
+            FaultInjection::None => FaultPlan::none(),
+            FaultInjection::DropFirstFin => FaultPlan {
+                drop_first_fin: true,
+                ..FaultPlan::none()
+            },
+            FaultInjection::SkipCrossReg => FaultPlan {
+                skip_cross_reg: true,
+                ..FaultPlan::none()
+            },
+        }
+    }
+}
+
+// Filename-safe: the explorer embeds `{:?}` of the plan in failure-dump
+// names, so no spaces, braces, or colons.
+impl fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            return write!(f, "none");
+        }
+        if self.drop_first_fin {
+            return write!(f, "drop-first-fin");
+        }
+        if self.skip_cross_reg {
+            return write!(f, "skip-cross-reg");
+        }
+        write!(
+            f,
+            "d{}-u{}-y{}.{}-x{}-c{}-s{}",
+            self.drop_pm,
+            self.dup_pm,
+            self.delay_pm,
+            self.delay_ns,
+            self.xreg_fail_pm,
+            self.crash_at_step,
+            self.seed
+        )
+    }
 }
 
 /// Framework configuration. One instance shared by hosts and proxies of a
@@ -50,8 +218,8 @@ pub struct OffloadConfig {
     pub entry_bytes: u64,
     /// ARM time the proxy spends interpreting one queue/packet entry.
     pub proxy_entry_overhead: simnet::SimDelta,
-    /// Deliberate protocol fault (checker validation only).
-    pub fault: FaultInjection,
+    /// Fault plan (checker validation and fault-soak only).
+    pub fault: FaultPlan,
 }
 
 impl Default for OffloadConfig {
@@ -63,7 +231,7 @@ impl Default for OffloadConfig {
             ctrl_bytes: 64,
             entry_bytes: 48,
             proxy_entry_overhead: simnet::SimDelta::from_ns(120),
-            fault: FaultInjection::None,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -94,9 +262,10 @@ impl OffloadConfig {
         self
     }
 
-    /// Inject a deliberate protocol fault (checker validation only).
-    pub fn with_fault(mut self, fault: FaultInjection) -> Self {
-        self.fault = fault;
+    /// Inject a fault plan (checker validation and fault-soak only).
+    /// Accepts a [`FaultPlan`] or a legacy [`FaultInjection`] variant.
+    pub fn with_fault<F: Into<FaultPlan>>(mut self, fault: F) -> Self {
+        self.fault = fault.into();
         self
     }
 }
@@ -119,5 +288,74 @@ mod tests {
             .without_group_cache();
         assert_eq!(c.data_path, DataPath::Staging);
         assert!(!c.use_gvmi_cache && !c.use_group_cache);
+    }
+
+    #[test]
+    fn fault_plan_arming_rules() {
+        assert!(!FaultPlan::none().reliable());
+        assert!(FaultPlan::none().is_none());
+        // Legacy one-shot faults must NOT arm the reliability layer: the
+        // checker proves they stay detectable (deadlock / violation).
+        assert!(!FaultPlan::from(FaultInjection::DropFirstFin).reliable());
+        assert!(!FaultPlan::from(FaultInjection::SkipCrossReg).reliable());
+        let lossy = FaultPlan {
+            drop_pm: 100,
+            ..FaultPlan::none()
+        };
+        assert!(lossy.reliable() && !lossy.fallback_enabled());
+        let flaky_reg = FaultPlan {
+            xreg_fail_pm: 50,
+            ..FaultPlan::none()
+        };
+        assert!(flaky_reg.fallback_enabled() && !flaky_reg.reliable());
+    }
+
+    #[test]
+    fn fault_plan_parse_round_trip() {
+        let plan = FaultPlan::parse("drop=100, dup=50, delay=20:5000, crash=40, xreg=80, seed=7")
+            .expect("parses");
+        assert_eq!(plan.drop_pm, 100);
+        assert_eq!(plan.dup_pm, 50);
+        assert_eq!(plan.delay_pm, 20);
+        assert_eq!(plan.delay_ns, 5000);
+        assert_eq!(plan.crash_at_step, 40);
+        assert_eq!(plan.xreg_fail_pm, 80);
+        assert_eq!(plan.seed, 7);
+        assert_eq!(FaultPlan::parse("").expect("empty ok"), FaultPlan::none());
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("drop").is_err());
+    }
+
+    #[test]
+    fn fault_plan_debug_is_filename_safe() {
+        let plan = FaultPlan::parse("drop=100,dup=50,delay=20:5000,crash=40,xreg=80,seed=7")
+            .expect("parses");
+        let names = [
+            format!("{:?}", FaultPlan::none()),
+            format!("{:?}", FaultPlan::from(FaultInjection::DropFirstFin)),
+            format!("{:?}", FaultPlan::from(FaultInjection::SkipCrossReg)),
+            format!("{plan:?}"),
+        ];
+        assert_eq!(names[0], "none");
+        assert_eq!(names[1], "drop-first-fin");
+        assert_eq!(names[2], "skip-cross-reg");
+        for name in &names {
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.'),
+                "{name} is not filename-safe"
+            );
+        }
+    }
+
+    #[test]
+    fn with_fault_accepts_both_forms() {
+        let legacy = OffloadConfig::proposed().with_fault(FaultInjection::SkipCrossReg);
+        assert!(legacy.fault.skip_cross_reg);
+        let plan = OffloadConfig::proposed().with_fault(FaultPlan {
+            drop_pm: 100,
+            ..FaultPlan::none()
+        });
+        assert!(plan.fault.reliable());
     }
 }

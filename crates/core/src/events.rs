@@ -80,6 +80,50 @@ pub enum CacheSide {
     DpuCross,
 }
 
+/// Kind of a ctrl-plane message, for drop/retransmit attribution in
+/// lifecycle timelines (the wire enum itself is crate-private).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CtrlKind {
+    /// Ready-to-send.
+    Rts,
+    /// Ready-to-receive.
+    Rtr,
+    /// Send-side completion.
+    FinSend,
+    /// Receive-side completion.
+    FinRecv,
+    /// Host→host receive metadata.
+    RecvMeta,
+    /// Full group metadata packet.
+    GroupPacket,
+    /// Cached group execution doorbell.
+    GroupExec,
+    /// Group completion.
+    GroupFin,
+    /// Proxy→proxy barrier counter write.
+    BarrierCntr,
+    /// Data-write arrival marker.
+    GroupArrival,
+    /// One-sided put.
+    Put,
+    /// One-sided get.
+    Get,
+    /// Symmetric-heap handshake.
+    ShmemHello,
+    /// Rank shutdown notice.
+    Shutdown,
+    /// Reliability envelope.
+    Seq,
+    /// Reliability acknowledgement.
+    Ack,
+    /// Retransmission timer tick.
+    RetxTick,
+    /// Proxy restart notice.
+    ProxyRestarted,
+    /// Undecodable or foreign message.
+    Unknown,
+}
+
 /// One structured protocol event. Emitted by the host engine, the DPU
 /// proxy, and the SHMEM facade at every protocol transition.
 #[derive(Clone, Debug)]
@@ -269,12 +313,89 @@ pub enum ProtoEvent {
         /// Which cache evicted.
         side: CacheSide,
     },
-    /// A malformed or foreign control message was dropped by
-    /// `decode_ctrl` instead of being handled.
+    /// A control message was dropped: either a malformed/foreign body the
+    /// decoder refused, or a loss injected by the run's `FaultPlan`.
     CtrlDropped {
-        /// True when the proxy-side decoder dropped it, false for the
-        /// host-side decoder.
+        /// True when dropped on the proxy side, false on the host side.
         at_proxy: bool,
+        /// Kind of the dropped message (`Unknown` for undecodable ones).
+        kind: CtrlKind,
+        /// Transfer id the message was about (0 when it carried none).
+        msg_id: u64,
+    },
+    /// The reliability layer retransmitted an unacked ctrl message after
+    /// its backoff timer fired.
+    CtrlRetransmit {
+        /// True when the retransmitting side is a proxy.
+        at_proxy: bool,
+        /// Kind of the retransmitted message.
+        kind: CtrlKind,
+        /// Transfer id the message was about (0 when it carried none).
+        msg_id: u64,
+        /// Retransmission attempt number (1 = first retransmit).
+        attempt: u32,
+    },
+    /// Receiver-side dedup discarded a duplicate ctrl message (an
+    /// injected duplicate or a retransmit whose original arrived).
+    CtrlDuplicateDropped {
+        /// True when the deduplicating side is a proxy.
+        at_proxy: bool,
+        /// Kind of the duplicate message.
+        kind: CtrlKind,
+        /// Transfer id the message was about (0 when it carried none).
+        msg_id: u64,
+    },
+    /// The reliability layer gave up on a ctrl message after exhausting
+    /// its retransmission budget.
+    CtrlAbandoned {
+        /// True when the abandoning side is a proxy.
+        at_proxy: bool,
+        /// Kind of the abandoned message.
+        kind: CtrlKind,
+        /// Transfer id the message was about (0 when it carried none).
+        msg_id: u64,
+    },
+    /// Cross-GVMI registration failed for one transfer; the proxy fell
+    /// back to the staging data path for it (graceful degradation).
+    FallbackToStaging {
+        /// Sending rank of the affected transfer.
+        src_rank: usize,
+        /// Receiving rank of the affected transfer.
+        dst_rank: usize,
+        /// Message tag of the affected transfer.
+        tag: u64,
+        /// Send-side transfer id of the affected transfer.
+        msg_id: u64,
+    },
+    /// A proxy crashed and restarted with a fresh state and a bumped
+    /// epoch; hosts react by invalidating caches and replaying.
+    ProxyRestarted {
+        /// The proxy's post-restart epoch (monotonically increasing).
+        epoch: u64,
+    },
+    /// A host replayed an in-flight request to a restarted proxy.
+    ReqReplayed {
+        /// Replaying rank.
+        rank: usize,
+        /// Transfer id of the replayed request (0 for group replays).
+        msg_id: u64,
+    },
+    /// A host request failed permanently: its ctrl message exhausted the
+    /// retransmission budget and a typed `OffloadError` was surfaced.
+    ReqFailed {
+        /// Rank whose request failed.
+        rank: usize,
+        /// Transfer id of the failed request.
+        msg_id: u64,
+        /// Send attempts made before giving up.
+        attempts: u32,
+    },
+    /// A completion arrived for a work request the proxy no longer
+    /// tracks (it was in flight across a crash); the data landed, the
+    /// completion is ignored.
+    StaleCqe {
+        /// Work-request id of the orphaned completion.
+        wrid: u64,
     },
     /// The host CPU woke up to process a control message from the
     /// offload plane.

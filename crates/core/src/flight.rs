@@ -33,7 +33,7 @@ use rdma::{MrKey, VAddr};
 use simnet::{EventSink, Pid, SimTime};
 
 use crate::events::{
-    CacheOutcome, CacheSide, FinKind, HostCacheKind, PathKind, ProtoEvent, ReqDir,
+    CacheOutcome, CacheSide, CtrlKind, FinKind, HostCacheKind, PathKind, ProtoEvent, ReqDir,
 };
 
 /// One recorded emission: when, by whom, what.
@@ -202,6 +202,38 @@ fn dir_name(d: ReqDir) -> &'static str {
         ReqDir::Recv => "Recv",
         ReqDir::OneSided => "OneSided",
     }
+}
+
+/// Name table for [`CtrlKind`], shared by the writer and the parser so
+/// the two cannot drift apart.
+const CTRL_KINDS: &[(&str, CtrlKind)] = &[
+    ("Rts", CtrlKind::Rts),
+    ("Rtr", CtrlKind::Rtr),
+    ("FinSend", CtrlKind::FinSend),
+    ("FinRecv", CtrlKind::FinRecv),
+    ("RecvMeta", CtrlKind::RecvMeta),
+    ("GroupPacket", CtrlKind::GroupPacket),
+    ("GroupExec", CtrlKind::GroupExec),
+    ("GroupFin", CtrlKind::GroupFin),
+    ("BarrierCntr", CtrlKind::BarrierCntr),
+    ("GroupArrival", CtrlKind::GroupArrival),
+    ("Put", CtrlKind::Put),
+    ("Get", CtrlKind::Get),
+    ("ShmemHello", CtrlKind::ShmemHello),
+    ("Shutdown", CtrlKind::Shutdown),
+    ("Seq", CtrlKind::Seq),
+    ("Ack", CtrlKind::Ack),
+    ("RetxTick", CtrlKind::RetxTick),
+    ("ProxyRestarted", CtrlKind::ProxyRestarted),
+    ("Unknown", CtrlKind::Unknown),
+];
+
+fn ctrl_kind_name(k: CtrlKind) -> &'static str {
+    CTRL_KINDS
+        .iter()
+        .find(|&&(_, v)| v == k)
+        .map(|&(name, _)| name)
+        .expect("every CtrlKind is in the table")
 }
 
 fn opt_key(k: Option<MrKey>) -> String {
@@ -379,8 +411,80 @@ fn render_record(r: &FlightRecord) -> String {
         ProtoEvent::CacheEvicted { rank, side } => {
             let _ = write!(s, "ev=CacheEvicted rank={rank} side={}", side_name(*side));
         }
-        ProtoEvent::CtrlDropped { at_proxy } => {
-            let _ = write!(s, "ev=CtrlDropped at_proxy={at_proxy}");
+        ProtoEvent::CtrlDropped {
+            at_proxy,
+            kind,
+            msg_id,
+        } => {
+            let _ = write!(
+                s,
+                "ev=CtrlDropped at_proxy={at_proxy} kind={} msg_id={msg_id}",
+                ctrl_kind_name(*kind)
+            );
+        }
+        ProtoEvent::CtrlRetransmit {
+            at_proxy,
+            kind,
+            msg_id,
+            attempt,
+        } => {
+            let _ = write!(
+                s,
+                "ev=CtrlRetransmit at_proxy={at_proxy} kind={} msg_id={msg_id} attempt={attempt}",
+                ctrl_kind_name(*kind)
+            );
+        }
+        ProtoEvent::CtrlDuplicateDropped {
+            at_proxy,
+            kind,
+            msg_id,
+        } => {
+            let _ = write!(
+                s,
+                "ev=CtrlDuplicateDropped at_proxy={at_proxy} kind={} msg_id={msg_id}",
+                ctrl_kind_name(*kind)
+            );
+        }
+        ProtoEvent::CtrlAbandoned {
+            at_proxy,
+            kind,
+            msg_id,
+        } => {
+            let _ = write!(
+                s,
+                "ev=CtrlAbandoned at_proxy={at_proxy} kind={} msg_id={msg_id}",
+                ctrl_kind_name(*kind)
+            );
+        }
+        ProtoEvent::FallbackToStaging {
+            src_rank,
+            dst_rank,
+            tag,
+            msg_id,
+        } => {
+            let _ = write!(
+                s,
+                "ev=FallbackToStaging src_rank={src_rank} dst_rank={dst_rank} tag={tag} msg_id={msg_id}"
+            );
+        }
+        ProtoEvent::ProxyRestarted { epoch } => {
+            let _ = write!(s, "ev=ProxyRestarted epoch={epoch}");
+        }
+        ProtoEvent::ReqReplayed { rank, msg_id } => {
+            let _ = write!(s, "ev=ReqReplayed rank={rank} msg_id={msg_id}");
+        }
+        ProtoEvent::ReqFailed {
+            rank,
+            msg_id,
+            attempts,
+        } => {
+            let _ = write!(
+                s,
+                "ev=ReqFailed rank={rank} msg_id={msg_id} attempts={attempts}"
+            );
+        }
+        ProtoEvent::StaleCqe { wrid } => {
+            let _ = write!(s, "ev=StaleCqe wrid={wrid}");
         }
         ProtoEvent::HostWakeup { rank, intervention } => {
             let _ = write!(s, "ev=HostWakeup rank={rank} intervention={intervention}");
@@ -667,6 +771,45 @@ pub fn parse_flight_dump(dump: &str) -> Result<Vec<FlightRecord>, String> {
             },
             "CtrlDropped" => ProtoEvent::CtrlDropped {
                 at_proxy: f.bool("at_proxy")?,
+                kind: f.variant("kind", CTRL_KINDS)?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "CtrlRetransmit" => ProtoEvent::CtrlRetransmit {
+                at_proxy: f.bool("at_proxy")?,
+                kind: f.variant("kind", CTRL_KINDS)?,
+                msg_id: f.u64("msg_id")?,
+                attempt: f.u64("attempt")? as u32,
+            },
+            "CtrlDuplicateDropped" => ProtoEvent::CtrlDuplicateDropped {
+                at_proxy: f.bool("at_proxy")?,
+                kind: f.variant("kind", CTRL_KINDS)?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "CtrlAbandoned" => ProtoEvent::CtrlAbandoned {
+                at_proxy: f.bool("at_proxy")?,
+                kind: f.variant("kind", CTRL_KINDS)?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "FallbackToStaging" => ProtoEvent::FallbackToStaging {
+                src_rank: f.usize("src_rank")?,
+                dst_rank: f.usize("dst_rank")?,
+                tag: f.u64("tag")?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "ProxyRestarted" => ProtoEvent::ProxyRestarted {
+                epoch: f.u64("epoch")?,
+            },
+            "ReqReplayed" => ProtoEvent::ReqReplayed {
+                rank: f.usize("rank")?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "ReqFailed" => ProtoEvent::ReqFailed {
+                rank: f.usize("rank")?,
+                msg_id: f.u64("msg_id")?,
+                attempts: f.u64("attempts")? as u32,
+            },
+            "StaleCqe" => ProtoEvent::StaleCqe {
+                wrid: f.u64("wrid")?,
             },
             "HostWakeup" => ProtoEvent::HostWakeup {
                 rank: f.usize("rank")?,
@@ -797,6 +940,59 @@ mod tests {
                     more_outstanding: false,
                 },
             ),
+            record(
+                2,
+                ProtoEvent::CtrlDropped {
+                    at_proxy: true,
+                    kind: CtrlKind::Rts,
+                    msg_id: 1,
+                },
+            ),
+            record(
+                0,
+                ProtoEvent::CtrlRetransmit {
+                    at_proxy: false,
+                    kind: CtrlKind::Rts,
+                    msg_id: 1,
+                    attempt: 2,
+                },
+            ),
+            record(
+                2,
+                ProtoEvent::CtrlDuplicateDropped {
+                    at_proxy: true,
+                    kind: CtrlKind::Rtr,
+                    msg_id: 4294967297,
+                },
+            ),
+            record(
+                0,
+                ProtoEvent::CtrlAbandoned {
+                    at_proxy: false,
+                    kind: CtrlKind::FinRecv,
+                    msg_id: 3,
+                },
+            ),
+            record(
+                2,
+                ProtoEvent::FallbackToStaging {
+                    src_rank: 0,
+                    dst_rank: 1,
+                    tag: 7,
+                    msg_id: 1,
+                },
+            ),
+            record(2, ProtoEvent::ProxyRestarted { epoch: 1 }),
+            record(0, ProtoEvent::ReqReplayed { rank: 0, msg_id: 1 }),
+            record(
+                0,
+                ProtoEvent::ReqFailed {
+                    rank: 0,
+                    msg_id: 9,
+                    attempts: 12,
+                },
+            ),
+            record(2, ProtoEvent::StaleCqe { wrid: 43 }),
         ]
     }
 

@@ -24,9 +24,10 @@ use rdma::{Channel, ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
 use simnet::ProcessCtx;
 
 use crate::config::{DataPath, OffloadConfig};
-use crate::events::{CacheOutcome, CacheSide, HostCacheKind, ProtoEvent, ReqDir};
+use crate::events::{CacheOutcome, CacheSide, CtrlKind, HostCacheKind, ProtoEvent, ReqDir};
 use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_MASK, WRID_OFF_HOST};
 use crate::reg_cache::RankAddrCache;
+use crate::reliable::{OffloadError, ReliableLink, TickOutcome};
 
 /// Handle of a Basic-primitive transfer (`OffloadRequest` in the paper).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -86,6 +87,12 @@ struct MetaQueue {
 struct ReqSlot {
     done: bool,
     msg_id: u64,
+    /// Terminal failure surfaced by the reliability layer (the request's
+    /// ctrl message exhausted its retransmission budget).
+    error: Option<OffloadError>,
+    /// Destination and ctrl message kept for replay after a proxy
+    /// restart. Populated only when the fault plan can crash proxies.
+    replay: Option<(EpId, CtrlMsg)>,
 }
 
 struct HostState {
@@ -101,6 +108,12 @@ struct HostState {
     /// Order-stable on purpose: message matching must never depend on
     /// hash-iteration order (see `xtask lint`).
     metas_from: BTreeMap<usize, MetaQueue>,
+    /// Reliable ctrl-plane endpoint (seq/ack/retransmit/dedup). Inert
+    /// unless the fault plan arms it.
+    rel: ReliableLink,
+    /// Last restart epoch observed per proxy endpoint index; a higher
+    /// epoch in a `ProxyRestarted` notice triggers recovery.
+    proxy_epochs: BTreeMap<usize, u64>,
 }
 
 /// Host-side engine of the offload framework. One per application rank.
@@ -145,6 +158,7 @@ impl Offload {
         let proxy_ep = cluster.proxy_for_rank(rank);
         let proxy_idx = rank % cluster.proxies_per_dpu();
         let n_proxies = cluster.proxies_per_dpu();
+        let (fault, ctrl_bytes) = (cfg.fault, cfg.ctrl_bytes);
         Offload {
             ctx,
             cluster,
@@ -161,6 +175,8 @@ impl Offload {
                 ib_cache: RankAddrCache::new(1),
                 groups: Vec::new(),
                 metas_from: BTreeMap::new(),
+                rel: ReliableLink::new(fault, ctrl_bytes, false, ep),
+                proxy_epochs: BTreeMap::new(),
             }),
         }
     }
@@ -198,19 +214,33 @@ impl Offload {
     }
 
     /// Ship a control message to this rank's mapped proxy
-    /// (crate-internal extensions).
-    pub(crate) fn send_ctrl_to_proxy(&self, msg: CtrlMsg) {
-        self.cluster
-            .fabric()
-            .send_packet(
-                &self.ctx,
-                self.ep,
-                self.proxy_ep,
-                self.cfg.ctrl_bytes,
-                Box::new(msg),
-            )
-            .expect("control message to proxy");
+    /// (crate-internal extensions). `req` ties the message to a basic
+    /// request slot for replay-after-restart and abandonment errors.
+    pub(crate) fn send_ctrl_to_proxy(&self, msg: CtrlMsg, req: Option<usize>) {
+        self.post_ctrl(self.proxy_ep, self.cfg.ctrl_bytes, msg, req);
         self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+    }
+
+    /// Ship one ctrl message: through the reliable link when the fault
+    /// plan arms it, as a bare packet otherwise (byte-identical to the
+    /// pre-reliability protocol on clean runs). When proxies can crash,
+    /// the message is also stored on its request slot for replay.
+    fn post_ctrl(&self, to: EpId, bytes: u64, msg: CtrlMsg, req: Option<usize>) {
+        if let Some(r) = req {
+            if self.cfg.fault.crash_at_step > 0 {
+                self.st.borrow_mut().reqs[r].replay = Some((to, msg.clone()));
+            }
+        }
+        let fab = self.cluster.fabric();
+        if self.cfg.fault.reliable() {
+            self.st
+                .borrow_mut()
+                .rel
+                .send(&self.ctx, fab, to, bytes, msg, req);
+        } else {
+            fab.send_packet(&self.ctx, self.ep, to, bytes, Box::new(msg))
+                .expect("control message send");
+        }
     }
 
     // ---- Basic primitives ----
@@ -229,19 +259,22 @@ impl Offload {
             bytes: len,
             dir: ReqDir::Send,
         });
-        let fab = self.cluster.fabric();
         let (mkey, src_rkey) = match self.cfg.data_path {
+            // With registration failure armed, carry both keys so the
+            // proxy can fall back to the staging path per message.
+            DataPath::Gvmi if self.cfg.fault.fallback_enabled() => (
+                Some(self.cached_gvmi_reg(addr, len)),
+                Some(self.cached_ib_reg(addr, len)),
+            ),
             DataPath::Gvmi => (Some(self.cached_gvmi_reg(addr, len)), None),
             // Staging: the proxy pulls the payload with an RDMA READ
             // through a plain rkey (BluesMPI-style worker read).
             DataPath::Staging => (None, Some(self.cached_ib_reg(addr, len))),
         };
-        fab.send_packet(
-            &self.ctx,
-            self.ep,
+        self.post_ctrl(
             self.proxy_ep,
             self.cfg.ctrl_bytes,
-            Box::new(CtrlMsg::Rts {
+            CtrlMsg::Rts {
                 src_rank: self.rank,
                 dst_rank: dst,
                 tag,
@@ -252,9 +285,9 @@ impl Offload {
                 src_req: req,
                 src_pid: self.ctx.pid(),
                 msg_id,
-            }),
-        )
-        .expect("RTS to proxy");
+            },
+            Some(req),
+        );
         self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
         OffloadReq(req)
     }
@@ -275,26 +308,22 @@ impl Offload {
         });
         let rkey = self.cached_ib_reg(addr, len);
         let src_proxy = self.cluster.proxy_for_rank(src);
-        self.cluster
-            .fabric()
-            .send_packet(
-                &self.ctx,
-                self.ep,
-                src_proxy,
-                self.cfg.ctrl_bytes,
-                Box::new(CtrlMsg::Rtr {
-                    src_rank: src,
-                    dst_rank: self.rank,
-                    tag,
-                    addr,
-                    len,
-                    rkey,
-                    dst_req: req,
-                    dst_pid: self.ctx.pid(),
-                    msg_id,
-                }),
-            )
-            .expect("RTR to proxy");
+        self.post_ctrl(
+            src_proxy,
+            self.cfg.ctrl_bytes,
+            CtrlMsg::Rtr {
+                src_rank: src,
+                dst_rank: self.rank,
+                tag,
+                addr,
+                len,
+                rkey,
+                dst_req: req,
+                dst_pid: self.ctx.pid(),
+                msg_id,
+            },
+            Some(req),
+        );
         self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
         OffloadReq(req)
     }
@@ -305,13 +334,28 @@ impl Offload {
         self.st.borrow().reqs[req.0].done
     }
 
-    /// `Wait`: block until `req` completes.
+    /// `Wait`: block until `req` completes — or fails permanently, which
+    /// only a fault plan can cause; check [`Offload::req_error`] then.
     pub fn wait(&self, req: OffloadReq) {
         self.drain();
-        while !self.st.borrow().reqs[req.0].done {
+        loop {
+            {
+                let st = self.st.borrow();
+                let slot = &st.reqs[req.0];
+                if slot.done || slot.error.is_some() {
+                    break;
+                }
+            }
             let msg = self.chan.next_blocking(&self.ctx);
             self.handle(msg);
         }
+    }
+
+    /// Terminal failure of a request, if any: set when its ctrl message
+    /// exhausted the reliability layer's retransmission budget. Always
+    /// `None` on clean runs.
+    pub fn req_error(&self, req: OffloadReq) -> Option<OffloadError> {
+        self.st.borrow().reqs[req.0].error
     }
 
     /// Wait for every request in `reqs`.
@@ -322,13 +366,14 @@ impl Offload {
     }
 
     /// `Finalize_Offload`: tell the mapped proxy this rank is done. All
-    /// outstanding requests must have completed.
+    /// outstanding requests must have completed (or failed with a typed
+    /// [`OffloadError`] under a fault plan).
     pub fn finalize(&self) {
         self.drain();
         {
             let st = self.st.borrow();
             assert!(
-                st.reqs.iter().all(|r| r.done),
+                st.reqs.iter().all(|r| r.done || r.error.is_some()),
                 "finalize with incomplete basic requests"
             );
             assert!(
@@ -336,16 +381,20 @@ impl Offload {
                 "finalize with incomplete group requests"
             );
         }
-        self.cluster
-            .fabric()
-            .send_packet(
-                &self.ctx,
-                self.ep,
-                self.proxy_ep,
-                self.cfg.ctrl_bytes,
-                Box::new(CtrlMsg::Shutdown { rank: self.rank }),
-            )
-            .expect("shutdown to proxy");
+        self.post_ctrl(
+            self.proxy_ep,
+            self.cfg.ctrl_bytes,
+            CtrlMsg::Shutdown { rank: self.rank },
+            None,
+        );
+        // Under a lossy plan the shutdown itself needs acking (and the
+        // proxy won't quiesce while we hold unacked messages): pump the
+        // ctrl plane until the pending table drains. Abandonment bounds
+        // this loop even against a dead peer.
+        while self.st.borrow().rel.has_pending() {
+            let msg = self.chan.next_blocking(&self.ctx);
+            self.handle(msg);
+        }
         self.ctx
             .emit(&ProtoEvent::HostFinalized { rank: self.rank });
     }
@@ -487,6 +536,8 @@ impl Offload {
         st.reqs.push(ReqSlot {
             done: false,
             msg_id,
+            error: None,
+            replay: None,
         });
         (st.reqs.len() - 1, msg_id)
     }
@@ -585,7 +636,6 @@ impl Offload {
     /// entries (paper Fig. 9).
     fn build_wire(&self, req: GroupRequest) {
         let ops = self.st.borrow().groups[req.0].ops.clone();
-        let fab = self.cluster.fabric().clone();
         // Register send buffers (GVMI cache) and receive buffers (IB cache).
         let mut send_keys = Vec::new();
         let mut recv_keys = Vec::new();
@@ -593,7 +643,15 @@ impl Offload {
             match op {
                 GroupOp::Send { addr, len, .. } => match self.cfg.data_path {
                     DataPath::Gvmi => {
-                        send_keys.push((Some(self.cached_gvmi_reg(*addr, *len)), None))
+                        let mkey = Some(self.cached_gvmi_reg(*addr, *len));
+                        // With registration failure armed, also carry an
+                        // rkey so the proxy can stage this entry instead.
+                        let rkey = self
+                            .cfg
+                            .fault
+                            .fallback_enabled()
+                            .then(|| self.cached_ib_reg(*addr, *len));
+                        send_keys.push((mkey, rkey))
                     }
                     DataPath::Staging => {
                         send_keys.push((None, Some(self.cached_ib_reg(*addr, *len))))
@@ -622,18 +680,16 @@ impl Offload {
         }
         for (src, entries) in per_src {
             let n = entries.len() as u64;
-            fab.send_packet(
-                &self.ctx,
-                self.ep,
+            self.post_ctrl(
                 self.cluster.host_ep(src),
                 self.cfg.ctrl_bytes + self.cfg.entry_bytes * n,
-                Box::new(CtrlMsg::RecvMeta {
+                CtrlMsg::RecvMeta {
                     dst_rank: self.rank,
                     dst_req_id: req.0,
                     entries,
-                }),
-            )
-            .expect("recv metadata");
+                },
+                None,
+            );
             self.ctx.emit(&ProtoEvent::RecvMetaSent {
                 from_rank: self.rank,
                 to_rank: src,
@@ -720,24 +776,20 @@ impl Offload {
             .clone()
             .expect("wire built");
         let n = entries.len() as u64;
-        self.cluster
-            .fabric()
-            .send_packet(
-                &self.ctx,
-                self.ep,
-                self.proxy_ep,
-                self.cfg.ctrl_bytes + self.cfg.entry_bytes * n,
-                Box::new(CtrlMsg::GroupPacket {
-                    key: GroupKey {
-                        host_rank: self.rank,
-                        req_id: req.0,
-                    },
-                    gen,
-                    entries,
-                    host_pid: self.ctx.pid(),
-                }),
-            )
-            .expect("group packet");
+        self.post_ctrl(
+            self.proxy_ep,
+            self.cfg.ctrl_bytes + self.cfg.entry_bytes * n,
+            CtrlMsg::GroupPacket {
+                key: GroupKey {
+                    host_rank: self.rank,
+                    req_id: req.0,
+                },
+                gen,
+                entries,
+                host_pid: self.ctx.pid(),
+            },
+            None,
+        );
         self.ctx.emit(&ProtoEvent::GroupPacketSent {
             host_rank: self.rank,
             req_id: req.0,
@@ -747,22 +799,18 @@ impl Offload {
     }
 
     fn send_group_exec(&self, req: GroupRequest, gen: u64) {
-        self.cluster
-            .fabric()
-            .send_packet(
-                &self.ctx,
-                self.ep,
-                self.proxy_ep,
-                self.cfg.ctrl_bytes,
-                Box::new(CtrlMsg::GroupExec {
-                    key: GroupKey {
-                        host_rank: self.rank,
-                        req_id: req.0,
-                    },
-                    gen,
-                }),
-            )
-            .expect("group exec");
+        self.post_ctrl(
+            self.proxy_ep,
+            self.cfg.ctrl_bytes,
+            CtrlMsg::GroupExec {
+                key: GroupKey {
+                    host_rank: self.rank,
+                    req_id: req.0,
+                },
+                gen,
+            },
+            None,
+        );
         self.ctx.emit(&ProtoEvent::GroupExecSent {
             host_rank: self.rank,
             req_id: req.0,
@@ -789,15 +837,78 @@ impl Offload {
             // Not a control message despite the channel predicate: count
             // and drop rather than crashing the rank.
             self.ctx.stat_incr("offload.host.bad_ctrl", 1);
-            self.ctx.emit(&ProtoEvent::CtrlDropped { at_proxy: false });
+            self.ctx.emit(&ProtoEvent::CtrlDropped {
+                at_proxy: false,
+                kind: CtrlKind::Unknown,
+                msg_id: 0,
+            });
             return;
+        };
+        // Reliability plumbing first: unwrap envelopes (ack + dedup),
+        // retire acks, service retransmission timers. None of these count
+        // as host wakeups — they exist only under a fault plan.
+        let body = match body {
+            CtrlMsg::Seq {
+                seq,
+                from,
+                from_ep,
+                epoch,
+                inner,
+            } => {
+                let fab = self.cluster.fabric();
+                let accepted = self
+                    .st
+                    .borrow_mut()
+                    .rel
+                    .on_seq(&self.ctx, fab, seq, from, from_ep, epoch, *inner);
+                match accepted {
+                    Some(inner) => inner,
+                    None => return, // duplicate
+                }
+            }
+            CtrlMsg::Ack { seq } => {
+                self.st.borrow_mut().rel.on_ack(seq);
+                return;
+            }
+            CtrlMsg::RetxTick { seq } => {
+                let fab = self.cluster.fabric();
+                let outcome = self.st.borrow_mut().rel.on_tick(&self.ctx, fab, seq);
+                if let TickOutcome::Abandoned {
+                    msg_id,
+                    attempts,
+                    req,
+                } = outcome
+                {
+                    self.fail_req(req, msg_id, attempts);
+                }
+                return;
+            }
+            other => other,
         };
         let mut finished_msg = None;
         match body {
-            CtrlMsg::FinSend { req } | CtrlMsg::FinRecv { req } => {
+            CtrlMsg::FinSend { req, .. } | CtrlMsg::FinRecv { req, .. } => {
                 let mut st = self.st.borrow_mut();
-                st.reqs[req].done = true;
-                finished_msg = Some(st.reqs[req].msg_id);
+                match st.reqs.get_mut(req) {
+                    // Exactly-once completion: a FIN for an already-done
+                    // request (replayed work after a proxy restart) must
+                    // not re-complete it or re-emit `HostReqDone`.
+                    Some(slot) if slot.done => {
+                        drop(st);
+                        self.ctx.stat_incr("offload.reliable.dup_fins", 1);
+                        return;
+                    }
+                    Some(slot) => {
+                        slot.done = true;
+                        slot.replay = None;
+                        finished_msg = Some(slot.msg_id);
+                    }
+                    None => {
+                        drop(st);
+                        self.ctx.stat_incr("offload.host.bad_ctrl", 1);
+                        return;
+                    }
+                }
             }
             CtrlMsg::RecvMeta {
                 dst_rank,
@@ -816,7 +927,11 @@ impl Offload {
             CtrlMsg::GroupFin { req_id, gen } => {
                 let mut st = self.st.borrow_mut();
                 let g = &mut st.groups[req_id];
+                // `max` keeps duplicate group FINs idempotent.
                 g.fin_gen = g.fin_gen.max(gen);
+            }
+            CtrlMsg::ProxyRestarted { proxy, epoch } => {
+                self.on_proxy_restarted(proxy, epoch);
             }
             other => panic!(
                 "unexpected control message on host {}: {other:?}",
@@ -848,6 +963,96 @@ impl Offload {
                 msg_id,
                 more_outstanding: outstanding,
             });
+        }
+    }
+
+    /// Surface a permanent ctrl-plane failure on a request slot.
+    fn fail_req(&self, req: Option<usize>, msg_id: u64, attempts: u32) {
+        let Some(req) = req else { return };
+        {
+            let mut st = self.st.borrow_mut();
+            let slot = &mut st.reqs[req];
+            if slot.done || slot.error.is_some() {
+                return;
+            }
+            slot.error = Some(OffloadError::CtrlUndeliverable { msg_id, attempts });
+        }
+        self.ctx.stat_incr("offload.reliable.req_failures", 1);
+        self.ctx.emit(&ProtoEvent::ReqFailed {
+            rank: self.rank,
+            msg_id,
+            attempts,
+        });
+    }
+
+    /// Proxy-restart recovery (DESIGN.md §13): on the first notice of a
+    /// higher epoch, invalidate everything the crashed proxy held on our
+    /// behalf — the GVMI registration cache (its cross-registrations
+    /// died) and the group metadata caches — then replay every in-flight
+    /// basic request and group generation that targeted it.
+    fn on_proxy_restarted(&self, proxy: EpId, epoch: u64) {
+        {
+            let mut st = self.st.borrow_mut();
+            let known = st.proxy_epochs.entry(proxy.index()).or_insert(0);
+            if epoch <= *known {
+                return; // stale or duplicate notice
+            }
+            *known = epoch;
+        }
+        self.ctx.stat_incr("offload.reliable.restarts_seen", 1);
+        if proxy == self.proxy_ep {
+            let n_proxies = self.cluster.proxies_per_dpu();
+            let mut st = self.st.borrow_mut();
+            st.gvmi_cache = RankAddrCache::new(n_proxies);
+            for g in &mut st.groups {
+                g.proxy_cached = false;
+            }
+        }
+        // Replay in-flight basic requests addressed to the restarted
+        // proxy. The proxy's completion journal survives the crash, so a
+        // request whose FIN raced the crash is answered directly instead
+        // of re-executed.
+        let replays: Vec<(usize, EpId, CtrlMsg)> = {
+            let st = self.st.borrow();
+            st.reqs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.done && s.error.is_none())
+                .filter_map(|(i, s)| s.replay.as_ref().map(|(to, m)| (i, *to, m.clone())))
+                .filter(|(_, to, _)| *to == proxy)
+                .collect()
+        };
+        for (req, to, msg) in replays {
+            let msg_id = self.st.borrow().reqs[req].msg_id;
+            self.ctx.stat_incr("offload.reliable.replays", 1);
+            self.ctx.emit(&ProtoEvent::ReqReplayed {
+                rank: self.rank,
+                msg_id,
+            });
+            self.post_ctrl(to, self.cfg.ctrl_bytes, msg, Some(req));
+        }
+        // Re-ship in-flight group generations: the proxy's instances and
+        // metadata cache died with it, so send the full packet again
+        // (which restarts the generation) and mark the cache warm.
+        if proxy == self.proxy_ep {
+            let inflight: Vec<(usize, u64)> = {
+                let st = self.st.borrow();
+                st.groups
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.wire.is_some() && g.gen > g.fin_gen)
+                    .map(|(i, g)| (i, g.gen))
+                    .collect()
+            };
+            for (req_id, gen) in inflight {
+                self.ctx.stat_incr("offload.reliable.replays", 1);
+                self.ctx.emit(&ProtoEvent::ReqReplayed {
+                    rank: self.rank,
+                    msg_id: 0,
+                });
+                self.send_group_packet(GroupRequest(req_id), gen);
+                self.st.borrow_mut().groups[req_id].proxy_cached = true;
+            }
         }
     }
 }

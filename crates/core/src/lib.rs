@@ -73,10 +73,13 @@ mod metrics;
 mod patterns;
 mod proxy;
 mod reg_cache;
+mod reliable;
 mod shmem;
 
-pub use config::{DataPath, FaultInjection, OffloadConfig};
-pub use events::{CacheOutcome, CacheSide, FinKind, HostCacheKind, PathKind, ProtoEvent, ReqDir};
+pub use config::{DataPath, FaultInjection, FaultPlan, OffloadConfig};
+pub use events::{
+    CacheOutcome, CacheSide, CtrlKind, FinKind, HostCacheKind, PathKind, ProtoEvent, ReqDir,
+};
 pub use flight::{parse_flight_dump, replay_into, FlightRecord, FlightRecorder};
 pub use host::{GroupRequest, Offload, OffloadReq};
 pub use metrics::{
@@ -84,4 +87,5 @@ pub use metrics::{
 };
 pub use proxy::{proxy_fn, proxy_main};
 pub use reg_cache::RankAddrCache;
+pub use reliable::OffloadError;
 pub use shmem::{Shmem, SymAddr};

@@ -5,8 +5,10 @@
 //! ids carry the engine tag in the top byte so several engines can share
 //! one process mailbox.
 
-use rdma::{MrKey, VAddr};
+use rdma::{EpId, MrKey, VAddr};
 use simnet::Pid;
+
+use crate::events::CtrlKind;
 
 /// Work-request namespace of host-posted offload operations (staging
 /// writes).
@@ -62,7 +64,7 @@ pub(crate) enum WireEntry {
 /// Some fields model wire contents the simulated receiver re-derives from
 /// the roster (e.g. pids); they are kept so the message layouts match the
 /// paper's protocol diagrams.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 #[allow(dead_code)]
 pub(crate) enum CtrlMsg {
     // ---- Basic primitives (paper Figs. 7-8) ----
@@ -97,9 +99,9 @@ pub(crate) enum CtrlMsg {
         msg_id: u64,
     },
     /// Completion to the source host.
-    FinSend { req: usize },
+    FinSend { req: usize, msg_id: u64 },
     /// Completion to the destination host.
-    FinRecv { req: usize },
+    FinRecv { req: usize, msg_id: u64 },
 
     // ---- Group primitives (paper Figs. 9-10, Algorithm 1) ----
     /// Receive-side metadata sent host→host during the gather phase:
@@ -139,6 +141,9 @@ pub(crate) enum CtrlMsg {
         tag: u64,
         dst_key: GroupKey,
         gen: u64,
+        /// The wire entry's msg_id: arrival accounting is keyed on it so
+        /// a replayed data write (proxy-restart recovery) is idempotent.
+        msg_id: u64,
     },
 
     // ---- One-sided (SHMEM-style) extensions ----
@@ -188,4 +193,76 @@ pub(crate) enum CtrlMsg {
     // ---- Lifecycle ----
     /// A mapped host rank is done with the framework.
     Shutdown { rank: usize },
+
+    // ---- Reliability layer (DESIGN.md §13) ----
+    /// Sequence-numbered envelope around any ctrl message. Present only
+    /// when the run's [`crate::FaultPlan`] arms the reliability layer.
+    Seq {
+        /// Per-sender sequence number (unique per (from, epoch)).
+        seq: u64,
+        /// Sending process (dedup key at the receiver).
+        from: Pid,
+        /// Sending endpoint (where the ack goes).
+        from_ep: EpId,
+        /// Sender's restart epoch; a receiver treats (from, epoch, seq)
+        /// as the dedup key so a restarted sender starts fresh.
+        epoch: u64,
+        /// The enveloped ctrl message.
+        inner: Box<CtrlMsg>,
+    },
+    /// Acknowledgement of one [`CtrlMsg::Seq`] envelope.
+    Ack { seq: u64 },
+    /// Self-delivered retransmission timer (virtual time): when it fires
+    /// and `seq` is still unacked, the sender retransmits with backoff.
+    RetxTick { seq: u64 },
+    /// Restart notice: a proxy that crashed and came back announces its
+    /// new epoch so hosts invalidate cached registrations and group
+    /// metadata and replay in-flight requests.
+    ProxyRestarted {
+        /// The restarted proxy's endpoint.
+        proxy: EpId,
+        /// Its post-restart epoch (monotonically increasing).
+        epoch: u64,
+    },
+}
+
+impl CtrlMsg {
+    /// Message kind, for event attribution ([`CtrlKind`]).
+    pub(crate) fn kind(&self) -> CtrlKind {
+        match self {
+            CtrlMsg::Rts { .. } => CtrlKind::Rts,
+            CtrlMsg::Rtr { .. } => CtrlKind::Rtr,
+            CtrlMsg::FinSend { .. } => CtrlKind::FinSend,
+            CtrlMsg::FinRecv { .. } => CtrlKind::FinRecv,
+            CtrlMsg::RecvMeta { .. } => CtrlKind::RecvMeta,
+            CtrlMsg::GroupPacket { .. } => CtrlKind::GroupPacket,
+            CtrlMsg::GroupExec { .. } => CtrlKind::GroupExec,
+            CtrlMsg::GroupFin { .. } => CtrlKind::GroupFin,
+            CtrlMsg::BarrierCntr { .. } => CtrlKind::BarrierCntr,
+            CtrlMsg::GroupArrival { .. } => CtrlKind::GroupArrival,
+            CtrlMsg::Put { .. } => CtrlKind::Put,
+            CtrlMsg::Get { .. } => CtrlKind::Get,
+            CtrlMsg::ShmemHello { .. } => CtrlKind::ShmemHello,
+            CtrlMsg::Shutdown { .. } => CtrlKind::Shutdown,
+            CtrlMsg::Seq { .. } => CtrlKind::Seq,
+            CtrlMsg::Ack { .. } => CtrlKind::Ack,
+            CtrlMsg::RetxTick { .. } => CtrlKind::RetxTick,
+            CtrlMsg::ProxyRestarted { .. } => CtrlKind::ProxyRestarted,
+        }
+    }
+
+    /// The transfer id this message is about, where one exists (0
+    /// otherwise). Used to attribute drops/retransmits to a transfer.
+    pub(crate) fn msg_id_hint(&self) -> u64 {
+        match self {
+            CtrlMsg::Rts { msg_id, .. }
+            | CtrlMsg::Rtr { msg_id, .. }
+            | CtrlMsg::FinSend { msg_id, .. }
+            | CtrlMsg::FinRecv { msg_id, .. }
+            | CtrlMsg::Put { msg_id, .. }
+            | CtrlMsg::Get { msg_id, .. }
+            | CtrlMsg::GroupArrival { msg_id, .. } => *msg_id,
+            _ => 0,
+        }
+    }
 }

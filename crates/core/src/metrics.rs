@@ -135,6 +135,14 @@ struct Inner {
     cross_regs: u64,
     ctrl_dropped_host: u64,
     group_execs: u64,
+    ctrl_retransmits: u64,
+    ctrl_dups_dropped: u64,
+    ctrl_abandoned: u64,
+    fallback_staging: u64,
+    proxy_restarts: u64,
+    reqs_replayed: u64,
+    req_failures: u64,
+    stale_cqes: u64,
     host_gvmi: CacheCounters,
     host_ib: CacheCounters,
     dpu_cross: CacheCounters,
@@ -231,13 +239,21 @@ impl Inner {
                 CacheSide::HostIb => self.host_ib.evictions += 1,
                 CacheSide::DpuCross => self.dpu_cross.evictions += 1,
             },
-            ProtoEvent::CtrlDropped { at_proxy } => {
+            ProtoEvent::CtrlDropped { at_proxy, .. } => {
                 if at_proxy {
                     self.proxy(pid).ctrl_dropped += 1;
                 } else {
                     self.ctrl_dropped_host += 1;
                 }
             }
+            ProtoEvent::CtrlRetransmit { .. } => self.ctrl_retransmits += 1,
+            ProtoEvent::CtrlDuplicateDropped { .. } => self.ctrl_dups_dropped += 1,
+            ProtoEvent::CtrlAbandoned { .. } => self.ctrl_abandoned += 1,
+            ProtoEvent::FallbackToStaging { .. } => self.fallback_staging += 1,
+            ProtoEvent::ProxyRestarted { .. } => self.proxy_restarts += 1,
+            ProtoEvent::ReqReplayed { .. } => self.reqs_replayed += 1,
+            ProtoEvent::ReqFailed { .. } => self.req_failures += 1,
+            ProtoEvent::StaleCqe { .. } => self.stale_cqes += 1,
             ProtoEvent::HostWakeup { rank, intervention } => {
                 let m = self.rank(rank);
                 m.wakeups += 1;
@@ -377,6 +393,14 @@ impl Metrics {
             group_packets_total: inner.group_packets.values().sum(),
             group_packets_max_per_req: inner.group_packets.values().copied().max().unwrap_or(0),
             group_execs: inner.group_execs,
+            ctrl_retransmits: inner.ctrl_retransmits,
+            ctrl_dups_dropped: inner.ctrl_dups_dropped,
+            ctrl_abandoned: inner.ctrl_abandoned,
+            fallback_staging: inner.fallback_staging,
+            proxy_restarts: inner.proxy_restarts,
+            reqs_replayed: inner.reqs_replayed,
+            req_failures: inner.req_failures,
+            stale_cqes: inner.stale_cqes,
             finalized_ranks: inner.ranks.values().filter(|r| r.finalized).count() as u64,
             ranks: inner.ranks.values().cloned().collect(),
             windows: inner.windows.values().cloned().collect(),
@@ -450,6 +474,24 @@ pub struct MetricsReport {
     pub group_packets_max_per_req: u64,
     /// Warm-path `GroupExec` doorbells.
     pub group_execs: u64,
+    /// Control messages retransmitted by the reliable link after an
+    /// ack timeout. Zero on a fault-free run.
+    pub ctrl_retransmits: u64,
+    /// Duplicate control messages discarded by receiver dedup windows.
+    pub ctrl_dups_dropped: u64,
+    /// Control messages abandoned after exhausting retransmit attempts.
+    pub ctrl_abandoned: u64,
+    /// Messages that fell back to the staging path because cross-GVMI
+    /// registration failed.
+    pub fallback_staging: u64,
+    /// Proxy crash/restart cycles observed.
+    pub proxy_restarts: u64,
+    /// In-flight host requests replayed after a proxy restart.
+    pub reqs_replayed: u64,
+    /// Host requests surfaced to the app as a typed `OffloadError`.
+    pub req_failures: u64,
+    /// Completions for write-ids no longer in flight (pre-restart CQEs).
+    pub stale_cqes: u64,
     /// Ranks that completed `Finalize_Offload`.
     pub finalized_ranks: u64,
     /// Per-rank counters, ordered by rank.
@@ -529,6 +571,14 @@ impl MetricsReport {
             ("group_packets_total", self.group_packets_total),
             ("group_packets_max_per_req", self.group_packets_max_per_req),
             ("group_execs", self.group_execs),
+            ("ctrl_retransmits", self.ctrl_retransmits),
+            ("ctrl_dups_dropped", self.ctrl_dups_dropped),
+            ("ctrl_abandoned", self.ctrl_abandoned),
+            ("fallback_staging", self.fallback_staging),
+            ("proxy_restarts", self.proxy_restarts),
+            ("reqs_replayed", self.reqs_replayed),
+            ("req_failures", self.req_failures),
+            ("stale_cqes", self.stale_cqes),
             ("finalized_ranks", self.finalized_ranks),
         ];
         for (i, (k, v)) in totals.iter().enumerate() {

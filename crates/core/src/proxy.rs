@@ -29,10 +29,11 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use rdma::{ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
 use simnet::{Payload, Pid, ProcessCtx};
 
-use crate::config::{DataPath, FaultInjection, OffloadConfig};
-use crate::events::{CacheSide, PathKind, ProtoEvent};
+use crate::config::{DataPath, OffloadConfig};
+use crate::events::{CacheSide, CtrlKind, PathKind, ProtoEvent};
 use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_OFF_PROXY};
 use crate::reg_cache::RankAddrCache;
+use crate::reliable::{FaultRng, ReliableLink};
 
 /// Decode a control-message payload without panicking: a malformed or
 /// foreign message is surfaced as `None` so the caller can count and skip
@@ -122,6 +123,10 @@ struct Instance {
 /// iteration would make message-matching order depend on the hasher —
 /// the exact nondeterminism the schedule explorer exists to rule out
 /// (and that `xtask lint` bans from these paths).
+/// Arrived wire-entry msg-ids per sender `(src_rank, tag)` within one
+/// group instance generation.
+type ArrivalSets = BTreeMap<(usize, u64), BTreeSet<u64>>;
+
 struct ProxyState {
     send_q: BTreeMap<(usize, usize, u64), VecDeque<RtsInfo>>,
     recv_q: BTreeMap<(usize, usize, u64), VecDeque<RtrInfo>>,
@@ -132,16 +137,40 @@ struct ProxyState {
     cross_cache: RankAddrCache<(MrKey, MrKey)>,
     groups: BTreeMap<GroupKey, CachedGroup>,
     instances: Vec<Instance>,
-    /// Data-arrival counters per `(group instance, gen)`, keyed inside by
-    /// `(src_rank, tag)`.
-    arrivals: BTreeMap<(GroupKey, u64), BTreeMap<(usize, u64), u64>>,
+    /// Data arrivals per `(group instance, gen)`, keyed inside by
+    /// `(src_rank, tag)`. The inner sets hold the wire-entry msg_ids that
+    /// arrived, so a replayed data write (proxy-restart recovery) cannot
+    /// inflate the count and release a barrier early.
+    arrivals: BTreeMap<(GroupKey, u64), ArrivalSets>,
     /// Staged group send entries: `(key, gen, entry index)`.
     group_staged: BTreeSet<(GroupKey, u64, usize)>,
     /// Staging reads already posted: `(key, gen, entry index)`.
     stage_read_posted: BTreeSet<(GroupKey, u64, usize)>,
-    shutdowns: usize,
-    /// `FaultInjection::DropFirstFin` already fired on this proxy.
+    /// Host ranks that sent `Shutdown`. A set (not a counter) so a
+    /// deduplicated retransmit or a post-restart replay cannot double
+    /// count one rank; survives a crash (the rank *is* done).
+    shutdowns: BTreeSet<usize>,
+    /// `drop_first_fin` already fired on this proxy.
     fin_dropped: bool,
+    /// Reliable ctrl-plane endpoint (sender retransmission table + ack
+    /// generation + receiver dedup). Dormant on fault-free plans.
+    rel: ReliableLink,
+    /// Dedicated RNG for cross-GVMI registration failures, separate from
+    /// the link's drop/dup/delay RNG so the two fault streams don't
+    /// perturb each other across plans.
+    xreg_rng: FaultRng,
+    /// Completion journal: transfer msg_id → completed wrid, written at
+    /// FIN time. Survives a crash (modelled as write-ahead metadata in
+    /// host-visible memory) so a replayed, already-completed transfer is
+    /// answered with a FIN resend instead of a second data write.
+    completed_msgs: BTreeMap<u64, u64>,
+    /// Highest finished generation per group — the group-side completion
+    /// journal. Survives a crash for the same reason.
+    fin_gens: BTreeMap<GroupKey, u64>,
+    /// Ctrl packets handled so far (crash trigger odometer).
+    steps: u32,
+    /// The plan's crash already fired on this proxy.
+    crashed: bool,
     /// Entries currently queued across `send_q` (incremental, so depth
     /// reporting never walks the maps).
     send_q_len: usize,
@@ -188,8 +217,14 @@ pub fn proxy_main(
         arrivals: BTreeMap::new(),
         group_staged: BTreeSet::new(),
         stage_read_posted: BTreeSet::new(),
-        shutdowns: 0,
+        shutdowns: BTreeSet::new(),
         fin_dropped: false,
+        rel: ReliableLink::new(cfg.fault, cfg.ctrl_bytes, true, my_ep),
+        xreg_rng: FaultRng::new(cfg.fault.seed, my_ep.index() as u64 + 0x1000),
+        completed_msgs: BTreeMap::new(),
+        fin_gens: BTreeMap::new(),
+        steps: 0,
+        crashed: false,
         send_q_len: 0,
         recv_q_len: 0,
         stalled: BTreeSet::new(),
@@ -201,7 +236,7 @@ pub fn proxy_main(
         my_ep,
     };
     loop {
-        if st.shutdowns == mapped_hosts && p.quiescent(&st) {
+        if st.shutdowns.len() == mapped_hosts && p.quiescent(&st) {
             break;
         }
         let msg = chan.next_blocking(&ctx);
@@ -228,9 +263,11 @@ impl Proxy<'_> {
             && st.instances.iter().all(|i| i.done)
             && st.send_q.values().all(|q| q.is_empty())
             && st.recv_q.values().all(|q| q.is_empty())
+            && !st.rel.has_pending()
     }
 
     fn handle(&self, st: &mut ProxyState, msg: NetMsg) {
+        let is_packet = matches!(msg, NetMsg::Packet(_));
         let decoded = match msg {
             NetMsg::Packet(p) => decode_ctrl(p.body),
             NetMsg::Notify(b) => decode_ctrl(b),
@@ -243,8 +280,57 @@ impl Proxy<'_> {
             // Cross-rank payload that is not a control message: count it
             // and move on rather than crashing the proxy.
             self.ctx.stat_incr("offload.proxy.bad_ctrl", 1);
-            self.ctx.emit(&ProtoEvent::CtrlDropped { at_proxy: true });
+            self.ctx.emit(&ProtoEvent::CtrlDropped {
+                at_proxy: true,
+                kind: CtrlKind::Unknown,
+                msg_id: 0,
+            });
             return;
+        };
+        // Crash injection: the proxy "dies" on receipt of its
+        // crash_at_step'th ctrl packet, instantly restarts with all
+        // volatile state lost, and processes the triggering message as
+        // the first of its new life.
+        if is_packet {
+            st.steps += 1;
+            if !st.crashed
+                && self.cfg.fault.crash_at_step > 0
+                && st.steps >= self.cfg.fault.crash_at_step
+            {
+                st.crashed = true;
+                self.crash_restart(st);
+            }
+        }
+        // Reliability envelopes (present only on armed fault plans).
+        let body = match body {
+            CtrlMsg::Seq {
+                seq,
+                from,
+                from_ep,
+                epoch,
+                inner,
+            } => {
+                let fab = self.cluster.fabric();
+                match st
+                    .rel
+                    .on_seq(self.ctx, fab, seq, from, from_ep, epoch, *inner)
+                {
+                    Some(m) => m,
+                    None => return, // duplicate delivery
+                }
+            }
+            CtrlMsg::Ack { seq } => {
+                st.rel.on_ack(seq);
+                return;
+            }
+            CtrlMsg::RetxTick { seq } => {
+                // Proxy-originated ctrl (FINs, restart notices) has no
+                // request slot to fail; abandonment is counted and
+                // emitted by the link itself.
+                let _ = st.rel.on_tick(self.ctx, self.cluster.fabric(), seq);
+                return;
+            }
+            other => other,
         };
         match body {
             CtrlMsg::Rts {
@@ -259,6 +345,28 @@ impl Proxy<'_> {
                 src_pid,
                 msg_id,
             } => {
+                if let Some(&wrid) = st.completed_msgs.get(&msg_id) {
+                    // Replayed send whose data write completed in a
+                    // previous life: only the FIN can have been lost.
+                    self.resend_fin(
+                        st,
+                        src_rank,
+                        src_req,
+                        wrid,
+                        crate::events::FinKind::Send,
+                        msg_id,
+                    );
+                    return;
+                }
+                if self.basic_active(st, msg_id) {
+                    self.ctx.stat_incr("offload.reliable.dups_dropped", 1);
+                    self.ctx.emit(&ProtoEvent::CtrlDuplicateDropped {
+                        at_proxy: true,
+                        kind: CtrlKind::Rts,
+                        msg_id,
+                    });
+                    return;
+                }
                 let _ = self.cluster.fabric().charge_cpu(
                     self.ctx,
                     self.my_ep,
@@ -303,6 +411,26 @@ impl Proxy<'_> {
                 dst_pid,
                 msg_id,
             } => {
+                if let Some(&wrid) = st.completed_msgs.get(&msg_id) {
+                    self.resend_fin(
+                        st,
+                        dst_rank,
+                        dst_req,
+                        wrid,
+                        crate::events::FinKind::Recv,
+                        msg_id,
+                    );
+                    return;
+                }
+                if self.basic_active(st, msg_id) {
+                    self.ctx.stat_incr("offload.reliable.dups_dropped", 1);
+                    self.ctx.emit(&ProtoEvent::CtrlDuplicateDropped {
+                        at_proxy: true,
+                        kind: CtrlKind::Rtr,
+                        msg_id,
+                    });
+                    return;
+                }
                 let _ = self.cluster.fabric().charge_cpu(
                     self.ctx,
                     self.my_ep,
@@ -345,6 +473,14 @@ impl Proxy<'_> {
                 self.start_instance(st, key, gen);
             }
             CtrlMsg::GroupExec { key, gen } => {
+                if !st.groups.contains_key(&key) {
+                    // A retransmitted exec that raced a proxy restart: the
+                    // group metadata died with the old life. The restart
+                    // notice makes the host replay the full GroupPacket,
+                    // so this stale exec is safe to drop.
+                    self.ctx.stat_incr("offload.proxy.stale_exec", 1);
+                    return;
+                }
                 let _ = self.cluster.fabric().charge_cpu(
                     self.ctx,
                     self.my_ep,
@@ -358,12 +494,19 @@ impl Proxy<'_> {
                 tag,
                 dst_key,
                 gen,
+                msg_id,
             } => {
-                *st.arrivals
+                if st.fin_gens.get(&dst_key).copied().unwrap_or(0) >= gen {
+                    // Late (replayed) arrival for a generation that
+                    // already finished; recording it would only leak.
+                    return;
+                }
+                st.arrivals
                     .entry((dst_key, gen))
                     .or_default()
                     .entry((src_rank, tag))
-                    .or_insert(0) += 1;
+                    .or_default()
+                    .insert(msg_id);
             }
             CtrlMsg::Put {
                 src_rank,
@@ -378,6 +521,26 @@ impl Proxy<'_> {
                 src_pid,
                 msg_id,
             } => {
+                if let Some(&wrid) = st.completed_msgs.get(&msg_id) {
+                    self.resend_fin(
+                        st,
+                        src_rank,
+                        src_req,
+                        wrid,
+                        crate::events::FinKind::Send,
+                        msg_id,
+                    );
+                    return;
+                }
+                if self.basic_active(st, msg_id) {
+                    self.ctx.stat_incr("offload.reliable.dups_dropped", 1);
+                    self.ctx.emit(&ProtoEvent::CtrlDuplicateDropped {
+                        at_proxy: true,
+                        kind: CtrlKind::Put,
+                        msg_id,
+                    });
+                    return;
+                }
                 let _ = self.cluster.fabric().charge_cpu(
                     self.ctx,
                     self.my_ep,
@@ -435,6 +598,26 @@ impl Proxy<'_> {
                 msg_id,
                 ..
             } => {
+                if let Some(&wrid) = st.completed_msgs.get(&msg_id) {
+                    self.resend_fin(
+                        st,
+                        src_rank,
+                        src_req,
+                        wrid,
+                        crate::events::FinKind::Send,
+                        msg_id,
+                    );
+                    return;
+                }
+                if self.basic_active(st, msg_id) {
+                    self.ctx.stat_incr("offload.reliable.dups_dropped", 1);
+                    self.ctx.emit(&ProtoEvent::CtrlDuplicateDropped {
+                        at_proxy: true,
+                        kind: CtrlKind::Get,
+                        msg_id,
+                    });
+                    return;
+                }
                 let _ = self.cluster.fabric().charge_cpu(
                     self.ctx,
                     self.my_ep,
@@ -482,10 +665,125 @@ impl Proxy<'_> {
                 // enforced by arrivals (see module docs).
                 self.ctx.stat_incr("offload.proxy.barrier_cntr", 1);
             }
-            CtrlMsg::Shutdown { .. } => {
-                st.shutdowns += 1;
+            CtrlMsg::Shutdown { rank } => {
+                st.shutdowns.insert(rank);
             }
             other => panic!("unexpected control message at proxy: {other:?}"),
+        }
+    }
+
+    /// Send a ctrl message to `to`, through the reliable link when the
+    /// run's fault plan arms it. On a fault-free plan this is the exact
+    /// pre-reliability direct send, so clean baselines do not move.
+    fn send_ctrl(&self, st: &mut ProxyState, to: EpId, msg: CtrlMsg) {
+        if self.cfg.fault.reliable() {
+            st.rel.send(
+                self.ctx,
+                self.cluster.fabric(),
+                to,
+                self.cfg.ctrl_bytes,
+                msg,
+                None,
+            );
+        } else {
+            self.cluster
+                .fabric()
+                .send_packet(self.ctx, self.my_ep, to, self.cfg.ctrl_bytes, Box::new(msg))
+                .expect("proxy ctrl send");
+        }
+    }
+
+    /// Journal hit: a replayed request whose data movement completed in a
+    /// previous life. The payload is already placed — only the FIN can
+    /// have been lost — so resend it without re-running the transfer (and
+    /// without re-emitting Rts/Rtr protocol events, keeping the checker's
+    /// flow accounting balanced).
+    fn resend_fin(
+        &self,
+        st: &mut ProxyState,
+        rank: usize,
+        req: usize,
+        wrid: u64,
+        kind: crate::events::FinKind,
+        msg_id: u64,
+    ) {
+        let msg = match kind {
+            crate::events::FinKind::Recv => CtrlMsg::FinRecv { req, msg_id },
+            _ => CtrlMsg::FinSend { req, msg_id },
+        };
+        self.send_ctrl(st, self.cluster.host_ep(rank), msg);
+        self.ctx.emit(&ProtoEvent::FinSent {
+            rank,
+            req,
+            wrid,
+            kind,
+            msg_id,
+        });
+        self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+        self.ctx.stat_incr("offload.reliable.fin_resends", 1);
+    }
+
+    /// Is a basic transfer with this msg_id already queued or in flight?
+    /// Guards against a retransmitted Rts/Rtr racing the host's
+    /// post-restart replay of the same request.
+    fn basic_active(&self, st: &ProxyState, msg_id: u64) -> bool {
+        st.send_q.values().flatten().any(|r| r.msg_id == msg_id)
+            || st.recv_q.values().flatten().any(|r| r.msg_id == msg_id)
+            || st.inflight.values().any(|c| match c {
+                Completion::BasicPair {
+                    src_msg_id,
+                    dst_msg_id,
+                    ..
+                } => *src_msg_id == msg_id || *dst_msg_id == msg_id,
+                Completion::OneSided { msg_id: m, .. } => *m == msg_id,
+                Completion::StagingRead(pair) => pair.0.msg_id == msg_id || pair.1.msg_id == msg_id,
+                _ => false,
+            })
+    }
+
+    /// Crash + restart in one step (the simulated process never leaves
+    /// its event loop). Volatile state — matching queues, in-flight
+    /// table, caches, group metadata, running instances — is lost. The
+    /// durable journals (completed transfers, finished generations,
+    /// arrival sets, shutdown set, wrid odometer) survive, modelling
+    /// metadata the proxy writes ahead into host-visible memory. A fresh
+    /// epoch is announced to every host so they invalidate DPU-dependent
+    /// cached state and replay in-flight requests.
+    fn crash_restart(&self, st: &mut ProxyState) {
+        let (h, m, s) = st.cross_cache.stats();
+        self.ctx.stat_incr("offload.gvmi_cache.dpu.hit", h);
+        self.ctx.stat_incr("offload.gvmi_cache.dpu.miss", m);
+        self.ctx.stat_incr("offload.gvmi_cache.dpu.stale", s);
+        self.ctx
+            .stat_incr("offload.gvmi_cache.dpu.evict", st.cross_cache.evictions());
+        st.send_q.clear();
+        st.recv_q.clear();
+        st.send_q_len = 0;
+        st.recv_q_len = 0;
+        st.stage_assign.clear();
+        st.inflight.clear();
+        st.cross_cache = RankAddrCache::new(self.cluster.world_size());
+        st.groups.clear();
+        st.instances.clear();
+        st.group_staged.clear();
+        st.stage_read_posted.clear();
+        st.stalled.clear();
+        st.rel.reset_for_restart();
+        let epoch = st.rel.epoch();
+        self.ctx.stat_incr("offload.reliable.proxy_restarts", 1);
+        self.ctx.emit(&ProtoEvent::ProxyRestarted { epoch });
+        for rank in 0..self.cluster.world_size() {
+            st.rel.send(
+                self.ctx,
+                self.cluster.fabric(),
+                self.cluster.host_ep(rank),
+                self.cfg.ctrl_bytes,
+                CtrlMsg::ProxyRestarted {
+                    proxy: self.my_ep,
+                    epoch,
+                },
+                None,
+            );
         }
     }
 
@@ -530,10 +828,22 @@ impl Proxy<'_> {
 
     /// Cross-register (through the DPU GVMI cache) and write straight from
     /// the source host's memory to the destination host (paper Fig. 6,
-    /// GVMI path).
+    /// GVMI path). A failed cross-GVMI registration (injected via
+    /// `FaultPlan::xreg_fail_pm`) downgrades this one transfer to the
+    /// staging path instead of failing it.
     fn post_gvmi_pair(&self, st: &mut ProxyState, rts: RtsInfo, rtr: RtrInfo) {
         let mkey = rts.mkey.expect("GVMI RTS carries an mkey");
-        let mkey2 = self.cross_reg_cached(st, rts.src_rank, rts.addr, rts.len, mkey);
+        let Some(mkey2) = self.try_cross_reg(st, rts.src_rank, rts.addr, rts.len, mkey) else {
+            self.ctx.stat_incr("offload.fallback.staging", 1);
+            self.ctx.emit(&ProtoEvent::FallbackToStaging {
+                src_rank: rts.src_rank,
+                dst_rank: rtr.dst_rank,
+                tag: rts.tag,
+                msg_id: rts.msg_id,
+            });
+            self.post_staging_read(st, rts, rtr);
+            return;
+        };
         let wr = self.next_wrid(st);
         self.ctx.emit(&ProtoEvent::Mkey2Used { mkey2 });
         self.ctx.emit(&ProtoEvent::WritePosted {
@@ -639,6 +949,8 @@ impl Proxy<'_> {
         self.ctx.stat_incr("offload.proxy.staging_forwards", 1);
     }
 
+    /// Infallible cross-registration (one-sided gets, which have no
+    /// staging fallback — a documented exemption).
     fn cross_reg_cached(
         &self,
         st: &mut ProxyState,
@@ -647,6 +959,33 @@ impl Proxy<'_> {
         len: u64,
         mkey: MrKey,
     ) -> MrKey {
+        self.cross_reg_inner(st, src_rank, addr, len, mkey, false)
+            .expect("infallible cross registration")
+    }
+
+    /// Cross-registration that may fail per the fault plan's
+    /// `xreg_fail_pm`; `None` tells the caller to fall back to staging.
+    /// A cache hit never fails: no fresh registration call is made.
+    fn try_cross_reg(
+        &self,
+        st: &mut ProxyState,
+        src_rank: usize,
+        addr: VAddr,
+        len: u64,
+        mkey: MrKey,
+    ) -> Option<MrKey> {
+        self.cross_reg_inner(st, src_rank, addr, len, mkey, true)
+    }
+
+    fn cross_reg_inner(
+        &self,
+        st: &mut ProxyState,
+        src_rank: usize,
+        addr: VAddr,
+        len: u64,
+        mkey: MrKey,
+        may_fail: bool,
+    ) -> Option<MrKey> {
         let fab = self.cluster.fabric();
         if self.cfg.use_gvmi_cache {
             let (hit, outcome) = {
@@ -664,14 +1003,17 @@ impl Proxy<'_> {
                 mkey2: hit.map(|(_, m2)| m2),
             });
             if let Some((_, mkey2)) = hit {
-                return mkey2;
+                return Some(mkey2);
             }
         }
-        if self.cfg.fault == FaultInjection::SkipCrossReg {
+        if self.cfg.fault.skip_cross_reg {
             // Deliberate protocol violation: hand back the host's mkey as
             // if it were a cross-registration. No CrossReg event is
             // emitted, so the checker flags the first Mkey2Used.
-            return mkey;
+            return Some(mkey);
+        }
+        if may_fail && st.xreg_rng.chance(self.cfg.fault.xreg_fail_pm) {
+            return None;
         }
         let gvmi = fab.gvmi_of(self.my_ep).expect("proxy endpoint has a GVMI");
         let mkey2 = fab
@@ -693,7 +1035,7 @@ impl Proxy<'_> {
                 });
             }
         }
-        mkey2
+        Some(mkey2)
     }
 
     /// Report queue depths right after an enqueue, so a sink tracking
@@ -724,12 +1066,18 @@ impl Proxy<'_> {
     }
 
     fn on_cqe(&self, st: &mut ProxyState, wrid: u64) {
+        let Some(completion) = st.inflight.remove(&wrid) else {
+            // CQE of a write posted before a crash: the restarted proxy
+            // does not know it. The transfer itself is re-driven by the
+            // host's post-restart replay, so just account for it. (No
+            // WriteCompleted event either — the restart wiped the posted
+            // side from the checker's books.)
+            self.ctx.stat_incr("offload.proxy.stale_cqe", 1);
+            self.ctx.emit(&ProtoEvent::StaleCqe { wrid });
+            return;
+        };
         self.ctx.emit(&ProtoEvent::WriteCompleted { wrid });
-        match st
-            .inflight
-            .remove(&wrid)
-            .expect("CQE for unknown work request")
-        {
+        match completion {
             Completion::BasicPair {
                 src_rank,
                 src_req,
@@ -741,16 +1089,18 @@ impl Proxy<'_> {
                 // FIN packets to both hosts (paper Fig. 8, §VIII-C: two of
                 // the four per-transfer control messages). One-sided puts
                 // ride this path with no receive request: only the origin
-                // is notified.
-                let fab = self.cluster.fabric();
-                fab.send_packet(
-                    self.ctx,
-                    self.my_ep,
+                // is notified. The journal write precedes the (losable)
+                // FIN sends: write-ahead, so a replay after a crash at any
+                // point from here on resolves to a FIN resend.
+                st.completed_msgs.insert(src_msg_id, wrid);
+                self.send_ctrl(
+                    st,
                     self.cluster.host_ep(src_rank),
-                    self.cfg.ctrl_bytes,
-                    Box::new(CtrlMsg::FinSend { req: src_req }),
-                )
-                .expect("FIN to source");
+                    CtrlMsg::FinSend {
+                        req: src_req,
+                        msg_id: src_msg_id,
+                    },
+                );
                 self.ctx.emit(&ProtoEvent::FinSent {
                     rank: src_rank,
                     req: src_req,
@@ -760,20 +1110,21 @@ impl Proxy<'_> {
                 });
                 self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
                 if dst_req != usize::MAX {
-                    if self.cfg.fault == FaultInjection::DropFirstFin && !st.fin_dropped {
+                    st.completed_msgs.insert(dst_msg_id, wrid);
+                    if self.cfg.fault.drop_first_fin && !st.fin_dropped {
                         // Deliberate fault: lose this FinRecv. The waiting
                         // receiver never completes, so the run deadlocks.
                         st.fin_dropped = true;
                         return;
                     }
-                    fab.send_packet(
-                        self.ctx,
-                        self.my_ep,
+                    self.send_ctrl(
+                        st,
                         self.cluster.host_ep(dst_rank),
-                        self.cfg.ctrl_bytes,
-                        Box::new(CtrlMsg::FinRecv { req: dst_req }),
-                    )
-                    .expect("FIN to destination");
+                        CtrlMsg::FinRecv {
+                            req: dst_req,
+                            msg_id: dst_msg_id,
+                        },
+                    );
                     self.ctx.emit(&ProtoEvent::FinSent {
                         rank: dst_rank,
                         req: dst_req,
@@ -789,16 +1140,15 @@ impl Proxy<'_> {
                 src_req,
                 msg_id,
             } => {
-                self.cluster
-                    .fabric()
-                    .send_packet(
-                        self.ctx,
-                        self.my_ep,
-                        self.cluster.host_ep(src_rank),
-                        self.cfg.ctrl_bytes,
-                        Box::new(CtrlMsg::FinSend { req: src_req }),
-                    )
-                    .expect("FIN to origin");
+                st.completed_msgs.insert(msg_id, wrid);
+                self.send_ctrl(
+                    st,
+                    self.cluster.host_ep(src_rank),
+                    CtrlMsg::FinSend {
+                        req: src_req,
+                        msg_id,
+                    },
+                );
                 self.ctx.emit(&ProtoEvent::FinSent {
                     rank: src_rank,
                     req: src_req,
@@ -852,7 +1202,13 @@ impl Proxy<'_> {
         let fab = self.cluster.fabric();
         for (i, e) in entries.iter().enumerate() {
             if let WireEntry::Send {
-                addr, len, mkey, ..
+                addr,
+                len,
+                mkey,
+                dst_rank,
+                tag,
+                msg_id,
+                ..
             } = e
             {
                 if want_staging {
@@ -864,8 +1220,25 @@ impl Proxy<'_> {
                 } else {
                     // Cross-registration now, stored with the entry, so
                     // execution never searches the GVMI cache (paper
-                    // §VII-D).
-                    mkey2[i] = Some(self.cross_reg_cached(st, key.host_rank, *addr, *len, *mkey));
+                    // §VII-D). A failed cross-GVMI registration demotes
+                    // just this entry to a staging buffer.
+                    match self.try_cross_reg(st, key.host_rank, *addr, *len, *mkey) {
+                        Some(m2) => mkey2[i] = Some(m2),
+                        None => {
+                            self.ctx.stat_incr("offload.fallback.staging", 1);
+                            self.ctx.emit(&ProtoEvent::FallbackToStaging {
+                                src_rank: key.host_rank,
+                                dst_rank: *dst_rank,
+                                tag: *tag,
+                                msg_id: *msg_id,
+                            });
+                            let buf = fab.alloc(self.my_ep, *len);
+                            let k = fab
+                                .reg_mr(self.ctx, self.my_ep, buf, *len)
+                                .expect("fallback staging registration");
+                            staging[i] = Some((buf, k));
+                        }
+                    }
                 }
             }
         }
@@ -885,6 +1258,24 @@ impl Proxy<'_> {
             st.groups.contains_key(&key),
             "exec for unknown group {key:?}"
         );
+        if st.fin_gens.get(&key).copied().unwrap_or(0) >= gen {
+            // This generation finished in a previous life; only the FIN
+            // can have been lost. Resend it instead of re-executing.
+            self.ctx.stat_incr("offload.reliable.fin_resends", 1);
+            self.post_group_fin(st, key, gen);
+            return;
+        }
+        if st.instances.iter().any(|i| i.key == key && i.gen == gen) {
+            // Duplicate exec (a retransmit racing the host's replay):
+            // at most one instance per (group, generation).
+            self.ctx.stat_incr("offload.reliable.dups_dropped", 1);
+            self.ctx.emit(&ProtoEvent::CtrlDuplicateDropped {
+                at_proxy: true,
+                kind: CtrlKind::GroupExec,
+                msg_id: 0,
+            });
+            return;
+        }
         st.instances.push(Instance {
             key,
             gen,
@@ -897,6 +1288,31 @@ impl Proxy<'_> {
         });
         let idx = st.instances.len() - 1;
         self.advance_instance(st, idx);
+    }
+
+    /// Ship a generation's completion to the owning host. Group FINs
+    /// aggregate many writes, so no single completed wrid names them;
+    /// allocate a fresh id from the proxy's work-request namespace
+    /// instead of the old colliding 0 sentinel, so every FIN in a trace
+    /// is uniquely attributable.
+    fn post_group_fin(&self, st: &mut ProxyState, key: GroupKey, gen: u64) {
+        self.send_ctrl(
+            st,
+            self.cluster.host_ep(key.host_rank),
+            CtrlMsg::GroupFin {
+                req_id: key.req_id,
+                gen,
+            },
+        );
+        let fin_id = self.next_wrid(st);
+        self.ctx.emit(&ProtoEvent::FinSent {
+            rank: key.host_rank,
+            req: key.req_id,
+            wrid: fin_id,
+            kind: crate::events::FinKind::Group,
+            msg_id: 0,
+        });
+        self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
     }
 
     fn advance_all(&self, st: &mut ProxyState) {
@@ -934,33 +1350,11 @@ impl Proxy<'_> {
                 }
                 let host_pid = st.groups[&key].host_pid;
                 let _ = host_pid;
-                self.cluster
-                    .fabric()
-                    .send_packet(
-                        self.ctx,
-                        self.my_ep,
-                        self.cluster.host_ep(key.host_rank),
-                        self.cfg.ctrl_bytes,
-                        Box::new(CtrlMsg::GroupFin {
-                            req_id: key.req_id,
-                            gen,
-                        }),
-                    )
-                    .expect("group fin");
-                // Group FINs aggregate many writes, so no single completed
-                // wrid names them; allocate a fresh id from the proxy's
-                // work-request namespace instead of the old colliding 0
-                // sentinel, so every FIN in a trace is uniquely
-                // attributable.
-                let fin_id = self.next_wrid(st);
-                self.ctx.emit(&ProtoEvent::FinSent {
-                    rank: key.host_rank,
-                    req: key.req_id,
-                    wrid: fin_id,
-                    kind: crate::events::FinKind::Group,
-                    msg_id: 0,
-                });
-                self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+                // Journal the finished generation (write-ahead of the
+                // losable FIN), then ship the FIN.
+                let fin_gen = st.fin_gens.entry(key).or_insert(0);
+                *fin_gen = (*fin_gen).max(gen);
+                self.post_group_fin(st, key, gen);
                 self.ctx
                     .trace(format!("proxy.group_fin.r{}.g{gen}", key.host_rank));
                 st.arrivals.remove(&(key, gen));
@@ -1048,6 +1442,7 @@ impl Proxy<'_> {
                             req_id: dst_req_id,
                         },
                         gen,
+                        msg_id,
                     };
                     let local = match staging {
                         Some((buf, k)) => (self.my_ep, buf, k),
@@ -1160,6 +1555,6 @@ impl Proxy<'_> {
         let got = st.arrivals.get(&(key, gen));
         needed
             .iter()
-            .all(|(k, need)| got.and_then(|m| m.get(k)).copied().unwrap_or(0) >= *need)
+            .all(|(k, need)| got.and_then(|m| m.get(k)).map_or(0, |s| s.len() as u64) >= *need)
     }
 }

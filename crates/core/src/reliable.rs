@@ -1,0 +1,428 @@
+//! Reliability layer for the host↔DPU ctrl plane (DESIGN.md §13).
+//!
+//! When a run's [`FaultPlan`] injects losses, every ctrl message travels
+//! inside a sequence-numbered [`CtrlMsg::Seq`] envelope. The sender keeps
+//! the message in a pending table and arms a virtual-time retransmission
+//! timer (a [`CtrlMsg::RetxTick`] self-delivery) with exponential
+//! backoff; the receiver acks every envelope and deduplicates on
+//! `(sender, epoch, seq)` so retransmits and injected duplicates are
+//! idempotent. A sender that exhausts its retransmission budget abandons
+//! the message and surfaces a typed [`OffloadError`] on the associated
+//! request instead of hanging.
+//!
+//! The layer is *disarmed* on a clean plan ([`FaultPlan::reliable`] is
+//! false): senders bypass the envelope entirely, so fault-free runs are
+//! byte-identical to the pre-reliability protocol and committed bench
+//! baselines do not move.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use rdma::{EpId, Fabric, NetMsg, Packet};
+use simnet::{Pid, ProcessCtx, SimDelta};
+
+use crate::config::FaultPlan;
+use crate::events::{CtrlKind, ProtoEvent};
+use crate::messages::CtrlMsg;
+
+/// Retransmission backoff floor.
+const RETX_BASE: SimDelta = SimDelta::from_us(20);
+/// Retransmission backoff ceiling.
+const RETX_CAP: SimDelta = SimDelta::from_us(200);
+/// Send attempts (original + retransmits) before a message is abandoned.
+/// At a 10% injected drop rate the chance of losing all attempts is 1e-12
+/// — abandonment in practice means the peer is gone, not the link lossy.
+const MAX_ATTEMPTS: u32 = 12;
+
+/// Typed failure surfaced by the offload engine when a posted request
+/// cannot complete (instead of hanging forever).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum OffloadError {
+    /// A ctrl message for this request exhausted its retransmission
+    /// budget; the peer is unreachable.
+    CtrlUndeliverable {
+        /// Transfer id of the failed request.
+        msg_id: u64,
+        /// Send attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Debug for OffloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffloadError::CtrlUndeliverable { msg_id, attempts } => write!(
+                f,
+                "ctrl message for transfer {msg_id:#x} undeliverable after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl fmt::Display for OffloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for OffloadError {}
+
+/// Deterministic fault RNG (splitmix64), deliberately separate from the
+/// simulator's schedule RNG so fault decisions never perturb schedules
+/// and the explorer can sweep fault seeds independently.
+pub(crate) struct FaultRng(u64);
+
+impl FaultRng {
+    pub(crate) fn new(seed: u64, salt: u64) -> FaultRng {
+        FaultRng(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Roll a permille chance. Zero never fires (and does not consume
+    /// randomness, keeping unrelated rolls aligned across plans).
+    pub(crate) fn chance(&mut self, pm: u16) -> bool {
+        pm > 0 && self.next() % 1000 < u64::from(pm)
+    }
+}
+
+/// Receiver-side duplicate suppression, keyed `(sender, epoch, seq)`.
+/// A restarted sender bumps its epoch, so its fresh seq space never
+/// collides with pre-crash history.
+#[derive(Default)]
+pub(crate) struct DedupWindow {
+    seen: BTreeMap<(Pid, u64), BTreeSet<u64>>,
+}
+
+impl DedupWindow {
+    /// Record `(from, epoch, seq)`; true when seen for the first time.
+    pub(crate) fn accept(&mut self, from: Pid, epoch: u64, seq: u64) -> bool {
+        self.seen.entry((from, epoch)).or_default().insert(seq)
+    }
+
+    /// Forget everything (a crashed receiver loses its window; senders'
+    /// epoch bumps and the engine-level journals keep replays safe).
+    pub(crate) fn clear(&mut self) {
+        self.seen.clear();
+    }
+}
+
+/// One unacked ctrl message at the sender.
+struct Pending {
+    to: EpId,
+    msg: CtrlMsg,
+    /// Modelled wire size (metadata-bearing messages exceed ctrl_bytes).
+    bytes: u64,
+    attempts: u32,
+    backoff: SimDelta,
+    /// Host request slot to fail if the message is abandoned.
+    req: Option<usize>,
+}
+
+/// What a retransmission-timer tick did.
+pub(crate) enum TickOutcome {
+    /// The message was already acked (or this side restarted); no-op.
+    Idle,
+    /// The message was retransmitted and a new timer armed.
+    Retransmitted,
+    /// The retransmission budget is exhausted; the message is dropped
+    /// from the pending table and the caller must surface the failure.
+    Abandoned {
+        msg_id: u64,
+        attempts: u32,
+        req: Option<usize>,
+    },
+}
+
+/// Per-process endpoint of the reliable ctrl plane: the sender half
+/// (pending table + retransmission timers) and the receiver half
+/// (ack generation + dedup window) in one.
+pub(crate) struct ReliableLink {
+    plan: FaultPlan,
+    rng: FaultRng,
+    /// True on proxies (event attribution).
+    at_proxy: bool,
+    /// Endpoint the envelopes (and acks) are sent from.
+    from_ep: EpId,
+    /// Modelled wire size of one ctrl message.
+    ctrl_bytes: u64,
+    /// Restart epoch carried in outgoing envelopes.
+    epoch: u64,
+    next_seq: u64,
+    pending: BTreeMap<u64, Pending>,
+    dedup: DedupWindow,
+}
+
+impl ReliableLink {
+    pub(crate) fn new(plan: FaultPlan, ctrl_bytes: u64, at_proxy: bool, from_ep: EpId) -> Self {
+        ReliableLink {
+            plan,
+            rng: FaultRng::new(plan.seed, from_ep.index() as u64 + 1),
+            at_proxy,
+            from_ep,
+            ctrl_bytes,
+            epoch: 0,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            dedup: DedupWindow::default(),
+        }
+    }
+
+    /// Current restart epoch.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether any sent message is still unacked.
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Send `msg` reliably: envelope, pending entry, retransmission
+    /// timer. `req` is the host request slot to fail on abandonment.
+    pub(crate) fn send(
+        &mut self,
+        ctx: &ProcessCtx,
+        fab: &Fabric,
+        to: EpId,
+        bytes: u64,
+        msg: CtrlMsg,
+        req: Option<usize>,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(
+            seq,
+            Pending {
+                to,
+                msg,
+                bytes,
+                attempts: 1,
+                backoff: RETX_BASE,
+                req,
+            },
+        );
+        self.transmit(ctx, fab, seq);
+    }
+
+    /// Put one attempt of pending message `seq` on the wire, applying the
+    /// plan's drop/delay/duplicate faults, and arm the retransmission
+    /// timer at the entry's current backoff.
+    fn transmit(&mut self, ctx: &ProcessCtx, fab: &Fabric, seq: u64) {
+        let p = &self.pending[&seq];
+        let (to, kind, msg_id, backoff) = (p.to, p.msg.kind(), p.msg.msg_id_hint(), p.backoff);
+        let bytes = p.bytes;
+        let (msg, from, from_ep, epoch) = (p.msg.clone(), ctx.pid(), self.from_ep, self.epoch);
+        let envelope = move || CtrlMsg::Seq {
+            seq,
+            from,
+            from_ep,
+            epoch,
+            inner: Box::new(msg.clone()),
+        };
+        if self.rng.chance(self.plan.drop_pm) {
+            ctx.stat_incr("offload.reliable.injected_drops", 1);
+            ctx.emit(&ProtoEvent::CtrlDropped {
+                at_proxy: self.at_proxy,
+                kind,
+                msg_id,
+            });
+        } else if self.rng.chance(self.plan.delay_pm) {
+            // Late delivery: bypass the fabric's send path and deposit
+            // the packet into the destination mailbox after `delay_ns`.
+            ctx.stat_incr("offload.reliable.injected_delays", 1);
+            ctx.deliver(
+                fab.pid_of(to),
+                SimDelta::from_ns(self.plan.delay_ns),
+                Box::new(NetMsg::Packet(Packet {
+                    src: self.from_ep,
+                    bytes,
+                    body: Box::new(envelope()),
+                })),
+            );
+        } else {
+            fab.send_packet(ctx, self.from_ep, to, bytes, Box::new(envelope()))
+                .expect("reliable ctrl send");
+            if self.rng.chance(self.plan.dup_pm) {
+                ctx.stat_incr("offload.reliable.injected_dups", 1);
+                fab.send_packet(ctx, self.from_ep, to, bytes, Box::new(envelope()))
+                    .expect("reliable ctrl dup send");
+            }
+        }
+        ctx.deliver_self(
+            backoff,
+            Box::new(NetMsg::Notify(Box::new(CtrlMsg::RetxTick { seq }))),
+        );
+    }
+
+    /// A retransmission timer fired.
+    pub(crate) fn on_tick(&mut self, ctx: &ProcessCtx, fab: &Fabric, seq: u64) -> TickOutcome {
+        let Some(p) = self.pending.get_mut(&seq) else {
+            return TickOutcome::Idle;
+        };
+        if p.attempts >= MAX_ATTEMPTS {
+            let p = self.pending.remove(&seq).expect("entry just found");
+            let (kind, msg_id) = (p.msg.kind(), p.msg.msg_id_hint());
+            ctx.stat_incr("offload.reliable.abandoned", 1);
+            ctx.emit(&ProtoEvent::CtrlAbandoned {
+                at_proxy: self.at_proxy,
+                kind,
+                msg_id,
+            });
+            return TickOutcome::Abandoned {
+                msg_id,
+                attempts: p.attempts,
+                req: p.req,
+            };
+        }
+        p.attempts += 1;
+        let attempt = p.attempts - 1;
+        p.backoff = (p.backoff * 2).min(RETX_CAP);
+        let (kind, msg_id) = (p.msg.kind(), p.msg.msg_id_hint());
+        ctx.stat_incr("offload.reliable.retransmits", 1);
+        ctx.emit(&ProtoEvent::CtrlRetransmit {
+            at_proxy: self.at_proxy,
+            kind,
+            msg_id,
+            attempt,
+        });
+        self.transmit(ctx, fab, seq);
+        TickOutcome::Retransmitted
+    }
+
+    /// An ack arrived: retire the pending entry (idempotent).
+    pub(crate) fn on_ack(&mut self, seq: u64) {
+        self.pending.remove(&seq);
+    }
+
+    /// An envelope arrived: ack it (acks share the lossy plane — a lost
+    /// ack is healed by retransmit → dedup → re-ack) and deduplicate.
+    /// Returns the inner message on first delivery, `None` on duplicates.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_seq(
+        &mut self,
+        ctx: &ProcessCtx,
+        fab: &Fabric,
+        seq: u64,
+        from: Pid,
+        from_ep: EpId,
+        epoch: u64,
+        inner: CtrlMsg,
+    ) -> Option<CtrlMsg> {
+        if self.rng.chance(self.plan.drop_pm) {
+            ctx.stat_incr("offload.reliable.injected_drops", 1);
+            ctx.emit(&ProtoEvent::CtrlDropped {
+                at_proxy: self.at_proxy,
+                kind: CtrlKind::Ack,
+                msg_id: 0,
+            });
+        } else {
+            fab.send_packet(
+                ctx,
+                self.from_ep,
+                from_ep,
+                self.ctrl_bytes,
+                Box::new(CtrlMsg::Ack { seq }),
+            )
+            .expect("reliable ctrl ack");
+        }
+        if self.dedup.accept(from, epoch, seq) {
+            Some(inner)
+        } else {
+            ctx.stat_incr("offload.reliable.dups_dropped", 1);
+            ctx.emit(&ProtoEvent::CtrlDuplicateDropped {
+                at_proxy: self.at_proxy,
+                kind: inner.kind(),
+                msg_id: inner.msg_id_hint(),
+            });
+            None
+        }
+    }
+
+    /// Crash recovery: forget all sender and receiver state and start a
+    /// fresh epoch. Outgoing envelopes now carry the new epoch, so peers
+    /// dedup this side's messages in a fresh space.
+    pub(crate) fn reset_for_restart(&mut self) {
+        self.epoch += 1;
+        self.pending.clear();
+        self.dedup.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_rng_is_deterministic_and_respects_rates() {
+        let mut a = FaultRng::new(7, 3);
+        let mut b = FaultRng::new(7, 3);
+        let rolls_a: Vec<bool> = (0..64).map(|_| a.chance(100)).collect();
+        let rolls_b: Vec<bool> = (0..64).map(|_| b.chance(100)).collect();
+        assert_eq!(rolls_a, rolls_b, "same seed+salt must agree");
+        let mut c = FaultRng::new(7, 4);
+        assert!((0..4096).any(|_| c.chance(500)), "50% must fire sometimes");
+        let mut d = FaultRng::new(7, 5);
+        assert!((0..4096).all(|_| !d.chance(0)), "0 permille never fires");
+        let hits = {
+            let mut e = FaultRng::new(42, 1);
+            (0..10_000).filter(|_| e.chance(100)).count()
+        };
+        assert!(
+            (600..1400).contains(&hits),
+            "10% rate wildly off: {hits}/10000"
+        );
+    }
+
+    #[test]
+    fn dedup_accepts_once_per_epoch() {
+        let mut w = DedupWindow::default();
+        let p = Pid::from_index(3);
+        assert!(w.accept(p, 0, 1));
+        assert!(!w.accept(p, 0, 1), "duplicate must be rejected");
+        assert!(w.accept(p, 1, 1), "a new epoch is a fresh seq space");
+        assert!(w.accept(Pid::from_index(4), 0, 1), "senders independent");
+        w.clear();
+        assert!(w.accept(p, 0, 1), "cleared window forgets history");
+    }
+
+    mod proptests {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Satellite: dedup yields exactly-once delivery under
+            // arbitrary duplicate injection. Each (epoch, seq) pair may
+            // appear any number of times in the arrival order; the window
+            // must accept each distinct pair exactly once.
+            #[test]
+            fn dedup_is_exactly_once_under_arbitrary_duplication(
+                arrivals in prop::collection::vec((0u64..3, 0u64..16), 1..200),
+            ) {
+                let mut w = DedupWindow::default();
+                let sender = Pid::from_index(1);
+                let mut delivered: Vec<(u64, u64)> = Vec::new();
+                for &(epoch, seq) in &arrivals {
+                    if w.accept(sender, epoch, seq) {
+                        delivered.push((epoch, seq));
+                    }
+                }
+                let mut distinct: Vec<(u64, u64)> = arrivals.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                let mut got = delivered.clone();
+                got.sort_unstable();
+                prop_assert_eq!(
+                    got, distinct,
+                    "every distinct (epoch, seq) delivered exactly once"
+                );
+            }
+        }
+    }
+}

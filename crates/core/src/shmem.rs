@@ -197,6 +197,11 @@ impl Shmem {
         let (dst_addr, dst_rkey) = (peer.heap_base.offset(dst.0), peer.heap_rkey);
         drop(st);
         let (mkey, src_rkey) = match self.off.config().data_path {
+            // When the plan can fail cross-GVMI registration, ship the IB
+            // rkey too so the proxy can fall back to the staging path.
+            DataPath::Gvmi if self.off.config().fault.fallback_enabled() => {
+                (Some(self.heap_mkey), Some(self.heap_rkey()))
+            }
             DataPath::Gvmi => (Some(self.heap_mkey), None),
             DataPath::Staging => (None, Some(self.heap_rkey())),
         };
@@ -328,7 +333,7 @@ impl Offload {
             bytes,
             dir: crate::events::ReqDir::OneSided,
         });
-        self.send_ctrl_to_proxy(msg);
+        self.send_ctrl_to_proxy(msg, Some(req.index()));
         req
     }
 }

@@ -38,6 +38,14 @@ const TOTAL_KEYS: &[&str] = &[
     "group_packets_total",
     "group_packets_max_per_req",
     "group_execs",
+    "ctrl_retransmits",
+    "ctrl_dups_dropped",
+    "ctrl_abandoned",
+    "fallback_staging",
+    "proxy_restarts",
+    "reqs_replayed",
+    "req_failures",
+    "stale_cqes",
     "finalized_ranks",
 ];
 

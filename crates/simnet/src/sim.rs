@@ -532,6 +532,15 @@ impl ProcessCtx {
         st.queue.push(at, EventKind::Deliver(to, payload));
     }
 
+    /// Deliver `payload` back to the calling process after `delay` of
+    /// virtual time — a one-shot timer. The process observes it as an
+    /// ordinary mailbox message, so timers interleave deterministically
+    /// with network deliveries (retransmission timeouts are the canonical
+    /// use).
+    pub fn deliver_self(&self, delay: SimDelta, payload: Payload) {
+        self.deliver(self.pid, delay, payload);
+    }
+
     /// Deliver `payload` to `to` at absolute time `at` (clamped to now).
     pub fn deliver_at(&self, to: Pid, at: SimTime, payload: Payload) {
         let mut st = self.inner.state.lock();

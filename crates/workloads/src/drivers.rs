@@ -36,6 +36,9 @@ pub struct CheckRun {
     pub sink: Option<EventSink>,
     /// Record the simulation timeline (spans + instants) into the report.
     pub trace: bool,
+    /// Move real bytes through the fabric so drivers can fill and verify
+    /// payload patterns (default: timing-only, no byte movement).
+    pub move_bytes: bool,
 }
 
 impl CheckRun {
@@ -52,13 +55,15 @@ impl CheckRun {
             cfg: OffloadConfig::proposed(),
             sink: None,
             trace: false,
+            move_bytes: false,
         }
     }
 
     fn builder(&self) -> ClusterBuilder {
-        let spec = ClusterSpec::new(self.nodes, self.ppn)
-            .with_proxies(self.proxies_per_dpu)
-            .without_byte_movement();
+        let mut spec = ClusterSpec::new(self.nodes, self.ppn).with_proxies(self.proxies_per_dpu);
+        if !self.move_bytes {
+            spec = spec.without_byte_movement();
+        }
         let mut b = ClusterBuilder::new(spec, self.seed);
         if let Some(limit) = self.time_limit {
             b = b.with_time_limit(limit);
@@ -126,6 +131,72 @@ pub fn drive_stencil(run: &CheckRun, face_bytes: u64, rounds: u64) -> Result<Rep
             ];
             off.ctx().compute(SimDelta::from_us(5));
             off.wait_all(&reqs);
+        }
+    })
+}
+
+/// The stencil of [`drive_stencil`] with payload verification: every
+/// send buffer is filled with a pattern derived from `(rank, round,
+/// direction)` before posting, and after `wait_all` each receive buffer
+/// is checked against the pattern its sender must have written. A rank
+/// panics on corrupt or stale data, which the explorer classifies as a
+/// failed run. Requires [`CheckRun::move_bytes`]; this is the driver the
+/// fault-soak tests use to prove retransmission and proxy-restart replay
+/// deliver every payload intact, exactly once per round.
+pub fn drive_verified_stencil(
+    run: &CheckRun,
+    face_bytes: u64,
+    rounds: u64,
+) -> Result<Report, SimError> {
+    assert!(
+        run.move_bytes,
+        "drive_verified_stencil needs move_bytes: timing-only runs carry no payloads"
+    );
+    run.run_offload(move |off| {
+        let p = off.size();
+        if p < 2 {
+            return;
+        }
+        let fab = off.cluster().fabric().clone();
+        let ep = off.cluster().host_ep(off.rank());
+        let me = off.rank();
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        // Stable per-(rank, round, direction) pattern seed, so each
+        // receiver can recompute exactly what its peer sent.
+        let pat = |rank: usize, round: u64, dir: u64| ((rank as u64) << 24) | (round << 4) | dir;
+        let sbuf_r = fab.alloc(ep, face_bytes);
+        let sbuf_l = fab.alloc(ep, face_bytes);
+        let rbuf_r = fab.alloc(ep, face_bytes);
+        let rbuf_l = fab.alloc(ep, face_bytes);
+        for round in 0..rounds {
+            fab.fill_pattern(ep, sbuf_r, face_bytes, pat(me, round, 0))
+                .expect("fill send-right");
+            fab.fill_pattern(ep, sbuf_l, face_bytes, pat(me, round, 1))
+                .expect("fill send-left");
+            let t_right = round * 4;
+            let t_left = round * 4 + 1;
+            let reqs = [
+                off.send_offload(sbuf_r, face_bytes, right, t_right),
+                off.send_offload(sbuf_l, face_bytes, left, t_left),
+                off.recv_offload(rbuf_l, face_bytes, left, t_right),
+                off.recv_offload(rbuf_r, face_bytes, right, t_left),
+            ];
+            off.ctx().compute(SimDelta::from_us(5));
+            off.wait_all(&reqs);
+            // My left neighbour sent its "right" face; my right
+            // neighbour sent its "left" face.
+            let ok_l = fab
+                .verify_pattern(ep, rbuf_l, face_bytes, pat(left, round, 0))
+                .expect("verify recv-left");
+            let ok_r = fab
+                .verify_pattern(ep, rbuf_r, face_bytes, pat(right, round, 1))
+                .expect("verify recv-right");
+            assert!(ok_l, "rank {me} round {round}: payload from {left} corrupt");
+            assert!(
+                ok_r,
+                "rank {me} round {round}: payload from {right} corrupt"
+            );
         }
     })
 }

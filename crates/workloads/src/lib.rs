@@ -30,7 +30,9 @@ mod stencil;
 pub use alltoall::{
     iallgather_overlap, ialltoall_overlap, ialltoall_overlap_on, scatter_dest_time, ScatterImpl,
 };
-pub use drivers::{drive_alltoall, drive_group_stencil, drive_stencil, CheckRun};
+pub use drivers::{
+    drive_alltoall, drive_group_stencil, drive_stencil, drive_verified_stencil, CheckRun,
+};
 pub use harness::{collect, collector, run_workload, take, Collector, Harness, Runtime};
 pub use hpl::{hpl_runtime_us, matrix_order, HplAlgo, MODEL_MEM_PER_NODE, NB};
 pub use observe::{fanout, with_metrics, with_observer, Observer};
