@@ -30,11 +30,21 @@ if ! cargo test -q --workspace; then
     exit 1
 fi
 
-echo "== fault soak (reliable ctrl-plane under lossy FaultPlan matrix)"
-# Bounded fixed-seed soak: drop/dup/delay/crash/xreg plans x seeds x
-# proxy counts through the conformance checker with payload
-# verification; failures leave replayable dumps in target/failure-dumps/.
-if ! cargo run --release --quiet -p checker --bin fault_soak; then
+echo "== fault soak (ctrl + data-plane fault matrix)"
+# Bounded fixed-seed soak across four suites, all through the
+# conformance checker with payload verification:
+#   * ctrl matrix   — drop/dup/delay/crash/xreg plans x seeds x 1/2/4
+#                     proxies on the verified stencil and alltoall;
+#   * payload       — bit-flip x torn-write x silent-drop corruption:
+#                     must heal byte-correct via bounded retransmission;
+#   * starved       — post burst against tiny admission/staging/journal
+#                     caps: credits + QueueFull pacing, depths bounded;
+#   * doomed-group  — every GroupPacket dropped: Group_Wait must fail
+#                     typed, never stall.
+# SOAK_LONG=1 widens the matrix (8 seeds, deeper corruption stacks) for
+# nightly-style runs; failures leave replayable flight-recorder dumps
+# in target/failure-dumps/.
+if ! SOAK_LONG="${SOAK_LONG:-}" cargo run --release --quiet -p checker --bin fault_soak; then
     if ls target/failure-dumps/*.flight.txt >/dev/null 2>&1; then
         echo "flight-recorder dumps from failing soak scenarios:"
         ls -l target/failure-dumps/
@@ -59,5 +69,9 @@ cargo xtask validate-metrics target/bench-scratch/*.metrics.json
 
 echo "== bench-diff against committed baselines"
 cargo xtask bench-diff bench_results target/bench-scratch
+# Machine-readable copy of the same verdict for downstream tooling.
+cargo xtask bench-diff bench_results target/bench-scratch --json \
+    > target/bench-scratch/bench-diff.json
+echo "bench-diff report: target/bench-scratch/bench-diff.json"
 
 echo "ci.sh: all gates passed"

@@ -222,7 +222,7 @@ impl BluesMpi {
 
     /// Wait for a collective to finish.
     pub fn wait(&self, r: BluesReq) {
-        self.off.group_wait(r.0);
+        self.off.group_wait(r.0).expect("group offload failed");
     }
 
     /// Non-blocking completion check.

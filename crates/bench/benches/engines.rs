@@ -73,7 +73,7 @@ fn group_alltoall(cfg: OffloadConfig, calls: u32) -> f64 {
                 off.group_end(g);
                 for _ in 0..calls {
                     off.group_call(g);
-                    off.group_wait(g);
+                    off.group_wait(g).expect("group offload failed");
                 }
                 off.finalize();
             },

@@ -8,16 +8,32 @@
 //! failure writes a replayable dump to `target/failure-dumps/` (or
 //! `$BF_FAILURE_DUMP_DIR`) and exits nonzero.
 //!
-//! The plan can be overridden from the environment for ad-hoc soaking:
+//! Beyond the ctrl-plane matrix, three data-plane suites always run:
+//!
+//! * **payload** — flip/torn/silent-drop corruption on the verified
+//!   stencil: every run must end byte-correct after bounded data-path
+//!   retransmission (never a hang, never silent corruption);
+//! * **starved** — a post burst far past a tiny admission cap, with the
+//!   staging pool and FIN journal capped too: credit deferral and
+//!   QueueFull nack-retry must pace the run to completion with queue
+//!   depths bounded by the cap (the checker enforces it);
+//! * **doomed-group** — every `GroupPacket` transmit dropped:
+//!   `Group_Wait` must surface a typed error instead of stalling.
+//!
+//! The plan can be overridden from the environment for ad-hoc soaking
+//! (ctrl knobs plus the payload knobs `flip`/`torn`/`ddrop`):
 //!
 //! ```text
-//! FAULT_PLAN=drop=100,dup=50,delay=50:10000,crash=12 \
+//! FAULT_PLAN=drop=100,dup=50,flip=40,torn=40,ddrop=20 \
 //!     cargo run --release -p checker --bin fault_soak
 //! ```
+//!
+//! `SOAK_LONG=1` widens the matrix (more seeds, deeper corruption
+//! stacks) for nightly-style runs; the default stays CI-fast.
 
 use checker::{
-    alltoall_workload, run_scenario_with_dump, verified_stencil_workload, ConformanceConfig,
-    Scenario, Workload,
+    alltoall_workload, doomed_group_workload, run_scenario_with_dump, starved_flood_workload,
+    verified_stencil_workload, ConformanceConfig, Scenario, Workload, STARVED_QUEUE_CAP,
 };
 use offload::FaultPlan;
 
@@ -51,25 +67,102 @@ fn default_plans() -> Vec<FaultPlan> {
     ]
 }
 
+/// Data-plane corruption plans: each mode alone, then everything
+/// stacked on a lossy ctrl plane (the data-integrity acceptance plan).
+fn payload_plans(long: bool) -> Vec<FaultPlan> {
+    let none = FaultPlan::none();
+    let mut plans = vec![
+        FaultPlan {
+            flip_pm: 60,
+            ..none
+        },
+        FaultPlan {
+            torn_pm: 60,
+            ..none
+        },
+        FaultPlan {
+            data_drop_pm: 40,
+            ..none
+        },
+        FaultPlan {
+            flip_pm: 40,
+            torn_pm: 40,
+            data_drop_pm: 20,
+            drop_pm: 50,
+            ..none
+        },
+    ];
+    if long {
+        plans.push(FaultPlan {
+            flip_pm: 150,
+            torn_pm: 100,
+            data_drop_pm: 60,
+            drop_pm: 80,
+            dup_pm: 40,
+            ..none
+        });
+    }
+    plans
+}
+
+struct Tally {
+    ran: usize,
+    failed: usize,
+}
+
+impl Tally {
+    fn record(
+        &mut self,
+        suite: &str,
+        workload: &Workload,
+        scenario: &Scenario,
+        cfg: ConformanceConfig,
+    ) {
+        let label = format!(
+            "{suite} plan={:?} seed={} jitter={}ns proxies={}",
+            scenario.fault, scenario.seed, scenario.jitter_ns, scenario.proxies_per_dpu
+        );
+        let (outcome, dump) =
+            run_scenario_with_dump(&format!("soak-{suite}"), workload, scenario, cfg);
+        self.ran += 1;
+        if outcome.is_ok() {
+            println!("ok   {label}");
+        } else {
+            self.failed += 1;
+            println!("FAIL {label}: {outcome:?}");
+            if let Some(path) = dump {
+                println!("     dump: {}", path.display());
+            }
+        }
+    }
+}
+
 fn main() {
-    let plans = match FaultPlan::from_env() {
-        Ok(p) if !p.is_none() => vec![p],
-        Ok(_) => default_plans(),
+    let long = std::env::var("SOAK_LONG").is_ok_and(|v| v == "1");
+    let seeds = if long { 8u64 } else { 4 };
+    let env_plan = match FaultPlan::from_env() {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("fault_soak: {e}");
             std::process::exit(2);
         }
+    };
+    let plans = if env_plan.is_none() {
+        default_plans()
+    } else {
+        vec![env_plan]
     };
     let workloads: [(&str, Workload); 2] = [
         ("verified-stencil", verified_stencil_workload()),
         ("alltoall", alltoall_workload()),
     ];
     let cfg = ConformanceConfig::default();
-    let mut ran = 0usize;
-    let mut failed = 0usize;
+    let mut tally = Tally { ran: 0, failed: 0 };
+
+    // Ctrl-plane matrix (or the single env-provided plan).
     for plan in &plans {
         for (name, workload) in &workloads {
-            for seed in 0..4u64 {
+            for seed in 0..seeds {
                 for proxies in [1usize, 2, 4] {
                     let scenario = Scenario {
                         seed,
@@ -77,28 +170,66 @@ fn main() {
                         proxies_per_dpu: proxies,
                         fault: plan.with_seed(seed * 97 + proxies as u64),
                     };
-                    let label = format!(
-                        "{name} plan={plan:?} seed={seed} jitter={}ns proxies={proxies}",
-                        scenario.jitter_ns
-                    );
-                    let (outcome, dump) =
-                        run_scenario_with_dump(&format!("soak-{name}"), workload, &scenario, cfg);
-                    ran += 1;
-                    if outcome.is_ok() {
-                        println!("ok   {label}");
-                    } else {
-                        failed += 1;
-                        println!("FAIL {label}: {outcome:?}");
-                        if let Some(path) = dump {
-                            println!("     dump: {}", path.display());
-                        }
-                    }
+                    tally.record(name, workload, &scenario, cfg);
                 }
             }
         }
     }
-    println!("fault_soak: {ran} scenarios, {failed} failed");
-    if failed > 0 {
+
+    // Data-plane integrity: corruption must heal byte-correct through
+    // bounded retransmission (the driver verifies the received bytes).
+    if env_plan.is_none() {
+        let payload = verified_stencil_workload();
+        for plan in payload_plans(long) {
+            for seed in 0..seeds {
+                for proxies in [1usize, 2, 4] {
+                    let scenario = Scenario {
+                        seed,
+                        jitter_ns: 0,
+                        proxies_per_dpu: proxies,
+                        fault: plan.with_seed(seed * 131 + proxies as u64),
+                    };
+                    tally.record("payload", &payload, &scenario, cfg);
+                }
+            }
+        }
+
+        // Backpressure: every queue capped far below the burst; the
+        // checker enforces the admission cap on observed queue depths.
+        let starved = starved_flood_workload();
+        let starved_cfg = ConformanceConfig {
+            queue_cap: STARVED_QUEUE_CAP,
+            ..cfg
+        };
+        for seed in 0..seeds {
+            for proxies in [1usize, 2, 4] {
+                let scenario = Scenario {
+                    seed,
+                    jitter_ns: [0, 2_000][(seed % 2) as usize],
+                    proxies_per_dpu: proxies,
+                    fault: FaultPlan::none(),
+                };
+                tally.record("starved", &starved, &scenario, starved_cfg);
+            }
+        }
+
+        // Degradation: a doomed collective must fail typed, never stall.
+        let doomed = doomed_group_workload();
+        let doomed_plan = FaultPlan {
+            drop_group_packets: true,
+            ..FaultPlan::none()
+        };
+        for seed in 0..seeds {
+            let scenario = Scenario::baseline(seed).with_fault(doomed_plan.with_seed(seed));
+            tally.record("doomed-group", &doomed, &scenario, cfg);
+        }
+    }
+
+    println!(
+        "fault_soak: {} scenarios, {} failed",
+        tally.ran, tally.failed
+    );
+    if tally.failed > 0 {
         std::process::exit(1);
     }
 }

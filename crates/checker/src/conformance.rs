@@ -34,8 +34,25 @@
 //!    per transfer id, no matter how many duplicate FINs the fault plan
 //!    manufactures on the wire.
 //! 10. **Every request resolves** — at end of run each `HostReqPosted`
-//!     transfer id has either a `HostReqDone` or a typed `ReqFailed`;
-//!     requests never vanish into a crashed proxy.
+//!     transfer id has either a `HostReqDone`, a typed `ReqFailed`, or a
+//!     `ReqCancelled`; requests never vanish into a crashed proxy.
+//! 11. **No FIN over a corrupt payload** — a `Send`/`Recv` FIN may not
+//!     cite a transfer whose last delivery attempt failed CRC
+//!     verification (`PayloadCorrupt` without a later `PayloadRecovered`)
+//!     or whose retransmission budget is exhausted
+//!     (`DataIntegrityFailed`); at end of run no corruption is left
+//!     unresolved.
+//! 12. **Bounded queues stay bounded** — with an admission cap
+//!     configured, `ProxyQueueDepth` never reports more queued
+//!     descriptors than the cap.
+//! 13. **No completion after cancel** — once a rank emits `ReqCancelled`
+//!     for a transfer id, `HostReqDone` for that id is a violation (late
+//!     FINs must be swallowed).
+//! 14. **Group abandonment surfaces** — a host-side `CtrlAbandoned` of a
+//!     group ctrl message must be followed by a `GroupFailed` — or by a
+//!     successful `GroupWaitDone`, which restart replay can legitimately
+//!     produce — before the end of the run (`Group_Wait` returns a typed
+//!     error, never stalls).
 //!
 //! ## Proxy restarts
 //!
@@ -62,12 +79,16 @@ pub struct ConformanceConfig {
     /// if so, a repeated `GroupPacketSent` is a violation; if not, every
     /// `group_call` legitimately resends the packet.
     pub group_cache_enabled: bool,
+    /// The engine's admission cap (`OffloadConfig::queue_cap`); `0`
+    /// means unbounded queues and disables the queue-depth invariant.
+    pub queue_cap: usize,
 }
 
 impl Default for ConformanceConfig {
     fn default() -> Self {
         ConformanceConfig {
             group_cache_enabled: true,
+            queue_cap: 0,
         }
     }
 }
@@ -140,6 +161,24 @@ struct State {
     done_ids: BTreeSet<u64>,
     /// Transfer ids surfaced to the app as a typed failure.
     failed_ids: BTreeSet<u64>,
+    /// Transfer ids the host cancelled (deadline or explicit).
+    cancelled_ids: BTreeSet<u64>,
+    /// Transfers whose last delivery attempt failed CRC verification at
+    /// the keyed proxy, with no recovery seen yet (volatile per proxy:
+    /// a restart replays the write from scratch).
+    corrupt_outstanding: BTreeSet<(Pid, u64)>,
+    /// Transfers whose data-path retransmission budget is exhausted —
+    /// terminal, so any later FIN for them is a violation.
+    integrity_failed: BTreeSet<(Pid, u64)>,
+    /// Host-side abandonments of group ctrl messages; they demand a
+    /// resolution — a `GroupFailed`, or a successful `GroupWaitDone`
+    /// (restart replay can complete a collective whose original install
+    /// packet was abandoned) — before end of run.
+    group_ctrl_abandoned: u64,
+    /// `GroupFailed` events observed.
+    group_failures_seen: u64,
+    /// Successful `GroupWaitDone` events observed.
+    group_waits_done: u64,
     violations: Vec<Violation>,
     events_seen: u64,
 }
@@ -251,8 +290,32 @@ impl State {
                 req,
                 wrid,
                 kind,
-                msg_id: _,
+                msg_id,
             } => {
+                if kind != FinKind::Group && msg_id != 0 {
+                    if self.corrupt_outstanding.contains(&(src, msg_id)) {
+                        self.violate(
+                            at,
+                            pid,
+                            "fin-after-corrupt",
+                            format!(
+                                "{kind:?} FIN for transfer {msg_id:#x} whose last \
+                                 delivery attempt failed CRC verification"
+                            ),
+                        );
+                    }
+                    if self.integrity_failed.contains(&(src, msg_id)) {
+                        self.violate(
+                            at,
+                            pid,
+                            "fin-after-corrupt",
+                            format!(
+                                "{kind:?} FIN for transfer {msg_id:#x} after its \
+                                 data-path retransmission budget was exhausted"
+                            ),
+                        );
+                    }
+                }
                 if kind == FinKind::Group {
                     if wrid == 0 {
                         self.violate(
@@ -437,9 +500,81 @@ impl State {
                         ),
                     );
                 }
+                if self.cancelled_ids.contains(&msg_id) {
+                    self.violate(
+                        at,
+                        pid,
+                        "done-after-cancel",
+                        format!(
+                            "rank {rank} completed transfer {msg_id:#x} after \
+                             cancelling it — the late FIN must be swallowed"
+                        ),
+                    );
+                }
             }
             ProtoEvent::ReqFailed { msg_id, .. } => {
                 self.failed_ids.insert(msg_id);
+            }
+            ProtoEvent::ReqCancelled { msg_id, .. } => {
+                self.cancelled_ids.insert(msg_id);
+            }
+            ProtoEvent::PayloadCorrupt { msg_id, .. } => {
+                self.corrupt_outstanding.insert((src, msg_id));
+            }
+            ProtoEvent::PayloadRecovered { msg_id, attempts } => {
+                if !self.corrupt_outstanding.remove(&(src, msg_id)) {
+                    self.violate(
+                        at,
+                        pid,
+                        "recovery-without-corrupt",
+                        format!(
+                            "transfer {msg_id:#x} reported recovered after {attempts} \
+                             attempts but no corruption was outstanding"
+                        ),
+                    );
+                }
+            }
+            ProtoEvent::DataIntegrityFailed { msg_id, .. } => {
+                self.corrupt_outstanding.remove(&(src, msg_id));
+                self.integrity_failed.insert((src, msg_id));
+            }
+            ProtoEvent::ProxyQueueDepth {
+                send_depth,
+                recv_depth,
+            } => {
+                if cfg.queue_cap > 0 && send_depth + recv_depth > cfg.queue_cap {
+                    self.violate(
+                        at,
+                        pid,
+                        "queue-over-cap",
+                        format!(
+                            "proxy queues hold {} descriptors past the admission \
+                             cap of {}",
+                            send_depth + recv_depth,
+                            cfg.queue_cap
+                        ),
+                    );
+                }
+            }
+            ProtoEvent::CtrlAbandoned { at_proxy, kind, .. } => {
+                // A host abandoning a group ctrl message strands the whole
+                // collective; `fail_group` must surface it as `GroupFailed`
+                // (checked at end of run) instead of letting `Group_Wait`
+                // stall forever.
+                if !at_proxy
+                    && matches!(
+                        kind,
+                        offload::CtrlKind::GroupPacket | offload::CtrlKind::GroupExec
+                    )
+                {
+                    self.group_ctrl_abandoned += 1;
+                }
+            }
+            ProtoEvent::GroupFailed { .. } => {
+                self.group_failures_seen += 1;
+            }
+            ProtoEvent::GroupWaitDone { .. } => {
+                self.group_waits_done += 1;
             }
             ProtoEvent::ProxyRestarted { .. } => {
                 // The restarted proxy replays everything that had not
@@ -460,6 +595,11 @@ impl State {
                 self.registered.retain(|e| e.0 != src);
                 self.latest_reg.retain(|k, _| k.0 != src);
                 self.barrier_last.retain(|k, _| k.0 != src);
+                // In-flight payload-verification state is volatile: the
+                // restarted proxy replays the write from scratch, so a
+                // pre-crash corruption is not "outstanding" any more.
+                // Exhausted budgets stay — they already failed the app.
+                self.corrupt_outstanding.retain(|e| e.0 != src);
                 // Hosts legitimately re-ship receive metadata and group
                 // packets to a restarted proxy; at-most-once holds only
                 // between restarts.
@@ -473,16 +613,19 @@ impl State {
             | ProtoEvent::CtrlDropped { .. }
             | ProtoEvent::CtrlRetransmit { .. }
             | ProtoEvent::CtrlDuplicateDropped { .. }
-            | ProtoEvent::CtrlAbandoned { .. }
             | ProtoEvent::FallbackToStaging { .. }
             | ProtoEvent::ReqReplayed { .. }
             | ProtoEvent::StaleCqe { .. }
             | ProtoEvent::HostWakeup { .. }
             | ProtoEvent::GroupCallReturned { .. }
-            | ProtoEvent::GroupWaitDone { .. }
             | ProtoEvent::GroupExecSent { .. }
             | ProtoEvent::BarrierStall { .. }
-            | ProtoEvent::ProxyQueueDepth { .. }
+            | ProtoEvent::QueueFullNack { .. }
+            | ProtoEvent::CreditDeferred { .. }
+            | ProtoEvent::StagingReclaimed { .. }
+            | ProtoEvent::ReqReaped { .. }
+            | ProtoEvent::JournalTruncated { .. }
+            | ProtoEvent::JournalSize { .. }
             | ProtoEvent::HostFinalized { .. } => {}
         }
     }
@@ -535,10 +678,17 @@ impl Conformance {
     pub fn finish(&self) -> Vec<Violation> {
         let mut st = self.inner.lock();
         let end = SimTime::ZERO;
+        let cancelled = st.cancelled_ids.clone();
         let flows: Vec<_> = st
             .flows
             .iter()
             .filter(|(_, f)| !(f.rts == f.rtr && f.rtr == f.matched))
+            // A flow whose every transfer the host cancelled legitimately
+            // ends unmatched: the descriptors were reaped on purpose.
+            .filter(|(_, f)| {
+                f.rts_ids.union(&f.rtr_ids).count() == 0
+                    || !f.rts_ids.union(&f.rtr_ids).all(|id| cancelled.contains(id))
+            })
             .map(|(&k, f)| (k, f.rts, f.rtr, f.matched))
             .collect();
         for ((src, dst, tag), rts, rtr, matched) in flows {
@@ -565,7 +715,11 @@ impl Conformance {
             .req_ids_posted
             .iter()
             .copied()
-            .filter(|id| !st.done_ids.contains(id) && !st.failed_ids.contains(id))
+            .filter(|id| {
+                !st.done_ids.contains(id)
+                    && !st.failed_ids.contains(id)
+                    && !st.cancelled_ids.contains(id)
+            })
             .collect();
         for id in unresolved {
             st.violate(
@@ -575,6 +729,34 @@ impl Conformance {
                 format!(
                     "transfer {id:#x} was posted but neither completed nor \
                      surfaced as a typed failure"
+                ),
+            );
+        }
+        let stuck: Vec<(Pid, u64)> = st.corrupt_outstanding.iter().copied().collect();
+        for (pid, id) in stuck {
+            st.violate(
+                end,
+                Some(pid),
+                "corrupt-never-resolved",
+                format!(
+                    "transfer {id:#x} ended the run with a failed CRC and neither \
+                     a recovery nor a typed integrity failure"
+                ),
+            );
+        }
+        // Restart replay may legitimately complete a collective whose
+        // original install packet was abandoned (the stale reliability
+        // entry gives up while the replayed one succeeds), so any
+        // successful group wait also counts as a resolution.
+        if st.group_ctrl_abandoned > 0 && st.group_failures_seen == 0 && st.group_waits_done == 0 {
+            let n = st.group_ctrl_abandoned;
+            st.violate(
+                end,
+                None,
+                "group-abandon-unsurfaced",
+                format!(
+                    "{n} group ctrl message(s) were abandoned at a host but no \
+                     GroupFailed ever surfaced — Group_Wait would stall"
                 ),
             );
         }

@@ -13,7 +13,10 @@ use std::sync::Arc;
 
 use offload::{parse_flight_dump, replay_into, FaultPlan, FlightRecorder, OffloadConfig};
 use simnet::{EventSink, Report, SimDelta, SimError, SimTime};
-use workloads::{drive_alltoall, drive_stencil, drive_verified_stencil, fanout, CheckRun};
+use workloads::{
+    drive_alltoall, drive_deadline, drive_flood, drive_group_abandon, drive_stencil,
+    drive_verified_stencil, fanout, CheckRun,
+};
 
 use crate::conformance::{Conformance, ConformanceConfig, Violation};
 
@@ -131,6 +134,52 @@ pub fn verified_stencil_workload() -> Workload {
 pub fn alltoall_workload() -> Workload {
     Arc::new(|scenario: &Scenario, sink: EventSink| {
         drive_alltoall(&check_run(scenario, sink), 2048, 2)
+    })
+}
+
+/// Admission cap a starved run gives the proxies. Deliberately tiny —
+/// [`starved_flood_workload`] posts [`FLOOD_BURST`] transfers per rank
+/// at once, so the credit window is exhausted from the first round.
+pub const STARVED_QUEUE_CAP: usize = 2;
+
+/// Outstanding send/recv pairs each rank posts in the starved flood.
+pub const FLOOD_BURST: u64 = 16;
+
+/// The backpressure workload: [`workloads::drive_flood`] under a
+/// [`STARVED_QUEUE_CAP`]-deep admission cap, a bounded staging pool and
+/// a bounded FIN journal. Every queue the engine owns is capped far
+/// below the posted burst; the run must still complete, with deferral
+/// and nack-retry doing the pacing (never unbounded growth — pair it
+/// with [`ConformanceConfig::queue_cap`] to have the checker enforce
+/// the bound).
+pub fn starved_flood_workload() -> Workload {
+    Arc::new(|scenario: &Scenario, sink: EventSink| {
+        let mut run = check_run(scenario, sink);
+        run.cfg = run
+            .cfg
+            .clone()
+            .with_queue_cap(STARVED_QUEUE_CAP)
+            .with_staging_cap(4)
+            .with_journal_cap(64);
+        drive_flood(&run, 1024, FLOOD_BURST)
+    })
+}
+
+/// The group-abandonment workload (see
+/// [`workloads::drive_group_abandon`]): meant to run under a plan with
+/// `drop_group_packets`, where `Group_Wait` must surface a typed error.
+pub fn doomed_group_workload() -> Workload {
+    Arc::new(|scenario: &Scenario, sink: EventSink| {
+        drive_group_abandon(&check_run(scenario, sink), 1024)
+    })
+}
+
+/// The deadline/cancel workload (see [`workloads::drive_deadline`]):
+/// orphan transfers must expire or cancel with typed errors while a
+/// matched exchange on the same ranks completes untouched.
+pub fn deadline_workload() -> Workload {
+    Arc::new(|scenario: &Scenario, sink: EventSink| {
+        drive_deadline(&check_run(scenario, sink), 1024)
     })
 }
 

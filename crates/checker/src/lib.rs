@@ -31,9 +31,10 @@ mod explore;
 
 pub use conformance::{Conformance, ConformanceConfig, Violation};
 pub use explore::{
-    alltoall_workload, explore, failure_dump_dir, replay_dump, run_scenario, run_scenario_recorded,
-    run_scenario_with_dump, shrink, stencil_workload, sweep, verified_stencil_workload,
-    write_failure_dump, Outcome, Scenario, Workload,
+    alltoall_workload, deadline_workload, doomed_group_workload, explore, failure_dump_dir,
+    replay_dump, run_scenario, run_scenario_recorded, run_scenario_with_dump, shrink,
+    starved_flood_workload, stencil_workload, sweep, verified_stencil_workload, write_failure_dump,
+    Outcome, Scenario, Workload, FLOOD_BURST, STARVED_QUEUE_CAP,
 };
 
 #[cfg(test)]
@@ -236,6 +237,20 @@ mod tests {
         assert_eq!(report.reqs_replayed, 0);
         assert_eq!(report.req_failures, 0);
         assert_eq!(report.stale_cqes, 0);
+        // The integrity/backpressure/deadline machinery must be equally
+        // dormant: no CRC traffic, no nacks, no credit accounting, no
+        // reclaim, no cancellations, no journal activity.
+        assert_eq!(report.payload_corrupt, 0);
+        assert_eq!(report.payload_recovered, 0);
+        assert_eq!(report.data_integrity_failures, 0);
+        assert_eq!(report.queue_full_nacks, 0);
+        assert_eq!(report.credit_deferrals, 0);
+        assert_eq!(report.staging_reclaimed, 0);
+        assert_eq!(report.reqs_cancelled, 0);
+        assert_eq!(report.reqs_reaped, 0);
+        assert_eq!(report.group_failures, 0);
+        assert_eq!(report.journal_truncations, 0);
+        assert_eq!(report.journal_hwm, 0);
     }
 
     #[test]
@@ -289,6 +304,246 @@ mod tests {
             "a 40% registration-failure rate must trigger the staging fallback"
         );
         assert_eq!(report.ctrl_retransmits, 0, "fallback alone arms no retx");
+    }
+
+    /// Data-plane fault plans for the payload soaks: each corruption
+    /// mode alone, then all three stacked on a lossy ctrl plane.
+    fn payload_plans() -> Vec<FaultPlan> {
+        let none = FaultPlan::none();
+        vec![
+            FaultPlan {
+                flip_pm: 60,
+                ..none
+            },
+            FaultPlan {
+                torn_pm: 60,
+                ..none
+            },
+            FaultPlan {
+                data_drop_pm: 40,
+                ..none
+            },
+            FaultPlan {
+                flip_pm: 40,
+                torn_pm: 40,
+                data_drop_pm: 20,
+                drop_pm: 50,
+                ..none
+            },
+        ]
+    }
+
+    #[test]
+    fn payload_faults_recover_byte_correct() {
+        // Corrupted, torn or silently dropped payloads must be caught by
+        // the end-to-end CRC at FIN time and healed by bounded data-path
+        // retransmission: every run completes with the receiver-side
+        // byte verification of drive_verified_stencil passing and every
+        // conformance invariant (including fin-after-corrupt) intact.
+        let workload = verified_stencil_workload();
+        let cfg = ConformanceConfig::default();
+        for plan in payload_plans() {
+            for seed in 0..3u64 {
+                for proxies in [1usize, 2] {
+                    let scenario = Scenario {
+                        seed,
+                        jitter_ns: 0,
+                        proxies_per_dpu: proxies,
+                        fault: plan.with_seed(seed * 131 + proxies as u64),
+                    };
+                    let (outcome, dump) =
+                        run_scenario_with_dump("payload-soak", &workload, &scenario, cfg);
+                    assert!(
+                        outcome.is_ok(),
+                        "plan {plan:?} seed {seed} proxies {proxies}: {outcome:?} (dump: {dump:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_faults_are_detected_and_healed_with_bounded_retx() {
+        // A high flip rate must actually exercise the machinery: corrupt
+        // detections, successful recoveries, zero budget exhaustions —
+        // and the observability counters must record all of it.
+        let metrics = Metrics::new();
+        let checker = Conformance::new(ConformanceConfig::default());
+        let mut run = workloads::CheckRun::baseline(33);
+        run.move_bytes = true;
+        run.sink = Some(workloads::fanout(vec![metrics.sink(), checker.sink()]));
+        run.cfg = run.cfg.clone().with_fault(FaultPlan {
+            flip_pm: 250,
+            seed: 5,
+            ..FaultPlan::none()
+        });
+        workloads::drive_verified_stencil(&run, 2048, 3).expect("healed run");
+        assert!(
+            checker.finish().is_empty(),
+            "integrity recovery must not break invariants"
+        );
+        let report = metrics.report();
+        assert!(
+            report.payload_corrupt > 0,
+            "a 25% flip rate must corrupt at least one payload"
+        );
+        assert!(
+            report.payload_recovered > 0,
+            "corrupt payloads must be healed by retransmission"
+        );
+        assert_eq!(
+            report.data_integrity_failures, 0,
+            "the retransmission budget is ample for a 25% flip rate"
+        );
+    }
+
+    #[test]
+    fn credit_starvation_completes_without_unbounded_queues() {
+        // A burst far past the admission cap must finish through credit
+        // deferral and QueueFull nack-retry, with proxy queue depths
+        // bounded by the cap the whole way (invariant 12).
+        let workload = starved_flood_workload();
+        let cfg = ConformanceConfig {
+            queue_cap: STARVED_QUEUE_CAP,
+            ..ConformanceConfig::default()
+        };
+        for seed in 0..3u64 {
+            for proxies in [1usize, 2] {
+                let scenario = Scenario {
+                    seed,
+                    jitter_ns: 0,
+                    proxies_per_dpu: proxies,
+                    fault: FaultPlan::none(),
+                };
+                let (outcome, dump) =
+                    run_scenario_with_dump("credit-starved", &workload, &scenario, cfg);
+                assert!(
+                    outcome.is_ok(),
+                    "seed {seed} proxies {proxies}: {outcome:?} (dump: {dump:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn credit_starvation_exercises_deferral_and_reclaim() {
+        let metrics = Metrics::new();
+        let mut run = workloads::CheckRun::baseline(41);
+        run.sink = Some(metrics.sink());
+        run.cfg = run
+            .cfg
+            .clone()
+            .with_queue_cap(STARVED_QUEUE_CAP)
+            .with_staging_cap(4)
+            .with_journal_cap(8);
+        workloads::drive_flood(&run, 1024, FLOOD_BURST).expect("starved run completes");
+        let report = metrics.report();
+        assert!(
+            report.credit_deferrals > 0,
+            "a {FLOOD_BURST}-deep burst against a {STARVED_QUEUE_CAP}-credit window must defer"
+        );
+        assert!(
+            report.journal_truncations > 0,
+            "an 8-entry journal cap must truncate under {FLOOD_BURST} transfers per rank"
+        );
+        assert!(
+            report.journal_hwm < 2 * (report.fin_send + report.fin_recv),
+            "journal high-water mark must stay far below total FIN volume"
+        );
+    }
+
+    #[test]
+    fn doomed_group_surfaces_typed_error_not_a_stall() {
+        // Satellite of the CtrlAbandoned fix: when every GroupPacket
+        // transmit is dropped, Group_Wait must return
+        // OffloadError::GroupFailed (the driver asserts the variant) and
+        // the abandonment must surface as a GroupFailed event — the
+        // run classifies Ok, not TimeLimit/Deadlock.
+        let workload = doomed_group_workload();
+        let plan = FaultPlan {
+            drop_group_packets: true,
+            ..FaultPlan::none()
+        };
+        for seed in 0..3u64 {
+            let scenario = Scenario::baseline(seed).with_fault(plan.with_seed(seed));
+            let (outcome, dump) = run_scenario_with_dump(
+                "doomed-group",
+                &workload,
+                &scenario,
+                ConformanceConfig::default(),
+            );
+            assert!(outcome.is_ok(), "seed {seed}: {outcome:?} (dump: {dump:?})");
+        }
+        // Counter plumbing for the same run shape.
+        let metrics = Metrics::new();
+        let mut run = workloads::CheckRun::baseline(2);
+        run.sink = Some(metrics.sink());
+        run.cfg = run.cfg.clone().with_fault(plan.with_seed(9));
+        workloads::drive_group_abandon(&run, 1024).expect("typed failure, clean exit");
+        let report = metrics.report();
+        assert!(report.ctrl_abandoned > 0, "group packets must be abandoned");
+        assert!(
+            report.group_failures > 0,
+            "abandonment must surface as GroupFailed"
+        );
+    }
+
+    #[test]
+    fn unsurfaced_group_abandonment_is_a_violation() {
+        // The checker side of the same satellite: a synthesized stream
+        // where a host abandons a GroupPacket and no GroupFailed ever
+        // follows must trip group-abandon-unsurfaced at end of run.
+        use offload::CtrlKind;
+        use simnet::{Pid, SimTime};
+        let checker = Conformance::new(ConformanceConfig::default());
+        let sink = checker.sink();
+        sink(
+            SimTime::ZERO,
+            Pid::from_index(0),
+            &offload::ProtoEvent::CtrlAbandoned {
+                at_proxy: false,
+                kind: CtrlKind::GroupPacket,
+                msg_id: 0,
+            },
+        );
+        let violations = checker.finish();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "group-abandon-unsurfaced"),
+            "expected group-abandon-unsurfaced, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn deadlines_and_cancellation_surface_typed_errors() {
+        // Orphan transfers expire or cancel with typed errors (asserted
+        // inside drive_deadline); the proxy reaps their descriptors and
+        // the matched exchange on the same ranks is untouched.
+        let workload = deadline_workload();
+        for seed in 0..3u64 {
+            let scenario = Scenario::baseline(seed);
+            let (outcome, dump) = run_scenario_with_dump(
+                "deadline-cancel",
+                &workload,
+                &scenario,
+                ConformanceConfig::default(),
+            );
+            assert!(outcome.is_ok(), "seed {seed}: {outcome:?} (dump: {dump:?})");
+        }
+        let metrics = Metrics::new();
+        let mut run = workloads::CheckRun::baseline(3);
+        run.sink = Some(metrics.sink());
+        workloads::drive_deadline(&run, 1024).expect("deadline run completes");
+        let report = metrics.report();
+        assert_eq!(
+            report.reqs_cancelled, 2,
+            "one deadline expiry plus one explicit cancel"
+        );
+        assert!(
+            report.reqs_reaped >= 1,
+            "the proxy must reap at least one orphaned descriptor"
+        );
     }
 
     #[test]

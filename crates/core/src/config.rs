@@ -65,6 +65,20 @@ pub struct FaultPlan {
     /// Probability (permille) that one cross-GVMI registration attempt
     /// fails; the transfer falls back to the staging path.
     pub xreg_fail_pm: u16,
+    /// Probability (permille) that an RDMA payload lands with one byte
+    /// flipped (data-plane fault; arms end-to-end CRC verification).
+    pub flip_pm: u16,
+    /// Probability (permille) that an RDMA payload lands torn: only a
+    /// random prefix of the bytes is written.
+    pub torn_pm: u16,
+    /// Probability (permille) that an RDMA payload is dropped entirely on
+    /// the wire while the operation still completes (silent loss).
+    pub data_drop_pm: u16,
+    /// Targeted fault: drop every transmit attempt of `GroupPacket`
+    /// ctrl messages (including retransmissions), forcing the reliability
+    /// layer to abandon them. Proves `Group_Wait` surfaces a typed error
+    /// instead of stalling. Arms the reliability layer.
+    pub drop_group_packets: bool,
     /// Seed for the fault RNG (independent of the schedule seed).
     pub seed: u64,
     /// Legacy one-shot fault: drop the first FIN, never retransmit.
@@ -83,6 +97,10 @@ impl FaultPlan {
             delay_ns: 0,
             crash_at_step: 0,
             xreg_fail_pm: 0,
+            flip_pm: 0,
+            torn_pm: 0,
+            data_drop_pm: 0,
+            drop_group_packets: false,
             seed: 0,
             drop_first_fin: false,
             skip_cross_reg: false,
@@ -93,7 +111,19 @@ impl FaultPlan {
     /// one-shot faults deliberately do *not* arm it: they exist to prove
     /// the checker still detects unrecovered faults.
     pub fn reliable(&self) -> bool {
-        self.drop_pm > 0 || self.dup_pm > 0 || self.delay_pm > 0 || self.crash_at_step > 0
+        self.drop_pm > 0
+            || self.dup_pm > 0
+            || self.delay_pm > 0
+            || self.crash_at_step > 0
+            || self.drop_group_packets
+    }
+
+    /// Whether data-plane payload faults are armed. Arming any of them
+    /// also arms the end-to-end CRC integrity layer (checksums in RTS and
+    /// group entries, verification at the posting proxy's CQE, bounded
+    /// data-path retransmission).
+    pub fn payload_faults(&self) -> bool {
+        self.flip_pm > 0 || self.torn_pm > 0 || self.data_drop_pm > 0
     }
 
     /// Whether cross-GVMI registration may fail (staging fallback armed).
@@ -115,7 +145,8 @@ impl FaultPlan {
     }
 
     /// Parse a comma-separated `key=value` list, e.g.
-    /// `drop=100,dup=50,delay=20:5000,crash=40,xreg=80,seed=7`.
+    /// `drop=100,dup=50,delay=20:5000,crash=40,xreg=80,seed=7` or the
+    /// data-plane knobs `flip=5,torn=5,ddrop=3`.
     /// `delay` takes `permille:nanoseconds`. Unknown keys are an error.
     pub fn parse(s: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none();
@@ -139,6 +170,9 @@ impl FaultPlan {
                 }
                 "crash" => plan.crash_at_step = num(value)? as u32,
                 "xreg" => plan.xreg_fail_pm = num(value)? as u16,
+                "flip" => plan.flip_pm = num(value)? as u16,
+                "torn" => plan.torn_pm = num(value)? as u16,
+                "ddrop" => plan.data_drop_pm = num(value)? as u16,
                 "seed" => plan.seed = num(value)?,
                 other => return Err(format!("fault plan: unknown key `{other}`")),
             }
@@ -196,7 +230,18 @@ impl fmt::Debug for FaultPlan {
             self.xreg_fail_pm,
             self.crash_at_step,
             self.seed
-        )
+        )?;
+        if self.payload_faults() {
+            write!(
+                f,
+                "-p{}.{}.{}",
+                self.flip_pm, self.torn_pm, self.data_drop_pm
+            )?;
+        }
+        if self.drop_group_packets {
+            write!(f, "-G")?;
+        }
+        Ok(())
     }
 }
 
@@ -218,6 +263,27 @@ pub struct OffloadConfig {
     pub entry_bytes: u64,
     /// ARM time the proxy spends interpreting one queue/packet entry.
     pub proxy_entry_overhead: simnet::SimDelta,
+    /// Bound on the proxy's pending send+recv descriptor queues
+    /// (0 = unbounded, the PR-4-identical default). When armed, hosts
+    /// run credit-based admission: at most this many un-FINned basic
+    /// descriptors in flight per proxy, overflow posts are deferred
+    /// host-side, and a racing over-admission is bounced with a
+    /// `QueueFull` nack the host retries after a backoff.
+    pub queue_cap: usize,
+    /// Bound on the number of per-message staging buffers a proxy keeps
+    /// (0 = unbounded). When armed, idle buffers are reclaimed LRU and
+    /// reused for same-size transfers instead of growing the pool.
+    pub staging_cap: usize,
+    /// Bound on the durable per-proxy FIN journal (0 = unbounded). When
+    /// armed, hosts piggyback their contiguous completion horizon on
+    /// RTS/RTR and the proxy truncates journal entries every host has
+    /// acked past once the journal exceeds the cap.
+    pub journal_cap: usize,
+    /// Memory budget (entries) for the host registration caches
+    /// (0 = unbounded). When armed, caches evict LRU — never an entry
+    /// pinned by an in-flight request — and evicted keys are
+    /// deregistered from the fabric.
+    pub cache_budget: usize,
     /// Fault plan (checker validation and fault-soak only).
     pub fault: FaultPlan,
 }
@@ -231,6 +297,10 @@ impl Default for OffloadConfig {
             ctrl_bytes: 64,
             entry_bytes: 48,
             proxy_entry_overhead: simnet::SimDelta::from_ns(120),
+            queue_cap: 0,
+            staging_cap: 0,
+            journal_cap: 0,
+            cache_budget: 0,
             fault: FaultPlan::none(),
         }
     }
@@ -266,6 +336,30 @@ impl OffloadConfig {
     /// Accepts a [`FaultPlan`] or a legacy [`FaultInjection`] variant.
     pub fn with_fault<F: Into<FaultPlan>>(mut self, fault: F) -> Self {
         self.fault = fault.into();
+        self
+    }
+
+    /// Bound the proxy descriptor queues and arm credit-based admission.
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Bound the proxy staging-buffer pool.
+    pub fn with_staging_cap(mut self, cap: usize) -> Self {
+        self.staging_cap = cap;
+        self
+    }
+
+    /// Bound the durable per-proxy FIN journal.
+    pub fn with_journal_cap(mut self, cap: usize) -> Self {
+        self.journal_cap = cap;
+        self
+    }
+
+    /// Bound the host registration caches to a memory budget (entries).
+    pub fn with_cache_budget(mut self, budget: usize) -> Self {
+        self.cache_budget = budget;
         self
     }
 }
@@ -346,6 +440,47 @@ mod tests {
                 "{name} is not filename-safe"
             );
         }
+    }
+
+    #[test]
+    fn payload_fault_parse_arming_and_debug() {
+        let plan = FaultPlan::parse("flip=5,torn=4,ddrop=3,seed=9").expect("parses");
+        assert_eq!((plan.flip_pm, plan.torn_pm, plan.data_drop_pm), (5, 4, 3));
+        assert!(plan.payload_faults());
+        // Payload faults alone do not arm the ctrl-plane machinery.
+        assert!(!plan.reliable());
+        let name = format!("{plan:?}");
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.'),
+            "{name} is not filename-safe"
+        );
+        assert!(name.ends_with("-p5.4.3"), "{name}");
+        // The targeted group-packet drop arms the reliability layer.
+        let grp = FaultPlan {
+            drop_group_packets: true,
+            ..FaultPlan::none()
+        };
+        assert!(grp.reliable() && !grp.payload_faults());
+        assert!(format!("{grp:?}").ends_with("-G"));
+    }
+
+    #[test]
+    fn bound_knobs_default_unbounded() {
+        let c = OffloadConfig::proposed();
+        assert_eq!(
+            (c.queue_cap, c.staging_cap, c.journal_cap, c.cache_budget),
+            (0, 0, 0, 0)
+        );
+        let c = OffloadConfig::proposed()
+            .with_queue_cap(4)
+            .with_staging_cap(2)
+            .with_journal_cap(16)
+            .with_cache_budget(8);
+        assert_eq!(
+            (c.queue_cap, c.staging_cap, c.journal_cap, c.cache_budget),
+            (4, 2, 16, 8)
+        );
     }
 
     #[test]

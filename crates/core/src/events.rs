@@ -120,6 +120,12 @@ pub enum CtrlKind {
     RetxTick,
     /// Proxy restart notice.
     ProxyRestarted,
+    /// Admission-control nack: the proxy's bounded queues were full.
+    QueueFull,
+    /// Host-initiated cancellation of an in-flight request.
+    Cancel,
+    /// Data-path retransmission budget exhausted for a transfer.
+    DataError,
     /// Undecodable or foreign message.
     Unknown,
 }
@@ -460,5 +466,88 @@ pub enum ProtoEvent {
     HostFinalized {
         /// The finalizing rank.
         rank: usize,
+    },
+    /// End-to-end CRC verification failed for a transfer at FIN time on
+    /// the posting proxy; a bounded data-path retransmission follows.
+    PayloadCorrupt {
+        /// Send-side transfer id whose payload failed verification.
+        msg_id: u64,
+        /// Data-path delivery attempt that failed (1 = first write).
+        attempt: u32,
+    },
+    /// A previously corrupt transfer verified clean after one or more
+    /// data-path retransmissions; the FIN was released.
+    PayloadRecovered {
+        /// Send-side transfer id that recovered.
+        msg_id: u64,
+        /// Total data-path delivery attempts including the clean one.
+        attempts: u32,
+    },
+    /// The data-path retransmission budget was exhausted without a clean
+    /// CRC; a typed `DataIntegrity` error was surfaced to the host.
+    DataIntegrityFailed {
+        /// Send-side transfer id that failed permanently.
+        msg_id: u64,
+        /// Data-path delivery attempts made before giving up.
+        attempts: u32,
+    },
+    /// A proxy refused to admit a descriptor because its bounded queues
+    /// were at capacity; a `QueueFull` nack went back to the poster.
+    QueueFullNack {
+        /// Transfer id of the refused descriptor.
+        msg_id: u64,
+    },
+    /// The host deferred posting a request because its per-proxy credit
+    /// window was exhausted; the request waits in the host's overflow
+    /// queue until a FIN returns credit.
+    CreditDeferred {
+        /// Deferring rank.
+        rank: usize,
+        /// Transfer id of the deferred request.
+        msg_id: u64,
+    },
+    /// The proxy reused an idle staging buffer from its bounded free
+    /// pool instead of allocating fresh staging memory.
+    StagingReclaimed {
+        /// Byte length of the reclaimed buffer.
+        len: u64,
+    },
+    /// A host cancelled an in-flight request (deadline expiry or explicit
+    /// cancel); the matching `Wait` surfaces a typed error and any late
+    /// FIN for this id is ignored.
+    ReqCancelled {
+        /// Cancelling rank.
+        rank: usize,
+        /// Transfer id of the cancelled request.
+        msg_id: u64,
+    },
+    /// A proxy reaped the queued descriptor of a cancelled request
+    /// before it matched; no data will move for this id.
+    ReqReaped {
+        /// Transfer id of the reaped descriptor.
+        msg_id: u64,
+    },
+    /// A group generation failed permanently: a group ctrl message
+    /// exhausted its retransmission budget (or its data path failed) and
+    /// `Group_Wait` surfaces a typed error instead of stalling.
+    GroupFailed {
+        /// Rank whose group failed.
+        host_rank: usize,
+        /// Group request id on that rank.
+        req_id: usize,
+        /// Generation that failed.
+        gen: u64,
+    },
+    /// The proxy truncated its durable FIN journal after every host
+    /// acknowledged past the truncation horizon.
+    JournalTruncated {
+        /// Entries dropped by this truncation.
+        dropped: u64,
+    },
+    /// Periodic journal-size sample, emitted only when a journal cap is
+    /// configured (observability for the bounded-journal regression test).
+    JournalSize {
+        /// Journal entries currently retained.
+        len: u64,
     },
 }

@@ -225,6 +225,9 @@ const CTRL_KINDS: &[(&str, CtrlKind)] = &[
     ("Ack", CtrlKind::Ack),
     ("RetxTick", CtrlKind::RetxTick),
     ("ProxyRestarted", CtrlKind::ProxyRestarted),
+    ("QueueFull", CtrlKind::QueueFull),
+    ("Cancel", CtrlKind::Cancel),
+    ("DataError", CtrlKind::DataError),
     ("Unknown", CtrlKind::Unknown),
 ];
 
@@ -541,6 +544,49 @@ fn render_record(r: &FlightRecord) -> String {
         ProtoEvent::HostFinalized { rank } => {
             let _ = write!(s, "ev=HostFinalized rank={rank}");
         }
+        ProtoEvent::PayloadCorrupt { msg_id, attempt } => {
+            let _ = write!(s, "ev=PayloadCorrupt msg_id={msg_id} attempt={attempt}");
+        }
+        ProtoEvent::PayloadRecovered { msg_id, attempts } => {
+            let _ = write!(s, "ev=PayloadRecovered msg_id={msg_id} attempts={attempts}");
+        }
+        ProtoEvent::DataIntegrityFailed { msg_id, attempts } => {
+            let _ = write!(
+                s,
+                "ev=DataIntegrityFailed msg_id={msg_id} attempts={attempts}"
+            );
+        }
+        ProtoEvent::QueueFullNack { msg_id } => {
+            let _ = write!(s, "ev=QueueFullNack msg_id={msg_id}");
+        }
+        ProtoEvent::CreditDeferred { rank, msg_id } => {
+            let _ = write!(s, "ev=CreditDeferred rank={rank} msg_id={msg_id}");
+        }
+        ProtoEvent::StagingReclaimed { len } => {
+            let _ = write!(s, "ev=StagingReclaimed len={len}");
+        }
+        ProtoEvent::ReqCancelled { rank, msg_id } => {
+            let _ = write!(s, "ev=ReqCancelled rank={rank} msg_id={msg_id}");
+        }
+        ProtoEvent::ReqReaped { msg_id } => {
+            let _ = write!(s, "ev=ReqReaped msg_id={msg_id}");
+        }
+        ProtoEvent::GroupFailed {
+            host_rank,
+            req_id,
+            gen,
+        } => {
+            let _ = write!(
+                s,
+                "ev=GroupFailed host_rank={host_rank} req_id={req_id} gen={gen}"
+            );
+        }
+        ProtoEvent::JournalTruncated { dropped } => {
+            let _ = write!(s, "ev=JournalTruncated dropped={dropped}");
+        }
+        ProtoEvent::JournalSize { len } => {
+            let _ = write!(s, "ev=JournalSize len={len}");
+        }
     }
     s
 }
@@ -842,6 +888,42 @@ pub fn parse_flight_dump(dump: &str) -> Result<Vec<FlightRecord>, String> {
             "HostFinalized" => ProtoEvent::HostFinalized {
                 rank: f.usize("rank")?,
             },
+            "PayloadCorrupt" => ProtoEvent::PayloadCorrupt {
+                msg_id: f.u64("msg_id")?,
+                attempt: f.u64("attempt")? as u32,
+            },
+            "PayloadRecovered" => ProtoEvent::PayloadRecovered {
+                msg_id: f.u64("msg_id")?,
+                attempts: f.u64("attempts")? as u32,
+            },
+            "DataIntegrityFailed" => ProtoEvent::DataIntegrityFailed {
+                msg_id: f.u64("msg_id")?,
+                attempts: f.u64("attempts")? as u32,
+            },
+            "QueueFullNack" => ProtoEvent::QueueFullNack {
+                msg_id: f.u64("msg_id")?,
+            },
+            "CreditDeferred" => ProtoEvent::CreditDeferred {
+                rank: f.usize("rank")?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "StagingReclaimed" => ProtoEvent::StagingReclaimed { len: f.u64("len")? },
+            "ReqCancelled" => ProtoEvent::ReqCancelled {
+                rank: f.usize("rank")?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "ReqReaped" => ProtoEvent::ReqReaped {
+                msg_id: f.u64("msg_id")?,
+            },
+            "GroupFailed" => ProtoEvent::GroupFailed {
+                host_rank: f.usize("host_rank")?,
+                req_id: f.usize("req_id")?,
+                gen: f.u64("gen")?,
+            },
+            "JournalTruncated" => ProtoEvent::JournalTruncated {
+                dropped: f.u64("dropped")?,
+            },
+            "JournalSize" => ProtoEvent::JournalSize { len: f.u64("len")? },
             other => return Err(format!("line {line_no}: unknown event {other:?}")),
         };
         out.push(FlightRecord { at, pid, event });
@@ -993,6 +1075,50 @@ mod tests {
                 },
             ),
             record(2, ProtoEvent::StaleCqe { wrid: 43 }),
+            record(
+                2,
+                ProtoEvent::PayloadCorrupt {
+                    msg_id: 1,
+                    attempt: 1,
+                },
+            ),
+            record(
+                2,
+                ProtoEvent::PayloadRecovered {
+                    msg_id: 1,
+                    attempts: 2,
+                },
+            ),
+            record(
+                2,
+                ProtoEvent::DataIntegrityFailed {
+                    msg_id: 9,
+                    attempts: 8,
+                },
+            ),
+            record(2, ProtoEvent::QueueFullNack { msg_id: 5 }),
+            record(0, ProtoEvent::CreditDeferred { rank: 0, msg_id: 6 }),
+            record(2, ProtoEvent::StagingReclaimed { len: 4096 }),
+            record(0, ProtoEvent::ReqCancelled { rank: 0, msg_id: 7 }),
+            record(2, ProtoEvent::ReqReaped { msg_id: 7 }),
+            record(
+                0,
+                ProtoEvent::GroupFailed {
+                    host_rank: 0,
+                    req_id: 0,
+                    gen: 3,
+                },
+            ),
+            record(2, ProtoEvent::JournalTruncated { dropped: 64 }),
+            record(2, ProtoEvent::JournalSize { len: 12 }),
+            record(
+                2,
+                ProtoEvent::CtrlDropped {
+                    at_proxy: true,
+                    kind: CtrlKind::QueueFull,
+                    msg_id: 5,
+                },
+            ),
         ]
     }
 

@@ -18,16 +18,16 @@
 //! ```
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use rdma::{Channel, ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
-use simnet::ProcessCtx;
+use simnet::{ProcessCtx, SimDelta};
 
 use crate::config::{DataPath, OffloadConfig};
 use crate::events::{CacheOutcome, CacheSide, CtrlKind, HostCacheKind, ProtoEvent, ReqDir};
 use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_MASK, WRID_OFF_HOST};
 use crate::reg_cache::RankAddrCache;
-use crate::reliable::{OffloadError, ReliableLink, TickOutcome};
+use crate::reliable::{backoff_delay, OffloadError, ReliableLink, ReqOrigin, TickOutcome};
 
 /// Handle of a Basic-primitive transfer (`OffloadRequest` in the paper).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,6 +42,11 @@ impl OffloadReq {
 /// Handle of a recorded group pattern (`OffloadGroupRequest` in the paper).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct GroupRequest(usize);
+
+/// `DeadlineTick.req` values at or above this mark group deadlines; the
+/// group request id is `req - GROUP_DEADLINE_BASE`. Basic slots are
+/// `Vec` indices and can never reach this.
+const GROUP_DEADLINE_BASE: usize = 1 << 48;
 
 /// One recorded group operation.
 #[derive(Clone, Debug)]
@@ -70,6 +75,10 @@ struct GroupState {
     wire: Option<Vec<WireEntry>>,
     /// Proxy already holds the metadata (group cache is warm).
     proxy_cached: bool,
+    /// Terminal failure of the in-flight generation: a group ctrl
+    /// message was abandoned, a group entry exhausted its data-path
+    /// retransmission budget, or a group deadline expired.
+    error: Option<OffloadError>,
 }
 
 /// One receive-metadata entry: `(tag, buffer, rkey)`.
@@ -87,12 +96,25 @@ struct MetaQueue {
 struct ReqSlot {
     done: bool,
     msg_id: u64,
-    /// Terminal failure surfaced by the reliability layer (the request's
-    /// ctrl message exhausted its retransmission budget).
+    /// Terminal failure: ctrl abandonment, data-integrity exhaustion,
+    /// deadline expiry, or an application cancel.
     error: Option<OffloadError>,
     /// Destination and ctrl message kept for replay after a proxy
     /// restart. Populated only when the fault plan can crash proxies.
     replay: Option<(EpId, CtrlMsg)>,
+    /// Endpoint the request was posted to (cancel routing). `None`
+    /// while the post is still deferred by the credit window.
+    target: Option<EpId>,
+    /// Original post kept for deferred admission and `QueueFull`
+    /// re-posts. Populated only when the queue cap is armed.
+    post: Option<(EpId, u64, CtrlMsg)>,
+    /// Endpoint index currently charged one credit for this request.
+    window_ep: Option<usize>,
+    /// Backpressure re-post attempts (paces the retry backoff).
+    attempts: u32,
+    /// GVMI-cache entry pinned while this request is in flight
+    /// (`(proxy_idx, addr, len)`); set only under a cache budget.
+    pin: Option<(usize, u64, u64)>,
 }
 
 struct HostState {
@@ -114,6 +136,19 @@ struct HostState {
     /// Last restart epoch observed per proxy endpoint index; a higher
     /// epoch in a `ProxyRestarted` notice triggers recovery.
     proxy_epochs: BTreeMap<usize, u64>,
+    /// Outstanding admitted basic posts per target endpoint index
+    /// (credit window; maintained only when the queue cap is armed).
+    window: BTreeMap<usize, usize>,
+    /// Request slots waiting for a credit, FIFO.
+    deferred: VecDeque<usize>,
+    /// Completed (or terminally failed) sequence numbers not yet folded
+    /// into `ack_horizon` (journal-truncation tracking; maintained only
+    /// when the journal cap is armed).
+    completed_seqs: BTreeSet<u64>,
+    /// Highest seq such that every seq up to and including it has
+    /// completed; piggybacked on RTS/RTR so proxies can truncate their
+    /// FIN journals.
+    ack_horizon: u64,
 }
 
 /// Host-side engine of the offload framework. One per application rank.
@@ -159,6 +194,18 @@ impl Offload {
         let proxy_idx = rank % cluster.proxies_per_dpu();
         let n_proxies = cluster.proxies_per_dpu();
         let (fault, ctrl_bytes) = (cfg.fault, cfg.ctrl_bytes);
+        let cache_budget = cfg.cache_budget;
+        // Arm the fabric's data-plane fault stream (set-once: the first
+        // rank's plan wins, later inits are no-ops). Unarmed plans leave
+        // the fabric untouched, so clean runs stay byte-identical.
+        if fault.payload_faults() {
+            cluster.fabric().set_payload_faults(rdma::PayloadFaultPlan {
+                flip_pm: fault.flip_pm,
+                torn_pm: fault.torn_pm,
+                drop_pm: fault.data_drop_pm,
+                seed: fault.seed,
+            });
+        }
         Offload {
             ctx,
             cluster,
@@ -171,12 +218,20 @@ impl Offload {
             st: RefCell::new(HostState {
                 reqs: Vec::new(),
                 next_msg_seq: 0,
-                gvmi_cache: RankAddrCache::new(n_proxies),
+                gvmi_cache: if cache_budget > 0 {
+                    RankAddrCache::with_capacity(n_proxies, cache_budget)
+                } else {
+                    RankAddrCache::new(n_proxies)
+                },
                 ib_cache: RankAddrCache::new(1),
                 groups: Vec::new(),
                 metas_from: BTreeMap::new(),
                 rel: ReliableLink::new(fault, ctrl_bytes, false, ep),
                 proxy_epochs: BTreeMap::new(),
+                window: BTreeMap::new(),
+                deferred: VecDeque::new(),
+                completed_seqs: BTreeSet::new(),
+                ack_horizon: 0,
             }),
         }
     }
@@ -217,16 +272,20 @@ impl Offload {
     /// (crate-internal extensions). `req` ties the message to a basic
     /// request slot for replay-after-restart and abandonment errors.
     pub(crate) fn send_ctrl_to_proxy(&self, msg: CtrlMsg, req: Option<usize>) {
-        self.post_ctrl(self.proxy_ep, self.cfg.ctrl_bytes, msg, req);
+        let origin = match req {
+            Some(r) => ReqOrigin::Basic(r),
+            None => ReqOrigin::Free,
+        };
+        self.post_ctrl(self.proxy_ep, self.cfg.ctrl_bytes, msg, origin);
         self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
     }
 
     /// Ship one ctrl message: through the reliable link when the fault
     /// plan arms it, as a bare packet otherwise (byte-identical to the
     /// pre-reliability protocol on clean runs). When proxies can crash,
-    /// the message is also stored on its request slot for replay.
-    fn post_ctrl(&self, to: EpId, bytes: u64, msg: CtrlMsg, req: Option<usize>) {
-        if let Some(r) = req {
+    /// a basic-origin message is also stored on its slot for replay.
+    fn post_ctrl(&self, to: EpId, bytes: u64, msg: CtrlMsg, origin: ReqOrigin) {
+        if let ReqOrigin::Basic(r) = origin {
             if self.cfg.fault.crash_at_step > 0 {
                 self.st.borrow_mut().reqs[r].replay = Some((to, msg.clone()));
             }
@@ -236,11 +295,163 @@ impl Offload {
             self.st
                 .borrow_mut()
                 .rel
-                .send(&self.ctx, fab, to, bytes, msg, req);
+                .send(&self.ctx, fab, to, bytes, msg, origin);
         } else {
             fab.send_packet(&self.ctx, self.ep, to, bytes, Box::new(msg))
                 .expect("control message send");
         }
+    }
+
+    /// CRC32 of a posted payload, computed only when the run injects
+    /// payload faults (clean runs skip the checksum entirely).
+    fn payload_crc(&self, addr: VAddr, len: u64) -> Option<u32> {
+        self.cfg.fault.payload_faults().then(|| {
+            self.cluster
+                .fabric()
+                .crc32(self.ep, addr, len)
+                .expect("CRC of a posted buffer")
+        })
+    }
+
+    /// Completion horizon piggybacked on RTS/RTR (0 unless the journal
+    /// cap is armed).
+    fn horizon(&self) -> u64 {
+        if self.cfg.journal_cap == 0 {
+            0
+        } else {
+            self.st.borrow().ack_horizon
+        }
+    }
+
+    /// Post a basic request through the credit window: admitted
+    /// immediately when the target has a free slot (or no cap is armed),
+    /// deferred FIFO otherwise.
+    fn post_basic(&self, req: usize, to: EpId, bytes: u64, msg: CtrlMsg) {
+        if self.cfg.queue_cap > 0 {
+            let (full, msg_id) = {
+                let mut st = self.st.borrow_mut();
+                st.reqs[req].post = Some((to, bytes, msg.clone()));
+                let used = st.window.get(&to.index()).copied().unwrap_or(0);
+                (used >= self.cfg.queue_cap, st.reqs[req].msg_id)
+            };
+            if full {
+                self.st.borrow_mut().deferred.push_back(req);
+                self.ctx.stat_incr("offload.credit.deferrals", 1);
+                self.ctx.emit(&ProtoEvent::CreditDeferred {
+                    rank: self.rank,
+                    msg_id,
+                });
+                return;
+            }
+        }
+        self.admit_post(req, to, bytes, msg);
+    }
+
+    /// Charge a credit (when capped) and actually ship the post.
+    fn admit_post(&self, req: usize, to: EpId, bytes: u64, mut msg: CtrlMsg) {
+        // A deferred post may have waited through many completions:
+        // refresh the piggybacked completion horizon so the proxy's
+        // journal truncation tracks reality, not the build instant.
+        // (With the journal cap unarmed, horizon() is 0 — no change.)
+        if let CtrlMsg::Rts { ack_horizon, .. } | CtrlMsg::Rtr { ack_horizon, .. } = &mut msg {
+            *ack_horizon = self.horizon();
+        }
+        {
+            let mut st = self.st.borrow_mut();
+            if self.cfg.queue_cap > 0 {
+                *st.window.entry(to.index()).or_insert(0) += 1;
+                st.reqs[req].window_ep = Some(to.index());
+            }
+            st.reqs[req].target = Some(to);
+        }
+        self.post_ctrl(to, bytes, msg, ReqOrigin::Basic(req));
+        self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+    }
+
+    /// Return the credit a finished/refused request held, if any.
+    fn release_window(&self, req: usize) {
+        let mut st = self.st.borrow_mut();
+        if let Some(ep) = st.reqs[req].window_ep.take() {
+            if let Some(w) = st.window.get_mut(&ep) {
+                *w = w.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Admit up to `limit` deferred posts, FIFO. Stops at the first
+    /// head-of-line request whose target still has no credit.
+    fn flush_deferred(&self, limit: usize) {
+        if self.cfg.queue_cap == 0 {
+            return;
+        }
+        let mut flushed = 0;
+        while flushed < limit {
+            let next = {
+                let mut st = self.st.borrow_mut();
+                loop {
+                    let Some(&req) = st.deferred.front() else {
+                        break None;
+                    };
+                    if st.reqs[req].done || st.reqs[req].error.is_some() {
+                        st.deferred.pop_front();
+                        continue;
+                    }
+                    let Some(post) = st.reqs[req].post.clone() else {
+                        st.deferred.pop_front();
+                        continue;
+                    };
+                    let used = st.window.get(&post.0.index()).copied().unwrap_or(0);
+                    if used >= self.cfg.queue_cap {
+                        break None;
+                    }
+                    st.deferred.pop_front();
+                    break Some((req, post));
+                }
+            };
+            let Some((req, (to, bytes, msg))) = next else {
+                return;
+            };
+            self.admit_post(req, to, bytes, msg);
+            flushed += 1;
+        }
+    }
+
+    /// Pin the GVMI-cache entry a request's send buffer occupies so the
+    /// budgeted cache never evicts an in-flight registration.
+    fn pin_gvmi(&self, req: usize, addr: VAddr, len: u64) {
+        if self.cfg.cache_budget == 0 || !self.cfg.use_gvmi_cache {
+            return;
+        }
+        let mut st = self.st.borrow_mut();
+        if st.gvmi_cache.pin(self.proxy_idx, addr.0, len) {
+            st.reqs[req].pin = Some((self.proxy_idx, addr.0, len));
+        }
+    }
+
+    /// Drop a request's cache pin (completion or terminal failure).
+    fn unpin_gvmi(&self, req: usize) {
+        let mut st = self.st.borrow_mut();
+        if let Some((rank, addr, len)) = st.reqs[req].pin.take() {
+            st.gvmi_cache.unpin(rank, addr, len);
+        }
+    }
+
+    /// Fold a terminally-settled transfer id into the ack horizon
+    /// (journal-truncation tracking; no-op unless the cap is armed).
+    fn note_settled(&self, msg_id: u64) {
+        if self.cfg.journal_cap == 0 {
+            return;
+        }
+        if (msg_id >> 32) as usize != self.rank {
+            return;
+        }
+        let mut st = self.st.borrow_mut();
+        st.completed_seqs.insert(msg_id & 0xFFFF_FFFF);
+        let mut h = st.ack_horizon;
+        while st.completed_seqs.remove(&(h + 1)) {
+            h += 1;
+        }
+        st.ack_horizon = h;
     }
 
     // ---- Basic primitives ----
@@ -271,24 +482,24 @@ impl Offload {
             // through a plain rkey (BluesMPI-style worker read).
             DataPath::Staging => (None, Some(self.cached_ib_reg(addr, len))),
         };
-        self.post_ctrl(
-            self.proxy_ep,
-            self.cfg.ctrl_bytes,
-            CtrlMsg::Rts {
-                src_rank: self.rank,
-                dst_rank: dst,
-                tag,
-                addr,
-                len,
-                mkey,
-                src_rkey,
-                src_req: req,
-                src_pid: self.ctx.pid(),
-                msg_id,
-            },
-            Some(req),
-        );
-        self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+        if mkey.is_some() {
+            self.pin_gvmi(req, addr, len);
+        }
+        let msg = CtrlMsg::Rts {
+            src_rank: self.rank,
+            dst_rank: dst,
+            tag,
+            addr,
+            len,
+            mkey,
+            src_rkey,
+            src_req: req,
+            src_pid: self.ctx.pid(),
+            msg_id,
+            crc: self.payload_crc(addr, len),
+            ack_horizon: self.horizon(),
+        };
+        self.post_basic(req, self.proxy_ep, self.cfg.ctrl_bytes, msg);
         OffloadReq(req)
     }
 
@@ -308,23 +519,19 @@ impl Offload {
         });
         let rkey = self.cached_ib_reg(addr, len);
         let src_proxy = self.cluster.proxy_for_rank(src);
-        self.post_ctrl(
-            src_proxy,
-            self.cfg.ctrl_bytes,
-            CtrlMsg::Rtr {
-                src_rank: src,
-                dst_rank: self.rank,
-                tag,
-                addr,
-                len,
-                rkey,
-                dst_req: req,
-                dst_pid: self.ctx.pid(),
-                msg_id,
-            },
-            Some(req),
-        );
-        self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+        let msg = CtrlMsg::Rtr {
+            src_rank: src,
+            dst_rank: self.rank,
+            tag,
+            addr,
+            len,
+            rkey,
+            dst_req: req,
+            dst_pid: self.ctx.pid(),
+            msg_id,
+            ack_horizon: self.horizon(),
+        };
+        self.post_basic(req, src_proxy, self.cfg.ctrl_bytes, msg);
         OffloadReq(req)
     }
 
@@ -358,6 +565,54 @@ impl Offload {
         self.st.borrow().reqs[req.0].error
     }
 
+    /// `Wait` with a deadline: block until `req` completes, fails, or
+    /// `timeout` simulated time elapses. On expiry the request is
+    /// cancelled (the proxy is told to reap it) and
+    /// [`OffloadError::DeadlineExceeded`] is returned; a cancelled
+    /// request never completes afterwards.
+    pub fn wait_timeout(&self, req: OffloadReq, timeout: SimDelta) -> Result<(), OffloadError> {
+        self.drain();
+        {
+            let st = self.st.borrow();
+            let slot = &st.reqs[req.0];
+            if slot.done {
+                return Ok(());
+            }
+            if let Some(e) = slot.error {
+                return Err(e);
+            }
+        }
+        self.ctx.deliver_self(
+            timeout,
+            Box::new(NetMsg::Notify(Box::new(CtrlMsg::DeadlineTick {
+                req: req.0,
+            }))),
+        );
+        loop {
+            {
+                let st = self.st.borrow();
+                let slot = &st.reqs[req.0];
+                if slot.done {
+                    return Ok(());
+                }
+                if let Some(e) = slot.error {
+                    return Err(e);
+                }
+            }
+            let msg = self.chan.next_blocking(&self.ctx);
+            self.handle(msg);
+        }
+    }
+
+    /// Cancel an in-flight request. The slot fails with
+    /// [`OffloadError::Cancelled`] and the proxy reaps any queued
+    /// descriptors; a no-op when the request has already settled.
+    pub fn cancel(&self, req: OffloadReq) {
+        self.drain();
+        let msg_id = self.st.borrow().reqs[req.0].msg_id;
+        self.cancel_req(req.0, OffloadError::Cancelled { msg_id });
+    }
+
     /// Wait for every request in `reqs`.
     pub fn wait_all(&self, reqs: &[OffloadReq]) {
         for &r in reqs {
@@ -377,7 +632,9 @@ impl Offload {
                 "finalize with incomplete basic requests"
             );
             assert!(
-                st.groups.iter().all(|g| g.fin_gen == g.gen),
+                st.groups
+                    .iter()
+                    .all(|g| g.fin_gen == g.gen || g.error.is_some()),
                 "finalize with incomplete group requests"
             );
         }
@@ -385,7 +642,7 @@ impl Offload {
             self.proxy_ep,
             self.cfg.ctrl_bytes,
             CtrlMsg::Shutdown { rank: self.rank },
-            None,
+            ReqOrigin::Free,
         );
         // Under a lossy plan the shutdown itself needs acking (and the
         // proxy won't quiesce while we hold unacked messages): pump the
@@ -411,6 +668,7 @@ impl Offload {
             fin_gen: 0,
             wire: None,
             proxy_cached: false,
+            error: None,
         });
         GroupRequest(st.groups.len() - 1)
     }
@@ -474,6 +732,9 @@ impl Offload {
             let mut st = self.st.borrow_mut();
             let g = &mut st.groups[req.0];
             g.gen += 1;
+            // A fresh generation gets a fresh verdict; the previous
+            // generation's failure was surfaced by its `group_wait`.
+            g.error = None;
             g.gen
         };
         let need_build = self.st.borrow().groups[req.0].wire.is_none();
@@ -497,9 +758,12 @@ impl Offload {
         });
     }
 
-    /// `Group_Wait`: block until generation `gen` (the latest call) of the
-    /// group request completes on the DPU.
-    pub fn group_wait(&self, req: GroupRequest) {
+    /// `Group_Wait`: block until generation `gen` (the latest call) of
+    /// the group request completes on the DPU — or fails permanently
+    /// (group ctrl abandonment, data-integrity exhaustion, or a group
+    /// deadline), in which case the typed error is returned instead of
+    /// stalling forever. Always `Ok` on clean runs.
+    pub fn group_wait(&self, req: GroupRequest) -> Result<(), OffloadError> {
         self.drain();
         let gen = loop {
             {
@@ -507,6 +771,9 @@ impl Offload {
                 let g = &st.groups[req.0];
                 if g.fin_gen >= g.gen {
                     break g.gen;
+                }
+                if let Some(e) = g.error {
+                    return Err(e);
                 }
             }
             let msg = self.chan.next_blocking(&self.ctx);
@@ -517,14 +784,46 @@ impl Offload {
             req_id: req.0,
             gen,
         });
+        Ok(())
     }
 
-    /// Has the latest generation of `req` completed? Drains completions.
+    /// `Group_Wait` with a deadline: like [`Offload::group_wait`], but
+    /// the in-flight generation is failed (and the error returned) if it
+    /// has not finished after `timeout` simulated time.
+    pub fn group_wait_timeout(
+        &self,
+        req: GroupRequest,
+        timeout: SimDelta,
+    ) -> Result<(), OffloadError> {
+        self.drain();
+        let armed = {
+            let st = self.st.borrow();
+            let g = &st.groups[req.0];
+            g.fin_gen < g.gen && g.error.is_none()
+        };
+        if armed {
+            self.ctx.deliver_self(
+                timeout,
+                Box::new(NetMsg::Notify(Box::new(CtrlMsg::DeadlineTick {
+                    req: GROUP_DEADLINE_BASE + req.0,
+                }))),
+            );
+        }
+        self.group_wait(req)
+    }
+
+    /// Terminal failure of the latest group generation, if any.
+    pub fn group_error(&self, req: GroupRequest) -> Option<OffloadError> {
+        self.st.borrow().groups[req.0].error
+    }
+
+    /// Has the latest generation of `req` settled (completed or failed
+    /// permanently)? Drains completions.
     pub fn group_test(&self, req: GroupRequest) -> bool {
         self.drain();
         let st = self.st.borrow();
         let g = &st.groups[req.0];
-        g.fin_gen >= g.gen
+        g.fin_gen >= g.gen || g.error.is_some()
     }
 
     // ---- internals ----
@@ -538,6 +837,11 @@ impl Offload {
             msg_id,
             error: None,
             replay: None,
+            target: None,
+            post: None,
+            window_ep: None,
+            attempts: 0,
+            pin: None,
         });
         (st.reqs.len() - 1, msg_id)
     }
@@ -688,7 +992,7 @@ impl Offload {
                     dst_req_id: req.0,
                     entries,
                 },
-                None,
+                ReqOrigin::Free,
             );
             self.ctx.emit(&ProtoEvent::RecvMetaSent {
                 from_rank: self.rank,
@@ -756,6 +1060,7 @@ impl Offload {
                         dst_rkey,
                         dst_req_id: *dst_req_id,
                         msg_id: self.alloc_msg_id(),
+                        crc: self.payload_crc(*addr, *len),
                     });
                 }
                 GroupOp::Recv { src, tag, .. } => {
@@ -788,7 +1093,7 @@ impl Offload {
                 entries,
                 host_pid: self.ctx.pid(),
             },
-            None,
+            ReqOrigin::Group(req.0),
         );
         self.ctx.emit(&ProtoEvent::GroupPacketSent {
             host_rank: self.rank,
@@ -809,7 +1114,7 @@ impl Offload {
                 },
                 gen,
             },
-            None,
+            ReqOrigin::Group(req.0),
         );
         self.ctx.emit(&ProtoEvent::GroupExecSent {
             host_rank: self.rank,
@@ -876,18 +1181,26 @@ impl Offload {
                 if let TickOutcome::Abandoned {
                     msg_id,
                     attempts,
-                    req,
+                    origin,
                 } = outcome
                 {
-                    self.fail_req(req, msg_id, attempts);
+                    self.fail_origin(origin, msg_id, attempts);
                 }
+                return;
+            }
+            CtrlMsg::BackpressureTick => {
+                self.flush_deferred(self.cfg.queue_cap.max(1));
+                return;
+            }
+            CtrlMsg::DeadlineTick { req } => {
+                self.on_deadline(req);
                 return;
             }
             other => other,
         };
         let mut finished_msg = None;
         match body {
-            CtrlMsg::FinSend { req, .. } | CtrlMsg::FinRecv { req, .. } => {
+            CtrlMsg::FinSend { req, credit, .. } | CtrlMsg::FinRecv { req, credit, .. } => {
                 let mut st = self.st.borrow_mut();
                 match st.reqs.get_mut(req) {
                     // Exactly-once completion: a FIN for an already-done
@@ -898,9 +1211,18 @@ impl Offload {
                         self.ctx.stat_incr("offload.reliable.dup_fins", 1);
                         return;
                     }
+                    // A cancelled (or otherwise failed) request never
+                    // completes: a late FIN is dropped, keeping the
+                    // slot's typed error authoritative.
+                    Some(slot) if slot.error.is_some() => {
+                        drop(st);
+                        self.ctx.stat_incr("offload.host.late_fins", 1);
+                        return;
+                    }
                     Some(slot) => {
                         slot.done = true;
                         slot.replay = None;
+                        slot.post = None;
                         finished_msg = Some(slot.msg_id);
                     }
                     None => {
@@ -909,6 +1231,16 @@ impl Offload {
                         return;
                     }
                 }
+                drop(st);
+                self.release_window(req);
+                self.unpin_gvmi(req);
+                if let Some(msg_id) = finished_msg {
+                    self.note_settled(msg_id);
+                }
+                // The FIN's credit piggyback reports free proxy slots;
+                // admit at least one deferred post (our own completion
+                // freed a window slot even if the proxy reported none).
+                self.flush_deferred((credit as usize).max(1));
             }
             CtrlMsg::RecvMeta {
                 dst_rank,
@@ -925,13 +1257,77 @@ impl Offload {
                     .push_back((dst_req_id, entries));
             }
             CtrlMsg::GroupFin { req_id, gen } => {
-                let mut st = self.st.borrow_mut();
-                let g = &mut st.groups[req_id];
-                // `max` keeps duplicate group FINs idempotent.
-                g.fin_gen = g.fin_gen.max(gen);
+                let ids: Vec<u64> = {
+                    let mut st = self.st.borrow_mut();
+                    let g = &mut st.groups[req_id];
+                    let first_fin = g.fin_gen == 0 && gen > 0;
+                    // `max` keeps duplicate group FINs idempotent.
+                    g.fin_gen = g.fin_gen.max(gen);
+                    // Group wire entries share the msg-id namespace with
+                    // basic requests but never enter the proxies' FIN
+                    // journals; fold them into the ack horizon on the
+                    // first completion so it can advance past them.
+                    if first_fin && self.cfg.journal_cap > 0 {
+                        g.wire
+                            .iter()
+                            .flatten()
+                            .filter_map(|e| match e {
+                                WireEntry::Send { msg_id, .. } => Some(*msg_id),
+                                _ => None,
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    }
+                };
+                for id in ids {
+                    self.note_settled(id);
+                }
             }
             CtrlMsg::ProxyRestarted { proxy, epoch } => {
                 self.on_proxy_restarted(proxy, epoch);
+            }
+            // Backpressure: the proxy refused admission. Return the
+            // credit, park the request on the deferred queue, and retry
+            // after an exponential backoff.
+            CtrlMsg::QueueFull { msg_id } => {
+                let req = {
+                    let st = self.st.borrow();
+                    st.reqs
+                        .iter()
+                        .position(|s| s.msg_id == msg_id && !s.done && s.error.is_none())
+                };
+                if let Some(req) = req {
+                    self.release_window(req);
+                    let attempt = {
+                        let mut st = self.st.borrow_mut();
+                        st.reqs[req].target = None;
+                        st.reqs[req].attempts += 1;
+                        st.deferred.push_back(req);
+                        st.reqs[req].attempts
+                    };
+                    self.ctx.stat_incr("offload.credit.nacks", 1);
+                    self.ctx.deliver_self(
+                        backoff_delay(attempt),
+                        Box::new(NetMsg::Notify(Box::new(CtrlMsg::BackpressureTick))),
+                    );
+                }
+            }
+            // Typed data-plane failure: the proxy exhausted the bounded
+            // payload-retransmission budget for this transfer.
+            CtrlMsg::DataError {
+                req,
+                msg_id,
+                attempts,
+            } => {
+                self.fail_basic(
+                    req,
+                    OffloadError::DataIntegrity { msg_id, attempts },
+                    attempts,
+                );
+            }
+            CtrlMsg::GroupDataError { req_id, gen, .. } => {
+                self.fail_group(req_id, gen);
             }
             other => panic!(
                 "unexpected control message on host {}: {other:?}",
@@ -966,23 +1362,139 @@ impl Offload {
         }
     }
 
-    /// Surface a permanent ctrl-plane failure on a request slot.
-    fn fail_req(&self, req: Option<usize>, msg_id: u64, attempts: u32) {
-        let Some(req) = req else { return };
-        {
+    /// Surface a permanent ctrl-plane failure on whatever the abandoned
+    /// message was working for.
+    fn fail_origin(&self, origin: ReqOrigin, msg_id: u64, attempts: u32) {
+        match origin {
+            ReqOrigin::Free => {}
+            ReqOrigin::Basic(req) => {
+                self.fail_basic(
+                    req,
+                    OffloadError::CtrlUndeliverable { msg_id, attempts },
+                    attempts,
+                );
+            }
+            ReqOrigin::Group(req_id) => {
+                let gen = self.st.borrow().groups[req_id].gen;
+                self.fail_group(req_id, gen);
+            }
+        }
+    }
+
+    /// Fail a basic request slot with a typed error (idempotent).
+    fn fail_basic(&self, req: usize, err: OffloadError, attempts: u32) {
+        let msg_id = {
             let mut st = self.st.borrow_mut();
-            let slot = &mut st.reqs[req];
+            let Some(slot) = st.reqs.get_mut(req) else {
+                return;
+            };
             if slot.done || slot.error.is_some() {
                 return;
             }
-            slot.error = Some(OffloadError::CtrlUndeliverable { msg_id, attempts });
-        }
+            slot.error = Some(err);
+            slot.replay = None;
+            slot.post = None;
+            slot.msg_id
+        };
+        self.release_window(req);
+        self.unpin_gvmi(req);
+        self.note_settled(msg_id);
         self.ctx.stat_incr("offload.reliable.req_failures", 1);
         self.ctx.emit(&ProtoEvent::ReqFailed {
             rank: self.rank,
             msg_id,
             attempts,
         });
+        self.flush_deferred(1);
+    }
+
+    /// Fail the in-flight generation of a group request (idempotent;
+    /// stale failures for an older generation are ignored).
+    fn fail_group(&self, req_id: usize, gen: u64) {
+        let gen = {
+            let mut st = self.st.borrow_mut();
+            let Some(g) = st.groups.get_mut(req_id) else {
+                return;
+            };
+            if gen < g.gen || g.fin_gen >= g.gen || g.error.is_some() {
+                return;
+            }
+            g.error = Some(OffloadError::GroupFailed { req_id, gen: g.gen });
+            g.gen
+        };
+        self.ctx.stat_incr("offload.group.failures", 1);
+        self.ctx.emit(&ProtoEvent::GroupFailed {
+            host_rank: self.rank,
+            req_id,
+            gen,
+        });
+    }
+
+    /// Cancel a request slot: typed error, proxy reap notice, credit and
+    /// pin release (idempotent).
+    fn cancel_req(&self, req: usize, err: OffloadError) {
+        let settle = {
+            let mut st = self.st.borrow_mut();
+            let slot = &mut st.reqs[req];
+            if slot.done || slot.error.is_some() {
+                return;
+            }
+            slot.error = Some(err);
+            slot.replay = None;
+            slot.post = None;
+            (slot.msg_id, slot.target)
+        };
+        let (msg_id, target) = settle;
+        self.release_window(req);
+        self.unpin_gvmi(req);
+        self.note_settled(msg_id);
+        self.ctx.stat_incr("offload.cancel.requests", 1);
+        self.ctx.emit(&ProtoEvent::ReqCancelled {
+            rank: self.rank,
+            msg_id,
+        });
+        // Tell the proxy to reap queued descriptors and suppress late
+        // matches. A still-deferred request never reached the proxy.
+        if let Some(to) = target {
+            self.post_ctrl(
+                to,
+                self.cfg.ctrl_bytes,
+                CtrlMsg::Cancel { msg_id },
+                ReqOrigin::Free,
+            );
+            self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+        }
+        self.flush_deferred(1);
+    }
+
+    /// A deadline timer fired: cancel the request (or fail the group
+    /// generation) if it still has not settled.
+    fn on_deadline(&self, req: usize) {
+        if req >= GROUP_DEADLINE_BASE {
+            let req_id = req - GROUP_DEADLINE_BASE;
+            let gen = {
+                let st = self.st.borrow();
+                let g = &st.groups[req_id];
+                if g.fin_gen >= g.gen || g.error.is_some() {
+                    return;
+                }
+                g.gen
+            };
+            self.ctx.stat_incr("offload.deadline.expired", 1);
+            self.fail_group(req_id, gen);
+            return;
+        }
+        let pending = {
+            let st = self.st.borrow();
+            st.reqs
+                .get(req)
+                .filter(|s| !s.done && s.error.is_none())
+                .map(|s| s.msg_id)
+        };
+        if let Some(msg_id) = pending {
+            self.ctx.stat_incr("offload.deadline.expired", 1);
+            self.cancel_req(req, OffloadError::DeadlineExceeded { msg_id });
+        }
     }
 
     /// Proxy-restart recovery (DESIGN.md §13): on the first notice of a
@@ -1029,7 +1541,7 @@ impl Offload {
                 rank: self.rank,
                 msg_id,
             });
-            self.post_ctrl(to, self.cfg.ctrl_bytes, msg, Some(req));
+            self.post_ctrl(to, self.cfg.ctrl_bytes, msg, ReqOrigin::Basic(req));
         }
         // Re-ship in-flight group generations: the proxy's instances and
         // metadata cache died with it, so send the full packet again

@@ -52,6 +52,9 @@ pub(crate) enum WireEntry {
         /// message counter when the wire image is built; labels the data
         /// writes this entry produces in the event stream.
         msg_id: u64,
+        /// CRC32 of the payload at build time. Present only when the
+        /// run's fault plan arms payload faults (end-to-end integrity).
+        crc: Option<u32>,
     },
     /// An offloaded receive: passive — tracked for arrival.
     Recv { src_rank: usize, tag: u64 },
@@ -84,6 +87,12 @@ pub(crate) enum CtrlMsg {
         src_pid: Pid,
         /// Stable per-transfer id of the send side.
         msg_id: u64,
+        /// CRC32 of the payload at post time (end-to-end integrity;
+        /// `None` unless the run arms payload faults).
+        crc: Option<u32>,
+        /// Highest seq this host has contiguously completed (FIN-journal
+        /// truncation horizon; 0 unless the journal cap is armed).
+        ack_horizon: u64,
     },
     /// Ready-to-receive: destination host → source-side proxy.
     Rtr {
@@ -97,11 +106,46 @@ pub(crate) enum CtrlMsg {
         dst_pid: Pid,
         /// Stable per-transfer id of the receive side.
         msg_id: u64,
+        /// Completion horizon of the receiving host (see `Rts`).
+        ack_horizon: u64,
     },
     /// Completion to the source host.
-    FinSend { req: usize, msg_id: u64 },
+    FinSend {
+        req: usize,
+        msg_id: u64,
+        /// Free descriptor-queue slots at the sending proxy when the FIN
+        /// left (credit piggyback; 0 unless the queue cap is armed).
+        credit: u32,
+    },
     /// Completion to the destination host.
-    FinRecv { req: usize, msg_id: u64 },
+    FinRecv {
+        req: usize,
+        msg_id: u64,
+        /// Credit piggyback (see `FinSend`).
+        credit: u32,
+    },
+    /// Admission refused: the proxy's descriptor queues are at their
+    /// configured cap. The host re-posts the original ctrl message after
+    /// a backoff (backpressure, not failure).
+    QueueFull { msg_id: u64 },
+    /// Cancel an in-flight basic request (deadline expiry or an explicit
+    /// application cancel). The proxy reaps matching queued descriptors
+    /// and suppresses late matches for this transfer id.
+    Cancel { msg_id: u64 },
+    /// Typed data-plane failure: the proxy exhausted the bounded payload
+    /// retransmission budget for this transfer.
+    DataError {
+        req: usize,
+        msg_id: u64,
+        attempts: u32,
+    },
+    /// Typed data-plane failure for a group entry: the owning host fails
+    /// the whole generation.
+    GroupDataError {
+        req_id: usize,
+        gen: u64,
+        attempts: u32,
+    },
 
     // ---- Group primitives (paper Figs. 9-10, Algorithm 1) ----
     /// Receive-side metadata sent host→host during the gather phase:
@@ -215,6 +259,16 @@ pub(crate) enum CtrlMsg {
     /// Self-delivered retransmission timer (virtual time): when it fires
     /// and `seq` is still unacked, the sender retransmits with backoff.
     RetxTick { seq: u64 },
+    /// Self-delivered data-path retransmission timer (proxy): re-post the
+    /// payload write tracked under `token` (CRC verification failed).
+    DataRetxTick { token: u64 },
+    /// Self-delivered deadline timer (host): if request `req` is still in
+    /// flight when it fires, the request fails with a typed timeout and a
+    /// [`CtrlMsg::Cancel`] is sent to the proxy.
+    DeadlineTick { req: usize },
+    /// Self-delivered backpressure retry timer (host): attempt to flush
+    /// credit-deferred posts.
+    BackpressureTick,
     /// Restart notice: a proxy that crashed and came back announces its
     /// new epoch so hosts invalidate cached registrations and group
     /// metadata and replay in-flight requests.
@@ -246,7 +300,13 @@ impl CtrlMsg {
             CtrlMsg::Shutdown { .. } => CtrlKind::Shutdown,
             CtrlMsg::Seq { .. } => CtrlKind::Seq,
             CtrlMsg::Ack { .. } => CtrlKind::Ack,
-            CtrlMsg::RetxTick { .. } => CtrlKind::RetxTick,
+            CtrlMsg::RetxTick { .. }
+            | CtrlMsg::DataRetxTick { .. }
+            | CtrlMsg::DeadlineTick { .. }
+            | CtrlMsg::BackpressureTick => CtrlKind::RetxTick,
+            CtrlMsg::QueueFull { .. } => CtrlKind::QueueFull,
+            CtrlMsg::Cancel { .. } => CtrlKind::Cancel,
+            CtrlMsg::DataError { .. } | CtrlMsg::GroupDataError { .. } => CtrlKind::DataError,
             CtrlMsg::ProxyRestarted { .. } => CtrlKind::ProxyRestarted,
         }
     }
@@ -261,7 +321,10 @@ impl CtrlMsg {
             | CtrlMsg::FinRecv { msg_id, .. }
             | CtrlMsg::Put { msg_id, .. }
             | CtrlMsg::Get { msg_id, .. }
-            | CtrlMsg::GroupArrival { msg_id, .. } => *msg_id,
+            | CtrlMsg::GroupArrival { msg_id, .. }
+            | CtrlMsg::QueueFull { msg_id }
+            | CtrlMsg::Cancel { msg_id }
+            | CtrlMsg::DataError { msg_id, .. } => *msg_id,
             _ => 0,
         }
     }

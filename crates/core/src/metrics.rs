@@ -143,6 +143,17 @@ struct Inner {
     reqs_replayed: u64,
     req_failures: u64,
     stale_cqes: u64,
+    payload_corrupt: u64,
+    payload_recovered: u64,
+    data_integrity_failures: u64,
+    queue_full_nacks: u64,
+    credit_deferrals: u64,
+    staging_reclaimed: u64,
+    reqs_cancelled: u64,
+    reqs_reaped: u64,
+    group_failures: u64,
+    journal_truncations: u64,
+    journal_hwm: u64,
     host_gvmi: CacheCounters,
     host_ib: CacheCounters,
     dpu_cross: CacheCounters,
@@ -319,6 +330,17 @@ impl Inner {
             // `obs::lifecycle` rather than aggregated here (HostWakeup
             // already carries the intervention signal these refine).
             ProtoEvent::HostReqPosted { .. } | ProtoEvent::HostReqDone { .. } => {}
+            ProtoEvent::PayloadCorrupt { .. } => self.payload_corrupt += 1,
+            ProtoEvent::PayloadRecovered { .. } => self.payload_recovered += 1,
+            ProtoEvent::DataIntegrityFailed { .. } => self.data_integrity_failures += 1,
+            ProtoEvent::QueueFullNack { .. } => self.queue_full_nacks += 1,
+            ProtoEvent::CreditDeferred { .. } => self.credit_deferrals += 1,
+            ProtoEvent::StagingReclaimed { .. } => self.staging_reclaimed += 1,
+            ProtoEvent::ReqCancelled { .. } => self.reqs_cancelled += 1,
+            ProtoEvent::ReqReaped { .. } => self.reqs_reaped += 1,
+            ProtoEvent::GroupFailed { .. } => self.group_failures += 1,
+            ProtoEvent::JournalTruncated { .. } => self.journal_truncations += 1,
+            ProtoEvent::JournalSize { len } => self.journal_hwm = self.journal_hwm.max(len),
         }
     }
 }
@@ -401,6 +423,17 @@ impl Metrics {
             reqs_replayed: inner.reqs_replayed,
             req_failures: inner.req_failures,
             stale_cqes: inner.stale_cqes,
+            payload_corrupt: inner.payload_corrupt,
+            payload_recovered: inner.payload_recovered,
+            data_integrity_failures: inner.data_integrity_failures,
+            queue_full_nacks: inner.queue_full_nacks,
+            credit_deferrals: inner.credit_deferrals,
+            staging_reclaimed: inner.staging_reclaimed,
+            reqs_cancelled: inner.reqs_cancelled,
+            reqs_reaped: inner.reqs_reaped,
+            group_failures: inner.group_failures,
+            journal_truncations: inner.journal_truncations,
+            journal_hwm: inner.journal_hwm,
             finalized_ranks: inner.ranks.values().filter(|r| r.finalized).count() as u64,
             ranks: inner.ranks.values().cloned().collect(),
             windows: inner.windows.values().cloned().collect(),
@@ -492,6 +525,32 @@ pub struct MetricsReport {
     pub req_failures: u64,
     /// Completions for write-ids no longer in flight (pre-restart CQEs).
     pub stale_cqes: u64,
+    /// Landed payloads that failed CRC verification (payload-fault plans).
+    pub payload_corrupt: u64,
+    /// Previously corrupt transfers that verified clean after data-path
+    /// retransmission.
+    pub payload_recovered: u64,
+    /// Transfers that exhausted the data-path retransmission budget and
+    /// surfaced `OffloadError::DataIntegrity`.
+    pub data_integrity_failures: u64,
+    /// Descriptors refused admission by a proxy at its queue cap.
+    pub queue_full_nacks: u64,
+    /// Posts the host deferred because its per-proxy credit window was
+    /// exhausted.
+    pub credit_deferrals: u64,
+    /// Staging buffers recycled from the bounded free pool.
+    pub staging_reclaimed: u64,
+    /// Requests cancelled by their host (deadline expiry or explicit).
+    pub reqs_cancelled: u64,
+    /// Cancelled-transfer descriptors reaped or suppressed at proxies.
+    pub reqs_reaped: u64,
+    /// Group generations that failed with a typed error.
+    pub group_failures: u64,
+    /// FIN-journal truncation passes that dropped entries.
+    pub journal_truncations: u64,
+    /// High-water mark of any proxy's FIN journal (0 unless the journal
+    /// cap is armed — the size is only sampled then).
+    pub journal_hwm: u64,
     /// Ranks that completed `Finalize_Offload`.
     pub finalized_ranks: u64,
     /// Per-rank counters, ordered by rank.
@@ -579,6 +638,17 @@ impl MetricsReport {
             ("reqs_replayed", self.reqs_replayed),
             ("req_failures", self.req_failures),
             ("stale_cqes", self.stale_cqes),
+            ("payload_corrupt", self.payload_corrupt),
+            ("payload_recovered", self.payload_recovered),
+            ("data_integrity_failures", self.data_integrity_failures),
+            ("queue_full_nacks", self.queue_full_nacks),
+            ("credit_deferrals", self.credit_deferrals),
+            ("staging_reclaimed", self.staging_reclaimed),
+            ("reqs_cancelled", self.reqs_cancelled),
+            ("reqs_reaped", self.reqs_reaped),
+            ("group_failures", self.group_failures),
+            ("journal_truncations", self.journal_truncations),
+            ("journal_hwm", self.journal_hwm),
             ("finalized_ranks", self.finalized_ranks),
         ];
         for (i, (k, v)) in totals.iter().enumerate() {

@@ -196,7 +196,7 @@ mod tests {
             let g = off.record_alltoall(sendbuf, recvbuf, 1024);
             for _ in 0..3 {
                 off.group_call(g);
-                off.group_wait(g);
+                off.group_wait(g).expect("group offload failed");
             }
         });
     }
@@ -213,7 +213,7 @@ mod tests {
             let members: Vec<usize> = (0..off.size()).collect();
             let g = off.record_bcast_binomial(&members, 0, buf, 2048, 0);
             off.group_call(g);
-            off.group_wait(g);
+            off.group_wait(g).expect("group offload failed");
             assert!(fab.verify_pattern(ep, buf, 2048, 5).unwrap());
             // Ring variant with a different buffer region.
             let buf2 = fab.alloc(ep, 512);
@@ -222,7 +222,7 @@ mod tests {
             }
             let g2 = off.record_bcast_ring(&members, 0, buf2, 512, 1);
             off.group_call(g2);
-            off.group_wait(g2);
+            off.group_wait(g2).expect("group offload failed");
             assert!(fab.verify_pattern(ep, buf2, 512, 9).unwrap());
         });
     }
@@ -248,7 +248,7 @@ mod tests {
                         .unwrap();
                     let g = off.record_allgather_ring(buf, 4096);
                     off.group_call(g);
-                    off.group_wait(g);
+                    off.group_wait(g).expect("group offload failed");
                     for s in 0..p {
                         assert!(fab
                             .verify_pattern(ep, buf.offset(s * 4096), 4096, s + 40)

@@ -33,7 +33,12 @@ use crate::config::{DataPath, OffloadConfig};
 use crate::events::{CacheSide, CtrlKind, PathKind, ProtoEvent};
 use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_OFF_PROXY};
 use crate::reg_cache::RankAddrCache;
-use crate::reliable::{FaultRng, ReliableLink};
+use crate::reliable::{backoff_delay, FaultRng, ReliableLink, ReqOrigin};
+
+/// Bounded data-path retransmission budget: delivery attempts (original
+/// write + retransmits) before a transfer fails with a typed
+/// [`crate::OffloadError::DataIntegrity`].
+const DATA_RETX_MAX: u32 = 8;
 
 /// Decode a control-message payload without panicking: a malformed or
 /// foreign message is surfaced as `None` so the caller can count and skip
@@ -53,6 +58,9 @@ struct RtsInfo {
     src_req: usize,
     src_pid: Pid,
     msg_id: u64,
+    /// Sender-computed payload CRC32 (present only on payload-fault
+    /// plans; carried through so every hop can be verified).
+    crc: Option<u32>,
 }
 
 #[allow(dead_code)] // dst_pid mirrors the wire format
@@ -74,6 +82,10 @@ enum Completion {
         dst_req: usize,
         src_msg_id: u64,
         dst_msg_id: u64,
+        /// Staging buffer `(addr, key, alloc len)` to release into the
+        /// bounded free pool once the transfer settles (`None` on the
+        /// GVMI path and in unbounded staging mode).
+        staged: Option<(VAddr, MrKey, u64)>,
     },
     /// One-sided operation: only the origin gets a FIN.
     OneSided {
@@ -82,8 +94,12 @@ enum Completion {
         msg_id: u64,
     },
     /// Staging path, hop 1 done: the payload has been pulled into DPU
-    /// memory; forward it.
-    StagingRead(Box<(RtsInfo, RtrInfo)>),
+    /// memory; forward it. The buffer rides along so hop 2 (and the
+    /// bounded pool) never consults the assignment map.
+    StagingRead {
+        pair: Box<(RtsInfo, RtrInfo)>,
+        buf: (VAddr, MrKey),
+    },
     GroupSend {
         key: GroupKey,
         gen: u64,
@@ -94,6 +110,29 @@ enum Completion {
         gen: u64,
         entry_idx: usize,
     },
+}
+
+/// Everything needed to verify one posted RDMA operation end-to-end and
+/// re-post it if the landed bytes fail the CRC check. Tracked per wrid
+/// only on payload-fault plans — clean runs never allocate one.
+struct WriteCtx {
+    /// Expected CRC32 of the payload, computed by the owning host at
+    /// post (or wire-build) time.
+    crc: u32,
+    /// Transfer id the operation belongs to (event attribution).
+    msg_id: u64,
+    /// Data path of the original post (re-used verbatim on re-post).
+    path: PathKind,
+    /// RDMA READ (verify the local side) vs WRITE (verify the remote).
+    is_read: bool,
+    local: (EpId, VAddr, MrKey),
+    remote: (EpId, VAddr, MrKey),
+    len: u64,
+    /// Delivery attempts so far (1 = the original post).
+    attempt: u32,
+    /// Arrival notification re-delivered with each re-post (group data
+    /// writes; the receiver dedups by msg_id).
+    notify: Option<(Pid, CtrlMsg)>,
 }
 
 struct CachedGroup {
@@ -179,6 +218,22 @@ struct ProxyState {
     /// Barrier points `(key, gen, cursor)` whose first stall was already
     /// reported, so polling does not inflate the stall count.
     stalled: BTreeSet<(GroupKey, u64, usize)>,
+    /// Integrity context per in-flight wrid (payload-fault plans only).
+    inflight_ctx: BTreeMap<u64, WriteCtx>,
+    /// Corrupt operations awaiting their backoff timer, keyed by retx
+    /// token.
+    data_retx: BTreeMap<u64, (WriteCtx, Completion)>,
+    next_retx_token: u64,
+    /// Transfer ids cancelled by their host (deadline expiry or explicit
+    /// cancel). Survives a crash — a cancelled request must never
+    /// complete, even through a post-restart replay.
+    cancelled: BTreeSet<u64>,
+    /// Bounded staging free pool, keyed by buffer length (armed by
+    /// `staging_cap`; empty and unused otherwise).
+    stage_free: BTreeMap<u64, Vec<(VAddr, MrKey)>>,
+    /// Highest contiguous completion horizon each host has advertised
+    /// (FIN-journal truncation; survives a crash with the journal).
+    ack_horizons: BTreeMap<usize, u64>,
 }
 
 /// Build a proxy closure suitable for [`rdma::ClusterBuilder::run`]'s
@@ -228,6 +283,12 @@ pub fn proxy_main(
         send_q_len: 0,
         recv_q_len: 0,
         stalled: BTreeSet::new(),
+        inflight_ctx: BTreeMap::new(),
+        data_retx: BTreeMap::new(),
+        next_retx_token: 0,
+        cancelled: BTreeSet::new(),
+        stage_free: BTreeMap::new(),
+        ack_horizons: BTreeMap::new(),
     };
     let p = Proxy {
         ctx: &ctx,
@@ -263,6 +324,7 @@ impl Proxy<'_> {
             && st.instances.iter().all(|i| i.done)
             && st.send_q.values().all(|q| q.is_empty())
             && st.recv_q.values().all(|q| q.is_empty())
+            && st.data_retx.is_empty()
             && !st.rel.has_pending()
     }
 
@@ -344,6 +406,8 @@ impl Proxy<'_> {
                 src_req,
                 src_pid,
                 msg_id,
+                crc,
+                ack_horizon,
             } => {
                 if let Some(&wrid) = st.completed_msgs.get(&msg_id) {
                     // Replayed send whose data write completed in a
@@ -358,13 +422,19 @@ impl Proxy<'_> {
                     );
                     return;
                 }
-                if self.basic_active(st, msg_id) {
-                    self.ctx.stat_incr("offload.reliable.dups_dropped", 1);
-                    self.ctx.emit(&ProtoEvent::CtrlDuplicateDropped {
-                        at_proxy: true,
-                        kind: CtrlKind::Rts,
-                        msg_id,
-                    });
+                if self.reaped(st, msg_id) || self.dup_basic(st, CtrlKind::Rts, msg_id) {
+                    return;
+                }
+                self.note_horizon(st, src_rank, ack_horizon);
+                let key = (src_rank, dst_rank, tag);
+                let would_match = st.recv_q.get(&key).is_some_and(|q| !q.is_empty());
+                if !would_match && self.admission_refused(st, msg_id) {
+                    self.send_ctrl(
+                        st,
+                        self.cluster.host_ep(src_rank),
+                        CtrlMsg::QueueFull { msg_id },
+                    );
+                    self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
                     return;
                 }
                 let _ = self.cluster.fabric().charge_cpu(
@@ -389,8 +459,8 @@ impl Proxy<'_> {
                     src_req,
                     src_pid,
                     msg_id,
+                    crc,
                 };
-                let key = (src_rank, dst_rank, tag);
                 if let Some(rtr) = st.recv_q.get_mut(&key).and_then(|q| q.pop_front()) {
                     st.recv_q_len -= 1;
                     self.pair_matched(st, rts, rtr);
@@ -410,6 +480,7 @@ impl Proxy<'_> {
                 dst_req,
                 dst_pid,
                 msg_id,
+                ack_horizon,
             } => {
                 if let Some(&wrid) = st.completed_msgs.get(&msg_id) {
                     self.resend_fin(
@@ -422,13 +493,19 @@ impl Proxy<'_> {
                     );
                     return;
                 }
-                if self.basic_active(st, msg_id) {
-                    self.ctx.stat_incr("offload.reliable.dups_dropped", 1);
-                    self.ctx.emit(&ProtoEvent::CtrlDuplicateDropped {
-                        at_proxy: true,
-                        kind: CtrlKind::Rtr,
-                        msg_id,
-                    });
+                if self.reaped(st, msg_id) || self.dup_basic(st, CtrlKind::Rtr, msg_id) {
+                    return;
+                }
+                self.note_horizon(st, dst_rank, ack_horizon);
+                let key = (src_rank, dst_rank, tag);
+                let would_match = st.send_q.get(&key).is_some_and(|q| !q.is_empty());
+                if !would_match && self.admission_refused(st, msg_id) {
+                    self.send_ctrl(
+                        st,
+                        self.cluster.host_ep(dst_rank),
+                        CtrlMsg::QueueFull { msg_id },
+                    );
+                    self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
                     return;
                 }
                 let _ = self.cluster.fabric().charge_cpu(
@@ -452,7 +529,6 @@ impl Proxy<'_> {
                     dst_pid,
                     msg_id,
                 };
-                let key = (src_rank, dst_rank, tag);
                 if let Some(rts) = st.send_q.get_mut(&key).and_then(|q| q.pop_front()) {
                     st.send_q_len -= 1;
                     self.pair_matched(st, rts, rtr);
@@ -532,13 +608,7 @@ impl Proxy<'_> {
                     );
                     return;
                 }
-                if self.basic_active(st, msg_id) {
-                    self.ctx.stat_incr("offload.reliable.dups_dropped", 1);
-                    self.ctx.emit(&ProtoEvent::CtrlDuplicateDropped {
-                        at_proxy: true,
-                        kind: CtrlKind::Put,
-                        msg_id,
-                    });
+                if self.reaped(st, msg_id) || self.dup_basic(st, CtrlKind::Put, msg_id) {
                     return;
                 }
                 let _ = self.cluster.fabric().charge_cpu(
@@ -574,6 +644,10 @@ impl Proxy<'_> {
                     src_req,
                     src_pid,
                     msg_id,
+                    // One-sided operations are exempt from end-to-end
+                    // integrity (documented relaxation: no receive side
+                    // exists to re-derive the expected CRC from).
+                    crc: None,
                 };
                 let rtr = RtrInfo {
                     dst_rank,
@@ -609,13 +683,7 @@ impl Proxy<'_> {
                     );
                     return;
                 }
-                if self.basic_active(st, msg_id) {
-                    self.ctx.stat_incr("offload.reliable.dups_dropped", 1);
-                    self.ctx.emit(&ProtoEvent::CtrlDuplicateDropped {
-                        at_proxy: true,
-                        kind: CtrlKind::Get,
-                        msg_id,
-                    });
+                if self.reaped(st, msg_id) || self.dup_basic(st, CtrlKind::Get, msg_id) {
                     return;
                 }
                 let _ = self.cluster.fabric().charge_cpu(
@@ -668,6 +736,40 @@ impl Proxy<'_> {
             CtrlMsg::Shutdown { rank } => {
                 st.shutdowns.insert(rank);
             }
+            CtrlMsg::Cancel { msg_id } => {
+                // Suppress every future match for this transfer id, then
+                // reap any descriptor already queued for it. The host has
+                // already failed the request; completing it now would
+                // hand bytes to a caller that gave up on them.
+                st.cancelled.insert(msg_id);
+                let mut reaped = 0usize;
+                for q in st.send_q.values_mut() {
+                    let before = q.len();
+                    q.retain(|r| r.msg_id != msg_id);
+                    reaped += before - q.len();
+                }
+                st.send_q_len -= reaped;
+                let mut rreaped = 0usize;
+                for q in st.recv_q.values_mut() {
+                    let before = q.len();
+                    q.retain(|r| r.msg_id != msg_id);
+                    rreaped += before - q.len();
+                }
+                st.recv_q_len -= rreaped;
+                if reaped + rreaped > 0 {
+                    self.ctx
+                        .stat_incr("offload.cancel.reaped", (reaped + rreaped) as u64);
+                    self.ctx.emit(&ProtoEvent::ReqReaped { msg_id });
+                }
+            }
+            CtrlMsg::DataRetxTick { token } => {
+                // Backoff expired for a corrupt payload: re-post it. A
+                // missing token means a crash wiped the retx table; the
+                // host's post-restart replay re-drives the transfer.
+                if let Some((wctx, completion)) = st.data_retx.remove(&token) {
+                    self.repost(st, wctx, completion);
+                }
+            }
             other => panic!("unexpected control message at proxy: {other:?}"),
         }
     }
@@ -683,7 +785,7 @@ impl Proxy<'_> {
                 to,
                 self.cfg.ctrl_bytes,
                 msg,
-                None,
+                ReqOrigin::Free,
             );
         } else {
             self.cluster
@@ -707,9 +809,18 @@ impl Proxy<'_> {
         kind: crate::events::FinKind,
         msg_id: u64,
     ) {
+        let credit = self.fin_credit(st);
         let msg = match kind {
-            crate::events::FinKind::Recv => CtrlMsg::FinRecv { req, msg_id },
-            _ => CtrlMsg::FinSend { req, msg_id },
+            crate::events::FinKind::Recv => CtrlMsg::FinRecv {
+                req,
+                msg_id,
+                credit,
+            },
+            _ => CtrlMsg::FinSend {
+                req,
+                msg_id,
+                credit,
+            },
         };
         self.send_ctrl(st, self.cluster.host_ep(rank), msg);
         self.ctx.emit(&ProtoEvent::FinSent {
@@ -736,9 +847,119 @@ impl Proxy<'_> {
                     ..
                 } => *src_msg_id == msg_id || *dst_msg_id == msg_id,
                 Completion::OneSided { msg_id: m, .. } => *m == msg_id,
-                Completion::StagingRead(pair) => pair.0.msg_id == msg_id || pair.1.msg_id == msg_id,
+                Completion::StagingRead { pair, .. } => {
+                    pair.0.msg_id == msg_id || pair.1.msg_id == msg_id
+                }
                 _ => false,
             })
+    }
+
+    /// Duplicate-drop bookkeeping around [`Self::basic_active`]: true
+    /// means the message was a duplicate and has been counted.
+    fn dup_basic(&self, st: &ProxyState, kind: CtrlKind, msg_id: u64) -> bool {
+        if !self.basic_active(st, msg_id) {
+            return false;
+        }
+        self.ctx.stat_incr("offload.reliable.dups_dropped", 1);
+        self.ctx.emit(&ProtoEvent::CtrlDuplicateDropped {
+            at_proxy: true,
+            kind,
+            msg_id,
+        });
+        true
+    }
+
+    /// Suppress (and count) a descriptor for a transfer its host already
+    /// cancelled.
+    fn reaped(&self, st: &ProxyState, msg_id: u64) -> bool {
+        if !st.cancelled.contains(&msg_id) {
+            return false;
+        }
+        self.ctx.stat_incr("offload.cancel.reaped", 1);
+        self.ctx.emit(&ProtoEvent::ReqReaped { msg_id });
+        true
+    }
+
+    /// Record the completion horizon a host piggybacked on its ctrl
+    /// message (journal truncation; inert unless the cap is armed).
+    fn note_horizon(&self, st: &mut ProxyState, rank: usize, ack_horizon: u64) {
+        if self.cfg.journal_cap == 0 {
+            return;
+        }
+        let h = st.ack_horizons.entry(rank).or_insert(0);
+        *h = (*h).max(ack_horizon);
+    }
+
+    /// Would admitting one more queued descriptor bust the configured
+    /// cap? Counts both queues against one budget — the paper's worker
+    /// owns a single descriptor pool. Emits the refusal events; the
+    /// caller sends the `QueueFull` nack (destination differs per side).
+    fn admission_refused(&self, st: &ProxyState, msg_id: u64) -> bool {
+        if self.cfg.queue_cap == 0 || st.send_q_len + st.recv_q_len < self.cfg.queue_cap {
+            return false;
+        }
+        self.ctx.stat_incr("offload.credit.queue_full", 1);
+        self.ctx.emit(&ProtoEvent::QueueFullNack { msg_id });
+        true
+    }
+
+    /// Free descriptor-queue slots to piggyback on an outgoing FIN
+    /// (always 0 when the cap is unarmed, keeping clean wires identical).
+    fn fin_credit(&self, st: &ProxyState) -> u32 {
+        if self.cfg.queue_cap == 0 {
+            0
+        } else {
+            self.cfg
+                .queue_cap
+                .saturating_sub(st.send_q_len + st.recv_q_len) as u32
+        }
+    }
+
+    /// Return a settled transfer's staging buffer to the bounded free
+    /// pool. `None` (GVMI path, or unbounded staging mode where buffers
+    /// live in the assignment map) is a no-op; a pool already at its cap
+    /// drops the buffer instead of growing.
+    fn release_staged(&self, st: &mut ProxyState, staged: Option<(VAddr, MrKey, u64)>) {
+        let Some((buf, key, len)) = staged else {
+            return;
+        };
+        if self.cfg.staging_cap == 0 {
+            return;
+        }
+        let pool = st.stage_free.entry(len).or_default();
+        if pool.len() < self.cfg.staging_cap {
+            pool.push((buf, key));
+        } else {
+            self.ctx.stat_incr("offload.staging.dropped", 1);
+        }
+    }
+
+    /// Bound the durable FIN journal: once it exceeds the cap, drop every
+    /// entry at or below its owning host's advertised completion horizon
+    /// (those transfers can never be replayed — the host saw their FINs).
+    /// Emits a size sample per settle so tests can track the high-water
+    /// mark. No-op unless the cap is armed.
+    fn truncate_journal(&self, st: &mut ProxyState) {
+        if self.cfg.journal_cap == 0 {
+            return;
+        }
+        if st.completed_msgs.len() > self.cfg.journal_cap {
+            let horizons = &st.ack_horizons;
+            let before = st.completed_msgs.len();
+            st.completed_msgs.retain(|mid, _| {
+                let rank = (mid >> 32) as usize;
+                let seq = mid & 0xFFFF_FFFF;
+                seq > horizons.get(&rank).copied().unwrap_or(0)
+            });
+            let dropped = (before - st.completed_msgs.len()) as u64;
+            if dropped > 0 {
+                self.ctx.stat_incr("offload.journal.truncations", 1);
+                self.ctx.emit(&ProtoEvent::JournalTruncated { dropped });
+            }
+        }
+        self.ctx.emit(&ProtoEvent::JournalSize {
+            len: st.completed_msgs.len() as u64,
+        });
     }
 
     /// Crash + restart in one step (the simulated process never leaves
@@ -768,6 +989,13 @@ impl Proxy<'_> {
         st.group_staged.clear();
         st.stage_read_posted.clear();
         st.stalled.clear();
+        // The retx table and staging pool are volatile; the cancelled
+        // set and advertised horizons are durable (a cancelled request
+        // must stay dead across a restart, and a stale horizon only
+        // delays truncation — never loses a needed journal entry).
+        st.inflight_ctx.clear();
+        st.data_retx.clear();
+        st.stage_free.clear();
         st.rel.reset_for_restart();
         let epoch = st.rel.epoch();
         self.ctx.stat_incr("offload.reliable.proxy_restarts", 1);
@@ -782,15 +1010,20 @@ impl Proxy<'_> {
                     proxy: self.my_ep,
                     epoch,
                 },
-                None,
+                ReqOrigin::Free,
             );
         }
     }
 
     // ---- Basic primitives ----
 
-    /// Staging buffer (allocated and registered once) for a given source
-    /// buffer.
+    /// Staging buffer for a given source buffer. Unbounded mode (the
+    /// default) allocates and registers once per `(src_rank, addr, len)`
+    /// and keeps the assignment forever. With `staging_cap` armed the
+    /// per-source map is bypassed: buffers come from a bounded free pool
+    /// keyed by length and are recycled when their transfer settles, so
+    /// the proxy's staging footprint is `cap × live lengths` instead of
+    /// one buffer per distinct source buffer ever seen.
     fn staging_buffer_for(
         &self,
         st: &mut ProxyState,
@@ -798,11 +1031,24 @@ impl Proxy<'_> {
         addr: VAddr,
         len: u64,
     ) -> (VAddr, MrKey) {
+        let fab = self.cluster.fabric();
+        if self.cfg.staging_cap > 0 {
+            if let Some(b) = st.stage_free.get_mut(&len).and_then(|p| p.pop()) {
+                self.ctx.stat_incr("offload.staging.reclaimed", 1);
+                self.ctx.emit(&ProtoEvent::StagingReclaimed { len });
+                return b;
+            }
+            let buf = fab.alloc(self.my_ep, len);
+            let key = fab
+                .reg_mr(self.ctx, self.my_ep, buf, len)
+                .expect("staging buffer registration");
+            self.ctx.stat_incr("offload.proxy.staging_buffers", 1);
+            return (buf, key);
+        }
         let akey = (src_rank, addr.0, len);
         if let Some(&b) = st.stage_assign.get(&akey) {
             return b;
         }
-        let fab = self.cluster.fabric();
         let buf = fab.alloc(self.my_ep, len);
         let key = fab
             .reg_mr(self.ctx, self.my_ep, buf, len)
@@ -845,13 +1091,32 @@ impl Proxy<'_> {
             return;
         };
         let wr = self.next_wrid(st);
+        let len = rts.len.min(rtr.len);
         self.ctx.emit(&ProtoEvent::Mkey2Used { mkey2 });
         self.ctx.emit(&ProtoEvent::WritePosted {
             wrid: wr,
-            bytes: rts.len.min(rtr.len),
+            bytes: len,
             path: PathKind::CrossGvmi,
             msg_id: rts.msg_id,
         });
+        // End-to-end integrity: the host's CRC covers exactly rts.len
+        // bytes, so a truncating match (shorter receive) is exempt.
+        if let Some(crc) = rts.crc.filter(|_| len == rts.len) {
+            st.inflight_ctx.insert(
+                wr,
+                WriteCtx {
+                    crc,
+                    msg_id: rts.msg_id,
+                    path: PathKind::CrossGvmi,
+                    is_read: false,
+                    local: (self.cluster.host_ep(rts.src_rank), rts.addr, mkey2),
+                    remote: (self.cluster.host_ep(rtr.dst_rank), rtr.addr, rtr.rkey),
+                    len,
+                    attempt: 1,
+                    notify: None,
+                },
+            );
+        }
         st.inflight.insert(
             wr,
             Completion::BasicPair {
@@ -861,6 +1126,7 @@ impl Proxy<'_> {
                 dst_req: rtr.dst_req,
                 src_msg_id: rts.msg_id,
                 dst_msg_id: rtr.msg_id,
+                staged: None,
             },
         );
         self.cluster
@@ -870,7 +1136,7 @@ impl Proxy<'_> {
                 self.my_ep,
                 (self.cluster.host_ep(rts.src_rank), rts.addr, mkey2),
                 (self.cluster.host_ep(rtr.dst_rank), rtr.addr, rtr.rkey),
-                rts.len.min(rtr.len),
+                len,
                 Some(wr),
                 None,
             )
@@ -893,8 +1159,32 @@ impl Proxy<'_> {
             path: PathKind::StagingHop1,
             msg_id: rts.msg_id,
         });
-        st.inflight
-            .insert(wr, Completion::StagingRead(Box::new((rts, rtr))));
+        // Verify the staged copy too: a corruption healed on hop 1 keeps
+        // hop 2's retransmissions meaningful (re-sending a corrupt
+        // staged image could never converge).
+        if let Some(crc) = rts.crc.filter(|_| len == rts.len) {
+            st.inflight_ctx.insert(
+                wr,
+                WriteCtx {
+                    crc,
+                    msg_id: rts.msg_id,
+                    path: PathKind::StagingHop1,
+                    is_read: true,
+                    local: (self.my_ep, buf, key),
+                    remote: (src_ep, src_addr, src_rkey),
+                    len,
+                    attempt: 1,
+                    notify: None,
+                },
+            );
+        }
+        st.inflight.insert(
+            wr,
+            Completion::StagingRead {
+                pair: Box::new((rts, rtr)),
+                buf: (buf, key),
+            },
+        );
         self.cluster
             .fabric()
             .rdma_read(
@@ -910,19 +1200,41 @@ impl Proxy<'_> {
     }
 
     /// Staging hop 2: forward the staged payload from DPU memory to the
-    /// destination host (paper Fig. 6 — the extra hop).
-    fn post_staged_pair(&self, st: &mut ProxyState, rts: RtsInfo, rtr: RtrInfo) {
-        let (buf, key) = *st
-            .stage_assign
-            .get(&(rts.src_rank, rts.addr.0, rts.len))
-            .expect("staging buffer assigned at read");
+    /// destination host (paper Fig. 6 — the extra hop). `buf` is the
+    /// staging buffer hop 1 read into (rode along in the completion).
+    fn post_staged_pair(
+        &self,
+        st: &mut ProxyState,
+        rts: RtsInfo,
+        rtr: RtrInfo,
+        buf: (VAddr, MrKey),
+    ) {
+        let (buf, key) = buf;
         let wr = self.next_wrid(st);
+        let len = rts.len.min(rtr.len);
         self.ctx.emit(&ProtoEvent::WritePosted {
             wrid: wr,
-            bytes: rts.len.min(rtr.len),
+            bytes: len,
             path: PathKind::StagingHop2,
             msg_id: rts.msg_id,
         });
+        if let Some(crc) = rts.crc.filter(|_| len == rts.len) {
+            st.inflight_ctx.insert(
+                wr,
+                WriteCtx {
+                    crc,
+                    msg_id: rts.msg_id,
+                    path: PathKind::StagingHop2,
+                    is_read: false,
+                    local: (self.my_ep, buf, key),
+                    remote: (self.cluster.host_ep(rtr.dst_rank), rtr.addr, rtr.rkey),
+                    len,
+                    attempt: 1,
+                    notify: None,
+                },
+            );
+        }
+        let staged = (self.cfg.staging_cap > 0).then_some((buf, key, rts.len));
         st.inflight.insert(
             wr,
             Completion::BasicPair {
@@ -932,6 +1244,7 @@ impl Proxy<'_> {
                 dst_req: rtr.dst_req,
                 src_msg_id: rts.msg_id,
                 dst_msg_id: rtr.msg_id,
+                staged,
             },
         );
         self.cluster
@@ -941,7 +1254,7 @@ impl Proxy<'_> {
                 self.my_ep,
                 (self.my_ep, buf, key),
                 (self.cluster.host_ep(rtr.dst_rank), rtr.addr, rtr.rkey),
-                rts.len.min(rtr.len),
+                len,
                 Some(wr),
                 None,
             )
@@ -1077,6 +1390,38 @@ impl Proxy<'_> {
             return;
         };
         self.ctx.emit(&ProtoEvent::WriteCompleted { wrid });
+        // End-to-end integrity gate (payload-fault plans only): verify
+        // the landed bytes against the sender's CRC before acting on the
+        // completion. A mismatch schedules a bounded retransmission
+        // instead — no FIN, no staging forward, no barrier progress.
+        if let Some(wctx) = st.inflight_ctx.remove(&wrid) {
+            let (ep, addr, _) = if wctx.is_read {
+                wctx.local
+            } else {
+                wctx.remote
+            };
+            let got = self
+                .cluster
+                .fabric()
+                .crc32(ep, addr, wctx.len)
+                .expect("CRC of a landed payload");
+            if got != wctx.crc {
+                self.on_corrupt(st, wctx, completion);
+                return;
+            }
+            if wctx.attempt > 1 {
+                self.ctx.stat_incr("offload.integrity.recovered", 1);
+                self.ctx.emit(&ProtoEvent::PayloadRecovered {
+                    msg_id: wctx.msg_id,
+                    attempts: wctx.attempt,
+                });
+            }
+        }
+        self.complete(st, wrid, completion);
+    }
+
+    /// Act on a (verified) completed operation.
+    fn complete(&self, st: &mut ProxyState, wrid: u64, completion: Completion) {
         match completion {
             Completion::BasicPair {
                 src_rank,
@@ -1085,7 +1430,9 @@ impl Proxy<'_> {
                 dst_req,
                 src_msg_id,
                 dst_msg_id,
+                staged,
             } => {
+                self.release_staged(st, staged);
                 // FIN packets to both hosts (paper Fig. 8, §VIII-C: two of
                 // the four per-transfer control messages). One-sided puts
                 // ride this path with no receive request: only the origin
@@ -1093,12 +1440,18 @@ impl Proxy<'_> {
                 // FIN sends: write-ahead, so a replay after a crash at any
                 // point from here on resolves to a FIN resend.
                 st.completed_msgs.insert(src_msg_id, wrid);
+                if dst_req != usize::MAX {
+                    st.completed_msgs.insert(dst_msg_id, wrid);
+                }
+                self.truncate_journal(st);
+                let credit = self.fin_credit(st);
                 self.send_ctrl(
                     st,
                     self.cluster.host_ep(src_rank),
                     CtrlMsg::FinSend {
                         req: src_req,
                         msg_id: src_msg_id,
+                        credit,
                     },
                 );
                 self.ctx.emit(&ProtoEvent::FinSent {
@@ -1110,7 +1463,6 @@ impl Proxy<'_> {
                 });
                 self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
                 if dst_req != usize::MAX {
-                    st.completed_msgs.insert(dst_msg_id, wrid);
                     if self.cfg.fault.drop_first_fin && !st.fin_dropped {
                         // Deliberate fault: lose this FinRecv. The waiting
                         // receiver never completes, so the run deadlocks.
@@ -1123,6 +1475,7 @@ impl Proxy<'_> {
                         CtrlMsg::FinRecv {
                             req: dst_req,
                             msg_id: dst_msg_id,
+                            credit,
                         },
                     );
                     self.ctx.emit(&ProtoEvent::FinSent {
@@ -1141,12 +1494,15 @@ impl Proxy<'_> {
                 msg_id,
             } => {
                 st.completed_msgs.insert(msg_id, wrid);
+                self.truncate_journal(st);
+                let credit = self.fin_credit(st);
                 self.send_ctrl(
                     st,
                     self.cluster.host_ep(src_rank),
                     CtrlMsg::FinSend {
                         req: src_req,
                         msg_id,
+                        credit,
                     },
                 );
                 self.ctx.emit(&ProtoEvent::FinSent {
@@ -1158,9 +1514,9 @@ impl Proxy<'_> {
                 });
                 self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
             }
-            Completion::StagingRead(pair) => {
+            Completion::StagingRead { pair, buf } => {
                 let (rts, rtr) = *pair;
-                self.post_staged_pair(st, rts, rtr);
+                self.post_staged_pair(st, rts, rtr, buf);
             }
             Completion::GroupSend { key, gen } => {
                 if let Some(inst) = st
@@ -1177,6 +1533,187 @@ impl Proxy<'_> {
                 entry_idx,
             } => {
                 st.group_staged.insert((key, gen, entry_idx));
+            }
+        }
+    }
+
+    /// A landed payload failed CRC verification. Within budget: arm a
+    /// backoff timer and park the operation for re-posting. Budget
+    /// exhausted: surface a typed data-plane failure to the owning
+    /// host(s) — never a FIN, never a hang.
+    fn on_corrupt(&self, st: &mut ProxyState, mut wctx: WriteCtx, completion: Completion) {
+        self.ctx.stat_incr("offload.integrity.corrupt", 1);
+        self.ctx.emit(&ProtoEvent::PayloadCorrupt {
+            msg_id: wctx.msg_id,
+            attempt: wctx.attempt,
+        });
+        if wctx.attempt >= DATA_RETX_MAX {
+            self.ctx.stat_incr("offload.integrity.failures", 1);
+            self.ctx.emit(&ProtoEvent::DataIntegrityFailed {
+                msg_id: wctx.msg_id,
+                attempts: wctx.attempt,
+            });
+            self.fail_transfer(st, completion, wctx.attempt);
+            return;
+        }
+        let delay = backoff_delay(wctx.attempt);
+        wctx.attempt += 1;
+        st.next_retx_token += 1;
+        let token = st.next_retx_token;
+        st.data_retx.insert(token, (wctx, completion));
+        self.ctx.stat_incr("offload.integrity.retransmits", 1);
+        self.ctx.deliver_self(
+            delay,
+            Box::new(NetMsg::Notify(Box::new(CtrlMsg::DataRetxTick { token }))),
+        );
+    }
+
+    /// Re-post a corrupt operation after its backoff (fresh wrid, same
+    /// path, same arrival notification — receivers dedup by msg_id).
+    fn repost(&self, st: &mut ProxyState, wctx: WriteCtx, completion: Completion) {
+        let wr = self.next_wrid(st);
+        self.ctx.emit(&ProtoEvent::WritePosted {
+            wrid: wr,
+            bytes: wctx.len,
+            path: wctx.path,
+            msg_id: wctx.msg_id,
+        });
+        let fab = self.cluster.fabric();
+        if wctx.is_read {
+            fab.rdma_read(
+                self.ctx,
+                self.my_ep,
+                wctx.local,
+                wctx.remote,
+                wctx.len,
+                Some(wr),
+            )
+            .expect("data retransmit read");
+        } else {
+            let notify = wctx
+                .notify
+                .clone()
+                .map(|(pid, msg)| (pid, Box::new(msg) as Payload));
+            fab.rdma_write(
+                self.ctx,
+                self.my_ep,
+                wctx.local,
+                wctx.remote,
+                wctx.len,
+                Some(wr),
+                notify,
+            )
+            .expect("data retransmit write");
+        }
+        st.inflight.insert(wr, completion);
+        st.inflight_ctx.insert(wr, wctx);
+    }
+
+    /// Permanent data-plane failure: tell every host waiting on this
+    /// operation, with the typed error message its engine maps to
+    /// `OffloadError::DataIntegrity` (basic) or a failed generation
+    /// (group). Group bookkeeping for the dead generation is dropped so
+    /// the proxy still quiesces.
+    fn fail_transfer(&self, st: &mut ProxyState, completion: Completion, attempts: u32) {
+        match completion {
+            Completion::BasicPair {
+                src_rank,
+                src_req,
+                dst_rank,
+                dst_req,
+                src_msg_id,
+                dst_msg_id,
+                staged,
+            } => {
+                self.release_staged(st, staged);
+                self.send_ctrl(
+                    st,
+                    self.cluster.host_ep(src_rank),
+                    CtrlMsg::DataError {
+                        req: src_req,
+                        msg_id: src_msg_id,
+                        attempts,
+                    },
+                );
+                self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+                if dst_req != usize::MAX {
+                    self.send_ctrl(
+                        st,
+                        self.cluster.host_ep(dst_rank),
+                        CtrlMsg::DataError {
+                            req: dst_req,
+                            msg_id: dst_msg_id,
+                            attempts,
+                        },
+                    );
+                    self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+                }
+            }
+            Completion::OneSided {
+                src_rank,
+                src_req,
+                msg_id,
+            } => {
+                self.send_ctrl(
+                    st,
+                    self.cluster.host_ep(src_rank),
+                    CtrlMsg::DataError {
+                        req: src_req,
+                        msg_id,
+                        attempts,
+                    },
+                );
+                self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+            }
+            Completion::StagingRead { pair, buf } => {
+                let (rts, rtr) = *pair;
+                self.release_staged(st, Some((buf.0, buf.1, rts.len)));
+                self.send_ctrl(
+                    st,
+                    self.cluster.host_ep(rts.src_rank),
+                    CtrlMsg::DataError {
+                        req: rts.src_req,
+                        msg_id: rts.msg_id,
+                        attempts,
+                    },
+                );
+                self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+                if rtr.dst_req != usize::MAX {
+                    self.send_ctrl(
+                        st,
+                        self.cluster.host_ep(rtr.dst_rank),
+                        CtrlMsg::DataError {
+                            req: rtr.dst_req,
+                            msg_id: rtr.msg_id,
+                            attempts,
+                        },
+                    );
+                    self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+                }
+            }
+            Completion::GroupSend { key, gen } | Completion::GroupStageRead { key, gen, .. } => {
+                self.send_ctrl(
+                    st,
+                    self.cluster.host_ep(key.host_rank),
+                    CtrlMsg::GroupDataError {
+                        req_id: key.req_id,
+                        gen,
+                        attempts,
+                    },
+                );
+                self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
+                for inst in st
+                    .instances
+                    .iter_mut()
+                    .filter(|i| i.key == key && i.gen == gen)
+                {
+                    inst.done = true;
+                }
+                st.arrivals.remove(&(key, gen));
+                st.stalled.retain(|&(k, g, _)| !(k == key && g == gen));
+                st.group_staged.retain(|&(k, g, _)| !(k == key && g == gen));
+                st.stage_read_posted
+                    .retain(|&(k, g, _)| !(k == key && g == gen));
             }
         }
     }
@@ -1373,6 +1910,7 @@ impl Proxy<'_> {
                     dst_rkey,
                     dst_req_id,
                     msg_id,
+                    crc,
                     ..
                 } => {
                     let staging = st.groups[&key].staging[cursor];
@@ -1398,6 +1936,26 @@ impl Proxy<'_> {
                                     path: PathKind::StagingHop1,
                                     msg_id,
                                 });
+                                if let Some(c) = crc {
+                                    st.inflight_ctx.insert(
+                                        wr,
+                                        WriteCtx {
+                                            crc: c,
+                                            msg_id,
+                                            path: PathKind::StagingHop1,
+                                            is_read: true,
+                                            local: (self.my_ep, buf, bkey),
+                                            remote: (
+                                                self.cluster.host_ep(key.host_rank),
+                                                addr,
+                                                entry_src_rkey,
+                                            ),
+                                            len,
+                                            attempt: 1,
+                                            notify: None,
+                                        },
+                                    );
+                                }
                                 st.inflight.insert(
                                     wr,
                                     Completion::GroupStageRead {
@@ -1462,6 +2020,30 @@ impl Proxy<'_> {
                         },
                         msg_id,
                     });
+                    // Group integrity: the CRC is a wire-build-time
+                    // snapshot (documented relaxation — a host that
+                    // rewrites a send buffer between generations must
+                    // rebuild the group).
+                    if let Some(c) = crc {
+                        st.inflight_ctx.insert(
+                            wr,
+                            WriteCtx {
+                                crc: c,
+                                msg_id,
+                                path: if staging.is_some() {
+                                    PathKind::StagingHop2
+                                } else {
+                                    PathKind::CrossGvmi
+                                },
+                                is_read: false,
+                                local,
+                                remote: (self.cluster.host_ep(dst_rank), dst_addr, dst_rkey),
+                                len,
+                                attempt: 1,
+                                notify: Some((dst_proxy_pid, arrival.clone())),
+                            },
+                        );
+                    }
                     self.cluster
                         .fabric()
                         .rdma_write(

@@ -36,6 +36,9 @@ pub struct RankAddrCache<V> {
     capacity: Option<usize>,
     clock: u64,
     last_use: BTreeMap<(usize, u64, u64), u64>,
+    /// Pin refcounts: entries with a positive count back in-flight
+    /// transfers and are never chosen for capacity eviction.
+    pinned: BTreeMap<(usize, u64, u64), u32>,
     hits: u64,
     misses: u64,
     stale: u64,
@@ -50,6 +53,7 @@ impl<V> RankAddrCache<V> {
             capacity: None,
             clock: 0,
             last_use: BTreeMap::new(),
+            pinned: BTreeMap::new(),
             hits: 0,
             misses: 0,
             stale: 0,
@@ -106,6 +110,7 @@ impl<V> RankAddrCache<V> {
         } else {
             if self.per_rank[rank].remove(&(addr, size)).is_some() {
                 self.last_use.remove(&(rank, addr, size));
+                self.pinned.remove(&(rank, addr, size));
                 self.stale += 1;
             }
             self.misses += 1;
@@ -154,8 +159,17 @@ impl<V> RankAddrCache<V> {
         if let Some(cap) = self.capacity {
             let new_entry = !self.per_rank[rank].contains_key(&(addr, size));
             if new_entry && self.len() >= cap {
-                // Evict the stalest entry.
-                if let Some((&(r, a, s), _)) = self.last_use.iter().min_by_key(|(_, &used)| used) {
+                // Evict the stalest *unpinned* entry. With every entry
+                // pinned the cache grows past its budget instead — the
+                // overshoot is bounded by the number of in-flight
+                // transfers, and dropping a live registration would be
+                // worse (the invariant eviction must never violate).
+                if let Some((&(r, a, s), _)) = self
+                    .last_use
+                    .iter()
+                    .filter(|(k, _)| !self.pinned.contains_key(*k))
+                    .min_by_key(|(_, &used)| used)
+                {
                     let val = self.per_rank[r]
                         .remove(&(a, s))
                         .expect("indexed entry exists");
@@ -170,10 +184,39 @@ impl<V> RankAddrCache<V> {
         evicted
     }
 
-    /// Remove an entry, returning it.
+    /// Remove an entry, returning it. Explicit removal (and stale
+    /// eviction) trumps pinning: the registration is gone, so any pin
+    /// record is dropped with the entry.
     pub fn evict(&mut self, rank: usize, addr: u64, size: u64) -> Option<V> {
         self.last_use.remove(&(rank, addr, size));
+        self.pinned.remove(&(rank, addr, size));
         self.per_rank[rank].remove(&(addr, size))
+    }
+
+    /// Pin an entry (refcounted) so capacity eviction skips it while a
+    /// transfer is in flight. Returns whether the entry was present.
+    pub fn pin(&mut self, rank: usize, addr: u64, size: u64) -> bool {
+        if self.per_rank[rank].contains_key(&(addr, size)) {
+            *self.pinned.entry((rank, addr, size)).or_insert(0) += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop one pin reference; a no-op if the entry is gone or unpinned.
+    pub fn unpin(&mut self, rank: usize, addr: u64, size: u64) {
+        if let Some(c) = self.pinned.get_mut(&(rank, addr, size)) {
+            *c -= 1;
+            if *c == 0 {
+                self.pinned.remove(&(rank, addr, size));
+            }
+        }
+    }
+
+    /// Whether an entry currently holds at least one pin.
+    pub fn is_pinned(&self, rank: usize, addr: u64, size: u64) -> bool {
+        self.pinned.contains_key(&(rank, addr, size))
     }
 
     /// Number of capacity evictions performed.
@@ -302,6 +345,40 @@ mod tests {
     }
 
     #[test]
+    fn pinned_entries_survive_capacity_pressure() {
+        let mut c: RankAddrCache<u64> = RankAddrCache::with_capacity(1, 2);
+        c.insert(0, 1, 1, 10);
+        c.insert(0, 2, 1, 20);
+        assert!(c.pin(0, 1, 1));
+        assert!(c.pin(0, 2, 1));
+        // Both entries pinned: inserting past the cap evicts nothing.
+        assert!(c.insert(0, 3, 1, 30).is_none());
+        assert_eq!(c.len(), 3);
+        // Unpin one; the next overflow insert evicts exactly it.
+        c.unpin(0, 1, 1);
+        let evicted = c.insert(0, 4, 1, 40).expect("eviction");
+        assert_eq!(evicted, (0, 1, 1, 10));
+        assert!(c.is_pinned(0, 2, 1));
+        assert_eq!(c.get(0, 2, 1), Some(&20));
+    }
+
+    #[test]
+    fn pin_is_refcounted_and_missing_entries_unpinnable() {
+        let mut c: RankAddrCache<u64> = RankAddrCache::with_capacity(1, 1);
+        assert!(!c.pin(0, 9, 9), "absent entry cannot be pinned");
+        c.insert(0, 1, 1, 1);
+        assert!(c.pin(0, 1, 1));
+        assert!(c.pin(0, 1, 1));
+        c.unpin(0, 1, 1);
+        assert!(c.is_pinned(0, 1, 1), "one reference still held");
+        c.unpin(0, 1, 1);
+        assert!(!c.is_pinned(0, 1, 1));
+        c.unpin(0, 1, 1); // extra unpin is a no-op
+        let evicted = c.insert(0, 2, 1, 2).expect("now evictable");
+        assert_eq!(evicted.3, 1);
+    }
+
+    #[test]
     fn outcome_lookup_classifies_hit_miss_stale() {
         let mut c: RankAddrCache<(u64, u64)> = RankAddrCache::new(1);
         let (v, o) = c.get_validated_outcome(0, 0x10, 8, |_| true);
@@ -343,6 +420,16 @@ mod proptests {
             addr: u64,
             size: u64,
         },
+        Pin {
+            rank: usize,
+            addr: u64,
+            size: u64,
+        },
+        Unpin {
+            rank: usize,
+            addr: u64,
+            size: u64,
+        },
     }
 
     const RANKS: usize = 4;
@@ -360,7 +447,11 @@ mod proptests {
             }),
             key.clone()
                 .prop_map(|(rank, addr, size)| Op::Get { rank, addr, size }),
-            key.prop_map(|(rank, addr, size)| Op::Evict { rank, addr, size }),
+            key.clone()
+                .prop_map(|(rank, addr, size)| Op::Evict { rank, addr, size }),
+            key.clone()
+                .prop_map(|(rank, addr, size)| Op::Pin { rank, addr, size }),
+            key.prop_map(|(rank, addr, size)| Op::Unpin { rank, addr, size }),
         ]
     }
 
@@ -391,6 +482,13 @@ mod proptests {
                         let want = model.remove(&(rank, addr, size));
                         prop_assert_eq!(got, want);
                     }
+                    // Pins are inert without a capacity: they must not
+                    // perturb contents or hit/miss accounting.
+                    Op::Pin { rank, addr, size } => {
+                        let pinned = cache.pin(rank, addr, size);
+                        prop_assert_eq!(pinned, model.contains_key(&(rank, addr, size)));
+                    }
+                    Op::Unpin { rank, addr, size } => cache.unpin(rank, addr, size),
                 }
             }
             prop_assert_eq!(cache.len(), model.len());
@@ -398,19 +496,26 @@ mod proptests {
             prop_assert_eq!((h, m, s), (hits, misses, 0));
         }
 
-        /// A bounded cache never exceeds its capacity, and everything it
-        /// still holds agrees with the model (evictions only remove).
+        /// A bounded cache stays within its capacity (unless pins force
+        /// a bounded overshoot), never evicts a pinned entry, and
+        /// everything it still holds agrees with the model.
         #[test]
-        fn bounded_cache_respects_capacity(
+        fn bounded_cache_respects_capacity_and_pins(
             cap in 1usize..8,
             ops in prop::collection::vec(op_strategy(), 1..64),
         ) {
             let mut cache: RankAddrCache<u64> = RankAddrCache::with_capacity(RANKS, cap);
             let mut model: Model<(usize, u64, u64), u64> = Model::new();
+            let mut pins: Model<(usize, u64, u64), u32> = Model::new();
+            let mut pinned_ever = false;
             for op in &ops {
                 match *op {
                     Op::Insert { rank, addr, size, v } => {
                         if let Some((r, a, s, _)) = cache.insert(rank, addr, size, v) {
+                            prop_assert!(
+                                !pins.contains_key(&(r, a, s)),
+                                "capacity eviction removed a pinned entry"
+                            );
                             model.remove(&(r, a, s));
                         }
                         model.insert((rank, addr, size), v);
@@ -422,10 +527,40 @@ mod proptests {
                     Op::Evict { rank, addr, size } => {
                         let got = cache.evict(rank, addr, size);
                         prop_assert_eq!(got, model.remove(&(rank, addr, size)));
+                        // Explicit removal drops any pin with the entry.
+                        pins.remove(&(rank, addr, size));
+                    }
+                    Op::Pin { rank, addr, size } => {
+                        if cache.pin(rank, addr, size) {
+                            prop_assert!(model.contains_key(&(rank, addr, size)));
+                            *pins.entry((rank, addr, size)).or_insert(0) += 1;
+                            pinned_ever = true;
+                        } else {
+                            prop_assert!(!model.contains_key(&(rank, addr, size)));
+                        }
+                    }
+                    Op::Unpin { rank, addr, size } => {
+                        cache.unpin(rank, addr, size);
+                        if let Some(c) = pins.get_mut(&(rank, addr, size)) {
+                            *c -= 1;
+                            if *c == 0 {
+                                pins.remove(&(rank, addr, size));
+                            }
+                        }
                     }
                 }
-                prop_assert!(cache.len() <= cap);
+                // Pins can force a bounded overshoot; without any pin in
+                // the history the cap is strict.
+                prop_assert!(cache.len() <= cap || pinned_ever);
                 prop_assert_eq!(cache.len(), model.len());
+                // Every pinned entry is still resident.
+                for &(r, a, s) in pins.keys() {
+                    prop_assert!(cache.is_pinned(r, a, s));
+                    prop_assert_eq!(
+                        cache.get(r, a, s).copied(),
+                        model.get(&(r, a, s)).copied()
+                    );
+                }
             }
         }
 

@@ -46,6 +46,33 @@ pub enum OffloadError {
         /// Send attempts made before giving up.
         attempts: u32,
     },
+    /// End-to-end CRC verification kept failing: the proxy exhausted its
+    /// bounded data-path retransmission budget for this transfer.
+    DataIntegrity {
+        /// Transfer id of the failed request.
+        msg_id: u64,
+        /// Data-path delivery attempts made before giving up.
+        attempts: u32,
+    },
+    /// The request's deadline expired before its FIN arrived; it was
+    /// cancelled and the proxy told to reap it.
+    DeadlineExceeded {
+        /// Transfer id of the timed-out request.
+        msg_id: u64,
+    },
+    /// The application cancelled the request before it completed.
+    Cancelled {
+        /// Transfer id of the cancelled request.
+        msg_id: u64,
+    },
+    /// A group generation failed permanently: a group ctrl message was
+    /// abandoned, or a group entry's data path failed integrity checks.
+    GroupFailed {
+        /// Group request id on the failing rank.
+        req_id: usize,
+        /// Generation that failed.
+        gen: u64,
+    },
 }
 
 impl fmt::Debug for OffloadError {
@@ -55,6 +82,19 @@ impl fmt::Debug for OffloadError {
                 f,
                 "ctrl message for transfer {msg_id:#x} undeliverable after {attempts} attempts"
             ),
+            OffloadError::DataIntegrity { msg_id, attempts } => write!(
+                f,
+                "payload of transfer {msg_id:#x} failed CRC verification after {attempts} delivery attempts"
+            ),
+            OffloadError::DeadlineExceeded { msg_id } => {
+                write!(f, "transfer {msg_id:#x} missed its deadline and was cancelled")
+            }
+            OffloadError::Cancelled { msg_id } => {
+                write!(f, "transfer {msg_id:#x} was cancelled by the application")
+            }
+            OffloadError::GroupFailed { req_id, gen } => {
+                write!(f, "group request {req_id} generation {gen} failed permanently")
+            }
         }
     }
 }
@@ -113,6 +153,19 @@ impl DedupWindow {
     }
 }
 
+/// What an abandoned ctrl message was working for, so the owner can
+/// surface a typed failure on the right request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ReqOrigin {
+    /// Not tied to any host request slot (e.g. FINs, shutdown notices).
+    Free,
+    /// Basic-path request slot index on the sending host.
+    Basic(usize),
+    /// Group request id on the sending host; abandonment fails the
+    /// in-flight generation.
+    Group(usize),
+}
+
 /// One unacked ctrl message at the sender.
 struct Pending {
     to: EpId,
@@ -121,8 +174,8 @@ struct Pending {
     bytes: u64,
     attempts: u32,
     backoff: SimDelta,
-    /// Host request slot to fail if the message is abandoned.
-    req: Option<usize>,
+    /// What to fail if the message is abandoned.
+    origin: ReqOrigin,
 }
 
 /// What a retransmission-timer tick did.
@@ -136,8 +189,20 @@ pub(crate) enum TickOutcome {
     Abandoned {
         msg_id: u64,
         attempts: u32,
-        req: Option<usize>,
+        origin: ReqOrigin,
     },
+}
+
+/// Exponential ctrl-plane backoff for delivery attempt `attempt`
+/// (1-based): `RETX_BASE * 2^(attempt-1)` capped at `RETX_CAP`. Shared
+/// with the data-path retransmission and backpressure-retry timers so
+/// every retry loop in the engine paces identically.
+pub(crate) fn backoff_delay(attempt: u32) -> SimDelta {
+    let mut d = RETX_BASE;
+    for _ in 1..attempt {
+        d = (d * 2).min(RETX_CAP);
+    }
+    d
 }
 
 /// Per-process endpoint of the reliable ctrl plane: the sender half
@@ -185,7 +250,7 @@ impl ReliableLink {
     }
 
     /// Send `msg` reliably: envelope, pending entry, retransmission
-    /// timer. `req` is the host request slot to fail on abandonment.
+    /// timer. `origin` names what to fail on abandonment.
     pub(crate) fn send(
         &mut self,
         ctx: &ProcessCtx,
@@ -193,7 +258,7 @@ impl ReliableLink {
         to: EpId,
         bytes: u64,
         msg: CtrlMsg,
-        req: Option<usize>,
+        origin: ReqOrigin,
     ) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -205,7 +270,7 @@ impl ReliableLink {
                 bytes,
                 attempts: 1,
                 backoff: RETX_BASE,
-                req,
+                origin,
             },
         );
         self.transmit(ctx, fab, seq);
@@ -226,7 +291,13 @@ impl ReliableLink {
             epoch,
             inner: Box::new(msg.clone()),
         };
-        if self.rng.chance(self.plan.drop_pm) {
+        // Targeted fault: unconditionally eat group launch messages so
+        // abandonment of a group ctrl message is deterministic (the
+        // group-abandonment satellite test relies on this; permille
+        // drops cannot guarantee losing all 12 attempts).
+        let group_eaten = self.plan.drop_group_packets
+            && matches!(kind, CtrlKind::GroupPacket | CtrlKind::GroupExec);
+        if group_eaten || self.rng.chance(self.plan.drop_pm) {
             ctx.stat_incr("offload.reliable.injected_drops", 1);
             ctx.emit(&ProtoEvent::CtrlDropped {
                 at_proxy: self.at_proxy,
@@ -278,7 +349,7 @@ impl ReliableLink {
             return TickOutcome::Abandoned {
                 msg_id,
                 attempts: p.attempts,
-                req: p.req,
+                origin: p.origin,
             };
         }
         p.attempts += 1;

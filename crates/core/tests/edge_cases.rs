@@ -136,7 +136,7 @@ fn basic_and_group_traffic_interleave() {
         let r = off.recv_offload(qbuf, len, from, 7);
         off.wait(s);
         off.wait(r);
-        off.group_wait(g);
+        off.group_wait(g).expect("group offload failed");
         assert!(fab
             .verify_pattern(ep, qbuf, len, 900 + from as u64)
             .unwrap());
@@ -198,7 +198,7 @@ fn group_with_only_sends_or_only_recvs_completes() {
         }
         off.group_end(g);
         off.group_call(g);
-        off.group_wait(g);
+        off.group_wait(g).expect("group offload failed");
         if off.rank() == 1 {
             for (i, &b) in bufs.iter().enumerate() {
                 assert!(fab.verify_pattern(ep, b, len, i as u64).unwrap());

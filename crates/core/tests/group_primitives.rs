@@ -60,7 +60,7 @@ fn ring_broadcast_delivers_to_all() {
         }
         let g = record_ring(off, buf, len, 0);
         off.group_call(g);
-        off.group_wait(g);
+        off.group_wait(g).expect("group offload failed");
         assert!(
             fab.verify_pattern(ep, buf, len, 42).unwrap(),
             "rank {} has the ring data",
@@ -85,7 +85,7 @@ fn ring_progresses_without_cpu_intervention() {
         off.group_call(g);
         off.ctx().compute(SimDelta::from_ms(20));
         let t0 = off.ctx().now();
-        off.group_wait(g);
+        off.group_wait(g).expect("group offload failed");
         let wait = (off.ctx().now() - t0).as_us_f64();
         assert!(
             wait < 1.0,
@@ -108,7 +108,7 @@ fn repeated_calls_reuse_metadata() {
         let g = record_ring(off, buf, len, 0);
         for _ in 0..5 {
             off.group_call(g);
-            off.group_wait(g);
+            off.group_wait(g).expect("group offload failed");
         }
         assert!(fab.verify_pattern(ep, buf, len, 1).unwrap());
     });
@@ -127,7 +127,7 @@ fn group_cache_ablation_resends_packets() {
         let g = record_ring(off, buf, 4096, 0);
         for _ in 0..3 {
             off.group_call(g);
-            off.group_wait(g);
+            off.group_wait(g).expect("group offload failed");
         }
     });
     assert_eq!(report.stats.counter("offload.group.packets"), 2 * 3);
@@ -169,7 +169,7 @@ fn group_alltoall_exchanges_blocks() {
         }
         off.group_end(g);
         off.group_call(g);
-        off.group_wait(g);
+        off.group_wait(g).expect("group offload failed");
         // Local block copied by the app itself.
         for s in 0..p {
             if s == me {
@@ -201,7 +201,7 @@ fn staging_group_ring_works() {
         }
         let g = record_ring(off, buf, len, 0);
         off.group_call(g);
-        off.group_wait(g);
+        off.group_wait(g).expect("group offload failed");
         assert!(fab.verify_pattern(ep, buf, len, 8).unwrap());
     });
 }
@@ -221,7 +221,7 @@ fn staging_group_repeated_calls_restage_data() {
                 fab.fill_pattern(ep, buf, len, 100 + round).unwrap();
             }
             off.group_call(g);
-            off.group_wait(g);
+            off.group_wait(g).expect("group offload failed");
             assert!(
                 fab.verify_pattern(ep, buf, len, 100 + round).unwrap(),
                 "round {round} payload"
@@ -258,7 +258,7 @@ fn barrier_orders_dependent_steps() {
         }
         off.group_end(g);
         off.group_call(g);
-        off.group_wait(g);
+        off.group_wait(g).expect("group offload failed");
         if off.rank() == 2 {
             assert!(
                 fab.verify_pattern(ep, buf, len, 55).unwrap(),
@@ -283,8 +283,8 @@ fn multiple_groups_coexist() {
         let g2 = record_ring(off, b, 1024, 0);
         off.group_call(g1);
         off.group_call(g2);
-        off.group_wait(g1);
-        off.group_wait(g2);
+        off.group_wait(g1).expect("group offload failed");
+        off.group_wait(g2).expect("group offload failed");
         assert!(fab.verify_pattern(ep, a, 1024, 1).unwrap());
         assert!(fab.verify_pattern(ep, b, 1024, 2).unwrap());
     });

@@ -46,6 +46,17 @@ const TOTAL_KEYS: &[&str] = &[
     "reqs_replayed",
     "req_failures",
     "stale_cqes",
+    "payload_corrupt",
+    "payload_recovered",
+    "data_integrity_failures",
+    "queue_full_nacks",
+    "credit_deferrals",
+    "staging_reclaimed",
+    "reqs_cancelled",
+    "reqs_reaped",
+    "group_failures",
+    "journal_truncations",
+    "journal_hwm",
     "finalized_ranks",
 ];
 

@@ -86,6 +86,48 @@ struct World {
     /// event interleavings; the same-QP FIFO clamp in `send_packet` runs
     /// *after* jitter, so packet reorderings stay protocol-legal.
     delivery_jitter: SimDelta,
+    /// Data-plane fault injection (bit flips, torn writes, payload drops).
+    payload_faults: PayloadFaultPlan,
+    /// Dedicated splitmix64 stream for payload faults; advanced only when
+    /// the plan is armed, so clean runs never consume randomness.
+    payload_rng: u64,
+}
+
+/// Data-plane fault plan: corruptions applied to the payload of RDMA
+/// WRITE/READ operations as the bytes move between address spaces. All
+/// rates are permille per transfer; faults fire only in byte-moving runs
+/// (`ClusterSpec::move_bytes`) — timing-only runs carry no payloads to
+/// corrupt. The upper layers arm this from their `FaultPlan` and pair it
+/// with end-to-end CRC verification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PayloadFaultPlan {
+    /// Permille of transfers with one byte flipped at a random offset.
+    pub flip_pm: u16,
+    /// Permille of transfers landing torn: only a random prefix of the
+    /// payload is written, the tail keeps the destination's old bytes.
+    pub torn_pm: u16,
+    /// Permille of transfers whose payload is dropped entirely on the
+    /// wire (the operation still "completes" — silent data loss).
+    pub drop_pm: u16,
+    /// Seed of the fault stream.
+    pub seed: u64,
+}
+
+impl PayloadFaultPlan {
+    /// True when any payload fault can fire.
+    pub fn armed(&self) -> bool {
+        self.flip_pm > 0 || self.torn_pm > 0 || self.drop_pm > 0
+    }
+}
+
+/// What the fault roll decided for one transfer.
+enum PayloadFault {
+    None,
+    Drop,
+    /// Write only the first `n` bytes.
+    Torn(u64),
+    /// Flip one bit in the byte at this offset.
+    Flip(u64),
 }
 
 /// Handle to the simulated RDMA fabric. Clone freely; all clones share one
@@ -151,6 +193,8 @@ impl Fabric {
                 next_gvmi: 1,
                 pair_order: BTreeMap::new(),
                 delivery_jitter: SimDelta::ZERO,
+                payload_faults: PayloadFaultPlan::default(),
+                payload_rng: 0,
             })),
         }
     }
@@ -187,6 +231,22 @@ impl Fabric {
     /// same-QP FIFO ordering — see the schedule explorer in `checker`.
     pub fn set_delivery_jitter(&self, jitter: SimDelta) {
         self.inner.lock().delivery_jitter = jitter;
+    }
+
+    /// Arm data-plane payload faults. Set-once: the first armed plan wins,
+    /// so every rank's `Init_Offload` can install the run's plan without
+    /// resetting the fault stream mid-run. An unarmed plan is a no-op.
+    pub fn set_payload_faults(&self, plan: PayloadFaultPlan) {
+        if !plan.armed() {
+            return;
+        }
+        let mut w = self.inner.lock();
+        if w.payload_faults.armed() {
+            return;
+        }
+        w.payload_faults = plan;
+        // splitmix64 init, offset so seed 0 still produces a live stream.
+        w.payload_rng = plan.seed ^ 0x9E37_79B9_7F4A_7C15;
     }
 
     /// The cluster spec this fabric was built with.
@@ -271,6 +331,12 @@ impl Fabric {
         Ok(self.inner.lock().eps[ep.index()]
             .mem
             .verify_pattern(addr, len, seed)?)
+    }
+
+    /// CRC32 of `[addr, addr+len)` in `ep`'s memory (end-to-end payload
+    /// integrity). Virtual regions hash their zero-fill.
+    pub fn crc32(&self, ep: EpId, addr: VAddr, len: u64) -> Result<u32, RdmaError> {
+        Ok(self.inner.lock().eps[ep.index()].mem.crc32(addr, len)?)
     }
 
     /// Read a little-endian u64 (counters).
@@ -449,7 +515,7 @@ impl Fabric {
     ) -> Result<SimTime, RdmaError> {
         let (local_ep, local_addr, lkey) = local;
         let (remote_ep, remote_addr, rkey) = remote;
-        let (plan, post_end, poster_pid, ack) = {
+        let (plan, post_end, poster_pid, ack, faulted) = {
             let mut w = self.inner.lock();
             if w.eps[poster.index()].pid != ctx.pid() {
                 return Err(RdmaError::WrongProcess(poster));
@@ -457,13 +523,13 @@ impl Fabric {
             w.check_local_key(poster, local_ep, local_addr, lkey, len)?;
             w.check_remote_key(remote_ep, remote_addr, rkey, len)?;
             // Move the bytes now; they become observable at delivery time.
-            if w.spec.move_bytes {
-                let data = w.eps[local_ep.index()].mem.read(local_addr, len)?;
-                w.eps[remote_ep.index()].mem.write(remote_addr, &data)?;
+            let faulted = if w.spec.move_bytes {
+                w.move_payload((local_ep, local_addr), (remote_ep, remote_addr), len)?
             } else {
                 w.eps[local_ep.index()].mem.check_range(local_addr, len)?;
                 w.eps[remote_ep.index()].mem.check_range(remote_addr, len)?;
-            }
+                false
+            };
             let plan = w.plan_path(poster, local_ep, remote_ep, len);
             let post = w.spec.model.post_overhead(w.eps[poster.index()].class);
             let post_end = w.charge_cpu(poster, ctx.now(), post);
@@ -472,8 +538,12 @@ impl Fabric {
                 post_end,
                 w.eps[poster.index()].pid,
                 w.spec.model.ack_latency,
+                faulted,
             )
         };
+        if faulted {
+            ctx.stat_incr("rdma.fault.payload", 1);
+        }
         ctx.stat_incr("rdma.write.count", 1);
         ctx.stat_incr("rdma.write.bytes", len);
         let deliver = self.execute_plan(ctx, &plan, post_end);
@@ -504,20 +574,20 @@ impl Fabric {
     ) -> Result<SimTime, RdmaError> {
         let (local_ep, local_addr, lkey) = local;
         let (remote_ep, remote_addr, rkey) = remote;
-        let (plan, start, poster_pid) = {
+        let (plan, start, poster_pid, faulted) = {
             let mut w = self.inner.lock();
             if w.eps[poster.index()].pid != ctx.pid() {
                 return Err(RdmaError::WrongProcess(poster));
             }
             w.check_local_key(poster, local_ep, local_addr, lkey, len)?;
             w.check_remote_key(remote_ep, remote_addr, rkey, len)?;
-            if w.spec.move_bytes {
-                let data = w.eps[remote_ep.index()].mem.read(remote_addr, len)?;
-                w.eps[local_ep.index()].mem.write(local_addr, &data)?;
+            let faulted = if w.spec.move_bytes {
+                w.move_payload((remote_ep, remote_addr), (local_ep, local_addr), len)?
             } else {
                 w.eps[remote_ep.index()].mem.check_range(remote_addr, len)?;
                 w.eps[local_ep.index()].mem.check_range(local_addr, len)?;
-            }
+                false
+            };
             // Data flows remote -> local: plan with roles swapped. The read
             // request itself costs one extra wire traversal before the
             // remote NIC can start streaming data back.
@@ -525,8 +595,11 @@ impl Fabric {
             let post = w.spec.model.post_overhead(w.eps[poster.index()].class);
             let post_end = w.charge_cpu(poster, ctx.now(), post);
             let start = post_end + plan.latency;
-            (plan, start, w.eps[poster.index()].pid)
+            (plan, start, w.eps[poster.index()].pid, faulted)
         };
+        if faulted {
+            ctx.stat_incr("rdma.fault.payload", 1);
+        }
         ctx.stat_incr("rdma.read.count", 1);
         ctx.stat_incr("rdma.read.bytes", len);
         let deliver = self.execute_plan(ctx, &plan, start);
@@ -643,6 +716,69 @@ impl Fabric {
 }
 
 impl World {
+    /// Next draw of the payload-fault stream (splitmix64).
+    fn payload_next(&mut self) -> u64 {
+        self.payload_rng = self.payload_rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.payload_rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Roll a permille chance; a rate of 0 consumes no randomness (so
+    /// arming one fault class leaves the others' streams untouched).
+    fn payload_chance(&mut self, pm: u16) -> bool {
+        pm > 0 && self.payload_next() % 1000 < pm as u64
+    }
+
+    /// Decide the fault (if any) for one payload of `len` bytes.
+    fn payload_roll(&mut self, len: u64) -> PayloadFault {
+        if !self.payload_faults.armed() || len == 0 {
+            return PayloadFault::None;
+        }
+        let plan = self.payload_faults;
+        if self.payload_chance(plan.drop_pm) {
+            PayloadFault::Drop
+        } else if self.payload_chance(plan.torn_pm) {
+            PayloadFault::Torn(self.payload_next() % len)
+        } else if self.payload_chance(plan.flip_pm) {
+            PayloadFault::Flip(self.payload_next() % len)
+        } else {
+            PayloadFault::None
+        }
+    }
+
+    /// Move one payload from `src` to `dst`, applying the rolled fault.
+    /// Returns true when a fault fired (for stats). Both ranges are
+    /// validated even on the faulted paths, so a drop never masks a
+    /// protocol-level addressing bug.
+    fn move_payload(
+        &mut self,
+        src: (EpId, VAddr),
+        dst: (EpId, VAddr),
+        len: u64,
+    ) -> Result<bool, crate::mem::MemError> {
+        let mut data = self.eps[src.0.index()].mem.read(src.1, len)?;
+        self.eps[dst.0.index()].mem.check_range(dst.1, len)?;
+        match self.payload_roll(len) {
+            PayloadFault::None => {
+                self.eps[dst.0.index()].mem.write(dst.1, &data)?;
+                Ok(false)
+            }
+            PayloadFault::Drop => Ok(true),
+            PayloadFault::Torn(prefix) => {
+                data.truncate(prefix as usize);
+                self.eps[dst.0.index()].mem.write(dst.1, &data)?;
+                Ok(true)
+            }
+            PayloadFault::Flip(off) => {
+                data[off as usize] ^= 0x40;
+                self.eps[dst.0.index()].mem.write(dst.1, &data)?;
+                Ok(true)
+            }
+        }
+    }
+
     /// Charge `dur` of CPU time to `ep`, chaining after any prior charge.
     /// Returns the instant the work finishes.
     fn charge_cpu(&mut self, ep: EpId, now: SimTime, dur: SimDelta) -> SimTime {
@@ -1071,6 +1207,72 @@ mod tests {
             ratio < 0.75,
             "host-to-DPU should reach well under 75% of host-host bandwidth, got {ratio}"
         );
+    }
+
+    #[test]
+    fn payload_faults_corrupt_writes_and_crc_detects() {
+        with_driver(|ctx, fab, eps| {
+            let (h0, h1) = (eps[0], eps[1]);
+            // Drop every payload: destination keeps its old bytes while
+            // the operation still "completes" — silent loss by design.
+            fab.set_payload_faults(PayloadFaultPlan {
+                drop_pm: 1000,
+                ..Default::default()
+            });
+            // Second arm attempt must be ignored (set-once).
+            fab.set_payload_faults(PayloadFaultPlan {
+                flip_pm: 1000,
+                ..Default::default()
+            });
+            let src = fab.alloc(h0, 512);
+            let dst = fab.alloc(h1, 512);
+            fab.fill_pattern(h0, src, 512, 7).unwrap();
+            let want = fab.crc32(h0, src, 512).unwrap();
+            let lkey = fab.reg_mr(&ctx, h0, src, 512).unwrap();
+            let rkey = fab.reg_mr(&ctx, h1, dst, 512).unwrap();
+            fab.rdma_write(
+                &ctx,
+                h0,
+                (h0, src, lkey),
+                (h1, dst, rkey),
+                512,
+                Some(1),
+                None,
+            )
+            .unwrap();
+            let _ = ctx.recv();
+            assert!(!fab.verify_pattern(h1, dst, 512, 7).unwrap());
+            assert_ne!(fab.crc32(h1, dst, 512).unwrap(), want);
+        });
+    }
+
+    #[test]
+    fn unarmed_payload_plan_is_inert() {
+        with_driver(|ctx, fab, eps| {
+            let (h0, h1) = (eps[0], eps[1]);
+            fab.set_payload_faults(PayloadFaultPlan::default());
+            let src = fab.alloc(h0, 256);
+            let dst = fab.alloc(h1, 256);
+            fab.fill_pattern(h0, src, 256, 9).unwrap();
+            let lkey = fab.reg_mr(&ctx, h0, src, 256).unwrap();
+            let rkey = fab.reg_mr(&ctx, h1, dst, 256).unwrap();
+            fab.rdma_write(
+                &ctx,
+                h0,
+                (h0, src, lkey),
+                (h1, dst, rkey),
+                256,
+                Some(1),
+                None,
+            )
+            .unwrap();
+            let _ = ctx.recv();
+            assert!(fab.verify_pattern(h1, dst, 256, 9).unwrap());
+            assert_eq!(
+                fab.crc32(h1, dst, 256).unwrap(),
+                fab.crc32(h0, src, 256).unwrap()
+            );
+        });
     }
 
     #[test]

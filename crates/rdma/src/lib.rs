@@ -31,8 +31,8 @@ mod model;
 mod types;
 
 pub use cluster::{ClusterBuilder, ClusterCtx};
-pub use fabric::Fabric;
+pub use fabric::{Fabric, PayloadFaultPlan};
 pub use inbox::{Channel, Inbox};
-pub use mem::{AddressSpace, MemError, VAddr, PAGE_SIZE};
+pub use mem::{crc32, AddressSpace, MemError, VAddr, PAGE_SIZE};
 pub use model::{ClusterSpec, DeviceClass, NicModel};
 pub use types::{Cqe, EpId, GvmiId, MrKey, NetMsg, Packet, RdmaError};

@@ -202,6 +202,13 @@ impl AddressSpace {
         }
     }
 
+    /// CRC32 (IEEE) of `[addr, addr+len)`. Virtual regions hash their
+    /// zero-fill, so timing-only runs stay consistent end to end.
+    pub fn crc32(&self, addr: VAddr, len: u64) -> Result<u32, MemError> {
+        let data = self.read(addr, len)?;
+        Ok(crc32(&data))
+    }
+
     /// Number of pages spanned by `[addr, addr+len)` (registration cost).
     pub fn pages_spanned(addr: VAddr, len: u64) -> u64 {
         if len == 0 {
@@ -211,6 +218,20 @@ impl AddressSpace {
         let last = (addr.0 + len - 1) / PAGE_SIZE;
         last - first + 1
     }
+}
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) over `data`. Bitwise — the
+/// buffers the integrity layer hashes are small faces, not gigabytes.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 /// Deterministic byte pattern generator.
@@ -302,6 +323,22 @@ mod tests {
         assert_eq!(asp.read(a, 0).unwrap(), Vec::<u8>::new());
         asp.write(a, &[]).unwrap();
         assert!(asp.check_range(a, 0).is_ok());
+    }
+
+    #[test]
+    fn crc32_known_vector_and_sensitivity() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        let mut asp = AddressSpace::new();
+        let a = asp.alloc(256);
+        asp.fill_pattern(a, 256, 3).unwrap();
+        let base = asp.crc32(a, 256).unwrap();
+        // A single flipped byte must change the checksum.
+        let mut bytes = asp.read(a, 256).unwrap();
+        bytes[100] ^= 0x40;
+        asp.write(a, &bytes).unwrap();
+        assert_ne!(asp.crc32(a, 256).unwrap(), base);
     }
 
     #[test]

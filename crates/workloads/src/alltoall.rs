@@ -63,7 +63,13 @@ impl<'a> A2aDriver<'a> {
         match r {
             A2aReq::Intel(r) => self.h.mpi.wait(r),
             A2aReq::Blues(r) => self.h.blues.as_ref().expect("blues").wait(r),
-            A2aReq::Proposed(g) => self.h.off.as_ref().expect("off").group_wait(g),
+            A2aReq::Proposed(g) => self
+                .h
+                .off
+                .as_ref()
+                .expect("off")
+                .group_wait(g)
+                .expect("group offload failed"),
         }
     }
 }
@@ -187,7 +193,7 @@ pub fn scatter_dest_time(
         let one_round = || match group {
             Some(g) => {
                 off.group_call(g);
-                off.group_wait(g);
+                off.group_wait(g).expect("group offload failed");
             }
             None => {
                 let mut reqs = Vec::with_capacity(2 * (p - 1));
@@ -308,7 +314,7 @@ pub fn iallgather_overlap(
             if let Some(g) = group {
                 let off = h.off.as_ref().expect("proposed");
                 off.group_call(g);
-                off.group_wait(g);
+                off.group_wait(g).expect("group offload failed");
             } else if let Some(blues) = &h.blues {
                 let r = blues.iallgather(buf, block);
                 blues.wait(r);
@@ -337,7 +343,7 @@ pub fn iallgather_overlap(
                 let off = h.off.as_ref().expect("proposed");
                 off.group_call(g);
                 h.ctx().compute(compute);
-                off.group_wait(g);
+                off.group_wait(g).expect("group offload failed");
             } else if let Some(blues) = &h.blues {
                 let r = blues.iallgather(buf, block);
                 h.ctx().compute(compute);

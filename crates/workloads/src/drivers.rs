@@ -9,7 +9,7 @@
 //!   jitter, proxy count, time limit — plus an [`EventSink`] that
 //!   receives the engine's structured [`offload::ProtoEvent`] stream.
 
-use offload::{Offload, OffloadConfig};
+use offload::{Offload, OffloadConfig, OffloadError};
 use rdma::{ClusterBuilder, ClusterSpec, Inbox};
 use simnet::{EventSink, Report, SimDelta, SimError, SimTime};
 
@@ -201,6 +201,111 @@ pub fn drive_verified_stencil(
     })
 }
 
+/// Credit-starvation flood: every rank posts `burst` send/recv pairs to
+/// its ring neighbours *before* waiting on any of them, so with a small
+/// [`OffloadConfig::queue_cap`] the per-proxy credit window is exhausted
+/// almost immediately. The run must still complete — the host defers
+/// over-window posts and flushes them as FINs return credit, and the
+/// proxy nacks (rather than queues) anything that slips past a stale
+/// window — with queue depths bounded by the cap throughout.
+pub fn drive_flood(run: &CheckRun, bytes: u64, burst: u64) -> Result<Report, SimError> {
+    run.run_offload(move |off| {
+        let p = off.size();
+        if p < 2 {
+            return;
+        }
+        let fab = off.cluster().fabric().clone();
+        let ep = off.cluster().host_ep(off.rank());
+        let me = off.rank();
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        let mut reqs = Vec::with_capacity(2 * burst as usize);
+        for tag in 0..burst {
+            let sbuf = fab.alloc(ep, bytes);
+            let rbuf = fab.alloc(ep, bytes);
+            reqs.push(off.send_offload(sbuf, bytes, right, tag));
+            reqs.push(off.recv_offload(rbuf, bytes, left, tag));
+        }
+        off.ctx().compute(SimDelta::from_us(5));
+        off.wait_all(&reqs);
+    })
+}
+
+/// A group whose control plane is doomed: run it under a
+/// [`offload::FaultPlan`] with `drop_group_packets` set and every
+/// `Group_Call` install packet is dropped on every transmit attempt.
+/// `Group_Wait` must come back with a typed
+/// [`OffloadError::GroupFailed`] once the reliability layer abandons the
+/// packet — stalling forever is the bug this driver exists to catch.
+pub fn drive_group_abandon(run: &CheckRun, block: u64) -> Result<Report, SimError> {
+    run.run_offload(move |off| {
+        let p = off.size() as u64;
+        if p < 2 {
+            return;
+        }
+        let fab = off.cluster().fabric().clone();
+        let ep = off.cluster().host_ep(off.rank());
+        let sendbuf = fab.alloc(ep, block * p);
+        let recvbuf = fab.alloc(ep, block * p);
+        let a2a = off.record_alltoall(sendbuf, recvbuf, block);
+        off.group_call(a2a);
+        let err = off
+            .group_wait(a2a)
+            .expect_err("doomed group must fail with a typed error, not stall");
+        assert!(
+            matches!(err, OffloadError::GroupFailed { .. }),
+            "expected GroupFailed, got {err:?}"
+        );
+    })
+}
+
+/// Deadline and cancellation paths: rank 0 posts a send no peer will
+/// ever receive, and `Wait` with a deadline must cancel it and return
+/// [`OffloadError::DeadlineExceeded`]; a second orphan is cancelled
+/// explicitly and must surface [`OffloadError::Cancelled`]. A matched
+/// exchange alongside proves cancellation reaps only its own transfer.
+pub fn drive_deadline(run: &CheckRun, bytes: u64) -> Result<Report, SimError> {
+    run.run_offload(move |off| {
+        let p = off.size();
+        if p < 2 {
+            return;
+        }
+        let fab = off.cluster().fabric().clone();
+        let ep = off.cluster().host_ep(off.rank());
+        let me = off.rank();
+        if me == 0 {
+            let orphan_buf = fab.alloc(ep, bytes);
+            let orphan = off.send_offload(orphan_buf, bytes, 1, 900);
+            let err = off
+                .wait_timeout(orphan, SimDelta::from_us(2_000))
+                .expect_err("an orphan send must hit its deadline");
+            assert!(
+                matches!(err, OffloadError::DeadlineExceeded { .. }),
+                "expected DeadlineExceeded, got {err:?}"
+            );
+            let victim_buf = fab.alloc(ep, bytes);
+            let victim = off.send_offload(victim_buf, bytes, 1, 901);
+            off.cancel(victim);
+            assert!(
+                matches!(off.req_error(victim), Some(OffloadError::Cancelled { .. })),
+                "explicit cancel must surface OffloadError::Cancelled"
+            );
+        }
+        // A live exchange on separate tags: reaping the orphans must not
+        // disturb it, and its FIN must satisfy a deadline-armed wait.
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        let sbuf = fab.alloc(ep, bytes);
+        let rbuf = fab.alloc(ep, bytes);
+        let s = off.send_offload(sbuf, bytes, right, 7);
+        let r = off.recv_offload(rbuf, bytes, left, 7);
+        off.wait_timeout(s, SimDelta::from_secs(1))
+            .expect("matched send completes within its deadline");
+        off.wait_timeout(r, SimDelta::from_secs(1))
+            .expect("matched recv completes within its deadline");
+    })
+}
+
 /// Group-primitive all-to-all plus a barrier-ordered ring all-gather,
 /// each called `calls` times. Exercises the group metadata exchange
 /// (`RecvMeta`), the group packet/exec cache, cross-registration at
@@ -221,9 +326,9 @@ pub fn drive_alltoall(run: &CheckRun, block: u64, calls: u64) -> Result<Report, 
         for _ in 0..calls {
             off.group_call(a2a);
             off.ctx().compute(SimDelta::from_us(2));
-            off.group_wait(a2a);
+            off.group_wait(a2a).expect("group offload failed");
             off.group_call(ring);
-            off.group_wait(ring);
+            off.group_wait(ring).expect("group offload failed");
         }
     })
 }
@@ -263,7 +368,7 @@ pub fn drive_group_stencil(
         for _ in 0..rounds {
             off.group_call(g);
             off.ctx().compute(SimDelta::from_us(5));
-            off.group_wait(g);
+            off.group_wait(g).expect("group offload failed");
         }
     })
 }

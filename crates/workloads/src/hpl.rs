@@ -180,7 +180,12 @@ fn wait_bcast(h: &Harness, bcast: Bcast) {
     match bcast {
         Bcast::Mpi(r) => h.mpi.wait(r),
         Bcast::Blues(r) => h.blues.as_ref().expect("blues").wait(r),
-        Bcast::Group(g) => h.off.as_ref().expect("proposed").group_wait(g),
+        Bcast::Group(g) => h
+            .off
+            .as_ref()
+            .expect("proposed")
+            .group_wait(g)
+            .expect("group offload failed"),
         Bcast::Done => {}
     }
 }

@@ -83,7 +83,12 @@ impl TransposeSet {
         match r {
             A2a::Intel(r) => h.mpi.wait(r),
             A2a::Blues(r) => h.blues.as_ref().expect("blues").wait(r),
-            A2a::Prop(g) => h.off.as_ref().expect("off").group_wait(g),
+            A2a::Prop(g) => h
+                .off
+                .as_ref()
+                .expect("off")
+                .group_wait(g)
+                .expect("group offload failed"),
         }
     }
 }

@@ -250,6 +250,7 @@ fn main() -> ExitCode {
         }
         Some("bench-diff") => {
             let mut tol_pct = 0.0f64;
+            let mut json = false;
             let mut paths: Vec<&String> = Vec::new();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
@@ -261,17 +262,30 @@ fn main() -> ExitCode {
                             return ExitCode::from(2);
                         }
                     }
+                } else if a == "--json" {
+                    json = true;
                 } else {
                     paths.push(a);
                 }
             }
             let [old, new] = paths[..] else {
-                println!("usage: cargo xtask bench-diff <old> <new> [--tol PCT]");
+                println!("usage: cargo xtask bench-diff <old> <new> [--tol PCT] [--json]");
                 return ExitCode::from(2);
             };
             let opts = bench_diff::DiffOptions { tol_pct };
             match bench_diff::diff_trees(Path::new(old), Path::new(new), &opts) {
                 Ok(report) => {
+                    if json {
+                        // Machine-readable mode: the whole report as one
+                        // JSON document on stdout, nothing else. The exit
+                        // code still carries the gate verdict.
+                        println!("{}", report.to_json(&opts).render());
+                        return if report.ok() {
+                            ExitCode::SUCCESS
+                        } else {
+                            ExitCode::FAILURE
+                        };
+                    }
                     for note in &report.notes {
                         println!("note: {note}");
                     }
@@ -302,7 +316,7 @@ fn main() -> ExitCode {
         _ => {
             println!(
                 "usage: cargo xtask lint | validate-metrics <file.json>... | \
-                 bench-diff <old> <new> [--tol PCT]"
+                 bench-diff <old> <new> [--tol PCT] [--json]"
             );
             ExitCode::from(2)
         }

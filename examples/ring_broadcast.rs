@@ -95,7 +95,7 @@ fn run_offload(path: DataPath) -> (Vec<f64>, f64) {
                 off.group_call(g);
                 // Overlap with compute — zero CPU intervention needed.
                 off.ctx().compute(SimDelta::from_ms(COMPUTE_MS));
-                off.group_wait(g);
+                off.group_wait(g).expect("group offload failed");
                 if rank != 0 {
                     a2.lock().unwrap()[rank] = off.ctx().now().as_us_f64();
                 }

@@ -159,7 +159,7 @@ fn group_and_basic_primitives_agree() {
                         }
                         off.group_end(g);
                         off.group_call(g);
-                        off.group_wait(g);
+                        off.group_wait(g).expect("group offload failed");
                     } else {
                         let mut reqs = Vec::new();
                         for k in 1..p {

@@ -80,7 +80,7 @@ fn mismatched_ring_barrier_pattern_deadlocks_not_hangs() {
             }
             off.group_end(g);
             off.group_call(g);
-            off.group_wait(g);
+            off.group_wait(g).expect("group offload failed");
             off.finalize();
         },
         Some(offload::proxy_fn(OffloadConfig::proposed())),

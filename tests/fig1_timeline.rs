@@ -105,7 +105,7 @@ fn offload_ring_completion(path: DataPath) -> f64 {
                     off.ctx().compute(slice);
                     remaining = remaining.saturating_sub(slice);
                 }
-                off.group_wait(g);
+                off.group_wait(g).expect("group offload failed");
                 if rank == RANKS - 1 {
                     *la.lock().unwrap() = off.ctx().now().as_us_f64();
                 }

@@ -118,7 +118,7 @@ fn execute_graph(edges: Vec<Edge>, ranks: usize, path: DataPath) {
                     }
                     off.group_end(g);
                     off.group_call(g);
-                    off.group_wait(g);
+                    off.group_wait(g).expect("group offload failed");
                 }
                 for &(tag, buf, len, _src) in &recvs {
                     assert!(
@@ -268,7 +268,7 @@ proptest! {
                     off.group_end(g);
                     if used {
                         off.group_call(g);
-                        off.group_wait(g);
+                        off.group_wait(g).expect("group offload failed");
                         if rank == *path.last().expect("nonempty") {
                             assert!(
                                 fab.verify_pattern(ep, buf, len, 555).unwrap(),
