@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # The full gate: formatting, clippy deny-wall, the repo-specific lint
-# wall, build + tests, then the benchmark artifact gates: schema
-# validation and the bench-diff regression comparison of a fresh
-# deterministic --quick run against the committed baselines.
+# wall, the workspace analyzer (drift + parallel-readiness rules), build
+# + tests, then the benchmark artifact gates: schema validation and the
+# bench-diff regression comparison of a fresh deterministic --quick run
+# against the committed baselines.
 # Run from the repo root; fails fast.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -15,6 +16,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo xtask lint"
 cargo xtask lint
+
+echo "== cargo xtask analyze (drift + parallel-readiness gates)"
+# Writes the bluefield-offload/analyzer/v1 report as a side effect;
+# archived next to the bench artifacts at the end of the run.
+cargo xtask analyze
 
 echo "== cargo build --release"
 cargo build --release
@@ -73,5 +79,10 @@ cargo xtask bench-diff bench_results target/bench-scratch
 cargo xtask bench-diff bench_results target/bench-scratch --json \
     > target/bench-scratch/bench-diff.json
 echo "bench-diff report: target/bench-scratch/bench-diff.json"
+
+# Archive the analyzer verdict next to the bench artifacts so one
+# directory carries every machine-readable CI report.
+cp target/analyze/report.json target/bench-scratch/analyze-report.json
+echo "analyzer report: target/bench-scratch/analyze-report.json"
 
 echo "ci.sh: all gates passed"

@@ -1,0 +1,4 @@
+// Fixture error enum: never asserted by any test (seeded drift).
+pub enum Fail {
+    Oops { code: u32 },
+}

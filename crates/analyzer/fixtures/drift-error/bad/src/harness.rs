@@ -1,0 +1,2 @@
+// Fixture harness: does not mention the error at all.
+fn unrelated() {}

@@ -1,0 +1,4 @@
+// Fixture: constructed but never asserted.
+fn boom() -> Fail {
+    Fail::Oops { code: 7 }
+}

@@ -1,0 +1,4 @@
+// Fixture error enum, constructed and asserted elsewhere.
+pub enum Fail {
+    Oops { code: u32 },
+}

@@ -1,0 +1,4 @@
+// Fixture harness: asserts the typed failure.
+fn assert_oops(f: &Fail) {
+    assert!(matches!(f, Fail::Oops { .. }));
+}

@@ -1,0 +1,4 @@
+// Fixture: non-test construction site.
+fn boom() -> Fail {
+    Fail::Oops { code: 7 }
+}

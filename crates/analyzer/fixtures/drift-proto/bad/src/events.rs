@@ -1,0 +1,5 @@
+// Fixture: the Finished variant is not handled downstream.
+pub enum Ev {
+    Started { at: u64 },
+    Finished,
+}

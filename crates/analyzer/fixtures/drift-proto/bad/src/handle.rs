@@ -1,0 +1,7 @@
+// Fixture handler: Finished is missing (seeded drift).
+fn handle(ev: &Ev) -> &'static str {
+    match ev {
+        Ev::Started { .. } => "Started",
+        _ => "?",
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: two-variant protocol event enum, fully handled.
+pub enum Ev {
+    Started { at: u64 },
+    Finished,
+}

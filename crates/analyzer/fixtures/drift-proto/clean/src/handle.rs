@@ -1,0 +1,7 @@
+// Fixture handler: every variant as a path and as a parse string.
+fn handle(ev: &Ev) -> &'static str {
+    match ev {
+        Ev::Started { .. } => "Started",
+        Ev::Finished => "Finished",
+    }
+}

@@ -1,0 +1,4 @@
+// Fixture producer: only engine_starts is produced.
+struct Inner {
+    engine_starts: u64,
+}

@@ -1,0 +1,2 @@
+// Fixture schema: engine_stops has no producer (seeded drift).
+pub const KEYS: &[&str] = &["engine_starts", "engine_stops"];

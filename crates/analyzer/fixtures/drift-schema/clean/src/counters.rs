@@ -1,0 +1,7 @@
+// Fixture producer: one key as a field ident, one as a JSON string.
+struct Inner {
+    engine_starts: u64,
+}
+fn to_json(v: u64) -> String {
+    format!("\"{}\": {v}", "engine_stops")
+}

@@ -1,0 +1,2 @@
+// Fixture schema: two declared counter keys.
+pub const KEYS: &[&str] = &["engine_starts", "engine_stops"];

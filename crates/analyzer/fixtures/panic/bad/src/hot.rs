@@ -1,0 +1,4 @@
+// Fixture hot path: an unbaselined unwrap (seeded violation).
+fn pop(q: &mut Vec<u8>) -> u8 {
+    q.pop().unwrap()
+}

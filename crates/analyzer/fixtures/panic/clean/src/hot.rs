@@ -1,0 +1,4 @@
+// Fixture hot path: failures handled, no panic sites.
+fn pop(q: &mut Vec<u8>) -> Option<u8> {
+    q.pop()
+}

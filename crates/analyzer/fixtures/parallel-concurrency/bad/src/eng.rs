@@ -1,0 +1,5 @@
+// Fixture: std::sync::Mutex outside simnet (seeded violation).
+use std::sync::{Arc, Mutex};
+struct Eng {
+    q: Arc<Mutex<Vec<u8>>>,
+}

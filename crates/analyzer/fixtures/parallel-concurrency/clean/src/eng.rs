@@ -1,0 +1,6 @@
+// Fixture: parking_lot locking only — no banned primitives.
+use parking_lot::Mutex;
+use std::sync::Arc;
+struct Eng {
+    q: Arc<Mutex<Vec<u8>>>,
+}

@@ -1,0 +1,13 @@
+// Fixture: opposite acquisition orders — a classic deadlock cycle.
+fn forward(s: &S) {
+    let a = s.a.lock();
+    let b = s.b.lock();
+    drop(b);
+    drop(a);
+}
+fn backward(s: &S) {
+    let b = s.b.lock();
+    let a = s.a.lock();
+    drop(a);
+    drop(b);
+}

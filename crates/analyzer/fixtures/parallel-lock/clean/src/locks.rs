@@ -1,0 +1,13 @@
+// Fixture: two locks, always acquired a-then-b — no cycle.
+fn first(s: &S) {
+    let a = s.a.lock();
+    let b = s.b.lock();
+    drop(b);
+    drop(a);
+}
+fn second(s: &S) {
+    let a = s.a.lock();
+    let b = s.b.lock();
+    drop(b);
+    drop(a);
+}

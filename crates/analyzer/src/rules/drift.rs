@@ -1,0 +1,251 @@
+//! Cross-layer drift detection.
+//!
+//! The protocol's correctness story is encoded several times over —
+//! the [`ProtoEvent`] enum, the conformance invariants, the metrics
+//! aggregation, the flight-recorder dump/parse round-trip, the
+//! `metrics/v1` schema, the typed error surface — and PRs 1–5 kept
+//! those encodings in sync by hand. These rules make the sync
+//! machine-checked: adding a `ProtoEvent` variant, a schema counter, or
+//! an `OffloadError` variant without teaching every layer about it is a
+//! gate failure with a `file:line` pointing at the declaration.
+//!
+//! Waivers: an `analyzer:allow(<rule>)` comment on the *declaration*
+//! line (the enum variant or the schema key) waives that item
+//! everywhere — the declaration is the one place a reviewer will look.
+//!
+//! [`ProtoEvent`]: crate::Config::proto_enum
+
+use crate::scan;
+use crate::{Config, FileScan, Finding, SourceSet};
+
+/// Rule name: every protocol event variant handled in every layer.
+pub const PROTO_DRIFT: &str = "proto-drift";
+/// Rule name: every schema counter produced somewhere in core.
+pub const SCHEMA_DRIFT: &str = "schema-drift";
+/// Rule name: every typed error variant constructed and asserted.
+pub const ERROR_DRIFT: &str = "error-drift";
+
+/// `true` when `file` contains `owner::member` as a path in non-test
+/// code.
+fn has_live_path(file: &FileScan, owner: &str, member: &str) -> bool {
+    let toks = &file.lexed.toks;
+    (0..toks.len().saturating_sub(2)).any(|i| {
+        toks[i].is_ident(owner)
+            && toks[i + 1].is_punct("::")
+            && toks[i + 2].is_ident(member)
+            && file.live(i)
+    })
+}
+
+/// `true` when `file` mentions `name` as an identifier or a string
+/// literal in non-test code.
+fn has_live_ident_or_str(file: &FileScan, name: &str) -> bool {
+    file.lexed.toks.iter().enumerate().any(|(i, t)| {
+        file.live(i)
+            && ((t.is_ident(name)) || (t.kind == crate::lex::TokKind::Str && t.text == name))
+    })
+}
+
+/// Every variant of the protocol event enum must be handled — as a
+/// `Enum::Variant` path in non-test code — in each handler file
+/// (conformance checker, metrics aggregation, flight-recorder dump),
+/// and additionally as a string literal in the flight recorder (its
+/// parse side matches on the variant *name*).
+pub fn proto_drift(set: &SourceSet, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some(events) = set.get(&cfg.events_file) else {
+        return vec![Finding {
+            rule: PROTO_DRIFT,
+            path: cfg.events_file.clone(),
+            line: 1,
+            msg: format!(
+                "events file not found in tree (looking for enum {})",
+                cfg.proto_enum
+            ),
+        }];
+    };
+    let variants = scan::enum_variants(&events.lexed, &cfg.proto_enum);
+    if variants.is_empty() {
+        return vec![Finding {
+            rule: PROTO_DRIFT,
+            path: cfg.events_file.clone(),
+            line: 1,
+            msg: format!("enum {} not found or has no variants", cfg.proto_enum),
+        }];
+    }
+    for handler in cfg.proto_handlers.iter().chain(&cfg.proto_str_handlers) {
+        if set.get(handler).is_none() {
+            out.push(Finding {
+                rule: PROTO_DRIFT,
+                path: handler.clone(),
+                line: 1,
+                msg: "handler file not found in tree".into(),
+            });
+        }
+    }
+    for (variant, line) in &variants {
+        if events.allowed(PROTO_DRIFT, *line) {
+            continue;
+        }
+        for handler in &cfg.proto_handlers {
+            let Some(h) = set.get(handler) else { continue };
+            if !has_live_path(h, &cfg.proto_enum, variant) {
+                out.push(Finding {
+                    rule: PROTO_DRIFT,
+                    path: cfg.events_file.clone(),
+                    line: *line,
+                    msg: format!(
+                        "{}::{variant} has no handler arm in {handler}; add one or waive \
+                         with `analyzer:allow({PROTO_DRIFT})` on the variant",
+                        cfg.proto_enum
+                    ),
+                });
+            }
+        }
+        for handler in &cfg.proto_str_handlers {
+            let Some(h) = set.get(handler) else { continue };
+            if scan::str_lines(&h.lexed, variant).is_empty() {
+                out.push(Finding {
+                    rule: PROTO_DRIFT,
+                    path: cfg.events_file.clone(),
+                    line: *line,
+                    msg: format!(
+                        "{}::{variant} is not parsed back (no \"{variant}\" string) in {handler}; \
+                         the flight-recorder round-trip would drop it",
+                        cfg.proto_enum
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Every counter key declared in the schema's `const` key lists must be
+/// produced by non-test code under the counter roots: the key has to
+/// occur as an identifier (a struct field being incremented) or a
+/// string literal (the JSON emitter writing it). A schema key nothing
+/// in core mentions is a counter that can never move — classic drift
+/// between the contract and the engine.
+pub fn schema_drift(set: &SourceSet, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some(schema) = set.get(&cfg.schema_file) else {
+        return vec![Finding {
+            rule: SCHEMA_DRIFT,
+            path: cfg.schema_file.clone(),
+            line: 1,
+            msg: "schema file not found in tree".into(),
+        }];
+    };
+    // The declaring file never counts as a producer, even when the
+    // roots cover it — the const array itself mentions every key.
+    let producers: Vec<&FileScan> = set
+        .under(&cfg.counter_roots)
+        .filter(|f| f.path != cfg.schema_file)
+        .collect();
+    for const_name in &cfg.schema_consts {
+        let keys = scan::const_str_array(&schema.lexed, const_name);
+        if keys.is_empty() {
+            out.push(Finding {
+                rule: SCHEMA_DRIFT,
+                path: cfg.schema_file.clone(),
+                line: 1,
+                msg: format!("const {const_name} not found or empty in schema file"),
+            });
+            continue;
+        }
+        for (key, line) in keys {
+            if schema.allowed(SCHEMA_DRIFT, line) {
+                continue;
+            }
+            if !producers.iter().any(|f| has_live_ident_or_str(f, &key)) {
+                out.push(Finding {
+                    rule: SCHEMA_DRIFT,
+                    path: cfg.schema_file.clone(),
+                    line,
+                    msg: format!(
+                        "schema counter \"{key}\" ({const_name}) is produced nowhere under \
+                         {:?}; wire it up or waive with `analyzer:allow({SCHEMA_DRIFT})`",
+                        cfg.counter_roots
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Every variant of the typed error enum must be (a) constructed by
+/// non-test code under the construct roots — outside the declaring
+/// file, whose `Debug`/`Display` impls match every variant anyway —
+/// and (b) asserted by at least one test: a `Enum::Variant` mention in
+/// test code (a `tests/` file or a `#[cfg(test)]` region) or in a
+/// designated test-harness file (the checker drivers, which assert
+/// typed failures on behalf of the soak suites).
+pub fn error_drift(set: &SourceSet, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some(errors) = set.get(&cfg.errors_file) else {
+        return vec![Finding {
+            rule: ERROR_DRIFT,
+            path: cfg.errors_file.clone(),
+            line: 1,
+            msg: format!(
+                "errors file not found in tree (looking for enum {})",
+                cfg.error_enum
+            ),
+        }];
+    };
+    let variants = scan::enum_variants(&errors.lexed, &cfg.error_enum);
+    if variants.is_empty() {
+        return vec![Finding {
+            rule: ERROR_DRIFT,
+            path: cfg.errors_file.clone(),
+            line: 1,
+            msg: format!("enum {} not found or has no variants", cfg.error_enum),
+        }];
+    }
+    for (variant, line) in &variants {
+        if errors.allowed(ERROR_DRIFT, *line) {
+            continue;
+        }
+        let constructed = set
+            .under(&cfg.error_construct_roots)
+            .filter(|f| f.path != cfg.errors_file)
+            .any(|f| has_live_path(f, &cfg.error_enum, variant));
+        if !constructed {
+            out.push(Finding {
+                rule: ERROR_DRIFT,
+                path: cfg.errors_file.clone(),
+                line: *line,
+                msg: format!(
+                    "{}::{variant} is never constructed in non-test code under {:?}; \
+                     dead error surface (or waive with `analyzer:allow({ERROR_DRIFT})`)",
+                    cfg.error_enum, cfg.error_construct_roots
+                ),
+            });
+        }
+        let asserted = set.iter().any(|f| {
+            let in_test_scope = f.is_test || cfg.error_harness_files.iter().any(|h| h == &f.path);
+            let toks = &f.lexed.toks;
+            (0..toks.len().saturating_sub(2)).any(|i| {
+                toks[i].is_ident(&cfg.error_enum)
+                    && toks[i + 1].is_punct("::")
+                    && toks[i + 2].is_ident(variant)
+                    && (in_test_scope || f.mask.get(i).copied().unwrap_or(false))
+            })
+        });
+        if !asserted {
+            out.push(Finding {
+                rule: ERROR_DRIFT,
+                path: cfg.errors_file.clone(),
+                line: *line,
+                msg: format!(
+                    "{}::{variant} is asserted by no test (tests/ files, #[cfg(test)] \
+                     regions, or harness files {:?}); failures of this kind are unproven",
+                    cfg.error_enum, cfg.error_harness_files
+                ),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,290 @@
+//! Lightweight item scanning over the token stream: test-region
+//! marking, enum-variant and const-array extraction, path lookups, and
+//! delimiter matching. This is deliberately *not* a parser — it
+//! recognizes just enough structure for the rules, and degrades to
+//! "no match" (never a panic) on code it does not understand.
+
+use crate::lex::{Lexed, Tok, TokKind};
+
+/// Per-token `true` when the token sits inside test-only code: an item
+/// annotated `#[cfg(test)]` or `#[test]` (attributes included). A
+/// file-level `#![cfg(test)]` marks the whole file.
+pub fn test_mask(lexed: &Lexed) -> Vec<bool> {
+    let toks = &lexed.toks;
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_punct("#") {
+            i += 1;
+            continue;
+        }
+        // Inner attribute `#![cfg(test)]` — whole file is test code.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct("!")) {
+            if let Some(close) = delim_close(toks, i + 2, "[", "]") {
+                if attr_is_test(&toks[i + 3..close]) {
+                    mask.iter_mut().for_each(|m| *m = true);
+                    return mask;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        let Some(close) = delim_close(toks, i + 1, "[", "]") else {
+            i += 1;
+            continue;
+        };
+        if !attr_is_test(&toks[i + 2..close]) {
+            i = close + 1;
+            continue;
+        }
+        // Mark the attribute, any further attributes, and the item that
+        // follows (through its `;` or its outermost `{ … }` block).
+        let start = i;
+        let mut j = close + 1;
+        while j < toks.len() && toks[j].is_punct("#") {
+            match delim_close(toks, j + 1, "[", "]") {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        let end = item_end(toks, j);
+        for m in mask.iter_mut().take(end.min(toks.len())).skip(start) {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
+}
+
+/// `true` when the tokens of an attribute body (between `[` and `]`)
+/// mean "test code": exactly `test`, or `cfg` applied directly to
+/// `test` (`cfg(test)` — not `cfg(not(test))`).
+fn attr_is_test(body: &[Tok]) -> bool {
+    if body.len() == 1 && body[0].is_ident("test") {
+        return true;
+    }
+    body.windows(4).any(|w| {
+        w[0].is_ident("cfg") && w[1].is_punct("(") && w[2].is_ident("test") && w[3].is_punct(")")
+    })
+}
+
+/// Index just past the end of the item starting at `from`: past the
+/// first `;` seen before any brace, or past the matching `}` of the
+/// first `{`. Returns `toks.len()` when the item never closes.
+fn item_end(toks: &[Tok], from: usize) -> usize {
+    let mut j = from;
+    while j < toks.len() {
+        if toks[j].is_punct(";") {
+            return j + 1;
+        }
+        if toks[j].is_punct("{") {
+            return match delim_close(toks, j, "{", "}") {
+                Some(c) => c + 1,
+                None => toks.len(),
+            };
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Index of the delimiter closing the `open` at index `at` (which must
+/// hold `open`), honoring nesting. `None` when `at` is not `open` or
+/// the stream ends first.
+pub fn delim_close(toks: &[Tok], at: usize, open: &str, close: &str) -> Option<usize> {
+    if !toks.get(at)?.is_punct(open) {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(at) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// The variants of `enum <name>`: `(variant, line)` pairs in
+/// declaration order. Empty when the enum is not found.
+pub fn enum_variants(lexed: &Lexed, name: &str) -> Vec<(String, u32)> {
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    let Some(at) = toks
+        .windows(2)
+        .position(|w| w[0].is_ident("enum") && w[1].is_ident(name))
+    else {
+        return out;
+    };
+    // Find the `{` opening the body (skipping generics / where clauses).
+    let Some(open) = (at..toks.len()).find(|&j| toks[j].is_punct("{")) else {
+        return out;
+    };
+    let Some(close) = delim_close(toks, open, "{", "}") else {
+        return out;
+    };
+    let mut j = open + 1;
+    while j < close {
+        // Skip attributes on the variant.
+        while toks[j].is_punct("#") {
+            match delim_close(toks, j + 1, "[", "]") {
+                Some(c) => j = c + 1,
+                None => return out,
+            }
+        }
+        if toks[j].kind == TokKind::Ident {
+            out.push((toks[j].text.clone(), toks[j].line));
+        }
+        // Skip to the `,` separating variants (or the body's end),
+        // stepping over nested `{…}` / `(…)` field lists.
+        while j < close {
+            if toks[j].is_punct("{") || toks[j].is_punct("(") || toks[j].is_punct("[") {
+                let (o, c) = match toks[j].text.as_str() {
+                    "{" => ("{", "}"),
+                    "(" => ("(", ")"),
+                    _ => ("[", "]"),
+                };
+                match delim_close(toks, j, o, c) {
+                    Some(end) => j = end + 1,
+                    None => return out,
+                }
+            } else if toks[j].is_punct(",") {
+                j += 1;
+                break;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The string elements of `const <name>: … = &[ "…", … ];` with their
+/// lines. Empty when the const is not found or has no array literal.
+pub fn const_str_array(lexed: &Lexed, name: &str) -> Vec<(String, u32)> {
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    let Some(at) = toks
+        .windows(2)
+        .position(|w| w[0].is_ident("const") && w[1].is_ident(name))
+    else {
+        return out;
+    };
+    let Some(eq) = (at..toks.len()).find(|&j| toks[j].is_punct("=")) else {
+        return out;
+    };
+    let Some(open) = (eq..toks.len()).find(|&j| toks[j].is_punct("[")) else {
+        return out;
+    };
+    let Some(close) = delim_close(toks, open, "[", "]") else {
+        return out;
+    };
+    for t in &toks[open + 1..close] {
+        if t.kind == TokKind::Str {
+            out.push((t.text.clone(), t.line));
+        }
+    }
+    out
+}
+
+/// Lines on which the path `a::b` occurs (as exactly two segments —
+/// `x::a::b` also matches since the scan is windowed on `a :: b`).
+pub fn path2_lines(lexed: &Lexed, a: &str, b: &str) -> Vec<u32> {
+    lexed
+        .toks
+        .windows(3)
+        .filter(|w| w[0].is_ident(a) && w[1].is_punct("::") && w[2].is_ident(b))
+        .map(|w| w[2].line)
+        .collect()
+}
+
+/// Lines on which the string literal `s` occurs.
+pub fn str_lines(lexed: &Lexed, s: &str) -> Vec<u32> {
+    lexed
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str && t.text == s)
+        .map(|t| t.line)
+        .collect()
+}
+
+/// Lines on which the identifier `s` occurs.
+pub fn ident_lines(lexed: &Lexed, s: &str) -> Vec<u32> {
+    lexed
+        .toks
+        .iter()
+        .filter(|t| t.is_ident(s))
+        .map(|t| t.line)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    #[test]
+    fn enum_extraction() {
+        let src = "/// Doc.\npub enum E {\n    /// a\n    A { x: u8 },\n    #[allow(dead_code)]\n    B(u32),\n    C,\n}\n";
+        let vars = enum_variants(&lex(src), "E");
+        let names: Vec<_> = vars.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+    }
+
+    #[test]
+    fn const_array_extraction() {
+        let src = "const KEYS: &[&str] = &[\n \"one\",\n \"two\",\n];\nconst OTHER: u8 = 3;";
+        let keys = const_str_array(&lex(src), "KEYS");
+        assert_eq!(keys, [("one".to_string(), 2), ("two".to_string(), 3)]);
+        assert!(const_str_array(&lex(src), "MISSING").is_empty());
+    }
+
+    #[test]
+    fn test_region_masking() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn also_live() {}\n";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed);
+        let live: Vec<_> = lexed
+            .toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, m)| t.kind == TokKind::Ident && !**m)
+            .map(|(t, _)| t.text.clone())
+            .collect();
+        assert_eq!(live, ["fn", "live", "fn", "also_live"]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_live() {
+        let src = "#[cfg(not(test))]\nfn shipping() {}\n";
+        let lexed = lex(src);
+        assert!(test_mask(&lexed).iter().all(|m| !m));
+    }
+
+    #[test]
+    fn inline_test_fn_masked() {
+        let src = "#[test]\nfn t() { boom(); }\nfn live() {}\n";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed);
+        let live: Vec<_> = lexed
+            .toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, m)| t.kind == TokKind::Ident && !**m)
+            .map(|(t, _)| t.text.clone())
+            .collect();
+        assert_eq!(live, ["fn", "live"]);
+    }
+
+    #[test]
+    fn path_and_str_lookup() {
+        let lexed = lex("use a::b;\nmatch x { Foo::Bar => 1, _ => 2 }\nlet s = \"Bar\";");
+        assert_eq!(path2_lines(&lexed, "Foo", "Bar"), [2]);
+        assert_eq!(str_lines(&lexed, "Bar"), [3]);
+        assert!(path2_lines(&lexed, "Foo", "Baz").is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the tokenizer: on comment- and string-free input
+//! the lexer must agree exactly with a naive word-boundary scanner
+//! (identifier spelling *and* line numbers), and wrapping the same
+//! input in a comment or a string literal must hide every token — the
+//! two behaviors that distinguish it from the old line-regex scanner.
+
+use analyzer::lex::{lex, TokKind};
+use proptest::prelude::*;
+
+const IDENT_POOL: &[&str] = &["alpha", "beta_2", "_tmp", "HashMap", "spawn", "x", "lock"];
+const PUNCT_POOL: &[&str] = &[
+    "+", "-", "*", "=", ";", ",", "(", ")", "{", "}", ":", ".", "<", ">", "&&", "->",
+];
+
+/// Random token-soup spec: `(kind, seed)` pairs rendered by [`render`].
+/// Quotes, slashes, and backslashes never appear, so the rendered
+/// source is comment-free and string-free by construction.
+fn soup_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0..3u64, 0..97u64), 0..40)
+}
+
+/// Render a soup as source text. Tokens are separated by a space or —
+/// every seventh seed — a newline, so multi-line inputs are covered.
+fn render(soup: &[(u64, u64)], multiline: bool) -> String {
+    let mut s = String::new();
+    for &(kind, seed) in soup {
+        if !s.is_empty() {
+            s.push(if multiline && seed % 7 == 0 {
+                '\n'
+            } else {
+                ' '
+            });
+        }
+        match kind {
+            0 => s.push_str(IDENT_POOL[seed as usize % IDENT_POOL.len()]),
+            1 => s.push_str(&(seed * 31 + 7).to_string()),
+            _ => s.push_str(PUNCT_POOL[seed as usize % PUNCT_POOL.len()]),
+        }
+    }
+    s
+}
+
+/// The reference scanner: maximal `[A-Za-z0-9_]` words, keeping those
+/// that do not start with a digit, tagged with their 1-based line.
+fn naive_idents(src: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut word = String::new();
+    let mut line = 1u32;
+    for c in src.chars().chain(std::iter::once('\n')) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            word.push(c);
+        } else {
+            if !word.is_empty() && !word.starts_with(|w: char| w.is_ascii_digit()) {
+                out.push((std::mem::take(&mut word), line));
+            }
+            word.clear();
+            if c == '\n' {
+                line += 1;
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn lexer_agrees_with_naive_scanner(soup in soup_strategy()) {
+        let src = render(&soup, true);
+        let lexed = lex(&src);
+        let got: Vec<(String, u32)> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.clone(), t.line))
+            .collect();
+        prop_assert_eq!(got, naive_idents(&src));
+        // Nothing in the soup can open a literal.
+        prop_assert!(lexed
+            .toks
+            .iter()
+            .all(|t| t.kind != TokKind::Str && t.kind != TokKind::Char));
+    }
+
+    #[test]
+    fn line_comment_hides_all_tokens(soup in soup_strategy()) {
+        let src = render(&soup, false); // single line: keep the comment whole
+        let lexed = lex(&format!("// {src}"));
+        prop_assert!(lexed.toks.is_empty());
+    }
+
+    #[test]
+    fn block_comment_hides_all_tokens(soup in soup_strategy()) {
+        // The soup cannot contain `*/`, so the comment stays open to the end.
+        let src = render(&soup, true);
+        let lexed = lex(&format!("/* {src} */ done"));
+        let idents: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["done"]);
+    }
+
+    #[test]
+    fn string_literal_hides_all_tokens(soup in soup_strategy()) {
+        // No quotes or backslashes in the soup, so it embeds verbatim.
+        let src = render(&soup, true);
+        let lexed = lex(&format!("let s = \"{src}\";"));
+        let idents: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["let", "s"]);
+    }
+}

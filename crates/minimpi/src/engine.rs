@@ -8,7 +8,7 @@
 //! application computes.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use rdma::{Channel, ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
 use simnet::{Pid, ProcessCtx};
@@ -128,32 +128,32 @@ struct NbcSlot {
 
 pub(crate) struct Engine {
     reqs: Vec<bool>, // done flags
-    posted_exact: HashMap<(usize, u64), VecDeque<Posted>>,
+    posted_exact: BTreeMap<(usize, u64), VecDeque<Posted>>,
     posted_wild: VecDeque<Posted>,
-    unexpected: HashMap<(usize, u64), VecDeque<Unexpected>>,
-    pending_sends: HashMap<usize, PendingSend>,
-    regcache: HashMap<(u64, u64), MrKey>,
+    unexpected: BTreeMap<(usize, u64), VecDeque<Unexpected>>,
+    pending_sends: BTreeMap<usize, PendingSend>,
+    regcache: BTreeMap<(u64, u64), MrKey>,
     nbcs: Vec<NbcSlot>,
     next_seq: u64,
     /// Per-communicator collective sequence numbers, keyed by a hash of
     /// the member set. A global counter would desynchronize ranks that
     /// participate in different numbers of sub-communicator collectives
     /// (e.g. HPL row broadcasts) before a world collective.
-    pub(crate) coll_seq: HashMap<u64, u64>,
+    pub(crate) coll_seq: BTreeMap<u64, u64>,
 }
 
 impl Engine {
     fn new() -> Self {
         Engine {
             reqs: Vec::new(),
-            posted_exact: HashMap::new(),
+            posted_exact: BTreeMap::new(),
             posted_wild: VecDeque::new(),
-            unexpected: HashMap::new(),
-            pending_sends: HashMap::new(),
-            regcache: HashMap::new(),
+            unexpected: BTreeMap::new(),
+            pending_sends: BTreeMap::new(),
+            regcache: BTreeMap::new(),
             nbcs: Vec::new(),
             next_seq: 0,
-            coll_seq: HashMap::new(),
+            coll_seq: BTreeMap::new(),
         }
     }
 

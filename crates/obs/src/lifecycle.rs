@@ -31,7 +31,9 @@
 //! window, whose segment chain shows where its time went.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use offload::ProtoEvent;
 use simnet::{EventSink, Pid, SimDelta, SimTime};
@@ -426,7 +428,7 @@ impl LifecycleRecorder {
         let inner = Arc::clone(&self.inner);
         Arc::new(move |at, pid, any| {
             if let Some(ev) = any.downcast_ref::<ProtoEvent>() {
-                let mut v = inner.lock().unwrap_or_else(|e| e.into_inner());
+                let mut v = inner.lock();
                 v.push((at, pid, ev.clone()));
             }
         })
@@ -434,7 +436,7 @@ impl LifecycleRecorder {
 
     /// Number of events captured so far.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.inner.lock().len()
     }
 
     /// Whether nothing was captured.
@@ -444,7 +446,7 @@ impl LifecycleRecorder {
 
     /// Reconstruct timelines and window paths from the captured stream.
     pub fn report(&self) -> LifecycleReport {
-        let events = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let events = self.inner.lock();
         reconstruct(&events)
     }
 }

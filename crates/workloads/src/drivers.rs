@@ -306,6 +306,71 @@ pub fn drive_deadline(run: &CheckRun, bytes: u64) -> Result<Report, SimError> {
     })
 }
 
+/// A ctrl plane that drops every packet (`drop_pm: 1000`): the
+/// reliability layer must abandon the send after its bounded
+/// retransmission budget and surface a typed
+/// [`OffloadError::CtrlUndeliverable`] — not stall, not panic. Only
+/// rank 0 posts (an orphan — with the ctrl plane dark no peer could
+/// ever match it anyway).
+pub fn drive_ctrl_undeliverable(run: &CheckRun, bytes: u64) -> Result<Report, SimError> {
+    run.run_offload(move |off| {
+        if off.size() < 2 || off.rank() != 0 {
+            return;
+        }
+        let fab = off.cluster().fabric().clone();
+        let ep = off.cluster().host_ep(0);
+        let buf = fab.alloc(ep, bytes);
+        let req = off.send_offload(buf, bytes, 1, 40);
+        let err = off
+            .wait_timeout(req, SimDelta::from_secs(1))
+            .expect_err("a send on a fully dark ctrl plane must fail, not stall");
+        assert!(
+            matches!(err, OffloadError::CtrlUndeliverable { .. }),
+            "expected CtrlUndeliverable, got {err:?}"
+        );
+    })
+}
+
+/// A data plane that silently drops every payload (`data_drop_pm:
+/// 1000`, real byte movement): the end-to-end CRC must catch each
+/// landing, the bounded payload-retransmission budget must run dry, and
+/// *both* ends of the matched pair must come back with a typed
+/// [`OffloadError::DataIntegrity`].
+pub fn drive_data_integrity(run: &CheckRun, bytes: u64) -> Result<Report, SimError> {
+    run.run_offload(move |off| {
+        if off.size() < 2 {
+            return;
+        }
+        let me = off.rank();
+        // Pair rank 0 with the first rank of the *other* node: data-plane
+        // faults live on the RDMA fabric, which intra-node transfers
+        // never touch.
+        let peer = off.size() / 2;
+        let fab = off.cluster().fabric().clone();
+        let ep = off.cluster().host_ep(me);
+        let req = if me == 0 {
+            let buf = fab.alloc(ep, bytes);
+            // Nonzero payload: a silently dropped all-zero payload over a
+            // zeroed destination would be invisible to the CRC.
+            fab.fill_pattern(ep, buf, bytes, 0x0ff1_0ad1)
+                .expect("fill doomed payload");
+            off.send_offload(buf, bytes, peer, 41)
+        } else if me == peer {
+            let buf = fab.alloc(ep, bytes);
+            off.recv_offload(buf, bytes, 0, 41)
+        } else {
+            return;
+        };
+        let err = off
+            .wait_timeout(req, SimDelta::from_secs(1))
+            .expect_err("a transfer whose every payload is dropped must fail, not stall");
+        assert!(
+            matches!(err, OffloadError::DataIntegrity { .. }),
+            "rank {me}: expected DataIntegrity, got {err:?}"
+        );
+    })
+}
+
 /// Group-primitive all-to-all plus a barrier-ordered ring all-gather,
 /// each called `calls` times. Exercises the group metadata exchange
 /// (`RecvMeta`), the group packet/exec cache, cross-registration at

@@ -14,7 +14,9 @@
 //! transfers under the proposed runtime keep using host MPI, as the paper
 //! notes for its 3DStencil results.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use baselines::{bluesmpi_proxy_config, BluesConfig, BluesMpi};
 use minimpi::{Mpi, MpiConfig};
@@ -102,15 +104,12 @@ pub fn collector<T>() -> Collector<T> {
 
 /// Fill a collector.
 pub fn collect<T>(c: &Collector<T>, v: T) {
-    *c.lock().unwrap() = Some(v);
+    *c.lock() = Some(v);
 }
 
 /// Take a collector's value after the run.
 pub fn take<T>(c: &Collector<T>) -> T {
-    c.lock()
-        .unwrap()
-        .take()
-        .expect("collector filled during run")
+    c.lock().take().expect("collector filled during run")
 }
 
 /// Run `body(&harness)` on every rank of a `spec` cluster under `runtime`.

@@ -1,0 +1,20 @@
+// Lint fixture: regression for the line-regex scanner bug where a
+// column-0 `#[cfg(test)]` stopped the scan for the whole remainder of
+// the file, exempting any live code declared after the test module.
+// Not compiled — scanned by xtask's unit tests.
+fn live_before() {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap; // test code: exempt
+
+    fn _t() -> HashMap<u8, u8> {
+        HashMap::new()
+    }
+}
+
+use std::collections::HashMap; // live code after the module: must fire
+
+fn live_after() -> HashMap<u8, u8> {
+    HashMap::new()
+}

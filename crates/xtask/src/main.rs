@@ -1,195 +1,33 @@
-//! Workspace automation: `lint`, a custom lint wall for the
-//! simulator/protocol code, `validate-metrics`, a schema check for
-//! benchmark metrics artifacts, and `bench-diff`, the benchmark
-//! regression gate (see [`bench_diff`]). All run as `cargo xtask <cmd>`
-//! (see `.cargo/config.toml` for the alias) and from `ci.sh`.
+//! Workspace automation, run as `cargo xtask <cmd>` (see
+//! `.cargo/config.toml` for the alias) and from `ci.sh`:
 //!
-//! The rules target bug classes clippy cannot see because they are
-//! properties of *this* codebase's design, not of Rust:
+//! * `lint` — the determinism lint wall (`hash-iteration-order`,
+//!   `wall-clock`, `decode-unwrap`), running on the [`analyzer`]
+//!   crate's comment/string-aware token engine. See
+//!   [`analyzer::rules::lint`] for the rules and their rationale.
+//! * `analyze` — the cross-layer drift and parallel-readiness gates
+//!   ([`analyzer::rules::drift`], [`analyzer::rules::parallel`]).
+//!   Writes a `bluefield-offload/analyzer/v1` report to
+//!   `target/analyze/report.json`; `--json` prints it to stdout;
+//!   `--update-baseline` refreshes the committed panic-path baseline.
+//! * `validate-metrics` — schema check for benchmark metrics artifacts.
+//! * `bench-diff` — the benchmark regression gate (see [`bench_diff`]).
 //!
-//! * `hash-iteration-order` — `HashMap`/`HashSet` are banned from the
-//!   message-matching paths (`crates/core`, `crates/rdma`). Their
-//!   iteration order is randomized per process, so any matching or
-//!   scheduling decision that walks one diverges between reruns and
-//!   breaks the simulator's determinism guarantee. Use `BTreeMap`,
-//!   `BTreeSet` or `VecDeque`.
-//! * `wall-clock` — `std::time` / `Instant` / `SystemTime` are banned
-//!   from simnet-driven crates. Simulated code must read virtual time
-//!   from its `ProcessCtx`; wall-clock reads smuggle host timing into
-//!   deterministic runs.
-//! * `decode-unwrap` — `unwrap()`/`expect()` on `downcast` results is
-//!   banned in `crates/core`/`crates/rdma`. Cross-rank message decode
-//!   must tolerate unexpected payloads (count a stat, drop the packet)
-//!   instead of taking the whole simulated rank down.
-//!
-//! Escapes: test code below a column-0 `#[cfg(test)]` is ignored, and a
-//! line carrying a `lint:allow(<rule>)` comment is exempt from that rule.
+//! Escapes for both lint and analyze: a `lint:allow(<rule>)` or
+//! `analyzer:allow(<rule>)` comment on the offending line.
 
 mod bench_diff;
 
-use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// One lint rule: a name, the path prefixes (relative to the repo root)
-/// it patrols, and a predicate over comment-stripped code lines.
-struct Rule {
-    name: &'static str,
-    roots: &'static [&'static str],
-    hit: fn(&str) -> bool,
-    why: &'static str,
-}
+use analyzer::{Config, Tree};
 
-/// `true` if `line` contains `token` delimited by non-identifier chars,
-/// so `Instant` matches but `InstantaneousRate` does not.
-fn has_token(line: &str, token: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(token) {
-        let at = start + pos;
-        let before_ok = at == 0
-            || !line[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = at + token.len();
-        let after_ok = !line[after..]
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        start = after;
-    }
-    false
-}
-
-const RULES: &[Rule] = &[
-    Rule {
-        name: "hash-iteration-order",
-        roots: &["crates/core/src", "crates/rdma/src"],
-        hit: |l| has_token(l, "HashMap") || has_token(l, "HashSet"),
-        why: "randomized iteration order breaks deterministic matching; \
-              use BTreeMap/BTreeSet/VecDeque",
-    },
-    Rule {
-        name: "wall-clock",
-        roots: &[
-            "crates/simnet/src",
-            "crates/core/src",
-            "crates/rdma/src",
-            "crates/workloads/src",
-            "crates/checker/src",
-        ],
-        hit: |l| l.contains("std::time") || has_token(l, "Instant") || has_token(l, "SystemTime"),
-        why: "simulated code must use virtual time (SimTime/SimDelta), \
-              never the host clock",
-    },
-    Rule {
-        name: "decode-unwrap",
-        roots: &["crates/core/src", "crates/rdma/src"],
-        hit: |l| l.contains("downcast") && (l.contains(".unwrap(") || l.contains(".expect(")),
-        why: "cross-rank message decode must not panic on unexpected \
-              payloads; drop and count a stat instead",
-    },
-];
-
-/// One lint hit.
-struct Finding {
-    rule: &'static str,
-    path: PathBuf,
-    line: usize,
-    text: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.path.display(),
-            self.line,
-            self.rule,
-            self.text.trim()
-        )
-    }
-}
-
-/// The code part of a source line: empty for pure comment lines,
-/// truncated at an inline `//`. (A `//` inside a string literal also
-/// truncates — acceptable for a lint; use `lint:allow` if it ever
-/// misfires the other way.)
-fn code_part(line: &str) -> &str {
-    match line.find("//") {
-        Some(pos) => &line[..pos],
-        None => line,
-    }
-}
-
-/// Scan one file's contents against `rules`. Stops at a column-0
-/// `#[cfg(test)]`; honors per-line `lint:allow(rule)` escapes.
-fn scan_source(path: &Path, src: &str, rules: &[Rule], out: &mut Vec<Finding>) {
-    for (idx, line) in src.lines().enumerate() {
-        if line.starts_with("#[cfg(test)]") {
-            break;
-        }
-        let code = code_part(line);
-        if code.trim().is_empty() {
-            continue;
-        }
-        for rule in rules {
-            if line.contains(&format!("lint:allow({})", rule.name)) {
-                continue;
-            }
-            if (rule.hit)(code) {
-                out.push(Finding {
-                    rule: rule.name,
-                    path: path.to_path_buf(),
-                    line: idx + 1,
-                    text: line.to_string(),
-                });
-            }
-        }
-    }
-}
-
-fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
-    };
-    let mut paths: Vec<_> = entries.flatten().map(|e| e.path()).collect();
-    paths.sort();
-    for path in paths {
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Run every rule over its roots under `repo`, returning all findings.
-fn lint_tree(repo: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for rule in RULES {
-        for root in rule.roots {
-            let mut files = Vec::new();
-            rs_files(&repo.join(root), &mut files);
-            for file in files {
-                let Ok(src) = fs::read_to_string(&file) else {
-                    continue;
-                };
-                let rel = file.strip_prefix(repo).unwrap_or(&file);
-                scan_source(rel, &src, std::slice::from_ref(rule), &mut findings);
-            }
-        }
-    }
-    findings
-}
+/// Committed panic-path allowlist (see [`analyzer::baseline`]).
+const BASELINE_PATH: &str = "crates/analyzer/panic-baseline.tsv";
+/// Where `analyze` writes its machine-readable report.
+const REPORT_PATH: &str = "target/analyze/report.json";
 
 fn repo_root() -> PathBuf {
     // crates/xtask/ -> repo root.
@@ -200,27 +38,116 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
+/// Load every crate source in the workspace into an analyzer [`Tree`].
+fn load_tree(repo: &Path) -> Result<Tree, String> {
+    Tree::load(repo, &["crates"]).map_err(|e| format!("loading workspace sources: {e}"))
+}
+
+/// `cargo xtask lint`: the determinism wall. Prints findings as
+/// `file:line: [rule] text`; nonzero exit on any finding.
+fn cmd_lint() -> ExitCode {
+    let tree = match load_tree(&repo_root()) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = analyzer::lint(&tree);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!(
+            "xtask lint: clean ({} rules, {} files)",
+            analyzer::rules::lint::WHY.len(),
+            tree.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for (rule, why) in analyzer::rules::lint::WHY {
+            if findings.iter().any(|f| f.rule == *rule) {
+                println!("note: [{rule}] {why}");
+            }
+        }
+        println!("xtask lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// `cargo xtask analyze [--json] [--update-baseline]`: drift +
+/// parallel-readiness gates.
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let json = args.iter().any(|a| a == "--json");
+    let update = args.iter().any(|a| a == "--update-baseline");
+    let repo = repo_root();
+    let tree = match load_tree(&repo) {
+        Ok(t) => t,
+        Err(e) => {
+            println!("xtask analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = Config::repo();
+    let baseline_path = repo.join(BASELINE_PATH);
+    if update {
+        let text = analyzer::render_baseline(&tree, &cfg);
+        let entries = text.lines().filter(|l| !l.starts_with('#')).count();
+        if let Err(e) = fs::write(&baseline_path, &text) {
+            println!("xtask analyze: writing {BASELINE_PATH}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("xtask analyze: baseline refreshed ({entries} entries) -> {BASELINE_PATH}");
+        return ExitCode::SUCCESS;
+    }
+    let baseline = fs::read_to_string(&baseline_path).unwrap_or_default();
+    let analysis = analyzer::analyze(&tree, &cfg, &baseline);
+    let doc = analyzer::report::render(&analysis);
+    let report_path = repo.join(REPORT_PATH);
+    if let Some(dir) = report_path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    if let Err(e) = fs::write(&report_path, &doc) {
+        println!("xtask analyze: writing {REPORT_PATH}: {e}");
+        return ExitCode::from(2);
+    }
+    if json {
+        // Machine-readable mode: the report document on stdout, nothing
+        // else. The exit code still carries the gate verdict.
+        print!("{doc}");
+        return if analysis.clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    for f in &analysis.findings {
+        println!("{f}");
+    }
+    for s in &analysis.stale_baseline {
+        println!(
+            "note: stale baseline entry (debt paid down — refresh with --update-baseline): {s}"
+        );
+    }
+    if analysis.clean() {
+        println!(
+            "xtask analyze: clean ({} files, {} rules, {} baselined panic site(s)) -> {REPORT_PATH}",
+            analysis.files_scanned,
+            analyzer::report::RULES.len(),
+            analysis.baselined
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask analyze: {} finding(s)", analysis.findings.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => {
-            let findings = lint_tree(&repo_root());
-            for f in &findings {
-                println!("{f}");
-            }
-            if findings.is_empty() {
-                println!("xtask lint: clean ({} rules)", RULES.len());
-                ExitCode::SUCCESS
-            } else {
-                for rule in RULES {
-                    if findings.iter().any(|f| f.rule == rule.name) {
-                        println!("note: [{}] {}", rule.name, rule.why);
-                    }
-                }
-                println!("xtask lint: {} finding(s)", findings.len());
-                ExitCode::FAILURE
-            }
-        }
+        Some("lint") => cmd_lint(),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("validate-metrics") if args.len() > 1 => {
             let mut bad = 0usize;
             for path in &args[1..] {
@@ -315,8 +242,8 @@ fn main() -> ExitCode {
         }
         _ => {
             println!(
-                "usage: cargo xtask lint | validate-metrics <file.json>... | \
-                 bench-diff <old> <new> [--tol PCT] [--json]"
+                "usage: cargo xtask lint | analyze [--json] [--update-baseline] | \
+                 validate-metrics <file.json>... | bench-diff <old> <new> [--tol PCT] [--json]"
             );
             ExitCode::from(2)
         }
@@ -327,10 +254,11 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn scan_str(src: &str) -> Vec<&'static str> {
-        let mut out = Vec::new();
-        scan_source(Path::new("test.rs"), src, RULES, &mut out);
-        out.into_iter().map(|f| f.rule).collect()
+    /// Lint `src` as if it lived on a patrolled root.
+    fn lint_str(src: &str) -> Vec<&'static str> {
+        let mut tree = Tree::new();
+        tree.insert("crates/core/src/fixture_under_test.rs", src);
+        analyzer::lint(&tree).into_iter().map(|f| f.rule).collect()
     }
 
     fn fixture(name: &str) -> String {
@@ -342,54 +270,134 @@ mod tests {
 
     #[test]
     fn fixture_hash_iteration_fails() {
-        assert!(scan_str(&fixture("hash_iteration.rs")).contains(&"hash-iteration-order"));
+        assert!(lint_str(&fixture("hash_iteration.rs")).contains(&"hash-iteration-order"));
     }
 
     #[test]
     fn fixture_wall_clock_fails() {
-        assert!(scan_str(&fixture("wall_clock.rs")).contains(&"wall-clock"));
+        assert!(lint_str(&fixture("wall_clock.rs")).contains(&"wall-clock"));
     }
 
     #[test]
     fn fixture_decode_unwrap_fails() {
-        assert!(scan_str(&fixture("decode_unwrap.rs")).contains(&"decode-unwrap"));
+        assert!(lint_str(&fixture("decode_unwrap.rs")).contains(&"decode-unwrap"));
+    }
+
+    /// Regression: the old line scanner truncated code at a `//` inside
+    /// a string literal, hiding the rest of the line from the rules —
+    /// and, conversely, matched banned names inside string literals.
+    #[test]
+    fn fixture_string_comment_scanning() {
+        let mut tree = Tree::new();
+        let src = fixture("string_comment.rs");
+        tree.insert("crates/core/src/fixture_under_test.rs", &src);
+        let findings = analyzer::lint(&tree);
+        let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        // `use` line, signature line, and the line whose HashMap::new()
+        // sits *after* a "http://…" string literal.
+        let after_string_line = src
+            .lines()
+            .position(|l| l.contains("http://"))
+            .map(|i| i as u32 + 1)
+            .expect("fixture has the url line");
+        assert!(
+            lines.contains(&after_string_line),
+            "HashMap after a // inside a string must fire (got lines {lines:?})"
+        );
+        // The line whose only "HashMap" lives inside a string must not.
+        let string_only_line = src
+            .lines()
+            .position(|l| l.contains("walks into a bar"))
+            .map(|i| i as u32 + 1)
+            .expect("fixture has the string-only line");
+        assert!(
+            !lines.contains(&string_only_line),
+            "HashMap inside a string literal must not fire"
+        );
+    }
+
+    /// Regression: the old line scanner stopped at a column-0
+    /// `#[cfg(test)]`, exempting all live code after the test module.
+    #[test]
+    fn fixture_inline_cfg_test_scanning() {
+        let mut tree = Tree::new();
+        let src = fixture("inline_cfg_test.rs");
+        tree.insert("crates/core/src/fixture_under_test.rs", &src);
+        let findings = analyzer::lint(&tree);
+        let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        let live_use_line = src
+            .lines()
+            .position(|l| l.contains("must fire"))
+            .map(|i| i as u32 + 1)
+            .expect("fixture has the live use line");
+        assert!(
+            lines.contains(&live_use_line),
+            "live code after an inline test module must fire (got lines {lines:?})"
+        );
+        // Nothing inside the test module itself fires.
+        let module_hash_line = src
+            .lines()
+            .position(|l| l.contains("test code: exempt"))
+            .map(|i| i as u32 + 1)
+            .expect("fixture has the exempt line");
+        assert!(!lines.contains(&module_hash_line));
     }
 
     #[test]
     fn test_code_is_exempt() {
         let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
-        assert!(scan_str(src).is_empty());
+        assert!(lint_str(src).is_empty());
     }
 
     #[test]
     fn comments_are_exempt() {
         assert!(
-            scan_str("/// Instant the process finished.\nfn f() {} // a HashMap tale\n").is_empty()
+            lint_str("/// Instant the process finished.\nfn f() {} // a HashMap tale\n").is_empty()
         );
     }
 
     #[test]
     fn allow_escape_works() {
         let src = "use std::collections::HashMap; // lint:allow(hash-iteration-order)\n";
-        assert!(scan_str(src).is_empty());
+        assert!(lint_str(src).is_empty());
         let src = "use std::collections::HashMap;\n";
-        assert_eq!(scan_str(src), vec!["hash-iteration-order"]);
+        assert_eq!(lint_str(src), vec!["hash-iteration-order"]);
     }
 
     #[test]
     fn token_matching_is_word_bounded() {
-        assert!(scan_str("struct InstantaneousRate;\n").is_empty());
-        assert_eq!(scan_str("let t = Instant::now();\n"), vec!["wall-clock"]);
+        assert!(lint_str("struct InstantaneousRate;\n").is_empty());
+        assert_eq!(lint_str("let t = Instant::now();\n"), vec!["wall-clock"]);
     }
 
     #[test]
     fn workspace_is_clean() {
-        let findings = lint_tree(&repo_root());
+        let tree = load_tree(&repo_root()).expect("workspace sources load");
+        let findings = analyzer::lint(&tree);
         let report: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
         assert!(
             findings.is_empty(),
             "lint wall breached:\n{}",
             report.join("\n")
+        );
+    }
+
+    #[test]
+    fn workspace_analyze_is_clean() {
+        let repo = repo_root();
+        let tree = load_tree(&repo).expect("workspace sources load");
+        let baseline = fs::read_to_string(repo.join(BASELINE_PATH)).unwrap_or_default();
+        let analysis = analyzer::analyze(&tree, &Config::repo(), &baseline);
+        let report: Vec<String> = analysis.findings.iter().map(|f| f.to_string()).collect();
+        assert!(
+            analysis.clean(),
+            "analyzer gate breached:\n{}",
+            report.join("\n")
+        );
+        assert!(
+            analysis.stale_baseline.is_empty(),
+            "stale panic-path baseline entries:\n{}",
+            analysis.stale_baseline.join("\n")
         );
     }
 }

@@ -122,6 +122,43 @@ fn bad_destination_rank_panics() {
 }
 
 #[test]
+fn dark_ctrl_plane_surfaces_ctrl_undeliverable() {
+    use offload::FaultPlan;
+    use workloads::{drive_ctrl_undeliverable, CheckRun};
+    let mut run = CheckRun::baseline(7);
+    run.cfg.fault = FaultPlan {
+        drop_pm: 1000,
+        ..FaultPlan::none()
+    };
+    // The typed-error assertion runs inside the driver on rank 0. The
+    // simulation's own verdict is a deadlock of the *proxies* only: the
+    // dark ctrl plane also swallows their shutdown notices. The hosts
+    // must all have escaped with the typed error.
+    match drive_ctrl_undeliverable(&run, 4096) {
+        Err(SimError::Deadlock { blocked, .. }) => {
+            assert!(
+                blocked.iter().all(|(name, _)| name.starts_with("proxy")),
+                "only shutdown-starved proxies may remain blocked, got {blocked:?}"
+            );
+        }
+        other => panic!("expected a proxies-only deadlock verdict, got {other:?}"),
+    }
+}
+
+#[test]
+fn dropped_payloads_surface_data_integrity_on_both_ends() {
+    use offload::FaultPlan;
+    use workloads::{drive_data_integrity, CheckRun};
+    let mut run = CheckRun::baseline(11);
+    run.move_bytes = true;
+    run.cfg.fault = FaultPlan {
+        data_drop_pm: 1000,
+        ..FaultPlan::none()
+    };
+    drive_data_integrity(&run, 4096).expect("run completes after the typed failure");
+}
+
+#[test]
 fn time_limit_catches_runaway_patterns() {
     let spec = ClusterSpec::new(2, 1);
     let result = ClusterBuilder::new(spec, 1)
