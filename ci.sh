@@ -25,10 +25,24 @@ cargo xtask analyze
 echo "== cargo build --release"
 cargo build --release
 
-echo "== cargo test"
-if ! cargo test -q --workspace; then
+echo "== cargo test (classic engine, SIMNET_THREADS=1)"
+if ! SIMNET_THREADS=1 cargo test -q --workspace; then
     # The checker explorer drops flight-recorder dumps next to failing
     # schedules; surface them so the trace travels with the CI log.
+    if ls target/failure-dumps/*.flight.txt >/dev/null 2>&1; then
+        echo "flight-recorder dumps from failing runs:"
+        ls -l target/failure-dumps/
+    fi
+    exit 1
+fi
+
+echo "== cargo test (sharded engine, SIMNET_THREADS=4)"
+# The same tier-1 suite with every cluster routed through the sharded
+# conservative-lookahead runtime: worker threads are a pure speed knob,
+# so both passes must be green with identical verdicts (the equivalence
+# suite in tests/engine_equivalence.rs additionally byte-compares the
+# artifacts the two engines produce).
+if ! SIMNET_THREADS=4 cargo test -q --workspace; then
     if ls target/failure-dumps/*.flight.txt >/dev/null 2>&1; then
         echo "flight-recorder dumps from failing runs:"
         ls -l target/failure-dumps/
@@ -49,8 +63,11 @@ echo "== fault soak (ctrl + data-plane fault matrix)"
 #                     typed, never stall.
 # SOAK_LONG=1 widens the matrix (8 seeds, deeper corruption stacks) for
 # nightly-style runs; failures leave replayable flight-recorder dumps
-# in target/failure-dumps/.
-if ! SOAK_LONG="${SOAK_LONG:-}" cargo run --release --quiet -p checker --bin fault_soak; then
+# in target/failure-dumps/. The soak runs on the sharded engine
+# (SIMNET_THREADS=4): recovery under faults must not depend on the
+# engine, and the =1 behaviour is pinned by the equivalence suite.
+if ! SOAK_LONG="${SOAK_LONG:-}" SIMNET_THREADS=4 \
+    cargo run --release --quiet -p checker --bin fault_soak; then
     if ls target/failure-dumps/*.flight.txt >/dev/null 2>&1; then
         echo "flight-recorder dumps from failing soak scenarios:"
         ls -l target/failure-dumps/
@@ -60,7 +77,8 @@ fi
 
 echo "== bench artifacts (fresh --quick run into target/bench-scratch)"
 rm -rf target/bench-scratch
-for bin in ext_allgather ext_bluefield3 ext_proxy_count \
+for bin in engine_speed ext_allgather ext_bluefield3 ext_proxy_count \
+    ext_scale_alltoall ext_scale_stencil \
     fig02_rdma_latency fig03_rdma_bandwidth fig04_pingpong_staging \
     fig05_registration fig11_stencil_time fig12_stencil_overlap \
     fig13_ialltoall_time fig14_ialltoall_overlap fig15_scatter_dest \
@@ -69,6 +87,32 @@ for bin in ext_allgather ext_bluefield3 ext_proxy_count \
         cargo run --release --quiet -p bench-harness --bin "$bin" -- --quick \
         >/dev/null
 done
+
+echo "== sharded-engine byte equivalence (threads 1 vs 4, --quick)"
+# The acceptance property at CI scale: the scale benches rerun at 1 and
+# 4 worker threads with wall-clock keys suppressed (BENCH_NO_WALL=1)
+# must write byte-identical metrics documents. SCALE_LONG=1 repeats the
+# check at the full 1024-rank shape (minutes on one CPU).
+rm -rf target/equiv-t1 target/equiv-t4
+equiv_scales=(--quick)
+if [ -n "${SCALE_LONG:-}" ]; then equiv_scales+=(""); fi
+for scale in "${equiv_scales[@]}"; do
+    for bin in ext_scale_alltoall ext_scale_stencil; do
+        for t in 1 4; do
+            # shellcheck disable=SC2086  # $scale is intentionally word-split
+            BENCH_OUT_DIR="target/equiv-t$t" BENCH_NO_WALL=1 \
+                cargo run --release --quiet -p bench-harness --bin "$bin" -- \
+                --threads "$t" $scale >/dev/null
+        done
+    done
+done
+for doc in target/equiv-t1/*.metrics.json; do
+    if ! cmp "$doc" "target/equiv-t4/$(basename "$doc")"; then
+        echo "sharded engine diverged from the classic engine: $doc"
+        exit 1
+    fi
+done
+echo "scale artifacts byte-identical at 1 and 4 worker threads"
 
 echo "== metrics schema (bluefield-offload/metrics/v1)"
 cargo xtask validate-metrics target/bench-scratch/*.metrics.json
@@ -84,5 +128,6 @@ echo "bench-diff report: target/bench-scratch/bench-diff.json"
 # directory carries every machine-readable CI report.
 cp target/analyze/report.json target/bench-scratch/analyze-report.json
 echo "analyzer report: target/bench-scratch/analyze-report.json"
+echo "engine self-benchmark: target/bench-scratch/engine_speed.metrics.json"
 
 echo "ci.sh: all gates passed"

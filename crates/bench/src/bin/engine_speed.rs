@@ -1,0 +1,115 @@
+//! The engine self-benchmark: one fixed alltoall spec run at 1, 2 and 4
+//! worker threads.
+//!
+//! Two jobs in one binary:
+//!
+//! 1. **Equivalence.** The three runs must produce identical
+//!    [`workloads::ScaleRun`]s — same fingerprint, event count and
+//!    virtual time. Any divergence aborts the bench: worker threads are
+//!    a speed knob, never an observable.
+//! 2. **Speed.** Wall time and simulated events/sec per thread count go
+//!    into the `"engine"` section of the artifact, which bench-diff
+//!    holds to the wall tolerance band (exact counters stay exact).
+//!    Speedups are honest measurements: on a single-CPU machine they
+//!    hover around 1.0 and the synchronization overhead is visible —
+//!    see EXPERIMENTS.md.
+//!
+//! Scales: `--quick` 64 ranks (the committed CI baseline), default
+//! 1024 ranks, `--full` 4096 ranks.
+
+use workloads::{scale_alltoall, ScaleRun, ScaleSpec};
+
+const THREAD_STEPS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let args = bench_harness::Args::parse();
+    let nodes = args.nodes.unwrap_or(if args.full {
+        64
+    } else if args.quick {
+        8
+    } else {
+        32
+    });
+    let base_spec = ScaleSpec {
+        nodes,
+        ppn: args.pick_ppn(64, 32, 8),
+        iters: args.pick_iters(1, 1),
+        seed: 42,
+        threads: 1,
+    };
+
+    let mut rows = Vec::new();
+    let mut walls: Vec<(usize, f64)> = Vec::new();
+    let mut base: Option<ScaleRun> = None;
+    for &threads in &THREAD_STEPS {
+        let spec = ScaleSpec {
+            threads,
+            ..base_spec
+        };
+        let stop = bench_harness::wall_timer();
+        let run = scale_alltoall(&spec);
+        let wall_ms = stop();
+        match &base {
+            None => base = Some(run),
+            Some(b) => assert_eq!(
+                *b, run,
+                "engine produced different results at {threads} threads — \
+                 worker count must never be observable"
+            ),
+        }
+        rows.push(vec![
+            threads.to_string(),
+            run.events.to_string(),
+            bench_harness::us(wall_ms * 1e3),
+            bench_harness::fmt_f64(run.events as f64 / (wall_ms / 1e3).max(1e-9)),
+        ]);
+        walls.push((threads, wall_ms));
+    }
+    let run = base.expect("at least one thread step ran");
+
+    bench_harness::print_table(
+        &format!(
+            "engine self-benchmark: {}-rank alltoall, identical results required",
+            base_spec.ranks()
+        ),
+        &["threads", "events", "wall", "events/sec"],
+        &rows,
+    );
+
+    let mut keys = vec![
+        ("events".into(), run.events.to_string()),
+        ("virtual_ns".into(), run.virtual_ns.to_string()),
+        ("shards".into(), run.shards.to_string()),
+        ("windows".into(), run.windows.to_string()),
+        ("xshard_events".into(), run.xshard_events.to_string()),
+    ];
+    if bench_harness::wall_enabled() {
+        let t1_wall = walls[0].1;
+        for &(threads, wall_ms) in &walls {
+            keys.push((
+                format!("t{threads}_wall_ms"),
+                bench_harness::fmt_f64(wall_ms),
+            ));
+            keys.push((
+                format!("t{threads}_events_per_sec"),
+                bench_harness::fmt_f64(run.events as f64 / (wall_ms / 1e3).max(1e-9)),
+            ));
+            if threads > 1 {
+                keys.push((
+                    format!("t{threads}_speedup"),
+                    bench_harness::fmt_f64(t1_wall / wall_ms.max(1e-9)),
+                ));
+            }
+        }
+    }
+
+    let name = bench_harness::scale_artifact_name("engine_speed", &args, base_spec.ranks());
+    bench_harness::write_metrics_with(
+        &name,
+        &offload::MetricsReport::default(),
+        &[
+            bench_harness::scale_section(&base_spec, &run),
+            ("engine", keys),
+        ],
+    );
+}

@@ -1,0 +1,73 @@
+//! Extension: dense alltoall at 1k–4k ranks on the sharded engine.
+//!
+//! Not a paper figure — an engine-scale demonstration: every rank sends
+//! to every other rank each round (~1M deliveries per round at 1k
+//! ranks), one shard per node, and the run's fingerprint/virtual-time
+//! observables must be identical at every worker thread count.
+//!
+//! Scales: `--quick` 8x8 (64 ranks, the committed CI baseline),
+//! default 32x32 (1024 ranks), `--full` 64x64 (4096 ranks). `--threads`
+//! or `SIMNET_THREADS` picks the worker count (default 2); the artifact
+//! name carries the rank count outside `--quick`.
+
+use workloads::{scale_alltoall, ScaleSpec};
+
+fn main() {
+    let args = bench_harness::Args::parse();
+    let nodes = args.nodes.unwrap_or(if args.full {
+        64
+    } else if args.quick {
+        8
+    } else {
+        32
+    });
+    let spec = ScaleSpec {
+        nodes,
+        ppn: args.pick_ppn(64, 32, 8),
+        iters: args.pick_iters(1, 1),
+        seed: 42,
+        threads: args.pick_threads(),
+    };
+    let stop = bench_harness::wall_timer();
+    let run = scale_alltoall(&spec);
+    let wall_ms = stop();
+
+    bench_harness::print_table(
+        "ext: sharded-engine alltoall scale",
+        &[
+            "ranks",
+            "nodes",
+            "threads",
+            "events",
+            "virt",
+            "windows",
+            "xshard",
+            "fingerprint",
+        ],
+        &[vec![
+            spec.ranks().to_string(),
+            spec.nodes.to_string(),
+            spec.threads.to_string(),
+            run.events.to_string(),
+            bench_harness::us(run.virtual_ns as f64 / 1e3),
+            run.windows.to_string(),
+            run.xshard_events.to_string(),
+            format!("{:#x}", run.fingerprint),
+        ]],
+    );
+    println!(
+        "wall: {} ({} simulated events/sec)",
+        bench_harness::us(wall_ms * 1e3),
+        bench_harness::fmt_f64(run.events as f64 / (wall_ms / 1e3).max(1e-9)),
+    );
+
+    let name = bench_harness::scale_artifact_name("ext_scale_alltoall", &args, spec.ranks());
+    bench_harness::write_metrics_with(
+        &name,
+        &offload::MetricsReport::default(),
+        &[
+            bench_harness::scale_section(&spec, &run),
+            bench_harness::engine_section(&run, spec.threads, wall_ms),
+        ],
+    );
+}

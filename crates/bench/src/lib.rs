@@ -24,6 +24,8 @@ pub struct Args {
     pub ppn: Option<usize>,
     /// Override measured iterations.
     pub iters: Option<u32>,
+    /// Override engine worker threads (`ext_scale_*`/`engine_speed`).
+    pub threads: Option<usize>,
 }
 
 impl Args {
@@ -32,7 +34,7 @@ impl Args {
     pub fn parse() -> Args {
         fn die(msg: &str) -> ! {
             eprintln!("error: {msg}");
-            eprintln!("options: --full | --quick | --nodes N | --ppn N | --iters N");
+            eprintln!("options: --full | --quick | --nodes N | --ppn N | --iters N | --threads N");
             std::process::exit(2);
         }
         fn value<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
@@ -52,8 +54,11 @@ impl Args {
                 "--nodes" => out.nodes = Some(value(&mut it, "--nodes")),
                 "--ppn" => out.ppn = Some(value(&mut it, "--ppn")),
                 "--iters" => out.iters = Some(value(&mut it, "--iters")),
+                "--threads" => out.threads = Some(value(&mut it, "--threads")),
                 "--help" | "-h" => {
-                    eprintln!("options: --full | --quick | --nodes N | --ppn N | --iters N");
+                    eprintln!(
+                        "options: --full | --quick | --nodes N | --ppn N | --iters N | --threads N"
+                    );
                     std::process::exit(0);
                 }
                 other => die(&format!("unknown argument '{other}'")),
@@ -65,7 +70,24 @@ impl Args {
         if out.nodes == Some(0) || out.ppn == Some(0) || out.iters == Some(0) {
             die("--nodes/--ppn/--iters must be positive");
         }
+        if out.threads == Some(0) {
+            die("--threads must be positive");
+        }
         out
+    }
+
+    /// Engine worker threads for the scale benches: `--threads` wins,
+    /// then the `SIMNET_THREADS` environment knob, then a fixed default
+    /// of 2 so committed baselines don't depend on the machine.
+    pub fn pick_threads(&self) -> usize {
+        self.threads
+            .or_else(|| {
+                std::env::var(simnet::SIMNET_THREADS_ENV)
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+            })
+            .filter(|&t| t >= 1)
+            .unwrap_or(2)
     }
 
     /// Pick a processes-per-node value: the paper's value under `--full`,
@@ -112,6 +134,131 @@ pub fn write_metrics(name: &str, report: &offload::MetricsReport) {
     match std::fs::write(&path, report.to_json(name)) {
         Ok(()) => eprintln!("metrics: wrote {}", path.display()),
         Err(e) => eprintln!("metrics: failed to write {}: {e}", path.display()),
+    }
+}
+
+/// One numeric extension section appended to a metrics/v1 document:
+/// `(section name, [(key, rendered number)])`. The schema validator
+/// accepts `"engine"` and `"scale"` sections whose members are all
+/// numbers; `cargo xtask bench-diff` flattens them like any counter.
+pub type MetricsSection = (&'static str, Vec<(String, String)>);
+
+/// Render a metrics report with extra numeric sections spliced in ahead
+/// of the closing brace. Rendering stays deterministic: sections and
+/// keys keep their given order.
+pub fn render_metrics_with(
+    report: &offload::MetricsReport,
+    name: &str,
+    sections: &[MetricsSection],
+) -> String {
+    let doc = report.to_json(name);
+    if sections.is_empty() {
+        return doc;
+    }
+    let base = doc
+        .strip_suffix("\n}\n")
+        .expect("metrics/v1 documents end with a bare closing brace");
+    let mut o = String::from(base);
+    for (section, keys) in sections {
+        o.push_str(&format!(",\n  \"{section}\": {{"));
+        for (i, (k, v)) in keys.iter().enumerate() {
+            let sep = if i + 1 == keys.len() { "" } else { "," };
+            o.push_str(&format!("\n    \"{k}\": {v}{sep}"));
+        }
+        o.push_str("\n  }");
+    }
+    o.push_str("\n}\n");
+    o
+}
+
+/// Like [`write_metrics`], with extension sections.
+pub fn write_metrics_with(
+    name: &str,
+    report: &offload::MetricsReport,
+    sections: &[MetricsSection],
+) {
+    let dir = bench_results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("metrics: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.metrics.json"));
+    match std::fs::write(&path, render_metrics_with(report, name, sections)) {
+        Ok(()) => eprintln!("metrics: wrote {}", path.display()),
+        Err(e) => eprintln!("metrics: failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Whether wall-clock members (`wall_ms`, `events_per_sec`, `speedup`,
+/// `threads`) go into engine sections. `BENCH_NO_WALL=1` omits them so
+/// two runs of the same spec — e.g. `SIMNET_THREADS=1` vs `=4` in the
+/// CI equivalence step — produce byte-identical documents.
+pub fn wall_enabled() -> bool {
+    std::env::var_os("BENCH_NO_WALL").is_none()
+}
+
+/// Start a wall-clock timer; the returned closure yields elapsed
+/// milliseconds. Host time is confined to the engine self-benchmark
+/// numbers (the `wall_ms` band in bench-diff) and never feeds back into
+/// simulated time, which is why the lint waiver below is sound.
+pub fn wall_timer() -> impl FnOnce() -> f64 {
+    let t0 = std::time::Instant::now(); // lint:allow(wall-clock)
+    move || t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Render a float with fixed three-decimal precision (deterministic).
+pub fn fmt_f64(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// The `"scale"` section of a scale-bench artifact: the spec and the
+/// run's deterministic observables. Everything here is exact-compared
+/// by bench-diff.
+pub fn scale_section(spec: &workloads::ScaleSpec, run: &workloads::ScaleRun) -> MetricsSection {
+    (
+        "scale",
+        vec![
+            ("ranks".into(), spec.ranks().to_string()),
+            ("nodes".into(), spec.nodes.to_string()),
+            ("ppn".into(), spec.ppn.to_string()),
+            ("iters".into(), spec.iters.to_string()),
+            ("seed".into(), spec.seed.to_string()),
+            ("fingerprint".into(), run.fingerprint.to_string()),
+            ("virtual_ns".into(), run.virtual_ns.to_string()),
+        ],
+    )
+}
+
+/// The `"engine"` section of a scale-bench artifact: the engine's
+/// deterministic counters, plus — unless [`wall_enabled`] is off — the
+/// self-benchmark numbers bench-diff holds to the wall tolerance band.
+pub fn engine_section(run: &workloads::ScaleRun, threads: usize, wall_ms: f64) -> MetricsSection {
+    let mut keys = vec![
+        ("events".into(), run.events.to_string()),
+        ("shards".into(), run.shards.to_string()),
+        ("windows".into(), run.windows.to_string()),
+        ("xshard_events".into(), run.xshard_events.to_string()),
+    ];
+    if wall_enabled() {
+        keys.push(("threads".into(), threads.to_string()));
+        keys.push(("wall_ms".into(), fmt_f64(wall_ms)));
+        keys.push((
+            "events_per_sec".into(),
+            fmt_f64(run.events as f64 / (wall_ms / 1e3).max(1e-9)),
+        ));
+    }
+    ("engine", keys)
+}
+
+/// Artifact name for a scale bench: the bare name under `--quick` (the
+/// committed baseline CI regenerates and diffs), a rank-suffixed name
+/// otherwise (committed once as scale evidence; old-only files are a
+/// non-fatal bench-diff note).
+pub fn scale_artifact_name(base: &str, args: &Args, ranks: usize) -> String {
+    if args.quick {
+        base.to_string()
+    } else {
+        format!("{base}_{ranks}r")
     }
 }
 

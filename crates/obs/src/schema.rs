@@ -63,6 +63,12 @@ const TOTAL_KEYS: &[&str] = &[
 const CACHE_KEYS: &[&str] = &["hits", "misses", "stale", "evictions"];
 const CACHES: &[&str] = &["host_gvmi", "host_ib", "dpu_cross"];
 
+/// Optional extension sections: flat all-numeric objects appended by
+/// the scale benches (`"engine"` carries the self-benchmark counters,
+/// `"scale"` the workload spec and fingerprint). Absent in documents
+/// from the protocol benches; validated when present.
+const EXT_SECTIONS: &[&str] = &["engine", "scale"];
+
 fn counter(obj: &Json, key: &str, at: &str) -> Result<u64, String> {
     obj.get(key)
         .ok_or_else(|| format!("{at}: missing \"{key}\""))?
@@ -104,6 +110,20 @@ pub fn validate_metrics(doc: &str) -> Result<Json, String> {
             .ok_or_else(|| format!("caches: missing object \"{c}\""))?;
         for k in CACHE_KEYS {
             counter(cache, k, &format!("caches.{c}"))?;
+        }
+    }
+    for section in EXT_SECTIONS {
+        let Some(sec) = v.get(section) else {
+            continue;
+        };
+        let Json::Obj(members) = sec else {
+            return Err(format!("\"{section}\" is present but not an object"));
+        };
+        for (k, val) in members {
+            match val {
+                Json::Num(n) if *n >= 0.0 => {}
+                _ => return Err(format!("{section}: \"{k}\" is not a non-negative number")),
+            }
         }
     }
     for arr in ["ranks", "windows", "proxies", "recv_meta"] {
@@ -153,6 +173,26 @@ mod tests {
     fn empty_report_is_schema_valid() {
         let doc = MetricsReport::default().to_json("unit");
         validate_metrics(&doc).unwrap();
+    }
+
+    #[test]
+    fn engine_and_scale_sections_validate_when_present() {
+        let base = MetricsReport::default().to_json("unit");
+        let with_sections = base.replace(
+            "\n  ]\n}\n",
+            "\n  ],\n  \"engine\": {\n    \"events\": 4032,\n    \"wall_ms\": 20.821\n  },\n  \
+             \"scale\": {\n    \"ranks\": 64,\n    \"fingerprint\": 153652376950\n  }\n}\n",
+        );
+        validate_metrics(&with_sections).unwrap();
+        // Non-numeric members are rejected.
+        let bad = with_sections.replace("\"events\": 4032", "\"events\": \"many\"");
+        assert!(validate_metrics(&bad).is_err());
+        // A section that is not an object is rejected.
+        let bad = with_sections.replace(
+            "\"scale\": {\n    \"ranks\": 64,\n    \"fingerprint\": 153652376950\n  }",
+            "\"scale\": 7",
+        );
+        assert!(validate_metrics(&bad).is_err());
     }
 
     #[test]

@@ -88,6 +88,7 @@ pub struct ClusterBuilder {
     stack_size: Option<usize>,
     event_sink: Option<EventSink>,
     delivery_jitter: Option<SimDelta>,
+    threads: Option<usize>,
 }
 
 impl ClusterBuilder {
@@ -101,6 +102,7 @@ impl ClusterBuilder {
             stack_size: None,
             event_sink: None,
             delivery_jitter: None,
+            threads: None,
         }
     }
 
@@ -136,6 +138,24 @@ impl ClusterBuilder {
         self
     }
 
+    /// Worker threads for the simulation engine, overriding the
+    /// `SIMNET_THREADS` environment variable (default 1).
+    ///
+    /// `1` runs the classic single-threaded event loop, byte-for-byte as
+    /// before. Anything larger routes the whole cluster through the
+    /// sharded conservative-lookahead runtime — pinned to a single
+    /// shard, because the fabric arbitrates global state (same-QP FIFO
+    /// order, per-endpoint CPU timelines, the payload-fault RNG) under
+    /// one lock and reserves receive-side FIFOs from the sender's
+    /// context, none of which survives a by-node split. Results are
+    /// identical either way; see DESIGN.md §16 for what each engine
+    /// does and does not parallelize.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be at least 1");
+        self.threads = Some(threads);
+        self
+    }
+
     /// Spawn `nodes × ppn` host processes running `host_fn(rank, ctx,
     /// cluster)`, and — if `proxy_fn` is given — `proxies_per_dpu` proxy
     /// processes per node running `proxy_fn(node, idx, ctx, cluster)`.
@@ -145,6 +165,15 @@ impl ClusterBuilder {
         H: Fn(usize, ProcessCtx, ClusterCtx) + Send + Sync + 'static,
         P: Fn(usize, usize, ProcessCtx, ClusterCtx) + Send + Sync + 'static,
     {
+        let threads = self
+            .threads
+            .or_else(|| {
+                std::env::var(simnet::SIMNET_THREADS_ENV)
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+            })
+            .filter(|&n| n >= 1)
+            .unwrap_or(1);
         let mut sim = Simulation::new(self.seed);
         if self.trace {
             sim.enable_trace();
@@ -158,45 +187,69 @@ impl ClusterBuilder {
         if let Some(sink) = self.event_sink {
             sim.set_event_sink(sink);
         }
-        let fabric = Fabric::new(&mut sim, self.spec.clone());
-        if let Some(jitter) = self.delivery_jitter {
-            fabric.set_delivery_jitter(jitter);
+        if threads > 1 {
+            sim.set_threads(threads);
         }
         let roster: Arc<OnceLock<ClusterCtx>> = Arc::new(OnceLock::new());
         let host_fn = Arc::new(host_fn);
 
+        // Spawn every process before creating the fabric: the first spawn
+        // fixes the engine, and with worker threads the whole cluster
+        // lands on shard 0 of the sharded runtime — the fabric's per-node
+        // FIFO resources must be created afterwards so they live on the
+        // shard every process runs on. Pid and endpoint numbering are
+        // independent, so the classic path is unchanged by the reorder.
         let mut host_pids = Vec::new();
-        let mut host_eps = Vec::new();
         for rank in 0..self.spec.world_size() {
             let roster2 = Arc::clone(&roster);
             let host_fn2 = Arc::clone(&host_fn);
-            let pid = sim.spawn(format!("rank{rank}"), move |ctx| {
+            let body = move |ctx| {
                 let cluster = roster2.get().expect("roster set before run").clone();
                 host_fn2(rank, ctx, cluster);
+            };
+            host_pids.push(if threads > 1 {
+                sim.spawn_on(0, format!("rank{rank}"), body)
+            } else {
+                sim.spawn(format!("rank{rank}"), body)
             });
-            host_pids.push(pid);
+        }
+
+        let mut proxy_pids = vec![Vec::new(); self.spec.nodes];
+        if let Some(proxy_fn) = proxy_fn {
+            let proxy_fn = Arc::new(proxy_fn);
+            for (node, node_pids) in proxy_pids.iter_mut().enumerate() {
+                for idx in 0..self.spec.proxies_per_dpu {
+                    let roster2 = Arc::clone(&roster);
+                    let proxy_fn2 = Arc::clone(&proxy_fn);
+                    let body = move |ctx| {
+                        let cluster = roster2.get().expect("roster set before run").clone();
+                        proxy_fn2(node, idx, ctx, cluster);
+                    };
+                    node_pids.push(if threads > 1 {
+                        sim.spawn_on(0, format!("proxy{node}.{idx}"), body)
+                    } else {
+                        sim.spawn(format!("proxy{node}.{idx}"), body)
+                    });
+                }
+            }
+        }
+
+        let fabric = Fabric::new(&mut sim, self.spec.clone());
+        if let Some(jitter) = self.delivery_jitter {
+            fabric.set_delivery_jitter(jitter);
+        }
+        let mut host_eps = Vec::new();
+        for (rank, &pid) in host_pids.iter().enumerate() {
             host_eps.push(fabric.add_endpoint(
                 pid,
                 self.spec.node_of_rank(rank),
                 DeviceClass::Host,
             ));
         }
-
-        let mut proxy_pids = vec![Vec::new(); self.spec.nodes];
         let mut proxy_eps = vec![Vec::new(); self.spec.nodes];
-        if let Some(proxy_fn) = proxy_fn {
-            let proxy_fn = Arc::new(proxy_fn);
-            for node in 0..self.spec.nodes {
-                for idx in 0..self.spec.proxies_per_dpu {
-                    let roster2 = Arc::clone(&roster);
-                    let proxy_fn2 = Arc::clone(&proxy_fn);
-                    let pid = sim.spawn(format!("proxy{node}.{idx}"), move |ctx| {
-                        let cluster = roster2.get().expect("roster set before run").clone();
-                        proxy_fn2(node, idx, ctx, cluster);
-                    });
-                    proxy_pids[node].push(pid);
-                    proxy_eps[node].push(fabric.add_endpoint(pid, node, DeviceClass::Dpu));
-                }
+        for (node, pids) in proxy_pids.iter().enumerate() {
+            for &pid in pids {
+                proxy_eps[node].push(fabric.add_endpoint(pid, node, DeviceClass::Dpu));
             }
         }
 
@@ -267,6 +320,46 @@ mod tests {
                 Some(|_n: usize, _i: usize, _c: ProcessCtx, _cl: ClusterCtx| {}),
             )
             .unwrap();
+    }
+
+    #[test]
+    fn worker_threads_are_not_observable() {
+        // The same cluster at 1 (classic engine) and 4 (sharded runtime)
+        // worker threads: end time, event count, trace and every
+        // non-engine counter must match exactly.
+        let run = |threads| {
+            let spec = ClusterSpec::new(2, 2);
+            ClusterBuilder::new(spec, 21)
+                .with_threads(threads)
+                .with_trace()
+                .run_hosts(|rank, ctx, cluster| {
+                    let fab = cluster.fabric().clone();
+                    let ep = cluster.host_ep(rank);
+                    let p = cluster.world_size();
+                    let peer = (rank + 1) % p;
+                    fab.send_packet(&ctx, ep, cluster.host_ep(peer), 256, Box::new(rank))
+                        .unwrap();
+                    let _ = ctx.recv();
+                    ctx.trace(format!("done.{rank}"));
+                })
+                .unwrap()
+        };
+        let classic = run(1);
+        let sharded = run(4);
+        assert_eq!(classic.end_time, sharded.end_time);
+        assert_eq!(classic.events, sharded.events);
+        assert_eq!(
+            classic.trace.as_ref().unwrap().render(),
+            sharded.trace.as_ref().unwrap().render()
+        );
+        let counters = |r: &Report| {
+            r.stats
+                .counters()
+                .filter(|(k, _)| !k.starts_with("simnet.sharded."))
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(counters(&classic), counters(&sharded));
     }
 
     #[test]

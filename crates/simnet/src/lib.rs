@@ -36,6 +36,7 @@ mod event;
 mod process;
 mod resource;
 mod rng;
+mod shard;
 mod sim;
 mod stats;
 mod time;
@@ -44,7 +45,10 @@ mod trace;
 pub use process::{BlockReason, Payload, Pid, ProcStatus};
 pub use resource::ResourceId;
 pub use rng::SimRng;
-pub use sim::{EventSink, OpenSpan, ProcReport, ProcessCtx, Report, SimError, Simulation};
+pub use sim::{
+    engine_events, EventSink, OpenSpan, ProcReport, ProcessCtx, Report, SimError, Simulation,
+    SIMNET_CHAOS_ENV, SIMNET_THREADS_ENV,
+};
 pub use stats::Stats;
 pub use time::{SimDelta, SimTime};
 pub use trace::{SpanRecord, Trace, TraceRecord};

@@ -1,0 +1,1157 @@
+//! The sharded conservative-lookahead engine.
+//!
+//! Processes spawned with [`Simulation::spawn_on`] are partitioned into
+//! **shards** (one per model node, typically). Each shard owns a private
+//! event queue, clock, RNG stream, stats, trace buffer and resource
+//! table, all behind a single mutex, so shards never contend on shared
+//! state while running.
+//!
+//! # Synchronization protocol (barrier windows)
+//!
+//! The run proceeds in rounds driven by a coordinator (the thread that
+//! called [`Simulation::run`]):
+//!
+//! 1. **Flush** — cross-shard events buffered in per-shard outboxes are
+//!    moved into their destination queues; buffered `emit` events are
+//!    merged in canonical order and handed to the sink.
+//! 2. **Horizon** — for each shard, the *effective head* `h_s` is its
+//!    next event time (or its clock, if processes are ready to run).
+//!    The window end is `W = min over shards of (h_s + la_out(s))`
+//!    where `la_out(s)` is the smallest lookahead of any link leaving
+//!    shard `s`.
+//! 3. **Window** — every shard independently processes events strictly
+//!    before `W`. A cross-shard delivery must carry a delay of at least
+//!    the link lookahead, so every event it generates lands at or after
+//!    `W` — no shard can receive an event in its past, hence no
+//!    speculation and no rollback. The flush step asserts this
+//!    invariant on every crossing event.
+//!
+//! # Determinism
+//!
+//! Every event carries the canonical key `(virtual time, source shard,
+//! source sequence)` (see [`crate::event`]). A shard's execution inside
+//! a window is sequential, so its sequence numbers are a pure function
+//! of the simulation's history, never of OS scheduling. Cross-shard
+//! events are sunk into destination queues between windows, where the
+//! canonical key — not arrival order — decides processing order. The
+//! result is bit-for-bit identical at any worker-thread count,
+//! including 1.
+//!
+//! # Locking
+//!
+//! Workers only ever lock the state of shards they own; the coordinator
+//! locks one shard at a time between windows; process threads lock only
+//! their own shard (plus a read lock on the immutable pid directory).
+//! No code path holds two shard locks at once, so the engine adds no
+//! edges to the analyzer's lock-order graph.
+//!
+//! [`Simulation::spawn_on`]: crate::Simulation::spawn_on
+//! [`Simulation::run`]: crate::Simulation::run
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::event::{EventKind, EventQueue};
+use crate::process::{panic_message, Baton, BlockReason, Payload, Pid, ProcSlot, ProcStatus};
+use crate::resource::{ResourceId, ResourceState};
+use crate::rng::SimRng;
+use crate::sim::{EventSink, ProcReport, ProcessCtx, Report, Route, SimError, LIVELOCK_LIMIT};
+use crate::stats::Stats;
+use crate::time::{SimDelta, SimTime};
+use crate::trace::Trace;
+
+/// Hard cap on shard count: resource ids reserve 8 bits for the shard.
+pub(crate) const MAX_SHARDS: usize = 256;
+
+/// Bit position of the shard id inside a sharded [`ResourceId`].
+const RESOURCE_SHARD_SHIFT: u32 = 24;
+
+/// Per-link lookahead map: the minimum cross-shard delivery latency the
+/// model guarantees, per `(from, to)` pair, with a default for
+/// unconfigured links.
+#[derive(Clone)]
+pub(crate) struct LookaheadCfg {
+    pub(crate) default: SimDelta,
+    pub(crate) links: BTreeMap<(u32, u32), SimDelta>,
+}
+
+impl LookaheadCfg {
+    pub(crate) fn new(default: SimDelta) -> Self {
+        LookaheadCfg {
+            default,
+            links: BTreeMap::new(),
+        }
+    }
+
+    /// Lookahead of the directed link `from -> to`.
+    pub(crate) fn of(&self, from: u32, to: u32) -> SimDelta {
+        self.links.get(&(from, to)).copied().unwrap_or(self.default)
+    }
+}
+
+/// Where a pid lives: which shard, and at which local slot index. The
+/// index is only needed at spawn time; routing uses the shard.
+#[derive(Clone, Copy)]
+struct ProcLoc {
+    shard: u32,
+    #[allow(dead_code)]
+    idx: u32,
+}
+
+/// A cross-shard event parked in its source shard's outbox until the
+/// next flush.
+struct OutEvent {
+    at: SimTime,
+    src: u32,
+    seq: u64,
+    dest: u32,
+    kind: EventKind,
+}
+
+/// A buffered `emit` awaiting canonical-order delivery to the sink.
+struct EmitRec {
+    at: SimTime,
+    pid: Pid,
+    seq: u64,
+    payload: Payload,
+}
+
+/// A process panic captured inside a window, re-raised by the
+/// coordinator with the classic engine's message format.
+struct FatalPanic {
+    msg: String,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Everything one shard owns. Exactly one thread touches this at a time:
+/// a worker (or the coordinator) during a window, the coordinator
+/// between windows, or a running process via its `ProcessCtx`.
+struct ShardState {
+    now: SimTime,
+    queue: EventQueue,
+    slots: Vec<ProcSlot>,
+    /// Local slot index -> global pid.
+    pids: Vec<Pid>,
+    /// Global pid (raw) -> local slot index.
+    local: BTreeMap<u32, u32>,
+    /// Local slot indexes ready to run at `now`.
+    ready: VecDeque<u32>,
+    resources: Vec<ResourceState>,
+    stats: Stats,
+    trace: Option<Trace>,
+    rng: SimRng,
+    /// Shard-private monotone counter stamping every queue push, outbox
+    /// entry and emit — the `seq` half of the canonical event key.
+    next_seq: u64,
+    outbox: Vec<OutEvent>,
+    emits: Vec<EmitRec>,
+    events: u64,
+    error: Option<SimError>,
+    fatal: Option<FatalPanic>,
+}
+
+/// One shard: an id plus its mutex-guarded state.
+pub(crate) struct ShardCell {
+    pub(crate) id: u32,
+    state: Mutex<ShardState>,
+}
+
+impl ShardCell {
+    fn new(id: u32) -> ShardCell {
+        ShardCell {
+            id,
+            state: Mutex::new(ShardState {
+                now: SimTime::ZERO,
+                queue: EventQueue::new(),
+                slots: Vec::new(),
+                pids: Vec::new(),
+                local: BTreeMap::new(),
+                ready: VecDeque::new(),
+                resources: Vec::new(),
+                stats: Stats::new(),
+                trace: None,
+                rng: SimRng::new(0),
+                next_seq: 0,
+                outbox: Vec::new(),
+                emits: Vec::new(),
+                events: 0,
+                error: None,
+                fatal: None,
+            }),
+        }
+    }
+}
+
+/// Run-time configuration frozen at the start of `run_sharded`.
+struct Sealed {
+    la: LookaheadCfg,
+    sink: Option<EventSink>,
+}
+
+/// The shared runtime of a sharded simulation.
+pub(crate) struct ShardedRt {
+    shards: RwLock<Vec<Arc<ShardCell>>>,
+    dir: RwLock<Vec<ProcLoc>>,
+    sealed: OnceLock<Sealed>,
+}
+
+impl ShardedRt {
+    pub(crate) fn new() -> ShardedRt {
+        ShardedRt {
+            shards: RwLock::new(Vec::new()),
+            dir: RwLock::new(Vec::new()),
+            sealed: OnceLock::new(),
+        }
+    }
+
+    pub(crate) fn num_shards(&self) -> usize {
+        self.shards.read().expect("shard list poisoned").len()
+    }
+}
+
+/// Options for one sharded run, assembled by [`crate::Simulation::run`].
+pub(crate) struct RunOpts {
+    pub(crate) seed: u64,
+    pub(crate) threads: usize,
+    pub(crate) time_limit: Option<SimTime>,
+    pub(crate) trace: bool,
+    pub(crate) sink: Option<EventSink>,
+    pub(crate) lookahead: LookaheadCfg,
+    /// Seed for the OS-level yield-injection shim (tests only): workers
+    /// randomly call `thread::yield_now` between events to stress
+    /// thread-interleaving independence.
+    pub(crate) chaos: Option<u64>,
+}
+
+/// Deterministic per-shard RNG stream. Shard 0 gets the raw seed (so a
+/// one-shard sharded sim draws the same stream as the classic engine);
+/// other shards get a SplitMix-scrambled derivative.
+fn shard_seed(seed: u64, shard: u32) -> u64 {
+    if shard == 0 {
+        return seed;
+    }
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn encode_resource(shard: u32, idx: u32) -> ResourceId {
+    assert!(
+        idx < (1 << RESOURCE_SHARD_SHIFT),
+        "too many resources on shard {shard}"
+    );
+    ResourceId((shard << RESOURCE_SHARD_SHIFT) | idx)
+}
+
+fn decode_resource(res: ResourceId) -> (u32, u32) {
+    (
+        res.0 >> RESOURCE_SHARD_SHIFT,
+        res.0 & ((1 << RESOURCE_SHARD_SHIFT) - 1),
+    )
+}
+
+/// The shard cell for `shard`, growing the shard list as needed.
+/// Build-phase only (single-threaded).
+fn cell_of(rt: &ShardedRt, shard: usize) -> Arc<ShardCell> {
+    assert!(
+        shard < MAX_SHARDS,
+        "shard id {shard} out of range (max {})",
+        MAX_SHARDS - 1
+    );
+    let mut g = rt.shards.write().expect("shard list poisoned");
+    while g.len() <= shard {
+        let id = g.len() as u32;
+        g.push(Arc::new(ShardCell::new(id)));
+    }
+    Arc::clone(&g[shard])
+}
+
+/// Location of `pid`, panicking on an unknown pid.
+fn loc_of(rt: &ShardedRt, pid: Pid) -> ProcLoc {
+    let dir = rt.dir.read().expect("pid directory poisoned");
+    *dir.get(pid.index())
+        .unwrap_or_else(|| panic!("delivery to unknown {pid:?}"))
+}
+
+/// Spawn a process onto `shard`. Build-phase only: the sharded engine
+/// fixes the process population before `run()` so pid assignment can
+/// never depend on thread timing.
+pub(crate) fn spawn_on_shard<F>(
+    rt: &Arc<ShardedRt>,
+    stack_size: usize,
+    shard: usize,
+    name: String,
+    f: F,
+) -> Pid
+where
+    F: FnOnce(ProcessCtx) + Send + 'static,
+{
+    assert!(
+        rt.sealed.get().is_none(),
+        "dynamic spawn is not supported by the sharded engine; \
+         spawn every process before run()"
+    );
+    let cell = cell_of(rt, shard);
+    let baton = Baton::new();
+    let pid = Pid(rt.dir.read().expect("pid directory poisoned").len() as u32);
+    let idx;
+    {
+        let mut st = cell.state.lock();
+        idx = st.slots.len() as u32;
+        st.slots
+            .push(ProcSlot::new(name.clone(), Arc::clone(&baton)));
+        st.pids.push(pid);
+        st.local.insert(pid.0, idx);
+        st.ready.push_back(idx);
+    }
+    rt.dir
+        .write()
+        .expect("pid directory poisoned")
+        .push(ProcLoc {
+            shard: shard as u32,
+            idx,
+        });
+    let ctx = ProcessCtx {
+        route: Route::Sharded {
+            rt: Arc::clone(rt),
+            cell: Arc::clone(&cell),
+            idx,
+        },
+        pid,
+        baton: Arc::clone(&baton),
+        stack_size,
+    };
+    let tcell = Arc::clone(&cell);
+    let handle = std::thread::Builder::new()
+        .name(name)
+        .stack_size(stack_size)
+        .spawn(move || {
+            ctx.baton.wait_for_start();
+            let ctx2 = ctx.clone();
+            let result = catch_unwind(AssertUnwindSafe(move || f(ctx2)));
+            let mut st = tcell.state.lock();
+            let now = st.now;
+            let slot = &mut st.slots[idx as usize];
+            slot.status = ProcStatus::Finished;
+            slot.finished_at = Some(now);
+            if let Err(payload) = result {
+                slot.panic = Some(panic_message(&*payload));
+            }
+            drop(st);
+            ctx.baton.finish();
+        })
+        .expect("failed to spawn process thread");
+    {
+        let mut st = cell.state.lock();
+        st.slots[idx as usize].join = Some(handle);
+    }
+    pid
+}
+
+/// Create a resource on `shard` from outside the simulation
+/// (build-phase `Simulation::create_resource`).
+pub(crate) fn create_resource_on(rt: &ShardedRt, shard: usize, name: String) -> ResourceId {
+    let cell = cell_of(rt, shard);
+    let mut st = cell.state.lock();
+    let idx = st.resources.len() as u32;
+    st.resources.push(ResourceState::new(name));
+    encode_resource(cell.id, idx)
+}
+
+// ---------------------------------------------------------------------
+// The coordinator: window loop, flush, horizon computation, reporting.
+// ---------------------------------------------------------------------
+
+/// Run a sharded simulation to completion. Mirrors the classic engine's
+/// contract: same error variants, same panic message format, and — for
+/// a fixed seed and topology — the same result at every thread count.
+pub(crate) fn run_sharded(rt: &Arc<ShardedRt>, opts: RunOpts) -> Result<Report, SimError> {
+    let shards: Vec<Arc<ShardCell>> = {
+        let g = rt.shards.read().expect("shard list poisoned");
+        g.clone()
+    };
+    let n = shards.len();
+    if n == 0 {
+        return Ok(Report {
+            end_time: SimTime::ZERO,
+            stats: Stats::new(),
+            trace: opts.trace.then(Trace::default),
+            procs: Vec::new(),
+            events: 0,
+            resources: Vec::new(),
+        });
+    }
+    // Freeze the lookahead map and precompute each shard's smallest
+    // outgoing-link lookahead.
+    let mut out_min: Vec<Option<SimDelta>> = Vec::with_capacity(n);
+    for s in 0..n as u32 {
+        let mut min: Option<SimDelta> = None;
+        for t in 0..n as u32 {
+            if t == s {
+                continue;
+            }
+            let la = opts.lookahead.of(s, t);
+            assert!(
+                la > SimDelta::ZERO,
+                "lookahead for link {s}->{t} must be positive"
+            );
+            min = Some(match min {
+                Some(m) => m.min(la),
+                None => la,
+            });
+        }
+        out_min.push(min);
+    }
+    if rt
+        .sealed
+        .set(Sealed {
+            la: opts.lookahead.clone(),
+            sink: opts.sink.clone(),
+        })
+        .is_err()
+    {
+        panic!("a sharded simulation can only run once");
+    }
+    // Seed per-shard RNG streams and trace buffers.
+    for cell in &shards {
+        let mut st = cell.state.lock();
+        st.rng = SimRng::new(shard_seed(opts.seed, cell.id));
+        if opts.trace {
+            st.trace = Some(Trace::default());
+        }
+    }
+    let workers = opts.threads.max(1).min(n);
+    let mut pool =
+        (workers > 1).then(|| Pool::start(&shards, workers, opts.time_limit, opts.chaos));
+
+    let mut window_end = SimTime::ZERO;
+    let mut windows: u64 = 0;
+    let mut xshard: u64 = 0;
+    let outcome: Result<(), SimError> = loop {
+        // 1. Flush the previous window's cross-shard traffic and emits.
+        flush_cross_shard(&shards, rt, window_end, &mut xshard);
+        // 2. Resolve panics/errors from the previous window, in shard
+        //    order (deterministic regardless of which worker hit them).
+        if let Some(f) = take_fatal(&shards) {
+            stop_pool(&mut pool);
+            if let Some(h) = f.join {
+                let _ = h.join();
+            }
+            panic!("{}", f.msg);
+        }
+        if let Some(err) = take_error(&shards) {
+            break Err(err);
+        }
+        // 3. Compute the conservative window end.
+        let mut w = SimTime::MAX;
+        let mut any_active = false;
+        for cell in &shards {
+            let head = {
+                let st = cell.state.lock();
+                if st.ready.is_empty() {
+                    st.queue.peek_at()
+                } else {
+                    Some(st.now)
+                }
+            };
+            if let Some(h) = head {
+                any_active = true;
+                if let Some(la) = out_min[cell.id as usize] {
+                    let end = SimTime::from_ps(h.as_ps().saturating_add(la.as_ps()));
+                    w = w.min(end);
+                }
+            }
+        }
+        if !any_active {
+            break Ok(());
+        }
+        windows += 1;
+        window_end = w;
+        // 4. Run the window on every shard.
+        match &pool {
+            Some(p) => p.run_round(w),
+            None => {
+                for cell in &shards {
+                    run_window(cell, w, opts.time_limit, None);
+                }
+            }
+        }
+    };
+    stop_pool(&mut pool);
+    outcome?;
+
+    // Termination: everything must have finished.
+    let mut end_time = SimTime::ZERO;
+    let mut blocked: Vec<(u32, String, BlockReason)> = Vec::new();
+    for cell in &shards {
+        let st = cell.state.lock();
+        end_time = end_time.max(st.now);
+        for (i, slot) in st.slots.iter().enumerate() {
+            if let ProcStatus::Blocked(r) = slot.status {
+                blocked.push((st.pids[i].0, slot.name.clone(), r));
+            }
+        }
+    }
+    if !blocked.is_empty() {
+        blocked.sort_by_key(|(pid, _, _)| *pid);
+        return Err(SimError::Deadlock {
+            now: end_time,
+            blocked: blocked.into_iter().map(|(_, n, r)| (n, r)).collect(),
+        });
+    }
+    // Merge per-shard state into one report, always in shard-id order.
+    let mut procs: Vec<(u32, ProcReport)> = Vec::new();
+    let mut stats = Stats::new();
+    let mut events: u64 = 0;
+    let mut resources: Vec<(String, SimDelta, u64)> = Vec::new();
+    let mut traces: Vec<Trace> = Vec::new();
+    let mut handles = Vec::new();
+    for cell in &shards {
+        let mut st = cell.state.lock();
+        for (i, slot) in st.slots.iter().enumerate() {
+            procs.push((
+                st.pids[i].0,
+                ProcReport {
+                    name: slot.name.clone(),
+                    compute_time: slot.compute_time,
+                    finished_at: slot.finished_at.unwrap_or(end_time),
+                },
+            ));
+        }
+        for slot in st.slots.iter_mut() {
+            if let Some(h) = slot.join.take() {
+                handles.push(h);
+            }
+        }
+        stats.merge(&st.stats);
+        events += st.events;
+        for r in &st.resources {
+            resources.push((r.name.clone(), r.busy_total, r.reservations));
+        }
+        if let Some(t) = st.trace.take() {
+            traces.push(t);
+        }
+    }
+    procs.sort_by_key(|(pid, _)| *pid);
+    stats.incr("simnet.sharded.shards", n as u64);
+    stats.incr("simnet.sharded.windows", windows);
+    stats.incr("simnet.sharded.xshard_events", xshard);
+    let report = Report {
+        end_time,
+        stats,
+        trace: opts.trace.then(|| Trace::merge_parts(traces)),
+        procs: procs.into_iter().map(|(_, p)| p).collect(),
+        events,
+        resources,
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(report)
+}
+
+/// Move every outbox event into its destination queue and hand buffered
+/// emits to the sink in canonical order. Asserts the conservative
+/// invariant: nothing generated inside the last window may land before
+/// that window's end.
+fn flush_cross_shard(
+    shards: &[Arc<ShardCell>],
+    rt: &ShardedRt,
+    horizon: SimTime,
+    xshard: &mut u64,
+) {
+    let sealed = rt.sealed.get().expect("sharded runtime not sealed");
+    let mut moved: Vec<OutEvent> = Vec::new();
+    let mut emits: Vec<(u32, EmitRec)> = Vec::new();
+    for cell in shards {
+        let mut st = cell.state.lock();
+        moved.append(&mut st.outbox);
+        let id = cell.id;
+        emits.extend(st.emits.drain(..).map(|e| (id, e)));
+    }
+    for ev in &moved {
+        assert!(
+            ev.at >= horizon,
+            "conservative lookahead violated: a cross-shard event for {} \
+             was generated inside a window that ended at {} \
+             (shard {} -> shard {})",
+            ev.at,
+            horizon,
+            ev.src,
+            ev.dest
+        );
+    }
+    *xshard += moved.len() as u64;
+    moved.sort_by_key(|e| e.dest);
+    let mut iter = moved.into_iter().peekable();
+    while let Some(first) = iter.next() {
+        let dest = first.dest;
+        let mut st = shards[dest as usize].state.lock();
+        st.queue
+            .push_keyed(first.at, first.src, first.seq, first.kind);
+        while iter.peek().is_some_and(|e| e.dest == dest) {
+            let e = iter.next().expect("peeked event");
+            st.queue.push_keyed(e.at, e.src, e.seq, e.kind);
+        }
+        drop(st);
+    }
+    // Canonical emit order: (virtual time, shard, shard-local seq).
+    emits.sort_by_key(|a| (a.1.at, a.0, a.1.seq));
+    if let Some(sink) = &sealed.sink {
+        for (_, e) in emits {
+            sink(e.at, e.pid, &*e.payload);
+        }
+    }
+}
+
+/// First captured process panic in shard order, if any.
+fn take_fatal(shards: &[Arc<ShardCell>]) -> Option<FatalPanic> {
+    for cell in shards {
+        let mut st = cell.state.lock();
+        if let Some(f) = st.fatal.take() {
+            return Some(f);
+        }
+    }
+    None
+}
+
+/// First recorded engine error in shard order, if any.
+fn take_error(shards: &[Arc<ShardCell>]) -> Option<SimError> {
+    for cell in shards {
+        let mut st = cell.state.lock();
+        if let Some(e) = st.error.take() {
+            return Some(e);
+        }
+    }
+    None
+}
+
+fn stop_pool(pool: &mut Option<Pool>) {
+    if let Some(p) = pool.take() {
+        p.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The worker pool: a round-based fork/join gate.
+// ---------------------------------------------------------------------
+
+struct GateState {
+    round: u64,
+    window: SimTime,
+    done: usize,
+    shutdown: bool,
+}
+
+struct Gate {
+    m: Mutex<GateState>,
+    cv: Condvar,
+}
+
+struct Pool {
+    gate: Arc<Gate>,
+    workers: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    fn start(
+        shards: &[Arc<ShardCell>],
+        workers: usize,
+        limit: Option<SimTime>,
+        chaos: Option<u64>,
+    ) -> Pool {
+        let gate = Arc::new(Gate {
+            m: Mutex::new(GateState {
+                round: 0,
+                window: SimTime::ZERO,
+                done: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            // Static shard->worker assignment; each worker walks its
+            // shards in id order. The assignment is invisible to
+            // results — windows are independent per shard.
+            let mine: Vec<Arc<ShardCell>> = shards
+                .iter()
+                .filter(|c| c.id as usize % workers == w)
+                .cloned()
+                .collect();
+            let gate2 = Arc::clone(&gate);
+            let handle = std::thread::Builder::new()
+                .name(format!("simnet-worker{w}"))
+                .spawn(move || worker_loop(gate2, mine, limit, chaos, w as u64))
+                .expect("failed to spawn shard worker");
+            handles.push(handle);
+        }
+        Pool {
+            gate,
+            workers,
+            handles,
+        }
+    }
+
+    /// Dispatch one window to every worker and wait for all of them.
+    fn run_round(&self, window: SimTime) {
+        {
+            let mut g = self.gate.m.lock();
+            g.round += 1;
+            g.window = window;
+            g.done = 0;
+            self.gate.cv.notify_all();
+        }
+        {
+            let mut g = self.gate.m.lock();
+            while g.done < self.workers {
+                self.gate.cv.wait(&mut g);
+            }
+        }
+    }
+
+    fn shutdown(mut self) {
+        {
+            let mut g = self.gate.m.lock();
+            g.shutdown = true;
+            self.gate.cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    gate: Arc<Gate>,
+    shards: Vec<Arc<ShardCell>>,
+    limit: Option<SimTime>,
+    chaos: Option<u64>,
+    worker: u64,
+) {
+    let mut chaos_rng = chaos.map(|c| {
+        let mut z = c ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker + 1);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        SimRng::new(z)
+    });
+    let mut seen = 0u64;
+    loop {
+        let window;
+        {
+            let mut g = gate.m.lock();
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if g.round > seen {
+                    break;
+                }
+                gate.cv.wait(&mut g);
+            }
+            seen = g.round;
+            window = g.window;
+        }
+        for cell in &shards {
+            run_window(cell, window, limit, chaos_rng.as_mut());
+        }
+        {
+            let mut g = gate.m.lock();
+            g.done += 1;
+            gate.cv.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inside one window: the per-shard scheduler loop (mirrors the classic
+// engine's two phases, bounded by the window end).
+// ---------------------------------------------------------------------
+
+/// Process one shard's events strictly before `w_end`. Errors and
+/// process panics are parked in the shard state for the coordinator to
+/// resolve deterministically after the round.
+fn run_window(
+    cell: &Arc<ShardCell>,
+    w_end: SimTime,
+    limit: Option<SimTime>,
+    mut chaos: Option<&mut SimRng>,
+) {
+    let mut execs: u64 = 0;
+    loop {
+        // Phase 1: drain ready processes.
+        loop {
+            let next = {
+                let mut st = cell.state.lock();
+                st.ready.pop_front()
+            };
+            let Some(idx) = next else { break };
+            if let Some(rng) = chaos.as_deref_mut() {
+                // Yield-injection shim: perturb OS scheduling, which
+                // must never perturb results.
+                if rng.gen_range(4) == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            if !run_one_local(cell, idx) {
+                return;
+            }
+            execs += 1;
+            if execs > LIVELOCK_LIMIT {
+                let mut st = cell.state.lock();
+                let now = st.now;
+                st.error = Some(SimError::Livelock { now });
+                return;
+            }
+        }
+        // Phase 2: advance to the next event inside the window.
+        let mut st = cell.state.lock();
+        let Some(head) = st.queue.peek_at() else {
+            return;
+        };
+        if head >= w_end {
+            return;
+        }
+        if let Some(l) = limit {
+            if head > l {
+                st.error = Some(SimError::TimeLimitExceeded { limit: l });
+                return;
+            }
+        }
+        let ev = st.queue.pop().expect("event vanished under the shard lock");
+        debug_assert!(ev.at >= st.now, "event in the past");
+        if ev.at > st.now {
+            st.now = ev.at;
+            execs = 0;
+        }
+        st.events += 1;
+        match ev.kind {
+            EventKind::Wake(pid) => {
+                let idx = *st
+                    .local
+                    .get(&pid.0)
+                    .expect("wake routed to the wrong shard");
+                let slot = &mut st.slots[idx as usize];
+                debug_assert_eq!(slot.status, ProcStatus::Blocked(BlockReason::Sleep));
+                slot.status = ProcStatus::Ready;
+                st.ready.push_back(idx);
+            }
+            EventKind::Deliver(pid, payload) => {
+                let idx = *st
+                    .local
+                    .get(&pid.0)
+                    .expect("delivery routed to the wrong shard");
+                let slot = &mut st.slots[idx as usize];
+                if slot.status == ProcStatus::Finished {
+                    st.stats.incr("simnet.deliver_to_finished", 1);
+                } else {
+                    slot.mailbox.push_back(payload);
+                    if slot.status == ProcStatus::Blocked(BlockReason::WaitMessage) {
+                        slot.status = ProcStatus::Ready;
+                        st.ready.push_back(idx);
+                    }
+                }
+            }
+        }
+        drop(st);
+    }
+}
+
+/// Run the process at local slot `idx` until it blocks or finishes.
+/// Returns `false` when the process panicked (parked as a fatal).
+fn run_one_local(cell: &Arc<ShardCell>, idx: u32) -> bool {
+    let baton = {
+        let mut st = cell.state.lock();
+        let slot = &mut st.slots[idx as usize];
+        debug_assert_eq!(slot.status, ProcStatus::Ready);
+        slot.status = ProcStatus::Running;
+        Arc::clone(&slot.baton)
+    };
+    baton.resume_process();
+    let mut st = cell.state.lock();
+    let slot = &mut st.slots[idx as usize];
+    debug_assert_ne!(
+        slot.status,
+        ProcStatus::Running,
+        "process yielded without blocking"
+    );
+    if let Some(msg) = slot.panic.take() {
+        let name = slot.name.clone();
+        let join = slot.join.take();
+        st.fatal = Some(FatalPanic {
+            msg: format!("simulated process '{name}' panicked: {msg}"),
+            join,
+        });
+        return false;
+    }
+    true
+}
+
+// ---------------------------------------------------------------------
+// ProcessCtx operations, sharded side. Each locks only the caller's own
+// shard; the pid directory is read (never locked for writing) first.
+// ---------------------------------------------------------------------
+
+pub(crate) fn ctx_now(cell: &ShardCell) -> SimTime {
+    cell.state.lock().now
+}
+
+pub(crate) fn ctx_name(cell: &ShardCell, idx: u32) -> String {
+    cell.state.lock().slots[idx as usize].name.clone()
+}
+
+pub(crate) fn ctx_block_for(
+    cell: &ShardCell,
+    baton: &Baton,
+    idx: u32,
+    pid: Pid,
+    d: SimDelta,
+    is_compute: bool,
+) {
+    let span_start = {
+        let mut st = cell.state.lock();
+        let at = st.now + d;
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.queue.push_keyed(at, cell.id, seq, EventKind::Wake(pid));
+        let slot = &mut st.slots[idx as usize];
+        slot.status = ProcStatus::Blocked(BlockReason::Sleep);
+        if is_compute {
+            slot.compute_time += d;
+        }
+        (is_compute && st.trace.is_some()).then_some(st.now)
+    };
+    baton.yield_to_scheduler();
+    if let Some(start) = span_start {
+        let mut st = cell.state.lock();
+        let end = st.now;
+        if let Some(trace) = st.trace.as_mut() {
+            trace.push_span(start, end, pid, "compute".into(), "compute".into());
+        }
+    }
+}
+
+pub(crate) fn ctx_yield(cell: &ShardCell, baton: &Baton, idx: u32) {
+    {
+        let mut st = cell.state.lock();
+        st.slots[idx as usize].status = ProcStatus::Ready;
+        st.ready.push_back(idx);
+    }
+    baton.yield_to_scheduler();
+}
+
+pub(crate) fn ctx_recv(cell: &ShardCell, baton: &Baton, idx: u32) -> Payload {
+    loop {
+        {
+            let mut st = cell.state.lock();
+            if let Some(msg) = st.slots[idx as usize].mailbox.pop_front() {
+                return msg;
+            }
+            st.slots[idx as usize].status = ProcStatus::Blocked(BlockReason::WaitMessage);
+        }
+        baton.yield_to_scheduler();
+    }
+}
+
+pub(crate) fn ctx_try_recv(cell: &ShardCell, idx: u32) -> Option<Payload> {
+    cell.state.lock().slots[idx as usize].mailbox.pop_front()
+}
+
+pub(crate) fn ctx_mailbox_len(cell: &ShardCell, idx: u32) -> usize {
+    cell.state.lock().slots[idx as usize].mailbox.len()
+}
+
+pub(crate) fn ctx_deliver(
+    rt: &ShardedRt,
+    cell: &ShardCell,
+    to: Pid,
+    delay: SimDelta,
+    payload: Payload,
+) {
+    let dest = loc_of(rt, to).shard;
+    let sealed = rt.sealed.get().expect("sharded runtime not sealed");
+    let src = cell.id;
+    let mut st = cell.state.lock();
+    let at = st.now + delay;
+    let seq = st.next_seq;
+    st.next_seq += 1;
+    if dest == src {
+        st.queue
+            .push_keyed(at, src, seq, EventKind::Deliver(to, payload));
+    } else {
+        let la = sealed.la.of(src, dest);
+        assert!(
+            delay >= la,
+            "cross-shard delivery from shard {src} to shard {dest} with delay \
+             {}ps below the link lookahead {}ps; raise the delay or lower the \
+             lookahead (Simulation::set_lookahead / set_link_lookahead)",
+            delay.as_ps(),
+            la.as_ps()
+        );
+        st.outbox.push(OutEvent {
+            at,
+            src,
+            seq,
+            dest,
+            kind: EventKind::Deliver(to, payload),
+        });
+    }
+}
+
+pub(crate) fn ctx_deliver_at(
+    rt: &ShardedRt,
+    cell: &ShardCell,
+    to: Pid,
+    at: SimTime,
+    payload: Payload,
+) {
+    let dest = loc_of(rt, to).shard;
+    let sealed = rt.sealed.get().expect("sharded runtime not sealed");
+    let src = cell.id;
+    let mut st = cell.state.lock();
+    let at = at.max(st.now);
+    let seq = st.next_seq;
+    st.next_seq += 1;
+    if dest == src {
+        st.queue
+            .push_keyed(at, src, seq, EventKind::Deliver(to, payload));
+    } else {
+        let la = sealed.la.of(src, dest);
+        assert!(
+            at >= st.now + la,
+            "cross-shard delivery from shard {src} to shard {dest} at {} is \
+             inside the lookahead window ending {} (lookahead {}ps)",
+            at,
+            st.now + la,
+            la.as_ps()
+        );
+        st.outbox.push(OutEvent {
+            at,
+            src,
+            seq,
+            dest,
+            kind: EventKind::Deliver(to, payload),
+        });
+    }
+}
+
+pub(crate) fn ctx_create_resource(cell: &ShardCell, name: String) -> ResourceId {
+    let mut st = cell.state.lock();
+    let idx = st.resources.len() as u32;
+    st.resources.push(ResourceState::new(name));
+    encode_resource(cell.id, idx)
+}
+
+pub(crate) fn ctx_reserve(
+    cell: &ShardCell,
+    res: ResourceId,
+    earliest: Option<SimTime>,
+    dur: SimDelta,
+) -> (SimTime, SimTime) {
+    let (shard, idx) = decode_resource(res);
+    assert_eq!(
+        shard, cell.id,
+        "cross-shard resource reservation is not supported by the sharded engine"
+    );
+    let mut st = cell.state.lock();
+    let from = match earliest {
+        Some(e) => e.max(st.now),
+        None => st.now,
+    };
+    st.resources[idx as usize].reserve(from, dur)
+}
+
+pub(crate) fn ctx_trace(cell: &ShardCell, pid: Pid, label: String) {
+    let mut st = cell.state.lock();
+    let now = st.now;
+    if let Some(trace) = st.trace.as_mut() {
+        trace.push(now, pid, label);
+    }
+}
+
+/// Span-open half: the current instant if tracing is on.
+pub(crate) fn ctx_span_start(cell: &ShardCell) -> Option<SimTime> {
+    let st = cell.state.lock();
+    st.trace.is_some().then_some(st.now)
+}
+
+pub(crate) fn ctx_span_end(cell: &ShardCell, pid: Pid, start: SimTime, cat: String, name: String) {
+    let mut st = cell.state.lock();
+    let end = st.now;
+    if let Some(trace) = st.trace.as_mut() {
+        trace.push_span(start, end, pid, cat, name);
+    }
+}
+
+/// `true` when an event sink is installed (so `emit` can skip boxing).
+pub(crate) fn sink_installed(rt: &ShardedRt) -> bool {
+    rt.sealed.get().is_some_and(|s| s.sink.is_some())
+}
+
+/// Buffer an emitted event; the coordinator delivers it to the sink in
+/// canonical `(time, shard, seq)` order at the next flush.
+pub(crate) fn ctx_emit(cell: &ShardCell, pid: Pid, payload: Payload) {
+    let mut st = cell.state.lock();
+    let at = st.now;
+    let seq = st.next_seq;
+    st.next_seq += 1;
+    st.emits.push(EmitRec {
+        at,
+        pid,
+        seq,
+        payload,
+    });
+}
+
+pub(crate) fn ctx_stat_incr(cell: &ShardCell, name: &str, n: u64) {
+    cell.state.lock().stats.incr(name, n);
+}
+
+pub(crate) fn ctx_stat_time(cell: &ShardCell, name: &str, d: SimDelta) {
+    cell.state.lock().stats.add_time(name, d);
+}
+
+pub(crate) fn ctx_stat_counter(cell: &ShardCell, name: &str) -> u64 {
+    cell.state.lock().stats.counter(name)
+}
+
+pub(crate) fn ctx_gen_range(cell: &ShardCell, bound: u64) -> u64 {
+    cell.state.lock().rng.gen_range(bound)
+}
+
+pub(crate) fn ctx_gen_f64(cell: &ShardCell) -> f64 {
+    cell.state.lock().rng.gen_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookahead_map_overrides_default() {
+        let mut la = LookaheadCfg::new(SimDelta::from_us(1));
+        la.links.insert((0, 1), SimDelta::from_ns(200));
+        assert_eq!(la.of(0, 1), SimDelta::from_ns(200));
+        assert_eq!(la.of(1, 0), SimDelta::from_us(1));
+        assert_eq!(la.of(2, 3), SimDelta::from_us(1));
+    }
+
+    #[test]
+    fn resource_ids_round_trip_shard_and_index() {
+        let id = encode_resource(7, 42);
+        assert_eq!(decode_resource(id), (7, 42));
+        let id0 = encode_resource(0, 3);
+        assert_eq!(id0.0, 3, "shard 0 encodes like the classic engine");
+    }
+
+    #[test]
+    fn shard_zero_keeps_the_raw_seed() {
+        assert_eq!(shard_seed(42, 0), 42);
+        assert_ne!(shard_seed(42, 1), shard_seed(42, 2));
+        assert_ne!(shard_seed(42, 1), shard_seed(43, 1));
+    }
+}

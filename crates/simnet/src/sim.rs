@@ -27,6 +27,7 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -35,6 +36,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::process::{panic_message, Baton, BlockReason, Payload, Pid, ProcSlot, ProcStatus};
 use crate::resource::{ResourceId, ResourceState};
 use crate::rng::SimRng;
+use crate::shard;
 use crate::stats::Stats;
 use crate::time::{SimDelta, SimTime};
 use crate::trace::Trace;
@@ -42,7 +44,37 @@ use crate::trace::Trace;
 /// Maximum process executions without the clock advancing before the engine
 /// declares a livelock. Generous: legitimate same-instant cascades (e.g. a
 /// 512-rank barrier release) touch each process a handful of times.
-const LIVELOCK_LIMIT: u64 = 50_000_000;
+pub(crate) const LIVELOCK_LIMIT: u64 = 50_000_000;
+
+/// Process-global count of simulated events handled by completed runs,
+/// on either engine. The engine self-benchmarks read this to report
+/// simulated-events-per-second without threading a handle through every
+/// layer.
+static ENGINE_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Total simulated events handled by every completed [`Simulation::run`]
+/// in this process so far (monotone; both engines contribute).
+pub fn engine_events() -> u64 {
+    ENGINE_EVENTS.load(Ordering::Relaxed)
+}
+
+fn record_engine_events(n: u64) {
+    ENGINE_EVENTS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Environment knob naming the sharded engine's worker-thread count
+/// (default 1). Results are bit-identical at any value; only wall-clock
+/// speed changes. [`Simulation::set_threads`] overrides it.
+pub const SIMNET_THREADS_ENV: &str = "SIMNET_THREADS";
+
+/// Environment knob seeding the sharded engine's yield-injection shim
+/// (tests only): workers randomly yield the OS thread between events to
+/// stress thread-interleaving independence.
+pub const SIMNET_CHAOS_ENV: &str = "SIMNET_CHAOS";
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
 
 /// Observer for structured events published with [`ProcessCtx::emit`].
 ///
@@ -171,6 +203,17 @@ pub(crate) struct SimInner {
 pub struct Simulation {
     inner: Arc<SimInner>,
     stack_size: usize,
+    seed: u64,
+    /// Worker-thread override for the sharded engine (else
+    /// `SIMNET_THREADS`, else 1).
+    threads: Option<usize>,
+    /// Yield-injection seed override (else `SIMNET_CHAOS`, else off).
+    chaos: Option<u64>,
+    /// Lookahead map used when the simulation is sharded.
+    lookahead: shard::LookaheadCfg,
+    /// Present once `spawn_on` has been called: the simulation runs on
+    /// the sharded conservative-lookahead engine.
+    sharded: Option<Arc<shard::ShardedRt>>,
 }
 
 /// A typed span opened by [`ProcessCtx::span_begin`] and not yet closed.
@@ -186,13 +229,27 @@ pub struct OpenSpan {
     name: String,
 }
 
+/// Which engine a [`ProcessCtx`] talks to.
+#[derive(Clone)]
+pub(crate) enum Route {
+    /// The classic single-queue engine.
+    Classic(Arc<SimInner>),
+    /// The sharded engine: the shared runtime plus this process's own
+    /// shard cell and local slot index.
+    Sharded {
+        rt: Arc<shard::ShardedRt>,
+        cell: Arc<shard::ShardCell>,
+        idx: u32,
+    },
+}
+
 /// Handle given to each simulated process. Cheap to clone.
 #[derive(Clone)]
 pub struct ProcessCtx {
-    inner: Arc<SimInner>,
-    pid: Pid,
-    baton: Arc<Baton>,
-    stack_size: usize,
+    pub(crate) route: Route,
+    pub(crate) pid: Pid,
+    pub(crate) baton: Arc<Baton>,
+    pub(crate) stack_size: usize,
 }
 
 impl Simulation {
@@ -215,6 +272,11 @@ impl Simulation {
                 }),
             }),
             stack_size: 1 << 20,
+            seed,
+            threads: None,
+            chaos: None,
+            lookahead: shard::LookaheadCfg::new(SimDelta::from_us(1)),
+            sharded: None,
         }
     }
 
@@ -241,16 +303,97 @@ impl Simulation {
     }
 
     /// Spawn a simulated process. It becomes runnable at time zero (or, when
-    /// spawned from a running process, at the current instant).
+    /// spawned from a running process, at the current instant). In a sharded
+    /// simulation (one where [`spawn_on`](Self::spawn_on) has been used),
+    /// the process lands on shard 0.
     pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> Pid
     where
         F: FnOnce(ProcessCtx) + Send + 'static,
     {
+        if let Some(rt) = &self.sharded {
+            return shard::spawn_on_shard(rt, self.stack_size, 0, name.into(), f);
+        }
         spawn_process(&self.inner, self.stack_size, name.into(), f)
     }
 
-    /// Create a FIFO resource (see [`crate::ResourceId`]).
+    /// Spawn a simulated process onto `shard`, switching the simulation to
+    /// the **sharded conservative-lookahead engine** (see [`crate::shard`]'s
+    /// module docs reflected in DESIGN.md §16).
+    ///
+    /// Each shard runs on its own event queue; a cross-shard
+    /// [`ProcessCtx::deliver`] must carry a delay of at least the link
+    /// lookahead (see [`set_lookahead`](Self::set_lookahead)). Results are
+    /// bit-for-bit identical at every worker-thread count.
+    ///
+    /// The first `spawn_on` must come before any plain [`spawn`](Self::spawn)
+    /// (later plain spawns land on shard 0), and all processes must be
+    /// spawned before [`run`](Self::run) — the sharded engine rejects
+    /// dynamic spawns so pid assignment can never depend on thread timing.
+    pub fn spawn_on<F>(&mut self, shard_id: usize, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce(ProcessCtx) + Send + 'static,
+    {
+        if self.sharded.is_none() {
+            let classic = {
+                let st = self.inner.state.lock();
+                st.procs.len()
+            };
+            assert_eq!(
+                classic, 0,
+                "spawn_on must come before any plain spawn ({classic} processes \
+                 were already spawned on the classic engine)"
+            );
+            self.sharded = Some(Arc::new(shard::ShardedRt::new()));
+        }
+        let rt = self.sharded.as_ref().expect("just initialized");
+        shard::spawn_on_shard(rt, self.stack_size, shard_id, name.into(), f)
+    }
+
+    /// Default per-link lookahead for the sharded engine: the minimum
+    /// cross-shard delivery delay the model guarantees (default 1 µs).
+    /// Must be positive. Larger lookahead means longer synchronization
+    /// windows and less coordination overhead; every cross-shard
+    /// delivery must have `delay >= lookahead`.
+    pub fn set_lookahead(&mut self, la: SimDelta) {
+        assert!(la > SimDelta::ZERO, "lookahead must be positive");
+        self.lookahead.default = la;
+    }
+
+    /// Override the lookahead of one directed shard link `from -> to`.
+    pub fn set_link_lookahead(&mut self, from: usize, to: usize, la: SimDelta) {
+        assert!(la > SimDelta::ZERO, "lookahead must be positive");
+        self.lookahead.links.insert((from as u32, to as u32), la);
+    }
+
+    /// Worker threads for the sharded engine (overrides the
+    /// `SIMNET_THREADS` environment variable; default 1). Purely a
+    /// speed knob: results are identical at any value.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "thread count must be at least 1");
+        self.threads = Some(threads);
+    }
+
+    /// Seed the sharded engine's OS-level yield-injection shim
+    /// (overrides `SIMNET_CHAOS`; tests only). Workers randomly yield
+    /// between events to stress that thread interleaving cannot affect
+    /// results.
+    pub fn set_chaos(&mut self, seed: u64) {
+        self.chaos = Some(seed);
+    }
+
+    /// Number of shards (0 for a classic, unsharded simulation).
+    pub fn shards(&self) -> usize {
+        self.sharded.as_ref().map_or(0, |rt| rt.num_shards())
+    }
+
+    /// Create a FIFO resource (see [`crate::ResourceId`]). In a sharded
+    /// simulation the resource lives on shard 0 and only shard-0
+    /// processes may reserve it; runtime code creates node-local
+    /// resources via [`ProcessCtx::create_resource`] instead.
     pub fn create_resource(&mut self, name: impl Into<String>) -> ResourceId {
+        if let Some(rt) = &self.sharded {
+            return shard::create_resource_on(rt, 0, name.into());
+        }
         let mut st = self.inner.state.lock();
         let id = ResourceId(st.resources.len() as u32);
         st.resources.push(ResourceState::new(name.into()));
@@ -261,6 +404,31 @@ impl Simulation {
     /// deadlock / livelock / time-limit overrun. Panics raised inside a
     /// simulated process are re-raised here with the process name attached.
     pub fn run(self) -> Result<Report, SimError> {
+        if let Some(rt) = &self.sharded {
+            let (time_limit, trace, sink) = {
+                let mut st = self.inner.state.lock();
+                (st.time_limit, st.trace.is_some(), st.sink.take())
+            };
+            let threads = self
+                .threads
+                .or_else(|| env_u64(SIMNET_THREADS_ENV).map(|n| n as usize))
+                .unwrap_or(1);
+            let chaos = self.chaos.or_else(|| env_u64(SIMNET_CHAOS_ENV));
+            let report = shard::run_sharded(
+                rt,
+                shard::RunOpts {
+                    seed: self.seed,
+                    threads,
+                    time_limit,
+                    trace,
+                    sink,
+                    lookahead: self.lookahead.clone(),
+                    chaos,
+                },
+            )?;
+            record_engine_events(report.events);
+            return Ok(report);
+        }
         let inner = self.inner;
         let mut executions_since_advance: u64 = 0;
         loop {
@@ -360,6 +528,7 @@ impl Simulation {
         for h in handles {
             let _ = h.join();
         }
+        record_engine_events(report.events);
         Ok(report)
     }
 }
@@ -407,21 +576,23 @@ where
         pid
     };
     let ctx = ProcessCtx {
-        inner: Arc::clone(inner),
+        route: Route::Classic(Arc::clone(inner)),
         pid,
         baton: Arc::clone(&baton),
         stack_size,
     };
+    let tinner = Arc::clone(inner);
     let handle = std::thread::Builder::new()
         .name(name)
         .stack_size(stack_size)
         .spawn(move || {
             ctx.baton.wait_for_start();
+            let pid = ctx.pid;
             let ctx2 = ctx.clone();
             let result = catch_unwind(AssertUnwindSafe(move || f(ctx2)));
-            let mut st = ctx.inner.state.lock();
+            let mut st = tinner.state.lock();
             let now = st.now;
-            let slot = &mut st.procs[ctx.pid.index()];
+            let slot = &mut st.procs[pid.index()];
             slot.status = ProcStatus::Finished;
             slot.finished_at = Some(now);
             if let Err(payload) = result {
@@ -441,14 +612,22 @@ impl ProcessCtx {
         self.pid
     }
 
-    /// Current virtual time.
+    /// Current virtual time (of this process's shard, on the sharded
+    /// engine — shards are loosely synchronized within one lookahead
+    /// window).
     pub fn now(&self) -> SimTime {
-        self.inner.state.lock().now
+        match &self.route {
+            Route::Classic(inner) => inner.state.lock().now,
+            Route::Sharded { cell, .. } => shard::ctx_now(cell),
+        }
     }
 
     /// Name this process was spawned with.
     pub fn name(&self) -> String {
-        self.inner.state.lock().procs[self.pid.index()].name.clone()
+        match &self.route {
+            Route::Classic(inner) => inner.state.lock().procs[self.pid.index()].name.clone(),
+            Route::Sharded { cell, idx, .. } => shard::ctx_name(cell, *idx),
+        }
     }
 
     /// Block for `d` of virtual time.
@@ -463,8 +642,15 @@ impl ProcessCtx {
     }
 
     fn block_for(&self, d: SimDelta, is_compute: bool) {
+        let inner = match &self.route {
+            Route::Classic(inner) => inner,
+            Route::Sharded { cell, idx, .. } => {
+                shard::ctx_block_for(cell, &self.baton, *idx, self.pid, d, is_compute);
+                return;
+            }
+        };
         let span_start = {
-            let mut st = self.inner.state.lock();
+            let mut st = inner.state.lock();
             let at = st.now + d;
             st.queue.push(at, EventKind::Wake(self.pid));
             let slot = &mut st.procs[self.pid.index()];
@@ -476,7 +662,7 @@ impl ProcessCtx {
         };
         self.baton.yield_to_scheduler();
         if let Some(start) = span_start {
-            let mut st = self.inner.state.lock();
+            let mut st = inner.state.lock();
             let end = st.now;
             let pid = self.pid;
             if let Some(trace) = st.trace.as_mut() {
@@ -486,10 +672,19 @@ impl ProcessCtx {
     }
 
     /// Let every other ready process and same-instant event run, then
-    /// continue. Time does not advance.
+    /// continue. Time does not advance. (On the sharded engine, "every
+    /// other" means this shard's processes; other shards run their own
+    /// schedules.)
     pub fn yield_now(&self) {
+        let inner = match &self.route {
+            Route::Classic(inner) => inner,
+            Route::Sharded { cell, idx, .. } => {
+                shard::ctx_yield(cell, &self.baton, *idx);
+                return;
+            }
+        };
         {
-            let mut st = self.inner.state.lock();
+            let mut st = inner.state.lock();
             let pid = self.pid;
             st.procs[pid.index()].status = ProcStatus::Ready;
             st.ready.push_back(pid);
@@ -499,9 +694,15 @@ impl ProcessCtx {
 
     /// Blocking receive: the next mailbox message, waiting if necessary.
     pub fn recv(&self) -> Payload {
+        let inner = match &self.route {
+            Route::Classic(inner) => inner,
+            Route::Sharded { cell, idx, .. } => {
+                return shard::ctx_recv(cell, &self.baton, *idx);
+            }
+        };
         loop {
             {
-                let mut st = self.inner.state.lock();
+                let mut st = inner.state.lock();
                 if let Some(msg) = st.procs[self.pid.index()].mailbox.pop_front() {
                     return msg;
                 }
@@ -513,21 +714,37 @@ impl ProcessCtx {
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Payload> {
-        self.inner.state.lock().procs[self.pid.index()]
-            .mailbox
-            .pop_front()
+        match &self.route {
+            Route::Classic(inner) => inner.state.lock().procs[self.pid.index()]
+                .mailbox
+                .pop_front(),
+            Route::Sharded { cell, idx, .. } => shard::ctx_try_recv(cell, *idx),
+        }
     }
 
     /// Number of messages currently queued.
     pub fn mailbox_len(&self) -> usize {
-        self.inner.state.lock().procs[self.pid.index()]
-            .mailbox
-            .len()
+        match &self.route {
+            Route::Classic(inner) => inner.state.lock().procs[self.pid.index()].mailbox.len(),
+            Route::Sharded { cell, idx, .. } => shard::ctx_mailbox_len(cell, *idx),
+        }
     }
 
     /// Deliver `payload` to `to` after `delay` of virtual time.
+    ///
+    /// On the sharded engine a delivery to a process on another shard
+    /// must have `delay >= ` the link lookahead (the model's minimum
+    /// cross-node latency) — the engine asserts this, because it is
+    /// exactly what makes speculation-free parallel execution safe.
     pub fn deliver(&self, to: Pid, delay: SimDelta, payload: Payload) {
-        let mut st = self.inner.state.lock();
+        let inner = match &self.route {
+            Route::Classic(inner) => inner,
+            Route::Sharded { rt, cell, .. } => {
+                shard::ctx_deliver(rt, cell, to, delay, payload);
+                return;
+            }
+        };
+        let mut st = inner.state.lock();
         let at = st.now + delay;
         st.queue.push(at, EventKind::Deliver(to, payload));
     }
@@ -542,15 +759,31 @@ impl ProcessCtx {
     }
 
     /// Deliver `payload` to `to` at absolute time `at` (clamped to now).
+    /// Cross-shard deliveries must satisfy `at >= now + lookahead`.
     pub fn deliver_at(&self, to: Pid, at: SimTime, payload: Payload) {
-        let mut st = self.inner.state.lock();
+        let inner = match &self.route {
+            Route::Classic(inner) => inner,
+            Route::Sharded { rt, cell, .. } => {
+                shard::ctx_deliver_at(rt, cell, to, at, payload);
+                return;
+            }
+        };
+        let mut st = inner.state.lock();
         let at = at.max(st.now);
         st.queue.push(at, EventKind::Deliver(to, payload));
     }
 
-    /// Create a FIFO resource at runtime.
+    /// Create a FIFO resource at runtime. On the sharded engine the
+    /// resource belongs to this process's shard; only same-shard
+    /// processes may reserve it.
     pub fn create_resource(&self, name: impl Into<String>) -> ResourceId {
-        let mut st = self.inner.state.lock();
+        let inner = match &self.route {
+            Route::Classic(inner) => inner,
+            Route::Sharded { cell, .. } => {
+                return shard::ctx_create_resource(cell, name.into());
+            }
+        };
+        let mut st = inner.state.lock();
         let id = ResourceId(st.resources.len() as u32);
         st.resources.push(ResourceState::new(name.into()));
         id
@@ -559,7 +792,13 @@ impl ProcessCtx {
     /// Reserve `res` for `dur`, starting no earlier than now. Returns the
     /// granted `(start, end)` window. Does not block the caller.
     pub fn reserve(&self, res: ResourceId, dur: SimDelta) -> (SimTime, SimTime) {
-        let mut st = self.inner.state.lock();
+        let inner = match &self.route {
+            Route::Classic(inner) => inner,
+            Route::Sharded { cell, .. } => {
+                return shard::ctx_reserve(cell, res, None, dur);
+            }
+        };
+        let mut st = inner.state.lock();
         let now = st.now;
         st.resources[res.0 as usize].reserve(now, dur)
     }
@@ -572,14 +811,27 @@ impl ProcessCtx {
         earliest: SimTime,
         dur: SimDelta,
     ) -> (SimTime, SimTime) {
-        let mut st = self.inner.state.lock();
+        let inner = match &self.route {
+            Route::Classic(inner) => inner,
+            Route::Sharded { cell, .. } => {
+                return shard::ctx_reserve(cell, res, Some(earliest), dur);
+            }
+        };
+        let mut st = inner.state.lock();
         let from = earliest.max(st.now);
         st.resources[res.0 as usize].reserve(from, dur)
     }
 
     /// Append a trace record (no-op unless tracing is enabled).
     pub fn trace(&self, label: impl Into<String>) {
-        let mut st = self.inner.state.lock();
+        let inner = match &self.route {
+            Route::Classic(inner) => inner,
+            Route::Sharded { cell, .. } => {
+                shard::ctx_trace(cell, self.pid, label.into());
+                return;
+            }
+        };
+        let mut st = inner.state.lock();
         let now = st.now;
         let pid = self.pid;
         if let Some(trace) = st.trace.as_mut() {
@@ -591,9 +843,15 @@ impl ProcessCtx {
     /// enabled). Close it with [`span_end`](Self::span_end); the span is
     /// recorded only then, covering the virtual time in between.
     pub fn span_begin(&self, cat: impl Into<String>, name: impl Into<String>) -> OpenSpan {
-        let st = self.inner.state.lock();
+        let start = match &self.route {
+            Route::Classic(inner) => {
+                let st = inner.state.lock();
+                st.trace.is_some().then_some(st.now)
+            }
+            Route::Sharded { cell, .. } => shard::ctx_span_start(cell),
+        };
         OpenSpan {
-            start: st.trace.is_some().then_some(st.now),
+            start,
             cat: cat.into(),
             name: name.into(),
         }
@@ -604,7 +862,14 @@ impl ProcessCtx {
     /// dropped silently.
     pub fn span_end(&self, span: OpenSpan) {
         let Some(start) = span.start else { return };
-        let mut st = self.inner.state.lock();
+        let inner = match &self.route {
+            Route::Classic(inner) => inner,
+            Route::Sharded { cell, .. } => {
+                shard::ctx_span_end(cell, self.pid, start, span.cat, span.name);
+                return;
+            }
+        };
+        let mut st = inner.state.lock();
         let end = st.now;
         let pid = self.pid;
         if let Some(trace) = st.trace.as_mut() {
@@ -614,11 +879,24 @@ impl ProcessCtx {
 
     /// Publish a structured event to the installed [`EventSink`], if any.
     ///
-    /// The sink runs on this thread with the simulation state unlocked, so
-    /// emitting from protocol code can never deadlock the scheduler.
-    pub fn emit<E: Any>(&self, event: &E) {
+    /// On the classic engine the sink runs on this thread with the
+    /// simulation state unlocked, so emitting from protocol code can never
+    /// deadlock the scheduler. On the sharded engine the event is cloned
+    /// into a buffer and the sink runs on the coordinator thread between
+    /// windows, in canonical `(time, shard, sequence)` order — identical
+    /// at every thread count.
+    pub fn emit<E: Any + Clone + Send>(&self, event: &E) {
+        let inner = match &self.route {
+            Route::Classic(inner) => inner,
+            Route::Sharded { rt, cell, .. } => {
+                if shard::sink_installed(rt) {
+                    shard::ctx_emit(cell, self.pid, Box::new(event.clone()));
+                }
+                return;
+            }
+        };
         let (now, sink) = {
-            let st = self.inner.state.lock();
+            let st = inner.state.lock();
             match st.sink.as_ref() {
                 Some(s) => (st.now, Arc::clone(s)),
                 None => return,
@@ -629,37 +907,64 @@ impl ProcessCtx {
 
     /// Increment a named counter.
     pub fn stat_incr(&self, name: &str, n: u64) {
-        self.inner.state.lock().stats.incr(name, n);
+        match &self.route {
+            Route::Classic(inner) => inner.state.lock().stats.incr(name, n),
+            Route::Sharded { cell, .. } => shard::ctx_stat_incr(cell, name, n),
+        }
     }
 
     /// Accumulate virtual time under a named stat.
     pub fn stat_time(&self, name: &str, d: SimDelta) {
-        self.inner.state.lock().stats.add_time(name, d);
+        match &self.route {
+            Route::Classic(inner) => inner.state.lock().stats.add_time(name, d),
+            Route::Sharded { cell, .. } => shard::ctx_stat_time(cell, name, d),
+        }
     }
 
-    /// Read a counter (mainly for tests).
+    /// Read a counter (mainly for tests). Sharded engine: reads this
+    /// shard's slice of the counter only.
     pub fn stat_counter(&self, name: &str) -> u64 {
-        self.inner.state.lock().stats.counter(name)
+        match &self.route {
+            Route::Classic(inner) => inner.state.lock().stats.counter(name),
+            Route::Sharded { cell, .. } => shard::ctx_stat_counter(cell, name),
+        }
     }
 
-    /// Uniform random value in `[0, bound)` from the simulation's RNG.
+    /// Uniform random value in `[0, bound)` from the simulation's RNG
+    /// (this shard's private stream, on the sharded engine).
     pub fn gen_range(&self, bound: u64) -> u64 {
-        self.inner.state.lock().rng.gen_range(bound)
+        match &self.route {
+            Route::Classic(inner) => inner.state.lock().rng.gen_range(bound),
+            Route::Sharded { cell, .. } => shard::ctx_gen_range(cell, bound),
+        }
     }
 
     /// Uniform random f64 in `[0, 1)` from the simulation's RNG.
     pub fn gen_f64(&self) -> f64 {
-        self.inner.state.lock().rng.gen_f64()
+        match &self.route {
+            Route::Classic(inner) => inner.state.lock().rng.gen_f64(),
+            Route::Sharded { cell, .. } => shard::ctx_gen_f64(cell),
+        }
     }
 
-    /// Spawn another process from inside the simulation (e.g. DPU proxy
-    /// workers launched by `Init_Offload`). It becomes runnable at the
-    /// current instant.
+    /// Spawn another process from inside the simulation. It becomes
+    /// runnable at the current instant.
+    ///
+    /// Classic engine only: the sharded engine fixes the process
+    /// population before `run()` (pid assignment from concurrently
+    /// running shards could depend on thread timing) and panics here.
     pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> Pid
     where
         F: FnOnce(ProcessCtx) + Send + 'static,
     {
-        spawn_process(&self.inner, self.stack_size, name.into(), f)
+        let inner = match &self.route {
+            Route::Classic(inner) => inner,
+            Route::Sharded { .. } => panic!(
+                "dynamic spawn is not supported by the sharded engine; \
+                 spawn every process with spawn_on() before run()"
+            ),
+        };
+        spawn_process(inner, self.stack_size, name.into(), f)
     }
 }
 

@@ -39,6 +39,12 @@ pub struct CheckRun {
     /// Move real bytes through the fabric so drivers can fill and verify
     /// payload patterns (default: timing-only, no byte movement).
     pub move_bytes: bool,
+    /// Simulation worker threads: `Some(1)` pins the classic engine,
+    /// `Some(n > 1)` the sharded runtime, `None` (the default) inherits
+    /// `SIMNET_THREADS` so a whole test tier can be swept onto the
+    /// sharded engine from the environment. Never observable in results
+    /// (see [`rdma::ClusterBuilder::with_threads`]).
+    pub threads: Option<usize>,
 }
 
 impl CheckRun {
@@ -56,6 +62,7 @@ impl CheckRun {
             sink: None,
             trace: false,
             move_bytes: false,
+            threads: None,
         }
     }
 
@@ -76,6 +83,9 @@ impl CheckRun {
         }
         if self.trace {
             b = b.with_trace();
+        }
+        if let Some(threads) = self.threads {
+            b = b.with_threads(threads);
         }
         b
     }

@@ -176,16 +176,24 @@ fn main() -> ExitCode {
             }
         }
         Some("bench-diff") => {
-            let mut tol_pct = 0.0f64;
+            let mut opts = bench_diff::DiffOptions::default();
             let mut json = false;
             let mut paths: Vec<&String> = Vec::new();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 if a == "--tol" {
                     match it.next().and_then(|v| v.parse().ok()) {
-                        Some(v) => tol_pct = v,
+                        Some(v) => opts.tol_pct = v,
                         None => {
                             println!("bench-diff: --tol expects a percentage");
+                            return ExitCode::from(2);
+                        }
+                    }
+                } else if a == "--wall-tol" {
+                    match it.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => opts.wall_tol_pct = v,
+                        None => {
+                            println!("bench-diff: --wall-tol expects a percentage");
                             return ExitCode::from(2);
                         }
                     }
@@ -196,10 +204,11 @@ fn main() -> ExitCode {
                 }
             }
             let [old, new] = paths[..] else {
-                println!("usage: cargo xtask bench-diff <old> <new> [--tol PCT] [--json]");
+                println!(
+                    "usage: cargo xtask bench-diff <old> <new> [--tol PCT] [--wall-tol PCT] [--json]"
+                );
                 return ExitCode::from(2);
             };
-            let opts = bench_diff::DiffOptions { tol_pct };
             match bench_diff::diff_trees(Path::new(old), Path::new(new), &opts) {
                 Ok(report) => {
                     if json {
@@ -221,8 +230,8 @@ fn main() -> ExitCode {
                     }
                     if report.ok() {
                         println!(
-                            "xtask bench-diff: ok ({} file(s), {} counter(s), tol {tol_pct}%)",
-                            report.files, report.counters
+                            "xtask bench-diff: ok ({} file(s), {} counter(s), tol {}%, wall tol {}%)",
+                            report.files, report.counters, opts.tol_pct, opts.wall_tol_pct
                         );
                         ExitCode::SUCCESS
                     } else {
@@ -243,7 +252,8 @@ fn main() -> ExitCode {
         _ => {
             println!(
                 "usage: cargo xtask lint | analyze [--json] [--update-baseline] | \
-                 validate-metrics <file.json>... | bench-diff <old> <new> [--tol PCT] [--json]"
+                 validate-metrics <file.json>... | bench-diff <old> <new> [--tol PCT] \
+                 [--wall-tol PCT] [--json]"
             );
             ExitCode::from(2)
         }

@@ -7,9 +7,10 @@ use bluefield_offload::apps::{
 use bluefield_offload::dpu::{Metrics, OffloadConfig};
 use bluefield_offload::net::{ClusterBuilder, ClusterSpec, Inbox};
 
-fn trace_render(seed: u64) -> (String, u64, f64) {
+fn trace_render(seed: u64, threads: usize) -> (String, u64, f64) {
     let spec = ClusterSpec::new(2, 2);
     let report = ClusterBuilder::new(spec, seed)
+        .with_threads(threads)
         .with_trace()
         .run(
             |rank, ctx, cluster| {
@@ -45,11 +46,18 @@ fn trace_render(seed: u64) -> (String, u64, f64) {
 
 #[test]
 fn identical_seeds_are_bit_identical() {
-    let (t1, e1, end1) = trace_render(5);
-    let (t2, e2, end2) = trace_render(5);
+    // Reproducibility per engine, and across engines: the classic loop
+    // (threads = 1) and the sharded runtime (threads = 4) must render
+    // the same trace, event count and end time for the same seed.
+    let (t1, e1, end1) = trace_render(5, 1);
+    let (t2, e2, end2) = trace_render(5, 1);
     assert_eq!(t1, t2, "trace must be identical");
     assert_eq!(e1, e2);
     assert_eq!(end1, end2);
+    let (t4, e4, end4) = trace_render(5, 4);
+    assert_eq!(t1, t4, "sharded trace must match the classic engine");
+    assert_eq!(e1, e4);
+    assert_eq!(end1, end4);
 }
 
 #[test]
@@ -66,9 +74,10 @@ fn benchmark_results_are_reproducible() {
 
 #[test]
 fn stats_are_reproducible() {
-    let run = |seed| {
+    let run = |seed, threads| {
         let spec = ClusterSpec::new(2, 1);
         ClusterBuilder::new(spec, seed)
+            .with_threads(threads)
             .run(
                 |rank, ctx, cluster| {
                     let inbox = Inbox::new();
@@ -95,8 +104,6 @@ fn stats_are_reproducible() {
             )
             .unwrap()
     };
-    let r1 = run(11);
-    let r2 = run(11);
     let collect = |r: &simnet::Report| {
         r.stats
             .counters()
@@ -104,25 +111,48 @@ fn stats_are_reproducible() {
             .collect::<Vec<_>>()
             .join(",")
     };
-    assert_eq!(collect(&r1), collect(&r2));
-    assert_eq!(r1.end_time, r2.end_time);
+    // Run-to-run reproducibility holds on both engines.
+    for threads in [1, 4] {
+        let r1 = run(11, threads);
+        let r2 = run(11, threads);
+        assert_eq!(collect(&r1), collect(&r2), "threads={threads}");
+        assert_eq!(r1.end_time, r2.end_time, "threads={threads}");
+    }
+    // Across engines, every counter except the sharded runtime's own
+    // `simnet.sharded.*` bookkeeping matches (the classic loop has no
+    // shards to report on — the one legitimate observable difference).
+    let engine_free = |r: &simnet::Report| {
+        r.stats
+            .counters()
+            .filter(|(k, _)| !k.starts_with("simnet.sharded."))
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let classic = run(11, 1);
+    let sharded = run(11, 4);
+    assert_eq!(engine_free(&classic), engine_free(&sharded));
+    assert_eq!(classic.end_time, sharded.end_time);
 }
 
 #[test]
 fn metrics_reports_are_reproducible() {
     // Two same-seed runs must fold to byte-identical metrics JSON — the
     // property that makes bench_results/ baselines diffable.
-    let run = |seed| {
+    let run = |seed, threads| {
         let mut cr = CheckRun::baseline(seed);
+        cr.threads = Some(threads);
         let m = Metrics::new();
         cr.sink = Some(m.sink());
         drive_group_stencil(&cr, 8192, 2).expect("clean run");
         m.report().to_json("determinism")
     };
-    let a = run(17);
-    let b = run(17);
+    let a = run(17, 1);
+    let b = run(17, 1);
     assert_eq!(a, b, "metrics JSON must be deterministic");
     obs::validate_metrics(&a).expect("schema-valid");
+    // The sharded runtime folds to the same bytes.
+    assert_eq!(a, run(17, 4), "metrics JSON must be engine-invariant");
     // A different seed still validates (and may legitimately differ).
-    obs::validate_metrics(&run(18)).expect("schema-valid");
+    obs::validate_metrics(&run(18, 1)).expect("schema-valid");
 }

@@ -1,0 +1,139 @@
+//! Cross-engine equivalence: the classic single-threaded event loop
+//! and the sharded conservative-lookahead runtime must be mutually
+//! indistinguishable for the full protocol stack.
+//!
+//! [`rdma::ClusterBuilder::with_threads`] routes a cluster through the
+//! sharded engine (pinned to one shard — the fabric arbitrates global
+//! state, see DESIGN.md §16), so every observable a run produces —
+//! metrics JSON, conformance verdict, flight-recorder dump, end time,
+//! event count — must be byte-identical at 1, 2, 4 and 8 worker
+//! threads, across seeds, workloads and proxy counts, with and without
+//! an armed fault plan.
+
+use bluefield_offload::apps::{
+    drive_alltoall, drive_group_stencil, drive_stencil, drive_verified_stencil, fanout, CheckRun,
+};
+use bluefield_offload::dpu::{FaultPlan, FlightRecorder, Metrics, OffloadConfig};
+use checker::{Conformance, ConformanceConfig};
+
+/// Everything a run can tell the outside world.
+#[derive(PartialEq, Eq)]
+struct Artifacts {
+    metrics: String,
+    violations: Vec<String>,
+    flight_dump: String,
+    end_ps: String,
+    events: u64,
+}
+
+fn drive(workload: &str, run: &CheckRun) -> simnet::Report {
+    match workload {
+        "stencil" => drive_stencil(run, 4096, 2),
+        "alltoall" => drive_alltoall(run, 2048, 2),
+        "group_stencil" => drive_group_stencil(run, 4096, 2),
+        "verified_stencil" => drive_verified_stencil(run, 2048, 2),
+        other => panic!("unknown workload {other}"),
+    }
+    .expect("clean run")
+}
+
+fn run_cell(
+    workload: &str,
+    seed: u64,
+    proxies: usize,
+    threads: usize,
+    fault: FaultPlan,
+) -> Artifacts {
+    let mut cr = CheckRun::baseline(seed);
+    cr.proxies_per_dpu = proxies;
+    cr.threads = Some(threads);
+    cr.cfg = OffloadConfig::proposed().with_fault(fault);
+    cr.move_bytes = workload == "verified_stencil";
+    let metrics = Metrics::new();
+    let conf = Conformance::new(ConformanceConfig::default());
+    let recorder = FlightRecorder::new();
+    cr.sink = Some(fanout(vec![metrics.sink(), conf.sink(), recorder.sink()]));
+    let report = drive(workload, &cr);
+    Artifacts {
+        metrics: metrics.report().to_json("equivalence"),
+        violations: conf.finish().iter().map(|v| format!("{v:?}")).collect(),
+        flight_dump: recorder.dump(),
+        end_ps: format!("{:?}", report.end_time),
+        events: report.events,
+    }
+}
+
+fn assert_equivalent(workload: &str, seed: u64, proxies: usize, fault: FaultPlan) {
+    let base = run_cell(workload, seed, proxies, 1, fault);
+    assert!(
+        base.violations.is_empty(),
+        "{workload} seed {seed} p{proxies}: classic run violated invariants: {:?}",
+        base.violations
+    );
+    for threads in [2, 4, 8] {
+        let sharded = run_cell(workload, seed, proxies, threads, fault);
+        let label = format!("{workload} seed {seed} p{proxies} t{threads}");
+        assert_eq!(
+            base.metrics, sharded.metrics,
+            "{label}: metrics JSON must be byte-identical"
+        );
+        assert_eq!(
+            base.violations, sharded.violations,
+            "{label}: conformance verdicts must match"
+        );
+        assert_eq!(
+            base.flight_dump, sharded.flight_dump,
+            "{label}: flight-recorder dumps must be identical"
+        );
+        assert_eq!(base.end_ps, sharded.end_ps, "{label}: end time must match");
+        assert_eq!(
+            base.events, sharded.events,
+            "{label}: event count must match"
+        );
+    }
+}
+
+#[test]
+fn stencil_matrix_is_engine_invariant() {
+    for seed in [3, 19] {
+        for proxies in [1, 2] {
+            assert_equivalent("stencil", seed, proxies, FaultPlan::none());
+        }
+    }
+}
+
+#[test]
+fn alltoall_matrix_is_engine_invariant() {
+    for seed in [5, 23] {
+        for proxies in [1, 2] {
+            assert_equivalent("alltoall", seed, proxies, FaultPlan::none());
+        }
+    }
+}
+
+#[test]
+fn group_stencil_matrix_is_engine_invariant() {
+    for seed in [7, 31] {
+        for proxies in [1, 2] {
+            assert_equivalent("group_stencil", seed, proxies, FaultPlan::none());
+        }
+    }
+}
+
+#[test]
+fn faulty_runs_are_engine_invariant() {
+    // A lossy-but-recoverable ctrl plane with real byte movement: the
+    // retransmission machinery, payload CRCs and fault RNG streams must
+    // all be thread-count invariant too (the fault-soak matrix runs
+    // under SIMNET_THREADS=4 in CI on the strength of this).
+    let fault = FaultPlan {
+        drop_pm: 40,
+        dup_pm: 20,
+        delay_pm: 30,
+        delay_ns: 2_000,
+        seed: 99,
+        ..FaultPlan::none()
+    };
+    assert_equivalent("verified_stencil", 13, 1, fault);
+    assert_equivalent("verified_stencil", 13, 2, fault);
+}
