@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # The full gate: formatting, clippy deny-wall, the repo-specific lint
 # wall, the workspace analyzer (drift + parallel-readiness rules), build
-# + tests, then the benchmark artifact gates: schema validation and the
+# + tests, then the benchmark artifact gates: schema validation, the
 # bench-diff regression comparison of a fresh deterministic --quick run
-# against the committed baselines.
+# against the committed baselines, and the continuous self-profiling
+# gates (overhead bound, snapshot determinism, profile/v1 schema).
 # Run from the repo root; fails fast.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -21,6 +22,22 @@ echo "== cargo xtask analyze (drift + parallel-readiness gates)"
 # Writes the bluefield-offload/analyzer/v1 report as a side effect;
 # archived next to the bench artifacts at the end of the run.
 cargo xtask analyze
+
+echo "== bench_results hygiene (committed baselines only)"
+# The committed baseline tree must hold nothing but *.metrics.json
+# documents: a stray file (scratch output, notes, stale logs) would
+# masquerade as a baseline and silently drift out of date.
+stray=0
+for f in bench_results/*; do
+    case "$f" in
+        *.metrics.json) ;;
+        *)
+            echo "unexpected file in bench_results/: $f (only *.metrics.json belongs here)"
+            stray=1
+            ;;
+    esac
+done
+[ "$stray" -eq 0 ] || exit 1
 
 echo "== cargo build --release"
 cargo build --release
@@ -114,6 +131,42 @@ for doc in target/equiv-t1/*.metrics.json; do
 done
 echo "scale artifacts byte-identical at 1 and 4 worker threads"
 
+echo "== continuous self-profiling (BENCH_PROFILE=1, overhead gate)"
+# The engine self-benchmark reruns its spec with the span profiler, the
+# per-shard engine attribution and the telemetry bus armed, interleaving
+# unprofiled and profiled repetitions; the binary exits nonzero if the
+# profiled best-of-N exceeds the unprofiled one by more than the gate.
+rm -rf target/profile target/profile-run
+BENCH_OUT_DIR=target/profile-run BENCH_PROFILE=1 BENCH_PROFILE_GATE_PCT=5 \
+    cargo run --release --quiet -p bench-harness --bin engine_speed -- --quick \
+    >/dev/null
+echo "profiling overhead within the 5% gate"
+
+echo "== profile determinism (snapshots byte-identical, threads 1 vs 4)"
+# Like the metrics equivalence above: with wall-clock keys suppressed a
+# profile/v1 document is a pure function of the deterministic event
+# stream and the telemetry interval, so the 1- and 4-worker documents
+# must be byte-identical (the engine section is wall-gated precisely
+# because shard topology follows the thread count).
+rm -rf target/profile-equiv-t1 target/profile-equiv-t4
+for t in 1 4; do
+    BENCH_OUT_DIR=target/profile-run BENCH_PROFILE_DIR="target/profile-equiv-t$t" \
+        BENCH_PROFILE=1 BENCH_NO_WALL=1 SIMNET_THREADS="$t" \
+        cargo run --release --quiet -p bench-harness --bin engine_speed -- --quick \
+        >/dev/null
+done
+for doc in target/profile-equiv-t1/*.profile.json; do
+    if ! cmp "$doc" "target/profile-equiv-t4/$(basename "$doc")"; then
+        echo "profile document depends on the worker thread count: $doc"
+        exit 1
+    fi
+done
+echo "profile artifacts byte-identical at 1 and 4 worker threads"
+
+echo "== profile schema (bluefield-offload/profile/v1) + self-time table"
+cargo xtask validate-metrics target/profile/*.profile.json
+cargo xtask profile --top 8
+
 echo "== metrics schema (bluefield-offload/metrics/v1)"
 cargo xtask validate-metrics target/bench-scratch/*.metrics.json
 
@@ -124,10 +177,13 @@ cargo xtask bench-diff bench_results target/bench-scratch --json \
     > target/bench-scratch/bench-diff.json
 echo "bench-diff report: target/bench-scratch/bench-diff.json"
 
-# Archive the analyzer verdict next to the bench artifacts so one
-# directory carries every machine-readable CI report.
+# Archive the analyzer verdict and the self-profiling reports next to
+# the bench artifacts so one directory carries every machine-readable
+# CI report.
 cp target/analyze/report.json target/bench-scratch/analyze-report.json
+cp target/profile/*.profile.json target/bench-scratch/
 echo "analyzer report: target/bench-scratch/analyze-report.json"
+echo "self-profiling reports: target/bench-scratch/*.profile.json"
 echo "engine self-benchmark: target/bench-scratch/engine_speed.metrics.json"
 
 echo "ci.sh: all gates passed"

@@ -170,6 +170,14 @@ pub struct Config {
     pub schema_consts: Vec<String>,
     /// Roots whose non-test code must produce every schema counter.
     pub counter_roots: Vec<String>,
+    /// `const NAME: &[&str]` arrays in the schema file holding
+    /// `profile/v1` scope names.
+    pub profile_consts: Vec<String>,
+    /// Roots whose non-test code must enter every profile scope — a
+    /// `profile_scope!("name")` string literal or an engine scope
+    /// const. A declared scope nothing enters is a profiler row that
+    /// can never appear.
+    pub profile_roots: Vec<String>,
     /// File declaring the typed error enum.
     pub errors_file: String,
     /// Name of the typed error enum.
@@ -205,6 +213,8 @@ impl Config {
             schema_file: "crates/obs/src/schema.rs".into(),
             schema_consts: s(&["TOTAL_KEYS", "CACHE_KEYS"]),
             counter_roots: s(&["crates/core/src"]),
+            profile_consts: s(&["PROFILE_SCOPES"]),
+            profile_roots: s(&["crates/core/src", "crates/simnet/src"]),
             errors_file: "crates/core/src/reliable.rs".into(),
             error_enum: "OffloadError".into(),
             error_construct_roots: s(&["crates/core/src"]),

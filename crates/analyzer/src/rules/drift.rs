@@ -126,7 +126,10 @@ pub fn proto_drift(set: &SourceSet, cfg: &Config) -> Vec<Finding> {
 /// occur as an identifier (a struct field being incremented) or a
 /// string literal (the JSON emitter writing it). A schema key nothing
 /// in core mentions is a counter that can never move — classic drift
-/// between the contract and the engine.
+/// between the contract and the engine. The `profile/v1` scope list is
+/// held to the same bar against its own roots: every declared scope
+/// name must appear in a producer (a `profile_scope!("name")` literal
+/// in core or an engine scope const in simnet).
 pub fn schema_drift(set: &SourceSet, cfg: &Config) -> Vec<Finding> {
     let mut out = Vec::new();
     let Some(schema) = set.get(&cfg.schema_file) else {
@@ -137,38 +140,43 @@ pub fn schema_drift(set: &SourceSet, cfg: &Config) -> Vec<Finding> {
             msg: "schema file not found in tree".into(),
         }];
     };
-    // The declaring file never counts as a producer, even when the
-    // roots cover it — the const array itself mentions every key.
-    let producers: Vec<&FileScan> = set
-        .under(&cfg.counter_roots)
-        .filter(|f| f.path != cfg.schema_file)
-        .collect();
-    for const_name in &cfg.schema_consts {
-        let keys = scan::const_str_array(&schema.lexed, const_name);
-        if keys.is_empty() {
-            out.push(Finding {
-                rule: SCHEMA_DRIFT,
-                path: cfg.schema_file.clone(),
-                line: 1,
-                msg: format!("const {const_name} not found or empty in schema file"),
-            });
-            continue;
-        }
-        for (key, line) in keys {
-            if schema.allowed(SCHEMA_DRIFT, line) {
-                continue;
-            }
-            if !producers.iter().any(|f| has_live_ident_or_str(f, &key)) {
+    let groups: [(&[String], &[String]); 2] = [
+        (&cfg.schema_consts, &cfg.counter_roots),
+        (&cfg.profile_consts, &cfg.profile_roots),
+    ];
+    for (consts, roots) in groups {
+        // The declaring file never counts as a producer, even when the
+        // roots cover it — the const array itself mentions every key.
+        let producers: Vec<&FileScan> = set
+            .under(roots)
+            .filter(|f| f.path != cfg.schema_file)
+            .collect();
+        for const_name in consts {
+            let keys = scan::const_str_array(&schema.lexed, const_name);
+            if keys.is_empty() {
                 out.push(Finding {
                     rule: SCHEMA_DRIFT,
                     path: cfg.schema_file.clone(),
-                    line,
-                    msg: format!(
-                        "schema counter \"{key}\" ({const_name}) is produced nowhere under \
-                         {:?}; wire it up or waive with `analyzer:allow({SCHEMA_DRIFT})`",
-                        cfg.counter_roots
-                    ),
+                    line: 1,
+                    msg: format!("const {const_name} not found or empty in schema file"),
                 });
+                continue;
+            }
+            for (key, line) in keys {
+                if schema.allowed(SCHEMA_DRIFT, line) {
+                    continue;
+                }
+                if !producers.iter().any(|f| has_live_ident_or_str(f, &key)) {
+                    out.push(Finding {
+                        rule: SCHEMA_DRIFT,
+                        path: cfg.schema_file.clone(),
+                        line,
+                        msg: format!(
+                            "schema counter \"{key}\" ({const_name}) is produced nowhere under \
+                             {roots:?}; wire it up or waive with `analyzer:allow({SCHEMA_DRIFT})`"
+                        ),
+                    });
+                }
             }
         }
     }

@@ -32,6 +32,8 @@ fn cfg() -> Config {
         schema_file: "src/schema.rs".into(),
         schema_consts: s(&["KEYS"]),
         counter_roots: s(&["src"]),
+        profile_consts: s(&[]),
+        profile_roots: s(&["src"]),
         errors_file: "src/errors.rs".into(),
         error_enum: "Fail".into(),
         error_construct_roots: s(&["src"]),

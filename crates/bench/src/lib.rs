@@ -206,6 +206,55 @@ pub fn wall_timer() -> impl FnOnce() -> f64 {
     move || t0.elapsed().as_secs_f64() * 1e3
 }
 
+/// Whether continuous self-profiling is armed (`BENCH_PROFILE=1`):
+/// benches re-run with the span profiler + telemetry bus attached and
+/// emit `profile/v1` artifacts. Off by default — profiling must cost
+/// nothing unless asked for.
+pub fn profile_enabled() -> bool {
+    std::env::var(offload::profile::BENCH_PROFILE_ENV).is_ok_and(|v| v == "1")
+}
+
+/// Telemetry snapshot interval in picoseconds of virtual time
+/// (`BENCH_TELEMETRY_PS` overrides; default 1 µs — a handful of
+/// windows even on the `--quick` specs).
+pub fn telemetry_interval_ps() -> u64 {
+    std::env::var("BENCH_TELEMETRY_PS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(1_000_000)
+}
+
+/// Directory receiving `profile/v1` artifacts (`<name>.profile.json`
+/// plus the flamegraph-ready `<name>.collapsed.txt`). `BENCH_PROFILE_DIR`
+/// overrides the default `target/profile/` at the workspace root.
+pub fn profile_out_dir() -> std::path::PathBuf {
+    match std::env::var_os("BENCH_PROFILE_DIR") {
+        Some(d) => d.into(),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/profile"),
+    }
+}
+
+/// Write one `profile/v1` document and its collapsed-stack sibling into
+/// [`profile_out_dir`]. Like the metrics writers, filesystem refusal is
+/// non-fatal.
+pub fn write_profile(name: &str, doc_json: &str, collapsed: &str) {
+    let dir = profile_out_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("profile: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.profile.json"));
+    match std::fs::write(&path, doc_json) {
+        Ok(()) => eprintln!("profile: wrote {}", path.display()),
+        Err(e) => eprintln!("profile: failed to write {}: {e}", path.display()),
+    }
+    let path = dir.join(format!("{name}.collapsed.txt"));
+    if let Err(e) = std::fs::write(&path, collapsed) {
+        eprintln!("profile: failed to write {}: {e}", path.display());
+    }
+}
+
 /// Render a float with fixed three-decimal precision (deterministic).
 pub fn fmt_f64(v: f64) -> String {
     format!("{v:.3}")
@@ -280,15 +329,39 @@ pub fn run_with_metrics(name: &str, f: impl FnOnce()) {
 /// is written only when `BENCH_LIFECYCLE` is set — it is per-transfer
 /// data, much bigger than the metrics totals, and not a committed
 /// baseline.
+/// With `BENCH_PROFILE=1` the run additionally arms the hot-path span
+/// profiler and attaches a telemetry bus to the same fanned-out event
+/// stream, then writes `<name>.profile.json` (+ collapsed stack) under
+/// [`profile_out_dir`].
 pub fn run_with_observability(name: &str, f: impl FnOnce()) {
     let metrics = offload::Metrics::new();
     let lifecycle = obs::LifecycleRecorder::new();
-    let obs = workloads::Observer {
-        sink: Some(workloads::fanout(vec![metrics.sink(), lifecycle.sink()])),
+    let mut sinks = vec![metrics.sink(), lifecycle.sink()];
+    let bus = profile_enabled().then(|| {
+        offload::profile::set_enabled(true);
+        let bus = obs::TelemetryBus::new(telemetry_interval_ps());
+        sinks.push(bus.sink());
+        bus
+    });
+    let observer = workloads::Observer {
+        sink: Some(workloads::fanout(sinks)),
         trace: false,
     };
-    workloads::with_observer(obs, f);
+    workloads::with_observer(observer, f);
     write_metrics(name, &metrics.report());
+    if let Some(bus) = bus {
+        offload::profile::set_enabled(false);
+        let report = offload::profile::take_report();
+        let (_, snaps) = bus.finish();
+        let doc = obs::render_profile(&obs::ProfileDoc {
+            bench: name,
+            report: &report,
+            engine: None,
+            snapshots: &snaps,
+            wall: wall_enabled(),
+        });
+        write_profile(name, &doc, &report.collapsed_stack());
+    }
     if std::env::var_os("BENCH_LIFECYCLE").is_some() {
         let dir = bench_results_dir();
         if let Err(e) = std::fs::create_dir_all(&dir) {

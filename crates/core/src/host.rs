@@ -285,6 +285,7 @@ impl Offload {
     /// pre-reliability protocol on clean runs). When proxies can crash,
     /// a basic-origin message is also stored on its slot for replay.
     fn post_ctrl(&self, to: EpId, bytes: u64, msg: CtrlMsg, origin: ReqOrigin) {
+        crate::profile_scope!("ctrl_encode");
         if let ReqOrigin::Basic(r) = origin {
             if self.cfg.fault.crash_at_step > 0 {
                 self.st.borrow_mut().reqs[r].replay = Some((to, msg.clone()));
@@ -349,6 +350,7 @@ impl Offload {
 
     /// Charge a credit (when capped) and actually ship the post.
     fn admit_post(&self, req: usize, to: EpId, bytes: u64, mut msg: CtrlMsg) {
+        crate::profile_scope!("credit_admission");
         // A deferred post may have waited through many completions:
         // refresh the piggybacked completion horizon so the proxy's
         // journal truncation tracks reality, not the build instant.

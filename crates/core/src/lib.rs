@@ -71,6 +71,7 @@ mod host;
 mod messages;
 mod metrics;
 mod patterns;
+pub mod profile;
 mod proxy;
 mod reg_cache;
 mod reliable;
@@ -85,6 +86,7 @@ pub use host::{GroupRequest, Offload, OffloadReq};
 pub use metrics::{
     CacheCounters, Metrics, MetricsReport, ProxyMetrics, RankMetrics, WindowMetrics,
 };
+pub use profile::{ProfileReport, ScopeAgg};
 pub use proxy::{proxy_fn, proxy_main};
 pub use reg_cache::RankAddrCache;
 pub use reliable::OffloadError;

@@ -588,18 +588,12 @@ impl MetricsReport {
         self.bytes_cross_gvmi + self.bytes_staging_hop2
     }
 
-    /// Render as deterministic `bluefield-offload/metrics/v1` JSON.
-    /// `bench` names the producing benchmark or test.
-    pub fn to_json(&self, bench: &str) -> String {
-        let mut o = String::with_capacity(4096);
-        let esc: String = bench
-            .chars()
-            .filter(|c| c.is_ascii_alphanumeric() || "_-. ".contains(*c))
-            .collect();
-        o.push_str("{\n  \"schema\": \"bluefield-offload/metrics/v1\",\n");
-        let _ = writeln!(o, "  \"bench\": \"{esc}\",");
-        o.push_str("  \"totals\": {");
-        let totals: &[(&str, u64)] = &[
+    /// The `totals` section as ordered key/value pairs — the exact keys
+    /// and order of the `bluefield-offload/metrics/v1` `totals` object.
+    /// The telemetry bus diffs successive calls of this to form
+    /// snapshot deltas, so the key order here *is* the delta order.
+    pub fn totals(&self) -> Vec<(&'static str, u64)> {
+        vec![
             ("events", self.events),
             ("rts", self.rts),
             ("rtr", self.rtr),
@@ -650,7 +644,21 @@ impl MetricsReport {
             ("journal_truncations", self.journal_truncations),
             ("journal_hwm", self.journal_hwm),
             ("finalized_ranks", self.finalized_ranks),
-        ];
+        ]
+    }
+
+    /// Render as deterministic `bluefield-offload/metrics/v1` JSON.
+    /// `bench` names the producing benchmark or test.
+    pub fn to_json(&self, bench: &str) -> String {
+        let mut o = String::with_capacity(4096);
+        let esc: String = bench
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric() || "_-. ".contains(*c))
+            .collect();
+        o.push_str("{\n  \"schema\": \"bluefield-offload/metrics/v1\",\n");
+        let _ = writeln!(o, "  \"bench\": \"{esc}\",");
+        o.push_str("  \"totals\": {");
+        let totals = self.totals();
         for (i, (k, v)) in totals.iter().enumerate() {
             let sep = if i + 1 == totals.len() { "" } else { "," };
             let _ = write!(o, "\n    \"{k}\": {v}{sep}");

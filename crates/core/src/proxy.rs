@@ -44,6 +44,7 @@ const DATA_RETX_MAX: u32 = 8;
 /// foreign message is surfaced as `None` so the caller can count and skip
 /// it instead of taking the whole simulation down.
 fn decode_ctrl(body: Payload) -> Option<CtrlMsg> {
+    crate::profile_scope!("ctrl_decode");
     body.downcast::<CtrlMsg>().ok().map(|b| *b)
 }
 
@@ -778,6 +779,7 @@ impl Proxy<'_> {
     /// run's fault plan arms it. On a fault-free plan this is the exact
     /// pre-reliability direct send, so clean baselines do not move.
     fn send_ctrl(&self, st: &mut ProxyState, to: EpId, msg: CtrlMsg) {
+        crate::profile_scope!("ctrl_encode");
         if self.cfg.fault.reliable() {
             st.rel.send(
                 self.ctx,
@@ -943,6 +945,7 @@ impl Proxy<'_> {
         if self.cfg.journal_cap == 0 {
             return;
         }
+        crate::profile_scope!("journal_truncate");
         if st.completed_msgs.len() > self.cfg.journal_cap {
             let horizons = &st.ack_horizons;
             let before = st.completed_msgs.len();
@@ -1379,6 +1382,7 @@ impl Proxy<'_> {
     }
 
     fn on_cqe(&self, st: &mut ProxyState, wrid: u64) {
+        crate::profile_scope!("cq_poll");
         let Some(completion) = st.inflight.remove(&wrid) else {
             // CQE of a write posted before a crash: the restarted proxy
             // does not know it. The transfer itself is re-driven by the
@@ -1395,6 +1399,7 @@ impl Proxy<'_> {
         // completion. A mismatch schedules a bounded retransmission
         // instead — no FIN, no staging forward, no barrier progress.
         if let Some(wctx) = st.inflight_ctx.remove(&wrid) {
+            crate::profile_scope!("crc_verify");
             let (ep, addr, _) = if wctx.is_read {
                 wctx.local
             } else {

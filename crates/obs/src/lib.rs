@@ -20,7 +20,9 @@
 mod chrome;
 pub mod json;
 pub mod lifecycle;
+pub mod profile;
 mod schema;
+pub mod telemetry;
 
 pub use chrome::chrome_trace;
 pub use json::{parse, Json};
@@ -28,4 +30,8 @@ pub use lifecycle::{
     reconstruct, Histogram, LifecycleRecorder, LifecycleReport, MsgTimeline, Phase, Residence,
     Segment, WindowPath, LIFECYCLE_SCHEMA_ID, PHASES,
 };
-pub use schema::{validate_metrics, SCHEMA_ID};
+pub use profile::{render_profile, ProfileDoc};
+pub use schema::{
+    validate_metrics, validate_profile, PROFILE_SCHEMA_ID, PROFILE_SCOPES, SCHEMA_ID,
+};
+pub use telemetry::{TelemetryBus, TelemetrySink, TelemetrySnapshot};

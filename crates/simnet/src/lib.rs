@@ -45,6 +45,10 @@ mod trace;
 pub use process::{BlockReason, Payload, Pid, ProcStatus};
 pub use resource::ResourceId;
 pub use rng::SimRng;
+pub use shard::{
+    EngineProfile, ShardStats, SCOPE_ENGINE_BARRIER_WAIT, SCOPE_ENGINE_COORDINATOR,
+    SCOPE_ENGINE_EMIT_MERGE, SCOPE_ENGINE_EXEC,
+};
 pub use sim::{
     engine_events, EventSink, OpenSpan, ProcReport, ProcessCtx, Report, SimError, Simulation,
     SIMNET_CHAOS_ENV, SIMNET_THREADS_ENV,

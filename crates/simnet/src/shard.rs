@@ -126,6 +126,95 @@ struct FatalPanic {
     join: Option<std::thread::JoinHandle<()>>,
 }
 
+/// Profile bucket name: wall-clock time spent executing events inside
+/// windows, per shard (see [`ShardStats::exec_ns`]).
+pub const SCOPE_ENGINE_EXEC: &str = "engine_exec";
+/// Profile bucket name: wall-clock time workers spent parked at the
+/// round gate waiting for the next window (see
+/// [`ShardStats::barrier_wait_ns`]).
+pub const SCOPE_ENGINE_BARRIER_WAIT: &str = "engine_barrier_wait";
+/// Profile bucket name: coordinator time merging cross-shard events and
+/// emits between windows (see [`EngineProfile::emit_merge_ns`]).
+pub const SCOPE_ENGINE_EMIT_MERGE: &str = "engine_emit_merge";
+/// Profile bucket name: coordinator time computing conservative window
+/// horizons (see [`EngineProfile::coordinator_ns`]).
+pub const SCOPE_ENGINE_COORDINATOR: &str = "engine_coordinator";
+
+/// Wall-clock time attribution for one shard of a profiled run
+/// ([`crate::Simulation::set_profile`]).
+///
+/// All `_ns` fields are **wall-clock** durations: they vary run to run
+/// and must never feed back into simulation results (the engine only
+/// reads them into the final [`crate::Report`]). The `windows`/`events`
+/// counts are virtual-time-deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard id.
+    pub shard: u32,
+    /// Windows dispatched to this shard (equals the run's window count).
+    pub windows: u64,
+    /// Events this shard executed.
+    pub events: u64,
+    /// Wall-clock nanoseconds spent inside [`run_window`] execution.
+    pub exec_ns: u64,
+    /// Wall-clock nanoseconds the owning worker spent waiting at the
+    /// round gate, attributed evenly across the shards it owns. Zero
+    /// when the run is single-threaded (windows run inline, no gate).
+    pub barrier_wait_ns: u64,
+}
+
+/// Engine-level wall-clock attribution of a profiled sharded run,
+/// attached to [`crate::Report::profile`].
+///
+/// The buckets attribute where the *engine's own* overhead goes —
+/// event-execute vs barrier-wait vs emit-merge vs coordinator — they are
+/// not a partition of the run's total wall time (worker execution and
+/// the coordinator's wait for workers overlap).
+#[derive(Debug, Clone, Default)]
+pub struct EngineProfile {
+    /// Per-shard buckets, in shard-id order.
+    pub shards: Vec<ShardStats>,
+    /// Coordinator wall-clock nanoseconds in the flush step: moving
+    /// outbox events into destination queues and merging buffered emits
+    /// in canonical order.
+    pub emit_merge_ns: u64,
+    /// Coordinator wall-clock nanoseconds computing window horizons.
+    pub coordinator_ns: u64,
+    /// Barrier windows the run executed.
+    pub windows: u64,
+    /// Worker threads the run used.
+    pub threads: usize,
+}
+
+impl EngineProfile {
+    /// Sum of per-shard event-execution time.
+    pub fn exec_ns_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.exec_ns).sum()
+    }
+
+    /// Sum of per-shard barrier-wait time.
+    pub fn barrier_wait_ns_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.barrier_wait_ns).sum()
+    }
+
+    /// Events executed across all shards.
+    pub fn events_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    /// The engine buckets as `(scope name, wall ns)` rows, aggregated
+    /// across shards — the shape the profile report and the `cargo
+    /// xtask profile` table consume.
+    pub fn buckets(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            (SCOPE_ENGINE_EXEC, self.exec_ns_total()),
+            (SCOPE_ENGINE_BARRIER_WAIT, self.barrier_wait_ns_total()),
+            (SCOPE_ENGINE_EMIT_MERGE, self.emit_merge_ns),
+            (SCOPE_ENGINE_COORDINATOR, self.coordinator_ns),
+        ]
+    }
+}
+
 /// Everything one shard owns. Exactly one thread touches this at a time:
 /// a worker (or the coordinator) during a window, the coordinator
 /// between windows, or a running process via its `ProcessCtx`.
@@ -151,6 +240,13 @@ struct ShardState {
     events: u64,
     error: Option<SimError>,
     fatal: Option<FatalPanic>,
+    /// Windows dispatched to this shard (profiled runs only).
+    prof_windows: u64,
+    /// Wall-clock ns spent executing windows (profiled runs only).
+    prof_exec_ns: u64,
+    /// Wall-clock ns of gate wait attributed to this shard (profiled
+    /// multi-threaded runs only).
+    prof_barrier_ns: u64,
 }
 
 /// One shard: an id plus its mutex-guarded state.
@@ -180,6 +276,9 @@ impl ShardCell {
                 events: 0,
                 error: None,
                 fatal: None,
+                prof_windows: 0,
+                prof_exec_ns: 0,
+                prof_barrier_ns: 0,
             }),
         }
     }
@@ -224,6 +323,8 @@ pub(crate) struct RunOpts {
     /// randomly call `thread::yield_now` between events to stress
     /// thread-interleaving independence.
     pub(crate) chaos: Option<u64>,
+    /// Collect wall-clock [`EngineProfile`] buckets into the report.
+    pub(crate) profile: bool,
 }
 
 /// Deterministic per-shard RNG stream. Shard 0 gets the raw seed (so a
@@ -383,6 +484,7 @@ pub(crate) fn run_sharded(rt: &Arc<ShardedRt>, opts: RunOpts) -> Result<Report, 
             procs: Vec::new(),
             events: 0,
             resources: Vec::new(),
+            profile: opts.profile.then(EngineProfile::default),
         });
     }
     // Freeze the lookahead map and precompute each shard's smallest
@@ -425,15 +527,22 @@ pub(crate) fn run_sharded(rt: &Arc<ShardedRt>, opts: RunOpts) -> Result<Report, 
         }
     }
     let workers = opts.threads.max(1).min(n);
+    let prof = opts.profile;
     let mut pool =
-        (workers > 1).then(|| Pool::start(&shards, workers, opts.time_limit, opts.chaos));
+        (workers > 1).then(|| Pool::start(&shards, workers, opts.time_limit, opts.chaos, prof));
 
     let mut window_end = SimTime::ZERO;
     let mut windows: u64 = 0;
     let mut xshard: u64 = 0;
+    let mut emit_merge_ns: u64 = 0;
+    let mut coordinator_ns: u64 = 0;
     let outcome: Result<(), SimError> = loop {
         // 1. Flush the previous window's cross-shard traffic and emits.
+        let t0 = prof.then(std::time::Instant::now); // lint:allow(wall-clock)
         flush_cross_shard(&shards, rt, window_end, &mut xshard);
+        if let Some(t0) = t0 {
+            emit_merge_ns += t0.elapsed().as_nanos() as u64;
+        }
         // 2. Resolve panics/errors from the previous window, in shard
         //    order (deterministic regardless of which worker hit them).
         if let Some(f) = take_fatal(&shards) {
@@ -447,6 +556,7 @@ pub(crate) fn run_sharded(rt: &Arc<ShardedRt>, opts: RunOpts) -> Result<Report, 
             break Err(err);
         }
         // 3. Compute the conservative window end.
+        let t0 = prof.then(std::time::Instant::now); // lint:allow(wall-clock)
         let mut w = SimTime::MAX;
         let mut any_active = false;
         for cell in &shards {
@@ -466,6 +576,9 @@ pub(crate) fn run_sharded(rt: &Arc<ShardedRt>, opts: RunOpts) -> Result<Report, 
                 }
             }
         }
+        if let Some(t0) = t0 {
+            coordinator_ns += t0.elapsed().as_nanos() as u64;
+        }
         if !any_active {
             break Ok(());
         }
@@ -476,7 +589,7 @@ pub(crate) fn run_sharded(rt: &Arc<ShardedRt>, opts: RunOpts) -> Result<Report, 
             Some(p) => p.run_round(w),
             None => {
                 for cell in &shards {
-                    run_window(cell, w, opts.time_limit, None);
+                    run_window(cell, w, opts.time_limit, None, prof);
                 }
             }
         }
@@ -510,8 +623,18 @@ pub(crate) fn run_sharded(rt: &Arc<ShardedRt>, opts: RunOpts) -> Result<Report, 
     let mut resources: Vec<(String, SimDelta, u64)> = Vec::new();
     let mut traces: Vec<Trace> = Vec::new();
     let mut handles = Vec::new();
+    let mut shard_stats: Vec<ShardStats> = Vec::new();
     for cell in &shards {
         let mut st = cell.state.lock();
+        if prof {
+            shard_stats.push(ShardStats {
+                shard: cell.id,
+                windows: st.prof_windows,
+                events: st.events,
+                exec_ns: st.prof_exec_ns,
+                barrier_wait_ns: st.prof_barrier_ns,
+            });
+        }
         for (i, slot) in st.slots.iter().enumerate() {
             procs.push((
                 st.pids[i].0,
@@ -547,6 +670,13 @@ pub(crate) fn run_sharded(rt: &Arc<ShardedRt>, opts: RunOpts) -> Result<Report, 
         procs: procs.into_iter().map(|(_, p)| p).collect(),
         events,
         resources,
+        profile: prof.then_some(EngineProfile {
+            shards: shard_stats,
+            emit_merge_ns,
+            coordinator_ns,
+            windows,
+            threads: workers,
+        }),
     };
     for h in handles {
         let _ = h.join();
@@ -664,6 +794,7 @@ impl Pool {
         workers: usize,
         limit: Option<SimTime>,
         chaos: Option<u64>,
+        prof: bool,
     ) -> Pool {
         let gate = Arc::new(Gate {
             m: Mutex::new(GateState {
@@ -687,7 +818,7 @@ impl Pool {
             let gate2 = Arc::clone(&gate);
             let handle = std::thread::Builder::new()
                 .name(format!("simnet-worker{w}"))
-                .spawn(move || worker_loop(gate2, mine, limit, chaos, w as u64))
+                .spawn(move || worker_loop(gate2, mine, limit, chaos, w as u64, prof))
                 .expect("failed to spawn shard worker");
             handles.push(handle);
         }
@@ -733,6 +864,7 @@ fn worker_loop(
     limit: Option<SimTime>,
     chaos: Option<u64>,
     worker: u64,
+    prof: bool,
 ) {
     let mut chaos_rng = chaos.map(|c| {
         let mut z = c ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker + 1);
@@ -740,24 +872,35 @@ fn worker_loop(
         SimRng::new(z)
     });
     let mut seen = 0u64;
+    let mut wait_ns: u64 = 0;
     loop {
         let window;
         {
             let mut g = gate.m.lock();
             loop {
                 if g.shutdown {
+                    drop(g);
+                    if prof {
+                        distribute_gate_wait(&shards, wait_ns);
+                    }
                     return;
                 }
                 if g.round > seen {
                     break;
                 }
-                gate.cv.wait(&mut g);
+                if prof {
+                    let t0 = std::time::Instant::now(); // lint:allow(wall-clock)
+                    gate.cv.wait(&mut g);
+                    wait_ns += t0.elapsed().as_nanos() as u64;
+                } else {
+                    gate.cv.wait(&mut g);
+                }
             }
             seen = g.round;
             window = g.window;
         }
         for cell in &shards {
-            run_window(cell, window, limit, chaos_rng.as_mut());
+            run_window(cell, window, limit, chaos_rng.as_mut(), prof);
         }
         {
             let mut g = gate.m.lock();
@@ -767,15 +910,52 @@ fn worker_loop(
     }
 }
 
+/// Attribute a worker's total gate-wait time evenly across the shards it
+/// owns: the wait is a property of the worker thread, not of any single
+/// shard, so an even split is the only assignment that does not invent
+/// per-shard precision the measurement lacks.
+fn distribute_gate_wait(shards: &[Arc<ShardCell>], wait_ns: u64) {
+    if shards.is_empty() || wait_ns == 0 {
+        return;
+    }
+    let share = wait_ns / shards.len() as u64;
+    for cell in shards {
+        cell.state.lock().prof_barrier_ns += share;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Inside one window: the per-shard scheduler loop (mirrors the classic
 // engine's two phases, bounded by the window end).
 // ---------------------------------------------------------------------
 
+/// Process one shard's events strictly before `w_end`, timing the whole
+/// window into the shard's `exec_ns` bucket on profiled runs. The timer
+/// reads wall clock strictly *outside* the execution path it measures,
+/// so profiling can never perturb virtual-time results.
+fn run_window(
+    cell: &Arc<ShardCell>,
+    w_end: SimTime,
+    limit: Option<SimTime>,
+    chaos: Option<&mut SimRng>,
+    prof: bool,
+) {
+    if !prof {
+        run_window_inner(cell, w_end, limit, chaos);
+        return;
+    }
+    let t0 = std::time::Instant::now(); // lint:allow(wall-clock)
+    run_window_inner(cell, w_end, limit, chaos);
+    let dt = t0.elapsed().as_nanos() as u64;
+    let mut st = cell.state.lock();
+    st.prof_exec_ns += dt;
+    st.prof_windows += 1;
+}
+
 /// Process one shard's events strictly before `w_end`. Errors and
 /// process panics are parked in the shard state for the coordinator to
 /// resolve deterministically after the round.
-fn run_window(
+fn run_window_inner(
     cell: &Arc<ShardCell>,
     w_end: SimTime,
     limit: Option<SimTime>,

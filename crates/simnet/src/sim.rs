@@ -158,6 +158,12 @@ pub struct Report {
     pub events: u64,
     /// Per-resource utilization: `(name, total busy time, reservations)`.
     pub resources: Vec<(String, SimDelta, u64)>,
+    /// Engine wall-clock self-profile, present only when
+    /// [`Simulation::set_profile`] enabled it on a sharded run (the
+    /// classic engine has no windows or barriers to attribute, so it
+    /// always reports `None`). Durations are wall-clock and
+    /// nondeterministic; the shard/window/event counts inside are not.
+    pub profile: Option<shard::EngineProfile>,
 }
 
 impl Report {
@@ -214,6 +220,9 @@ pub struct Simulation {
     /// Present once `spawn_on` has been called: the simulation runs on
     /// the sharded conservative-lookahead engine.
     sharded: Option<Arc<shard::ShardedRt>>,
+    /// Collect [`shard::EngineProfile`] wall-clock buckets (sharded
+    /// engine only; off by default).
+    profile: bool,
 }
 
 /// A typed span opened by [`ProcessCtx::span_begin`] and not yet closed.
@@ -277,6 +286,7 @@ impl Simulation {
             chaos: None,
             lookahead: shard::LookaheadCfg::new(SimDelta::from_us(1)),
             sharded: None,
+            profile: false,
         }
     }
 
@@ -381,6 +391,16 @@ impl Simulation {
         self.chaos = Some(seed);
     }
 
+    /// Collect the sharded engine's wall-clock self-profile into
+    /// [`Report::profile`]: per-shard event-execute and barrier-wait
+    /// buckets plus coordinator flush/horizon time. Off by default —
+    /// when off, the engine takes no timestamps at all. Profiling never
+    /// affects virtual-time results; only the run's wall speed (bounded
+    /// overhead, gated in CI).
+    pub fn set_profile(&mut self, on: bool) {
+        self.profile = on;
+    }
+
     /// Number of shards (0 for a classic, unsharded simulation).
     pub fn shards(&self) -> usize {
         self.sharded.as_ref().map_or(0, |rt| rt.num_shards())
@@ -424,6 +444,7 @@ impl Simulation {
                     sink,
                     lookahead: self.lookahead.clone(),
                     chaos,
+                    profile: self.profile,
                 },
             )?;
             record_engine_events(report.events);
@@ -523,6 +544,7 @@ impl Simulation {
                 .iter()
                 .map(|r| (r.name.clone(), r.busy_total, r.reservations))
                 .collect(),
+            profile: None,
         };
         drop(st);
         for h in handles {

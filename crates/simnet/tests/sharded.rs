@@ -132,6 +132,61 @@ fn one_shard_sharded_run_matches_the_classic_engine() {
 }
 
 #[test]
+fn profiled_run_accounts_every_event_without_perturbing_results() {
+    fn mesh(threads: usize, profile: bool) -> Report {
+        let mut sim = Simulation::new(13);
+        sim.set_lookahead(SimDelta::from_us(1));
+        sim.set_threads(threads);
+        sim.set_profile(profile);
+        for r in 0..4u32 {
+            sim.spawn_on(r as usize, format!("rank{r}"), move |ctx| {
+                let dest = Pid::from_index(((r + 1) % 4) as usize);
+                let jitter = ctx.gen_range(500);
+                ctx.deliver(
+                    dest,
+                    SimDelta::from_us(1) + SimDelta::from_ns(jitter),
+                    Box::new(r),
+                );
+                let msg = ctx.recv();
+                assert_eq!(*msg.downcast::<u32>().unwrap(), (r + 3) % 4);
+            });
+        }
+        sim.run().unwrap()
+    }
+
+    let plain = mesh(2, false);
+    assert!(plain.profile.is_none(), "profiling is off by default");
+    let profiled = mesh(2, true);
+    // Profiling is observation only: every virtual-time result matches.
+    assert_eq!(plain.end_time, profiled.end_time);
+    assert_eq!(plain.events, profiled.events);
+    assert_eq!(
+        counters_without_engine(&plain),
+        counters_without_engine(&profiled)
+    );
+    let ep = profiled.profile.expect("profiled sharded run attaches one");
+    assert_eq!(ep.shards.len(), 4, "one ShardStats per shard");
+    assert_eq!(
+        ep.events_total(),
+        profiled.events,
+        "per-shard event counts must partition the run's event total"
+    );
+    assert_eq!(ep.threads, 2);
+    assert!(ep.windows > 0);
+    assert!(
+        ep.shards.iter().all(|s| s.windows == ep.windows),
+        "every shard sees every window"
+    );
+    // The classic (threads=1 via one shard) engine never profiles —
+    // only the sharded runtime has windows to attribute. A profiled
+    // single-threaded sharded run still reports, with no gate waits.
+    let single = mesh(1, true);
+    let ep1 = single.profile.expect("single-threaded sharded profile");
+    assert_eq!(ep1.barrier_wait_ns_total(), 0, "no gate when inline");
+    assert_eq!(ep1.events_total(), single.events);
+}
+
+#[test]
 fn cross_shard_messages_arrive_exactly_on_time() {
     let mut sim = Simulation::new(0);
     sim.set_lookahead(SimDelta::from_ns(500));

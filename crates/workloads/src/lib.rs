@@ -41,5 +41,8 @@ pub use observe::{fanout, with_metrics, with_observer, Observer};
 pub use overlap::{omb_overlap_pct, OverlapResult};
 pub use p3dfft::{p3dfft, P3dfftResult, NS_PER_POINT};
 pub use pingpong::{nonblocking_pingpong_us, P2pEngine};
-pub use scale::{scale_alltoall, scale_stencil, ScaleRun, ScaleSpec};
+pub use scale::{
+    scale_alltoall, scale_alltoall_with, scale_stencil, scale_stencil_with, ScaleObs, ScaleRun,
+    ScaleSpec,
+};
 pub use stencil::{dims3, stencil3d, stencil3d_with_stats, NS_PER_CELL};

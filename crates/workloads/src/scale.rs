@@ -13,7 +13,7 @@
 //! different order — changes the fingerprint, so comparing fingerprints
 //! across worker thread counts is a whole-run equivalence check.
 
-use simnet::{Pid, SimDelta, Simulation};
+use simnet::{EngineProfile, EventSink, Pid, SimDelta, Simulation};
 
 use crate::stencil::dims3;
 
@@ -86,13 +86,32 @@ fn mix(src: u32, round: u32, data: u64, at_ps: u64) -> u64 {
     x & 0xFFFF_FFFF
 }
 
-fn build_sim(spec: &ScaleSpec) -> Simulation {
+/// Observability hooks for the `_with` run variants. Both default to
+/// off, in which case a `_with` run is byte-identical to the plain one.
+#[derive(Default)]
+pub struct ScaleObs {
+    /// Event sink to install (e.g. an `obs::TelemetryBus` sink). When
+    /// present, every rank additionally emits one cheap
+    /// `(rank, round)` tick event per round so the sink sees a
+    /// deterministic, virtual-time-stamped stream even though the
+    /// scale workloads never touch the offload protocol.
+    pub sink: Option<EventSink>,
+    /// Arm the sharded engine's per-shard time accounting
+    /// (`Report::profile`).
+    pub profile: bool,
+}
+
+fn build_sim(spec: &ScaleSpec, obs: &mut ScaleObs) -> Simulation {
     assert!(spec.nodes >= 1 && spec.ppn >= 1 && spec.iters >= 1);
     let mut sim = Simulation::new(spec.seed);
     sim.set_threads(spec.threads.max(1));
     sim.set_lookahead(SimDelta::from_ns(CROSS_NS));
     // Thousands of rank threads; the closures below need little stack.
     sim.set_stack_size(256 * 1024);
+    if let Some(sink) = obs.sink.take() {
+        sim.set_event_sink(sink);
+    }
+    sim.set_profile(obs.profile);
     sim
 }
 
@@ -122,7 +141,19 @@ fn finish(report: &simnet::Report) -> ScaleRun {
 /// 1k ranks that is ~1M deliveries per round — the engine self-benchmark
 /// workload.
 pub fn scale_alltoall(spec: &ScaleSpec) -> ScaleRun {
-    let mut sim = build_sim(spec);
+    scale_alltoall_with(spec, ScaleObs::default()).0
+}
+
+/// [`scale_alltoall`] with observability hooks. The [`ScaleRun`] is
+/// identical to the plain variant's at any hook setting (emitting
+/// events never advances virtual time or consumes RNG), which is how
+/// the benches assert that profiling cannot perturb results.
+pub fn scale_alltoall_with(
+    spec: &ScaleSpec,
+    mut obs: ScaleObs,
+) -> (ScaleRun, Option<EngineProfile>) {
+    let observed = obs.sink.is_some();
+    let mut sim = build_sim(spec, &mut obs);
     let n = spec.ranks() as u32;
     let ppn = spec.ppn as u32;
     let iters = spec.iters;
@@ -150,12 +181,15 @@ pub fn scale_alltoall(spec: &ScaleSpec) -> ScaleRun {
                     let (src, rd, data) = *body;
                     acc = acc.wrapping_add(mix(src, rd, data, ctx.now().as_ps()));
                 }
+                if observed {
+                    ctx.emit(&(r, round));
+                }
             }
             ctx.stat_incr("scale.fingerprint", acc & 0xFFFF_FFFF);
         });
     }
     let report = sim.run().expect("scale alltoall cannot deadlock");
-    finish(&report)
+    (finish(&report), report.profile)
 }
 
 /// 3-D halo-exchange stencil: ranks form a periodic `dims3` grid, each
@@ -163,7 +197,17 @@ pub fn scale_alltoall(spec: &ScaleSpec) -> ScaleRun {
 /// computes. Much lower message density than the alltoall — this is the
 /// "many windows, little work per window" end of the engine envelope.
 pub fn scale_stencil(spec: &ScaleSpec) -> ScaleRun {
-    let mut sim = build_sim(spec);
+    scale_stencil_with(spec, ScaleObs::default()).0
+}
+
+/// [`scale_stencil`] with observability hooks — see
+/// [`scale_alltoall_with`] for the invariance contract.
+pub fn scale_stencil_with(
+    spec: &ScaleSpec,
+    mut obs: ScaleObs,
+) -> (ScaleRun, Option<EngineProfile>) {
+    let observed = obs.sink.is_some();
+    let mut sim = build_sim(spec, &mut obs);
     let n = spec.ranks() as u32;
     let ppn = spec.ppn as u32;
     let iters = spec.iters;
@@ -205,12 +249,15 @@ pub fn scale_stencil(spec: &ScaleSpec) -> ScaleRun {
                 ctx.compute(SimDelta::from_ns(
                     STENCIL_COMPUTE_NS + ctx.gen_range(LOCAL_JITTER_NS),
                 ));
+                if observed {
+                    ctx.emit(&(r, round));
+                }
             }
             ctx.stat_incr("scale.fingerprint", acc & 0xFFFF_FFFF);
         });
     }
     let report = sim.run().expect("scale stencil cannot deadlock");
-    finish(&report)
+    (finish(&report), report.profile)
 }
 
 #[cfg(test)]

@@ -18,9 +18,11 @@
 //!   is that warm windows need zero host interventions, and no
 //!   tolerance buys that back.
 //! * Wall-clock counters (`wall_ms`, `events_per_sec`, `speedup` path
-//!   suffixes — the engine self-benchmark numbers) are held to their own
-//!   `--wall-tol` band (default 900%) instead of the exact gate: host
-//!   time varies with machine and load, simulated counters never do.
+//!   suffixes — the engine self-benchmark numbers — plus everything
+//!   under a `profile` section, which is wall-derived overhead data)
+//!   are held to their own `--wall-tol` band (default 900%) instead of
+//!   the exact gate: host time varies with machine and load, simulated
+//!   counters never do.
 //! * New-only counters are fine (instrumentation grows).
 //! * Files only in the old tree are reported but do not fail the gate
 //!   (benches can be retired); files only in the new tree are ignored.
@@ -181,7 +183,13 @@ fn increase_is_always_bad(counter: &str) -> bool {
 /// self-benchmark, compared under `wall_tol_pct` instead of `tol_pct`.
 /// Matched by the last path segment so per-thread variants
 /// (`engine.t4_wall_ms`, `engine.t4_speedup`) land in the band too.
+/// Everything under a `profile` section (the `BENCH_PROFILE=1` ext
+/// section: overhead ratios, profiled wall times) is wall-derived by
+/// construction and lands in the band wholesale.
 fn is_wall_counter(counter: &str) -> bool {
+    if counter.split('.').any(|seg| seg == "profile") {
+        return true;
+    }
     let last = counter.rsplit('.').next().unwrap_or(counter);
     last.ends_with("wall_ms") || last.ends_with("events_per_sec") || last.ends_with("speedup")
 }
@@ -412,6 +420,53 @@ mod tests {
         diff_docs(
             "f",
             &doc(WALL_BASE),
+            &doc(&new),
+            &DiffOptions::default(),
+            &mut r,
+        );
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].why, "counter disappeared");
+    }
+
+    const PROFILE_BASE: &str = r#"{
+        "schema": "bluefield-offload/metrics/v1",
+        "bench": "fixture",
+        "totals": {"events": 100},
+        "profile": {"snapshots": 2, "scopes": 11, "overhead_pct": 0.4}
+    }"#;
+
+    #[test]
+    fn profile_section_lands_in_the_wall_band() {
+        // A profiling-overhead swing inside the wall band passes at
+        // zero exact tolerance...
+        let new = PROFILE_BASE.replace("\"overhead_pct\": 0.4", "\"overhead_pct\": 3.1");
+        let mut r = DiffReport::default();
+        diff_docs(
+            "f",
+            &doc(PROFILE_BASE),
+            &doc(&new),
+            &DiffOptions::default(),
+            &mut r,
+        );
+        assert!(r.ok(), "{:?}", r.regressions);
+        // ...a swing beyond it fails with the wall-band reason...
+        let new = PROFILE_BASE.replace("\"overhead_pct\": 0.4", "\"overhead_pct\": 40.4");
+        let mut r = DiffReport::default();
+        diff_docs(
+            "f",
+            &doc(PROFILE_BASE),
+            &doc(&new),
+            &DiffOptions::default(),
+            &mut r,
+        );
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].why, "drift beyond wall-clock tolerance");
+        // ...and a vanished profile counter is still a regression.
+        let new = PROFILE_BASE.replace("\"snapshots\": 2, ", "");
+        let mut r = DiffReport::default();
+        diff_docs(
+            "f",
+            &doc(PROFILE_BASE),
             &doc(&new),
             &DiffOptions::default(),
             &mut r,

@@ -1,0 +1,131 @@
+//! Telemetry-bus conservation and determinism, end to end through the
+//! offload protocol: for any run, the per-counter sum of snapshot
+//! deltas published by an [`obs::TelemetryBus`] must equal the final
+//! frozen [`Metrics`] totals exactly (no event lost at a window
+//! boundary, none double-counted), an external metrics sink fed from
+//! the same fan-out must agree, and the full snapshot stream —
+//! boundaries, ordering, every delta — must be identical across engine
+//! worker thread counts. Swept proptest-style over seeds, proxy
+//! fan-outs and thread counts.
+
+use bluefield_offload::apps::{drive_stencil, fanout, CheckRun};
+use bluefield_offload::dpu::Metrics;
+use obs::{render_profile, validate_profile, ProfileDoc, TelemetryBus, TelemetrySnapshot};
+use proptest::prelude::*;
+
+/// Telemetry window width. Small enough that a 4-rank stencil run
+/// crosses several boundaries, so conservation is summed over a real
+/// multi-snapshot stream rather than a single tail window.
+const INTERVAL_PS: u64 = 250_000;
+
+/// One observed stencil run: returns the bus's frozen totals, the
+/// published snapshots, and the externally accumulated totals.
+#[allow(clippy::type_complexity)]
+fn observed_run(
+    seed: u64,
+    proxies: usize,
+    threads: usize,
+) -> (
+    Vec<(&'static str, u64)>,
+    Vec<TelemetrySnapshot>,
+    Vec<(&'static str, u64)>,
+) {
+    let mut run = CheckRun::baseline(seed);
+    run.proxies_per_dpu = proxies;
+    run.threads = Some(threads);
+    let external = Metrics::new();
+    let bus = TelemetryBus::new(INTERVAL_PS);
+    run.sink = Some(fanout(vec![external.sink(), bus.sink()]));
+    drive_stencil(&run, 1024, 2).expect("clean stencil run");
+    let (bus_report, snaps) = bus.finish();
+    (bus_report.totals(), snaps, external.report().totals())
+}
+
+/// Sum of `key` deltas across a snapshot stream.
+fn delta_sum(snaps: &[TelemetrySnapshot], key: &str) -> u64 {
+    snaps
+        .iter()
+        .flat_map(|s| s.deltas.iter())
+        .filter(|(k, _)| k == key)
+        .map(|&(_, v)| v)
+        .sum()
+}
+
+fn check_conservation(seed: u64, proxies: usize, threads: usize) -> Vec<TelemetrySnapshot> {
+    let (bus_totals, snaps, external_totals) = observed_run(seed, proxies, threads);
+    assert!(
+        snaps.len() >= 2,
+        "seed {seed}: expected a multi-snapshot stream, got {}",
+        snaps.len()
+    );
+    let seqs: Vec<u64> = snaps.iter().map(|s| s.seq).collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "seed {seed}: seq must be strictly increasing: {seqs:?}"
+    );
+    assert!(
+        snaps.windows(2).all(|w| w[0].upto_ps <= w[1].upto_ps),
+        "seed {seed}: window bounds must be monotone"
+    );
+    for (key, total) in &bus_totals {
+        assert_eq!(
+            delta_sum(&snaps, key),
+            *total,
+            "seed {seed} proxies {proxies} threads {threads}: \
+             snapshot deltas must sum to the frozen total for {key}"
+        );
+    }
+    assert_eq!(
+        bus_totals, external_totals,
+        "seed {seed}: the bus's internal accumulator and an external \
+         sink on the same fan-out must agree"
+    );
+    assert!(
+        delta_sum(&snaps, "bus_events") > 0,
+        "seed {seed}: the bus saw no events at all"
+    );
+    snaps
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn snapshot_deltas_conserve_totals(seed in 1u64..10_000) {
+        for proxies in [1usize, 2, 4] {
+            check_conservation(seed, proxies, 1);
+        }
+    }
+
+    #[test]
+    fn snapshot_stream_is_thread_count_invariant(seed in 1u64..10_000) {
+        // The engine delivers events in canonical order at any worker
+        // count, so the entire snapshot stream — not just the sums —
+        // must match between the classic and sharded runtimes.
+        let t1 = check_conservation(seed, 2, 1);
+        let t4 = check_conservation(seed, 2, 4);
+        prop_assert_eq!(t1, t4);
+    }
+}
+
+#[test]
+fn snapshot_stream_renders_as_valid_profile_v1() {
+    let snaps = check_conservation(99, 1, 1);
+    // A profile/v1 document built from the stream (no span scopes: the
+    // profiler was not armed here) must pass its own validator in both
+    // wall regimes.
+    let report = bluefield_offload::dpu::ProfileReport::default();
+    for wall in [false, true] {
+        let doc = render_profile(&ProfileDoc {
+            bench: "telemetry_conservation",
+            report: &report,
+            engine: None,
+            snapshots: &snaps,
+            wall,
+        });
+        validate_profile(&doc).expect("rendered document validates");
+    }
+}
