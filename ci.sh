@@ -67,20 +67,28 @@ if ! SIMNET_THREADS=4 cargo test -q --workspace; then
     exit 1
 fi
 
-echo "== fault soak (ctrl + data-plane fault matrix)"
-# Bounded fixed-seed soak across four suites, all through the
+echo "== fault soak (ctrl + data-plane + tenant-isolation fault matrix)"
+# Bounded fixed-seed soak across six suites, all through the
 # conformance checker with payload verification:
-#   * ctrl matrix   — drop/dup/delay/crash/xreg plans x seeds x 1/2/4
-#                     proxies on the verified stencil and alltoall;
-#   * payload       — bit-flip x torn-write x silent-drop corruption:
-#                     must heal byte-correct via bounded retransmission;
-#   * starved       — post burst against tiny admission/staging/journal
-#                     caps: credits + QueueFull pacing, depths bounded;
-#   * doomed-group  — every GroupPacket dropped: Group_Wait must fail
-#                     typed, never stall.
-# SOAK_LONG=1 widens the matrix (8 seeds, deeper corruption stacks) for
-# nightly-style runs; failures leave replayable flight-recorder dumps
-# in target/failure-dumps/. The soak runs on the sharded engine
+#   * ctrl matrix    — drop/dup/delay/crash/xreg plans x seeds x 1/2/4
+#                      proxies on the verified stencil and alltoall;
+#   * payload        — bit-flip x torn-write x silent-drop corruption:
+#                      must heal byte-correct via bounded retransmission;
+#   * starved        — post burst against tiny admission/staging/journal
+#                      caps: credits + QueueFull pacing, depths bounded;
+#   * noisy-neighbor — a flooding tenant vs a well-behaved one at 2 and
+#                      4 proxies, clean and under a drop/dup/crash plan:
+#                      the victim's p99 group-window latency must stay
+#                      within the committed bound factor of its solo p99
+#                      (per-tenant lifecycle histograms);
+#   * quota-retry    — hard-quota sheds under a lossy ctrl plane: typed
+#                      QuotaExceeded, retry succeeds, never a stall;
+#   * doomed-group   — every GroupPacket dropped: Group_Wait must fail
+#                      typed, never stall.
+# SOAK_LONG=1 widens the matrix (8 seeds, deeper corruption stacks, the
+# delay-heavy noisy-neighbor plan) for nightly-style runs; failures
+# leave replayable flight-recorder dumps in
+# target/failure-dumps/. The soak runs on the sharded engine
 # (SIMNET_THREADS=4): recovery under faults must not depend on the
 # engine, and the =1 behaviour is pinned by the equivalence suite.
 if ! SOAK_LONG="${SOAK_LONG:-}" SIMNET_THREADS=4 \

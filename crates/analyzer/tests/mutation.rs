@@ -95,6 +95,57 @@ fn orphaned_schema_counter_is_caught() {
 }
 
 #[test]
+fn orphaned_tenant_counter_is_caught() {
+    let mut tree = repo_tree();
+    tree.edit("crates/obs/src/schema.rs", |s| {
+        s.replace(
+            "pub const TENANT_KEYS: &[&str] = &[",
+            "pub const TENANT_KEYS: &[&str] = &[\n    \"orphan_tenant_counter\",",
+        )
+    });
+    let hits = findings_for(&tree, "schema-drift");
+    assert!(
+        hits.iter().any(|f| {
+            f.path == "crates/obs/src/schema.rs"
+                && f.msg.contains("orphan_tenant_counter")
+                && f.msg.contains("TENANT_KEYS")
+        }),
+        "producer-less per-tenant counter must be caught: {hits:?}"
+    );
+}
+
+#[test]
+fn deleted_tenant_event_arm_is_caught() {
+    let mut tree = repo_tree();
+    tree.edit("crates/core/src/metrics.rs", |s| {
+        s.replace("ProtoEvent::QuotaShed", "ProtoEvent::QuotaShedRenamed")
+    });
+    let hits = findings_for(&tree, "proto-drift");
+    assert!(
+        hits.iter().any(|f| {
+            f.path == "crates/core/src/events.rs"
+                && f.msg.contains("QuotaShed")
+                && f.msg.contains("metrics.rs")
+        }),
+        "renamed-away QuotaShed aggregation arm must be caught: {hits:?}"
+    );
+}
+
+#[test]
+fn unconstructed_quota_exceeded_is_caught() {
+    let mut tree = repo_tree();
+    tree.edit("crates/core/src/host.rs", |s| {
+        s.replace("OffloadError::QuotaExceeded", "OffloadError::DataIntegrity")
+    });
+    let hits = findings_for(&tree, "error-drift");
+    assert!(
+        hits.iter()
+            .any(|f| f.msg.contains("QuotaExceeded") && f.msg.contains("constructed")),
+        "shedding that stops constructing QuotaExceeded must be caught: {hits:?}"
+    );
+}
+
+#[test]
 fn orphaned_profile_scope_is_caught() {
     let mut tree = repo_tree();
     tree.edit("crates/obs/src/schema.rs", |s| {

@@ -8,7 +8,7 @@
 //! failure writes a replayable dump to `target/failure-dumps/` (or
 //! `$BF_FAILURE_DUMP_DIR`) and exits nonzero.
 //!
-//! Beyond the ctrl-plane matrix, three data-plane suites always run:
+//! Beyond the ctrl-plane matrix, five additional suites always run:
 //!
 //! * **payload** — flip/torn/silent-drop corruption on the verified
 //!   stencil: every run must end byte-correct after bounded data-path
@@ -17,6 +17,13 @@
 //!   staging pool and FIN journal capped too: credit deferral and
 //!   QueueFull nack-retry must pace the run to completion with queue
 //!   depths bounded by the cap (the checker enforces it);
+//! * **noisy-neighbor** — a flooding tenant against a well-behaved one
+//!   at 2 and 4 proxies, clean and under a drop/dup/crash plan: the
+//!   victim's p99 group-window latency must stay within the committed
+//!   bound factor of its solo-run p99 (per-tenant lifecycle
+//!   histograms), with every conformance invariant intact;
+//! * **quota-retry** — the hard-quota shed under a lossy ctrl plane:
+//!   a typed, retryable `QuotaExceeded`, never a stall;
 //! * **doomed-group** — every `GroupPacket` transmit dropped:
 //!   `Group_Wait` must surface a typed error instead of stalling.
 //!
@@ -32,8 +39,9 @@
 //! stacks) for nightly-style runs; the default stays CI-fast.
 
 use checker::{
-    alltoall_workload, doomed_group_workload, run_scenario_with_dump, starved_flood_workload,
-    verified_stencil_workload, ConformanceConfig, Scenario, Workload, STARVED_QUEUE_CAP,
+    alltoall_workload, doomed_group_workload, noisy_victim_p99, quota_retry_workload,
+    run_scenario_with_dump, starved_flood_workload, verified_stencil_workload, ConformanceConfig,
+    Scenario, Workload, NOISY_FLOOD_BURST, NOISY_P99_BOUND_FACTOR, STARVED_QUEUE_CAP,
 };
 use offload::FaultPlan;
 
@@ -99,6 +107,32 @@ fn payload_plans(long: bool) -> Vec<FaultPlan> {
             data_drop_pm: 60,
             drop_pm: 80,
             dup_pm: 40,
+            ..none
+        });
+    }
+    plans
+}
+
+/// Fault plans for the noisy-neighbor isolation suite: clean, then the
+/// armed chaos plan (drops + dups + a mid-window proxy crash, forcing
+/// per-tenant journal replay into the restarted proxy). `SOAK_LONG=1`
+/// adds a delay-heavy plan to the matrix.
+fn noisy_plans(long: bool) -> Vec<FaultPlan> {
+    let none = FaultPlan::none();
+    let mut plans = vec![
+        none,
+        FaultPlan {
+            drop_pm: 100,
+            dup_pm: 50,
+            crash_at_step: 12,
+            ..none
+        },
+    ];
+    if long {
+        plans.push(FaultPlan {
+            drop_pm: 80,
+            delay_pm: 100,
+            delay_ns: 30_000,
             ..none
         });
     }
@@ -211,6 +245,53 @@ fn main() {
                 };
                 tally.record("starved", &starved, &scenario, starved_cfg);
             }
+        }
+
+        // Tenant isolation: at 2 and 4 proxies, clean and under the
+        // armed chaos plan, a flooding tenant must not inflate the
+        // victim tenant's p99 group-window latency past the committed
+        // bound factor of its solo-run p99 (both runs under the same
+        // plan; latencies from the per-tenant lifecycle histograms).
+        for plan in noisy_plans(long) {
+            for seed in 0..if long { 4u64 } else { 2 } {
+                for proxies in [2usize, 4] {
+                    let scenario = Scenario {
+                        seed,
+                        jitter_ns: 0,
+                        proxies_per_dpu: proxies,
+                        fault: plan.with_seed(seed * 53 + proxies as u64),
+                    };
+                    let label = format!(
+                        "noisy-neighbor plan={:?} seed={seed} proxies={proxies}",
+                        scenario.fault
+                    );
+                    let (solo_p99, solo) = noisy_victim_p99(&scenario, 0);
+                    let (noisy_p99, noisy) = noisy_victim_p99(&scenario, NOISY_FLOOD_BURST);
+                    tally.ran += 1;
+                    let bound = NOISY_P99_BOUND_FACTOR * solo_p99;
+                    if solo.is_ok() && noisy.is_ok() && solo_p99 > 0 && noisy_p99 <= bound {
+                        println!("ok   {label} (victim p99 {noisy_p99}ps <= {bound}ps)");
+                    } else {
+                        tally.failed += 1;
+                        println!(
+                            "FAIL {label}: solo={solo:?} p99={solo_p99}ps, \
+                             noisy={noisy:?} p99={noisy_p99}ps bound={bound}ps"
+                        );
+                    }
+                }
+            }
+        }
+
+        // Shedding under loss: the hard-quota shed must stay a typed,
+        // retryable refusal when the ctrl plane is dropping packets.
+        let quota = quota_retry_workload();
+        for seed in 0..seeds {
+            let plan = FaultPlan {
+                drop_pm: 100,
+                ..FaultPlan::none()
+            };
+            let scenario = Scenario::baseline(seed).with_fault(plan.with_seed(seed * 7));
+            tally.record("quota-retry", &quota, &scenario, cfg);
         }
 
         // Degradation: a doomed collective must fail typed, never stall.

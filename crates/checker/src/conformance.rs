@@ -53,6 +53,11 @@
 //!     successful `GroupWaitDone`, which restart replay can legitimately
 //!     produce — before the end of the run (`Group_Wait` returns a typed
 //!     error, never stalls).
+//! 15. **Quota sheds surface as typed failures** — a `QuotaShed` (and a
+//!     `DrrGrant`) may only cite a transfer id some `HostReqPosted`
+//!     introduced, and by end of run every shed transfer has a
+//!     `ReqFailed` — overload shedding degrades service, never loses a
+//!     request silently.
 //!
 //! ## Proxy restarts
 //!
@@ -163,6 +168,9 @@ struct State {
     failed_ids: BTreeSet<u64>,
     /// Transfer ids the host cancelled (deadline or explicit).
     cancelled_ids: BTreeSet<u64>,
+    /// Transfer ids shed at admission over a tenant hard quota — each
+    /// must surface as a `ReqFailed` by end of run.
+    quota_shed_ids: BTreeSet<u64>,
     /// Transfers whose last delivery attempt failed CRC verification at
     /// the keyed proxy, with no recovery seen yet (volatile per proxy:
     /// a restart replays the write from scratch).
@@ -518,6 +526,41 @@ impl State {
             ProtoEvent::ReqCancelled { msg_id, .. } => {
                 self.cancelled_ids.insert(msg_id);
             }
+            ProtoEvent::QuotaShed {
+                tenant,
+                rank,
+                msg_id,
+            } => {
+                if !self.req_ids_posted.contains(&msg_id) {
+                    self.violate(
+                        at,
+                        pid,
+                        "quota-shed-unknown-id",
+                        format!(
+                            "rank {rank} shed transfer {msg_id:#x} for tenant {tenant} \
+                             but no HostReqPosted introduced that id"
+                        ),
+                    );
+                }
+                self.quota_shed_ids.insert(msg_id);
+            }
+            ProtoEvent::DrrGrant {
+                tenant,
+                rank,
+                msg_id,
+            } => {
+                if !self.req_ids_posted.contains(&msg_id) {
+                    self.violate(
+                        at,
+                        pid,
+                        "grant-unknown-id",
+                        format!(
+                            "rank {rank} granted deferred transfer {msg_id:#x} for \
+                             tenant {tenant} but no HostReqPosted introduced that id"
+                        ),
+                    );
+                }
+            }
             ProtoEvent::PayloadCorrupt { msg_id, .. } => {
                 self.corrupt_outstanding.insert((src, msg_id));
             }
@@ -741,6 +784,23 @@ impl Conformance {
                 format!(
                     "transfer {id:#x} ended the run with a failed CRC and neither \
                      a recovery nor a typed integrity failure"
+                ),
+            );
+        }
+        let unshed: Vec<u64> = st
+            .quota_shed_ids
+            .iter()
+            .copied()
+            .filter(|id| !st.failed_ids.contains(id))
+            .collect();
+        for id in unshed {
+            st.violate(
+                end,
+                None,
+                "quota-shed-unsurfaced",
+                format!(
+                    "transfer {id:#x} was shed over a tenant hard quota but never \
+                     surfaced as a typed ReqFailed"
                 ),
             );
         }

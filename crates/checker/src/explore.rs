@@ -11,11 +11,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use offload::{parse_flight_dump, replay_into, FaultPlan, FlightRecorder, OffloadConfig};
+use offload::{
+    parse_flight_dump, replay_into, FaultPlan, FlightRecorder, OffloadConfig, TenantSpec,
+};
 use simnet::{EventSink, Report, SimDelta, SimError, SimTime};
 use workloads::{
-    drive_alltoall, drive_deadline, drive_flood, drive_group_abandon, drive_stencil,
-    drive_verified_stencil, fanout, CheckRun,
+    drive_alltoall, drive_deadline, drive_flood, drive_group_abandon, drive_noisy_neighbor,
+    drive_quota_retry, drive_stencil, drive_verified_stencil, fanout, CheckRun,
 };
 
 use crate::conformance::{Conformance, ConformanceConfig, Violation};
@@ -163,6 +165,98 @@ pub fn starved_flood_workload() -> Workload {
             .with_journal_cap(64);
         drive_flood(&run, 1024, FLOOD_BURST)
     })
+}
+
+/// Admission cap of the noisy-neighbor scenarios. Small enough that the
+/// aggressor's burst saturates its credit window and its proxy-queue
+/// share immediately; the victim's window traffic fits comfortably.
+pub const NOISY_QUEUE_CAP: usize = 4;
+
+/// Send/recv pairs the flooding tenant posts at once in the
+/// noisy-neighbor scenarios — an order of magnitude past its share of
+/// the [`NOISY_QUEUE_CAP`]-deep pool.
+pub const NOISY_FLOOD_BURST: u64 = 24;
+
+/// The committed isolation bound: with per-tenant credit windows, DRR
+/// scheduling and share-partitioned proxy admission, the flooding
+/// tenant may not inflate the victim tenant's p99 group-window latency
+/// beyond this factor of its solo-run p99. The noisy-neighbor gates
+/// (tier-1 and the fault-soak chaos matrix) assert it from the
+/// per-tenant lifecycle histograms.
+pub const NOISY_P99_BOUND_FACTOR: u64 = 3;
+
+/// Rounds of the victim's group-stencil window loop in the
+/// noisy-neighbor scenarios.
+const NOISY_ROUNDS: u64 = 4;
+
+/// Hard quota the quota-retry scenarios arm on tenant 1.
+pub const QUOTA_RETRY_HARD: usize = 3;
+
+/// The two-tenant noisy-neighbor run: tenant 0 (ranks 0, 2) is the
+/// victim, tenant 1 (ranks 1, 3) the aggressor, both inheriting the
+/// [`NOISY_QUEUE_CAP`] credit window as their soft quota.
+fn noisy_run(scenario: &Scenario, sink: EventSink) -> CheckRun {
+    let mut run = check_run(scenario, sink);
+    run.cfg = run
+        .cfg
+        .clone()
+        .with_queue_cap(NOISY_QUEUE_CAP)
+        .with_tenants(vec![TenantSpec::inherit(), TenantSpec::inherit()]);
+    run
+}
+
+/// The noisy-neighbor workload (see [`workloads::drive_noisy_neighbor`])
+/// with `burst` flood pairs from the aggressor tenant; `burst == 0` is
+/// the solo baseline the isolation gate compares against.
+pub fn noisy_neighbor_workload(burst: u64) -> Workload {
+    Arc::new(move |scenario: &Scenario, sink: EventSink| {
+        drive_noisy_neighbor(&noisy_run(scenario, sink), 4096, NOISY_ROUNDS, 1024, burst)
+    })
+}
+
+/// The hard-quota shed-and-retry workload (see
+/// [`workloads::drive_quota_retry`]): tenant 1 runs with a
+/// [`QUOTA_RETRY_HARD`]-post hard quota, overfills it, and must see a
+/// typed `QuotaExceeded` followed by a successful retry.
+pub fn quota_retry_workload() -> Workload {
+    Arc::new(|scenario: &Scenario, sink: EventSink| {
+        let mut run = check_run(scenario, sink);
+        run.cfg = run.cfg.clone().with_tenants(vec![
+            TenantSpec::inherit(),
+            TenantSpec::inherit().with_hard_quota(QUOTA_RETRY_HARD),
+        ]);
+        drive_quota_retry(&run, 1024)
+    })
+}
+
+/// Run the noisy-neighbor scenario and measure the victim tenant's p99
+/// group-window latency (picoseconds) from the per-tenant lifecycle
+/// histograms, alongside the run's conformance verdict. This is the
+/// probe both isolation gates are built on: call once with `burst == 0`
+/// for the solo baseline and once with the flood armed, then hold the
+/// noisy p99 to [`NOISY_P99_BOUND_FACTOR`] times the solo p99.
+pub fn noisy_victim_p99(scenario: &Scenario, burst: u64) -> (u64, Outcome) {
+    let checker = Conformance::new(ConformanceConfig {
+        queue_cap: NOISY_QUEUE_CAP,
+        ..ConformanceConfig::default()
+    });
+    let lifecycle = obs::LifecycleRecorder::new();
+    let sink = fanout(vec![checker.sink(), lifecycle.sink()]);
+    let workload = noisy_neighbor_workload(burst);
+    let outcome = classify(
+        catch_unwind(AssertUnwindSafe(|| workload(scenario, sink))),
+        &checker,
+    );
+    // The victim ring is the even ranks of the 2×2 world (tenant 0 of
+    // the two-tenant round-robin roster noisy_run installs).
+    let tenant_of = (0..4).map(|r| (r, r % 2)).collect();
+    let p99 = lifecycle
+        .report()
+        .tenant_window_histograms(&tenant_of)
+        .get(&0)
+        .map(|h| h.p99())
+        .unwrap_or(0);
+    (p99, outcome)
 }
 
 /// The group-abandonment workload (see

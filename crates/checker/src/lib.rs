@@ -32,9 +32,11 @@ mod explore;
 pub use conformance::{Conformance, ConformanceConfig, Violation};
 pub use explore::{
     alltoall_workload, deadline_workload, doomed_group_workload, explore, failure_dump_dir,
-    replay_dump, run_scenario, run_scenario_recorded, run_scenario_with_dump, shrink,
-    starved_flood_workload, stencil_workload, sweep, verified_stencil_workload, write_failure_dump,
-    Outcome, Scenario, Workload, FLOOD_BURST, STARVED_QUEUE_CAP,
+    noisy_neighbor_workload, noisy_victim_p99, quota_retry_workload, replay_dump, run_scenario,
+    run_scenario_recorded, run_scenario_with_dump, shrink, starved_flood_workload,
+    stencil_workload, sweep, verified_stencil_workload, write_failure_dump, Outcome, Scenario,
+    Workload, FLOOD_BURST, NOISY_FLOOD_BURST, NOISY_P99_BOUND_FACTOR, NOISY_QUEUE_CAP,
+    QUOTA_RETRY_HARD, STARVED_QUEUE_CAP,
 };
 
 #[cfg(test)]
@@ -245,6 +247,12 @@ mod tests {
         assert_eq!(report.data_integrity_failures, 0);
         assert_eq!(report.queue_full_nacks, 0);
         assert_eq!(report.credit_deferrals, 0);
+        assert_eq!(report.quota_sheds, 0);
+        assert_eq!(report.drr_grants, 0);
+        assert!(
+            report.tenants.is_empty(),
+            "no tenants section single-tenant"
+        );
         assert_eq!(report.staging_reclaimed, 0);
         assert_eq!(report.reqs_cancelled, 0);
         assert_eq!(report.reqs_reaped, 0);
@@ -544,6 +552,146 @@ mod tests {
             report.reqs_reaped >= 1,
             "the proxy must reap at least one orphaned descriptor"
         );
+    }
+
+    #[test]
+    fn noisy_neighbor_keeps_victim_p99_within_bound() {
+        // The tenant-isolation acceptance gate: at 2 and 4 proxies per
+        // DPU, a flooding tenant must not inflate the victim tenant's
+        // p99 group-window latency beyond the committed bound factor of
+        // its solo-run p99 — measured from the per-tenant lifecycle
+        // histograms, with every conformance invariant intact in both
+        // runs.
+        for proxies in [2usize, 4] {
+            let scenario = Scenario {
+                seed: 1,
+                jitter_ns: 0,
+                proxies_per_dpu: proxies,
+                fault: FaultPlan::none(),
+            };
+            let (solo_p99, solo) = noisy_victim_p99(&scenario, 0);
+            assert!(solo.is_ok(), "proxies {proxies} solo: {solo:?}");
+            assert!(solo_p99 > 0, "solo run must close victim windows");
+            let (noisy_p99, noisy) = noisy_victim_p99(&scenario, NOISY_FLOOD_BURST);
+            assert!(noisy.is_ok(), "proxies {proxies} noisy: {noisy:?}");
+            assert!(noisy_p99 > 0, "noisy run must close victim windows");
+            assert!(
+                noisy_p99 <= NOISY_P99_BOUND_FACTOR * solo_p99,
+                "proxies {proxies}: noisy victim p99 {noisy_p99}ps breaches \
+                 {NOISY_P99_BOUND_FACTOR}x solo p99 {solo_p99}ps"
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_neighbor_arms_the_per_tenant_machinery() {
+        // The flood must actually hit the per-tenant admission path —
+        // deferrals and DRR grants — and the folded report must carry a
+        // per-tenant section attributing the aggressor's deferrals to
+        // tenant 1, not the victim.
+        use offload::TenantSpec;
+        let cfg = offload::OffloadConfig::proposed()
+            .with_queue_cap(NOISY_QUEUE_CAP)
+            .with_tenants(vec![TenantSpec::inherit(), TenantSpec::inherit()]);
+        let metrics = Metrics::new();
+        metrics.set_tenant_map((0..4).map(|r| (r, cfg.tenant_of(r))).collect());
+        let mut run = workloads::CheckRun::baseline(23);
+        run.sink = Some(metrics.sink());
+        run.cfg = cfg;
+        workloads::drive_noisy_neighbor(&run, 4096, 3, 1024, NOISY_FLOOD_BURST)
+            .expect("noisy run completes");
+        let report = metrics.report();
+        assert!(report.credit_deferrals > 0, "the burst must defer");
+        assert!(report.drr_grants > 0, "deferred posts must drain via DRR");
+        assert_eq!(report.quota_sheds, 0, "no hard quota is armed");
+        assert_eq!(report.tenants.len(), 2, "two tenant rows");
+        let aggressor = &report.tenants[1];
+        assert!(
+            aggressor.credit_deferrals > 0,
+            "deferrals attribute to the flooding tenant"
+        );
+        assert_eq!(
+            report.tenants[0].credit_deferrals, 0,
+            "the victim's window traffic never defers"
+        );
+    }
+
+    #[test]
+    fn quota_exceeded_sheds_then_retries_to_success() {
+        // Satellite of the tenant tentpole: the hard-quota boundary is
+        // exact (drive_quota_retry admits exactly `hard` posts, sheds
+        // the next), the shed surfaces as a typed QuotaExceeded, and
+        // the retry completes — on a clean link and under a lossy plan
+        // whose retransmissions must not double-count quota slots.
+        let workload = quota_retry_workload();
+        let lossy = FaultPlan {
+            drop_pm: 100,
+            ..FaultPlan::none()
+        };
+        for (what, fault) in [("clean", FaultPlan::none()), ("lossy", lossy)] {
+            for seed in 0..3u64 {
+                let scenario = Scenario::baseline(seed).with_fault(fault.with_seed(seed + 5));
+                let (outcome, dump) = run_scenario_with_dump(
+                    "quota-retry",
+                    &workload,
+                    &scenario,
+                    ConformanceConfig::default(),
+                );
+                assert!(
+                    outcome.is_ok(),
+                    "{what} seed {seed}: {outcome:?} (dump: {dump:?})"
+                );
+            }
+        }
+        // Counter plumbing for the same shape: exactly one shed on the
+        // sender, attributed to tenant 1, surfaced nowhere else.
+        use offload::TenantSpec;
+        let cfg = offload::OffloadConfig::proposed().with_tenants(vec![
+            TenantSpec::inherit(),
+            TenantSpec::inherit().with_hard_quota(QUOTA_RETRY_HARD),
+        ]);
+        let metrics = Metrics::new();
+        metrics.set_tenant_map((0..4).map(|r| (r, cfg.tenant_of(r))).collect());
+        let mut run = workloads::CheckRun::baseline(29);
+        run.sink = Some(metrics.sink());
+        run.cfg = cfg;
+        workloads::drive_quota_retry(&run, 1024).expect("shed-then-retry run");
+        let report = metrics.report();
+        assert_eq!(report.quota_sheds, 1, "exactly one over-quota post");
+        assert_eq!(report.req_failures, 1, "the shed is the only failure");
+        assert_eq!(report.tenants[1].quota_sheds, 1, "shed lands on tenant 1");
+        assert_eq!(report.tenants[0].quota_sheds, 0, "tenant 0 never sheds");
+    }
+
+    #[test]
+    fn zero_quota_specs_inherit_the_global_cap() {
+        // A roster of all-inherit specs must take its soft quota from
+        // the global cap (quota 0 = inherit) and shed nothing (hard
+        // quota 0 = never shed): the starved flood still completes
+        // through deferral, exactly like the single-tenant engine.
+        use offload::TenantSpec;
+        let drive = |tenants: Vec<TenantSpec>| {
+            let metrics = Metrics::new();
+            let mut run = workloads::CheckRun::baseline(31);
+            run.sink = Some(metrics.sink());
+            run.cfg = run
+                .cfg
+                .clone()
+                .with_queue_cap(STARVED_QUEUE_CAP)
+                .with_tenants(tenants);
+            workloads::drive_flood(&run, 1024, FLOOD_BURST).expect("flood completes");
+            metrics.report()
+        };
+        let single = drive(vec![]);
+        let inherit = drive(vec![TenantSpec::inherit(), TenantSpec::inherit()]);
+        assert_eq!(single.quota_sheds, 0);
+        assert_eq!(inherit.quota_sheds, 0, "inherit specs never shed");
+        assert!(
+            inherit.credit_deferrals > 0,
+            "the inherited global cap still defers the burst"
+        );
+        assert_eq!(single.req_failures, 0);
+        assert_eq!(inherit.req_failures, 0);
     }
 
     #[test]

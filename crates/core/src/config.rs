@@ -4,6 +4,64 @@
 
 use std::fmt;
 
+/// Identity of one tenant (job) sharing the offload plane. Ranks map to
+/// tenants round-robin (`rank % tenants.len()`); tenant 0 is the
+/// implicit identity of every rank in a single-tenant run.
+pub type TenantId = usize;
+
+/// Per-tenant overload policy and scheduling weight (DESIGN.md §18).
+///
+/// All-zero (the [`Default`]) means "inherit the global knobs": soft
+/// quota falls back to [`OffloadConfig::queue_cap`], the hard quota is
+/// unbounded, and the DRR weight is 1. A config whose `tenants` list
+/// holds zero or one specs behaves byte-identically to the
+/// pre-multi-tenant engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TenantSpec {
+    /// Soft quota: the tenant's credit window — admitted-but-unfinished
+    /// basic descriptors a rank of this tenant may have in flight before
+    /// further posts are deferred (`CreditDeferred`). 0 = inherit the
+    /// global `queue_cap`.
+    pub soft_quota: usize,
+    /// Hard quota: total live basic posts (admitted + deferred) a rank
+    /// of this tenant may hold before new posts are shed with a typed
+    /// [`crate::OffloadError::QuotaExceeded`]. 0 = never shed.
+    pub hard_quota: usize,
+    /// Deficit-round-robin weight (quantum) of this tenant's deferred
+    /// queue, and its proportional share of the proxy descriptor pool.
+    /// 0 = weight 1.
+    pub weight: usize,
+}
+
+impl TenantSpec {
+    /// The inherit-everything spec (see the type-level docs).
+    pub const fn inherit() -> TenantSpec {
+        TenantSpec {
+            soft_quota: 0,
+            hard_quota: 0,
+            weight: 0,
+        }
+    }
+
+    /// Builder: set the soft quota.
+    pub const fn with_soft_quota(mut self, q: usize) -> TenantSpec {
+        self.soft_quota = q;
+        self
+    }
+
+    /// Builder: set the hard quota.
+    pub const fn with_hard_quota(mut self, q: usize) -> TenantSpec {
+        self.hard_quota = q;
+        self
+    }
+
+    /// Builder: set the DRR weight.
+    pub const fn with_weight(mut self, w: usize) -> TenantSpec {
+        self.weight = w;
+        self
+    }
+}
+
 /// Which mechanism moves the payload (paper Fig. 6).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DataPath {
@@ -284,6 +342,16 @@ pub struct OffloadConfig {
     /// pinned by an in-flight request — and evicted keys are
     /// deregistered from the fabric.
     pub cache_budget: usize,
+    /// Tenant roster (DESIGN.md §18). Empty or a single spec = the
+    /// implicit single-tenant default: every rank is tenant 0 and the
+    /// engine is byte-identical to the pre-multi-tenant protocol. Two
+    /// or more specs arm per-tenant admission: ranks map to tenants
+    /// round-robin, each tenant gets its own GVMI cross-registration
+    /// namespace, staging pool and journal partition at the proxy, a
+    /// weighted share of the proxy descriptor pool, and the host
+    /// schedules deferred posts by deficit round-robin and enforces the
+    /// per-tenant soft/hard quotas.
+    pub tenants: Vec<TenantSpec>,
     /// Fault plan (checker validation and fault-soak only).
     pub fault: FaultPlan,
 }
@@ -301,6 +369,7 @@ impl Default for OffloadConfig {
             staging_cap: 0,
             journal_cap: 0,
             cache_budget: 0,
+            tenants: Vec::new(),
             fault: FaultPlan::none(),
         }
     }
@@ -361,6 +430,72 @@ impl OffloadConfig {
     pub fn with_cache_budget(mut self, budget: usize) -> Self {
         self.cache_budget = budget;
         self
+    }
+
+    /// Install a tenant roster (two or more specs arm per-tenant
+    /// admission; see [`OffloadConfig::tenants`]).
+    pub fn with_tenants(mut self, tenants: Vec<TenantSpec>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
+    /// Whether per-tenant admission is armed (two or more tenants).
+    pub fn multi_tenant(&self) -> bool {
+        self.tenants.len() > 1
+    }
+
+    /// The tenant a rank belongs to: round-robin over the roster, and
+    /// tenant 0 for everyone in a single-tenant run.
+    pub fn tenant_of(&self, rank: usize) -> TenantId {
+        if self.tenants.len() > 1 {
+            rank % self.tenants.len()
+        } else {
+            0
+        }
+    }
+
+    /// The spec of `tenant` ([`TenantSpec::inherit`] when the roster
+    /// does not cover it).
+    pub fn tenant_spec(&self, tenant: TenantId) -> TenantSpec {
+        self.tenants
+            .get(tenant)
+            .copied()
+            .unwrap_or(TenantSpec::inherit())
+    }
+
+    /// Effective soft quota (credit window) of `tenant`: its spec, or
+    /// the global `queue_cap` when the spec inherits (0 = unbounded,
+    /// exactly like a disarmed `queue_cap`).
+    pub fn tenant_soft_quota(&self, tenant: TenantId) -> usize {
+        let q = self.tenant_spec(tenant).soft_quota;
+        if q == 0 {
+            self.queue_cap
+        } else {
+            q
+        }
+    }
+
+    /// Effective hard quota of `tenant` (0 = never shed).
+    pub fn tenant_hard_quota(&self, tenant: TenantId) -> usize {
+        self.tenant_spec(tenant).hard_quota
+    }
+
+    /// Effective DRR weight of `tenant` (at least 1).
+    pub fn tenant_weight(&self, tenant: TenantId) -> usize {
+        self.tenant_spec(tenant).weight.max(1)
+    }
+
+    /// The tenant's reserved share of the proxy descriptor pool:
+    /// `queue_cap` split proportionally to the DRR weights, each
+    /// tenant's slice at least 1 slot so no tenant can be starved
+    /// outright. Meaningful only when both the queue cap and the
+    /// multi-tenant roster are armed; otherwise the whole pool.
+    pub fn tenant_share(&self, tenant: TenantId) -> usize {
+        if !self.multi_tenant() || self.queue_cap == 0 {
+            return self.queue_cap;
+        }
+        let total: usize = (0..self.tenants.len()).map(|t| self.tenant_weight(t)).sum();
+        (self.queue_cap * self.tenant_weight(tenant) / total.max(1)).max(1)
     }
 }
 
@@ -480,6 +615,80 @@ mod tests {
         assert_eq!(
             (c.queue_cap, c.staging_cap, c.journal_cap, c.cache_budget),
             (4, 2, 16, 8)
+        );
+    }
+
+    #[test]
+    fn single_tenant_default_is_disarmed() {
+        let c = OffloadConfig::proposed();
+        assert!(!c.multi_tenant());
+        assert_eq!(c.tenant_of(0), 0);
+        assert_eq!(c.tenant_of(7), 0);
+        // One spec is still single-tenant: the roster must hold at
+        // least two tenants to change anything.
+        let c = OffloadConfig::proposed().with_tenants(vec![TenantSpec::inherit()]);
+        assert!(!c.multi_tenant());
+        assert_eq!(c.tenant_of(5), 0);
+    }
+
+    #[test]
+    fn tenant_mapping_is_round_robin() {
+        let c = OffloadConfig::proposed()
+            .with_tenants(vec![TenantSpec::inherit(), TenantSpec::inherit()]);
+        assert!(c.multi_tenant());
+        assert_eq!(c.tenant_of(0), 0);
+        assert_eq!(c.tenant_of(1), 1);
+        assert_eq!(c.tenant_of(2), 0);
+        assert_eq!(c.tenant_of(3), 1);
+    }
+
+    #[test]
+    fn tenant_quota_zero_inherits_global() {
+        let c = OffloadConfig::proposed()
+            .with_queue_cap(6)
+            .with_tenants(vec![
+                TenantSpec::inherit(),
+                TenantSpec::inherit().with_soft_quota(2).with_hard_quota(4),
+            ]);
+        // Spec 0 inherits: soft quota = global queue_cap, hard = off.
+        assert_eq!(c.tenant_soft_quota(0), 6);
+        assert_eq!(c.tenant_hard_quota(0), 0);
+        // Spec 1 overrides both.
+        assert_eq!(c.tenant_soft_quota(1), 2);
+        assert_eq!(c.tenant_hard_quota(1), 4);
+        // Out-of-roster tenants inherit everything.
+        assert_eq!(c.tenant_soft_quota(9), 6);
+        assert_eq!(c.tenant_weight(9), 1);
+    }
+
+    #[test]
+    fn tenant_shares_split_the_pool_by_weight() {
+        let c = OffloadConfig::proposed()
+            .with_queue_cap(8)
+            .with_tenants(vec![
+                TenantSpec::inherit().with_weight(3),
+                TenantSpec::inherit(),
+            ]);
+        assert_eq!(c.tenant_share(0), 6);
+        assert_eq!(c.tenant_share(1), 2);
+        // Even a zero-weight rounding victim keeps one slot.
+        let c = OffloadConfig::proposed()
+            .with_queue_cap(4)
+            .with_tenants(vec![
+                TenantSpec::inherit().with_weight(100),
+                TenantSpec::inherit(),
+            ]);
+        assert_eq!(c.tenant_share(1), 1);
+        // Single-tenant or uncapped: the whole pool.
+        assert_eq!(
+            OffloadConfig::proposed().with_queue_cap(4).tenant_share(0),
+            4
+        );
+        assert_eq!(
+            OffloadConfig::proposed()
+                .with_tenants(vec![TenantSpec::inherit(), TenantSpec::inherit()])
+                .tenant_share(1),
+            0
         );
     }
 

@@ -1,0 +1,267 @@
+//! Deficit-round-robin scheduling of credit-deferred posts
+//! (DESIGN.md §18).
+//!
+//! PR 5's admission control kept one FIFO of deferred host posts and
+//! flushed it head-first as FINs returned credit — correct for one
+//! job, but a head-of-line flood from one tenant starves every other
+//! tenant behind it. [`DrrScheduler`] replaces the FIFO with one queue
+//! per tenant, served deficit-round-robin: each service cycle a tenant
+//! earns `weight` credits (capped so a blocked tenant cannot hoard),
+//! admits queue-head posts while it has both credit and admissible
+//! work, and hands the turn on. A tenant whose head is blocked (its
+//! target endpoint is out of credit) yields *without* blocking the
+//! others — the isolation property the noisy-neighbor gate asserts.
+//!
+//! With a single tenant the scheduler degenerates to exactly the PR-5
+//! FIFO: one queue, popped head-first until the head blocks or the
+//! flush budget runs out, dead entries dropped for free. Single-tenant
+//! runs therefore stay byte-identical to the pre-multi-tenant engine.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::config::TenantId;
+
+/// Verdict of the host's admission closure for one deferred post.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Deferred {
+    /// The slot already settled (done, failed, cancelled): drop it.
+    Dead,
+    /// The target endpoint has no credit: leave it queued, serve the
+    /// next tenant.
+    Blocked,
+    /// The post was admitted (the closure performed the admission).
+    Admitted,
+}
+
+/// Per-tenant deferred-post queues under deficit round-robin.
+#[derive(Default)]
+pub(crate) struct DrrScheduler {
+    queues: BTreeMap<TenantId, VecDeque<usize>>,
+    deficit: BTreeMap<TenantId, u64>,
+    /// Tenant the next service cycle starts from.
+    cursor: TenantId,
+}
+
+impl DrrScheduler {
+    /// Queue a deferred post for `tenant` (FIFO within the tenant).
+    pub(crate) fn push(&mut self, tenant: TenantId, req: usize) {
+        self.queues.entry(tenant).or_default().push_back(req);
+    }
+
+    /// Total deferred posts across every tenant.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Whether no posts are deferred.
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queues.values().all(VecDeque::is_empty)
+    }
+
+    /// Deferred posts queued for `tenant`.
+    #[cfg(test)]
+    pub(crate) fn tenant_len(&self, tenant: TenantId) -> usize {
+        self.queues.get(&tenant).map_or(0, VecDeque::len)
+    }
+
+    /// Serve the queues: admit up to `limit` posts, weighting tenants
+    /// by `weight_of` (≥ 1). `step` is called with each queue head the
+    /// scheduler wants admitted and must return what happened —
+    /// [`Deferred::Admitted`] means the closure admitted it (costs one
+    /// deficit credit), [`Deferred::Dead`] drops it for free,
+    /// [`Deferred::Blocked`] leaves it queued and yields the turn.
+    /// Returns the number of admitted posts.
+    pub(crate) fn flush(
+        &mut self,
+        limit: usize,
+        weight_of: impl Fn(TenantId) -> u64,
+        mut step: impl FnMut(usize) -> Deferred,
+    ) -> usize {
+        let mut admitted = 0usize;
+        if limit == 0 {
+            return admitted;
+        }
+        loop {
+            let tenants: Vec<TenantId> = self
+                .queues
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(&t, _)| t)
+                .collect();
+            if tenants.is_empty() {
+                return admitted;
+            }
+            // Rotate so the cycle starts at the cursor: strictly after
+            // the tenant served last, for long-run fairness.
+            let start = tenants.partition_point(|&t| t < self.cursor);
+            let mut progress = false;
+            for idx in 0..tenants.len() {
+                let t = tenants[(start + idx) % tenants.len()];
+                let quantum = weight_of(t).max(1);
+                let d = self.deficit.entry(t).or_insert(0);
+                // Replenish, capped: a tenant blocked for many cycles
+                // must not bank unbounded credit.
+                *d = (*d + quantum).min(quantum * 2);
+                let q = self.queues.get_mut(&t).expect("tenant has a queue");
+                while let Some(&req) = q.front() {
+                    if admitted == limit {
+                        return admitted;
+                    }
+                    if self.deficit[&t] == 0 {
+                        break;
+                    }
+                    match step(req) {
+                        Deferred::Dead => {
+                            q.pop_front();
+                            progress = true;
+                        }
+                        Deferred::Blocked => break,
+                        Deferred::Admitted => {
+                            q.pop_front();
+                            *self.deficit.get_mut(&t).expect("deficit entry") -= 1;
+                            admitted += 1;
+                            progress = true;
+                            self.cursor = t + 1;
+                        }
+                    }
+                }
+                if self.queues[&t].is_empty() {
+                    self.deficit.insert(t, 0);
+                }
+            }
+            if !progress {
+                return admitted;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flush everything admissible with unit weights; `blocked` posts
+    /// report [`Deferred::Blocked`], `dead` posts [`Deferred::Dead`].
+    fn run(
+        s: &mut DrrScheduler,
+        limit: usize,
+        blocked: &[usize],
+        dead: &[usize],
+    ) -> (usize, Vec<usize>) {
+        let mut order = Vec::new();
+        let n = s.flush(
+            limit,
+            |_| 1,
+            |req| {
+                if blocked.contains(&req) {
+                    Deferred::Blocked
+                } else if dead.contains(&req) {
+                    Deferred::Dead
+                } else {
+                    order.push(req);
+                    Deferred::Admitted
+                }
+            },
+        );
+        (n, order)
+    }
+
+    #[test]
+    fn single_tenant_is_fifo_with_head_of_line_blocking() {
+        let mut s = DrrScheduler::default();
+        for req in [10, 11, 12, 13] {
+            s.push(0, req);
+        }
+        // Head blocked: nothing moves — exactly the PR-5 FIFO.
+        let (n, _) = run(&mut s, 8, &[10], &[]);
+        assert_eq!(n, 0);
+        assert_eq!(s.len(), 4);
+        // Unblocked: admitted in push order, dead entries free.
+        let (n, order) = run(&mut s, 8, &[], &[11]);
+        assert_eq!(n, 3);
+        assert_eq!(order, vec![10, 12, 13]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn flush_respects_the_limit() {
+        let mut s = DrrScheduler::default();
+        for req in 0..6 {
+            s.push(0, req);
+        }
+        let (n, order) = run(&mut s, 2, &[], &[]);
+        assert_eq!(n, 2);
+        assert_eq!(order, vec![0, 1]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn equal_weights_interleave_tenants() {
+        let mut s = DrrScheduler::default();
+        for req in [100, 101, 102] {
+            s.push(0, req);
+        }
+        for req in [200, 201, 202] {
+            s.push(1, req);
+        }
+        let (n, order) = run(&mut s, 6, &[], &[]);
+        assert_eq!(n, 6);
+        // One credit per tenant per cycle: strict alternation.
+        assert_eq!(order, vec![100, 200, 101, 201, 102, 202]);
+    }
+
+    #[test]
+    fn weights_bias_service_proportionally() {
+        let mut s = DrrScheduler::default();
+        for req in 0..4 {
+            s.push(0, req);
+            s.push(1, 100 + req);
+        }
+        let mut order = Vec::new();
+        let n = s.flush(
+            6,
+            |t| if t == 0 { 2 } else { 1 },
+            |req| {
+                order.push(req);
+                Deferred::Admitted
+            },
+        );
+        assert_eq!(n, 6);
+        // Tenant 0 earns two credits per cycle, tenant 1 one.
+        assert_eq!(order, vec![0, 1, 100, 2, 3, 101]);
+    }
+
+    #[test]
+    fn blocked_tenant_never_stalls_the_other() {
+        let mut s = DrrScheduler::default();
+        for req in [10, 11] {
+            s.push(0, req);
+        }
+        for req in [20, 21] {
+            s.push(1, req);
+        }
+        // Tenant 0's head is blocked (its endpoint is out of credit);
+        // tenant 1 must still drain completely.
+        let (n, order) = run(&mut s, 8, &[10, 11], &[]);
+        assert_eq!(n, 2);
+        assert_eq!(order, vec![20, 21]);
+        assert_eq!(s.tenant_len(0), 2);
+        assert_eq!(s.tenant_len(1), 0);
+    }
+
+    #[test]
+    fn cursor_rotates_across_flushes() {
+        let mut s = DrrScheduler::default();
+        s.push(0, 1);
+        s.push(1, 2);
+        let (_, order) = run(&mut s, 1, &[], &[]);
+        assert_eq!(order, vec![1]);
+        // The next flush starts past tenant 0, so tenant 1 goes first
+        // even though tenant 0 queued again.
+        s.push(0, 3);
+        let (_, order) = run(&mut s, 2, &[], &[]);
+        assert_eq!(order, vec![2, 3]);
+    }
+}

@@ -506,6 +506,29 @@ pub enum ProtoEvent {
         /// Transfer id of the deferred request.
         msg_id: u64,
     },
+    /// The host shed a post at admission because the posting rank's
+    /// tenant is over its hard quota (multi-tenant runs only). A typed
+    /// `QuotaExceeded` error surfaces on the request; a `ReqFailed`
+    /// event follows for the same transfer id.
+    QuotaShed {
+        /// Tenant whose hard quota was hit.
+        tenant: usize,
+        /// Shedding rank.
+        rank: usize,
+        /// Transfer id of the shed request.
+        msg_id: u64,
+    },
+    /// The host's deficit-round-robin scheduler admitted a previously
+    /// deferred post (multi-tenant runs only; the single-tenant flush
+    /// path is the PR-5 FIFO and emits nothing).
+    DrrGrant {
+        /// Tenant whose deferred queue was served.
+        tenant: usize,
+        /// Rank whose post was admitted.
+        rank: usize,
+        /// Transfer id of the admitted request.
+        msg_id: u64,
+    },
     /// The proxy reused an idle staging buffer from its bounded free
     /// pool instead of allocating fresh staging memory.
     StagingReclaimed {

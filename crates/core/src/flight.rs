@@ -562,6 +562,23 @@ fn render_record(r: &FlightRecord) -> String {
         ProtoEvent::CreditDeferred { rank, msg_id } => {
             let _ = write!(s, "ev=CreditDeferred rank={rank} msg_id={msg_id}");
         }
+        ProtoEvent::QuotaShed {
+            tenant,
+            rank,
+            msg_id,
+        } => {
+            let _ = write!(
+                s,
+                "ev=QuotaShed tenant={tenant} rank={rank} msg_id={msg_id}"
+            );
+        }
+        ProtoEvent::DrrGrant {
+            tenant,
+            rank,
+            msg_id,
+        } => {
+            let _ = write!(s, "ev=DrrGrant tenant={tenant} rank={rank} msg_id={msg_id}");
+        }
         ProtoEvent::StagingReclaimed { len } => {
             let _ = write!(s, "ev=StagingReclaimed len={len}");
         }
@@ -907,6 +924,16 @@ pub fn parse_flight_dump(dump: &str) -> Result<Vec<FlightRecord>, String> {
                 rank: f.usize("rank")?,
                 msg_id: f.u64("msg_id")?,
             },
+            "QuotaShed" => ProtoEvent::QuotaShed {
+                tenant: f.usize("tenant")?,
+                rank: f.usize("rank")?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "DrrGrant" => ProtoEvent::DrrGrant {
+                tenant: f.usize("tenant")?,
+                rank: f.usize("rank")?,
+                msg_id: f.u64("msg_id")?,
+            },
             "StagingReclaimed" => ProtoEvent::StagingReclaimed { len: f.u64("len")? },
             "ReqCancelled" => ProtoEvent::ReqCancelled {
                 rank: f.usize("rank")?,
@@ -1098,6 +1125,22 @@ mod tests {
             ),
             record(2, ProtoEvent::QueueFullNack { msg_id: 5 }),
             record(0, ProtoEvent::CreditDeferred { rank: 0, msg_id: 6 }),
+            record(
+                0,
+                ProtoEvent::QuotaShed {
+                    tenant: 1,
+                    rank: 3,
+                    msg_id: 12884901890,
+                },
+            ),
+            record(
+                0,
+                ProtoEvent::DrrGrant {
+                    tenant: 0,
+                    rank: 0,
+                    msg_id: 6,
+                },
+            ),
             record(2, ProtoEvent::StagingReclaimed { len: 4096 }),
             record(0, ProtoEvent::ReqCancelled { rank: 0, msg_id: 7 }),
             record(2, ProtoEvent::ReqReaped { msg_id: 7 }),

@@ -23,7 +23,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use rdma::{Channel, ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
 use simnet::{ProcessCtx, SimDelta};
 
-use crate::config::{DataPath, OffloadConfig};
+use crate::config::{DataPath, OffloadConfig, TenantId};
+use crate::drr::{Deferred, DrrScheduler};
 use crate::events::{CacheOutcome, CacheSide, CtrlKind, HostCacheKind, ProtoEvent, ReqDir};
 use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_MASK, WRID_OFF_HOST};
 use crate::reg_cache::RankAddrCache;
@@ -137,10 +138,15 @@ struct HostState {
     /// epoch in a `ProxyRestarted` notice triggers recovery.
     proxy_epochs: BTreeMap<usize, u64>,
     /// Outstanding admitted basic posts per target endpoint index
-    /// (credit window; maintained only when the queue cap is armed).
+    /// (credit window; maintained when the queue cap or this rank's
+    /// tenant soft quota is armed).
     window: BTreeMap<usize, usize>,
-    /// Request slots waiting for a credit, FIFO.
-    deferred: VecDeque<usize>,
+    /// Request slots waiting for a credit, deficit-round-robin across
+    /// tenants (exactly the PR-5 FIFO when a single tenant is armed).
+    deferred: DrrScheduler,
+    /// Basic requests posted and not yet terminally settled (hard-quota
+    /// accounting; cheap enough to maintain unconditionally).
+    live_basic: usize,
     /// Completed (or terminally failed) sequence numbers not yet folded
     /// into `ack_horizon` (journal-truncation tracking; maintained only
     /// when the journal cap is armed).
@@ -156,6 +162,7 @@ pub struct Offload {
     ctx: ProcessCtx,
     cluster: ClusterCtx,
     rank: usize,
+    tenant: TenantId,
     ep: EpId,
     proxy_ep: EpId,
     proxy_idx: usize,
@@ -206,10 +213,12 @@ impl Offload {
                 seed: fault.seed,
             });
         }
+        let tenant = cfg.tenant_of(rank);
         Offload {
             ctx,
             cluster,
             rank,
+            tenant,
             ep,
             proxy_ep,
             proxy_idx,
@@ -229,7 +238,8 @@ impl Offload {
                 rel: ReliableLink::new(fault, ctrl_bytes, false, ep),
                 proxy_epochs: BTreeMap::new(),
                 window: BTreeMap::new(),
-                deferred: VecDeque::new(),
+                deferred: DrrScheduler::default(),
+                live_basic: 0,
                 completed_seqs: BTreeSet::new(),
                 ack_horizon: 0,
             }),
@@ -239,6 +249,12 @@ impl Offload {
     /// This rank.
     pub fn rank(&self) -> usize {
         self.rank
+    }
+
+    /// The tenant this rank is attributed to (0 unless the config arms
+    /// a multi-tenant roster; see [`OffloadConfig::tenant_of`]).
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// World size.
@@ -324,19 +340,69 @@ impl Offload {
         }
     }
 
-    /// Post a basic request through the credit window: admitted
-    /// immediately when the target has a free slot (or no cap is armed),
-    /// deferred FIFO otherwise.
+    /// Whether host-side admission control is live: the global queue
+    /// cap, or this rank's tenant soft quota under a multi-tenant
+    /// roster. Off on single-tenant uncapped runs (byte-identical to
+    /// the pre-credit engine).
+    fn credit_armed(&self) -> bool {
+        self.cfg.queue_cap > 0
+            || (self.cfg.multi_tenant() && self.cfg.tenant_soft_quota(self.tenant) > 0)
+    }
+
+    /// This rank's tenant soft quota on admitted-unfinished posts
+    /// (0 = unarmed; only a multi-tenant roster arms it).
+    fn soft_quota(&self) -> usize {
+        if self.cfg.multi_tenant() {
+            self.cfg.tenant_soft_quota(self.tenant)
+        } else {
+            0
+        }
+    }
+
+    /// Post a basic request through the admission policy: shed
+    /// immediately when the tenant is over its hard quota, deferred to
+    /// the DRR scheduler when the target endpoint (or the tenant soft
+    /// quota) is out of credit, admitted otherwise.
     fn post_basic(&self, req: usize, to: EpId, bytes: u64, msg: CtrlMsg) {
-        if self.cfg.queue_cap > 0 {
-            let (full, msg_id) = {
+        if self.cfg.multi_tenant() {
+            let hard = self.cfg.tenant_hard_quota(self.tenant);
+            if hard > 0 {
+                let (over, msg_id) = {
+                    let st = self.st.borrow();
+                    // `live_basic` already counts this request's slot.
+                    (st.live_basic > hard, st.reqs[req].msg_id)
+                };
+                if over {
+                    self.ctx.stat_incr("offload.quota.sheds", 1);
+                    self.ctx.emit(&ProtoEvent::QuotaShed {
+                        tenant: self.tenant,
+                        rank: self.rank,
+                        msg_id,
+                    });
+                    self.fail_basic(
+                        req,
+                        OffloadError::QuotaExceeded {
+                            tenant: self.tenant,
+                            msg_id,
+                        },
+                        0,
+                    );
+                    return;
+                }
+            }
+        }
+        if self.credit_armed() {
+            let soft = self.soft_quota();
+            let (defer, msg_id) = {
                 let mut st = self.st.borrow_mut();
                 st.reqs[req].post = Some((to, bytes, msg.clone()));
                 let used = st.window.get(&to.index()).copied().unwrap_or(0);
-                (used >= self.cfg.queue_cap, st.reqs[req].msg_id)
+                let ep_full = self.cfg.queue_cap > 0 && used >= self.cfg.queue_cap;
+                let quota_full = soft > 0 && st.window.values().sum::<usize>() >= soft;
+                (ep_full || quota_full, st.reqs[req].msg_id)
             };
-            if full {
-                self.st.borrow_mut().deferred.push_back(req);
+            if defer {
+                self.st.borrow_mut().deferred.push(self.tenant, req);
                 self.ctx.stat_incr("offload.credit.deferrals", 1);
                 self.ctx.emit(&ProtoEvent::CreditDeferred {
                     rank: self.rank,
@@ -360,7 +426,7 @@ impl Offload {
         }
         {
             let mut st = self.st.borrow_mut();
-            if self.cfg.queue_cap > 0 {
+            if self.credit_armed() {
                 *st.window.entry(to.index()).or_insert(0) += 1;
                 st.reqs[req].window_ep = Some(to.index());
             }
@@ -380,41 +446,81 @@ impl Offload {
         }
     }
 
-    /// Admit up to `limit` deferred posts, FIFO. Stops at the first
-    /// head-of-line request whose target still has no credit.
+    /// Admit up to `limit` deferred posts through the DRR scheduler.
+    /// Within a tenant the queue is served FIFO and stops at the first
+    /// head whose target still has no credit; across tenants a blocked
+    /// head only yields that tenant's turn. With one tenant armed this
+    /// is exactly the PR-5 FIFO flush.
     fn flush_deferred(&self, limit: usize) {
-        if self.cfg.queue_cap == 0 {
+        if !self.credit_armed() {
             return;
         }
-        let mut flushed = 0;
-        while flushed < limit {
-            let next = {
-                let mut st = self.st.borrow_mut();
-                loop {
-                    let Some(&req) = st.deferred.front() else {
-                        break None;
-                    };
-                    if st.reqs[req].done || st.reqs[req].error.is_some() {
-                        st.deferred.pop_front();
-                        continue;
-                    }
-                    let Some(post) = st.reqs[req].post.clone() else {
-                        st.deferred.pop_front();
-                        continue;
-                    };
-                    let used = st.window.get(&post.0.index()).copied().unwrap_or(0);
-                    if used >= self.cfg.queue_cap {
-                        break None;
-                    }
-                    st.deferred.pop_front();
-                    break Some((req, post));
-                }
+        let queue_cap = self.cfg.queue_cap;
+        let soft = self.soft_quota();
+        // Admission bookkeeping happens inside the scheduler callback
+        // (under one state borrow, so the endpoint cap sees each earlier
+        // grant); the granted posts themselves ship after it ends —
+        // post_ctrl re-borrows state for replay and the reliable link.
+        let mut granted: Vec<(usize, u64, EpId, u64, CtrlMsg)> = Vec::new();
+        {
+            let mut st = self.st.borrow_mut();
+            let horizon = if self.cfg.journal_cap == 0 {
+                0
+            } else {
+                st.ack_horizon
             };
-            let Some((req, (to, bytes, msg))) = next else {
-                return;
-            };
-            self.admit_post(req, to, bytes, msg);
-            flushed += 1;
+            let HostState {
+                reqs,
+                window,
+                deferred,
+                ..
+            } = &mut *st;
+            deferred.flush(
+                limit,
+                |t| self.cfg.tenant_weight(t) as u64,
+                |req| {
+                    let slot = &mut reqs[req];
+                    if slot.done || slot.error.is_some() {
+                        return Deferred::Dead;
+                    }
+                    let Some((to, bytes, mut msg)) = slot.post.clone() else {
+                        return Deferred::Dead;
+                    };
+                    let used = window.get(&to.index()).copied().unwrap_or(0);
+                    if queue_cap > 0 && used >= queue_cap {
+                        return Deferred::Blocked;
+                    }
+                    if soft > 0 && window.values().sum::<usize>() >= soft {
+                        return Deferred::Blocked;
+                    }
+                    // Mirrors admit_post: refresh the piggybacked
+                    // completion horizon, charge the credit, record the
+                    // target for cancel routing.
+                    if let CtrlMsg::Rts { ack_horizon, .. } | CtrlMsg::Rtr { ack_horizon, .. } =
+                        &mut msg
+                    {
+                        *ack_horizon = horizon;
+                    }
+                    *window.entry(to.index()).or_insert(0) += 1;
+                    slot.window_ep = Some(to.index());
+                    slot.target = Some(to);
+                    granted.push((req, slot.msg_id, to, bytes, msg));
+                    Deferred::Admitted
+                },
+            );
+        }
+        for (req, msg_id, to, bytes, msg) in granted {
+            crate::profile_scope!("credit_admission");
+            if self.cfg.multi_tenant() {
+                self.ctx.stat_incr("offload.credit.drr_grants", 1);
+                self.ctx.emit(&ProtoEvent::DrrGrant {
+                    tenant: self.tenant,
+                    rank: self.rank,
+                    msg_id,
+                });
+            }
+            self.post_ctrl(to, bytes, msg, ReqOrigin::Basic(req));
+            self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
         }
     }
 
@@ -500,6 +606,7 @@ impl Offload {
             msg_id,
             crc: self.payload_crc(addr, len),
             ack_horizon: self.horizon(),
+            tenant: self.tenant,
         };
         self.post_basic(req, self.proxy_ep, self.cfg.ctrl_bytes, msg);
         OffloadReq(req)
@@ -532,6 +639,7 @@ impl Offload {
             dst_pid: self.ctx.pid(),
             msg_id,
             ack_horizon: self.horizon(),
+            tenant: self.tenant,
         };
         self.post_basic(req, src_proxy, self.cfg.ctrl_bytes, msg);
         OffloadReq(req)
@@ -833,6 +941,7 @@ impl Offload {
     fn new_req(&self) -> (usize, u64) {
         let mut st = self.st.borrow_mut();
         st.next_msg_seq += 1;
+        st.live_basic += 1;
         let msg_id = ((self.rank as u64) << 32) | st.next_msg_seq;
         st.reqs.push(ReqSlot {
             done: false,
@@ -1226,6 +1335,7 @@ impl Offload {
                         slot.replay = None;
                         slot.post = None;
                         finished_msg = Some(slot.msg_id);
+                        st.live_basic = st.live_basic.saturating_sub(1);
                     }
                     None => {
                         drop(st);
@@ -1305,7 +1415,7 @@ impl Offload {
                         let mut st = self.st.borrow_mut();
                         st.reqs[req].target = None;
                         st.reqs[req].attempts += 1;
-                        st.deferred.push_back(req);
+                        st.deferred.push(self.tenant, req);
                         st.reqs[req].attempts
                     };
                     self.ctx.stat_incr("offload.credit.nacks", 1);
@@ -1396,7 +1506,9 @@ impl Offload {
             slot.error = Some(err);
             slot.replay = None;
             slot.post = None;
-            slot.msg_id
+            let msg_id = slot.msg_id;
+            st.live_basic = st.live_basic.saturating_sub(1);
+            msg_id
         };
         self.release_window(req);
         self.unpin_gvmi(req);
@@ -1444,7 +1556,9 @@ impl Offload {
             slot.error = Some(err);
             slot.replay = None;
             slot.post = None;
-            (slot.msg_id, slot.target)
+            let settled = (slot.msg_id, slot.target);
+            st.live_basic = st.live_basic.saturating_sub(1);
+            settled
         };
         let (msg_id, target) = settle;
         self.release_window(req);

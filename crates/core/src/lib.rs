@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod drr;
 mod events;
 mod flight;
 mod host;
@@ -77,14 +78,14 @@ mod reg_cache;
 mod reliable;
 mod shmem;
 
-pub use config::{DataPath, FaultInjection, FaultPlan, OffloadConfig};
+pub use config::{DataPath, FaultInjection, FaultPlan, OffloadConfig, TenantId, TenantSpec};
 pub use events::{
     CacheOutcome, CacheSide, CtrlKind, FinKind, HostCacheKind, PathKind, ProtoEvent, ReqDir,
 };
 pub use flight::{parse_flight_dump, replay_into, FlightRecord, FlightRecorder};
 pub use host::{GroupRequest, Offload, OffloadReq};
 pub use metrics::{
-    CacheCounters, Metrics, MetricsReport, ProxyMetrics, RankMetrics, WindowMetrics,
+    CacheCounters, Metrics, MetricsReport, ProxyMetrics, RankMetrics, TenantMetrics, WindowMetrics,
 };
 pub use profile::{ProfileReport, ScopeAgg};
 pub use proxy::{proxy_fn, proxy_main};

@@ -93,6 +93,10 @@ pub(crate) enum CtrlMsg {
         /// Highest seq this host has contiguously completed (FIN-journal
         /// truncation horizon; 0 unless the journal cap is armed).
         ack_horizon: u64,
+        /// Tenant of the posting rank (0 in single-tenant runs). The
+        /// proxy partitions its descriptor pool, staging pool and
+        /// journal by this id.
+        tenant: usize,
     },
     /// Ready-to-receive: destination host → source-side proxy.
     Rtr {
@@ -108,6 +112,8 @@ pub(crate) enum CtrlMsg {
         msg_id: u64,
         /// Completion horizon of the receiving host (see `Rts`).
         ack_horizon: u64,
+        /// Tenant of the posting rank (see `Rts`).
+        tenant: usize,
     },
     /// Completion to the source host.
     FinSend {

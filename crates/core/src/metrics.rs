@@ -95,6 +95,35 @@ pub struct WindowMetrics {
     pub closed: bool,
 }
 
+/// Counters folded per tenant (DESIGN.md §18). Populated only when a
+/// multi-tenant rank→tenant map is installed via
+/// [`Metrics::set_tenant_map`]; single-tenant reports carry no tenant
+/// rows so their JSON stays byte-identical to pre-tenant baselines.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct TenantMetrics {
+    /// The tenant id.
+    pub tenant: usize,
+    /// Ranks mapped to this tenant.
+    pub ranks: u64,
+    /// Host CPU wakeups across the tenant's ranks.
+    pub wakeups: u64,
+    /// Wakeups with offloaded work still outstanding.
+    pub interventions: u64,
+    /// `FinSend` notices addressed to the tenant's ranks.
+    pub fin_send: u64,
+    /// `FinRecv` notices addressed to the tenant's ranks.
+    pub fin_recv: u64,
+    /// `GroupFin` notices addressed to the tenant's ranks.
+    pub fin_group: u64,
+    /// Posts the tenant's ranks deferred into the credit queue.
+    pub credit_deferrals: u64,
+    /// Posts shed at admission because the tenant was over its hard
+    /// quota.
+    pub quota_sheds: u64,
+    /// Deferred posts the DRR scheduler admitted for this tenant.
+    pub drr_grants: u64,
+}
+
 /// Counters attributed to one DPU proxy process.
 #[derive(Clone, Default, PartialEq, Eq, Debug)]
 pub struct ProxyMetrics {
@@ -148,6 +177,8 @@ struct Inner {
     data_integrity_failures: u64,
     queue_full_nacks: u64,
     credit_deferrals: u64,
+    quota_sheds: u64,
+    drr_grants: u64,
     staging_reclaimed: u64,
     reqs_cancelled: u64,
     reqs_reaped: u64,
@@ -169,6 +200,16 @@ struct Inner {
     recv_meta: BTreeMap<(usize, usize, usize), u64>,
     /// Full `GroupPacket` shipments per `(host_rank, req_id)`.
     group_packets: BTreeMap<(usize, usize), u64>,
+    /// rank → tenant, installed by [`Metrics::set_tenant_map`]. Empty
+    /// (the default) means single-tenant: no `tenants` section.
+    tenant_map: BTreeMap<usize, usize>,
+    /// Credit deferrals per deferring rank (folded by tenant in
+    /// [`Metrics::report`]).
+    deferrals_by_rank: BTreeMap<usize, u64>,
+    /// Hard-quota sheds per tenant.
+    tenant_quota_sheds: BTreeMap<usize, u64>,
+    /// DRR grants per tenant.
+    tenant_drr_grants: BTreeMap<usize, u64>,
 }
 
 impl Inner {
@@ -334,7 +375,18 @@ impl Inner {
             ProtoEvent::PayloadRecovered { .. } => self.payload_recovered += 1,
             ProtoEvent::DataIntegrityFailed { .. } => self.data_integrity_failures += 1,
             ProtoEvent::QueueFullNack { .. } => self.queue_full_nacks += 1,
-            ProtoEvent::CreditDeferred { .. } => self.credit_deferrals += 1,
+            ProtoEvent::CreditDeferred { rank, .. } => {
+                self.credit_deferrals += 1;
+                *self.deferrals_by_rank.entry(rank).or_insert(0) += 1;
+            }
+            ProtoEvent::QuotaShed { tenant, .. } => {
+                self.quota_sheds += 1;
+                *self.tenant_quota_sheds.entry(tenant).or_insert(0) += 1;
+            }
+            ProtoEvent::DrrGrant { tenant, .. } => {
+                self.drr_grants += 1;
+                *self.tenant_drr_grants.entry(tenant).or_insert(0) += 1;
+            }
             ProtoEvent::StagingReclaimed { .. } => self.staging_reclaimed += 1,
             ProtoEvent::ReqCancelled { .. } => self.reqs_cancelled += 1,
             ProtoEvent::ReqReaped { .. } => self.reqs_reaped += 1,
@@ -372,6 +424,18 @@ impl Metrics {
         })
     }
 
+    /// Install the rank→tenant map used to fold per-tenant counters.
+    /// With fewer than two distinct tenants the map is ignored and the
+    /// report stays tenant-free (the single-tenant default).
+    pub fn set_tenant_map(&self, map: BTreeMap<usize, usize>) {
+        let distinct: std::collections::BTreeSet<usize> = map.values().copied().collect();
+        self.inner.lock().tenant_map = if distinct.len() >= 2 {
+            map
+        } else {
+            BTreeMap::new()
+        };
+    }
+
     /// Snapshot the accumulated counters. Meaningful once every rank has
     /// reached `Finalize_Offload` (check
     /// [`MetricsReport::finalized_ranks`]); safe to call at any point for
@@ -385,6 +449,32 @@ impl Metrics {
             .iter()
             .map(|(&(f, t, r), &n)| (f, t, r, n))
             .collect();
+        let mut tenants: BTreeMap<usize, TenantMetrics> = BTreeMap::new();
+        if !inner.tenant_map.is_empty() {
+            for (&rank, &tenant) in &inner.tenant_map {
+                let t = tenants.entry(tenant).or_default();
+                t.tenant = tenant;
+                t.ranks += 1;
+                if let Some(r) = inner.ranks.get(&rank) {
+                    t.wakeups += r.wakeups;
+                    t.interventions += r.interventions;
+                    t.fin_send += r.fin_send;
+                    t.fin_recv += r.fin_recv;
+                    t.fin_group += r.fin_group;
+                }
+                t.credit_deferrals += inner.deferrals_by_rank.get(&rank).copied().unwrap_or(0);
+            }
+            for (&tenant, &n) in &inner.tenant_quota_sheds {
+                let t = tenants.entry(tenant).or_default();
+                t.tenant = tenant;
+                t.quota_sheds += n;
+            }
+            for (&tenant, &n) in &inner.tenant_drr_grants {
+                let t = tenants.entry(tenant).or_default();
+                t.tenant = tenant;
+                t.drr_grants += n;
+            }
+        }
         MetricsReport {
             events: inner.events,
             rts: sum(|p| p.rts),
@@ -428,6 +518,8 @@ impl Metrics {
             data_integrity_failures: inner.data_integrity_failures,
             queue_full_nacks: inner.queue_full_nacks,
             credit_deferrals: inner.credit_deferrals,
+            quota_sheds: inner.quota_sheds,
+            drr_grants: inner.drr_grants,
             staging_reclaimed: inner.staging_reclaimed,
             reqs_cancelled: inner.reqs_cancelled,
             reqs_reaped: inner.reqs_reaped,
@@ -437,6 +529,7 @@ impl Metrics {
             finalized_ranks: inner.ranks.values().filter(|r| r.finalized).count() as u64,
             ranks: inner.ranks.values().cloned().collect(),
             windows: inner.windows.values().cloned().collect(),
+            tenants: tenants.into_values().collect(),
             proxies,
         }
     }
@@ -538,6 +631,12 @@ pub struct MetricsReport {
     /// Posts the host deferred because its per-proxy credit window was
     /// exhausted.
     pub credit_deferrals: u64,
+    /// Posts shed at admission because the posting tenant was over its
+    /// hard quota (multi-tenant runs only; zero otherwise).
+    pub quota_sheds: u64,
+    /// Deferred posts admitted by the deficit-round-robin scheduler
+    /// (multi-tenant runs only; zero otherwise).
+    pub drr_grants: u64,
     /// Staging buffers recycled from the bounded free pool.
     pub staging_reclaimed: u64,
     /// Requests cancelled by their host (deadline expiry or explicit).
@@ -557,6 +656,10 @@ pub struct MetricsReport {
     pub ranks: Vec<RankMetrics>,
     /// Per-overlap-window counters, ordered by `(rank, req_id, gen)`.
     pub windows: Vec<WindowMetrics>,
+    /// Per-tenant counters, ordered by tenant. Empty unless a
+    /// multi-tenant rank→tenant map was installed
+    /// ([`Metrics::set_tenant_map`]).
+    pub tenants: Vec<TenantMetrics>,
     /// Per-proxy counters, ordered by pid.
     pub proxies: Vec<ProxyMetrics>,
 }
@@ -637,6 +740,8 @@ impl MetricsReport {
             ("data_integrity_failures", self.data_integrity_failures),
             ("queue_full_nacks", self.queue_full_nacks),
             ("credit_deferrals", self.credit_deferrals),
+            ("quota_sheds", self.quota_sheds),
+            ("drr_grants", self.drr_grants),
             ("staging_reclaimed", self.staging_reclaimed),
             ("reqs_cancelled", self.reqs_cancelled),
             ("reqs_reaped", self.reqs_reaped),
@@ -694,6 +799,28 @@ impl MetricsReport {
                 "\n    {{\"rank\": {}, \"req_id\": {}, \"gen\": {}, \"wakeups\": {}, \"interventions\": {}, \"closed\": {}}}{sep}",
                 w.rank, w.req_id, w.gen, w.wakeups, w.interventions, w.closed
             );
+        }
+        if !self.tenants.is_empty() {
+            // Optional section: only multi-tenant runs carry it, so
+            // single-tenant JSON stays byte-identical to old baselines.
+            o.push_str("\n  ],\n  \"tenants\": [");
+            for (i, t) in self.tenants.iter().enumerate() {
+                let sep = if i + 1 == self.tenants.len() { "" } else { "," };
+                let _ = write!(
+                    o,
+                    "\n    {{\"tenant\": {}, \"ranks\": {}, \"wakeups\": {}, \"interventions\": {}, \"fin_send\": {}, \"fin_recv\": {}, \"fin_group\": {}, \"credit_deferrals\": {}, \"quota_sheds\": {}, \"drr_grants\": {}}}{sep}",
+                    t.tenant,
+                    t.ranks,
+                    t.wakeups,
+                    t.interventions,
+                    t.fin_send,
+                    t.fin_recv,
+                    t.fin_group,
+                    t.credit_deferrals,
+                    t.quota_sheds,
+                    t.drr_grants
+                );
+            }
         }
         o.push_str("\n  ],\n  \"proxies\": [");
         for (i, p) in self.proxies.iter().enumerate() {
@@ -846,6 +973,51 @@ mod tests {
         assert_eq!(w.interventions, 1);
         assert_eq!(r.window_interventions(), 1);
         assert_eq!(r.warm_window_interventions(), 0);
+    }
+
+    #[test]
+    fn tenant_section_requires_a_multi_tenant_map() {
+        let m = Metrics::new();
+        feed(&m, 0, ProtoEvent::CreditDeferred { rank: 1, msg_id: 7 });
+        feed(
+            &m,
+            0,
+            ProtoEvent::QuotaShed {
+                tenant: 1,
+                rank: 1,
+                msg_id: 8,
+            },
+        );
+        feed(
+            &m,
+            0,
+            ProtoEvent::DrrGrant {
+                tenant: 0,
+                rank: 0,
+                msg_id: 7,
+            },
+        );
+        // No map installed: totals count, but no tenant rows and no
+        // "tenants" JSON section.
+        let r = m.report();
+        assert_eq!(r.credit_deferrals, 1);
+        assert_eq!(r.quota_sheds, 1);
+        assert_eq!(r.drr_grants, 1);
+        assert!(r.tenants.is_empty());
+        assert!(!r.to_json("t").contains("\"tenants\""));
+        // A single-tenant map is ignored too.
+        m.set_tenant_map(BTreeMap::from([(0, 0), (1, 0)]));
+        assert!(m.report().tenants.is_empty());
+        // A two-tenant map folds the rows.
+        m.set_tenant_map(BTreeMap::from([(0, 0), (1, 1)]));
+        let r = m.report();
+        assert_eq!(r.tenants.len(), 2);
+        assert_eq!(r.tenants[0].tenant, 0);
+        assert_eq!(r.tenants[0].drr_grants, 1);
+        assert_eq!(r.tenants[0].credit_deferrals, 0);
+        assert_eq!(r.tenants[1].credit_deferrals, 1);
+        assert_eq!(r.tenants[1].quota_sheds, 1);
+        assert!(r.to_json("t").contains("\"tenants\": ["));
     }
 
     #[test]

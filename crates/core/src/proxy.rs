@@ -29,7 +29,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use rdma::{ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
 use simnet::{Payload, Pid, ProcessCtx};
 
-use crate::config::{DataPath, OffloadConfig};
+use crate::config::{DataPath, OffloadConfig, TenantId};
 use crate::events::{CacheSide, CtrlKind, PathKind, ProtoEvent};
 use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_OFF_PROXY};
 use crate::reg_cache::RankAddrCache;
@@ -48,6 +48,17 @@ fn decode_ctrl(body: Payload) -> Option<CtrlMsg> {
     body.downcast::<CtrlMsg>().ok().map(|b| *b)
 }
 
+/// One tenant's cross-registration cache: budgeted per tenant on
+/// multi-tenant rosters (eviction isolation), unbounded otherwise —
+/// the pre-multi-tenant layout.
+fn fresh_cross_cache(cfg: &OffloadConfig, world: usize) -> RankAddrCache<(MrKey, MrKey)> {
+    if cfg.multi_tenant() && cfg.cache_budget > 0 {
+        RankAddrCache::with_capacity(world, cfg.cache_budget)
+    } else {
+        RankAddrCache::new(world)
+    }
+}
+
 #[allow(dead_code)] // tag/src_pid mirror the wire format
 struct RtsInfo {
     src_rank: usize,
@@ -62,6 +73,9 @@ struct RtsInfo {
     /// Sender-computed payload CRC32 (present only on payload-fault
     /// plans; carried through so every hop can be verified).
     crc: Option<u32>,
+    /// Tenant the posting rank belongs to (0 on single-tenant rosters;
+    /// per-tenant descriptor-share accounting).
+    tenant: TenantId,
 }
 
 #[allow(dead_code)] // dst_pid mirrors the wire format
@@ -73,6 +87,8 @@ struct RtrInfo {
     dst_req: usize,
     dst_pid: Pid,
     msg_id: u64,
+    /// Tenant the posting rank belongs to (see [`RtsInfo::tenant`]).
+    tenant: TenantId,
 }
 
 enum Completion {
@@ -174,7 +190,12 @@ struct ProxyState {
     stage_assign: BTreeMap<(usize, u64, u64), (VAddr, MrKey)>,
     inflight: BTreeMap<u64, Completion>,
     next_wr: u64,
-    cross_cache: RankAddrCache<(MrKey, MrKey)>,
+    /// Cross-registration caches, one GVMI namespace per tenant. A
+    /// single-tenant roster keeps exactly one (key 0) cache — the
+    /// pre-multi-tenant layout. Under a multi-tenant roster with a
+    /// cache budget each namespace is budgeted independently, so one
+    /// tenant's working set can never evict another's registrations.
+    cross_caches: BTreeMap<TenantId, RankAddrCache<(MrKey, MrKey)>>,
     groups: BTreeMap<GroupKey, CachedGroup>,
     instances: Vec<Instance>,
     /// Data arrivals per `(group instance, gen)`, keyed inside by
@@ -216,6 +237,10 @@ struct ProxyState {
     send_q_len: usize,
     /// Entries currently queued across `recv_q`.
     recv_q_len: usize,
+    /// Entries currently queued per tenant across both queues
+    /// (descriptor-share admission; maintained only on multi-tenant
+    /// rosters, empty otherwise).
+    tenant_q_len: BTreeMap<TenantId, usize>,
     /// Barrier points `(key, gen, cursor)` whose first stall was already
     /// reported, so polling does not inflate the stall count.
     stalled: BTreeSet<(GroupKey, u64, usize)>,
@@ -229,9 +254,12 @@ struct ProxyState {
     /// cancel). Survives a crash — a cancelled request must never
     /// complete, even through a post-restart replay.
     cancelled: BTreeSet<u64>,
-    /// Bounded staging free pool, keyed by buffer length (armed by
-    /// `staging_cap`; empty and unused otherwise).
-    stage_free: BTreeMap<u64, Vec<(VAddr, MrKey)>>,
+    /// Bounded staging free pool, keyed by `(tenant, buffer length)`
+    /// (armed by `staging_cap`; empty and unused otherwise). The
+    /// tenant key partitions the pool so one tenant's churn cannot
+    /// starve another's buffer reuse; single-tenant runs only ever see
+    /// tenant 0, i.e. the old per-length pool.
+    stage_free: BTreeMap<(TenantId, u64), Vec<(VAddr, MrKey)>>,
     /// Highest contiguous completion horizon each host has advertised
     /// (FIN-journal truncation; survives a crash with the journal).
     ack_horizons: BTreeMap<usize, u64>,
@@ -267,7 +295,9 @@ pub fn proxy_main(
         stage_assign: BTreeMap::new(),
         inflight: BTreeMap::new(),
         next_wr: 0,
-        cross_cache: RankAddrCache::new(spec.world_size()),
+        // Tenant 0 always exists so a run that never cross-registers
+        // still drains the same (zero) cache stats it always has.
+        cross_caches: BTreeMap::from([(0, fresh_cross_cache(&cfg, spec.world_size()))]),
         groups: BTreeMap::new(),
         instances: Vec::new(),
         arrivals: BTreeMap::new(),
@@ -283,6 +313,7 @@ pub fn proxy_main(
         crashed: false,
         send_q_len: 0,
         recv_q_len: 0,
+        tenant_q_len: BTreeMap::new(),
         stalled: BTreeSet::new(),
         inflight_ctx: BTreeMap::new(),
         data_retx: BTreeMap::new(),
@@ -305,11 +336,13 @@ pub fn proxy_main(
         p.handle(&mut st, msg);
         p.advance_all(&mut st);
     }
-    let (h, m, s) = st.cross_cache.stats();
-    ctx.stat_incr("offload.gvmi_cache.dpu.hit", h);
-    ctx.stat_incr("offload.gvmi_cache.dpu.miss", m);
-    ctx.stat_incr("offload.gvmi_cache.dpu.stale", s);
-    ctx.stat_incr("offload.gvmi_cache.dpu.evict", st.cross_cache.evictions());
+    for cache in st.cross_caches.values() {
+        let (h, m, s) = cache.stats();
+        ctx.stat_incr("offload.gvmi_cache.dpu.hit", h);
+        ctx.stat_incr("offload.gvmi_cache.dpu.miss", m);
+        ctx.stat_incr("offload.gvmi_cache.dpu.stale", s);
+        ctx.stat_incr("offload.gvmi_cache.dpu.evict", cache.evictions());
+    }
 }
 
 struct Proxy<'a> {
@@ -409,6 +442,7 @@ impl Proxy<'_> {
                 msg_id,
                 crc,
                 ack_horizon,
+                tenant,
             } => {
                 if let Some(&wrid) = st.completed_msgs.get(&msg_id) {
                     // Replayed send whose data write completed in a
@@ -429,7 +463,7 @@ impl Proxy<'_> {
                 self.note_horizon(st, src_rank, ack_horizon);
                 let key = (src_rank, dst_rank, tag);
                 let would_match = st.recv_q.get(&key).is_some_and(|q| !q.is_empty());
-                if !would_match && self.admission_refused(st, msg_id) {
+                if !would_match && self.admission_refused(st, msg_id, tenant) {
                     self.send_ctrl(
                         st,
                         self.cluster.host_ep(src_rank),
@@ -461,13 +495,16 @@ impl Proxy<'_> {
                     src_pid,
                     msg_id,
                     crc,
+                    tenant,
                 };
                 if let Some(rtr) = st.recv_q.get_mut(&key).and_then(|q| q.pop_front()) {
                     st.recv_q_len -= 1;
+                    self.tenant_q_decr(st, rtr.tenant);
                     self.pair_matched(st, rts, rtr);
                 } else {
                     st.send_q.entry(key).or_default().push_back(rts);
                     st.send_q_len += 1;
+                    self.tenant_q_incr(st, tenant);
                     self.emit_queue_depth(st);
                 }
             }
@@ -482,6 +519,7 @@ impl Proxy<'_> {
                 dst_pid,
                 msg_id,
                 ack_horizon,
+                tenant,
             } => {
                 if let Some(&wrid) = st.completed_msgs.get(&msg_id) {
                     self.resend_fin(
@@ -500,7 +538,7 @@ impl Proxy<'_> {
                 self.note_horizon(st, dst_rank, ack_horizon);
                 let key = (src_rank, dst_rank, tag);
                 let would_match = st.send_q.get(&key).is_some_and(|q| !q.is_empty());
-                if !would_match && self.admission_refused(st, msg_id) {
+                if !would_match && self.admission_refused(st, msg_id, tenant) {
                     self.send_ctrl(
                         st,
                         self.cluster.host_ep(dst_rank),
@@ -529,13 +567,16 @@ impl Proxy<'_> {
                     dst_req,
                     dst_pid,
                     msg_id,
+                    tenant,
                 };
                 if let Some(rts) = st.send_q.get_mut(&key).and_then(|q| q.pop_front()) {
                     st.send_q_len -= 1;
+                    self.tenant_q_decr(st, rts.tenant);
                     self.pair_matched(st, rts, rtr);
                 } else {
                     st.recv_q.entry(key).or_default().push_back(rtr);
                     st.recv_q_len += 1;
+                    self.tenant_q_incr(st, tenant);
                     self.emit_queue_depth(st);
                 }
             }
@@ -649,6 +690,7 @@ impl Proxy<'_> {
                     // integrity (documented relaxation: no receive side
                     // exists to re-derive the expected CRC from).
                     crc: None,
+                    tenant: self.cfg.tenant_of(src_rank),
                 };
                 let rtr = RtrInfo {
                     dst_rank,
@@ -658,6 +700,7 @@ impl Proxy<'_> {
                     dst_req: usize::MAX, // no receive-side request
                     dst_pid: src_pid,
                     msg_id,
+                    tenant: self.cfg.tenant_of(dst_rank),
                 };
                 self.pair_matched(st, rts, rtr);
             }
@@ -744,19 +787,33 @@ impl Proxy<'_> {
                 // hand bytes to a caller that gave up on them.
                 st.cancelled.insert(msg_id);
                 let mut reaped = 0usize;
+                let mut reaped_tenants = Vec::new();
                 for q in st.send_q.values_mut() {
-                    let before = q.len();
-                    q.retain(|r| r.msg_id != msg_id);
-                    reaped += before - q.len();
+                    q.retain(|r| {
+                        if r.msg_id != msg_id {
+                            return true;
+                        }
+                        reaped += 1;
+                        reaped_tenants.push(r.tenant);
+                        false
+                    });
                 }
                 st.send_q_len -= reaped;
                 let mut rreaped = 0usize;
                 for q in st.recv_q.values_mut() {
-                    let before = q.len();
-                    q.retain(|r| r.msg_id != msg_id);
-                    rreaped += before - q.len();
+                    q.retain(|r| {
+                        if r.msg_id != msg_id {
+                            return true;
+                        }
+                        rreaped += 1;
+                        reaped_tenants.push(r.tenant);
+                        false
+                    });
                 }
                 st.recv_q_len -= rreaped;
+                for t in reaped_tenants {
+                    self.tenant_q_decr(st, t);
+                }
                 if reaped + rreaped > 0 {
                     self.ctx
                         .stat_incr("offload.cancel.reaped", (reaped + rreaped) as u64);
@@ -811,7 +868,7 @@ impl Proxy<'_> {
         kind: crate::events::FinKind,
         msg_id: u64,
     ) {
-        let credit = self.fin_credit(st);
+        let credit = self.fin_credit(st, rank);
         let msg = match kind {
             crate::events::FinKind::Recv => CtrlMsg::FinRecv {
                 req,
@@ -892,12 +949,43 @@ impl Proxy<'_> {
         *h = (*h).max(ack_horizon);
     }
 
+    /// Track per-tenant queued-descriptor counts (multi-tenant rosters
+    /// only; single-tenant runs never touch the map).
+    fn tenant_q_incr(&self, st: &mut ProxyState, tenant: TenantId) {
+        if self.cfg.multi_tenant() {
+            *st.tenant_q_len.entry(tenant).or_insert(0) += 1;
+        }
+    }
+
+    fn tenant_q_decr(&self, st: &mut ProxyState, tenant: TenantId) {
+        if self.cfg.multi_tenant() {
+            if let Some(n) = st.tenant_q_len.get_mut(&tenant) {
+                *n = n.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Queued descriptors currently charged to `tenant`.
+    fn tenant_q(&self, st: &ProxyState, tenant: TenantId) -> usize {
+        st.tenant_q_len.get(&tenant).copied().unwrap_or(0)
+    }
+
     /// Would admitting one more queued descriptor bust the configured
     /// cap? Counts both queues against one budget — the paper's worker
-    /// owns a single descriptor pool. Emits the refusal events; the
-    /// caller sends the `QueueFull` nack (destination differs per side).
-    fn admission_refused(&self, st: &ProxyState, msg_id: u64) -> bool {
-        if self.cfg.queue_cap == 0 || st.send_q_len + st.recv_q_len < self.cfg.queue_cap {
+    /// owns a single descriptor pool. Under a multi-tenant roster the
+    /// pool is additionally partitioned into weighted per-tenant shares
+    /// ([`OffloadConfig::tenant_share`]), so a flooding tenant fills
+    /// only its own share and well-behaved tenants keep admission.
+    /// Emits the refusal events; the caller sends the `QueueFull` nack
+    /// (destination differs per side).
+    fn admission_refused(&self, st: &ProxyState, msg_id: u64, tenant: TenantId) -> bool {
+        if self.cfg.queue_cap == 0 {
+            return false;
+        }
+        let global_full = st.send_q_len + st.recv_q_len >= self.cfg.queue_cap;
+        let share_full =
+            self.cfg.multi_tenant() && self.tenant_q(st, tenant) >= self.cfg.tenant_share(tenant);
+        if !global_full && !share_full {
             return false;
         }
         self.ctx.stat_incr("offload.credit.queue_full", 1);
@@ -906,29 +994,49 @@ impl Proxy<'_> {
     }
 
     /// Free descriptor-queue slots to piggyback on an outgoing FIN
-    /// (always 0 when the cap is unarmed, keeping clean wires identical).
-    fn fin_credit(&self, st: &ProxyState) -> u32 {
+    /// (always 0 when the cap is unarmed, keeping clean wires
+    /// identical). Per-tenant on multi-tenant rosters: the credit a
+    /// host sees never exceeds what its own tenant's share could
+    /// actually admit, so one tenant's free slots cannot tempt another
+    /// tenant's host into a burst of doomed re-posts.
+    fn fin_credit(&self, st: &ProxyState, rank: usize) -> u32 {
         if self.cfg.queue_cap == 0 {
-            0
-        } else {
-            self.cfg
-                .queue_cap
-                .saturating_sub(st.send_q_len + st.recv_q_len) as u32
+            return 0;
         }
+        let global = self
+            .cfg
+            .queue_cap
+            .saturating_sub(st.send_q_len + st.recv_q_len);
+        if !self.cfg.multi_tenant() {
+            return global as u32;
+        }
+        let tenant = self.cfg.tenant_of(rank);
+        let share_free = self
+            .cfg
+            .tenant_share(tenant)
+            .saturating_sub(self.tenant_q(st, tenant));
+        global.min(share_free) as u32
     }
 
     /// Return a settled transfer's staging buffer to the bounded free
-    /// pool. `None` (GVMI path, or unbounded staging mode where buffers
-    /// live in the assignment map) is a no-op; a pool already at its cap
-    /// drops the buffer instead of growing.
-    fn release_staged(&self, st: &mut ProxyState, staged: Option<(VAddr, MrKey, u64)>) {
+    /// pool of the owning tenant. `None` (GVMI path, or unbounded
+    /// staging mode where buffers live in the assignment map) is a
+    /// no-op; a pool already at its cap drops the buffer instead of
+    /// growing. `staging_cap` bounds each `(tenant, length)` pool, so
+    /// a flooding tenant's churn is confined to its own partition.
+    fn release_staged(
+        &self,
+        st: &mut ProxyState,
+        tenant: TenantId,
+        staged: Option<(VAddr, MrKey, u64)>,
+    ) {
         let Some((buf, key, len)) = staged else {
             return;
         };
         if self.cfg.staging_cap == 0 {
             return;
         }
-        let pool = st.stage_free.entry(len).or_default();
+        let pool = st.stage_free.entry((tenant, len)).or_default();
         if pool.len() < self.cfg.staging_cap {
             pool.push((buf, key));
         } else {
@@ -941,12 +1049,48 @@ impl Proxy<'_> {
     /// (those transfers can never be replayed — the host saw their FINs).
     /// Emits a size sample per settle so tests can track the high-water
     /// mark. No-op unless the cap is armed.
+    ///
+    /// Under a multi-tenant roster the cap is applied per tenant
+    /// (`msg_id >> 32` names the owning rank, hence its tenant): a
+    /// flooding tenant triggers truncation of only its own entries, and
+    /// a quiet tenant's journal is never scanned on the flooder's
+    /// account. Truncation only ever drops entries the owning host has
+    /// acknowledged, so cross-tenant recovery safety is unconditional.
     fn truncate_journal(&self, st: &mut ProxyState) {
         if self.cfg.journal_cap == 0 {
             return;
         }
         crate::profile_scope!("journal_truncate");
-        if st.completed_msgs.len() > self.cfg.journal_cap {
+        if self.cfg.multi_tenant() {
+            let mut per_tenant: BTreeMap<TenantId, usize> = BTreeMap::new();
+            for mid in st.completed_msgs.keys() {
+                let tenant = self.cfg.tenant_of((mid >> 32) as usize);
+                *per_tenant.entry(tenant).or_insert(0) += 1;
+            }
+            let over: BTreeSet<TenantId> = per_tenant
+                .into_iter()
+                .filter(|&(_, n)| n > self.cfg.journal_cap)
+                .map(|(t, _)| t)
+                .collect();
+            if !over.is_empty() {
+                let horizons = &st.ack_horizons;
+                let cfg = self.cfg;
+                let before = st.completed_msgs.len();
+                st.completed_msgs.retain(|mid, _| {
+                    let rank = (mid >> 32) as usize;
+                    if !over.contains(&cfg.tenant_of(rank)) {
+                        return true;
+                    }
+                    let seq = mid & 0xFFFF_FFFF;
+                    seq > horizons.get(&rank).copied().unwrap_or(0)
+                });
+                let dropped = (before - st.completed_msgs.len()) as u64;
+                if dropped > 0 {
+                    self.ctx.stat_incr("offload.journal.truncations", 1);
+                    self.ctx.emit(&ProtoEvent::JournalTruncated { dropped });
+                }
+            }
+        } else if st.completed_msgs.len() > self.cfg.journal_cap {
             let horizons = &st.ack_horizons;
             let before = st.completed_msgs.len();
             st.completed_msgs.retain(|mid, _| {
@@ -974,19 +1118,23 @@ impl Proxy<'_> {
     /// epoch is announced to every host so they invalidate DPU-dependent
     /// cached state and replay in-flight requests.
     fn crash_restart(&self, st: &mut ProxyState) {
-        let (h, m, s) = st.cross_cache.stats();
-        self.ctx.stat_incr("offload.gvmi_cache.dpu.hit", h);
-        self.ctx.stat_incr("offload.gvmi_cache.dpu.miss", m);
-        self.ctx.stat_incr("offload.gvmi_cache.dpu.stale", s);
-        self.ctx
-            .stat_incr("offload.gvmi_cache.dpu.evict", st.cross_cache.evictions());
+        for cache in st.cross_caches.values() {
+            let (h, m, s) = cache.stats();
+            self.ctx.stat_incr("offload.gvmi_cache.dpu.hit", h);
+            self.ctx.stat_incr("offload.gvmi_cache.dpu.miss", m);
+            self.ctx.stat_incr("offload.gvmi_cache.dpu.stale", s);
+            self.ctx
+                .stat_incr("offload.gvmi_cache.dpu.evict", cache.evictions());
+        }
         st.send_q.clear();
         st.recv_q.clear();
         st.send_q_len = 0;
         st.recv_q_len = 0;
+        st.tenant_q_len.clear();
         st.stage_assign.clear();
         st.inflight.clear();
-        st.cross_cache = RankAddrCache::new(self.cluster.world_size());
+        st.cross_caches =
+            BTreeMap::from([(0, fresh_cross_cache(self.cfg, self.cluster.world_size()))]);
         st.groups.clear();
         st.instances.clear();
         st.group_staged.clear();
@@ -1036,7 +1184,8 @@ impl Proxy<'_> {
     ) -> (VAddr, MrKey) {
         let fab = self.cluster.fabric();
         if self.cfg.staging_cap > 0 {
-            if let Some(b) = st.stage_free.get_mut(&len).and_then(|p| p.pop()) {
+            let tenant = self.cfg.tenant_of(src_rank);
+            if let Some(b) = st.stage_free.get_mut(&(tenant, len)).and_then(|p| p.pop()) {
                 self.ctx.stat_incr("offload.staging.reclaimed", 1);
                 self.ctx.emit(&ProtoEvent::StagingReclaimed { len });
                 return b;
@@ -1303,11 +1452,19 @@ impl Proxy<'_> {
         may_fail: bool,
     ) -> Option<MrKey> {
         let fab = self.cluster.fabric();
+        // Cross-registrations live in the owning tenant's GVMI
+        // namespace; tenants never share (or validate against) each
+        // other's entries.
+        let tenant = self.cfg.tenant_of(src_rank);
+        let world = self.cluster.world_size();
         if self.cfg.use_gvmi_cache {
             let (hit, outcome) = {
+                let cache = st
+                    .cross_caches
+                    .entry(tenant)
+                    .or_insert_with(|| fresh_cross_cache(self.cfg, world));
                 let (v, outcome) =
-                    st.cross_cache
-                        .get_validated_outcome(src_rank, addr.0, len, |(m, _)| *m == mkey);
+                    cache.get_validated_outcome(src_rank, addr.0, len, |(m, _)| *m == mkey);
                 (v.copied(), outcome)
             };
             self.ctx.emit(&ProtoEvent::CrossRegCacheLookup {
@@ -1343,7 +1500,11 @@ impl Proxy<'_> {
             mkey2,
         });
         if self.cfg.use_gvmi_cache {
-            let evicted = st.cross_cache.insert(src_rank, addr.0, len, (mkey, mkey2));
+            let cache = st
+                .cross_caches
+                .entry(tenant)
+                .or_insert_with(|| fresh_cross_cache(self.cfg, world));
+            let evicted = cache.insert(src_rank, addr.0, len, (mkey, mkey2));
             if evicted.is_some() {
                 self.ctx.emit(&ProtoEvent::CacheEvicted {
                     rank: src_rank,
@@ -1437,7 +1598,7 @@ impl Proxy<'_> {
                 dst_msg_id,
                 staged,
             } => {
-                self.release_staged(st, staged);
+                self.release_staged(st, self.cfg.tenant_of(src_rank), staged);
                 // FIN packets to both hosts (paper Fig. 8, §VIII-C: two of
                 // the four per-transfer control messages). One-sided puts
                 // ride this path with no receive request: only the origin
@@ -1449,7 +1610,7 @@ impl Proxy<'_> {
                     st.completed_msgs.insert(dst_msg_id, wrid);
                 }
                 self.truncate_journal(st);
-                let credit = self.fin_credit(st);
+                let credit = self.fin_credit(st, src_rank);
                 self.send_ctrl(
                     st,
                     self.cluster.host_ep(src_rank),
@@ -1474,6 +1635,7 @@ impl Proxy<'_> {
                         st.fin_dropped = true;
                         return;
                     }
+                    let credit = self.fin_credit(st, dst_rank);
                     self.send_ctrl(
                         st,
                         self.cluster.host_ep(dst_rank),
@@ -1500,7 +1662,7 @@ impl Proxy<'_> {
             } => {
                 st.completed_msgs.insert(msg_id, wrid);
                 self.truncate_journal(st);
-                let credit = self.fin_credit(st);
+                let credit = self.fin_credit(st, src_rank);
                 self.send_ctrl(
                     st,
                     self.cluster.host_ep(src_rank),
@@ -1630,7 +1792,7 @@ impl Proxy<'_> {
                 dst_msg_id,
                 staged,
             } => {
-                self.release_staged(st, staged);
+                self.release_staged(st, self.cfg.tenant_of(src_rank), staged);
                 self.send_ctrl(
                     st,
                     self.cluster.host_ep(src_rank),
@@ -1672,7 +1834,7 @@ impl Proxy<'_> {
             }
             Completion::StagingRead { pair, buf } => {
                 let (rts, rtr) = *pair;
-                self.release_staged(st, Some((buf.0, buf.1, rts.len)));
+                self.release_staged(st, rts.tenant, Some((buf.0, buf.1, rts.len)));
                 self.send_ctrl(
                     st,
                     self.cluster.host_ep(rts.src_rank),

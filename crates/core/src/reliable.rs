@@ -73,6 +73,16 @@ pub enum OffloadError {
         /// Generation that failed.
         gen: u64,
     },
+    /// The post was shed at admission: the rank's tenant is over its
+    /// hard quota (DESIGN.md §18). Unlike the deferral path this is an
+    /// immediate, typed refusal — the application may retry once its
+    /// earlier posts settle.
+    QuotaExceeded {
+        /// Tenant whose hard quota was hit.
+        tenant: usize,
+        /// Transfer id of the shed request.
+        msg_id: u64,
+    },
 }
 
 impl fmt::Debug for OffloadError {
@@ -95,6 +105,10 @@ impl fmt::Debug for OffloadError {
             OffloadError::GroupFailed { req_id, gen } => {
                 write!(f, "group request {req_id} generation {gen} failed permanently")
             }
+            OffloadError::QuotaExceeded { tenant, msg_id } => write!(
+                f,
+                "transfer {msg_id:#x} shed at admission: tenant {tenant} is over its hard quota"
+            ),
         }
     }
 }

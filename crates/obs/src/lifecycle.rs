@@ -347,6 +347,23 @@ impl LifecycleReport {
             .collect()
     }
 
+    /// Closed-group-window duration histograms folded per tenant by a
+    /// rank→tenant map (ranks absent from the map are skipped). The
+    /// noisy-neighbor isolation gate reads a victim tenant's p99 here
+    /// and compares it against the same tenant's solo-run p99.
+    pub fn tenant_window_histograms(
+        &self,
+        tenant_of: &BTreeMap<usize, usize>,
+    ) -> BTreeMap<usize, Histogram> {
+        let mut out: BTreeMap<usize, Histogram> = BTreeMap::new();
+        for w in self.windows.iter().filter(|w| w.closed) {
+            if let Some(&t) = tenant_of.get(&w.rank) {
+                out.entry(t).or_default().record(w.total.as_ps());
+            }
+        }
+        out
+    }
+
     /// The longest closed window — the run's group critical path. Its
     /// segment chain shows where the window's time went.
     pub fn critical_path(&self) -> Option<&WindowPath> {
@@ -744,6 +761,35 @@ mod tests {
         assert_eq!(h.quantile(1.0), 1_000_000);
         // p50 of 6 obs → 3rd smallest (2) → bucket [2,3] upper bound 3.
         assert_eq!(h.p50(), 3);
+    }
+
+    #[test]
+    fn tenant_window_histograms_fold_by_rank_map() {
+        let mk = |rank: usize, total_ps: u64, closed: bool| WindowPath {
+            rank,
+            req_id: 0,
+            gen: 1,
+            segments: Vec::new(),
+            closed,
+            total: SimDelta::from_ps(total_ps),
+        };
+        let report = LifecycleReport {
+            timelines: Vec::new(),
+            windows: vec![
+                mk(0, 100, true),
+                mk(1, 2_000, true),
+                mk(0, 300, true),
+                mk(1, 9_999, false), // open windows don't count
+                mk(7, 5, true),      // rank outside the map is skipped
+            ],
+        };
+        let map: BTreeMap<usize, usize> = [(0, 0), (1, 1)].into_iter().collect();
+        let hists = report.tenant_window_histograms(&map);
+        assert_eq!(hists.len(), 2);
+        assert_eq!(hists[&0].count(), 2);
+        assert_eq!(hists[&0].max(), 300);
+        assert_eq!(hists[&1].count(), 1);
+        assert_eq!(hists[&1].max(), 2_000);
     }
 
     #[test]

@@ -51,6 +51,8 @@ const TOTAL_KEYS: &[&str] = &[
     "data_integrity_failures",
     "queue_full_nacks",
     "credit_deferrals",
+    "quota_sheds",
+    "drr_grants",
     "staging_reclaimed",
     "reqs_cancelled",
     "reqs_reaped",
@@ -62,6 +64,23 @@ const TOTAL_KEYS: &[&str] = &[
 
 const CACHE_KEYS: &[&str] = &["hits", "misses", "stale", "evictions"];
 const CACHES: &[&str] = &["host_gvmi", "host_ib", "dpu_cross"];
+
+/// Keys of each row in the optional `tenants` array — present only in
+/// documents from multi-tenant runs (single-tenant documents omit the
+/// section entirely, keeping them byte-identical to pre-tenant
+/// baselines). Mirrors `offload::TenantMetrics`.
+pub const TENANT_KEYS: &[&str] = &[
+    "tenant",
+    "ranks",
+    "wakeups",
+    "interventions",
+    "fin_send",
+    "fin_recv",
+    "fin_group",
+    "credit_deferrals",
+    "quota_sheds",
+    "drr_grants",
+];
 
 /// Optional extension sections: flat all-numeric objects appended by
 /// the scale benches (`"engine"` carries the self-benchmark counters,
@@ -157,6 +176,37 @@ pub fn validate_metrics(doc: &str) -> Result<Json, String> {
             .ok_or_else(|| format!("missing array \"{arr}\""))?;
         if let Some(bad) = items.iter().position(|e| !e.is_obj()) {
             return Err(format!("{arr}[{bad}] is not an object"));
+        }
+    }
+    // Optional multi-tenant section: when present, every row carries the
+    // full per-tenant counter set and the rows' sheds/grants/deferrals
+    // sum to at most the corresponding totals (per-tenant counters are a
+    // partition of the totals, but ranks outside the tenant map may
+    // contribute to totals only).
+    if let Some(tenants) = v.get("tenants") {
+        let rows = tenants
+            .as_arr()
+            .ok_or("\"tenants\" is present but not an array")?;
+        if rows.len() < 2 {
+            return Err("\"tenants\" is present with fewer than two rows".into());
+        }
+        let mut sums = [0u64; 3];
+        for (i, row) in rows.iter().enumerate() {
+            let at = format!("tenants[{i}]");
+            for k in TENANT_KEYS {
+                counter(row, k, &at)?;
+            }
+            sums[0] += counter(row, "quota_sheds", &at)?;
+            sums[1] += counter(row, "drr_grants", &at)?;
+            sums[2] += counter(row, "credit_deferrals", &at)?;
+        }
+        for (sum, key) in sums
+            .iter()
+            .zip(["quota_sheds", "drr_grants", "credit_deferrals"])
+        {
+            if *sum > counter(totals, key, "totals")? {
+                return Err(format!("per-tenant {key} exceed totals.{key}"));
+            }
         }
     }
     // Internal consistency: cache lookups decompose, per-rank wakeups sum
@@ -331,6 +381,46 @@ mod tests {
             "\"scale\": 7",
         );
         assert!(validate_metrics(&bad).is_err());
+    }
+
+    #[test]
+    fn tenants_section_validates_when_present() {
+        use offload::{Metrics, ProtoEvent};
+        use simnet::{Pid, SimTime};
+        let m = Metrics::new();
+        let sink = m.sink();
+        for (tenant, rank) in [(0usize, 0usize), (1, 1)] {
+            sink(
+                SimTime::ZERO,
+                Pid::from_index(rank),
+                &ProtoEvent::QuotaShed {
+                    tenant,
+                    rank,
+                    msg_id: rank as u64,
+                },
+            );
+        }
+        m.set_tenant_map([(0, 0), (1, 1)].into_iter().collect());
+        let doc = m.report().to_json("unit");
+        assert!(doc.contains("\"tenants\": ["));
+        validate_metrics(&doc).unwrap();
+        // A row missing a tenant counter is rejected.
+        let bad = doc.replace("\"quota_sheds\": 1, \"drr_grants\": 0}", "}");
+        assert!(validate_metrics(&bad).is_err());
+        // Per-tenant sheds summing past the total are rejected.
+        let bad = doc.replace(
+            "\"tenant\": 1, \"ranks\": 1, \"wakeups\": 0, \"interventions\": 0, \"fin_send\": 0, \"fin_recv\": 0, \"fin_group\": 0, \"credit_deferrals\": 0, \"quota_sheds\": 1",
+            "\"tenant\": 1, \"ranks\": 1, \"wakeups\": 0, \"interventions\": 0, \"fin_send\": 0, \"fin_recv\": 0, \"fin_group\": 0, \"credit_deferrals\": 0, \"quota_sheds\": 9",
+        );
+        assert!(validate_metrics(&bad).is_err());
+        // A single-row section is rejected: single-tenant runs must omit
+        // the section, not emit a degenerate one.
+        let one_row = doc.replace(
+            ",\n    {\"tenant\": 1, \"ranks\": 1, \"wakeups\": 0, \"interventions\": 0, \"fin_send\": 0, \"fin_recv\": 0, \"fin_group\": 0, \"credit_deferrals\": 0, \"quota_sheds\": 1, \"drr_grants\": 0}",
+            "",
+        );
+        assert_ne!(one_row, doc, "the tenant-1 row must match verbatim");
+        assert!(validate_metrics(&one_row).is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   jitter, proxy count, time limit — plus an [`EventSink`] that
 //!   receives the engine's structured [`offload::ProtoEvent`] stream.
 
-use offload::{Offload, OffloadConfig, OffloadError};
+use offload::{Offload, OffloadConfig, OffloadError, TenantId};
 use rdma::{ClusterBuilder, ClusterSpec, Inbox};
 use simnet::{EventSink, Report, SimDelta, SimError, SimTime};
 
@@ -219,16 +219,53 @@ pub fn drive_verified_stencil(
 /// proxy nacks (rather than queues) anything that slips past a stale
 /// window — with queue depths bounded by the cap throughout.
 pub fn drive_flood(run: &CheckRun, bytes: u64, burst: u64) -> Result<Report, SimError> {
+    // On a single-tenant config every rank maps to tenant 0, so the
+    // tenant-scoped flood below degenerates to the classic all-ranks
+    // ring this driver has always been.
+    drive_tenant_flood(run, bytes, burst, 0)
+}
+
+/// The ranks of one tenant: `tenant_of` applied over the world, in rank
+/// order. Every rank belongs to tenant 0 on a single-tenant config.
+fn tenant_ring(cfg: &OffloadConfig, world: usize, tenant: TenantId) -> Vec<usize> {
+    (0..world).filter(|&r| cfg.tenant_of(r) == tenant).collect()
+}
+
+/// [`drive_flood`] scoped to one tenant: only the ranks `tenant_of`
+/// maps to `tenant` flood, over a ring of *their own* ranks (so every
+/// send has a matching recv inside the tenant); everyone else idles.
+/// This is the noisy-neighbor aggressor — point it at the flooding
+/// tenant of a multi-tenant roster and its burst lands on that
+/// tenant's credit window and proxy-queue share alone.
+pub fn drive_tenant_flood(
+    run: &CheckRun,
+    bytes: u64,
+    burst: u64,
+    tenant: TenantId,
+) -> Result<Report, SimError> {
+    let cfg = run.cfg.clone();
     run.run_offload(move |off| {
-        let p = off.size();
-        if p < 2 {
+        let ring = tenant_ring(&cfg, off.size(), tenant);
+        if ring.len() < 2 || off.tenant() != tenant {
             return;
         }
-        let fab = off.cluster().fabric().clone();
-        let ep = off.cluster().host_ep(off.rank());
+        // A shed send would orphan the matching recv on the ring peer
+        // and stall the run; the flood exercises deferral (soft quota /
+        // credit window), never the hard-shed path.
+        assert_eq!(
+            cfg.tenant_hard_quota(tenant),
+            0,
+            "drive_tenant_flood floods without retry; use drive_quota_retry for hard quotas"
+        );
         let me = off.rank();
-        let right = (me + 1) % p;
-        let left = (me + p - 1) % p;
+        let idx = ring
+            .iter()
+            .position(|&r| r == me)
+            .expect("rank in own tenant ring");
+        let right = ring[(idx + 1) % ring.len()];
+        let left = ring[(idx + ring.len() - 1) % ring.len()];
+        let fab = off.cluster().fabric().clone();
+        let ep = off.cluster().host_ep(me);
         let mut reqs = Vec::with_capacity(2 * burst as usize);
         for tag in 0..burst {
             let sbuf = fab.alloc(ep, bytes);
@@ -238,6 +275,152 @@ pub fn drive_flood(run: &CheckRun, bytes: u64, burst: u64) -> Result<Report, Sim
         }
         off.ctx().compute(SimDelta::from_us(5));
         off.wait_all(&reqs);
+    })
+}
+
+/// The two-tenant isolation scenario the noisy-neighbor gates measure:
+/// tenant 0 (the victim) re-calls a recorded group stencil over a ring
+/// of its own ranks — the workload whose per-window latency the
+/// lifecycle histograms time — while tenant 1 (the aggressor) floods
+/// `burst` send/recv pairs over *its* ring. `burst == 0` idles the
+/// aggressor entirely, which is the solo baseline the gate compares
+/// against: same config, same victim code path, byte-identical victim
+/// behavior, no interference.
+pub fn drive_noisy_neighbor(
+    run: &CheckRun,
+    face_bytes: u64,
+    rounds: u64,
+    flood_bytes: u64,
+    burst: u64,
+) -> Result<Report, SimError> {
+    assert!(
+        run.cfg.multi_tenant(),
+        "drive_noisy_neighbor needs a multi-tenant roster (tenant 0 victim, tenant 1 aggressor)"
+    );
+    let cfg = run.cfg.clone();
+    run.run_offload(move |off| {
+        let t = off.tenant();
+        let ring = tenant_ring(&cfg, off.size(), t);
+        if ring.len() < 2 {
+            return;
+        }
+        let me = off.rank();
+        let idx = ring
+            .iter()
+            .position(|&r| r == me)
+            .expect("rank in own tenant ring");
+        let right = ring[(idx + 1) % ring.len()];
+        let left = ring[(idx + ring.len() - 1) % ring.len()];
+        let fab = off.cluster().fabric().clone();
+        let ep = off.cluster().host_ep(me);
+        if t == 0 {
+            // Victim: the group-stencil window loop of
+            // `drive_group_stencil`, ring-scoped to tenant 0.
+            let sbuf_r = fab.alloc(ep, face_bytes);
+            let sbuf_l = fab.alloc(ep, face_bytes);
+            let rbuf_r = fab.alloc(ep, face_bytes);
+            let rbuf_l = fab.alloc(ep, face_bytes);
+            let g = off.group_start();
+            off.group_send(g, sbuf_r, face_bytes, right, 0);
+            off.group_send(g, sbuf_l, face_bytes, left, 1);
+            off.group_recv(g, rbuf_l, face_bytes, left, 0);
+            off.group_recv(g, rbuf_r, face_bytes, right, 1);
+            off.group_barrier(g);
+            off.group_end(g);
+            for _ in 0..rounds {
+                off.group_call(g);
+                off.ctx().compute(SimDelta::from_us(5));
+                off.group_wait(g).expect("victim group offload failed");
+            }
+        } else {
+            if burst == 0 {
+                return;
+            }
+            assert_eq!(
+                cfg.tenant_hard_quota(t),
+                0,
+                "the aggressor floods without retry; arm soft quotas, not hard ones"
+            );
+            let mut reqs = Vec::with_capacity(2 * burst as usize);
+            for tag in 0..burst {
+                let sbuf = fab.alloc(ep, flood_bytes);
+                let rbuf = fab.alloc(ep, flood_bytes);
+                reqs.push(off.send_offload(sbuf, flood_bytes, right, tag));
+                reqs.push(off.recv_offload(rbuf, flood_bytes, left, tag));
+            }
+            off.wait_all(&reqs);
+        }
+    })
+}
+
+/// Hard-quota shedding end to end: the first rank of tenant 1 fills its
+/// hard quota with matched sends, posts one more — which must shed
+/// immediately with a typed [`OffloadError::QuotaExceeded`], not stall
+/// or panic — then drains the window and retries the shed transfer,
+/// which must now be admitted and complete. The tenant-1 peer receives
+/// both the quota-filling batch and the retried tag, so the run proves
+/// the bounded-retry contract: a shed is a recoverable, typed refusal,
+/// and the shed request's message id never reaches the wire.
+pub fn drive_quota_retry(run: &CheckRun, bytes: u64) -> Result<Report, SimError> {
+    assert!(
+        run.cfg.multi_tenant(),
+        "drive_quota_retry needs a multi-tenant roster with a hard quota on tenant 1"
+    );
+    let hard = run.cfg.tenant_hard_quota(1);
+    assert!(hard > 0, "drive_quota_retry needs a hard quota on tenant 1");
+    let cfg = run.cfg.clone();
+    run.run_offload(move |off| {
+        let ring = tenant_ring(&cfg, off.size(), 1);
+        if ring.len() < 2 {
+            return;
+        }
+        let hard = cfg.tenant_hard_quota(1) as u64;
+        let me = off.rank();
+        let sender = ring[0];
+        let receiver = ring[1];
+        let fab = off.cluster().fabric().clone();
+        let ep = off.cluster().host_ep(me);
+        if me == sender {
+            // Fill the hard quota exactly: `hard` live posts is the
+            // boundary, admitted in full.
+            let mut reqs = Vec::with_capacity(hard as usize);
+            for tag in 0..hard {
+                let buf = fab.alloc(ep, bytes);
+                reqs.push(off.send_offload(buf, bytes, receiver, tag));
+            }
+            // One past the boundary: shed synchronously at post time.
+            let doomed_buf = fab.alloc(ep, bytes);
+            let doomed = off.send_offload(doomed_buf, bytes, receiver, 777);
+            let err = off
+                .req_error(doomed)
+                .expect("a post over the hard quota must shed, not queue");
+            assert!(
+                matches!(err, OffloadError::QuotaExceeded { .. }),
+                "expected QuotaExceeded, got {err:?}"
+            );
+            // Drain the window, then the bounded retry must succeed.
+            off.wait_all(&reqs);
+            let retry = off.send_offload(doomed_buf, bytes, receiver, 777);
+            off.wait(retry);
+            assert!(
+                off.req_error(retry).is_none(),
+                "retry after draining the quota must be admitted and complete"
+            );
+        } else if me == receiver {
+            // Receive the quota-filling batch in full, then the retried
+            // tag; staying at `hard` live posts proves the boundary is
+            // exact on this side too.
+            let mut reqs = Vec::with_capacity(hard as usize);
+            for tag in 0..hard {
+                let buf = fab.alloc(ep, bytes);
+                reqs.push(off.recv_offload(buf, bytes, sender, tag));
+            }
+            off.wait_all(&reqs);
+            let buf = fab.alloc(ep, bytes);
+            let retry = off.recv_offload(buf, bytes, sender, 777);
+            off.wait(retry);
+            assert!(off.req_error(retry).is_none(), "retried recv must complete");
+        }
     })
 }
 
@@ -477,6 +660,43 @@ mod tests {
     #[test]
     fn group_stencil_driver_completes_cleanly() {
         let report = drive_group_stencil(&CheckRun::baseline(14), 4096, 3).expect("clean run");
+        assert!(report.end_time > SimTime::ZERO);
+    }
+
+    fn two_tenant_run(seed: u64) -> CheckRun {
+        use offload::TenantSpec;
+        let mut run = CheckRun::baseline(seed);
+        run.cfg = run
+            .cfg
+            .with_tenants(vec![TenantSpec::inherit(), TenantSpec::inherit()]);
+        run
+    }
+
+    #[test]
+    fn tenant_flood_floods_only_its_ring() {
+        // 2×2 world, two tenants: tenant 1 = ranks {1, 3}. Only they
+        // flood; tenant 0 idles and the run still drains cleanly.
+        let report = drive_tenant_flood(&two_tenant_run(15), 1024, 8, 1).expect("clean run");
+        assert!(report.end_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn noisy_neighbor_driver_completes_with_and_without_aggressor() {
+        let solo = drive_noisy_neighbor(&two_tenant_run(16), 4096, 3, 1024, 0).expect("solo run");
+        let noisy = drive_noisy_neighbor(&two_tenant_run(16), 4096, 3, 1024, 8).expect("noisy run");
+        assert!(solo.end_time > SimTime::ZERO);
+        assert!(noisy.end_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn quota_retry_driver_surfaces_typed_shed() {
+        use offload::TenantSpec;
+        let mut run = CheckRun::baseline(17);
+        run.cfg = run.cfg.with_tenants(vec![
+            TenantSpec::inherit(),
+            TenantSpec::inherit().with_hard_quota(2),
+        ]);
+        let report = drive_quota_retry(&run, 2048).expect("shed-then-retry run");
         assert!(report.end_time > SimTime::ZERO);
     }
 }

@@ -33,11 +33,12 @@ pub use alltoall::{
 };
 pub use drivers::{
     drive_alltoall, drive_ctrl_undeliverable, drive_data_integrity, drive_deadline, drive_flood,
-    drive_group_abandon, drive_group_stencil, drive_stencil, drive_verified_stencil, CheckRun,
+    drive_group_abandon, drive_group_stencil, drive_noisy_neighbor, drive_quota_retry,
+    drive_stencil, drive_tenant_flood, drive_verified_stencil, CheckRun,
 };
 pub use harness::{collect, collector, run_workload, take, Collector, Harness, Runtime};
 pub use hpl::{hpl_runtime_us, matrix_order, HplAlgo, MODEL_MEM_PER_NODE, NB};
-pub use observe::{fanout, with_metrics, with_observer, Observer};
+pub use observe::{fanout, with_metrics, with_observer, with_tenant_metrics, Observer};
 pub use overlap::{omb_overlap_pct, OverlapResult};
 pub use p3dfft::{p3dfft, P3dfftResult, NS_PER_POINT};
 pub use pingpong::{nonblocking_pingpong_us, P2pEngine};

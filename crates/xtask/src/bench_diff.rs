@@ -544,6 +544,50 @@ mod tests {
     }
 
     #[test]
+    fn tenant_sections_are_additions_not_disappearances() {
+        // Committed baselines predate per-tenant attribution: a new doc
+        // that grows a `tenants` section and the per-tenant totals
+        // (`quota_sheds`, `drr_grants`) must pass the zero-tolerance
+        // gate against them — new-only counters are instrumentation
+        // growth, not drift.
+        let widened = BASE.replace(
+            "\"ranks\": [{\"rank\": 0, \"wakeups\": 7}]",
+            "\"ranks\": [{\"rank\": 0, \"wakeups\": 7}], \
+             \"tenants\": [{\"tenant\": 0, \"credit_deferrals\": 0, \"quota_sheds\": 0}, \
+                           {\"tenant\": 1, \"credit_deferrals\": 9, \"quota_sheds\": 1}]",
+        );
+        let mut r = DiffReport::default();
+        diff_docs(
+            "f",
+            &doc(BASE),
+            &doc(&widened),
+            &DiffOptions::default(),
+            &mut r,
+        );
+        assert!(
+            r.ok(),
+            "tenant section must be an addition: {:?}",
+            r.regressions
+        );
+        // The reverse — a tenants section the old tree had and the new
+        // one lost — is exactly the vanished-measurement case the gate
+        // exists for.
+        let mut r = DiffReport::default();
+        diff_docs(
+            "f",
+            &doc(&widened),
+            &doc(BASE),
+            &DiffOptions::default(),
+            &mut r,
+        );
+        assert!(!r.ok(), "a vanished tenants section must regress");
+        assert!(r
+            .regressions
+            .iter()
+            .all(|reg| reg.why == "counter disappeared" && reg.counter.starts_with("tenants[")));
+    }
+
+    #[test]
     fn json_report_round_trips_and_carries_regressions() {
         let new = BASE
             .replace("\"events\": 100", "\"events\": 103")

@@ -242,6 +242,51 @@ fn profile_table(doc: &obs::Json, top_k: usize) -> Result<String, String> {
     Ok(out)
 }
 
+/// Render the human-readable per-tenant fairness summary of a metrics
+/// document's `tenants` section: one row per tenant plus a headline
+/// naming who holds the deferral/shed load. `None` for single-tenant
+/// documents (no `tenants` section), which is every pre-tenant
+/// baseline.
+fn tenant_fairness(doc: &obs::Json) -> Option<String> {
+    use obs::Json;
+    let tenants = doc.get("tenants").and_then(Json::as_arr)?;
+    if tenants.is_empty() {
+        return None;
+    }
+    let get = |t: &Json, k: &str| t.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let total_deferrals: u64 = tenants.iter().map(|t| get(t, "credit_deferrals")).sum();
+    let total_sheds: u64 = tenants.iter().map(|t| get(t, "quota_sheds")).sum();
+    let pct = |part: u64, whole: u64| (part * 100).checked_div(whole).unwrap_or(0);
+    let mut out = format!("  fairness: {} tenant(s)\n", tenants.len());
+    let mut busiest: Option<(u64, u64)> = None;
+    for t in tenants {
+        let id = get(t, "tenant");
+        let ranks = get(t, "ranks").max(1);
+        let deferrals = get(t, "credit_deferrals");
+        out.push_str(&format!(
+            "    tenant {id}: ranks={ranks} fin_send={} deferrals={deferrals} ({}%) \
+             drr_grants={} sheds={} wakeups/rank={}\n",
+            get(t, "fin_send"),
+            pct(deferrals, total_deferrals),
+            get(t, "drr_grants"),
+            get(t, "quota_sheds"),
+            get(t, "wakeups") / ranks,
+        ));
+        if busiest.is_none_or(|(_, d)| deferrals > d) {
+            busiest = Some((id, deferrals));
+        }
+    }
+    match busiest {
+        Some((id, d)) if total_deferrals > 0 => out.push_str(&format!(
+            "    headline: tenant {id} holds {}% of credit deferrals; {} hard shed(s) total\n",
+            pct(d, total_deferrals),
+            total_sheds
+        )),
+        _ => out.push_str("    headline: no credit pressure recorded\n"),
+    }
+    Some(out)
+}
+
 /// `cargo xtask profile [<file.profile.json>...] [--top K]`: validate
 /// `profile/v1` report(s) and render their top-K self-time tables. With
 /// no paths, scans `target/profile/` for `*.profile.json`.
@@ -339,12 +384,17 @@ fn main() -> ExitCode {
                 // Dispatch on the artifact flavour: self-profiling
                 // reports carry their own schema and validator.
                 let verdict = if path.ends_with(".profile.json") {
-                    obs::validate_profile(&doc).map(|_| ())
+                    obs::validate_profile(&doc).map(|_| None)
                 } else {
-                    obs::validate_metrics(&doc).map(|_| ())
+                    obs::validate_metrics(&doc).map(|d| tenant_fairness(&d))
                 };
                 match verdict {
-                    Ok(()) => println!("{path}: ok"),
+                    Ok(fairness) => {
+                        println!("{path}: ok");
+                        if let Some(summary) = fairness {
+                            print!("{summary}");
+                        }
+                    }
                     Err(e) => {
                         println!("{path}: INVALID: {e}");
                         bad += 1;
@@ -609,6 +659,47 @@ mod tests {
         let table = profile_table(&doc, 1).expect("renders");
         assert!(table.contains("crc_verify"), "{table}");
         assert!(!table.contains("cq_poll "), "{table}");
+    }
+
+    const TENANT_DOC: &str = r#"{
+        "schema": "bluefield-offload/metrics/v1",
+        "bench": "unit",
+        "totals": {"events": 10},
+        "tenants": [
+            {"tenant": 0, "ranks": 2, "wakeups": 12, "interventions": 0, "fin_send": 8,
+             "fin_recv": 8, "fin_group": 4, "credit_deferrals": 0, "quota_sheds": 0, "drr_grants": 0},
+            {"tenant": 1, "ranks": 2, "wakeups": 40, "interventions": 0, "fin_send": 48,
+             "fin_recv": 48, "fin_group": 0, "credit_deferrals": 37, "quota_sheds": 1, "drr_grants": 37}
+        ]
+    }"#;
+
+    #[test]
+    fn tenant_fairness_names_the_noisy_tenant() {
+        let doc = obs::parse(TENANT_DOC).expect("fixture parses");
+        let summary = tenant_fairness(&doc).expect("two-tenant doc summarizes");
+        assert!(summary.contains("fairness: 2 tenant(s)"), "{summary}");
+        assert!(
+            summary.contains("tenant 1: ranks=2 fin_send=48 deferrals=37 (100%)"),
+            "{summary}"
+        );
+        assert!(summary.contains("wakeups/rank=20"), "{summary}");
+        assert!(
+            summary.contains("headline: tenant 1 holds 100% of credit deferrals; 1 hard shed(s)"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn tenant_fairness_is_silent_on_single_tenant_docs() {
+        let doc = obs::parse(r#"{"totals": {"events": 3}}"#).expect("parses");
+        assert!(tenant_fairness(&doc).is_none());
+        // No pressure: the headline says so instead of dividing by zero.
+        let calm = TENANT_DOC
+            .replace("\"credit_deferrals\": 37", "\"credit_deferrals\": 0")
+            .replace("\"quota_sheds\": 1", "\"quota_sheds\": 0");
+        let doc = obs::parse(&calm).expect("parses");
+        let summary = tenant_fairness(&doc).expect("still two tenants");
+        assert!(summary.contains("no credit pressure"), "{summary}");
     }
 
     #[test]
