@@ -67,8 +67,8 @@ if ! SIMNET_THREADS=4 cargo test -q --workspace; then
     exit 1
 fi
 
-echo "== fault soak (ctrl + data-plane + tenant-isolation fault matrix)"
-# Bounded fixed-seed soak across six suites, all through the
+echo "== fault soak (ctrl + data-plane + tenant-isolation + breaker matrix)"
+# Bounded fixed-seed soak across ten suites, all through the
 # conformance checker with payload verification:
 #   * ctrl matrix    — drop/dup/delay/crash/xreg plans x seeds x 1/2/4
 #                      proxies on the verified stencil and alltoall;
@@ -84,7 +84,18 @@ echo "== fault soak (ctrl + data-plane + tenant-isolation fault matrix)"
 #   * quota-retry    — hard-quota sheds under a lossy ctrl plane: typed
 #                      QuotaExceeded, retry succeeds, never a stall;
 #   * doomed-group   — every GroupPacket dropped: Group_Wait must fail
-#                      typed, never stall.
+#                      typed, never stall;
+#   * armed-health   — the whole ctrl matrix rerun with the fabric
+#                      health engine armed: breakers/budgets must stay
+#                      lossless (invariants 16-18 in the checker);
+#   * breaker-recovery — sustained cross-GVMI registration failures:
+#                      trip, fast-path through cooldown, probe, close,
+#                      zero request failures end to end;
+#   * brownout       — total payload loss: the data retry budget sheds
+#                      before retransmission exhaustion and surfaces
+#                      exactly one typed RetryBudgetExhausted per end;
+#   * flapping-link  — SOAK_LONG only: xreg failures + ctrl drops + a
+#                      proxy crash mid-run, breakers armed, lossless.
 # SOAK_LONG=1 widens the matrix (8 seeds, deeper corruption stacks, the
 # delay-heavy noisy-neighbor plan) for nightly-style runs; failures
 # leave replayable flight-recorder dumps in

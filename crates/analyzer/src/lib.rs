@@ -211,7 +211,7 @@ impl Config {
             ]),
             proto_str_handlers: s(&["crates/core/src/flight.rs"]),
             schema_file: "crates/obs/src/schema.rs".into(),
-            schema_consts: s(&["TOTAL_KEYS", "CACHE_KEYS", "TENANT_KEYS"]),
+            schema_consts: s(&["TOTAL_KEYS", "CACHE_KEYS", "TENANT_KEYS", "HEALTH_KEYS"]),
             counter_roots: s(&["crates/core/src"]),
             profile_consts: s(&["PROFILE_SCOPES"]),
             profile_roots: s(&["crates/core/src", "crates/simnet/src"]),

@@ -115,6 +115,63 @@ fn orphaned_tenant_counter_is_caught() {
 }
 
 #[test]
+fn orphaned_health_counter_is_caught() {
+    let mut tree = repo_tree();
+    tree.edit("crates/obs/src/schema.rs", |s| {
+        s.replace(
+            "pub const HEALTH_KEYS: &[&str] = &[",
+            "pub const HEALTH_KEYS: &[&str] = &[\n    \"orphan_health_counter\",",
+        )
+    });
+    let hits = findings_for(&tree, "schema-drift");
+    assert!(
+        hits.iter().any(|f| {
+            f.path == "crates/obs/src/schema.rs"
+                && f.msg.contains("orphan_health_counter")
+                && f.msg.contains("HEALTH_KEYS")
+        }),
+        "producer-less health counter must be caught: {hits:?}"
+    );
+}
+
+#[test]
+fn deleted_breaker_event_arm_is_caught() {
+    let mut tree = repo_tree();
+    tree.edit("crates/core/src/metrics.rs", |s| {
+        s.replace(
+            "ProtoEvent::BreakerTripped",
+            "ProtoEvent::BreakerTrippedRenamed",
+        )
+    });
+    let hits = findings_for(&tree, "proto-drift");
+    assert!(
+        hits.iter().any(|f| {
+            f.path == "crates/core/src/events.rs"
+                && f.msg.contains("BreakerTripped")
+                && f.msg.contains("metrics.rs")
+        }),
+        "renamed-away BreakerTripped aggregation arm must be caught: {hits:?}"
+    );
+}
+
+#[test]
+fn unconstructed_budget_shed_error_is_caught() {
+    let mut tree = repo_tree();
+    tree.edit("crates/core/src/host.rs", |s| {
+        s.replace(
+            "OffloadError::RetryBudgetExhausted",
+            "OffloadError::DataIntegrity",
+        )
+    });
+    let hits = findings_for(&tree, "error-drift");
+    assert!(
+        hits.iter()
+            .any(|f| f.msg.contains("RetryBudgetExhausted") && f.msg.contains("constructed")),
+        "budget sheds that stop surfacing typed errors must be caught: {hits:?}"
+    );
+}
+
+#[test]
 fn deleted_tenant_event_arm_is_caught() {
     let mut tree = repo_tree();
     tree.edit("crates/core/src/metrics.rs", |s| {

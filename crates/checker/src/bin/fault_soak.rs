@@ -25,7 +25,24 @@
 //! * **quota-retry** — the hard-quota shed under a lossy ctrl plane:
 //!   a typed, retryable `QuotaExceeded`, never a stall;
 //! * **doomed-group** — every `GroupPacket` transmit dropped:
-//!   `Group_Wait` must surface a typed error instead of stalling.
+//!   `Group_Wait` must surface a typed error instead of stalling;
+//! * **armed-health** — the fabric health engine (per-path circuit
+//!   breakers + retry budgets, DESIGN.md §19) armed under the classic
+//!   ctrl-plane matrix, including the drop-heavy and proxy-crash
+//!   plans: breakers and budgets must never get in the way of recovery
+//!   the reliable layers already guarantee;
+//! * **breaker-recovery** — sustained probabilistic registration
+//!   failure: the cross-GVMI breaker must trip, fast-path its open
+//!   window, probe, and close, with every transfer completing and the
+//!   checker's breaker invariants (16/17) intact;
+//! * **brownout** — a total data-plane brownout with budgets armed:
+//!   both ends shed with a typed `RetryBudgetExhausted`, each shed
+//!   pairing with a `ReqFailed` (invariant 18).
+//!
+//! `SOAK_LONG=1` additionally soaks a **flapping link** — registration
+//! failure stacked on ctrl drops and a mid-window proxy crash, so
+//! breakers trip, reset half-open through restart, and re-close
+//! repeatedly.
 //!
 //! The plan can be overridden from the environment for ad-hoc soaking
 //! (ctrl knobs plus the payload knobs `flip`/`torn`/`ddrop`):
@@ -39,9 +56,11 @@
 //! stacks) for nightly-style runs; the default stays CI-fast.
 
 use checker::{
-    alltoall_workload, doomed_group_workload, noisy_victim_p99, quota_retry_workload,
+    alltoall_workload, armed_verified_stencil_workload, breaker_recovery_workload,
+    brownout_workload, doomed_group_workload, noisy_victim_p99, quota_retry_workload,
     run_scenario_with_dump, starved_flood_workload, verified_stencil_workload, ConformanceConfig,
-    Scenario, Workload, NOISY_FLOOD_BURST, NOISY_P99_BOUND_FACTOR, STARVED_QUEUE_CAP,
+    Scenario, Workload, BREAKER_XREG_PM, NOISY_FLOOD_BURST, NOISY_P99_BOUND_FACTOR,
+    STARVED_QUEUE_CAP,
 };
 use offload::FaultPlan;
 
@@ -303,6 +322,82 @@ fn main() {
         for seed in 0..seeds {
             let scenario = Scenario::baseline(seed).with_fault(doomed_plan.with_seed(seed));
             tally.record("doomed-group", &doomed, &scenario, cfg);
+        }
+
+        // Health regression: breakers and budgets armed under the
+        // classic matrix — clean, drop-heavy and proxy-crash plans
+        // included — must leave every payload-verified run lossless.
+        let armed = armed_verified_stencil_workload();
+        let mut health_plans = vec![FaultPlan::none()];
+        health_plans.extend(default_plans());
+        for plan in &health_plans {
+            for seed in 0..if long { 4u64 } else { 2 } {
+                for proxies in [1usize, 2] {
+                    let scenario = Scenario {
+                        seed,
+                        jitter_ns: 0,
+                        proxies_per_dpu: proxies,
+                        fault: plan.with_seed(seed * 61 + proxies as u64),
+                    };
+                    tally.record("armed-health", &armed, &scenario, cfg);
+                }
+            }
+        }
+
+        // Breaker trip-and-recovery: sustained probabilistic
+        // registration failure must trip, fast-path, probe and close
+        // without losing a transfer or an invariant.
+        let recovery = breaker_recovery_workload();
+        let recovery_plan = FaultPlan {
+            xreg_fail_pm: BREAKER_XREG_PM,
+            ..FaultPlan::none()
+        };
+        for seed in 0..seeds {
+            for proxies in [1usize, 2] {
+                let scenario = Scenario {
+                    seed,
+                    jitter_ns: [0, 2_000][(seed % 2) as usize],
+                    proxies_per_dpu: proxies,
+                    fault: recovery_plan.with_seed(seed * 41 + proxies as u64),
+                };
+                tally.record("breaker-recovery", &recovery, &scenario, cfg);
+            }
+        }
+
+        // Brownout shedding: with the data plane dark, both ends must
+        // shed typed (the driver asserts RetryBudgetExhausted) and
+        // every shed must pair with a ReqFailed.
+        let brownout = brownout_workload();
+        let brownout_plan = FaultPlan {
+            data_drop_pm: 1000,
+            ..FaultPlan::none()
+        };
+        for seed in 0..seeds {
+            let scenario = Scenario::baseline(seed).with_fault(brownout_plan.with_seed(seed * 19));
+            tally.record("brownout", &brownout, &scenario, cfg);
+        }
+
+        // Flapping link (nightly): registration failure stacked on
+        // ctrl drops and a mid-window proxy crash, so breakers trip,
+        // reset half-open through the restart, and re-close.
+        if long {
+            let flapping = FaultPlan {
+                xreg_fail_pm: BREAKER_XREG_PM,
+                drop_pm: 80,
+                crash_at_step: 12,
+                ..FaultPlan::none()
+            };
+            for seed in 0..seeds {
+                for proxies in [1usize, 2] {
+                    let scenario = Scenario {
+                        seed,
+                        jitter_ns: 0,
+                        proxies_per_dpu: proxies,
+                        fault: flapping.with_seed(seed * 73 + proxies as u64),
+                    };
+                    tally.record("flapping-link", &recovery, &scenario, cfg);
+                }
+            }
         }
     }
 

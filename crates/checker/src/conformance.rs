@@ -58,6 +58,27 @@
 //!     introduced, and by end of run every shed transfer has a
 //!     `ReqFailed` — overload shedding degrades service, never loses a
 //!     request silently.
+//! 16. **No post over an open breaker** — while a `(proxy, peer,
+//!     cross-GVMI)` breaker is fully open, the proxy must not take a
+//!     per-message `FallbackToStaging` round-trip for that peer: open
+//!     routes go straight to staging (`BreakerFastPath`) without
+//!     consulting the sick path. The single fallback the *tripping*
+//!     post itself emits (its `BreakerTripped` precedes its
+//!     `FallbackToStaging` by construction) is exempt. The check keys
+//!     on fallback events rather than `CrossReg` because the
+//!     infallible `cross_reg_cached` path (one-sided gets, host-direct
+//!     degrades) legitimately registers regardless of breaker state —
+//!     a documented exemption. Conversely, a `BreakerFastPath` while
+//!     the breaker is *not* open is a violation.
+//! 17. **Half-open admits exactly one probe** — between a
+//!     `BreakerHalfOpen` and the next `BreakerTripped`/`BreakerClosed`
+//!     of that `(proxy, peer, path)`, at most one `BreakerProbe` may
+//!     fire, and never without a preceding half-open transition.
+//! 18. **Budget sheds surface as typed failures** — every
+//!     `RetryBudgetExhausted` (keyed `(rank, msg_id)`: a data-plane
+//!     shed fires once per side of the matched pair, each citing its
+//!     own transfer id) has a `ReqFailed` for that transfer id by end
+//!     of run — the budget degrades service, never loses a request.
 //!
 //! ## Proxy restarts
 //!
@@ -72,7 +93,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
-use offload::{CacheOutcome, FinKind, ProtoEvent};
+use offload::{CacheOutcome, FinKind, HealthPath, ProtoEvent};
 use parking_lot::Mutex;
 use rdma::MrKey;
 use simnet::{EventSink, Pid, SimTime};
@@ -122,6 +143,14 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Breaker state of one `(proxy, peer, path)` as the event stream shows
+/// it; absent from the map means closed (or never tripped).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BreakerObs {
+    Open,
+    HalfOpen,
+}
+
 #[derive(Default)]
 struct FlowState {
     /// Proxy pid that handles this flow (every event of a flow comes
@@ -154,6 +183,19 @@ struct State {
     recv_meta: BTreeMap<(usize, usize, usize), u64>,
     /// Group packet count per `(host, req)`.
     group_packets: BTreeMap<(usize, usize), u64>,
+    /// Breaker state per `(proxy, peer rank, path class)`, from the
+    /// `BreakerTripped` / `BreakerHalfOpen` / `BreakerClosed` stream.
+    breakers: BTreeMap<(Pid, usize, HealthPath), BreakerObs>,
+    /// One-shot exemptions for invariant 16: the post that trips a
+    /// cross-GVMI breaker emits its own `FallbackToStaging` right
+    /// after the `BreakerTripped` event it caused.
+    breaker_fallback_grace: BTreeSet<(Pid, usize)>,
+    /// Probes observed since the last `BreakerHalfOpen` of the key;
+    /// absent means the breaker is not half-open.
+    probes_since_half_open: BTreeMap<(Pid, usize, HealthPath), u64>,
+    /// `RetryBudgetExhausted` sheds, keyed `(rank, msg_id)` — each
+    /// must surface as a `ReqFailed` for that transfer id.
+    budget_shed: BTreeSet<(usize, u64)>,
     /// Last `(gen, value)` per barrier edge `(proxy, src, dst_host,
     /// dst_req)`.
     barrier_last: BTreeMap<(Pid, usize, usize, usize), (u64, u64)>,
@@ -561,6 +603,95 @@ impl State {
                     );
                 }
             }
+            ProtoEvent::BreakerTripped { peer, path } => {
+                self.breakers.insert((src, peer, path), BreakerObs::Open);
+                self.probes_since_half_open.remove(&(src, peer, path));
+                if path == HealthPath::CrossGvmi {
+                    // The tripping post's own fallback follows this event.
+                    self.breaker_fallback_grace.insert((src, peer));
+                }
+            }
+            ProtoEvent::BreakerHalfOpen { peer, path } => {
+                self.breakers
+                    .insert((src, peer, path), BreakerObs::HalfOpen);
+                self.probes_since_half_open.insert((src, peer, path), 0);
+            }
+            ProtoEvent::BreakerProbe { peer, path, msg_id } => {
+                match self.probes_since_half_open.get_mut(&(src, peer, path)) {
+                    Some(n) => {
+                        *n += 1;
+                        if *n > 1 {
+                            let n = *n;
+                            self.violate(
+                                at,
+                                pid,
+                                "half-open-multi-probe",
+                                format!(
+                                    "breaker (peer {peer}, {path:?}) admitted probe \
+                                     {n} (transfer {msg_id:#x}) while half-open — \
+                                     half-open admits exactly one"
+                                ),
+                            );
+                        }
+                    }
+                    None => self.violate(
+                        at,
+                        pid,
+                        "probe-without-half-open",
+                        format!(
+                            "breaker (peer {peer}, {path:?}) probed transfer \
+                             {msg_id:#x} without a half-open transition"
+                        ),
+                    ),
+                }
+            }
+            ProtoEvent::BreakerClosed { peer, path } => {
+                self.breakers.remove(&(src, peer, path));
+                self.probes_since_half_open.remove(&(src, peer, path));
+                self.breaker_fallback_grace.remove(&(src, peer));
+            }
+            ProtoEvent::BreakerFastPath { peer, path, msg_id } => {
+                if self.breakers.get(&(src, peer, path)) != Some(&BreakerObs::Open) {
+                    self.violate(
+                        at,
+                        pid,
+                        "fastpath-without-open-breaker",
+                        format!(
+                            "transfer {msg_id:#x} was rerouted around breaker \
+                             (peer {peer}, {path:?}) which is not open"
+                        ),
+                    );
+                }
+            }
+            ProtoEvent::FallbackToStaging {
+                src_rank, msg_id, ..
+            } => {
+                if self.breakers.get(&(src, src_rank, HealthPath::CrossGvmi))
+                    == Some(&BreakerObs::Open)
+                    && !self.breaker_fallback_grace.remove(&(src, src_rank))
+                {
+                    self.violate(
+                        at,
+                        pid,
+                        "post-over-open-breaker",
+                        format!(
+                            "transfer {msg_id:#x} took a per-message staging \
+                             fallback for peer {src_rank} whose cross-GVMI breaker \
+                             is open — open routes must fast-path"
+                        ),
+                    );
+                }
+            }
+            ProtoEvent::RetryBudgetExhausted { rank, msg_id, .. } => {
+                self.budget_shed.insert((rank, msg_id));
+                // A data-plane shed is the typed terminal resolution of
+                // an outstanding corruption: the budget preempts further
+                // retransmission, so neither a recovery nor a
+                // DataIntegrityFailed will follow — and any later FIN
+                // for the shed transfer is a violation.
+                self.corrupt_outstanding.remove(&(src, msg_id));
+                self.integrity_failed.insert((src, msg_id));
+            }
             ProtoEvent::PayloadCorrupt { msg_id, .. } => {
                 self.corrupt_outstanding.insert((src, msg_id));
             }
@@ -648,6 +779,14 @@ impl State {
                 // between restarts.
                 self.recv_meta.clear();
                 self.group_packets.clear();
+                // The restarted proxy's health engine resets open
+                // breakers to half-open *silently* (the next post's
+                // probe re-emits `BreakerHalfOpen`), so forget its
+                // breaker observations rather than judge post-restart
+                // events against pre-crash state.
+                self.breakers.retain(|k, _| k.0 != src);
+                self.probes_since_half_open.retain(|k, _| k.0 != src);
+                self.breaker_fallback_grace.retain(|k| k.0 != src);
             }
             // Observability-only events: aggregated by `offload::Metrics`,
             // carrying no protocol invariants of their own.
@@ -656,7 +795,6 @@ impl State {
             | ProtoEvent::CtrlDropped { .. }
             | ProtoEvent::CtrlRetransmit { .. }
             | ProtoEvent::CtrlDuplicateDropped { .. }
-            | ProtoEvent::FallbackToStaging { .. }
             | ProtoEvent::ReqReplayed { .. }
             | ProtoEvent::StaleCqe { .. }
             | ProtoEvent::HostWakeup { .. }
@@ -801,6 +939,23 @@ impl Conformance {
                 format!(
                     "transfer {id:#x} was shed over a tenant hard quota but never \
                      surfaced as a typed ReqFailed"
+                ),
+            );
+        }
+        let budget_unshed: Vec<(usize, u64)> = st
+            .budget_shed
+            .iter()
+            .copied()
+            .filter(|(_, id)| !st.failed_ids.contains(id))
+            .collect();
+        for (rank, id) in budget_unshed {
+            st.violate(
+                end,
+                None,
+                "budget-shed-unsurfaced",
+                format!(
+                    "transfer {id:#x} (rank {rank}) was shed by a retry budget but \
+                     never surfaced as a typed ReqFailed"
                 ),
             );
         }

@@ -12,12 +12,14 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use offload::{
-    parse_flight_dump, replay_into, FaultPlan, FlightRecorder, OffloadConfig, TenantSpec,
+    parse_flight_dump, replay_into, FaultPlan, FlightRecorder, HealthConfig, OffloadConfig,
+    TenantSpec,
 };
 use simnet::{EventSink, Report, SimDelta, SimError, SimTime};
 use workloads::{
-    drive_alltoall, drive_deadline, drive_flood, drive_group_abandon, drive_noisy_neighbor,
-    drive_quota_retry, drive_stencil, drive_verified_stencil, fanout, CheckRun,
+    drive_alltoall, drive_breaker_recovery, drive_brownout, drive_deadline, drive_flood,
+    drive_group_abandon, drive_noisy_neighbor, drive_quota_retry, drive_stencil,
+    drive_verified_stencil, fanout, CheckRun,
 };
 
 use crate::conformance::{Conformance, ConformanceConfig, Violation};
@@ -257,6 +259,59 @@ pub fn noisy_victim_p99(scenario: &Scenario, burst: u64) -> (u64, Outcome) {
         .map(|h| h.p99())
         .unwrap_or(0);
     (p99, outcome)
+}
+
+/// Rounds of sustained cross-node posting in the breaker-recovery
+/// scenarios: enough for the cross-GVMI breaker to trip, fast-path
+/// through its open-state cooldown, and close on a successful probe.
+pub const BREAKER_RECOVERY_ROUNDS: u64 = 48;
+
+/// Registration-failure rate (permille) of the breaker scenarios.
+/// Deliberately probabilistic — high enough that the sliding window
+/// trips the breaker almost immediately, below certainty so an
+/// eventual half-open probe's registration roll succeeds and the
+/// breaker closes (the recovery half of the state machine).
+pub const BREAKER_XREG_PM: u16 = 700;
+
+/// The breaker trip-and-recovery workload (see
+/// [`workloads::drive_breaker_recovery`]): the health engine armed
+/// under the scenario's fault plan (pair it with a probabilistic
+/// `xreg_fail_pm`), sustained fresh-buffer posting across nodes, every
+/// transfer required to complete through fallback or fast-path.
+pub fn breaker_recovery_workload() -> Workload {
+    Arc::new(|scenario: &Scenario, sink: EventSink| {
+        let mut run = check_run(scenario, sink);
+        run.cfg = run.cfg.clone().with_health(HealthConfig::armed());
+        drive_breaker_recovery(&run, 1024, BREAKER_RECOVERY_ROUNDS)
+    })
+}
+
+/// The data-plane brownout workload (see [`workloads::drive_brownout`]):
+/// the health engine armed under the scenario's fault plan (pair it
+/// with `data_drop_pm: 1000`), real byte movement, both ends of the
+/// doomed pair required to surface a typed `RetryBudgetExhausted`.
+pub fn brownout_workload() -> Workload {
+    Arc::new(|scenario: &Scenario, sink: EventSink| {
+        let mut run = check_run(scenario, sink);
+        run.move_bytes = true;
+        run.cfg = run.cfg.clone().with_health(HealthConfig::armed());
+        drive_brownout(&run, 2048)
+    })
+}
+
+/// The payload-verifying stencil with the health engine armed (see
+/// [`verified_stencil_workload`]): the chaos-matrix soak that proves
+/// breakers and budgets never get in the way of recovery the reliable
+/// layers already guarantee — under lossy/crashy plans whose failure
+/// rates sit below the budget thresholds, every payload still lands
+/// intact and every run classifies `Ok`.
+pub fn armed_verified_stencil_workload() -> Workload {
+    Arc::new(|scenario: &Scenario, sink: EventSink| {
+        let mut run = check_run(scenario, sink);
+        run.move_bytes = true;
+        run.cfg = run.cfg.clone().with_health(HealthConfig::armed());
+        drive_verified_stencil(&run, 2048, 2)
+    })
 }
 
 /// The group-abandonment workload (see

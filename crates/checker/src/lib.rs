@@ -31,12 +31,13 @@ mod explore;
 
 pub use conformance::{Conformance, ConformanceConfig, Violation};
 pub use explore::{
-    alltoall_workload, deadline_workload, doomed_group_workload, explore, failure_dump_dir,
+    alltoall_workload, armed_verified_stencil_workload, breaker_recovery_workload,
+    brownout_workload, deadline_workload, doomed_group_workload, explore, failure_dump_dir,
     noisy_neighbor_workload, noisy_victim_p99, quota_retry_workload, replay_dump, run_scenario,
     run_scenario_recorded, run_scenario_with_dump, shrink, starved_flood_workload,
     stencil_workload, sweep, verified_stencil_workload, write_failure_dump, Outcome, Scenario,
-    Workload, FLOOD_BURST, NOISY_FLOOD_BURST, NOISY_P99_BOUND_FACTOR, NOISY_QUEUE_CAP,
-    QUOTA_RETRY_HARD, STARVED_QUEUE_CAP,
+    Workload, BREAKER_RECOVERY_ROUNDS, BREAKER_XREG_PM, FLOOD_BURST, NOISY_FLOOD_BURST,
+    NOISY_P99_BOUND_FACTOR, NOISY_QUEUE_CAP, QUOTA_RETRY_HARD, STARVED_QUEUE_CAP,
 };
 
 #[cfg(test)]
@@ -259,6 +260,293 @@ mod tests {
         assert_eq!(report.group_failures, 0);
         assert_eq!(report.journal_truncations, 0);
         assert_eq!(report.journal_hwm, 0);
+        // The fabric health engine (disabled by default) must be fully
+        // dormant: no breaker transitions, no probes, no budget sheds.
+        assert!(
+            !report.health.any(),
+            "a clean run must leave every health counter at zero: {:?}",
+            report.health
+        );
+    }
+
+    #[test]
+    fn armed_health_engine_is_silent_without_faults() {
+        // Arming HealthConfig on a fault-free run must change nothing:
+        // breakers only transition on failures, budgets only spend on
+        // retries, so every health counter stays zero and the run is
+        // conformant — the gating proof that clean armed runs remain
+        // counter-identical to unarmed ones.
+        let metrics = Metrics::new();
+        let checker = Conformance::new(ConformanceConfig::default());
+        let mut run = workloads::CheckRun::baseline(5);
+        run.sink = Some(workloads::fanout(vec![metrics.sink(), checker.sink()]));
+        run.cfg = run.cfg.clone().with_health(offload::HealthConfig::armed());
+        workloads::drive_stencil(&run, 1024, 2).expect("clean armed run");
+        assert!(checker.finish().is_empty());
+        let report = metrics.report();
+        assert!(
+            !report.health.any(),
+            "an armed engine on a clean link must stay silent: {:?}",
+            report.health
+        );
+        assert_eq!(report.fallback_staging, 0);
+        assert_eq!(report.req_failures, 0);
+    }
+
+    #[test]
+    fn open_breaker_stops_per_message_fallback_round_trips() {
+        // The tentpole acceptance gate: under sustained cross-GVMI
+        // registration failure the armed breaker must trip and reroute
+        // open-state posts straight to staging (BreakerFastPath, no
+        // registration attempt), so per-message FallbackToStaging
+        // round-trips collapse to the probe cadence — bounded by one
+        // per probe plus the pre-trip sliding window — instead of one
+        // per failed registration, which over BREAKER_RECOVERY_ROUNDS
+        // fresh-buffer posts at BREAKER_XREG_PM would dwarf the bound.
+        let metrics = Metrics::new();
+        let checker = Conformance::new(ConformanceConfig::default());
+        let mut run = workloads::CheckRun::baseline(37);
+        run.sink = Some(workloads::fanout(vec![metrics.sink(), checker.sink()]));
+        run.cfg = run
+            .cfg
+            .clone()
+            .with_fault(FaultPlan {
+                xreg_fail_pm: BREAKER_XREG_PM,
+                seed: 11,
+                ..FaultPlan::none()
+            })
+            .with_health(offload::HealthConfig::armed());
+        workloads::drive_breaker_recovery(&run, 1024, BREAKER_RECOVERY_ROUNDS)
+            .expect("degraded-mode run completes");
+        assert!(
+            checker.finish().is_empty(),
+            "degraded mode must stay conformant"
+        );
+        let report = metrics.report();
+        let h = report.health;
+        assert!(h.breaker_trips > 0, "sustained failure must trip: {h:?}");
+        assert!(
+            h.breaker_fastpaths > 0,
+            "open-state posts must reroute without registration: {h:?}"
+        );
+        assert_eq!(
+            h.breaker_probes, h.breaker_half_opens,
+            "every half-open admits exactly one probe"
+        );
+        let window = offload::HealthConfig::armed().window as u64;
+        assert!(
+            report.fallback_staging <= h.breaker_probes + window,
+            "fallback round-trips ({}) must collapse to the probe cadence \
+             ({} probes + {window} pre-trip window)",
+            report.fallback_staging,
+            h.breaker_probes
+        );
+        assert_eq!(report.req_failures, 0, "degradation loses no requests");
+        assert_eq!(
+            h.retry_budget_sheds, 0,
+            "registration faults spend no budget"
+        );
+    }
+
+    #[test]
+    fn tripped_breaker_recovers_and_closes() {
+        // The recovery half of the state machine: with a probabilistic
+        // registration fault, the open breaker's cooldown burns down on
+        // rerouted posts, a half-open probe eventually rolls a success,
+        // and the breaker closes — with zero residual typed failures.
+        let metrics = Metrics::new();
+        let checker = Conformance::new(ConformanceConfig::default());
+        let mut run = workloads::CheckRun::baseline(53);
+        run.sink = Some(workloads::fanout(vec![metrics.sink(), checker.sink()]));
+        run.cfg = run
+            .cfg
+            .clone()
+            .with_fault(FaultPlan {
+                xreg_fail_pm: 500,
+                seed: 17,
+                ..FaultPlan::none()
+            })
+            .with_health(offload::HealthConfig::armed());
+        workloads::drive_breaker_recovery(&run, 1024, 64).expect("recovery run completes");
+        assert!(checker.finish().is_empty());
+        let report = metrics.report();
+        let h = report.health;
+        assert!(h.breaker_trips > 0, "the breaker must trip first: {h:?}");
+        assert!(
+            h.breaker_closes > 0,
+            "a successful probe must close the breaker: {h:?}"
+        );
+        assert_eq!(
+            report.req_failures, 0,
+            "recovery leaves no residual failures"
+        );
+        assert_eq!(
+            h.retry_budget_sheds, 0,
+            "no budget spends on registration faults"
+        );
+    }
+
+    #[test]
+    fn brownout_sheds_typed_and_surfaces_exactly_once() {
+        // A total data-plane brownout with the health engine armed: the
+        // per-peer retry budget (smaller than data_retx_max) runs dry
+        // first, both ends surface a typed RetryBudgetExhausted (the
+        // driver asserts the variant), every shed pairs with a
+        // ReqFailed (invariant 18), and the retransmission budget never
+        // gets to exhaust — the shed preempts the grind.
+        let metrics = Metrics::new();
+        let checker = Conformance::new(ConformanceConfig::default());
+        let mut run = workloads::CheckRun::baseline(43);
+        run.move_bytes = true;
+        run.sink = Some(workloads::fanout(vec![metrics.sink(), checker.sink()]));
+        run.cfg = run
+            .cfg
+            .clone()
+            .with_fault(FaultPlan {
+                data_drop_pm: 1000,
+                seed: 13,
+                ..FaultPlan::none()
+            })
+            .with_health(offload::HealthConfig::armed());
+        workloads::drive_brownout(&run, 4096).expect("brownout run sheds cleanly");
+        let vs = checker.finish();
+        assert!(
+            vs.is_empty(),
+            "every budget shed must surface as a typed ReqFailed: {vs:?}"
+        );
+        let report = metrics.report();
+        let h = report.health;
+        assert!(
+            h.retry_budget_sheds >= 2,
+            "both ends of the doomed pair must shed: {h:?}"
+        );
+        assert_eq!(
+            report.data_integrity_failures, 0,
+            "the budget sheds before the retx budget runs dry"
+        );
+        assert_eq!(
+            report.req_failures, 2,
+            "exactly the matched pair fails, nothing else"
+        );
+    }
+
+    #[test]
+    fn fault_soak_with_armed_health_stays_lossless() {
+        // The regression half of the health story: arming breakers and
+        // budgets under the classic lossy/crashy soak plans — whose
+        // failure rates sit far below the budget thresholds — must not
+        // convert any previously-recovered run into a shed or a breaker
+        // detour that loses data. Every payload still lands intact.
+        let workload = armed_verified_stencil_workload();
+        let cfg = ConformanceConfig::default();
+        for plan in soak_plans() {
+            for seed in 0..2u64 {
+                let scenario = Scenario {
+                    seed,
+                    jitter_ns: 0,
+                    proxies_per_dpu: 1 + (seed as usize % 2),
+                    fault: plan.with_seed(seed * 61 + 7),
+                };
+                let (outcome, dump) =
+                    run_scenario_with_dump("armed-health-soak", &workload, &scenario, cfg);
+                assert!(
+                    outcome.is_ok(),
+                    "plan {plan:?} seed {seed}: {outcome:?} (dump: {dump:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn health_invariants_catch_synthesized_violations() {
+        // The checker side of the health tentpole, against a
+        // hand-synthesized stream: each of the new invariants must fire
+        // on its canonical violation and stay quiet on the legal
+        // sequences in between.
+        use offload::{HealthPath, ProtoEvent};
+        use simnet::{Pid, SimTime};
+        let checker = Conformance::new(ConformanceConfig::default());
+        let sink = checker.sink();
+        let pid = Pid::from_index(0);
+        let at = SimTime::ZERO;
+        let path = HealthPath::CrossGvmi;
+        // Fast-path citing a breaker that is not open.
+        sink(
+            at,
+            pid,
+            &ProtoEvent::BreakerFastPath {
+                peer: 1,
+                path,
+                msg_id: 1,
+            },
+        );
+        // Probe without a half-open transition.
+        sink(
+            at,
+            pid,
+            &ProtoEvent::BreakerProbe {
+                peer: 1,
+                path,
+                msg_id: 2,
+            },
+        );
+        // Trip: the tripping post's own fallback is exempt (grace), the
+        // next one over the still-open breaker is the violation.
+        sink(at, pid, &ProtoEvent::BreakerTripped { peer: 1, path });
+        let fb = |msg_id: u64| ProtoEvent::FallbackToStaging {
+            src_rank: 1,
+            dst_rank: 0,
+            tag: 0,
+            msg_id,
+        };
+        sink(at, pid, &fb(3)); // grace: legal
+        sink(at, pid, &fb(4)); // post-over-open-breaker
+                               // Legal fast-path while open, then half-open admitting two probes.
+        sink(
+            at,
+            pid,
+            &ProtoEvent::BreakerFastPath {
+                peer: 1,
+                path,
+                msg_id: 5,
+            },
+        );
+        sink(at, pid, &ProtoEvent::BreakerHalfOpen { peer: 1, path });
+        sink(
+            at,
+            pid,
+            &ProtoEvent::BreakerProbe {
+                peer: 1,
+                path,
+                msg_id: 6,
+            },
+        );
+        sink(
+            at,
+            pid,
+            &ProtoEvent::BreakerProbe {
+                peer: 1,
+                path,
+                msg_id: 7,
+            },
+        );
+        // A budget shed that never surfaces as a ReqFailed.
+        sink(
+            at,
+            pid,
+            &ProtoEvent::RetryBudgetExhausted {
+                rank: 0,
+                msg_id: 8,
+                path: HealthPath::Ctrl,
+            },
+        );
+        let vs = checker.finish();
+        let count = |name: &str| vs.iter().filter(|v| v.invariant == name).count();
+        assert_eq!(count("fastpath-without-open-breaker"), 1, "{vs:?}");
+        assert_eq!(count("probe-without-half-open"), 1, "{vs:?}");
+        assert_eq!(count("post-over-open-breaker"), 1, "{vs:?}");
+        assert_eq!(count("half-open-multi-probe"), 1, "{vs:?}");
+        assert_eq!(count("budget-shed-unsurfaced"), 1, "{vs:?}");
     }
 
     #[test]

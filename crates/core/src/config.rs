@@ -4,6 +4,9 @@
 
 use std::fmt;
 
+use crate::health::HealthConfig;
+use crate::reliable::RetryKnobs;
+
 /// Identity of one tenant (job) sharing the offload plane. Ranks map to
 /// tenants round-robin (`rank % tenants.len()`); tenant 0 is the
 /// implicit identity of every rank in a single-tenant run.
@@ -354,6 +357,21 @@ pub struct OffloadConfig {
     pub tenants: Vec<TenantSpec>,
     /// Fault plan (checker validation and fault-soak only).
     pub fault: FaultPlan,
+    /// Ctrl-plane retransmission backoff floor (PR 10 lifted the former
+    /// `RETX_BASE` const; also paces data-path and backpressure retries).
+    pub retx_base: simnet::SimDelta,
+    /// Retransmission backoff ceiling (former `RETX_CAP` const).
+    pub retx_cap: simnet::SimDelta,
+    /// Ctrl-plane send attempts (original + retransmits) before a
+    /// message is abandoned (former `MAX_ATTEMPTS` const).
+    pub ctrl_max_attempts: u32,
+    /// Data-path delivery attempts before a transfer fails integrity
+    /// permanently (former `DATA_RETX_MAX` const in `proxy.rs`).
+    pub data_retx_max: u32,
+    /// Fabric health engine: per-(peer, path) circuit breakers and
+    /// retry budgets (DESIGN.md §19). Disabled by default — clean runs
+    /// stay counter-identical to the pre-health engine.
+    pub health: HealthConfig,
 }
 
 impl Default for OffloadConfig {
@@ -371,6 +389,11 @@ impl Default for OffloadConfig {
             cache_budget: 0,
             tenants: Vec::new(),
             fault: FaultPlan::none(),
+            retx_base: crate::reliable::DEFAULT_RETX_BASE,
+            retx_cap: crate::reliable::DEFAULT_RETX_CAP,
+            ctrl_max_attempts: crate::reliable::DEFAULT_CTRL_MAX_ATTEMPTS,
+            data_retx_max: 8,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -437,6 +460,47 @@ impl OffloadConfig {
     pub fn with_tenants(mut self, tenants: Vec<TenantSpec>) -> Self {
         self.tenants = tenants;
         self
+    }
+
+    /// Install a health-engine config (circuit breakers + retry
+    /// budgets; DESIGN.md §19).
+    pub fn with_health(mut self, health: HealthConfig) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Tune the retry pacing knobs (backoff floor/ceiling, ctrl and
+    /// data attempt bounds) lifted from the former compile-time consts.
+    pub fn with_retry_tuning(
+        mut self,
+        base: simnet::SimDelta,
+        cap: simnet::SimDelta,
+        ctrl_max_attempts: u32,
+        data_retx_max: u32,
+    ) -> Self {
+        self.retx_base = base;
+        self.retx_cap = cap;
+        self.ctrl_max_attempts = ctrl_max_attempts;
+        self.data_retx_max = data_retx_max;
+        self
+    }
+
+    /// The [`RetryKnobs`] a [`crate::reliable::ReliableLink`] should run
+    /// with. `with_budget` arms the per-peer ctrl retry budget — hosts
+    /// pass true; proxies pass false (a budget-shed proxy FIN could
+    /// wedge a completion, so the proxy side stays attempt-bounded
+    /// only). The budget arms only when the health engine is enabled.
+    pub(crate) fn ctrl_knobs(&self, with_budget: bool) -> RetryKnobs {
+        RetryKnobs {
+            base: self.retx_base,
+            cap: self.retx_cap,
+            max_attempts: self.ctrl_max_attempts,
+            budget: if with_budget && self.health.enabled {
+                Some((self.health.ctrl_budget, self.health.ctrl_refill))
+            } else {
+                None
+            },
+        }
     }
 
     /// Whether per-tenant admission is armed (two or more tenants).

@@ -80,6 +80,33 @@ pub enum CacheSide {
     DpuCross,
 }
 
+/// Path class a health-engine breaker or retry budget governs
+/// (DESIGN.md §19). Coarser than [`PathKind`]: both staging hops share
+/// one breaker, and the ctrl plane gets its own class.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum HealthPath {
+    /// The direct cross-GVMI data path (registration + host-to-host
+    /// write). Tripped: posts reroute to staging without probing.
+    CrossGvmi,
+    /// The staging store-and-forward data path. Tripped: posts degrade
+    /// to a host-direct write where the registration material allows.
+    Staging,
+    /// The reliable ctrl plane (retry budgets only; ctrl has no
+    /// alternate route to break to).
+    Ctrl,
+}
+
+impl HealthPath {
+    /// Stable lowercase name for reports and flight records.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthPath::CrossGvmi => "cross_gvmi",
+            HealthPath::Staging => "staging",
+            HealthPath::Ctrl => "ctrl",
+        }
+    }
+}
+
 /// Kind of a ctrl-plane message, for drop/retransmit attribution in
 /// lifecycle timelines (the wire enum itself is crate-private).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -572,5 +599,68 @@ pub enum ProtoEvent {
     JournalSize {
         /// Journal entries currently retained.
         len: u64,
+    },
+    /// A health-engine breaker tripped open: the sliding failure window
+    /// for `(peer, path)` crossed the trip threshold (or a half-open
+    /// probe failed). Posts toward this peer now reroute without
+    /// touching the path (health-armed runs only, DESIGN.md §19).
+    BreakerTripped {
+        /// Peer rank the breaker guards.
+        peer: usize,
+        /// Path class that tripped.
+        path: HealthPath,
+    },
+    /// An open breaker's cooldown expired: it moved to half-open and
+    /// admitted its single probe (a `BreakerProbe` event follows).
+    BreakerHalfOpen {
+        /// Peer rank the breaker guards.
+        peer: usize,
+        /// Path class probing.
+        path: HealthPath,
+    },
+    /// A half-open probe succeeded: the breaker closed and steady-state
+    /// routing returns to the primary path. The probe's registration
+    /// result was installed in the reg-cache, so warm state is rebuilt.
+    BreakerClosed {
+        /// Peer rank the breaker guards.
+        peer: usize,
+        /// Path class that recovered.
+        path: HealthPath,
+    },
+    /// The single post a half-open breaker admitted onto the primary
+    /// path; its outcome closes or re-opens the breaker.
+    BreakerProbe {
+        /// Peer rank being probed.
+        peer: usize,
+        /// Path class being probed.
+        path: HealthPath,
+        /// Transfer id of the probing post.
+        msg_id: u64,
+    },
+    /// A post was routed around an open breaker without consulting the
+    /// sick path — no registration attempt, no per-message
+    /// `FallbackToStaging` round-trip. Cross-GVMI fast-paths go to
+    /// staging; staging fast-paths degrade to a host-direct write.
+    BreakerFastPath {
+        /// Peer rank whose breaker is open.
+        peer: usize,
+        /// Path class that was bypassed.
+        path: HealthPath,
+        /// Transfer id of the rerouted post.
+        msg_id: u64,
+    },
+    /// A retry was shed because the peer's retry-budget token bucket is
+    /// empty; a typed `RetryBudgetExhausted` error surfaces on the
+    /// owning basic request and a `ReqFailed` event follows for the
+    /// same transfer id. (Group-entry budget sheds fail the generation
+    /// through `GroupFailed` and do not emit this event.)
+    RetryBudgetExhausted {
+        /// Rank whose request was shed.
+        rank: usize,
+        /// Transfer id of the shed request.
+        msg_id: u64,
+        /// Plane the exhausted budget governs (`Ctrl` for ctrl-plane
+        /// retransmits, a data class for payload retransmits).
+        path: HealthPath,
     },
 }

@@ -33,7 +33,8 @@ use rdma::{MrKey, VAddr};
 use simnet::{EventSink, Pid, SimTime};
 
 use crate::events::{
-    CacheOutcome, CacheSide, CtrlKind, FinKind, HostCacheKind, PathKind, ProtoEvent, ReqDir,
+    CacheOutcome, CacheSide, CtrlKind, FinKind, HealthPath, HostCacheKind, PathKind, ProtoEvent,
+    ReqDir,
 };
 
 /// One recorded emission: when, by whom, what.
@@ -164,6 +165,21 @@ fn path_name(p: PathKind) -> &'static str {
         PathKind::StagingHop2 => "StagingHop2",
     }
 }
+
+fn health_path_name(p: HealthPath) -> &'static str {
+    match p {
+        HealthPath::CrossGvmi => "CrossGvmi",
+        HealthPath::Staging => "Staging",
+        HealthPath::Ctrl => "Ctrl",
+    }
+}
+
+/// Parse table for [`HealthPath`] fields, mirroring [`health_path_name`].
+const HEALTH_PATHS: &[(&str, HealthPath)] = &[
+    ("CrossGvmi", HealthPath::CrossGvmi),
+    ("Staging", HealthPath::Staging),
+    ("Ctrl", HealthPath::Ctrl),
+];
 
 fn fin_name(k: FinKind) -> &'static str {
     match k {
@@ -604,6 +620,48 @@ fn render_record(r: &FlightRecord) -> String {
         ProtoEvent::JournalSize { len } => {
             let _ = write!(s, "ev=JournalSize len={len}");
         }
+        ProtoEvent::BreakerTripped { peer, path } => {
+            let _ = write!(
+                s,
+                "ev=BreakerTripped peer={peer} path={}",
+                health_path_name(*path)
+            );
+        }
+        ProtoEvent::BreakerHalfOpen { peer, path } => {
+            let _ = write!(
+                s,
+                "ev=BreakerHalfOpen peer={peer} path={}",
+                health_path_name(*path)
+            );
+        }
+        ProtoEvent::BreakerClosed { peer, path } => {
+            let _ = write!(
+                s,
+                "ev=BreakerClosed peer={peer} path={}",
+                health_path_name(*path)
+            );
+        }
+        ProtoEvent::BreakerProbe { peer, path, msg_id } => {
+            let _ = write!(
+                s,
+                "ev=BreakerProbe peer={peer} path={} msg_id={msg_id}",
+                health_path_name(*path)
+            );
+        }
+        ProtoEvent::BreakerFastPath { peer, path, msg_id } => {
+            let _ = write!(
+                s,
+                "ev=BreakerFastPath peer={peer} path={} msg_id={msg_id}",
+                health_path_name(*path)
+            );
+        }
+        ProtoEvent::RetryBudgetExhausted { rank, msg_id, path } => {
+            let _ = write!(
+                s,
+                "ev=RetryBudgetExhausted rank={rank} msg_id={msg_id} path={}",
+                health_path_name(*path)
+            );
+        }
     }
     s
 }
@@ -951,6 +1009,33 @@ pub fn parse_flight_dump(dump: &str) -> Result<Vec<FlightRecord>, String> {
                 dropped: f.u64("dropped")?,
             },
             "JournalSize" => ProtoEvent::JournalSize { len: f.u64("len")? },
+            "BreakerTripped" => ProtoEvent::BreakerTripped {
+                peer: f.usize("peer")?,
+                path: f.variant("path", HEALTH_PATHS)?,
+            },
+            "BreakerHalfOpen" => ProtoEvent::BreakerHalfOpen {
+                peer: f.usize("peer")?,
+                path: f.variant("path", HEALTH_PATHS)?,
+            },
+            "BreakerClosed" => ProtoEvent::BreakerClosed {
+                peer: f.usize("peer")?,
+                path: f.variant("path", HEALTH_PATHS)?,
+            },
+            "BreakerProbe" => ProtoEvent::BreakerProbe {
+                peer: f.usize("peer")?,
+                path: f.variant("path", HEALTH_PATHS)?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "BreakerFastPath" => ProtoEvent::BreakerFastPath {
+                peer: f.usize("peer")?,
+                path: f.variant("path", HEALTH_PATHS)?,
+                msg_id: f.u64("msg_id")?,
+            },
+            "RetryBudgetExhausted" => ProtoEvent::RetryBudgetExhausted {
+                rank: f.usize("rank")?,
+                msg_id: f.u64("msg_id")?,
+                path: f.variant("path", HEALTH_PATHS)?,
+            },
             other => return Err(format!("line {line_no}: unknown event {other:?}")),
         };
         out.push(FlightRecord { at, pid, event });
@@ -1154,6 +1239,51 @@ mod tests {
             ),
             record(2, ProtoEvent::JournalTruncated { dropped: 64 }),
             record(2, ProtoEvent::JournalSize { len: 12 }),
+            record(
+                2,
+                ProtoEvent::BreakerTripped {
+                    peer: 1,
+                    path: HealthPath::CrossGvmi,
+                },
+            ),
+            record(
+                2,
+                ProtoEvent::BreakerHalfOpen {
+                    peer: 1,
+                    path: HealthPath::CrossGvmi,
+                },
+            ),
+            record(
+                2,
+                ProtoEvent::BreakerProbe {
+                    peer: 1,
+                    path: HealthPath::CrossGvmi,
+                    msg_id: 9,
+                },
+            ),
+            record(
+                2,
+                ProtoEvent::BreakerClosed {
+                    peer: 1,
+                    path: HealthPath::CrossGvmi,
+                },
+            ),
+            record(
+                2,
+                ProtoEvent::BreakerFastPath {
+                    peer: 1,
+                    path: HealthPath::Staging,
+                    msg_id: 10,
+                },
+            ),
+            record(
+                0,
+                ProtoEvent::RetryBudgetExhausted {
+                    rank: 0,
+                    msg_id: 11,
+                    path: HealthPath::Ctrl,
+                },
+            ),
             record(
                 2,
                 ProtoEvent::CtrlDropped {

@@ -25,10 +25,12 @@ use simnet::{ProcessCtx, SimDelta};
 
 use crate::config::{DataPath, OffloadConfig, TenantId};
 use crate::drr::{Deferred, DrrScheduler};
-use crate::events::{CacheOutcome, CacheSide, CtrlKind, HostCacheKind, ProtoEvent, ReqDir};
+use crate::events::{
+    CacheOutcome, CacheSide, CtrlKind, HealthPath, HostCacheKind, ProtoEvent, ReqDir,
+};
 use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_MASK, WRID_OFF_HOST};
 use crate::reg_cache::RankAddrCache;
-use crate::reliable::{backoff_delay, OffloadError, ReliableLink, ReqOrigin, TickOutcome};
+use crate::reliable::{backoff_delay_from, OffloadError, ReliableLink, ReqOrigin, TickOutcome};
 
 /// Handle of a Basic-primitive transfer (`OffloadRequest` in the paper).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -201,6 +203,10 @@ impl Offload {
         let proxy_idx = rank % cluster.proxies_per_dpu();
         let n_proxies = cluster.proxies_per_dpu();
         let (fault, ctrl_bytes) = (cfg.fault, cfg.ctrl_bytes);
+        // Hosts arm the ctrl retry budget (shed-and-surface is a typed
+        // request failure here); proxies never do — see
+        // [`OffloadConfig::ctrl_knobs`].
+        let knobs = cfg.ctrl_knobs(true);
         let cache_budget = cfg.cache_budget;
         // Arm the fabric's data-plane fault stream (set-once: the first
         // rank's plan wins, later inits are no-ops). Unarmed plans leave
@@ -235,7 +241,7 @@ impl Offload {
                 ib_cache: RankAddrCache::new(1),
                 groups: Vec::new(),
                 metas_from: BTreeMap::new(),
-                rel: ReliableLink::new(fault, ctrl_bytes, false, ep),
+                rel: ReliableLink::new(fault, knobs, ctrl_bytes, false, ep),
                 proxy_epochs: BTreeMap::new(),
                 window: BTreeMap::new(),
                 deferred: DrrScheduler::default(),
@@ -1289,13 +1295,57 @@ impl Offload {
             CtrlMsg::RetxTick { seq } => {
                 let fab = self.cluster.fabric();
                 let outcome = self.st.borrow_mut().rel.on_tick(&self.ctx, fab, seq);
-                if let TickOutcome::Abandoned {
-                    msg_id,
-                    attempts,
-                    origin,
-                } = outcome
-                {
-                    self.fail_origin(origin, msg_id, attempts);
+                match outcome {
+                    TickOutcome::Abandoned {
+                        msg_id,
+                        attempts,
+                        origin,
+                    } => self.fail_origin(origin, msg_id, attempts),
+                    // Ctrl retry budget exhausted for this peer: shed the
+                    // message and surface a typed failure instead of
+                    // hammering a degraded link (DESIGN.md §19).
+                    TickOutcome::BudgetShed {
+                        msg_id,
+                        attempts,
+                        origin,
+                    } => {
+                        self.ctx.stat_incr("offload.health.retry_budget_sheds", 1);
+                        match origin {
+                            ReqOrigin::Free => {}
+                            ReqOrigin::Basic(req) => {
+                                // The event pairs 1:1 with the `ReqFailed`
+                                // that `fail_basic` emits (group sheds
+                                // surface through `GroupFailed` instead).
+                                // Shedding the retransmit stream of an
+                                // already-settled request — the message
+                                // landed but its ack kept getting dropped
+                                // — is harmless and surfaces nothing.
+                                let live = {
+                                    let st = self.st.borrow();
+                                    st.reqs
+                                        .get(req)
+                                        .is_some_and(|s| !s.done && s.error.is_none())
+                                };
+                                if live {
+                                    self.ctx.emit(&ProtoEvent::RetryBudgetExhausted {
+                                        rank: self.rank,
+                                        msg_id,
+                                        path: HealthPath::Ctrl,
+                                    });
+                                    self.fail_basic(
+                                        req,
+                                        OffloadError::RetryBudgetExhausted { msg_id, attempts },
+                                        attempts,
+                                    );
+                                }
+                            }
+                            ReqOrigin::Group(req_id) => {
+                                let gen = self.st.borrow().groups[req_id].gen;
+                                self.fail_group(req_id, gen);
+                            }
+                        }
+                    }
+                    _ => {}
                 }
                 return;
             }
@@ -1420,7 +1470,7 @@ impl Offload {
                     };
                     self.ctx.stat_incr("offload.credit.nacks", 1);
                     self.ctx.deliver_self(
-                        backoff_delay(attempt),
+                        backoff_delay_from(self.cfg.retx_base, self.cfg.retx_cap, attempt),
                         Box::new(NetMsg::Notify(Box::new(CtrlMsg::BackpressureTick))),
                     );
                 }
@@ -1431,12 +1481,18 @@ impl Offload {
                 req,
                 msg_id,
                 attempts,
+                shed,
             } => {
-                self.fail_basic(
-                    req,
-                    OffloadError::DataIntegrity { msg_id, attempts },
-                    attempts,
-                );
+                // A shed transfer was dropped by the proxy's per-peer data
+                // retry budget (the proxy already emitted
+                // `RetryBudgetExhausted`); an exhausted one burned the full
+                // `data_retx_max` allowance.
+                let err = if shed {
+                    OffloadError::RetryBudgetExhausted { msg_id, attempts }
+                } else {
+                    OffloadError::DataIntegrity { msg_id, attempts }
+                };
+                self.fail_basic(req, err, attempts);
             }
             CtrlMsg::GroupDataError { req_id, gen, .. } => {
                 self.fail_group(req_id, gen);
@@ -1626,6 +1682,10 @@ impl Offload {
                 return; // stale or duplicate notice
             }
             *known = epoch;
+            // Recovery: the restart wiped the proxy's ctrl state, so any
+            // deficit our retry budget accumulated against it is moot.
+            // Start the fresh epoch with a full bucket.
+            st.rel.reset_budget_for(proxy);
         }
         self.ctx.stat_incr("offload.reliable.restarts_seen", 1);
         if proxy == self.proxy_ep {

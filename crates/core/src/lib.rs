@@ -68,6 +68,7 @@ mod config;
 mod drr;
 mod events;
 mod flight;
+mod health;
 mod host;
 mod messages;
 mod metrics;
@@ -80,12 +81,15 @@ mod shmem;
 
 pub use config::{DataPath, FaultInjection, FaultPlan, OffloadConfig, TenantId, TenantSpec};
 pub use events::{
-    CacheOutcome, CacheSide, CtrlKind, FinKind, HostCacheKind, PathKind, ProtoEvent, ReqDir,
+    CacheOutcome, CacheSide, CtrlKind, FinKind, HealthPath, HostCacheKind, PathKind, ProtoEvent,
+    ReqDir,
 };
 pub use flight::{parse_flight_dump, replay_into, FlightRecord, FlightRecorder};
+pub use health::{BreakerState, HealthConfig};
 pub use host::{GroupRequest, Offload, OffloadReq};
 pub use metrics::{
-    CacheCounters, Metrics, MetricsReport, ProxyMetrics, RankMetrics, TenantMetrics, WindowMetrics,
+    CacheCounters, HealthMetrics, Metrics, MetricsReport, ProxyMetrics, RankMetrics, TenantMetrics,
+    WindowMetrics,
 };
 pub use profile::{ProfileReport, ScopeAgg};
 pub use proxy::{proxy_fn, proxy_main};

@@ -144,6 +144,12 @@ pub(crate) enum CtrlMsg {
         req: usize,
         msg_id: u64,
         attempts: u32,
+        /// True when the transfer was shed by the per-peer data retry
+        /// budget rather than exhausting `data_retx_max`; the host maps
+        /// this onto [`OffloadError::RetryBudgetExhausted`].
+        ///
+        /// [`OffloadError::RetryBudgetExhausted`]: crate::OffloadError::RetryBudgetExhausted
+        shed: bool,
     },
     /// Typed data-plane failure for a group entry: the owning host fails
     /// the whole generation.

@@ -124,6 +124,48 @@ pub struct TenantMetrics {
     pub drr_grants: u64,
 }
 
+/// Circuit-breaker and retry-budget totals (DESIGN.md §19). All zero —
+/// and absent from the JSON — unless [`crate::HealthConfig`] is armed
+/// and the fabric actually degrades, so clean-run reports stay
+/// byte-identical to pre-health baselines.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct HealthMetrics {
+    /// Breakers that tripped closed → open.
+    pub breaker_trips: u64,
+    /// Open breakers that entered the half-open probing state.
+    pub breaker_half_opens: u64,
+    /// Half-open breakers that closed after a successful probe.
+    pub breaker_closes: u64,
+    /// Probe transfers admitted through half-open breakers.
+    pub breaker_probes: u64,
+    /// Posts rerouted around an open breaker (cross-GVMI → staging,
+    /// staging → host-direct) without a per-message failure round-trip.
+    pub breaker_fastpaths: u64,
+    /// Transfers shed by a per-peer retry budget (ctrl or data plane).
+    pub retry_budget_sheds: u64,
+}
+
+impl HealthMetrics {
+    /// True when the health engine acted at all this run.
+    pub fn any(&self) -> bool {
+        *self != HealthMetrics::default()
+    }
+
+    /// The `health` section as ordered key/value pairs — the exact keys
+    /// and order of the optional `bluefield-offload/metrics/v1`
+    /// `health` object (`obs::schema::HEALTH_KEYS`).
+    pub fn kv(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("breaker_trips", self.breaker_trips),
+            ("breaker_half_opens", self.breaker_half_opens),
+            ("breaker_closes", self.breaker_closes),
+            ("breaker_probes", self.breaker_probes),
+            ("breaker_fastpaths", self.breaker_fastpaths),
+            ("retry_budget_sheds", self.retry_budget_sheds),
+        ]
+    }
+}
+
 /// Counters attributed to one DPU proxy process.
 #[derive(Clone, Default, PartialEq, Eq, Debug)]
 pub struct ProxyMetrics {
@@ -185,6 +227,7 @@ struct Inner {
     group_failures: u64,
     journal_truncations: u64,
     journal_hwm: u64,
+    health: HealthMetrics,
     host_gvmi: CacheCounters,
     host_ib: CacheCounters,
     dpu_cross: CacheCounters,
@@ -393,6 +436,12 @@ impl Inner {
             ProtoEvent::GroupFailed { .. } => self.group_failures += 1,
             ProtoEvent::JournalTruncated { .. } => self.journal_truncations += 1,
             ProtoEvent::JournalSize { len } => self.journal_hwm = self.journal_hwm.max(len),
+            ProtoEvent::BreakerTripped { .. } => self.health.breaker_trips += 1,
+            ProtoEvent::BreakerHalfOpen { .. } => self.health.breaker_half_opens += 1,
+            ProtoEvent::BreakerClosed { .. } => self.health.breaker_closes += 1,
+            ProtoEvent::BreakerProbe { .. } => self.health.breaker_probes += 1,
+            ProtoEvent::BreakerFastPath { .. } => self.health.breaker_fastpaths += 1,
+            ProtoEvent::RetryBudgetExhausted { .. } => self.health.retry_budget_sheds += 1,
         }
     }
 }
@@ -526,6 +575,7 @@ impl Metrics {
             group_failures: inner.group_failures,
             journal_truncations: inner.journal_truncations,
             journal_hwm: inner.journal_hwm,
+            health: inner.health,
             finalized_ranks: inner.ranks.values().filter(|r| r.finalized).count() as u64,
             ranks: inner.ranks.values().cloned().collect(),
             windows: inner.windows.values().cloned().collect(),
@@ -650,6 +700,11 @@ pub struct MetricsReport {
     /// High-water mark of any proxy's FIN journal (0 unless the journal
     /// cap is armed — the size is only sampled then).
     pub journal_hwm: u64,
+    /// Circuit-breaker / retry-budget totals. Deliberately *not* part of
+    /// [`totals`](MetricsReport::totals): the telemetry bus publishes
+    /// `totals()` deltas, and health counters ride the optional `health`
+    /// JSON object instead (absent when all zero).
+    pub health: HealthMetrics,
     /// Ranks that completed `Finalize_Offload`.
     pub finalized_ranks: u64,
     /// Per-rank counters, ordered by rank.
@@ -822,7 +877,20 @@ impl MetricsReport {
                 );
             }
         }
-        o.push_str("\n  ],\n  \"proxies\": [");
+        if self.health.any() {
+            // Optional section (same contract as `tenants`): only runs
+            // where the health engine actually acted carry it. An object,
+            // not an array, so it closes itself with `}`.
+            o.push_str("\n  ],\n  \"health\": {");
+            let kv = self.health.kv();
+            for (i, (k, v)) in kv.iter().enumerate() {
+                let sep = if i + 1 == kv.len() { "" } else { "," };
+                let _ = write!(o, "\n    \"{k}\": {v}{sep}");
+            }
+            o.push_str("\n  },\n  \"proxies\": [");
+        } else {
+            o.push_str("\n  ],\n  \"proxies\": [");
+        }
         for (i, p) in self.proxies.iter().enumerate() {
             let sep = if i + 1 == self.proxies.len() { "" } else { "," };
             let _ = write!(
@@ -1018,6 +1086,85 @@ mod tests {
         assert_eq!(r.tenants[1].credit_deferrals, 1);
         assert_eq!(r.tenants[1].quota_sheds, 1);
         assert!(r.to_json("t").contains("\"tenants\": ["));
+    }
+
+    #[test]
+    fn health_section_requires_health_activity() {
+        use crate::events::HealthPath;
+        // Idle engine: no counters, no "health" JSON section, and the
+        // totals() delta stream the telemetry bus publishes never grows
+        // a health key.
+        let m = Metrics::new();
+        let r = m.report();
+        assert!(!r.health.any());
+        assert!(!r.to_json("t").contains("\"health\""));
+        // One full breaker episode plus a shed.
+        feed(
+            &m,
+            2,
+            ProtoEvent::BreakerTripped {
+                peer: 1,
+                path: HealthPath::CrossGvmi,
+            },
+        );
+        feed(
+            &m,
+            2,
+            ProtoEvent::BreakerFastPath {
+                peer: 1,
+                path: HealthPath::CrossGvmi,
+                msg_id: 3,
+            },
+        );
+        feed(
+            &m,
+            2,
+            ProtoEvent::BreakerHalfOpen {
+                peer: 1,
+                path: HealthPath::CrossGvmi,
+            },
+        );
+        feed(
+            &m,
+            2,
+            ProtoEvent::BreakerProbe {
+                peer: 1,
+                path: HealthPath::CrossGvmi,
+                msg_id: 4,
+            },
+        );
+        feed(
+            &m,
+            2,
+            ProtoEvent::BreakerClosed {
+                peer: 1,
+                path: HealthPath::CrossGvmi,
+            },
+        );
+        feed(
+            &m,
+            0,
+            ProtoEvent::RetryBudgetExhausted {
+                rank: 0,
+                msg_id: 9,
+                path: HealthPath::Ctrl,
+            },
+        );
+        let r = m.report();
+        assert_eq!(r.health.breaker_trips, 1);
+        assert_eq!(r.health.breaker_half_opens, 1);
+        assert_eq!(r.health.breaker_closes, 1);
+        assert_eq!(r.health.breaker_probes, 1);
+        assert_eq!(r.health.breaker_fastpaths, 1);
+        assert_eq!(r.health.retry_budget_sheds, 1);
+        let j = r.to_json("t");
+        assert!(j.contains("\"health\": {"));
+        assert!(j.contains("\"breaker_trips\": 1"));
+        // Health counters stay out of the totals section.
+        assert!(r
+            .totals()
+            .iter()
+            .all(|(k, _)| !k.starts_with("breaker_") && *k != "retry_budget_sheds"));
     }
 
     #[test]

@@ -30,15 +30,11 @@ use rdma::{ClusterCtx, EpId, Inbox, MrKey, NetMsg, VAddr};
 use simnet::{Payload, Pid, ProcessCtx};
 
 use crate::config::{DataPath, OffloadConfig, TenantId};
-use crate::events::{CacheSide, CtrlKind, PathKind, ProtoEvent};
+use crate::events::{CacheSide, CtrlKind, HealthPath, PathKind, ProtoEvent};
+use crate::health::{BreakerEvent, HealthEngine, Route};
 use crate::messages::{CtrlMsg, GroupKey, WireEntry, WRID_OFF_PROXY};
 use crate::reg_cache::RankAddrCache;
-use crate::reliable::{backoff_delay, FaultRng, ReliableLink, ReqOrigin};
-
-/// Bounded data-path retransmission budget: delivery attempts (original
-/// write + retransmits) before a transfer fails with a typed
-/// [`crate::OffloadError::DataIntegrity`].
-const DATA_RETX_MAX: u32 = 8;
+use crate::reliable::{backoff_delay_from, FaultRng, ReliableLink, ReqOrigin};
 
 /// Decode a control-message payload without panicking: a malformed or
 /// foreign message is surfaced as `None` so the caller can count and skip
@@ -263,6 +259,9 @@ struct ProxyState {
     /// Highest contiguous completion horizon each host has advertised
     /// (FIN-journal truncation; survives a crash with the journal).
     ack_horizons: BTreeMap<usize, u64>,
+    /// Fabric health engine: per-(peer, path) circuit breakers and data
+    /// retry budgets (DESIGN.md §19). Inert unless `cfg.health.enabled`.
+    health: HealthEngine,
 }
 
 /// Build a proxy closure suitable for [`rdma::ClusterBuilder::run`]'s
@@ -305,7 +304,13 @@ pub fn proxy_main(
         stage_read_posted: BTreeSet::new(),
         shutdowns: BTreeSet::new(),
         fin_dropped: false,
-        rel: ReliableLink::new(cfg.fault, cfg.ctrl_bytes, true, my_ep),
+        rel: ReliableLink::new(
+            cfg.fault,
+            cfg.ctrl_knobs(false),
+            cfg.ctrl_bytes,
+            true,
+            my_ep,
+        ),
         xreg_rng: FaultRng::new(cfg.fault.seed, my_ep.index() as u64 + 0x1000),
         completed_msgs: BTreeMap::new(),
         fin_gens: BTreeMap::new(),
@@ -321,6 +326,7 @@ pub fn proxy_main(
         cancelled: BTreeSet::new(),
         stage_free: BTreeMap::new(),
         ack_horizons: BTreeMap::new(),
+        health: HealthEngine::new(cfg.health, cfg.fault.seed, my_ep.index() as u64 + 0x2000),
     };
     let p = Proxy {
         ctx: &ctx,
@@ -1148,6 +1154,12 @@ impl Proxy<'_> {
         st.data_retx.clear();
         st.stage_free.clear();
         st.rel.reset_for_restart();
+        // Pre-crash path verdicts are stale: every tracked breaker drops
+        // to half-open so the first post per (peer, path) re-probes, and
+        // the data retry budgets refill (DESIGN.md §19 recovery).
+        if st.health.enabled() {
+            st.health.reset_half_open();
+        }
         let epoch = st.rel.epoch();
         self.ctx.stat_incr("offload.reliable.proxy_restarts", 1);
         self.ctx.emit(&ProtoEvent::ProxyRestarted { epoch });
@@ -1224,21 +1236,79 @@ impl Proxy<'_> {
         }
     }
 
+    /// One per-transfer fallback from cross-GVMI to the staging path:
+    /// the count and event every downgrade site shares (and the single
+    /// place the breaker fast-path hooks around).
+    fn note_fallback(&self, src_rank: usize, dst_rank: usize, tag: u64, msg_id: u64) {
+        self.ctx.stat_incr("offload.fallback.staging", 1);
+        self.ctx.emit(&ProtoEvent::FallbackToStaging {
+            src_rank,
+            dst_rank,
+            tag,
+            msg_id,
+        });
+    }
+
+    /// Feed one `(peer, path)` outcome into the health engine and emit
+    /// any breaker transition. No-op while the engine is disabled.
+    fn note_breaker(&self, st: &mut ProxyState, peer: usize, path: HealthPath, ok: bool) {
+        match st.health.on_outcome(peer, path, ok) {
+            Some(BreakerEvent::Tripped) => {
+                self.ctx.stat_incr("offload.health.breaker_trips", 1);
+                self.ctx.emit(&ProtoEvent::BreakerTripped { peer, path });
+            }
+            Some(BreakerEvent::Closed) => {
+                self.ctx.stat_incr("offload.health.breaker_closes", 1);
+                self.ctx.emit(&ProtoEvent::BreakerClosed { peer, path });
+            }
+            None => {}
+        }
+    }
+
+    /// A breaker just half-opened and admitted `msg_id` as its probe:
+    /// emit the transition pair the timeline reconstructs states from.
+    fn note_probe(&self, peer: usize, path: HealthPath, msg_id: u64) {
+        self.ctx.stat_incr("offload.health.half_opens", 1);
+        self.ctx.emit(&ProtoEvent::BreakerHalfOpen { peer, path });
+        self.ctx.stat_incr("offload.health.probes", 1);
+        self.ctx
+            .emit(&ProtoEvent::BreakerProbe { peer, path, msg_id });
+    }
+
     /// Cross-register (through the DPU GVMI cache) and write straight from
     /// the source host's memory to the destination host (paper Fig. 6,
     /// GVMI path). A failed cross-GVMI registration (injected via
     /// `FaultPlan::xreg_fail_pm`) downgrades this one transfer to the
-    /// staging path instead of failing it.
+    /// staging path instead of failing it. With the health engine armed,
+    /// an open cross-GVMI breaker for the source rank routes straight to
+    /// staging — no registration attempt, no per-message fallback
+    /// round-trip (DESIGN.md §19).
     fn post_gvmi_pair(&self, st: &mut ProxyState, rts: RtsInfo, rtr: RtrInfo) {
+        let peer = rts.src_rank;
+        match st.health.route(peer, HealthPath::CrossGvmi) {
+            // Fast-path needs the rkey the host carries on fallback-armed
+            // plans; without one the post must take the primary path.
+            Route::FastPath if rts.src_rkey.is_some() => {
+                self.ctx.stat_incr("offload.health.fastpaths", 1);
+                self.ctx.emit(&ProtoEvent::BreakerFastPath {
+                    peer,
+                    path: HealthPath::CrossGvmi,
+                    msg_id: rts.msg_id,
+                });
+                self.post_staging_read(st, rts, rtr);
+                return;
+            }
+            Route::Probe => self.note_probe(peer, HealthPath::CrossGvmi, rts.msg_id),
+            _ => {}
+        }
         let mkey = rts.mkey.expect("GVMI RTS carries an mkey");
-        let Some(mkey2) = self.try_cross_reg(st, rts.src_rank, rts.addr, rts.len, mkey) else {
-            self.ctx.stat_incr("offload.fallback.staging", 1);
-            self.ctx.emit(&ProtoEvent::FallbackToStaging {
-                src_rank: rts.src_rank,
-                dst_rank: rtr.dst_rank,
-                tag: rts.tag,
-                msg_id: rts.msg_id,
-            });
+        let reg = self.try_cross_reg(st, peer, rts.addr, rts.len, mkey);
+        // The registration result is the breaker's (and the probe's)
+        // verdict; a successful probe has just rebuilt the reg-cache
+        // entry, so closing the breaker resumes with warm state.
+        self.note_breaker(st, peer, HealthPath::CrossGvmi, reg.is_some());
+        let Some(mkey2) = reg else {
+            self.note_fallback(rts.src_rank, rtr.dst_rank, rts.tag, rts.msg_id);
             self.post_staging_read(st, rts, rtr);
             return;
         };
@@ -1298,7 +1368,25 @@ impl Proxy<'_> {
 
     /// Staging hop 1: pull the payload out of the source host's memory
     /// into DPU staging with an RDMA READ (the BluesMPI worker-read).
+    /// With the health engine armed, an open staging breaker for the
+    /// source rank degrades the transfer to a host-direct write (no DPU
+    /// hop) when the RTS carries an mkey to cross-register with.
     fn post_staging_read(&self, st: &mut ProxyState, rts: RtsInfo, rtr: RtrInfo) {
+        let peer = rts.src_rank;
+        match st.health.route(peer, HealthPath::Staging) {
+            Route::FastPath if rts.mkey.is_some() => {
+                self.ctx.stat_incr("offload.health.fastpaths", 1);
+                self.ctx.emit(&ProtoEvent::BreakerFastPath {
+                    peer,
+                    path: HealthPath::Staging,
+                    msg_id: rts.msg_id,
+                });
+                self.post_host_direct(st, rts, rtr);
+                return;
+            }
+            Route::Probe => self.note_probe(peer, HealthPath::Staging, rts.msg_id),
+            _ => {}
+        }
         let (buf, key) = self.staging_buffer_for(st, rts.src_rank, rts.addr, rts.len);
         let src_rkey = rts.src_rkey.expect("staging RTS carries an rkey");
         let wr = self.next_wrid(st);
@@ -1412,6 +1500,66 @@ impl Proxy<'_> {
             )
             .expect("staging forward write");
         self.ctx.stat_incr("offload.proxy.staging_forwards", 1);
+    }
+
+    /// Degraded-mode data movement while a peer's staging breaker is
+    /// open (DESIGN.md §19): cross-register through the cache — the sick
+    /// resource is the staging hop, not registration, so this uses the
+    /// infallible path — and write host-to-host directly, skipping DPU
+    /// memory entirely.
+    fn post_host_direct(&self, st: &mut ProxyState, rts: RtsInfo, rtr: RtrInfo) {
+        let mkey = rts.mkey.expect("host-direct degrade requires an mkey");
+        let mkey2 = self.cross_reg_cached(st, rts.src_rank, rts.addr, rts.len, mkey);
+        let wr = self.next_wrid(st);
+        let len = rts.len.min(rtr.len);
+        self.ctx.emit(&ProtoEvent::Mkey2Used { mkey2 });
+        self.ctx.emit(&ProtoEvent::WritePosted {
+            wrid: wr,
+            bytes: len,
+            path: PathKind::CrossGvmi,
+            msg_id: rts.msg_id,
+        });
+        if let Some(crc) = rts.crc.filter(|_| len == rts.len) {
+            st.inflight_ctx.insert(
+                wr,
+                WriteCtx {
+                    crc,
+                    msg_id: rts.msg_id,
+                    path: PathKind::CrossGvmi,
+                    is_read: false,
+                    local: (self.cluster.host_ep(rts.src_rank), rts.addr, mkey2),
+                    remote: (self.cluster.host_ep(rtr.dst_rank), rtr.addr, rtr.rkey),
+                    len,
+                    attempt: 1,
+                    notify: None,
+                },
+            );
+        }
+        st.inflight.insert(
+            wr,
+            Completion::BasicPair {
+                src_rank: rts.src_rank,
+                src_req: rts.src_req,
+                dst_rank: rtr.dst_rank,
+                dst_req: rtr.dst_req,
+                src_msg_id: rts.msg_id,
+                dst_msg_id: rtr.msg_id,
+                staged: None,
+            },
+        );
+        self.cluster
+            .fabric()
+            .rdma_write(
+                self.ctx,
+                self.my_ep,
+                (self.cluster.host_ep(rts.src_rank), rts.addr, mkey2),
+                (self.cluster.host_ep(rtr.dst_rank), rtr.addr, rtr.rkey),
+                len,
+                Some(wr),
+                None,
+            )
+            .expect("host-direct degraded write");
+        self.ctx.stat_incr("offload.health.host_direct_writes", 1);
     }
 
     /// Infallible cross-registration (one-sided gets, which have no
@@ -1581,6 +1729,10 @@ impl Proxy<'_> {
                     msg_id: wctx.msg_id,
                     attempts: wctx.attempt,
                 });
+                // A retried payload made it through: the peer earns its
+                // data retry-budget tokens back.
+                st.health
+                    .credit_data(Self::completion_src_rank(&completion));
             }
         }
         self.complete(st, wrid, completion);
@@ -1683,6 +1835,10 @@ impl Proxy<'_> {
             }
             Completion::StagingRead { pair, buf } => {
                 let (rts, rtr) = *pair;
+                // Hop 1 landed clean: a staging success for the breaker
+                // window (and the verdict of a staging probe, if this
+                // read was one).
+                self.note_breaker(st, rts.src_rank, HealthPath::Staging, true);
                 self.post_staged_pair(st, rts, rtr, buf);
             }
             Completion::GroupSend { key, gen } => {
@@ -1704,26 +1860,51 @@ impl Proxy<'_> {
         }
     }
 
+    /// The rank whose breaker and retry budget a completion's data
+    /// movement is charged to (the transfer's source side).
+    fn completion_src_rank(completion: &Completion) -> usize {
+        match completion {
+            Completion::BasicPair { src_rank, .. } | Completion::OneSided { src_rank, .. } => {
+                *src_rank
+            }
+            Completion::StagingRead { pair, .. } => pair.0.src_rank,
+            Completion::GroupSend { key, .. } | Completion::GroupStageRead { key, .. } => {
+                key.host_rank
+            }
+        }
+    }
+
     /// A landed payload failed CRC verification. Within budget: arm a
-    /// backoff timer and park the operation for re-posting. Budget
-    /// exhausted: surface a typed data-plane failure to the owning
-    /// host(s) — never a FIN, never a hang.
+    /// backoff timer and park the operation for re-posting. Attempt
+    /// bound hit, or the peer's data retry budget dry: surface a typed
+    /// data-plane failure to the owning host(s) — never a FIN, never a
+    /// hang.
     fn on_corrupt(&self, st: &mut ProxyState, mut wctx: WriteCtx, completion: Completion) {
         self.ctx.stat_incr("offload.integrity.corrupt", 1);
         self.ctx.emit(&ProtoEvent::PayloadCorrupt {
             msg_id: wctx.msg_id,
             attempt: wctx.attempt,
         });
-        if wctx.attempt >= DATA_RETX_MAX {
+        let peer = Self::completion_src_rank(&completion);
+        let path_class = match wctx.path {
+            PathKind::CrossGvmi => HealthPath::CrossGvmi,
+            _ => HealthPath::Staging,
+        };
+        self.note_breaker(st, peer, path_class, false);
+        if wctx.attempt >= self.cfg.data_retx_max {
             self.ctx.stat_incr("offload.integrity.failures", 1);
             self.ctx.emit(&ProtoEvent::DataIntegrityFailed {
                 msg_id: wctx.msg_id,
                 attempts: wctx.attempt,
             });
-            self.fail_transfer(st, completion, wctx.attempt);
+            self.fail_transfer(st, completion, wctx.attempt, None);
             return;
         }
-        let delay = backoff_delay(wctx.attempt);
+        if !st.health.try_spend_data(peer) {
+            self.fail_transfer(st, completion, wctx.attempt, Some(path_class));
+            return;
+        }
+        let delay = backoff_delay_from(self.cfg.retx_base, self.cfg.retx_cap, wctx.attempt);
         wctx.attempt += 1;
         st.next_retx_token += 1;
         let token = st.next_retx_token;
@@ -1780,8 +1961,31 @@ impl Proxy<'_> {
     /// operation, with the typed error message its engine maps to
     /// `OffloadError::DataIntegrity` (basic) or a failed generation
     /// (group). Group bookkeeping for the dead generation is dropped so
-    /// the proxy still quiesces.
-    fn fail_transfer(&self, st: &mut ProxyState, completion: Completion, attempts: u32) {
+    /// the proxy still quiesces. `shed` marks a health-engine
+    /// retry-budget shed (rather than an exhausted attempt bound): the
+    /// `DataError` carries the shed flag so hosts surface
+    /// [`crate::OffloadError::RetryBudgetExhausted`], and a
+    /// `RetryBudgetExhausted` event is emitted per failed basic request
+    /// so the checker can pair each shed with its `ReqFailed`. (Group
+    /// sheds ride `GroupDataError` and emit no shed event — the whole
+    /// generation fails through `GroupFailed`.)
+    fn fail_transfer(
+        &self,
+        st: &mut ProxyState,
+        completion: Completion,
+        attempts: u32,
+        shed: Option<HealthPath>,
+    ) {
+        let is_shed = shed.is_some();
+        if is_shed {
+            self.ctx.stat_incr("offload.health.retry_budget_sheds", 1);
+        }
+        let note_shed = |rank: usize, msg_id: u64| {
+            if let Some(path) = shed {
+                self.ctx
+                    .emit(&ProtoEvent::RetryBudgetExhausted { rank, msg_id, path });
+            }
+        };
         match completion {
             Completion::BasicPair {
                 src_rank,
@@ -1793,6 +1997,7 @@ impl Proxy<'_> {
                 staged,
             } => {
                 self.release_staged(st, self.cfg.tenant_of(src_rank), staged);
+                note_shed(src_rank, src_msg_id);
                 self.send_ctrl(
                     st,
                     self.cluster.host_ep(src_rank),
@@ -1800,10 +2005,12 @@ impl Proxy<'_> {
                         req: src_req,
                         msg_id: src_msg_id,
                         attempts,
+                        shed: is_shed,
                     },
                 );
                 self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
                 if dst_req != usize::MAX {
+                    note_shed(dst_rank, dst_msg_id);
                     self.send_ctrl(
                         st,
                         self.cluster.host_ep(dst_rank),
@@ -1811,6 +2018,7 @@ impl Proxy<'_> {
                             req: dst_req,
                             msg_id: dst_msg_id,
                             attempts,
+                            shed: is_shed,
                         },
                     );
                     self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
@@ -1821,6 +2029,7 @@ impl Proxy<'_> {
                 src_req,
                 msg_id,
             } => {
+                note_shed(src_rank, msg_id);
                 self.send_ctrl(
                     st,
                     self.cluster.host_ep(src_rank),
@@ -1828,6 +2037,7 @@ impl Proxy<'_> {
                         req: src_req,
                         msg_id,
                         attempts,
+                        shed: is_shed,
                     },
                 );
                 self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
@@ -1835,6 +2045,7 @@ impl Proxy<'_> {
             Completion::StagingRead { pair, buf } => {
                 let (rts, rtr) = *pair;
                 self.release_staged(st, rts.tenant, Some((buf.0, buf.1, rts.len)));
+                note_shed(rts.src_rank, rts.msg_id);
                 self.send_ctrl(
                     st,
                     self.cluster.host_ep(rts.src_rank),
@@ -1842,10 +2053,12 @@ impl Proxy<'_> {
                         req: rts.src_req,
                         msg_id: rts.msg_id,
                         attempts,
+                        shed: is_shed,
                     },
                 );
                 self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
                 if rtr.dst_req != usize::MAX {
+                    note_shed(rtr.dst_rank, rtr.msg_id);
                     self.send_ctrl(
                         st,
                         self.cluster.host_ep(rtr.dst_rank),
@@ -1853,6 +2066,7 @@ impl Proxy<'_> {
                             req: rtr.dst_req,
                             msg_id: rtr.msg_id,
                             attempts,
+                            shed: is_shed,
                         },
                     );
                     self.ctx.stat_incr("offload.ctrl.host_dpu", 1);
@@ -1925,17 +2139,34 @@ impl Proxy<'_> {
                     // Cross-registration now, stored with the entry, so
                     // execution never searches the GVMI cache (paper
                     // §VII-D). A failed cross-GVMI registration demotes
-                    // just this entry to a staging buffer.
-                    match self.try_cross_reg(st, key.host_rank, *addr, *len, *mkey) {
-                        Some(m2) => mkey2[i] = Some(m2),
-                        None => {
-                            self.ctx.stat_incr("offload.fallback.staging", 1);
-                            self.ctx.emit(&ProtoEvent::FallbackToStaging {
-                                src_rank: key.host_rank,
-                                dst_rank: *dst_rank,
-                                tag: *tag,
+                    // just this entry to a staging buffer; an open
+                    // breaker demotes it without consulting the sick
+                    // path at all.
+                    let peer = key.host_rank;
+                    match st.health.route(peer, HealthPath::CrossGvmi) {
+                        Route::FastPath => {
+                            self.ctx.stat_incr("offload.health.fastpaths", 1);
+                            self.ctx.emit(&ProtoEvent::BreakerFastPath {
+                                peer,
+                                path: HealthPath::CrossGvmi,
                                 msg_id: *msg_id,
                             });
+                            let buf = fab.alloc(self.my_ep, *len);
+                            let k = fab
+                                .reg_mr(self.ctx, self.my_ep, buf, *len)
+                                .expect("fallback staging registration");
+                            staging[i] = Some((buf, k));
+                            continue;
+                        }
+                        Route::Probe => self.note_probe(peer, HealthPath::CrossGvmi, *msg_id),
+                        _ => {}
+                    }
+                    let reg = self.try_cross_reg(st, peer, *addr, *len, *mkey);
+                    self.note_breaker(st, peer, HealthPath::CrossGvmi, reg.is_some());
+                    match reg {
+                        Some(m2) => mkey2[i] = Some(m2),
+                        None => {
+                            self.note_fallback(key.host_rank, *dst_rank, *tag, *msg_id);
                             let buf = fab.alloc(self.my_ep, *len);
                             let k = fab
                                 .reg_mr(self.ctx, self.my_ep, buf, *len)

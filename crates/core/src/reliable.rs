@@ -23,16 +23,43 @@ use simnet::{Pid, ProcessCtx, SimDelta};
 
 use crate::config::FaultPlan;
 use crate::events::{CtrlKind, ProtoEvent};
+use crate::health::TokenBucket;
 use crate::messages::CtrlMsg;
 
-/// Retransmission backoff floor.
-const RETX_BASE: SimDelta = SimDelta::from_us(20);
-/// Retransmission backoff ceiling.
-const RETX_CAP: SimDelta = SimDelta::from_us(200);
-/// Send attempts (original + retransmits) before a message is abandoned.
-/// At a 10% injected drop rate the chance of losing all attempts is 1e-12
-/// — abandonment in practice means the peer is gone, not the link lossy.
-const MAX_ATTEMPTS: u32 = 12;
+/// Default retransmission backoff floor (PR 10 lifted the former
+/// `RETX_BASE` const into [`OffloadConfig::retx_base`]).
+pub(crate) const DEFAULT_RETX_BASE: SimDelta = SimDelta::from_us(20);
+/// Default retransmission backoff ceiling (former `RETX_CAP`).
+pub(crate) const DEFAULT_RETX_CAP: SimDelta = SimDelta::from_us(200);
+/// Default send attempts (original + retransmits) before a message is
+/// abandoned (former `MAX_ATTEMPTS`). At a 10% injected drop rate the
+/// chance of losing all attempts is 1e-12 — abandonment in practice
+/// means the peer is gone, not the link lossy.
+pub(crate) const DEFAULT_CTRL_MAX_ATTEMPTS: u32 = 12;
+
+/// Retry pacing and budget knobs for one [`ReliableLink`], derived from
+/// [`OffloadConfig`] so fault-soak sweeps can tune them without
+/// recompiling. `budget` arms the per-peer retry token bucket
+/// (capacity, refill-per-ack); `None` keeps the pre-health unbounded
+/// `max_attempts`-only behavior.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct RetryKnobs {
+    pub(crate) base: SimDelta,
+    pub(crate) cap: SimDelta,
+    pub(crate) max_attempts: u32,
+    pub(crate) budget: Option<(u32, u32)>,
+}
+
+impl Default for RetryKnobs {
+    fn default() -> Self {
+        RetryKnobs {
+            base: DEFAULT_RETX_BASE,
+            cap: DEFAULT_RETX_CAP,
+            max_attempts: DEFAULT_CTRL_MAX_ATTEMPTS,
+            budget: None,
+        }
+    }
+}
 
 /// Typed failure surfaced by the offload engine when a posted request
 /// cannot complete (instead of hanging forever).
@@ -83,6 +110,16 @@ pub enum OffloadError {
         /// Transfer id of the shed request.
         msg_id: u64,
     },
+    /// The retry was shed by the health engine (DESIGN.md §19): the
+    /// peer's retry-budget token bucket ran dry before the bounded
+    /// attempt counter did, so the request fails fast instead of
+    /// feeding a correlated retransmission storm.
+    RetryBudgetExhausted {
+        /// Transfer id of the shed request.
+        msg_id: u64,
+        /// Delivery attempts made before the budget ran out.
+        attempts: u32,
+    },
 }
 
 impl fmt::Debug for OffloadError {
@@ -108,6 +145,10 @@ impl fmt::Debug for OffloadError {
             OffloadError::QuotaExceeded { tenant, msg_id } => write!(
                 f,
                 "transfer {msg_id:#x} shed at admission: tenant {tenant} is over its hard quota"
+            ),
+            OffloadError::RetryBudgetExhausted { msg_id, attempts } => write!(
+                f,
+                "transfer {msg_id:#x} shed: peer retry budget exhausted after {attempts} attempts"
             ),
         }
     }
@@ -137,6 +178,12 @@ impl FaultRng {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
+    }
+
+    /// Raw 64-bit draw (the health engine jitters probe cooldowns with
+    /// it so breaker episodes de-synchronize across peers).
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.next()
     }
 
     /// Roll a permille chance. Zero never fires (and does not consume
@@ -205,16 +252,26 @@ pub(crate) enum TickOutcome {
         attempts: u32,
         origin: ReqOrigin,
     },
+    /// The peer's retry-budget token bucket ran dry before the attempt
+    /// counter did: the message is dropped from the pending table and
+    /// the caller must shed-and-surface a typed
+    /// [`OffloadError::RetryBudgetExhausted`].
+    BudgetShed {
+        msg_id: u64,
+        attempts: u32,
+        origin: ReqOrigin,
+    },
 }
 
 /// Exponential ctrl-plane backoff for delivery attempt `attempt`
-/// (1-based): `RETX_BASE * 2^(attempt-1)` capped at `RETX_CAP`. Shared
-/// with the data-path retransmission and backpressure-retry timers so
-/// every retry loop in the engine paces identically.
-pub(crate) fn backoff_delay(attempt: u32) -> SimDelta {
-    let mut d = RETX_BASE;
+/// (1-based): `base * 2^(attempt-1)` capped at `cap`. Shared with the
+/// data-path retransmission and backpressure-retry timers so every
+/// retry loop in the engine paces identically; callers thread
+/// [`OffloadConfig::retx_base`]/[`OffloadConfig::retx_cap`] through.
+pub(crate) fn backoff_delay_from(base: SimDelta, cap: SimDelta, attempt: u32) -> SimDelta {
+    let mut d = base;
     for _ in 1..attempt {
-        d = (d * 2).min(RETX_CAP);
+        d = (d * 2).min(cap);
     }
     d
 }
@@ -224,6 +281,7 @@ pub(crate) fn backoff_delay(attempt: u32) -> SimDelta {
 /// (ack generation + dedup window) in one.
 pub(crate) struct ReliableLink {
     plan: FaultPlan,
+    knobs: RetryKnobs,
     rng: FaultRng,
     /// True on proxies (event attribution).
     at_proxy: bool,
@@ -236,12 +294,22 @@ pub(crate) struct ReliableLink {
     next_seq: u64,
     pending: BTreeMap<u64, Pending>,
     dedup: DedupWindow,
+    /// Per-destination retry budgets (keyed by endpoint index), created
+    /// lazily at full capacity. Empty when `knobs.budget` is `None`.
+    buckets: BTreeMap<u64, TokenBucket>,
 }
 
 impl ReliableLink {
-    pub(crate) fn new(plan: FaultPlan, ctrl_bytes: u64, at_proxy: bool, from_ep: EpId) -> Self {
+    pub(crate) fn new(
+        plan: FaultPlan,
+        knobs: RetryKnobs,
+        ctrl_bytes: u64,
+        at_proxy: bool,
+        from_ep: EpId,
+    ) -> Self {
         ReliableLink {
             plan,
+            knobs,
             rng: FaultRng::new(plan.seed, from_ep.index() as u64 + 1),
             at_proxy,
             from_ep,
@@ -250,6 +318,7 @@ impl ReliableLink {
             next_seq: 0,
             pending: BTreeMap::new(),
             dedup: DedupWindow::default(),
+            buckets: BTreeMap::new(),
         }
     }
 
@@ -283,7 +352,7 @@ impl ReliableLink {
                 msg,
                 bytes,
                 attempts: 1,
-                backoff: RETX_BASE,
+                backoff: self.knobs.base,
                 origin,
             },
         );
@@ -351,7 +420,7 @@ impl ReliableLink {
         let Some(p) = self.pending.get_mut(&seq) else {
             return TickOutcome::Idle;
         };
-        if p.attempts >= MAX_ATTEMPTS {
+        if p.attempts >= self.knobs.max_attempts {
             let p = self.pending.remove(&seq).expect("entry just found");
             let (kind, msg_id) = (p.msg.kind(), p.msg.msg_id_hint());
             ctx.stat_incr("offload.reliable.abandoned", 1);
@@ -366,9 +435,29 @@ impl ReliableLink {
                 origin: p.origin,
             };
         }
+        // Health-armed links pay one budget token per retransmit toward
+        // a peer; an empty bucket sheds the message instead of feeding
+        // a correlated storm (DESIGN.md §19). Acks refill the bucket.
+        if let Some((cap, refill)) = self.knobs.budget {
+            let to = p.to.index() as u64;
+            let bucket = self
+                .buckets
+                .entry(to)
+                .or_insert_with(|| TokenBucket::new(cap, refill));
+            if !bucket.try_spend() {
+                let shed = self.pending.remove(&seq).expect("entry just found");
+                ctx.stat_incr("offload.reliable.budget_sheds", 1);
+                return TickOutcome::BudgetShed {
+                    msg_id: shed.msg.msg_id_hint(),
+                    attempts: shed.attempts,
+                    origin: shed.origin,
+                };
+            }
+        }
+        let p = self.pending.get_mut(&seq).expect("entry just found");
         p.attempts += 1;
         let attempt = p.attempts - 1;
-        p.backoff = (p.backoff * 2).min(RETX_CAP);
+        p.backoff = (p.backoff * 2).min(self.knobs.cap);
         let (kind, msg_id) = (p.msg.kind(), p.msg.msg_id_hint());
         ctx.stat_incr("offload.reliable.retransmits", 1);
         ctx.emit(&ProtoEvent::CtrlRetransmit {
@@ -381,9 +470,22 @@ impl ReliableLink {
         TickOutcome::Retransmitted
     }
 
-    /// An ack arrived: retire the pending entry (idempotent).
+    /// An ack arrived: retire the pending entry (idempotent) and refill
+    /// the destination's retry budget — a responsive peer earns its
+    /// tokens back, so budgets only bite during sustained brownouts.
     pub(crate) fn on_ack(&mut self, seq: u64) {
-        self.pending.remove(&seq);
+        if let Some(p) = self.pending.remove(&seq) {
+            if let Some(bucket) = self.buckets.get_mut(&(p.to.index() as u64)) {
+                bucket.credit();
+            }
+        }
+    }
+
+    /// Forget the retry-budget history for `to` (refilled lazily at full
+    /// capacity on next use). Called when that peer restarts: the fresh
+    /// process deserves a fresh budget.
+    pub(crate) fn reset_budget_for(&mut self, to: EpId) {
+        self.buckets.remove(&(to.index() as u64));
     }
 
     /// An envelope arrived: ack it (acks share the lossy plane — a lost
@@ -437,6 +539,7 @@ impl ReliableLink {
         self.epoch += 1;
         self.pending.clear();
         self.dedup.clear();
+        self.buckets.clear();
     }
 }
 

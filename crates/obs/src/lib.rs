@@ -27,11 +27,11 @@ pub mod telemetry;
 pub use chrome::chrome_trace;
 pub use json::{parse, Json};
 pub use lifecycle::{
-    reconstruct, Histogram, LifecycleRecorder, LifecycleReport, MsgTimeline, Phase, Residence,
-    Segment, WindowPath, LIFECYCLE_SCHEMA_ID, PHASES,
+    reconstruct, BreakerTimeline, Histogram, LifecycleRecorder, LifecycleReport, MsgTimeline,
+    Phase, Residence, Segment, WindowPath, LIFECYCLE_SCHEMA_ID, PHASES,
 };
 pub use profile::{render_profile, ProfileDoc};
 pub use schema::{
-    validate_metrics, validate_profile, PROFILE_SCHEMA_ID, PROFILE_SCOPES, SCHEMA_ID,
+    validate_metrics, validate_profile, HEALTH_KEYS, PROFILE_SCHEMA_ID, PROFILE_SCOPES, SCHEMA_ID,
 };
 pub use telemetry::{TelemetryBus, TelemetrySink, TelemetrySnapshot};

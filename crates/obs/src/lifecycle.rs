@@ -322,6 +322,42 @@ impl WindowPath {
     }
 }
 
+/// The state timeline of one circuit breaker, reconstructed from the
+/// `BreakerTripped` / `BreakerHalfOpen` / `BreakerClosed` transition
+/// events (DESIGN.md §19). Breakers start implicitly closed, so the
+/// first transition is normally to [`offload::BreakerState::Open`].
+#[derive(Clone, Debug)]
+pub struct BreakerTimeline {
+    /// Scheduler pid of the process owning the breaker (a proxy for
+    /// data paths, a host for the ctrl path).
+    pub pid: usize,
+    /// Peer rank the breaker guards.
+    pub peer: usize,
+    /// Which path class it guards.
+    pub path: offload::HealthPath,
+    /// `(time, entered state)` transitions, in emission order.
+    pub transitions: Vec<(SimTime, offload::BreakerState)>,
+}
+
+impl BreakerTimeline {
+    /// Whether the breaker ended the run closed (recovered or never
+    /// left the initial closed state).
+    pub fn recovered(&self) -> bool {
+        self.transitions
+            .last()
+            .map(|&(_, s)| s == offload::BreakerState::Closed)
+            .unwrap_or(true)
+    }
+
+    /// Number of closed → open trips in the timeline.
+    pub fn trips(&self) -> usize {
+        self.transitions
+            .iter()
+            .filter(|&&(_, s)| s == offload::BreakerState::Open)
+            .count()
+    }
+}
+
 /// Everything [`reconstruct`] derives from one event stream.
 #[derive(Clone, Debug, Default)]
 pub struct LifecycleReport {
@@ -329,6 +365,10 @@ pub struct LifecycleReport {
     pub timelines: Vec<MsgTimeline>,
     /// Per-window critical paths, ordered by `(rank, req_id, gen)`.
     pub windows: Vec<WindowPath>,
+    /// Per-breaker state timelines, ordered by `(pid, peer, path)`.
+    /// Empty unless the fabric health engine acted (breakers default
+    /// off), which keeps pre-health JSON byte-identical.
+    pub breakers: Vec<BreakerTimeline>,
 }
 
 impl LifecycleReport {
@@ -425,7 +465,7 @@ impl LifecycleReport {
                 })
                 .collect(),
         );
-        Json::Obj(vec![
+        let mut members = vec![
             ("schema".into(), Json::Str(LIFECYCLE_SCHEMA_ID.into())),
             (
                 "messages".into(),
@@ -436,7 +476,53 @@ impl LifecycleReport {
             ),
             ("phases".into(), phases),
             ("windows".into(), windows),
-        ])
+        ];
+        // Optional section, mirroring the metrics schema's `health`
+        // object: only runs where a breaker transitioned carry it.
+        if !self.breakers.is_empty() {
+            let breakers = Json::Arr(
+                self.breakers
+                    .iter()
+                    .map(|b| {
+                        Json::Obj(vec![
+                            ("pid".into(), Json::Num(b.pid as f64)),
+                            ("peer".into(), Json::Num(b.peer as f64)),
+                            ("path".into(), Json::Str(b.path.name().into())),
+                            ("recovered".into(), Json::Bool(b.recovered())),
+                            ("trips".into(), Json::Num(b.trips() as f64)),
+                            (
+                                "transitions".into(),
+                                Json::Arr(
+                                    b.transitions
+                                        .iter()
+                                        .map(|&(at, s)| {
+                                            Json::Obj(vec![
+                                                ("at_ps".into(), Json::Num(at.as_ps() as f64)),
+                                                (
+                                                    "state".into(),
+                                                    Json::Str(breaker_state_name(s).into()),
+                                                ),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            );
+            members.push(("breakers".into(), breakers));
+        }
+        Json::Obj(members)
+    }
+}
+
+/// Stable lowercase name of a breaker state for reports.
+fn breaker_state_name(s: offload::BreakerState) -> &'static str {
+    match s {
+        offload::BreakerState::Closed => "closed",
+        offload::BreakerState::Open => "open",
+        offload::BreakerState::HalfOpen => "half_open",
     }
 }
 
@@ -520,8 +606,28 @@ pub fn reconstruct(events: &[(SimTime, Pid, ProtoEvent)]) -> LifecycleReport {
     // Open windows per rank, mirroring `offload::Metrics`.
     let mut open: BTreeMap<usize, Vec<(usize, u64)>> = BTreeMap::new();
     let mut wrid_window: BTreeMap<(usize, u64), (usize, usize, u64)> = BTreeMap::new();
+    // (pid, peer, path) → breaker state transitions.
+    let mut breakers: BTreeMap<
+        (usize, usize, offload::HealthPath),
+        Vec<(SimTime, offload::BreakerState)>,
+    > = BTreeMap::new();
 
     for &(at, pid, ref ev) in events {
+        match *ev {
+            ProtoEvent::BreakerTripped { peer, path } => breakers
+                .entry((pid.index(), peer, path))
+                .or_default()
+                .push((at, offload::BreakerState::Open)),
+            ProtoEvent::BreakerHalfOpen { peer, path } => breakers
+                .entry((pid.index(), peer, path))
+                .or_default()
+                .push((at, offload::BreakerState::HalfOpen)),
+            ProtoEvent::BreakerClosed { peer, path } => breakers
+                .entry((pid.index(), peer, path))
+                .or_default()
+                .push((at, offload::BreakerState::Closed)),
+            _ => {}
+        }
         match *ev {
             ProtoEvent::HostReqPosted {
                 rank,
@@ -739,9 +845,20 @@ pub fn reconstruct(events: &[(SimTime, Pid, ProtoEvent)]) -> LifecycleReport {
         })
         .collect();
 
+    let breaker_timelines = breakers
+        .into_iter()
+        .map(|((pid, peer, path), transitions)| BreakerTimeline {
+            pid,
+            peer,
+            path,
+            transitions,
+        })
+        .collect();
+
     LifecycleReport {
         timelines,
         windows: window_paths,
+        breakers: breaker_timelines,
     }
 }
 
@@ -775,6 +892,7 @@ mod tests {
         };
         let report = LifecycleReport {
             timelines: Vec::new(),
+            breakers: Vec::new(),
             windows: vec![
                 mk(0, 100, true),
                 mk(1, 2_000, true),
@@ -790,6 +908,76 @@ mod tests {
         assert_eq!(hists[&0].max(), 300);
         assert_eq!(hists[&1].count(), 1);
         assert_eq!(hists[&1].max(), 2_000);
+    }
+
+    #[test]
+    fn breaker_timelines_reconstruct_and_gate_the_json_section() {
+        use offload::{BreakerState, HealthPath};
+        use simnet::Pid;
+        let t = |ps: u64| SimTime::from_ps(ps);
+        let p = Pid::from_index(2);
+        // No breaker events: no timelines, no "breakers" JSON member.
+        let empty = reconstruct(&[]);
+        assert!(empty.breakers.is_empty());
+        let json = empty.to_json().render();
+        assert!(!json.contains("breakers"));
+        // Trip → half-open → close on one path; an unrecovered trip on
+        // another.
+        let events = vec![
+            (
+                t(10),
+                p,
+                ProtoEvent::BreakerTripped {
+                    peer: 1,
+                    path: HealthPath::CrossGvmi,
+                },
+            ),
+            (
+                t(20),
+                p,
+                ProtoEvent::BreakerHalfOpen {
+                    peer: 1,
+                    path: HealthPath::CrossGvmi,
+                },
+            ),
+            (
+                t(30),
+                p,
+                ProtoEvent::BreakerClosed {
+                    peer: 1,
+                    path: HealthPath::CrossGvmi,
+                },
+            ),
+            (
+                t(40),
+                p,
+                ProtoEvent::BreakerTripped {
+                    peer: 3,
+                    path: HealthPath::Staging,
+                },
+            ),
+        ];
+        let report = reconstruct(&events);
+        assert_eq!(report.breakers.len(), 2);
+        let cg = &report.breakers[0];
+        assert_eq!((cg.pid, cg.peer, cg.path), (2, 1, HealthPath::CrossGvmi));
+        assert_eq!(
+            cg.transitions,
+            vec![
+                (t(10), BreakerState::Open),
+                (t(20), BreakerState::HalfOpen),
+                (t(30), BreakerState::Closed),
+            ]
+        );
+        assert!(cg.recovered());
+        assert_eq!(cg.trips(), 1);
+        let st = &report.breakers[1];
+        assert_eq!(st.path, HealthPath::Staging);
+        assert!(!st.recovered());
+        let json = report.to_json().render();
+        assert!(json.contains("\"breakers\""));
+        assert!(json.contains("\"half_open\""));
+        assert!(json.contains("\"cross_gvmi\""));
     }
 
     #[test]

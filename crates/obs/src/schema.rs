@@ -82,6 +82,19 @@ pub const TENANT_KEYS: &[&str] = &[
     "drr_grants",
 ];
 
+/// Keys of the optional `health` object — present only in documents
+/// from runs where the fabric health engine acted (breakers default
+/// off, so clean-run documents omit the section and stay byte-identical
+/// to pre-health baselines). Mirrors `offload::HealthMetrics::kv`.
+pub const HEALTH_KEYS: &[&str] = &[
+    "breaker_trips",
+    "breaker_half_opens",
+    "breaker_closes",
+    "breaker_probes",
+    "breaker_fastpaths",
+    "retry_budget_sheds",
+];
+
 /// Optional extension sections: flat all-numeric objects appended by
 /// the scale benches (`"engine"` carries the self-benchmark counters,
 /// `"scale"` the workload spec and fingerprint, `"profile"` the
@@ -207,6 +220,41 @@ pub fn validate_metrics(doc: &str) -> Result<Json, String> {
             if *sum > counter(totals, key, "totals")? {
                 return Err(format!("per-tenant {key} exceed totals.{key}"));
             }
+        }
+    }
+    // Optional health section: when present, it carries exactly the
+    // declared breaker/budget counter set, at least one of them nonzero
+    // (an idle engine must omit the section), and the breaker state
+    // machine's conservation law holds: every close was preceded by a
+    // half-open, every half-open by a trip.
+    if let Some(health) = v.get("health") {
+        let Json::Obj(members) = health else {
+            return Err("\"health\" is present but not an object".into());
+        };
+        for k in HEALTH_KEYS {
+            counter(health, k, "health")?;
+        }
+        for (k, _) in members {
+            if !HEALTH_KEYS.contains(&k.as_str()) {
+                return Err(format!("health: undeclared counter \"{k}\""));
+            }
+        }
+        if HEALTH_KEYS
+            .iter()
+            .all(|k| health.get(k).and_then(Json::as_u64) == Some(0))
+        {
+            return Err("\"health\" is present but all-zero".into());
+        }
+        let trips = counter(health, "breaker_trips", "health")?;
+        let half_opens = counter(health, "breaker_half_opens", "health")?;
+        let closes = counter(health, "breaker_closes", "health")?;
+        if closes > half_opens {
+            return Err("health: breaker_closes exceed breaker_half_opens".into());
+        }
+        // Proxy restarts re-arm breakers straight to half-open, so
+        // half-opens may exceed trips only when restarts occurred.
+        if half_opens > trips && counter(totals, "proxy_restarts", "totals")? == 0 {
+            return Err("health: breaker_half_opens exceed breaker_trips without restarts".into());
         }
     }
     // Internal consistency: cache lookups decompose, per-rank wakeups sum
@@ -421,6 +469,56 @@ mod tests {
         );
         assert_ne!(one_row, doc, "the tenant-1 row must match verbatim");
         assert!(validate_metrics(&one_row).is_err());
+    }
+
+    #[test]
+    fn health_section_validates_when_present() {
+        use offload::{HealthPath, Metrics, ProtoEvent};
+        use simnet::{Pid, SimTime};
+        let m = Metrics::new();
+        let sink = m.sink();
+        let feed = |ev: &ProtoEvent| sink(SimTime::ZERO, Pid::from_index(2), ev);
+        feed(&ProtoEvent::BreakerTripped {
+            peer: 1,
+            path: HealthPath::CrossGvmi,
+        });
+        feed(&ProtoEvent::BreakerHalfOpen {
+            peer: 1,
+            path: HealthPath::CrossGvmi,
+        });
+        feed(&ProtoEvent::BreakerProbe {
+            peer: 1,
+            path: HealthPath::CrossGvmi,
+            msg_id: 4,
+        });
+        feed(&ProtoEvent::BreakerClosed {
+            peer: 1,
+            path: HealthPath::CrossGvmi,
+        });
+        let doc = m.report().to_json("unit");
+        assert!(doc.contains("\"health\": {"));
+        validate_metrics(&doc).unwrap();
+        // A missing health counter is rejected.
+        let bad = doc.replace("\"breaker_probes\": 1,", "");
+        assert!(validate_metrics(&bad).is_err());
+        // An undeclared counter is rejected.
+        let bad = doc.replace("\"breaker_probes\"", "\"breaker_mystery\"");
+        assert!(validate_metrics(&bad).is_err());
+        // An all-zero section is rejected: idle engines must omit it.
+        let bad = doc
+            .replace("\"breaker_trips\": 1", "\"breaker_trips\": 0")
+            .replace("\"breaker_half_opens\": 1", "\"breaker_half_opens\": 0")
+            .replace("\"breaker_closes\": 1", "\"breaker_closes\": 0")
+            .replace("\"breaker_probes\": 1", "\"breaker_probes\": 0");
+        assert!(validate_metrics(&bad).is_err());
+        // More closes than half-opens breaks the state machine.
+        let bad = doc.replace("\"breaker_closes\": 1", "\"breaker_closes\": 5");
+        assert!(validate_metrics(&bad).is_err());
+        // More half-opens than trips needs a proxy restart to explain it.
+        let bad = doc.replace("\"breaker_half_opens\": 1", "\"breaker_half_opens\": 3");
+        assert!(validate_metrics(&bad).is_err());
+        let explained = bad.replace("\"proxy_restarts\": 0", "\"proxy_restarts\": 1");
+        validate_metrics(&explained).unwrap();
     }
 
     #[test]

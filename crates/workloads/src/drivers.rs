@@ -564,6 +564,122 @@ pub fn drive_data_integrity(run: &CheckRun, bytes: u64) -> Result<Report, SimErr
     })
 }
 
+/// Data-plane brownout under an armed health engine: every payload is
+/// dropped (`data_drop_pm: 1000`, real byte movement) and the per-peer
+/// data retry budget — smaller than `data_retx_max` and never refilled,
+/// since refills ride recovered payloads — runs dry first. Both ends of
+/// the matched pair must shed with a typed
+/// [`OffloadError::RetryBudgetExhausted`]: the budget converts an
+/// endless CRC-retransmit grind into one early, attributable refusal
+/// (DESIGN.md §19).
+pub fn drive_brownout(run: &CheckRun, bytes: u64) -> Result<Report, SimError> {
+    assert!(
+        run.move_bytes,
+        "drive_brownout needs move_bytes: timing-only runs carry no payloads"
+    );
+    assert!(
+        run.cfg.health.enabled,
+        "drive_brownout proves the retry budget; arm HealthConfig on the run"
+    );
+    assert_eq!(
+        run.cfg.fault.data_drop_pm, 1000,
+        "drive_brownout needs a total payload brownout (data_drop_pm: 1000) — \
+         partial drops let recovered payloads refill the budget"
+    );
+    assert!(
+        run.cfg.health.data_budget < run.cfg.data_retx_max,
+        "the budget must be the binding limit, or the shed degenerates to DataIntegrity"
+    );
+    run.run_offload(move |off| {
+        if off.size() < 2 {
+            return;
+        }
+        let me = off.rank();
+        // Cross-node pair, as in `drive_data_integrity`: payload faults
+        // live on the RDMA fabric, which intra-node transfers never
+        // touch.
+        let peer = off.size() / 2;
+        let fab = off.cluster().fabric().clone();
+        let ep = off.cluster().host_ep(me);
+        let req = if me == 0 {
+            let buf = fab.alloc(ep, bytes);
+            // Nonzero payload so dropped bytes are visible to the CRC.
+            fab.fill_pattern(ep, buf, bytes, 0x0bad_cafe)
+                .expect("fill doomed payload");
+            off.send_offload(buf, bytes, peer, 42)
+        } else if me == peer {
+            let buf = fab.alloc(ep, bytes);
+            off.recv_offload(buf, bytes, 0, 42)
+        } else {
+            return;
+        };
+        let err = off
+            .wait_timeout(req, SimDelta::from_secs(1))
+            .expect_err("a browned-out transfer must shed, not stall");
+        assert!(
+            matches!(err, OffloadError::RetryBudgetExhausted { .. }),
+            "rank {me}: expected RetryBudgetExhausted, got {err:?}"
+        );
+    })
+}
+
+/// Circuit-breaker trip and recovery on the cross-GVMI path: sustained
+/// fresh-buffer posts under a probabilistic `xreg_fail_pm` trip the
+/// receiver-side breaker (each round allocates a new send buffer, so no
+/// GVMI-cache hit masks the fault), open-state posts route straight to
+/// staging and burn the probe cooldown down, and an eventual half-open
+/// probe's registration roll succeeds — closing the breaker. Every
+/// transfer must complete either way (fallback and fast-path are both
+/// lossless); the checker asserts the trip/probe/close event sequence
+/// on top of this driver.
+pub fn drive_breaker_recovery(run: &CheckRun, bytes: u64, rounds: u64) -> Result<Report, SimError> {
+    assert!(
+        run.cfg.health.enabled,
+        "drive_breaker_recovery exercises the breaker; arm HealthConfig on the run"
+    );
+    let pm = run.cfg.fault.xreg_fail_pm;
+    assert!(
+        pm > 0 && pm < 1000,
+        "xreg_fail_pm must be probabilistic (0 < pm < 1000): high enough to trip \
+         the breaker, below certainty so a half-open probe can eventually succeed"
+    );
+    run.run_offload(move |off| {
+        if off.size() < 2 {
+            return;
+        }
+        let me = off.rank();
+        // Cross-node pair: cross-GVMI registration only happens for
+        // inter-node transfers.
+        let peer = off.size() / 2;
+        let fab = off.cluster().fabric().clone();
+        let ep = off.cluster().host_ep(me);
+        if me == 0 {
+            for tag in 0..rounds {
+                // A fresh buffer per round forces a fresh registration
+                // attempt: cache hits never fail, so reusing one buffer
+                // would stop feeding the breaker after the first success.
+                let buf = fab.alloc(ep, bytes);
+                let req = off.send_offload(buf, bytes, peer, tag);
+                off.wait(req);
+                assert!(
+                    off.req_error(req).is_none(),
+                    "round {tag}: a degraded-mode send must still complete"
+                );
+            }
+        } else if me == peer {
+            for tag in 0..rounds {
+                let buf = fab.alloc(ep, bytes);
+                let req = off.recv_offload(buf, bytes, 0, tag);
+                off.wait(req);
+                assert!(
+                    off.req_error(req).is_none(),
+                    "round {tag}: a degraded-mode recv must still complete"
+                );
+            }
+        }
+    })
+}
+
 /// Group-primitive all-to-all plus a barrier-ordered ring all-gather,
 /// each called `calls` times. Exercises the group metadata exchange
 /// (`RecvMeta`), the group packet/exec cache, cross-registration at
@@ -686,6 +802,39 @@ mod tests {
         let noisy = drive_noisy_neighbor(&two_tenant_run(16), 4096, 3, 1024, 8).expect("noisy run");
         assert!(solo.end_time > SimTime::ZERO);
         assert!(noisy.end_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn brownout_driver_surfaces_typed_budget_shed() {
+        use offload::{FaultPlan, HealthConfig};
+        let mut run = CheckRun::baseline(18);
+        run.move_bytes = true;
+        run.cfg = run
+            .cfg
+            .with_fault(FaultPlan {
+                data_drop_pm: 1000,
+                seed: 18,
+                ..FaultPlan::none()
+            })
+            .with_health(HealthConfig::armed());
+        let report = drive_brownout(&run, 4096).expect("brownout run");
+        assert!(report.end_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn breaker_recovery_driver_completes_every_round() {
+        use offload::{FaultPlan, HealthConfig};
+        let mut run = CheckRun::baseline(19);
+        run.cfg = run
+            .cfg
+            .with_fault(FaultPlan {
+                xreg_fail_pm: 700,
+                seed: 19,
+                ..FaultPlan::none()
+            })
+            .with_health(HealthConfig::armed());
+        let report = drive_breaker_recovery(&run, 2048, 48).expect("recovery run");
+        assert!(report.end_time > SimTime::ZERO);
     }
 
     #[test]

@@ -588,6 +588,51 @@ mod tests {
     }
 
     #[test]
+    fn health_sections_are_additions_not_disappearances() {
+        // Committed baselines predate the fabric health engine (and the
+        // engine defaults to disabled, so clean regenerations never emit
+        // a `health` section at all). A new doc that grows one — e.g. a
+        // fault-injected bench run with breakers armed — must pass the
+        // zero-tolerance gate against a baseline without it.
+        let widened = BASE.replace(
+            "\"ranks\": [{\"rank\": 0, \"wakeups\": 7}]",
+            "\"ranks\": [{\"rank\": 0, \"wakeups\": 7}], \
+             \"health\": {\"breaker_trips\": 2, \"breaker_half_opens\": 2, \
+                          \"breaker_closes\": 2, \"breaker_probes\": 2, \
+                          \"breaker_fastpaths\": 11, \"retry_budget_sheds\": 0}",
+        );
+        let mut r = DiffReport::default();
+        diff_docs(
+            "f",
+            &doc(BASE),
+            &doc(&widened),
+            &DiffOptions::default(),
+            &mut r,
+        );
+        assert!(
+            r.ok(),
+            "health section must be an addition: {:?}",
+            r.regressions
+        );
+        // A health section the old tree had and the new one lost is a
+        // vanished measurement — the breakers silently stopped being
+        // observed, which is the regression the gate exists to catch.
+        let mut r = DiffReport::default();
+        diff_docs(
+            "f",
+            &doc(&widened),
+            &doc(BASE),
+            &DiffOptions::default(),
+            &mut r,
+        );
+        assert!(!r.ok(), "a vanished health section must regress");
+        assert!(r
+            .regressions
+            .iter()
+            .all(|reg| reg.why == "counter disappeared" && reg.counter.starts_with("health.")));
+    }
+
+    #[test]
     fn json_report_round_trips_and_carries_regressions() {
         let new = BASE
             .replace("\"events\": 100", "\"events\": 103")

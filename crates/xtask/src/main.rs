@@ -287,6 +287,36 @@ fn tenant_fairness(doc: &obs::Json) -> Option<String> {
     Some(out)
 }
 
+/// Render the breaker/budget summary of a metrics document's optional
+/// `health` section. `None` for documents without one, which is every
+/// run with the health engine left at its disabled default.
+fn breaker_health(doc: &obs::Json) -> Option<String> {
+    use obs::Json;
+    let health = doc.get("health")?;
+    let get = |k: &str| health.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let trips = get("breaker_trips");
+    let closes = get("breaker_closes");
+    let sheds = get("retry_budget_sheds");
+    let mut out = format!(
+        "  health: trips={trips} half_opens={} closes={closes} probes={} \
+         fastpaths={} budget_sheds={sheds}\n",
+        get("breaker_half_opens"),
+        get("breaker_probes"),
+        get("breaker_fastpaths"),
+    );
+    let headline = if trips > 0 && closes == trips && sheds == 0 {
+        "every tripped breaker recovered; no retry budget exhausted".to_string()
+    } else if trips > closes {
+        format!("{} breaker(s) still open at end of run", trips - closes)
+    } else if sheds > 0 {
+        format!("{sheds} request(s) shed by retry budgets")
+    } else {
+        "degraded-mode machinery fired without residual damage".to_string()
+    };
+    out.push_str(&format!("    headline: {headline}\n"));
+    Some(out)
+}
+
 /// `cargo xtask profile [<file.profile.json>...] [--top K]`: validate
 /// `profile/v1` report(s) and render their top-K self-time tables. With
 /// no paths, scans `target/profile/` for `*.profile.json`.
@@ -386,7 +416,12 @@ fn main() -> ExitCode {
                 let verdict = if path.ends_with(".profile.json") {
                     obs::validate_profile(&doc).map(|_| None)
                 } else {
-                    obs::validate_metrics(&doc).map(|d| tenant_fairness(&d))
+                    obs::validate_metrics(&doc).map(|d| {
+                        let mut s = String::new();
+                        s.push_str(&tenant_fairness(&d).unwrap_or_default());
+                        s.push_str(&breaker_health(&d).unwrap_or_default());
+                        (!s.is_empty()).then_some(s)
+                    })
                 };
                 match verdict {
                     Ok(fairness) => {
@@ -700,6 +735,49 @@ mod tests {
         let doc = obs::parse(&calm).expect("parses");
         let summary = tenant_fairness(&doc).expect("still two tenants");
         assert!(summary.contains("no credit pressure"), "{summary}");
+    }
+
+    const HEALTH_DOC: &str = r#"{
+        "schema": "bluefield-offload/metrics/v1",
+        "bench": "unit",
+        "totals": {"events": 10},
+        "health": {"breaker_trips": 2, "breaker_half_opens": 2, "breaker_closes": 2,
+                   "breaker_probes": 2, "breaker_fastpaths": 9, "retry_budget_sheds": 0}
+    }"#;
+
+    #[test]
+    fn breaker_health_headlines_full_recovery() {
+        let doc = obs::parse(HEALTH_DOC).expect("fixture parses");
+        let summary = breaker_health(&doc).expect("health doc summarizes");
+        assert!(
+            summary.contains("health: trips=2 half_opens=2 closes=2 probes=2 fastpaths=9"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("every tripped breaker recovered"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn breaker_health_names_open_breakers_and_sheds() {
+        let open = HEALTH_DOC.replace("\"breaker_closes\": 2", "\"breaker_closes\": 1");
+        let doc = obs::parse(&open).expect("parses");
+        let summary = breaker_health(&doc).expect("summarizes");
+        assert!(summary.contains("1 breaker(s) still open"), "{summary}");
+        let shed = HEALTH_DOC.replace("\"retry_budget_sheds\": 0", "\"retry_budget_sheds\": 3");
+        let doc = obs::parse(&shed).expect("parses");
+        let summary = breaker_health(&doc).expect("summarizes");
+        assert!(
+            summary.contains("3 request(s) shed by retry budgets"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn breaker_health_is_silent_without_a_health_section() {
+        let doc = obs::parse(r#"{"totals": {"events": 3}}"#).expect("parses");
+        assert!(breaker_health(&doc).is_none());
     }
 
     #[test]
